@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the hot paths underneath every figure:
+//! R-tree k-NN, DMTM construction and front extraction, front Dijkstra,
+//! SDN lower bounds, exact geodesics, and end-to-end MR3 vs EA queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sknn_core::config::{Mr3Config, StepSchedule};
+use sknn_core::ea::EaEngine;
+use sknn_core::mr3::Mr3Engine;
+use sknn_core::workload::SceneBuilder;
+use sknn_geodesic::{ExactGeodesic, MeshPoint};
+use sknn_multires::{build_dmtm, FrontGraph};
+use sknn_sdn::{Msdn, MsdnConfig};
+use sknn_spatial::RTree;
+use sknn_terrain::dem::TerrainConfig;
+use std::hint::black_box;
+
+fn bench_rtree(c: &mut Criterion) {
+    let mesh = TerrainConfig::bh().with_grid(33).build_mesh(1);
+    let scene = SceneBuilder::new(&mesh).object_count(2000).seed(1).build();
+    let q = scene.random_query(1);
+    c.bench_function("rtree/knn10_of_2000", |b| {
+        b.iter(|| black_box(scene.dxy().knn(q.pos.xy(), 10)))
+    });
+    let pts: Vec<_> = scene
+        .objects()
+        .iter()
+        .map(|o| (sknn_geom::Rect2::from_point(o.point.pos.xy()), o.id))
+        .collect();
+    c.bench_function("rtree/bulk_load_2000", |b| {
+        b.iter(|| black_box(RTree::bulk_load(pts.clone())))
+    });
+}
+
+fn bench_dmtm(c: &mut Criterion) {
+    let mesh = TerrainConfig::bh().with_grid(33).build_mesh(2);
+    c.bench_function("dmtm/build_1089v", |b| b.iter(|| black_box(build_dmtm(&mesh))));
+    let tree = build_dmtm(&mesh);
+    for frac in [0.05, 0.5, 1.0] {
+        let m = tree.step_for_fraction(frac);
+        c.bench_with_input(
+            BenchmarkId::new("dmtm/extract_front", format!("{}%", frac * 100.0)),
+            &m,
+            |b, &m| b.iter(|| black_box(FrontGraph::extract(&tree, m, None))),
+        );
+    }
+}
+
+fn bench_sdn(c: &mut Criterion) {
+    let mesh = TerrainConfig::bh().with_grid(33).build_mesh(3);
+    let msdn = Msdn::build(&mesh, &MsdnConfig::default());
+    let scene = SceneBuilder::new(&mesh).object_count(8).seed(2).build();
+    let a = scene.random_query(1);
+    let b2 = scene.random_query(2);
+    for lvl in [0usize, 4] {
+        c.bench_with_input(BenchmarkId::new("sdn/lower_bound_level", lvl), &lvl, |b, &lvl| {
+            b.iter(|| black_box(msdn.lower_bound(lvl, a.pos, b2.pos, None)))
+        });
+    }
+}
+
+fn bench_geodesic(c: &mut Criterion) {
+    let mesh = TerrainConfig::ep().with_grid(17).build_mesh(4);
+    let geo = ExactGeodesic::new(&mesh);
+    let n = mesh.num_vertices() as u32;
+    c.bench_function("geodesic/exact_pair_289v", |b| {
+        b.iter(|| black_box(geo.distance(MeshPoint::Vertex(0), MeshPoint::Vertex(n - 1))))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let mesh = TerrainConfig::ep().with_grid(33).build_mesh(5);
+    let scene = SceneBuilder::new(&mesh).object_count(64).seed(5).build();
+    let q = scene.random_query(7);
+    for sched in [StepSchedule::s1(), StepSchedule::s2(), StepSchedule::s3()] {
+        let name = sched.name;
+        let engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default().with_schedule(sched));
+        c.bench_with_input(BenchmarkId::new("query/mr3_k10", name), &engine, |b, e| {
+            b.iter(|| black_box(e.query(q, 10)))
+        });
+    }
+    let ea = EaEngine::build(&mesh, &scene, 256);
+    c.bench_function("query/ea_k10", |b| b.iter(|| black_box(ea.query(q, 10))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rtree, bench_dmtm, bench_sdn, bench_geodesic, bench_queries
+}
+criterion_main!(benches);

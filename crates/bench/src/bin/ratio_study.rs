@@ -1,0 +1,54 @@
+//! Supporting study (paper §1, technical motivation 2): the ratio of
+//! surface distance to Euclidean distance across terrain roughness.
+//!
+//! "We found that the ratio of the surface distance over Euclidian
+//! distance can vary from 200-300% times for rugged mountain areas, to
+//! just 20-40% for some other areas" — i.e. surface distances run from
+//! ~1.2x to ~3x Euclidean depending on roughness, which is why a fixed
+//! Euclidean search-radius inflation cannot work.
+//!
+//! Output: `hurst,relief_m,rugosity,mean_ratio,max_ratio`.
+
+use sknn_bench::{mean, start_figure, Args};
+use sknn_geodesic::{kanai_suzuki_distance, KanaiConfig, MeshPoint};
+use sknn_terrain::dem::TerrainConfig;
+use sknn_terrain::stats::MeshStats;
+
+fn main() {
+    let args = Args::parse();
+    let grid: usize = args.get("grid", 33);
+    let seed: u64 = args.get("seed", 13);
+    let pairs: usize = args.get("queries", 6);
+
+    start_figure(
+        "Surface/Euclidean distance ratio vs terrain roughness",
+        "hurst,relief_m,rugosity,mean_ratio,max_ratio",
+    );
+    let kanai = KanaiConfig { tolerance: 0.02, ..KanaiConfig::default() };
+    for (hurst, relief) in [(0.95, 60.0), (0.85, 150.0), (0.65, 300.0), (0.45, 500.0), (0.35, 700.0)] {
+        let cfg = TerrainConfig::bh()
+            .with_grid(grid)
+            .with_relief(relief)
+            .with_hurst(hurst);
+        let mesh = cfg.build_mesh(seed);
+        let stats = MeshStats::compute(&mesh);
+        let n = mesh.num_vertices() as u32;
+        let mut ratios = Vec::new();
+        for i in 0..pairs as u32 {
+            let a = (i * 31) % n;
+            let b = n - 1 - (i * 17) % (n / 2);
+            let ds = kanai_suzuki_distance(&mesh, MeshPoint::Vertex(a), MeshPoint::Vertex(b), &kanai);
+            let de = mesh.vertex(a).dist(mesh.vertex(b));
+            if de > 0.0 && ds.is_finite() {
+                ratios.push(ds / de);
+            }
+        }
+        let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{hurst},{relief},{:.3},{:.3},{:.3}",
+            stats.rugosity,
+            mean(&ratios),
+            max
+        );
+    }
+}

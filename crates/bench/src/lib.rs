@@ -1,0 +1,115 @@
+//! Shared harness for the figure-regeneration binaries.
+//!
+//! Every binary regenerates one table/figure of the paper's evaluation
+//! (§5) as CSV on stdout, with progress notes on stderr. Workloads are
+//! deterministic (seeded); sizes default to a few minutes of laptop time
+//! and can be scaled with flags:
+//!
+//! ```text
+//! --grid N      terrain grid points per side (default per figure)
+//! --queries N   query points averaged per configuration
+//! --seed N      master seed
+//! ```
+
+use sknn_core::workload::{Scene, SceneBuilder, SurfacePoint};
+use sknn_terrain::dem::TerrainConfig;
+use sknn_terrain::mesh::TerrainMesh;
+use std::time::{Duration, Instant};
+
+/// Minimal flag parser: `--name value` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i + 1 < argv.len() {
+            if let Some(name) = argv[i].strip_prefix("--") {
+                pairs.push((name.to_string(), argv[i + 1].clone()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Self { pairs }
+    }
+
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// The two evaluation terrains of the paper, scaled to `grid`.
+pub fn bh_mesh(grid: usize, seed: u64) -> TerrainMesh {
+    TerrainConfig::bh().with_grid(grid).build_mesh(seed)
+}
+
+pub fn ep_mesh(grid: usize, seed: u64) -> TerrainMesh {
+    TerrainConfig::ep().with_grid(grid).build_mesh(seed)
+}
+
+/// Build a scene with `o` objects per km² (falling back to a minimum
+/// object count so small grids still have data to query).
+pub fn scene_with_density<'m>(mesh: &'m TerrainMesh, o: f64, seed: u64) -> Scene<'m> {
+    let area = mesh.extent().area() / 1e6;
+    let n = ((o * area).round() as usize).max(32);
+    SceneBuilder::new(mesh)
+        .object_density_per_km2(o)
+        .object_count(n)
+        .seed(seed)
+        .build()
+}
+
+/// Deterministic query batch.
+pub fn queries(scene: &Scene<'_>, n: usize, seed: u64) -> Vec<SurfacePoint> {
+    scene.random_queries(n, seed)
+}
+
+/// Wall-clock one closure.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Emit a CSV header + note on stderr.
+pub fn start_figure(name: &str, columns: &str) {
+    eprintln!("# {name}");
+    println!("{columns}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn scene_min_count() {
+        let mesh = bh_mesh(17, 1);
+        let s = scene_with_density(&mesh, 1.0, 2);
+        assert!(s.num_objects() >= 32);
+    }
+}

@@ -1,0 +1,109 @@
+//! Query cost accounting.
+//!
+//! The paper reports three metrics per experiment: total response time,
+//! CPU time, and disk pages accessed. We measure CPU time directly and
+//! derive I/O time from the physical page-read count and a disk model, so
+//! `total = cpu + io` decomposes exactly as in the paper's figures.
+
+use crate::bounds::DistRange;
+use sknn_store::DiskModel;
+use std::time::{Duration, Instant};
+
+/// Cost counters of one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Measured CPU time.
+    pub cpu: Duration,
+    /// Physical disk pages read (buffer-pool misses + index node visits).
+    pub pages: u64,
+    /// Resolution iterations executed by the ranking engine.
+    pub iterations: usize,
+    /// Candidates examined in step 4.
+    pub candidates: usize,
+    /// Dijkstra nodes settled across all bound estimations (CPU proxy).
+    pub settled: usize,
+    /// Upper-bound estimations performed.
+    pub ub_estimations: usize,
+    /// Lower-bound estimations performed (full, not dummy).
+    pub lb_estimations: usize,
+    /// Dummy (corridor) lower bounds that sufficed without confirmation.
+    pub dummy_lb_hits: usize,
+}
+
+impl QueryStats {
+    /// Simulated I/O time under `model`.
+    pub fn io_time(&self, model: &DiskModel) -> Duration {
+        Duration::from_secs_f64(self.pages as f64 * model.per_read_ms / 1000.0)
+    }
+
+    /// Total response time under `model`.
+    pub fn total_time(&self, model: &DiskModel) -> Duration {
+        self.cpu + self.io_time(model)
+    }
+}
+
+/// A scoped CPU timer accumulating into a `Duration`.
+pub struct CpuTimer {
+    start: Instant,
+}
+
+impl CpuTimer {
+    /// Start.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Stop into.
+    pub fn stop_into(self, acc: &mut Duration) {
+        *acc += self.start.elapsed();
+    }
+}
+
+/// One returned neighbour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Object id within the scene.
+    pub id: u32,
+    /// Bracketing range of its surface distance from the query point.
+    pub range: DistRange,
+}
+
+/// Result of an sk-NN query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The k nearest objects, ascending by distance estimate.
+    pub neighbors: Vec<Neighbor>,
+    /// Cost counters of the query.
+    pub stats: QueryStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_decomposition() {
+        let stats = QueryStats {
+            cpu: Duration::from_millis(100),
+            pages: 500,
+            ..Default::default()
+        };
+        let model = DiskModel { per_read_ms: 8.0 };
+        assert_eq!(stats.io_time(&model), Duration::from_secs(4));
+        assert_eq!(stats.total_time(&model), Duration::from_millis(4100));
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let mut acc = Duration::ZERO;
+        let t = CpuTimer::start();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        t.stop_into(&mut acc);
+        assert!(acc > Duration::ZERO);
+        let before = acc;
+        let t = CpuTimer::start();
+        std::hint::black_box((0..10_000).sum::<u64>());
+        t.stop_into(&mut acc);
+        assert!(acc > before);
+    }
+}

@@ -1,0 +1,738 @@
+//! The multi-resolution distance-range ranking engine (paper §4.2).
+//!
+//! Given a query point and a set of candidate objects, the engine
+//! maintains a distance range `[lb, ub]` per candidate and alternates
+//! upper-bound estimation (Dijkstra over DMTM fronts, then the pathnet)
+//! with lower-bound estimation (MSDN networks), escalating resolution per
+//! the configured step schedule until the k-th neighbour separates:
+//! `ub(p_k) <= lb(p_{k+1})`. Candidates whose lower bound exceeds the
+//! current k-th upper bound are dropped; search regions shrink to prune
+//! ellipses as upper bounds tighten; overlapping I/O regions are fetched
+//! once (integrated I/O regions); upper-bound searches are restricted to
+//! the corridor of the previous round's path; and lower bounds try the
+//! corridor-restricted *dummy* bound before paying for a full one.
+
+use crate::bounds::DistRange;
+use crate::config::Mr3Config;
+use crate::metrics::QueryStats;
+use crate::regions::{candidate_region, merge_regions, IoGroup};
+use crate::workload::SurfacePoint;
+use sknn_geodesic::graph::{Dijkstra, Graph};
+use sknn_geodesic::pathnet::Pathnet;
+use sknn_geom::{Aabb3, Ellipse2, Rect2};
+use sknn_multires::{FrontGraph, PagedDmtm};
+use sknn_geom::Axis;
+use sknn_sdn::network::{corridor_mask, lower_bound};
+use sknn_sdn::{Msdn, PagedMsdn, SimplifiedLine};
+use sknn_store::Pager;
+use sknn_terrain::mesh::TerrainMesh;
+
+/// Shared immutable state for ranking runs.
+pub struct RankingContext<'a, 'm> {
+    /// The mesh.
+    pub mesh: &'m TerrainMesh,
+    /// The dmtm.
+    pub dmtm: &'a PagedDmtm,
+    /// The msdn.
+    pub msdn: &'a PagedMsdn,
+    /// The pager.
+    pub pager: &'a Pager,
+    /// The cfg.
+    pub cfg: &'a Mr3Config,
+}
+
+/// Per-candidate ranking state.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Object identifier.
+    pub id: u32,
+    /// Position on the surface.
+    pub point: SurfacePoint,
+    /// The range.
+    pub range: DistRange,
+    /// Current I/O region (prune-ellipse MBR clipped to the terrain).
+    pub region: Rect2,
+    /// Witness chain of the last full lower bound (for the dummy bound).
+    lb_path: Vec<Aabb3>,
+    /// Refined search region: MBRs along the last upper-bound path.
+    corridor: Vec<Rect2>,
+    /// Permanently eliminated from the top k.
+    pub out: bool,
+}
+
+impl Candidate {
+    /// Creates the value from its parts.
+    pub fn new(q: &SurfacePoint, id: u32, point: SurfacePoint, terrain: &Rect2) -> Self {
+        let mut range = DistRange::unbounded();
+        // "The lower bound for each candidate point is initially set to be
+        // the Euclidean distance" (§4.2).
+        range.tighten_lb(q.pos.dist(point.pos));
+        // Same-facet candidates are exact: the straight segment lies on
+        // the facet plane, hence on the surface.
+        if q.tri == point.tri {
+            range.tighten_ub(q.pos.dist(point.pos));
+        }
+        Self {
+            id,
+            point,
+            range,
+            region: *terrain,
+            lb_path: Vec::new(),
+            corridor: Vec::new(),
+            out: false,
+        }
+    }
+}
+
+impl<'a, 'm> RankingContext<'a, 'm> {
+    /// Rank `cands` until the top `k` separate or the schedule is
+    /// exhausted. Returns whether the ranking fully resolved. On exit the
+    /// candidates' ranges hold the final bounds.
+    pub fn rank_top_k(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> bool {
+        for i in 0..self.cfg.schedule.len() {
+            self.mark_out(cands, k);
+            if self.is_resolved(cands, k) {
+                return true;
+            }
+            self.refine_iteration(q, cands, i, true, stats);
+            stats.iterations += 1;
+        }
+        self.mark_out(cands, k);
+        self.is_resolved(cands, k)
+    }
+
+    /// Step-2 variant: tighten upper bounds of the seed set until the k-th
+    /// radius stops improving, and return `max ub` — a safe radius that
+    /// certainly contains k objects by surface distance. Lower bounds are
+    /// not needed to bound a radius, so the MSDN phase is skipped.
+    pub fn estimate_radius(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        stats: &mut QueryStats,
+    ) -> f64 {
+        let mut prev = f64::INFINITY;
+        for i in 0..self.cfg.schedule.len() {
+            self.refine_iteration(q, cands, i, false, stats);
+            stats.iterations += 1;
+            let radius = max_ub(cands);
+            if radius.is_finite() && radius >= prev * 0.95 {
+                return radius;
+            }
+            prev = radius;
+        }
+        max_ub(cands)
+    }
+
+    /// Surface *range query* support (paper §6: the framework "is capable
+    /// of supporting other distance comparison based queries, such as
+    /// range queries"): decide for each candidate whether its surface
+    /// distance is within `radius`. Returns `(inside, undecided)` object
+    /// ids; `undecided` is non-empty only when the schedule ends with a
+    /// range still straddling the radius (its midpoint then classifies it
+    /// in `inside` if ≤ radius).
+    pub fn resolve_within(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        radius: f64,
+        stats: &mut QueryStats,
+    ) -> (Vec<u32>, Vec<u32>) {
+        let mut inside: Vec<u32> = Vec::new();
+        let classify = |cands: &mut [Candidate], inside: &mut Vec<u32>| {
+            for c in cands.iter_mut() {
+                if c.out {
+                    continue;
+                }
+                if c.range.ub <= radius + 1e-9 {
+                    inside.push(c.id);
+                    c.out = true; // settled: no more refinement needed
+                } else if c.range.lb > radius + 1e-9 {
+                    c.out = true; // settled: certainly outside
+                }
+            }
+        };
+        classify(cands, &mut inside);
+        for i in 0..self.cfg.schedule.len() {
+            if cands.iter().all(|c| c.out) {
+                break;
+            }
+            self.refine_iteration(q, cands, i, true, stats);
+            stats.iterations += 1;
+            classify(cands, &mut inside);
+        }
+        let mut undecided = Vec::new();
+        for c in cands.iter() {
+            if !c.out {
+                if c.range.estimate() <= radius {
+                    inside.push(c.id);
+                }
+                undecided.push(c.id);
+            }
+        }
+        inside.sort_unstable();
+        (inside, undecided)
+    }
+
+    // ----- termination & elimination ------------------------------------
+
+    /// k-th smallest upper bound among non-eliminated candidates.
+    fn kth_ub(&self, cands: &[Candidate], k: usize) -> f64 {
+        let mut ubs: Vec<f64> = cands.iter().filter(|c| !c.out).map(|c| c.range.ub).collect();
+        if ubs.len() <= k {
+            return f64::INFINITY;
+        }
+        ubs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ubs[k - 1]
+    }
+
+    /// Drop candidates that can no longer be in the top k.
+    fn mark_out(&self, cands: &mut [Candidate], k: usize) {
+        let pivot = self.kth_ub(cands, k);
+        if !pivot.is_finite() {
+            return;
+        }
+        for c in cands.iter_mut() {
+            if !c.out && c.range.lb > pivot + 1e-9 {
+                c.out = true;
+            }
+        }
+    }
+
+    /// The VA-file termination test: the k-th upper bound does not exceed
+    /// the (k+1)-th lower bound.
+    fn is_resolved(&self, cands: &[Candidate], k: usize) -> bool {
+        let alive: Vec<&Candidate> = cands.iter().filter(|c| !c.out).collect();
+        if alive.len() <= k {
+            return true;
+        }
+        let mut by_ub: Vec<&&Candidate> = alive.iter().collect();
+        by_ub.sort_by(|a, b| a.range.ub.partial_cmp(&b.range.ub).unwrap());
+        let kth_ub = by_ub[k - 1].range.ub;
+        if !kth_ub.is_finite() {
+            return false;
+        }
+        let min_rest_lb = by_ub[k..]
+            .iter()
+            .map(|c| c.range.lb)
+            .fold(f64::INFINITY, f64::min);
+        kth_ub <= min_rest_lb + 1e-9
+    }
+
+    // ----- one resolution iteration --------------------------------------
+
+    fn refine_iteration(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        iter: usize,
+        with_lb: bool,
+        stats: &mut QueryStats,
+    ) {
+        let terrain = self.mesh.extent();
+        // Refresh I/O regions from the current upper bounds.
+        let active: Vec<usize> = (0..cands.len()).filter(|&i| !cands[i].out).collect();
+        if active.is_empty() {
+            return;
+        }
+        for &i in &active {
+            cands[i].region = if self.cfg.ellipse_prune {
+                candidate_region(q.pos.xy(), cands[i].point.pos.xy(), cands[i].range.ub, &terrain)
+            } else {
+                terrain
+            };
+        }
+
+        // Integrated I/O regions.
+        let regions: Vec<Rect2> = active.iter().map(|&i| cands[i].region).collect();
+        let threshold = if self.cfg.integrated_io {
+            self.cfg.io_merge_threshold
+        } else {
+            2.0 // never merges
+        };
+        let groups: Vec<IoGroup> = merge_regions(&regions, threshold);
+
+        let frac = self.cfg.schedule.dmtm[iter];
+        for group in &groups {
+            let members: Vec<usize> = group.members.iter().map(|&gi| active[gi]).collect();
+            if frac <= 1.0 {
+                self.ub_phase_front(q, cands, &members, group.region, frac, stats);
+            } else {
+                self.ub_phase_pathnet(q, cands, &members, group.region, stats);
+            }
+        }
+
+        if with_lb {
+            let lvl = self.cfg.schedule.msdn_level(iter);
+            // Integrated I/O for SDN data too: one axis-range fetch per
+            // group covers every member; per-candidate line subsets are
+            // sliced in memory.
+            for group in &groups {
+                let members: Vec<usize> = group.members.iter().map(|&gi| active[gi]).collect();
+                let mut axis_lines: [Vec<SimplifiedLine>; 2] = [Vec::new(), Vec::new()];
+                for (slot, axis) in [(0, Axis::X), (1, Axis::Y)] {
+                    let mut lo = f64::INFINITY;
+                    let mut hi = f64::NEG_INFINITY;
+                    for &ci in &members {
+                        if Msdn::axis_for(q.pos, cands[ci].point.pos) == axis {
+                            let (ca, cb) = (axis.coord(q.pos), axis.coord(cands[ci].point.pos));
+                            lo = lo.min(ca.min(cb));
+                            hi = hi.max(ca.max(cb));
+                        }
+                    }
+                    if lo < hi {
+                        axis_lines[slot] = self.msdn.fetch_lines_axis(
+                            self.pager,
+                            lvl,
+                            axis,
+                            lo,
+                            hi,
+                            Some(&group.region),
+                        );
+                    }
+                }
+                for &ci in &members {
+                    self.lb_phase(q, cands, ci, &axis_lines, stats);
+                }
+            }
+        }
+    }
+
+    /// Upper bounds from a DMTM front at `frac` resolution, one fetch per
+    /// group.
+    fn ub_phase_front(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        members: &[usize],
+        region: Rect2,
+        frac: f64,
+        stats: &mut QueryStats,
+    ) {
+        let m = self.dmtm.tree().step_for_fraction(frac);
+        let fg = self.dmtm.fetch_front(self.pager, m, Some(&region));
+        if fg.num_nodes() == 0 {
+            return;
+        }
+        let q_emb = self.dmtm.embed(&fg, self.mesh, q.tri, q.pos);
+        if q_emb.is_empty() {
+            return;
+        }
+        for &ci in members {
+            let exits = self
+                .dmtm
+                .embed(&fg, self.mesh, cands[ci].point.tri, cands[ci].point.pos);
+            if exits.is_empty() {
+                continue;
+            }
+            stats.ub_estimations += 1;
+            let ellipse = if self.cfg.ellipse_prune && cands[ci].range.ub.is_finite() {
+                Some(Ellipse2::new(
+                    q.pos.xy(),
+                    cands[ci].point.pos.xy(),
+                    cands[ci].range.ub,
+                ))
+            } else {
+                None
+            };
+            // Try the most restricted region first, then relax.
+            let corridor = if self.cfg.corridor_refinement && !cands[ci].corridor.is_empty() {
+                Some(cands[ci].corridor.clone())
+            } else {
+                None
+            };
+            let attempts: [(bool, bool); 3] = [(true, true), (false, true), (false, false)];
+            let mut done = false;
+            for (use_corr, use_ell) in attempts {
+                if use_corr && corridor.is_none() {
+                    continue;
+                }
+                let allowed = |local: usize| -> bool {
+                    let p = fg.rep_pos[local].xy();
+                    if use_ell {
+                        if let Some(e) = &ellipse {
+                            if !e.contains(p) {
+                                return false;
+                            }
+                        }
+                    }
+                    if use_corr {
+                        if let Some(c) = &corridor {
+                            if !c.iter().any(|r| r.contains_point(p)) {
+                                return false;
+                            }
+                        }
+                    }
+                    true
+                };
+                let (dist, settled, path) = filtered_dijkstra(&fg, &allowed, &q_emb, &exits);
+                stats.settled += settled;
+                if dist.is_finite() {
+                    cands[ci].range.tighten_ub(dist);
+                    // Record the corridor for the next level: the path
+                    // nodes' descendant MBRs, slightly expanded.
+                    let pad = self.mesh.mean_edge_length();
+                    cands[ci].corridor = path
+                        .iter()
+                        .map(|&id| self.dmtm.tree().node(id).mbr.expanded(pad))
+                        .collect();
+                    done = true;
+                    break;
+                }
+            }
+            if !done {
+                // Disconnected even unrestricted (over-tight fetch region):
+                // keep the previous bound; the region re-derives next round.
+                cands[ci].corridor.clear();
+            }
+        }
+    }
+
+    /// Upper bounds from the pathnet (the >100 % level): approximate
+    /// surface distances over Steiner-augmented facets within the group
+    /// region. Page charges come from fetching the leaf-level terrain
+    /// records for the region.
+    fn ub_phase_pathnet(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        members: &[usize],
+        region: Rect2,
+        stats: &mut QueryStats,
+    ) {
+        // Charge the I/O of reading the original-resolution terrain in the
+        // region (the pathnet is derived from it on the fly).
+        let _leafs = self.dmtm.fetch_front(self.pager, 0, Some(&region));
+        let mesh = self.mesh;
+        let filter = |t: sknn_terrain::mesh::TriId| -> bool {
+            mesh.triangle(t).mbr_xy().intersects(&region)
+        };
+        let net = Pathnet::build(mesh, self.cfg.pathnet_steiner, Some(&filter));
+        for &ci in members {
+            stats.ub_estimations += 1;
+            let d = net.distance(
+                mesh,
+                q.to_mesh_point(),
+                cands[ci].point.to_mesh_point(),
+            );
+            if d.is_finite() {
+                cands[ci].range.tighten_ub(d);
+            }
+            stats.settled += net.num_nodes();
+        }
+    }
+
+    /// Lower bound for one candidate, slicing its separating lines from
+    /// the group's prefetched axis ranges, with the dummy-bound shortcut
+    /// of §4.2.2.
+    fn lb_phase(
+        &self,
+        q: &SurfacePoint,
+        cands: &mut [Candidate],
+        ci: usize,
+        axis_lines: &[Vec<SimplifiedLine>; 2],
+        stats: &mut QueryStats,
+    ) {
+        let roi = cands[ci].region;
+        let axis = Msdn::axis_for(q.pos, cands[ci].point.pos);
+        let slot = if axis == Axis::X { 0 } else { 1 };
+        let (ca, cb) = (axis.coord(q.pos), axis.coord(cands[ci].point.pos));
+        let (lo, hi) = (ca.min(cb), ca.max(cb));
+        let mut lines: Vec<&SimplifiedLine> = axis_lines[slot]
+            .iter()
+            .filter(|l| l.plane.value > lo && l.plane.value < hi)
+            .collect();
+        if ca > cb {
+            lines.reverse();
+        }
+        let width = self.mesh.mean_edge_length() * 2.0;
+
+        if self.cfg.dummy_lower_bound && !cands[ci].lb_path.is_empty() {
+            let mask = corridor_mask(&lines, &cands[ci].lb_path, width);
+            let dummy = lower_bound(&lines, q.pos, cands[ci].point.pos, Some(&roi), Some(&mask));
+            stats.settled += dummy.nodes_settled;
+            // The dummy bound over-estimates the true lower bound. If even
+            // it cannot push this candidate's range above its current lb,
+            // the full bound cannot either — skip the full computation.
+            if dummy.value <= cands[ci].range.lb + 1e-9 {
+                stats.dummy_lb_hits += 1;
+                return;
+            }
+        }
+        stats.lb_estimations += 1;
+        let full = lower_bound(&lines, q.pos, cands[ci].point.pos, Some(&roi), None);
+        stats.settled += full.nodes_settled;
+        cands[ci].range.tighten_lb(full.value);
+        cands[ci].lb_path = full.path_mbrs;
+    }
+
+    /// Fig.-8 support: one-shot range estimation of a single pair at fixed
+    /// DMTM resolution and MSDN level (no iteration, no pruning).
+    pub fn estimate_pair(
+        &self,
+        a: &SurfacePoint,
+        b: &SurfacePoint,
+        dmtm_frac: f64,
+        msdn_level: usize,
+        stats: &mut QueryStats,
+    ) -> DistRange {
+        let mut range = DistRange::unbounded();
+        range.tighten_lb(a.pos.dist(b.pos));
+        stats.ub_estimations += 1;
+        stats.lb_estimations += 1;
+        // Upper bound.
+        if dmtm_frac <= 1.0 {
+            let m = self.dmtm.tree().step_for_fraction(dmtm_frac);
+            let fg = self.dmtm.fetch_front(self.pager, m, None);
+            let src = self.dmtm.embed(&fg, self.mesh, a.tri, a.pos);
+            let dst = self.dmtm.embed(&fg, self.mesh, b.tri, b.pos);
+            if !src.is_empty() && !dst.is_empty() {
+                let (d, settled, _) = filtered_dijkstra(&fg, &|_| true, &src, &dst);
+                stats.settled += settled;
+                if d.is_finite() {
+                    range.tighten_ub(d);
+                }
+            }
+        } else {
+            let net = Pathnet::build(self.mesh, self.cfg.pathnet_steiner, None);
+            let d = net.distance(self.mesh, a.to_mesh_point(), b.to_mesh_point());
+            if d.is_finite() {
+                range.tighten_ub(d);
+            }
+        }
+        // Lower bound.
+        let lb = self
+            .msdn
+            .lower_bound(self.pager, msdn_level, a.pos, b.pos, None);
+        stats.settled += lb.nodes_settled;
+        range.tighten_lb(lb.value);
+        range
+    }
+}
+
+fn max_ub(cands: &[Candidate]) -> f64 {
+    cands
+        .iter()
+        .map(|c| c.range.ub)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Dijkstra over a front graph restricted to `allowed` nodes. Returns the
+/// best source-to-exit distance, settled count, and the tree-node-id path.
+fn filtered_dijkstra(
+    fg: &FrontGraph,
+    allowed: &dyn Fn(usize) -> bool,
+    sources: &[(u32, f64)],
+    exits: &[(u32, f64)],
+) -> (f64, usize, Vec<u32>) {
+    let n = fg.num_nodes();
+    let mask: Vec<bool> = (0..n).map(allowed).collect();
+    let edges: Vec<(u32, u32, f64)> = fg
+        .edges
+        .iter()
+        .filter(|&&(a, b, _)| mask[a as usize] && mask[b as usize])
+        .copied()
+        .collect();
+    let graph = Graph::from_undirected(n, &edges);
+    let srcs: Vec<(u32, f64)> = sources
+        .iter()
+        .filter(|&&(s, _)| mask[s as usize])
+        .copied()
+        .collect();
+    if srcs.is_empty() {
+        return (f64::INFINITY, 0, Vec::new());
+    }
+    let d = Dijkstra::run_multi(&graph, &srcs, None);
+    let mut best = f64::INFINITY;
+    let mut best_node = None;
+    for &(x, exit_cost) in exits {
+        if !mask[x as usize] {
+            continue;
+        }
+        let total = d.dist[x as usize] + exit_cost;
+        if total < best {
+            best = total;
+            best_node = Some(x);
+        }
+    }
+    let path = best_node
+        .map(|x| {
+            d.path_to(x)
+                .into_iter()
+                .map(|local| fg.ids[local as usize])
+                .collect()
+        })
+        .unwrap_or_default();
+    (best, d.settled, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SceneBuilder;
+    use sknn_multires::build_dmtm;
+    use sknn_sdn::{Msdn, MsdnConfig};
+    use sknn_terrain::dem::TerrainConfig;
+
+    struct Fixture {
+        mesh: &'static TerrainMesh,
+        dmtm: PagedDmtm,
+        msdn: PagedMsdn,
+        pager: Pager,
+        cfg: Mr3Config,
+    }
+
+    fn fixture() -> Fixture {
+        let mesh: &'static TerrainMesh =
+            Box::leak(Box::new(TerrainConfig::ep().with_grid(17).build_mesh(77)));
+        let pager = Pager::new(256);
+        let dmtm = PagedDmtm::build(&pager, build_dmtm(mesh));
+        let cfg = Mr3Config::default();
+        let msdn_cfg = MsdnConfig { levels: cfg.msdn_levels.clone(), plane_spacing: None };
+        let msdn = PagedMsdn::build(&pager, &Msdn::build(mesh, &msdn_cfg));
+        Fixture { mesh, dmtm, msdn, pager, cfg }
+    }
+
+    fn ctx<'a>(f: &'a Fixture) -> RankingContext<'a, 'static> {
+        RankingContext {
+            mesh: f.mesh,
+            dmtm: &f.dmtm,
+            msdn: &f.msdn,
+            pager: &f.pager,
+            cfg: &f.cfg,
+        }
+    }
+
+    #[test]
+    fn ranking_brackets_exact_distances() {
+        let f = fixture();
+        let c = ctx(&f);
+        let scene = SceneBuilder::new(f.mesh).object_count(12).seed(3).build();
+        let q = scene.random_query(5);
+        let terrain = f.mesh.extent();
+        let mut cands: Vec<Candidate> = scene
+            .objects()
+            .iter()
+            .map(|o| Candidate::new(&q, o.id, o.point, &terrain))
+            .collect();
+        let mut stats = QueryStats::default();
+        let resolved = c.rank_top_k(&q, &mut cands, 3, &mut stats);
+        assert!(stats.iterations >= 1);
+        // Bounds must bracket the exact distances.
+        let geo = sknn_geodesic::ExactGeodesic::new(f.mesh);
+        for cand in &cands {
+            let exact = geo.distance(q.to_mesh_point(), cand.point.to_mesh_point());
+            assert!(
+                cand.range.lb <= exact + 1e-6,
+                "cand {}: lb {} > exact {exact}",
+                cand.id,
+                cand.range.lb
+            );
+            if cand.range.ub.is_finite() {
+                assert!(
+                    cand.range.ub >= exact - 1e-6,
+                    "cand {}: ub {} < exact {exact}",
+                    cand.id,
+                    cand.range.ub
+                );
+            }
+        }
+        // If the engine reports resolution, the chosen top-3 must be the
+        // true top-3 up to bound ties.
+        if resolved {
+            let mut by_exact: Vec<(f64, u32)> = cands
+                .iter()
+                .map(|cd| (geo.distance(q.to_mesh_point(), cd.point.to_mesh_point()), cd.id))
+                .collect();
+            by_exact.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut by_ub: Vec<&Candidate> = cands.iter().filter(|cd| !cd.out).collect();
+            by_ub.sort_by(|a, b| a.range.ub.partial_cmp(&b.range.ub).unwrap());
+            let kth_exact = by_exact[2].0;
+            for chosen in by_ub.iter().take(3) {
+                let exact = geo.distance(q.to_mesh_point(), chosen.point.to_mesh_point());
+                assert!(
+                    exact <= kth_exact + 1e-6,
+                    "chosen {} at {exact} vs kth {kth_exact}",
+                    chosen.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radius_estimation_is_safe_and_finite() {
+        let f = fixture();
+        let c = ctx(&f);
+        let scene = SceneBuilder::new(f.mesh).object_count(10).seed(9).build();
+        let q = scene.random_query(2);
+        let terrain = f.mesh.extent();
+        let seeds = scene.dxy().knn(q.pos.xy(), 4);
+        let mut cands: Vec<Candidate> = seeds
+            .iter()
+            .map(|&(_, _, id)| Candidate::new(&q, id, scene.object(id).point, &terrain))
+            .collect();
+        let mut stats = QueryStats::default();
+        let radius = c.estimate_radius(&q, &mut cands, &mut stats);
+        assert!(radius.is_finite() && radius > 0.0);
+        // The radius must cover the 4 seeds' exact distances.
+        let geo = sknn_geodesic::ExactGeodesic::new(f.mesh);
+        for cand in &cands {
+            let exact = geo.distance(q.to_mesh_point(), cand.point.to_mesh_point());
+            assert!(exact <= radius + 1e-6, "seed {} at {exact} > radius {radius}", cand.id);
+        }
+    }
+
+    #[test]
+    fn estimate_pair_accuracy_improves_with_resolution() {
+        let f = fixture();
+        let c = ctx(&f);
+        let scene = SceneBuilder::new(f.mesh).object_count(2).seed(13).build();
+        let a = scene.random_query(1);
+        let b = scene.random_query(7);
+        let mut stats = QueryStats::default();
+        let coarse = c.estimate_pair(&a, &b, 0.005, 0, &mut stats);
+        let fine = c.estimate_pair(&a, &b, 2.0, 4, &mut stats);
+        assert!(fine.accuracy() >= coarse.accuracy() - 0.02);
+        assert!(fine.accuracy() > 0.5, "final accuracy {}", fine.accuracy());
+        assert!(fine.lb <= fine.ub);
+    }
+
+    #[test]
+    fn out_marking_never_drops_a_true_neighbor() {
+        let f = fixture();
+        let c = ctx(&f);
+        let scene = SceneBuilder::new(f.mesh).object_count(15).seed(21).build();
+        let q = scene.random_query(11);
+        let terrain = f.mesh.extent();
+        let mut cands: Vec<Candidate> = scene
+            .objects()
+            .iter()
+            .map(|o| Candidate::new(&q, o.id, o.point, &terrain))
+            .collect();
+        let mut stats = QueryStats::default();
+        let k = 4;
+        c.rank_top_k(&q, &mut cands, k, &mut stats);
+        let geo = sknn_geodesic::ExactGeodesic::new(f.mesh);
+        let mut by_exact: Vec<(f64, u32)> = cands
+            .iter()
+            .map(|cd| (geo.distance(q.to_mesh_point(), cd.point.to_mesh_point()), cd.id))
+            .collect();
+        by_exact.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let true_top: Vec<u32> = by_exact.iter().take(k).map(|&(_, id)| id).collect();
+        for cd in &cands {
+            if cd.out {
+                assert!(
+                    !true_top.contains(&cd.id),
+                    "true neighbor {} was eliminated",
+                    cd.id
+                );
+            }
+        }
+    }
+}

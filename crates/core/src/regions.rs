@@ -1,0 +1,123 @@
+//! Search-region management: prune ellipses and integrated I/O regions.
+//!
+//! §4.2 of the paper: each candidate's search region projects to the
+//! ellipse whose foci are the query and candidate projections and whose
+//! constant is the current upper bound; its MBR is the candidate's I/O
+//! region. "As there may have multiple candidate points to be considered
+//! at each iteration, their I/O regions can be combined if they are
+//! significantly overlapped (e.g., over 80 %) in order to reduce I/O
+//! cost."
+
+use sknn_geom::{Ellipse2, Point2, Rect2};
+
+/// The I/O region of a candidate at some iteration: the MBR of its prune
+/// ellipse (or the whole terrain before any upper bound is known).
+pub fn candidate_region(q: Point2, cand: Point2, ub: f64, terrain: &Rect2) -> Rect2 {
+    if !ub.is_finite() {
+        return *terrain;
+    }
+    Ellipse2::new(q, cand, ub).mbr().intersection(terrain)
+}
+
+/// A merged fetch group: which candidates it covers and the union region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoGroup {
+    /// Indices into the caller's candidate array.
+    pub members: Vec<usize>,
+    /// Union MBR to fetch.
+    pub region: Rect2,
+}
+
+/// Greedily merge candidate regions whose pairwise overlap fraction
+/// reaches `threshold`. With `threshold > 1.0` (or integration disabled)
+/// every candidate keeps its own group.
+pub fn merge_regions(regions: &[Rect2], threshold: f64) -> Vec<IoGroup> {
+    let mut groups: Vec<IoGroup> = regions
+        .iter()
+        .enumerate()
+        .map(|(i, r)| IoGroup { members: vec![i], region: *r })
+        .collect();
+    loop {
+        let mut merged_any = false;
+        'outer: for i in 0..groups.len() {
+            for j in i + 1..groups.len() {
+                if groups[i].region.overlap_fraction(&groups[j].region) >= threshold {
+                    let other = groups.remove(j);
+                    groups[i].members.extend(other.members);
+                    groups[i].region = groups[i].region.union(&other.region);
+                    merged_any = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged_any {
+            return groups;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(ax: f64, ay: f64, bx: f64, by: f64) -> Rect2 {
+        Rect2::new(Point2::new(ax, ay), Point2::new(bx, by))
+    }
+
+    #[test]
+    fn region_is_ellipse_mbr_clipped_to_terrain() {
+        let terrain = r(0.0, 0.0, 100.0, 100.0);
+        let q = Point2::new(10.0, 50.0);
+        let c = Point2::new(30.0, 50.0);
+        let reg = candidate_region(q, c, 40.0, &terrain);
+        // Ellipse: a = 20, c = 10, b = sqrt(300) ~ 17.32, centered (20,50).
+        assert!((reg.lo.x - 0.0).abs() < 1e-9); // clipped at terrain edge
+        assert!((reg.hi.x - 40.0).abs() < 1e-9);
+        assert!((reg.hi.y - (50.0 + 300f64.sqrt())).abs() < 1e-9);
+        // Unknown ub -> whole terrain.
+        assert_eq!(candidate_region(q, c, f64::INFINITY, &terrain), terrain);
+    }
+
+    #[test]
+    fn merge_overlapping_regions() {
+        let regions = vec![
+            r(0.0, 0.0, 10.0, 10.0),
+            r(0.5, 0.5, 10.5, 10.5), // ~90 % overlap with the first
+            r(50.0, 50.0, 60.0, 60.0),
+        ];
+        let groups = merge_regions(&regions, 0.8);
+        assert_eq!(groups.len(), 2);
+        let big = groups.iter().find(|g| g.members.len() == 2).unwrap();
+        assert!(big.members.contains(&0) && big.members.contains(&1));
+        assert_eq!(big.region, r(0.0, 0.0, 10.5, 10.5));
+    }
+
+    #[test]
+    fn merge_is_transitive_through_unions() {
+        // a overlaps b, b overlaps c, a does not overlap c directly; the
+        // union of (a, b) then overlaps c.
+        let regions = vec![
+            r(0.0, 0.0, 10.0, 10.0),
+            r(2.0, 0.0, 12.0, 10.0),
+            r(4.0, 0.0, 14.0, 10.0),
+        ];
+        let groups = merge_regions(&regions, 0.6);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 3);
+    }
+
+    #[test]
+    fn disabled_threshold_keeps_singletons() {
+        let regions = vec![r(0.0, 0.0, 10.0, 10.0); 4];
+        let groups = merge_regions(&regions, 1.1);
+        assert_eq!(groups.len(), 4);
+        for g in groups {
+            assert_eq!(g.members.len(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(merge_regions(&[], 0.8).is_empty());
+    }
+}

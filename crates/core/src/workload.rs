@@ -1,0 +1,334 @@
+//! Scenes: object sets on a terrain plus the planar object index.
+//!
+//! The paper's workload is "object points uniformly distributed on the
+//! surface with varying object density 1 <= o <= 10" per km² (§5.1). A
+//! [`Scene`] holds those objects, the triangle locator, and the R-tree
+//! over their (x, y) projections (`Dxy`) that steps 1 and 3 of MR3 query.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sknn_geom::{Point2, Point3, Rect2};
+use sknn_spatial::RTree;
+use sknn_terrain::locate::TriangleLocator;
+use sknn_terrain::mesh::{TerrainMesh, TriId};
+
+/// A point on the terrain surface: its facet and 3-D position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    /// Containing facet.
+    pub tri: TriId,
+    /// 3-D position.
+    pub pos: Point3,
+}
+
+impl SurfacePoint {
+    /// To mesh point.
+    pub fn to_mesh_point(self) -> sknn_geodesic::MeshPoint {
+        sknn_geodesic::MeshPoint::Interior { tri: self.tri, pos: self.pos }
+    }
+}
+
+/// An object placed on the surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneObject {
+    /// Object identifier.
+    pub id: u32,
+    /// Position on the surface.
+    pub point: SurfacePoint,
+}
+
+/// Builder for [`Scene`].
+pub struct SceneBuilder<'m> {
+    mesh: &'m TerrainMesh,
+    density: f64,
+    count: Option<usize>,
+    seed: u64,
+    explicit: Option<Vec<Point2>>,
+    clusters: Option<(usize, f64)>,
+}
+
+impl<'m> SceneBuilder<'m> {
+    /// Creates the value from its parts.
+    pub fn new(mesh: &'m TerrainMesh) -> Self {
+        Self { mesh, density: 4.0, count: None, seed: 0, explicit: None, clusters: None }
+    }
+
+    /// Objects per km² (the paper's `o`). Ignored if an explicit count is
+    /// set.
+    pub fn object_density_per_km2(mut self, o: f64) -> Self {
+        self.density = o;
+        self
+    }
+
+    /// Explicit object count (overrides density).
+    pub fn object_count(mut self, n: usize) -> Self {
+        self.count = Some(n);
+        self
+    }
+
+    /// Seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Place objects at explicit planar positions (lifted to the surface).
+    /// Positions outside the terrain are skipped.
+    pub fn objects_at(mut self, positions: Vec<Point2>) -> Self {
+        self.explicit = Some(positions);
+        self
+    }
+
+    /// Clustered placement instead of uniform: objects gather around
+    /// `n_clusters` random centres with Gaussian-ish spread `spread_m`
+    /// (animals cluster near water sources — the paper's own narrative).
+    pub fn clustered(mut self, n_clusters: usize, spread_m: f64) -> Self {
+        self.clusters = Some((n_clusters.max(1), spread_m.max(0.0)));
+        self
+    }
+
+    /// Materialise the scene: place objects, build the locator and Dxy.
+    pub fn build(self) -> Scene<'m> {
+        let locator = TriangleLocator::build(self.mesh);
+        let extent = self.mesh.extent();
+        let area_km2 = extent.area() / 1e6;
+        let n = self
+            .count
+            .unwrap_or_else(|| ((self.density * area_km2).round() as usize).max(1));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut objects = Vec::with_capacity(n);
+        if let Some(positions) = &self.explicit {
+            for &p in positions {
+                if let Some(sp) = lift(self.mesh, &locator, p) {
+                    objects.push(SceneObject { id: objects.len() as u32, point: sp });
+                }
+            }
+        } else if let Some((n_clusters, spread)) = self.clusters {
+            let centres: Vec<Point2> =
+                (0..n_clusters).map(|_| random_point(&mut rng, &extent)).collect();
+            while objects.len() < n {
+                let c = centres[rng.gen_range(0..n_clusters)];
+                // Sum of uniforms approximates a Gaussian well enough here.
+                let dx = (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0)) * spread;
+                let dy = (rng.gen_range(-1.0..1.0f64) + rng.gen_range(-1.0..1.0)) * spread;
+                let p = Point2::new(
+                    (c.x + dx).clamp(extent.lo.x + 1e-6, extent.hi.x - 1e-6),
+                    (c.y + dy).clamp(extent.lo.y + 1e-6, extent.hi.y - 1e-6),
+                );
+                if let Some(sp) = lift(self.mesh, &locator, p) {
+                    objects.push(SceneObject { id: objects.len() as u32, point: sp });
+                }
+            }
+        } else {
+            while objects.len() < n {
+                let p = random_point(&mut rng, &extent);
+                if let Some(sp) = lift(self.mesh, &locator, p) {
+                    objects.push(SceneObject { id: objects.len() as u32, point: sp });
+                }
+            }
+        }
+        let rtree = RTree::bulk_load(
+            objects
+                .iter()
+                .map(|o| (Rect2::from_point(o.point.pos.xy()), o.id))
+                .collect(),
+        );
+        Scene { mesh: self.mesh, locator, objects, rtree, density: self.density }
+    }
+}
+
+/// Objects on a terrain with their planar index.
+pub struct Scene<'m> {
+    mesh: &'m TerrainMesh,
+    locator: TriangleLocator,
+    objects: Vec<SceneObject>,
+    rtree: RTree<u32>,
+    density: f64,
+}
+
+impl<'m> Scene<'m> {
+    /// Mesh.
+    pub fn mesh(&self) -> &'m TerrainMesh {
+        self.mesh
+    }
+
+    /// Locator.
+    pub fn locator(&self) -> &TriangleLocator {
+        self.locator_ref()
+    }
+
+    fn locator_ref(&self) -> &TriangleLocator {
+        &self.locator
+    }
+
+    /// Objects.
+    pub fn objects(&self) -> &[SceneObject] {
+        &self.objects
+    }
+
+    /// Object.
+    pub fn object(&self, id: u32) -> &SceneObject {
+        &self.objects[id as usize]
+    }
+
+    /// Num objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Density.
+    pub fn density(&self) -> f64 {
+        self.density
+    }
+
+    /// The `Dxy` R-tree (projections of objects on the (x, y) plane).
+    pub fn dxy(&self) -> &RTree<u32> {
+        &self.rtree
+    }
+
+    /// Lift an arbitrary planar position onto the surface.
+    pub fn surface_point(&self, p: Point2) -> Option<SurfacePoint> {
+        lift(self.mesh, &self.locator, p)
+    }
+
+    /// A deterministic random query point on the surface.
+    pub fn random_query(&self, seed: u64) -> SurfacePoint {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let extent = self.mesh.extent();
+        loop {
+            let p = random_point(&mut rng, &extent);
+            if let Some(sp) = lift(self.mesh, &self.locator, p) {
+                return sp;
+            }
+        }
+    }
+
+    /// A batch of deterministic query points.
+    pub fn random_queries(&self, n: usize, seed: u64) -> Vec<SurfacePoint> {
+        (0..n as u64).map(|i| self.random_query(seed ^ (i + 1))).collect()
+    }
+}
+
+fn random_point(rng: &mut StdRng, extent: &Rect2) -> Point2 {
+    // Stay off the exact boundary so facet location is unambiguous.
+    let margin = 1e-6;
+    Point2::new(
+        rng.gen_range(extent.lo.x + margin..extent.hi.x - margin),
+        rng.gen_range(extent.lo.y + margin..extent.hi.y - margin),
+    )
+}
+
+fn lift(mesh: &TerrainMesh, locator: &TriangleLocator, p: Point2) -> Option<SurfacePoint> {
+    let tri = locator.locate(mesh, p)?;
+    let pos = mesh.triangle(tri).lift_xy(p)?;
+    Some(SurfacePoint { tri, pos })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_terrain::dem::TerrainConfig;
+
+    #[test]
+    fn density_controls_count() {
+        let mesh = TerrainConfig::bh().with_grid(33).build_mesh(1);
+        // 320 m x 320 m = 0.1024 km².
+        let s10 = SceneBuilder::new(&mesh).object_density_per_km2(100.0).seed(2).build();
+        let s100 = SceneBuilder::new(&mesh).object_density_per_km2(1000.0).seed(2).build();
+        assert_eq!(s10.num_objects(), 10);
+        assert_eq!(s100.num_objects(), 102);
+        assert_eq!(s10.density(), 100.0);
+    }
+
+    #[test]
+    fn explicit_count_wins() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(1);
+        let s = SceneBuilder::new(&mesh).object_count(37).seed(5).build();
+        assert_eq!(s.num_objects(), 37);
+    }
+
+    #[test]
+    fn objects_are_on_surface() {
+        let mesh = TerrainConfig::ep().with_grid(17).build_mesh(3);
+        let s = SceneBuilder::new(&mesh).object_count(50).seed(7).build();
+        for o in s.objects() {
+            let lifted = s.locator().lift(&mesh, o.point.pos.xy()).unwrap();
+            assert!((lifted.z - o.point.pos.z).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(4);
+        let a = SceneBuilder::new(&mesh).object_count(20).seed(9).build();
+        let b = SceneBuilder::new(&mesh).object_count(20).seed(9).build();
+        assert_eq!(a.objects(), b.objects());
+        assert_eq!(a.random_query(3), b.random_query(3));
+        assert_ne!(a.random_query(3), a.random_query(4));
+    }
+
+    #[test]
+    fn explicit_object_placement() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(2);
+        let pts = vec![Point2::new(20.0, 20.0), Point2::new(100.0, 120.0), Point2::new(-5.0, 0.0)];
+        let s = SceneBuilder::new(&mesh).objects_at(pts).build();
+        assert_eq!(s.num_objects(), 2); // off-terrain point skipped
+        assert!((s.object(0).point.pos.x - 20.0).abs() < 1e-9);
+        assert!((s.object(1).point.pos.y - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustered_placement_is_tighter_than_uniform() {
+        let mesh = TerrainConfig::ep().with_grid(33).build_mesh(7);
+        let uniform = SceneBuilder::new(&mesh).object_count(60).seed(1).build();
+        let clustered = SceneBuilder::new(&mesh)
+            .object_count(60)
+            .clustered(3, 15.0)
+            .seed(1)
+            .build();
+        // Mean nearest-neighbour (planar) distance should shrink markedly.
+        let mean_nn = |s: &Scene<'_>| -> f64 {
+            let mut total = 0.0;
+            for o in s.objects() {
+                let mut best = f64::INFINITY;
+                for p in s.objects() {
+                    if p.id != o.id {
+                        best = best.min(o.point.pos.xy().dist(p.point.pos.xy()));
+                    }
+                }
+                total += best;
+            }
+            total / s.num_objects() as f64
+        };
+        assert!(mean_nn(&clustered) < mean_nn(&uniform) * 0.8);
+    }
+
+    #[test]
+    fn dxy_knn_returns_planar_neighbors() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(6);
+        let s = SceneBuilder::new(&mesh).object_count(40).seed(11).build();
+        let q = s.random_query(1);
+        let knn = s.dxy().knn(q.pos.xy(), 5);
+        assert_eq!(knn.len(), 5);
+        // Verify against a scan.
+        let mut dists: Vec<f64> = s
+            .objects()
+            .iter()
+            .map(|o| o.point.pos.xy().dist(q.pos.xy()))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((knn[4].0 - dists[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_queries_are_distinct() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(8);
+        let s = SceneBuilder::new(&mesh).object_count(10).seed(1).build();
+        let qs = s.random_queries(10, 42);
+        for i in 0..qs.len() {
+            for j in i + 1..qs.len() {
+                assert_ne!(qs[i].pos, qs[j].pos);
+            }
+        }
+    }
+}

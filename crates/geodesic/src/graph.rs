@@ -1,0 +1,234 @@
+//! Edge-weighted graphs and Dijkstra's algorithm.
+//!
+//! Used by DMTM upper-bound estimation (front meshes are graphs), the SDN
+//! lower-bound networks, the pathnet, and the EA benchmark — everywhere the
+//! paper says "Dijkstra's shortest path algorithm [3]".
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A compact adjacency-list graph with non-negative edge weights.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// CSR offsets, one per node plus a terminator.
+    offsets: Vec<u32>,
+    /// (neighbor, weight) pairs.
+    edges: Vec<(u32, f64)>,
+}
+
+impl Graph {
+    /// Build from an undirected edge list.
+    ///
+    /// # Panics
+    /// Panics on negative weights or out-of-range endpoints.
+    pub fn from_undirected(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut deg = vec![0u32; num_nodes];
+        for &(a, b, w) in edges {
+            assert!(w >= 0.0, "negative edge weight {w}");
+            assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut offsets = vec![0u32; num_nodes + 1];
+        for i in 0..num_nodes {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut fill = offsets.clone();
+        let mut adj = vec![(0u32, 0f64); edges.len() * 2];
+        for &(a, b, w) in edges {
+            adj[fill[a as usize] as usize] = (b, w);
+            fill[a as usize] += 1;
+            adj[fill[b as usize] as usize] = (a, w);
+            fill[b as usize] += 1;
+        }
+        Self { offsets, edges: adj }
+    }
+
+    /// Num nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Num edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Neighbors.
+    pub fn neighbors(&self, n: u32) -> &[(u32, f64)] {
+        &self.edges[self.offsets[n as usize] as usize..self.offsets[n as usize + 1] as usize]
+    }
+}
+
+#[derive(PartialEq)]
+struct QueueItem {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for QueueItem {}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Result of a Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct Dijkstra {
+    /// `f64::INFINITY` for unreachable nodes.
+    pub dist: Vec<f64>,
+    /// Predecessor of each settled node (`u32::MAX` for sources/unreached).
+    pub prev: Vec<u32>,
+    /// Nodes settled by the run (relaxation work, a CPU-cost proxy).
+    pub settled: usize,
+}
+
+impl Dijkstra {
+    /// Single-source shortest paths from `source`.
+    pub fn run(graph: &Graph, source: u32) -> Self {
+        Self::run_multi(graph, &[(source, 0.0)], None)
+    }
+
+    /// Shortest path from `source` to `target` with early exit.
+    pub fn run_to(graph: &Graph, source: u32, target: u32) -> Self {
+        Self::run_multi(graph, &[(source, 0.0)], Some(target))
+    }
+
+    /// Multi-source Dijkstra with optional early exit at `target`.
+    ///
+    /// Multiple sources with offsets implement point embedding: an off-graph
+    /// query point "connects" to several graph nodes with given entry costs.
+    pub fn run_multi(graph: &Graph, sources: &[(u32, f64)], target: Option<u32>) -> Self {
+        let n = graph.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![u32::MAX; n];
+        let mut heap = BinaryHeap::new();
+        for &(s, d0) in sources {
+            if d0 < dist[s as usize] {
+                dist[s as usize] = d0;
+                heap.push(QueueItem { dist: d0, node: s });
+            }
+        }
+        let mut settled = 0usize;
+        let mut done = vec![false; n];
+        while let Some(QueueItem { dist: d, node }) = heap.pop() {
+            if done[node as usize] {
+                continue;
+            }
+            done[node as usize] = true;
+            settled += 1;
+            if target == Some(node) {
+                break;
+            }
+            for &(nb, w) in graph.neighbors(node) {
+                let nd = d + w;
+                if nd < dist[nb as usize] {
+                    dist[nb as usize] = nd;
+                    prev[nb as usize] = node;
+                    heap.push(QueueItem { dist: nd, node: nb });
+                }
+            }
+        }
+        Self { dist, prev, settled }
+    }
+
+    /// Reconstruct the node path ending at `target` (source first). Empty
+    /// when `target` is unreachable.
+    pub fn path_to(&self, target: u32) -> Vec<u32> {
+        if !self.dist[target as usize].is_finite() {
+            return Vec::new();
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while self.prev[cur as usize] != u32::MAX {
+            cur = self.prev[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 -1- 1 -1- 2
+    /// |         /
+    /// 5       1
+    /// |     /
+    /// 3 -1- 4
+    fn diamond() -> Graph {
+        Graph::from_undirected(
+            5,
+            &[(0, 1, 1.0), (1, 2, 1.0), (0, 3, 5.0), (3, 4, 1.0), (4, 2, 1.0)],
+        )
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let g = diamond();
+        let d = Dijkstra::run(&g, 0);
+        assert_eq!(d.dist, vec![0.0, 1.0, 2.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = diamond();
+        let d = Dijkstra::run(&g, 0);
+        assert_eq!(d.path_to(3), vec![0, 1, 2, 4, 3]);
+        assert_eq!(d.path_to(0), vec![0]);
+    }
+
+    #[test]
+    fn early_exit_settles_fewer() {
+        let g = diamond();
+        let full = Dijkstra::run(&g, 0);
+        let early = Dijkstra::run_to(&g, 0, 1);
+        assert!(early.settled < full.settled);
+        assert_eq!(early.dist[1], 1.0);
+    }
+
+    #[test]
+    fn multi_source_embedding() {
+        let g = diamond();
+        // Virtual point connected to 0 (cost 10) and 4 (cost 0.5).
+        let d = Dijkstra::run_multi(&g, &[(0, 10.0), (4, 0.5)], None);
+        assert_eq!(d.dist[2], 1.5);
+        assert_eq!(d.dist[0], 3.5); // via 4-2-1-0 (beats the direct 10.0)
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let g = Graph::from_undirected(3, &[(0, 1, 1.0)]);
+        let d = Dijkstra::run(&g, 0);
+        assert!(d.dist[2].is_infinite());
+        assert!(d.path_to(2).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_undirected(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        let d = Dijkstra::run_multi(&g, &[], None);
+        assert!(d.dist.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative edge weight")]
+    fn rejects_negative_weights() {
+        Graph::from_undirected(2, &[(0, 1, -1.0)]);
+    }
+}

@@ -1,0 +1,203 @@
+//! The Kanai–Suzuki approximate surface shortest path algorithm.
+//!
+//! "For two given vertices, the shortest path search operation is performed
+//! repeatedly on the pathnet with increasing level of resolutions in a
+//! selectively refined region until reaching the required accuracy" (paper
+//! §2.3). Concretely: start from a sparse pathnet over the whole mesh,
+//! find the best path, then rebuild a denser pathnet restricted to a
+//! corridor of facets around that path, and iterate until the distance
+//! stops improving by more than the tolerance. The paper's benchmark (EA)
+//! runs this with a 3 % error budget ("97 % accuracy").
+
+use crate::mesh_net::MeshPoint;
+use crate::pathnet::Pathnet;
+use sknn_geom::Point3;
+use sknn_terrain::mesh::{TerrainMesh, TriId};
+
+/// Parameters of the selective-refinement loop.
+#[derive(Debug, Clone, Copy)]
+pub struct KanaiConfig {
+    /// Steiner points per edge in the first (whole-mesh) iteration.
+    pub initial_steiner: usize,
+    /// Upper limit on refinement rounds.
+    pub max_iterations: usize,
+    /// Stop when the relative improvement falls below this (0.03 = the
+    /// paper's 3 % error budget).
+    pub tolerance: f64,
+    /// Corridor half-width around the previous path, in multiples of the
+    /// mesh's mean edge length.
+    pub corridor_edges: f64,
+}
+
+impl Default for KanaiConfig {
+    fn default() -> Self {
+        Self {
+            initial_steiner: 1,
+            max_iterations: 6,
+            tolerance: 0.03,
+            corridor_edges: 2.0,
+        }
+    }
+}
+
+/// Outcome of a Kanai–Suzuki run.
+#[derive(Debug, Clone)]
+pub struct KanaiResult {
+    /// The approximate surface distance.
+    pub distance: f64,
+    /// Refinement rounds actually executed.
+    pub iterations: usize,
+    /// Pathnet nodes Dijkstra visited across rounds (CPU-cost proxy).
+    pub nodes_processed: usize,
+}
+
+/// Approximate surface distance with selective pathnet refinement.
+pub fn kanai_suzuki(
+    mesh: &TerrainMesh,
+    src: MeshPoint,
+    dst: MeshPoint,
+    cfg: &KanaiConfig,
+) -> KanaiResult {
+    // Round 0: sparse pathnet over the entire mesh.
+    let net = Pathnet::build(mesh, cfg.initial_steiner, None);
+    let mut nodes_processed = net.num_nodes();
+    let mut best = net.distance(mesh, src, dst);
+    let mut path = net.path_positions(mesh, src, dst);
+    let mut iterations = 1;
+    if !best.is_finite() {
+        return KanaiResult { distance: best, iterations, nodes_processed };
+    }
+
+    let corridor_w = mesh.mean_edge_length() * cfg.corridor_edges;
+    let mut steiner = cfg.initial_steiner;
+    while iterations < cfg.max_iterations {
+        steiner = steiner * 2 + 1;
+        let corridor = corridor_facets(mesh, &path, corridor_w, src, dst);
+        let filter = |t: TriId| corridor[t as usize];
+        let net = Pathnet::build(mesh, steiner, Some(&filter));
+        nodes_processed += net.num_nodes();
+        let d = net.distance(mesh, src, dst);
+        iterations += 1;
+        if !d.is_finite() {
+            break;
+        }
+        let improved = best - d;
+        let next_path = net.path_positions(mesh, src, dst);
+        if d < best {
+            best = d;
+            path = next_path;
+        }
+        if improved <= cfg.tolerance * best {
+            break;
+        }
+    }
+    KanaiResult { distance: best, iterations, nodes_processed }
+}
+
+/// Convenience wrapper returning only the distance.
+pub fn kanai_suzuki_distance(
+    mesh: &TerrainMesh,
+    src: MeshPoint,
+    dst: MeshPoint,
+    cfg: &KanaiConfig,
+) -> f64 {
+    kanai_suzuki(mesh, src, dst, cfg).distance
+}
+
+/// Facets within `width` of the polyline `path` (plus the end facets, which
+/// must always be present so the endpoints can embed).
+fn corridor_facets(
+    mesh: &TerrainMesh,
+    path: &[Point3],
+    width: f64,
+    src: MeshPoint,
+    dst: MeshPoint,
+) -> Vec<bool> {
+    let mut included = vec![false; mesh.num_triangles()];
+    for t in 0..mesh.num_triangles() as TriId {
+        let tri = mesh.triangle(t);
+        let near = path.windows(2).any(|seg| {
+            // Conservative: facet centroid within width of the segment, or
+            // either segment endpoint close to the facet.
+            let c = (tri.a + tri.b + tri.c) / 3.0;
+            let s = sknn_geom::Segment3::new(seg[0], seg[1]);
+            s.dist_point(c) <= width + tri.mbr().lo.dist(tri.mbr().hi) * 0.5
+        });
+        if near {
+            included[t as usize] = true;
+        }
+    }
+    for p in [src, dst] {
+        if let MeshPoint::Interior { tri, .. } = p {
+            included[tri as usize] = true;
+        }
+        if let MeshPoint::Vertex(v) = p {
+            for &t in mesh.vertex_triangles(v) {
+                included[t as usize] = true;
+            }
+        }
+    }
+    included
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactGeodesic;
+    use sknn_terrain::dem::TerrainConfig;
+
+    #[test]
+    fn converges_close_to_exact() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(6);
+        let geo = ExactGeodesic::new(&mesh);
+        let cfg = KanaiConfig::default();
+        for (s, t) in [(0u32, 288u32), (20, 250)] {
+            let exact = geo.distance(MeshPoint::Vertex(s), MeshPoint::Vertex(t));
+            let approx =
+                kanai_suzuki_distance(&mesh, MeshPoint::Vertex(s), MeshPoint::Vertex(t), &cfg);
+            assert!(approx >= exact - 1e-9, "approx {approx} below exact {exact}");
+            assert!(
+                approx <= exact * 1.05,
+                "{s}->{t}: approx {approx} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_improves_over_round_zero() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(9);
+        let (s, t) = (MeshPoint::Vertex(0), MeshPoint::Vertex(288));
+        let coarse = Pathnet::build(&mesh, 1, None).distance(&mesh, s, t);
+        let refined = kanai_suzuki(&mesh, s, t, &KanaiConfig::default());
+        assert!(refined.distance <= coarse + 1e-9);
+        assert!(refined.iterations >= 1);
+    }
+
+    #[test]
+    fn respects_max_iterations() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(1);
+        let cfg = KanaiConfig { max_iterations: 1, ..Default::default() };
+        let r = kanai_suzuki(&mesh, MeshPoint::Vertex(0), MeshPoint::Vertex(80), &cfg);
+        assert_eq!(r.iterations, 1);
+        assert!(r.distance.is_finite());
+    }
+
+    #[test]
+    fn tight_tolerance_runs_more_rounds() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(2);
+        let loose = kanai_suzuki(
+            &mesh,
+            MeshPoint::Vertex(0),
+            MeshPoint::Vertex(288),
+            &KanaiConfig { tolerance: 0.5, ..Default::default() },
+        );
+        let tight = kanai_suzuki(
+            &mesh,
+            MeshPoint::Vertex(0),
+            MeshPoint::Vertex(288),
+            &KanaiConfig { tolerance: 1e-4, ..Default::default() },
+        );
+        assert!(tight.iterations >= loose.iterations);
+        assert!(tight.distance <= loose.distance + 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Surface shortest-path algorithms.
+//!
+//! Three engines, mirroring the paper's §2.3 taxonomy:
+//!
+//! * [`graph`] + [`mesh_net`] — network shortest paths (Dijkstra) over the
+//!   mesh edge graph. Fast; the distance `dN` it returns is an *upper bound*
+//!   of the true surface distance `dS` because every network path is a
+//!   surface path. This is the workhorse of DMTM upper-bound estimation.
+//! * [`exact`] — exact polyhedral shortest paths by continuous-Dijkstra
+//!   window propagation (the role Chen–Han / Kaneva–O'Rourke play in the
+//!   paper: exact but superquadratically expensive).
+//! * [`kanai`] — the Kanai–Suzuki approximation: Dijkstra over a *pathnet*
+//!   (Steiner points subdividing edges, plus intra-facet links), selectively
+//!   refined around the current best path until the result converges to a
+//!   target accuracy (the paper's benchmark uses 3 % — "97 % accuracy").
+
+//! ```
+//! use sknn_geodesic::{exact_distance, MeshNetwork, MeshPoint};
+//! use sknn_terrain::TerrainConfig;
+//!
+//! let mesh = TerrainConfig::bh().with_grid(17).build_mesh(3);
+//! let (a, b) = (MeshPoint::Vertex(0), MeshPoint::Vertex(288));
+//! let exact = exact_distance(&mesh, a, b);
+//! let network = MeshNetwork::build(&mesh).distance(&mesh, a, b);
+//! let euclid = mesh.vertex(0).dist(mesh.vertex(288));
+//! // dE <= dS <= dN: the network path is a surface path; no surface path
+//! // beats the straight line.
+//! assert!(euclid <= exact + 1e-9);
+//! assert!(exact <= network + 1e-9);
+//! ```
+
+pub mod exact;
+pub mod graph;
+pub mod kanai;
+pub mod mesh_net;
+pub mod pathnet;
+
+pub use exact::{exact_distance, ExactGeodesic};
+pub use graph::{Dijkstra, Graph};
+pub use kanai::{kanai_suzuki, kanai_suzuki_distance, KanaiConfig, KanaiResult};
+pub use mesh_net::{MeshNetwork, MeshPoint};
+pub use pathnet::Pathnet;

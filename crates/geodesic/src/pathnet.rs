@@ -1,0 +1,324 @@
+//! Pathnets: Steiner-point graphs that approximate surface distances.
+//!
+//! "A so-called pathnet, which is created by inserting Steiner points into
+//! the original surface model" (paper §2.3, after Kanai–Suzuki). Each mesh
+//! edge is subdivided by `m` Steiner points; within every facet all boundary
+//! nodes (corners + Steiner points of its three edges) are pairwise
+//! connected by straight segments, which lie in the facet plane and are
+//! therefore valid surface paths. Dijkstra over this graph converges to the
+//! true surface distance from above as `m` grows.
+//!
+//! The DMTM's ">100 % resolution" levels are pathnets over the original
+//! mesh (paper §3.2), and the Kanai–Suzuki engine refines pathnets locally.
+
+use crate::graph::{Dijkstra, Graph};
+use crate::mesh_net::MeshPoint;
+use sknn_geom::Point3;
+use sknn_terrain::mesh::{TerrainMesh, TriId};
+
+/// A Steiner-point graph over (a region of) a mesh.
+#[derive(Debug, Clone)]
+pub struct Pathnet {
+    graph: Graph,
+    /// Positions of all nodes; indices `0..mesh.num_vertices()` are the mesh
+    /// vertices, Steiner nodes follow.
+    node_pos: Vec<Point3>,
+    /// `edge -> first steiner node id` for each subdivided mesh edge.
+    edge_steiner: std::collections::HashMap<(u32, u32), u32>,
+    steiner_per_edge: usize,
+    /// Which facets were included (None = all).
+    included: Option<Vec<bool>>,
+}
+
+impl Pathnet {
+    /// Build a pathnet with `steiner_per_edge` Steiner points per mesh edge.
+    /// When `tri_filter` is given, only facets accepted by it contribute
+    /// (used for region-restricted refinement); edges bordering no included
+    /// facet get no Steiner nodes.
+    pub fn build(
+        mesh: &TerrainMesh,
+        steiner_per_edge: usize,
+        tri_filter: Option<&dyn Fn(TriId) -> bool>,
+    ) -> Self {
+        let m = steiner_per_edge;
+        let _nv = mesh.num_vertices();
+        let mut node_pos: Vec<Point3> = mesh.vertices().to_vec();
+        let mut edge_steiner = std::collections::HashMap::new();
+        let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+        let included: Option<Vec<bool>> = tri_filter.map(|f| {
+            (0..mesh.num_triangles() as TriId).map(f).collect()
+        });
+        let tri_in = |t: TriId| included.as_ref().is_none_or(|v| v[t as usize]);
+
+        // Subdivide each edge that borders an included facet.
+        let mut edge_in = std::collections::HashSet::new();
+        for t in 0..mesh.num_triangles() as TriId {
+            if !tri_in(t) {
+                continue;
+            }
+            let [a, b, c] = mesh.triangle_ids(t);
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                edge_in.insert((u.min(v), u.max(v)));
+            }
+        }
+        for &(a, b) in &edge_in {
+            let pa = mesh.vertex(a);
+            let pb = mesh.vertex(b);
+            if m > 0 {
+                let first = node_pos.len() as u32;
+                for i in 1..=m {
+                    let t = i as f64 / (m + 1) as f64;
+                    node_pos.push(pa.lerp(pb, t));
+                }
+                edge_steiner.insert((a, b), first);
+                // Chain along the original edge: a - s1 - ... - sm - b.
+                let mut prev = a;
+                for i in 0..m {
+                    let s = first + i as u32;
+                    edges.push((prev, s, node_pos[prev as usize].dist(node_pos[s as usize])));
+                    prev = s;
+                }
+                edges.push((prev, b, node_pos[prev as usize].dist(pb)));
+            } else {
+                edges.push((a, b, pa.dist(pb)));
+            }
+        }
+
+        // Within each included facet, connect boundary nodes across edges.
+        for t in 0..mesh.num_triangles() as TriId {
+            if !tri_in(t) {
+                continue;
+            }
+            let sides = facet_sides(mesh, &edge_steiner, m, t);
+            // Pairwise links between nodes on different sides. Corner nodes
+            // appear on two sides; dedupe with an ordered guard.
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    for &u in &sides[i] {
+                        for &v in &sides[j] {
+                            if u == v {
+                                continue;
+                            }
+                            let w = node_pos[u as usize].dist(node_pos[v as usize]);
+                            edges.push((u.min(v), u.max(v), w));
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.partial_cmp(&b.2).unwrap()));
+        edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+
+        Self {
+            graph: Graph::from_undirected(node_pos.len(), &edges),
+            node_pos,
+            edge_steiner,
+            steiner_per_edge: m,
+            included,
+        }
+    }
+
+    /// Graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Num nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.node_pos.len()
+    }
+
+    /// Steiner per edge.
+    pub fn steiner_per_edge(&self) -> usize {
+        self.steiner_per_edge
+    }
+
+    fn tri_included(&self, t: TriId) -> bool {
+        self.included.as_ref().is_none_or(|v| v[t as usize])
+    }
+
+    /// Pathnet embedding of a surface point: `(node, entry cost)` pairs
+    /// connecting it to every boundary node of its facet (straight in-facet
+    /// segments).
+    pub fn embedding(&self, mesh: &TerrainMesh, p: MeshPoint) -> Vec<(u32, f64)> {
+        match p {
+            MeshPoint::Vertex(v) => vec![(v, 0.0)],
+            MeshPoint::Interior { tri, pos } => {
+                if !self.tri_included(tri) {
+                    // Fall back to facet corners (always valid nodes).
+                    return mesh
+                        .triangle_ids(tri)
+                        .iter()
+                        .map(|&v| (v, self.node_pos[v as usize].dist(pos)))
+                        .collect();
+                }
+                let sides = facet_sides(mesh, &self.edge_steiner, self.steiner_per_edge, tri);
+                let mut out = Vec::new();
+                for side in &sides {
+                    for &n in side {
+                        out.push((n, self.node_pos[n as usize].dist(pos)));
+                    }
+                }
+                out.sort_unstable_by_key(|a| a.0);
+                out.dedup_by_key(|e| e.0);
+                out
+            }
+        }
+    }
+
+    /// Approximate surface distance between two surface points.
+    pub fn distance(&self, mesh: &TerrainMesh, a: MeshPoint, b: MeshPoint) -> f64 {
+        if let (MeshPoint::Interior { tri: ta, pos: pa }, MeshPoint::Interior { tri: tb, pos: pb }) =
+            (a, b)
+        {
+            if ta == tb {
+                return pa.dist(pb);
+            }
+        }
+        let src = self.embedding(mesh, a);
+        let dst = self.embedding(mesh, b);
+        let d = Dijkstra::run_multi(&self.graph, &src, None);
+        dst.iter()
+            .map(|&(v, exit)| d.dist[v as usize] + exit)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Node path between two embedded points (positions), for corridor
+    /// construction in Kanai–Suzuki refinement.
+    pub fn path_positions(&self, mesh: &TerrainMesh, a: MeshPoint, b: MeshPoint) -> Vec<Point3> {
+        let src = self.embedding(mesh, a);
+        let dst = self.embedding(mesh, b);
+        let d = Dijkstra::run_multi(&self.graph, &src, None);
+        let (mut best_v, mut best_d) = (None, f64::INFINITY);
+        for &(v, exit) in &dst {
+            let total = d.dist[v as usize] + exit;
+            if total < best_d {
+                best_d = total;
+                best_v = Some(v);
+            }
+        }
+        let mut out = vec![a.position(mesh)];
+        if let Some(v) = best_v {
+            out.extend(d.path_to(v).into_iter().map(|n| self.node_pos[n as usize]));
+        }
+        out.push(b.position(mesh));
+        out
+    }
+}
+
+/// Node lists of a facet's three sides (corner, steiner..., corner).
+fn facet_sides(
+    mesh: &TerrainMesh,
+    edge_steiner: &std::collections::HashMap<(u32, u32), u32>,
+    m: usize,
+    t: TriId,
+) -> [Vec<u32>; 3] {
+    let [a, b, c] = mesh.triangle_ids(t);
+    let side = |u: u32, v: u32| -> Vec<u32> {
+        let mut s = vec![u];
+        if m > 0 {
+            if let Some(&first) = edge_steiner.get(&(u.min(v), u.max(v))) {
+                if u < v {
+                    s.extend(first..first + m as u32);
+                } else {
+                    s.extend((first..first + m as u32).rev());
+                }
+            }
+        }
+        s.push(v);
+        s
+    };
+    [side(a, b), side(b, c), side(c, a)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_geom::Point2;
+    use sknn_terrain::dem::TerrainConfig;
+    use sknn_terrain::locate::TriangleLocator;
+
+    fn flat(n: usize) -> TerrainMesh {
+        TerrainConfig {
+            relief_m: 0.0,
+            ..TerrainConfig::bh().with_grid(n)
+        }
+        .build_mesh(0)
+    }
+
+    #[test]
+    fn flat_mesh_pathnet_approaches_euclidean() {
+        let mesh = flat(9);
+        let a = MeshPoint::Vertex(0);
+        let b = MeshPoint::Vertex((mesh.num_vertices() - 1) as u32);
+        let euclid = mesh.vertex(0).dist(mesh.vertex(mesh.num_vertices() as u32 - 1));
+        let mut prev = f64::INFINITY;
+        for m in [0usize, 1, 3] {
+            let net = Pathnet::build(&mesh, m, None);
+            let d = net.distance(&mesh, a, b);
+            // Monotone improvement, always an upper bound of the true
+            // (here: straight-line) distance.
+            assert!(d >= euclid - 1e-9, "m={m}: {d} < {euclid}");
+            assert!(d <= prev + 1e-9, "m={m} not improving: {d} > {prev}");
+            prev = d;
+        }
+        // With 3 Steiner points the error on a flat diagonal is small.
+        assert!(prev <= euclid * 1.03, "{prev} vs {euclid}");
+    }
+
+    #[test]
+    fn steiner_counts() {
+        let mesh = flat(5);
+        let net = Pathnet::build(&mesh, 1, None);
+        assert_eq!(net.num_nodes(), mesh.num_vertices() + mesh.num_edges());
+        let net3 = Pathnet::build(&mesh, 3, None);
+        assert_eq!(net3.num_nodes(), mesh.num_vertices() + 3 * mesh.num_edges());
+    }
+
+    #[test]
+    fn interior_points_same_facet_shortcut() {
+        let mesh = flat(5);
+        let loc = TriangleLocator::build(&mesh);
+        let p2 = Point2::new(3.0, 2.0);
+        let q2 = Point2::new(4.0, 3.0);
+        let t = loc.locate(&mesh, p2).unwrap();
+        let net = Pathnet::build(&mesh, 1, None);
+        let p = MeshPoint::Interior { tri: t, pos: loc.lift(&mesh, p2).unwrap() };
+        let tq = loc.locate(&mesh, q2).unwrap();
+        if tq == t {
+            let q = MeshPoint::Interior { tri: t, pos: loc.lift(&mesh, q2).unwrap() };
+            let d = net.distance(&mesh, p, q);
+            assert!((d - 2f64.sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn region_restricted_pathnet_still_connects_inside() {
+        let mesh = flat(9);
+        // Include only the lower-left quadrant of facets.
+        let filter = |t: TriId| {
+            let c = mesh.triangle(t).mbr_xy().center();
+            c.x < 45.0 && c.y < 45.0
+        };
+        let net = Pathnet::build(&mesh, 1, Some(&filter));
+        let d = net.distance(&mesh, MeshPoint::Vertex(0), MeshPoint::Vertex(2 * 9 + 2));
+        assert!(d.is_finite());
+        // A vertex far outside the region is unreachable through the net's
+        // facet links (no steiner / facet edges there).
+        let far = (mesh.num_vertices() - 1) as u32;
+        let dfar = net.distance(&mesh, MeshPoint::Vertex(0), MeshPoint::Vertex(far));
+        assert!(dfar.is_infinite());
+    }
+
+    #[test]
+    fn path_positions_connects_endpoints() {
+        let mesh = flat(9);
+        let net = Pathnet::build(&mesh, 1, None);
+        let a = MeshPoint::Vertex(0);
+        let b = MeshPoint::Vertex(80);
+        let path = net.path_positions(&mesh, a, b);
+        assert!(path.len() >= 2);
+        assert_eq!(path[0], mesh.vertex(0));
+        assert_eq!(*path.last().unwrap(), mesh.vertex(80));
+    }
+}

@@ -1,0 +1,132 @@
+//! Elliptical search regions.
+//!
+//! MR3 prunes the area that upper-bound (and lower-bound) estimation may use
+//! to "the area whose projection inside the (x, y)-plane is an ellipse-like
+//! area" (paper §4.2.1): the ellipse whose foci are the projections of the
+//! query point and the candidate, and whose constant (major-axis length) is
+//! the current upper bound. Any surface path longer than the upper bound
+//! cannot be the shortest one, and every path of length `<= ub` projects
+//! inside this ellipse — so data outside it can never matter.
+
+use crate::aabb::Rect2;
+use crate::point::Point2;
+
+/// An ellipse given by its two foci and the focal-sum constant
+/// (`dist(p, f1) + dist(p, f2) <= constant` for points inside).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipse2 {
+    /// First focus.
+    pub f1: Point2,
+    /// Second focus.
+    pub f2: Point2,
+    /// Focal-sum constant (major-axis length).
+    pub constant: f64,
+}
+
+impl Ellipse2 {
+    /// Create an ellipse; the constant is clamped up to the focal distance
+    /// so the region always contains both foci (a degenerate segment when
+    /// `constant == dist(f1, f2)`).
+    pub fn new(f1: Point2, f2: Point2, constant: f64) -> Self {
+        let c = constant.max(f1.dist(f2));
+        Self { f1, f2, constant: c }
+    }
+
+    /// Whether `p` lies inside or on the ellipse.
+    pub fn contains(&self, p: Point2) -> bool {
+        p.dist(self.f1) + p.dist(self.f2) <= self.constant + 1e-12
+    }
+
+    /// Semi-major axis length.
+    pub fn semi_major(&self) -> f64 {
+        self.constant * 0.5
+    }
+
+    /// Semi-minor axis length.
+    pub fn semi_minor(&self) -> f64 {
+        let a = self.semi_major();
+        let c = self.f1.dist(self.f2) * 0.5;
+        (a * a - c * c).max(0.0).sqrt()
+    }
+
+    /// Axis-aligned bounding rectangle of the ellipse. Conservative and
+    /// exact for axis-aligned foci; for rotated ellipses it uses the exact
+    /// support-function extents, so it is always tight.
+    pub fn mbr(&self) -> Rect2 {
+        let a = self.semi_major();
+        let b = self.semi_minor();
+        let center = (self.f1 + self.f2) * 0.5;
+        let d = self.f2 - self.f1;
+        let n = d.norm();
+        let (ux, uy) = if n <= 0.0 { (1.0, 0.0) } else { (d.x / n, d.y / n) };
+        // Extent of a rotated ellipse along axis e: sqrt((a u.e)^2 + (b v.e)^2)
+        let ex = ((a * ux).powi(2) + (b * uy).powi(2)).sqrt();
+        let ey = ((a * uy).powi(2) + (b * ux).powi(2)).sqrt();
+        Rect2::new(
+            Point2::new(center.x - ex, center.y - ey),
+            Point2::new(center.x + ex, center.y + ey),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_special_case() {
+        // Coincident foci: a circle of radius constant/2.
+        let c = Point2::new(1.0, 1.0);
+        let e = Ellipse2::new(c, c, 4.0);
+        assert!(e.contains(Point2::new(3.0, 1.0)));
+        assert!(!e.contains(Point2::new(3.1, 1.0)));
+        assert_eq!(e.semi_major(), 2.0);
+        assert_eq!(e.semi_minor(), 2.0);
+        let m = e.mbr();
+        assert_eq!(m.lo, Point2::new(-1.0, -1.0));
+        assert_eq!(m.hi, Point2::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn foci_always_inside() {
+        let e = Ellipse2::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0), 3.0);
+        // Constant was clamped up to the focal distance.
+        assert!(e.constant >= 10.0);
+        assert!(e.contains(e.f1));
+        assert!(e.contains(e.f2));
+    }
+
+    #[test]
+    fn axis_aligned_ellipse_geometry() {
+        // Foci at (+-3, 0), constant 10 => a=5, b=4.
+        let e = Ellipse2::new(Point2::new(-3.0, 0.0), Point2::new(3.0, 0.0), 10.0);
+        assert_eq!(e.semi_major(), 5.0);
+        assert!((e.semi_minor() - 4.0).abs() < 1e-12);
+        assert!(e.contains(Point2::new(5.0, 0.0)));
+        assert!(e.contains(Point2::new(0.0, 4.0)));
+        assert!(!e.contains(Point2::new(0.0, 4.01)));
+        let m = e.mbr();
+        assert!((m.lo.x + 5.0).abs() < 1e-12 && (m.hi.y - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotated_mbr_covers_sampled_boundary() {
+        let e = Ellipse2::new(Point2::new(0.0, 0.0), Point2::new(4.0, 4.0), 9.0);
+        let m = e.mbr();
+        // Sample the boundary parametrically and confirm containment.
+        let center = (e.f1 + e.f2) * 0.5;
+        let a = e.semi_major();
+        let b = e.semi_minor();
+        let d = (e.f2 - e.f1).normalized();
+        for i in 0..360 {
+            let t = (i as f64).to_radians();
+            let local = Point2::new(a * t.cos(), b * t.sin());
+            let p = Point2::new(
+                center.x + d.x * local.x - d.y * local.y,
+                center.y + d.y * local.x + d.x * local.y,
+            );
+            assert!(m.contains_point(p), "boundary point {p:?} outside mbr");
+            assert!(e.contains(p));
+        }
+    }
+}

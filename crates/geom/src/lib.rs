@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Computational-geometry substrate for surface k-NN query processing.
+//!
+//! This crate provides the small, allocation-free geometric kernel shared by
+//! every other crate in the workspace: 2-D/3-D points and vectors, segments,
+//! triangles, axis-aligned boxes with minimum-distance kernels, axis planes
+//! (for the MSDN sweep), triangle unfolding (for the exact geodesic engine)
+//! and the elliptical prune regions used by the MR3 query processor.
+//!
+//! All coordinates are `f64`. The kernel favours simple, robust formulations
+//! over exact arithmetic; the terrain meshes we operate on are generated from
+//! regular grids, so near-degenerate configurations are rare and handled with
+//! explicit epsilons where they matter.
+
+pub mod aabb;
+pub mod ellipse;
+pub mod plane;
+pub mod point;
+pub mod segment;
+pub mod triangle;
+pub mod unfold;
+
+pub use aabb::{Aabb3, Rect2};
+pub use ellipse::Ellipse2;
+pub use plane::{Axis, AxisPlane};
+pub use point::{Point2, Point3, Vec3};
+pub use segment::{Segment2, Segment3};
+pub use triangle::Triangle3;
+
+/// Epsilon used for geometric comparisons throughout the workspace.
+pub const EPS: f64 = 1e-9;

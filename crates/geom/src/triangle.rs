@@ -1,0 +1,236 @@
+//! Triangles embedded in 3-space (terrain facets).
+
+use crate::aabb::{Aabb3, Rect2};
+use crate::point::{Point2, Point3, Vec3};
+
+/// A triangle in 3-space. Terrain facets are non-degenerate and have
+/// non-vertical projections onto the (x, y) plane, which the barycentric
+/// helpers rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle3 {
+    /// First endpoint.
+    pub a: Point3,
+    /// Second endpoint.
+    pub b: Point3,
+    /// The c.
+    pub c: Point3,
+}
+
+impl Triangle3 {
+    /// Creates the value from its parts.
+    pub fn new(a: Point3, b: Point3, c: Point3) -> Self {
+        Self { a, b, c }
+    }
+
+    /// The vertices.
+    pub fn vertices(&self) -> [Point3; 3] {
+        [self.a, self.b, self.c]
+    }
+
+    /// Face normal (not normalised).
+    pub fn normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Covered area.
+    pub fn area(&self) -> f64 {
+        self.normal().norm() * 0.5
+    }
+
+    /// Signed area of the (x, y) projection; positive when the projected
+    /// vertices wind counter-clockwise.
+    pub fn signed_area_xy(&self) -> f64 {
+        let ab = self.b.xy() - self.a.xy();
+        let ac = self.c.xy() - self.a.xy();
+        ab.cross(ac) * 0.5
+    }
+
+    /// Minimum bounding rectangle/box.
+    pub fn mbr(&self) -> Aabb3 {
+        Aabb3::from_points([self.a, self.b, self.c])
+    }
+
+    /// Mbr xy.
+    pub fn mbr_xy(&self) -> Rect2 {
+        Rect2::from_points([self.a.xy(), self.b.xy(), self.c.xy()])
+    }
+
+    /// Barycentric coordinates of `p` with respect to the (x, y) projection.
+    /// Returns `None` for a projected-degenerate triangle.
+    pub fn barycentric_xy(&self, p: Point2) -> Option<(f64, f64, f64)> {
+        let v0 = self.b.xy() - self.a.xy();
+        let v1 = self.c.xy() - self.a.xy();
+        let v2 = p - self.a.xy();
+        let d00 = v0.dot(v0);
+        let d01 = v0.dot(v1);
+        let d11 = v1.dot(v1);
+        let d20 = v2.dot(v0);
+        let d21 = v2.dot(v1);
+        let denom = d00 * d11 - d01 * d01;
+        if denom.abs() <= f64::EPSILON {
+            return None;
+        }
+        let v = (d11 * d20 - d01 * d21) / denom;
+        let w = (d00 * d21 - d01 * d20) / denom;
+        Some((1.0 - v - w, v, w))
+    }
+
+    /// Whether the (x, y) projection of the triangle contains `p`
+    /// (boundary inclusive, with a small tolerance).
+    pub fn contains_xy(&self, p: Point2) -> bool {
+        match self.barycentric_xy(p) {
+            Some((u, v, w)) => {
+                let eps = 1e-9;
+                u >= -eps && v >= -eps && w >= -eps
+            }
+            None => false,
+        }
+    }
+
+    /// The surface point directly above/below `p`: barycentric interpolation
+    /// of the vertex elevations. Returns `None` when `p` is outside the
+    /// projected triangle or the projection is degenerate.
+    pub fn lift_xy(&self, p: Point2) -> Option<Point3> {
+        let (u, v, w) = self.barycentric_xy(p)?;
+        let eps = 1e-9;
+        if u < -eps || v < -eps || w < -eps {
+            return None;
+        }
+        Some(Point3::new(
+            p.x,
+            p.y,
+            u * self.a.z + v * self.b.z + w * self.c.z,
+        ))
+    }
+
+    /// Closest point on the (solid) triangle to `p` in 3-space.
+    pub fn closest_point(&self, p: Point3) -> Point3 {
+        // Ericson, "Real-Time Collision Detection", §5.1.5.
+        let ab = self.b - self.a;
+        let ac = self.c - self.a;
+        let ap = p - self.a;
+        let d1 = ab.dot(ap);
+        let d2 = ac.dot(ap);
+        if d1 <= 0.0 && d2 <= 0.0 {
+            return self.a;
+        }
+        let bp = p - self.b;
+        let d3 = ab.dot(bp);
+        let d4 = ac.dot(bp);
+        if d3 >= 0.0 && d4 <= d3 {
+            return self.b;
+        }
+        let vc = d1 * d4 - d3 * d2;
+        if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+            let t = d1 / (d1 - d3);
+            return self.a + ab * t;
+        }
+        let cp = p - self.c;
+        let d5 = ab.dot(cp);
+        let d6 = ac.dot(cp);
+        if d6 >= 0.0 && d5 <= d6 {
+            return self.c;
+        }
+        let vb = d5 * d2 - d1 * d6;
+        if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+            let t = d2 / (d2 - d6);
+            return self.a + ac * t;
+        }
+        let va = d3 * d6 - d5 * d4;
+        if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+            let t = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+            return self.b + (self.c - self.b) * t;
+        }
+        let denom = 1.0 / (va + vb + vc);
+        let v = vb * denom;
+        let w = vc * denom;
+        self.a + ab * v + ac * w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tri() -> Triangle3 {
+        Triangle3::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 2.0),
+            Point3::new(0.0, 2.0, 4.0),
+        )
+    }
+
+    #[test]
+    fn area_of_right_triangle() {
+        let t = Triangle3::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(3.0, 0.0, 0.0),
+            Point3::new(0.0, 4.0, 0.0),
+        );
+        assert_eq!(t.area(), 6.0);
+        assert_eq!(t.signed_area_xy(), 6.0);
+    }
+
+    #[test]
+    fn barycentric_at_vertices_and_centroid() {
+        let t = tri();
+        let (u, v, w) = t.barycentric_xy(Point2::new(0.0, 0.0)).unwrap();
+        assert!((u - 1.0).abs() < 1e-12 && v.abs() < 1e-12 && w.abs() < 1e-12);
+        let c = Point2::new(2.0 / 3.0, 2.0 / 3.0);
+        let (u, v, w) = t.barycentric_xy(c).unwrap();
+        for x in [u, v, w] {
+            assert!((x - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contains_and_lift() {
+        let t = tri();
+        assert!(t.contains_xy(Point2::new(0.5, 0.5)));
+        assert!(!t.contains_xy(Point2::new(2.0, 2.0)));
+        // Elevation at centroid = mean of vertex elevations.
+        let lifted = t.lift_xy(Point2::new(2.0 / 3.0, 2.0 / 3.0)).unwrap();
+        assert!((lifted.z - 2.0).abs() < 1e-12);
+        assert!(t.lift_xy(Point2::new(5.0, 5.0)).is_none());
+    }
+
+    #[test]
+    fn degenerate_projection_rejected() {
+        // A vertical wall: projection collapses to a line.
+        let t = Triangle3::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.5, 0.0, 1.0),
+        );
+        assert!(t.barycentric_xy(Point2::new(0.5, 0.0)).is_none());
+        assert!(!t.contains_xy(Point2::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn closest_point_regions() {
+        let t = Triangle3::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(4.0, 0.0, 0.0),
+            Point3::new(0.0, 4.0, 0.0),
+        );
+        // Above the interior: projects straight down.
+        let p = Point3::new(1.0, 1.0, 5.0);
+        assert_eq!(t.closest_point(p), Point3::new(1.0, 1.0, 0.0));
+        // Beyond vertex a.
+        let p = Point3::new(-3.0, -4.0, 0.0);
+        assert_eq!(t.closest_point(p), t.a);
+        // Beside edge ab.
+        let p = Point3::new(2.0, -3.0, 0.0);
+        assert_eq!(t.closest_point(p), Point3::new(2.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn closest_point_is_no_farther_than_vertices() {
+        let t = tri();
+        let p = Point3::new(1.3, -0.4, 2.2);
+        let d = t.closest_point(p).dist(p);
+        for v in t.vertices() {
+            assert!(d <= v.dist(p) + 1e-12);
+        }
+    }
+}

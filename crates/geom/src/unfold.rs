@@ -1,0 +1,105 @@
+//! Planar unfolding of mesh triangles.
+//!
+//! Exact polyhedral shortest-path algorithms (Chen–Han, MMP and our window
+//! propagation in `sknn-geodesic`) work by *unfolding* a strip of triangles
+//! into a common plane; a geodesic becomes a straight line in the unfolded
+//! picture. The primitive needed is: given the 2-D images of an edge's two
+//! endpoints and the 3-D edge lengths to the apex of the next triangle,
+//! place the apex in 2-D on a chosen side of the edge.
+
+use crate::point::Point2;
+
+/// Which side of the directed edge `a -> b` to place the unfolded apex on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Positive cross product (counter-clockwise of `a -> b`).
+    Left,
+    /// Negative cross product.
+    Right,
+}
+
+/// Place the apex of a triangle in the plane.
+///
+/// `a` and `b` are the 2-D images of the shared edge's endpoints; `la` and
+/// `lb` are the 3-D distances from the apex to those endpoints. The returned
+/// point `c` satisfies `|c - a| = la`, `|c - b| = lb` (up to floating error)
+/// and lies on `side` of `a -> b`. Returns `None` when the edge is degenerate
+/// or the triangle inequality fails beyond tolerance (the apex is then
+/// clamped onto the line only if mildly inconsistent).
+pub fn unfold_apex(a: Point2, b: Point2, la: f64, lb: f64, side: Side) -> Option<Point2> {
+    let ab = b - a;
+    let d = ab.norm();
+    if d <= 0.0 {
+        return None;
+    }
+    // Coordinates along/perpendicular to the edge.
+    let x = (la * la - lb * lb + d * d) / (2.0 * d);
+    let h_sq = la * la - x * x;
+    // Tolerate slight negative h^2 from floating error (degenerate flat
+    // triangle); reject wildly inconsistent inputs.
+    let h = if h_sq >= 0.0 {
+        h_sq.sqrt()
+    } else if h_sq > -1e-9 * (1.0 + la * la) {
+        0.0
+    } else {
+        return None;
+    };
+    let dir = ab / d;
+    let perp = match side {
+        Side::Left => Point2::new(-dir.y, dir.x),
+        Side::Right => Point2::new(dir.y, -dir.x),
+    };
+    Some(a + dir * x + perp * h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unfold_equilateral() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(1.0, 0.0);
+        let c = unfold_apex(a, b, 1.0, 1.0, Side::Left).unwrap();
+        assert!((c.x - 0.5).abs() < 1e-12);
+        assert!((c.y - 3f64.sqrt() / 2.0).abs() < 1e-12);
+        let c2 = unfold_apex(a, b, 1.0, 1.0, Side::Right).unwrap();
+        assert!((c2.y + 3f64.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfold_preserves_lengths_on_skew_edge() {
+        let a = Point2::new(2.0, -1.0);
+        let b = Point2::new(5.0, 3.0); // |ab| = 5
+        let (la, lb) = (4.2, 3.3);
+        let c = unfold_apex(a, b, la, lb, Side::Left).unwrap();
+        assert!((c.dist(a) - la).abs() < 1e-9);
+        assert!((c.dist(b) - lb).abs() < 1e-9);
+        // Left side means positive cross.
+        assert!((b - a).cross(c - a) > 0.0);
+    }
+
+    #[test]
+    fn unfold_degenerate_edge_rejected() {
+        let a = Point2::new(1.0, 1.0);
+        assert!(unfold_apex(a, a, 1.0, 1.0, Side::Left).is_none());
+    }
+
+    #[test]
+    fn unfold_flat_triangle_clamps() {
+        // la + lb == |ab| exactly: apex on the segment.
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 0.0);
+        let c = unfold_apex(a, b, 0.5, 1.5, Side::Left).unwrap();
+        assert!(c.y.abs() < 1e-9);
+        assert!((c.x - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfold_inconsistent_lengths_rejected() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(2.0, 0.0);
+        // la too short to reach past b: triangle inequality broken badly.
+        assert!(unfold_apex(a, b, 0.1, 5.0, Side::Left).is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Binary serialisation of the DMTM collapse tree.
+//!
+//! Building the tree is `O(n log n)` with a decent constant; for repeated
+//! query sessions over the same terrain it is worth persisting. The format
+//! is a versioned little-endian dump — no external dependencies, exact
+//! float round-trip.
+
+use crate::tree::{DmtmNode, DmtmTree};
+use sknn_geom::{Point2, Point3, Rect2};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DMTM";
+const VERSION: u32 = 1;
+
+/// Serialise a tree.
+pub fn write_tree(tree: &DmtmTree, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(tree.num_leaves() as u64).to_le_bytes())?;
+    w.write_all(&tree.num_steps().to_le_bytes())?;
+    w.write_all(&(tree.nodes().len() as u64).to_le_bytes())?;
+    for n in tree.nodes() {
+        write_point3(w, n.pos)?;
+        w.write_all(&n.rep.to_le_bytes())?;
+        write_point3(w, n.rep_pos)?;
+        w.write_all(&n.error.to_le_bytes())?;
+        w.write_all(&n.birth.to_le_bytes())?;
+        w.write_all(&n.death.to_le_bytes())?;
+        w.write_all(&n.parent.unwrap_or(u32::MAX).to_le_bytes())?;
+        let (ca, cb) = n.children.unwrap_or((u32::MAX, u32::MAX));
+        w.write_all(&ca.to_le_bytes())?;
+        w.write_all(&cb.to_le_bytes())?;
+        w.write_all(&n.rep_offset.to_le_bytes())?;
+        write_point2(w, n.mbr.lo)?;
+        write_point2(w, n.mbr.hi)?;
+        w.write_all(&(n.neighbors.len() as u32).to_le_bytes())?;
+        for &(id, d) in &n.neighbors {
+            w.write_all(&id.to_le_bytes())?;
+            w.write_all(&d.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialise a tree written by [`write_tree`].
+pub fn read_tree(r: &mut impl Read) -> io::Result<DmtmTree> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a DMTM file"));
+    }
+    if read_u32(r)? != VERSION {
+        return Err(bad("unsupported DMTM version"));
+    }
+    let num_leaves = read_u64(r)? as usize;
+    let num_steps = read_u32(r)?;
+    let count = read_u64(r)? as usize;
+    if count < num_leaves || count > (1 << 33) {
+        return Err(bad("implausible node count"));
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pos = read_point3(r)?;
+        let rep = read_u32(r)?;
+        let rep_pos = read_point3(r)?;
+        let error = read_f64(r)?;
+        let birth = read_u32(r)?;
+        let death = read_u32(r)?;
+        let parent = match read_u32(r)? {
+            u32::MAX => None,
+            v => Some(v),
+        };
+        let (ca, cb) = (read_u32(r)?, read_u32(r)?);
+        let children = if ca == u32::MAX { None } else { Some((ca, cb)) };
+        let rep_offset = read_f64(r)?;
+        let mbr = Rect2::new(read_point2(r)?, read_point2(r)?);
+        let deg = read_u32(r)? as usize;
+        let mut neighbors = Vec::with_capacity(deg);
+        for _ in 0..deg {
+            let id = read_u32(r)?;
+            let d = read_f64(r)?;
+            neighbors.push((id, d));
+        }
+        nodes.push(DmtmNode {
+            pos,
+            rep,
+            rep_pos,
+            error,
+            birth,
+            death,
+            parent,
+            children,
+            rep_offset,
+            neighbors,
+            mbr,
+        });
+    }
+    let tree = DmtmTree { nodes, num_leaves, num_steps };
+    tree.check_invariants()
+        .map_err(|e| bad(&format!("corrupt tree: {e}")))?;
+    Ok(tree)
+}
+
+fn write_point3(w: &mut impl Write, p: Point3) -> io::Result<()> {
+    for v in [p.x, p.y, p.z] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_point2(w: &mut impl Write, p: Point2) -> io::Result<()> {
+    for v in [p.x, p.y] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_point3(r: &mut impl Read) -> io::Result<Point3> {
+    Ok(Point3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?))
+}
+
+fn read_point2(r: &mut impl Read) -> io::Result<Point2> {
+    Ok(Point2::new(read_f64(r)?, read_f64(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::build_dmtm;
+    use sknn_terrain::dem::TerrainConfig;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(9);
+        let tree = build_dmtm(&mesh);
+        let mut buf = Vec::new();
+        write_tree(&tree, &mut buf).unwrap();
+        let back = read_tree(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_leaves(), tree.num_leaves());
+        assert_eq!(back.num_steps(), tree.num_steps());
+        assert_eq!(back.nodes().len(), tree.nodes().len());
+        for (a, b) in tree.nodes().iter().zip(back.nodes()) {
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.rep, b.rep);
+            assert_eq!(a.birth, b.birth);
+            assert_eq!(a.death, b.death);
+            assert_eq!(a.parent, b.parent);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.rep_offset, b.rep_offset);
+            assert_eq!(a.neighbors, b.neighbors);
+            assert_eq!(a.mbr, b.mbr);
+        }
+        back.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_tree(&mut &b"NOPE"[..]).is_err());
+        assert!(read_tree(&mut &b"DMTM\x63\x00\x00\x00"[..]).is_err());
+        // Truncated file.
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(1);
+        let tree = build_dmtm(&mesh);
+        let mut buf = Vec::new();
+        write_tree(&tree, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_tree(&mut buf.as_slice()).is_err());
+    }
+}

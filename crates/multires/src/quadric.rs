@@ -1,0 +1,132 @@
+//! Quadric error metrics (Garland & Heckbert, SIGGRAPH'97).
+//!
+//! The error of placing a vertex at `p` is the sum of squared distances
+//! from `p` to a set of planes (initially: the planes of the facets
+//! incident to the vertices merged into it). A quadric is the symmetric
+//! 4×4 matrix of that quadratic form; quadrics add when vertices merge.
+
+use sknn_geom::{Point3, Vec3};
+
+/// A symmetric 4x4 quadratic form, stored as its 10 unique coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Quadric {
+    // | a b c d |
+    // | b e f g |
+    // | c f h i |
+    // | d g i j |
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+    e: f64,
+    f: f64,
+    g: f64,
+    h: f64,
+    i: f64,
+    j: f64,
+}
+
+impl Quadric {
+    /// Quadric of the plane `n·x + w = 0` (with `n` unit length), weighted
+    /// by `weight` (facet area is customary).
+    pub fn from_plane(n: Vec3, w: f64, weight: f64) -> Self {
+        Self {
+            a: weight * n.x * n.x,
+            b: weight * n.x * n.y,
+            c: weight * n.x * n.z,
+            d: weight * n.x * w,
+            e: weight * n.y * n.y,
+            f: weight * n.y * n.z,
+            g: weight * n.y * w,
+            h: weight * n.z * n.z,
+            i: weight * n.z * w,
+            j: weight * w * w,
+        }
+    }
+
+    /// Quadric of a triangle's supporting plane, area-weighted. Degenerate
+    /// triangles contribute nothing.
+    pub fn from_triangle(a: Point3, b: Point3, c: Point3) -> Self {
+        let n = (b - a).cross(c - a);
+        let len = n.norm();
+        if len <= 0.0 {
+            return Self::default();
+        }
+        let unit = n / len;
+        let w = -unit.dot(a);
+        Self::from_plane(unit, w, len * 0.5)
+    }
+
+    /// Squared-distance error of placing a vertex at `p`.
+    pub fn error(&self, p: Point3) -> f64 {
+        let (x, y, z) = (p.x, p.y, p.z);
+        (self.a * x * x
+            + self.e * y * y
+            + self.h * z * z
+            + 2.0 * (self.b * x * y + self.c * x * z + self.f * y * z)
+            + 2.0 * (self.d * x + self.g * y + self.i * z)
+            + self.j)
+            .max(0.0)
+    }
+
+    /// Add.
+    pub fn add(&self, other: &Quadric) -> Quadric {
+        Quadric {
+            a: self.a + other.a,
+            b: self.b + other.b,
+            c: self.c + other.c,
+            d: self.d + other.d,
+            e: self.e + other.e,
+            f: self.f + other.f,
+            g: self.g + other.g,
+            h: self.h + other.h,
+            i: self.i + other.i,
+            j: self.j + other.j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_quadric_measures_squared_distance() {
+        // Plane z = 0, unit weight.
+        let q = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        assert_eq!(q.error(Point3::new(5.0, -3.0, 0.0)), 0.0);
+        assert!((q.error(Point3::new(1.0, 2.0, 3.0)) - 9.0).abs() < 1e-12);
+        assert!((q.error(Point3::new(0.0, 0.0, -2.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_plane() {
+        // Plane z = 4: n=(0,0,1), w=-4.
+        let q = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), -4.0, 1.0);
+        assert!(q.error(Point3::new(9.0, 9.0, 4.0)) < 1e-12);
+        assert!((q.error(Point3::new(0.0, 0.0, 6.0)) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrics_add() {
+        // Planes z = 0 and x = 0: error = z^2 + x^2.
+        let q1 = Quadric::from_plane(Vec3::new(0.0, 0.0, 1.0), 0.0, 1.0);
+        let q2 = Quadric::from_plane(Vec3::new(1.0, 0.0, 0.0), 0.0, 1.0);
+        let q = q1.add(&q2);
+        assert!((q.error(Point3::new(3.0, 7.0, 4.0)) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_quadric_zero_on_its_plane() {
+        let a = Point3::new(0.0, 0.0, 1.0);
+        let b = Point3::new(2.0, 0.0, 1.0);
+        let c = Point3::new(0.0, 2.0, 1.0);
+        let q = Quadric::from_triangle(a, b, c);
+        assert!(q.error(Point3::new(0.5, 0.5, 1.0)) < 1e-12);
+        // Area-weighted: area = 2, so off-plane error = 2 * dz^2.
+        assert!((q.error(Point3::new(0.0, 0.0, 3.0)) - 8.0).abs() < 1e-9);
+        // Degenerate triangle is inert.
+        let dq = Quadric::from_triangle(a, a, b);
+        assert_eq!(dq, Quadric::default());
+    }
+}

@@ -1,0 +1,360 @@
+//! QEM edge-collapse construction of the DMTM tree.
+//!
+//! "A pair of connected nodes are selected to collapse to form their parent
+//! node if the resultant terrain after the merger causes minimum
+//! approximation error according to some error measure (e.g. the quadric
+//! error matrices)" (paper §3.2). The driver maintains the live front's
+//! adjacency, a priority queue of candidate collapses (lazily invalidated
+//! by per-node version stamps), and decorates every collapse with the DDM
+//! distance information (representatives, neighbour distances, offsets).
+
+use crate::quadric::Quadric;
+use crate::tree::{DmtmNode, DmtmTree};
+use sknn_geom::{Point3, Rect2};
+use sknn_terrain::mesh::{TerrainMesh, TriId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Penalty weight for boundary-edge constraint planes, relative to the
+/// squared edge length. Keeps the simplified terrain from eroding inward.
+const BOUNDARY_WEIGHT: f64 = 100.0;
+
+struct Candidate {
+    err: f64,
+    u: u32,
+    v: u32,
+    ver_u: u32,
+    ver_v: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.err == other.err
+    }
+}
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.err.partial_cmp(&self.err).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Build the DMTM collapse tree of a terrain mesh.
+pub fn build_dmtm(mesh: &TerrainMesh) -> DmtmTree {
+    let n = mesh.num_vertices();
+    let mut nodes: Vec<DmtmNode> = Vec::with_capacity(2 * n);
+    let mut quadrics: Vec<Quadric> = Vec::with_capacity(2 * n);
+    let mut adj: Vec<HashMap<u32, f64>> = Vec::with_capacity(2 * n);
+    let mut version: Vec<u32> = Vec::with_capacity(2 * n);
+
+    // Leaves.
+    for v in 0..n as u32 {
+        let pos = mesh.vertex(v);
+        nodes.push(DmtmNode {
+            pos,
+            rep: v,
+            rep_pos: pos,
+            error: 0.0,
+            birth: 0,
+            death: u32::MAX,
+            parent: None,
+            children: None,
+            rep_offset: 0.0,
+            neighbors: Vec::new(),
+            mbr: Rect2::from_point(pos.xy()),
+        });
+        quadrics.push(Quadric::default());
+        adj.push(HashMap::new());
+        version.push(0);
+    }
+    // Facet quadrics.
+    for t in 0..mesh.num_triangles() as TriId {
+        let tri = mesh.triangle(t);
+        let q = Quadric::from_triangle(tri.a, tri.b, tri.c);
+        for v in mesh.triangle_ids(t) {
+            quadrics[v as usize] = quadrics[v as usize].add(&q);
+        }
+        // Boundary constraint planes.
+        let ids = mesh.triangle_ids(t);
+        for i in 0..3 {
+            if mesh.tri_neighbor(t, i).is_none() {
+                let a = mesh.vertex(ids[i]);
+                let b = mesh.vertex(ids[(i + 1) % 3]);
+                let edge = b - a;
+                let nf = tri.normal().normalized();
+                let pn = edge.cross(nf).normalized();
+                if pn.norm() > 0.0 {
+                    let w = -pn.dot(a);
+                    let bq = Quadric::from_plane(pn, w, BOUNDARY_WEIGHT * edge.dot(edge));
+                    quadrics[ids[i] as usize] = quadrics[ids[i] as usize].add(&bq);
+                    quadrics[ids[(i + 1) % 3] as usize] =
+                        quadrics[ids[(i + 1) % 3] as usize].add(&bq);
+                }
+            }
+        }
+    }
+    // Original edges with 3-D lengths: both the front adjacency and the
+    // leaves' recorded neighbour entries.
+    for (a, b) in mesh.edges() {
+        let d = mesh.edge_length(a, b);
+        adj[a as usize].insert(b, d);
+        adj[b as usize].insert(a, d);
+        nodes[a as usize].neighbors.push((b, d));
+        nodes[b as usize].neighbors.push((a, d));
+    }
+
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let push_candidate = |heap: &mut BinaryHeap<Candidate>,
+                          nodes: &[DmtmNode],
+                          quadrics: &[Quadric],
+                          version: &[u32],
+                          u: u32,
+                          v: u32| {
+        let (err, _) = best_position(&nodes[u as usize], &nodes[v as usize], quadrics, u, v);
+        heap.push(Candidate {
+            err,
+            u,
+            v,
+            ver_u: version[u as usize],
+            ver_v: version[v as usize],
+        });
+    };
+    for (a, b) in mesh.edges() {
+        push_candidate(&mut heap, &nodes, &quadrics, &version, a, b);
+    }
+
+    let mut step: u32 = 0;
+    let mut live = n;
+    while live > 1 {
+        let Some(cand) = heap.pop() else { break };
+        let (u, v) = (cand.u, cand.v);
+        if version[u as usize] != cand.ver_u || version[v as usize] != cand.ver_v {
+            continue;
+        }
+        if !adj[u as usize].contains_key(&v) {
+            continue;
+        }
+        step += 1;
+        let c = nodes.len() as u32;
+        let duv = adj[u as usize][&v];
+        let (err, pos) = best_position(&nodes[u as usize], &nodes[v as usize], &quadrics, u, v);
+        // Keep the representative of the child closer to the merged
+        // position ("the representative node of c is set to be the
+        // representative node of either a or b").
+        let keep_u = nodes[u as usize].rep_pos.dist_sq(pos) <= nodes[v as usize].rep_pos.dist_sq(pos);
+        let (keep, other) = if keep_u { (u, v) } else { (v, u) };
+        let rep = nodes[keep as usize].rep;
+        let rep_pos = nodes[keep as usize].rep_pos;
+
+        // Merged adjacency with the DDM distance recurrence, generalised to
+        // take the tighter of the two available paths when both children
+        // know `w`: through the kept child directly, or through the other
+        // child plus the recorded `d(u, v)`.
+        let mut merged: HashMap<u32, f64> = HashMap::with_capacity(
+            adj[u as usize].len() + adj[v as usize].len(),
+        );
+        for (&w, &d) in &adj[keep as usize] {
+            if w != other {
+                merged.insert(w, d);
+            }
+        }
+        for (&w, &d) in &adj[other as usize] {
+            if w == keep {
+                continue;
+            }
+            let via_other = d + duv;
+            merged
+                .entry(w)
+                .and_modify(|cur| *cur = cur.min(via_other))
+                .or_insert(via_other);
+        }
+
+        let mbr = nodes[u as usize].mbr.union(&nodes[v as usize].mbr);
+        nodes[u as usize].death = step;
+        nodes[v as usize].death = step;
+        nodes[u as usize].parent = Some(c);
+        nodes[v as usize].parent = Some(c);
+        nodes[keep as usize].rep_offset = 0.0;
+        nodes[other as usize].rep_offset = duv;
+
+        let neighbor_list: Vec<(u32, f64)> = merged.iter().map(|(&w, &d)| (w, d)).collect();
+        nodes.push(DmtmNode {
+            pos,
+            rep,
+            rep_pos,
+            error: err,
+            birth: step,
+            death: u32::MAX,
+            parent: None,
+            children: Some((u, v)),
+            rep_offset: 0.0,
+            neighbors: neighbor_list,
+            mbr,
+        });
+        quadrics.push(quadrics[u as usize].add(&quadrics[v as usize]));
+        adj.push(merged.clone());
+        version.push(0);
+
+        // Rewire the front: neighbours drop u/v, gain c, and record the new
+        // entry in their stored lists.
+        for (&w, &d) in &merged {
+            let wa = &mut adj[w as usize];
+            wa.remove(&u);
+            wa.remove(&v);
+            wa.insert(c, d);
+            nodes[w as usize].neighbors.push((c, d));
+            version[w as usize] += 1;
+        }
+        adj[u as usize].clear();
+        adj[v as usize].clear();
+        version[u as usize] += 1;
+        version[v as usize] += 1;
+        live -= 1;
+
+        for &(w, _) in &nodes[c as usize].neighbors.clone() {
+            push_candidate(&mut heap, &nodes, &quadrics, &version, c, w);
+        }
+    }
+
+    DmtmTree {
+        nodes,
+        num_leaves: n,
+        num_steps: step,
+    }
+}
+
+/// Candidate merge position (endpoints or midpoint, whichever minimises
+/// the summed quadric) and its error.
+fn best_position(
+    nu: &DmtmNode,
+    nv: &DmtmNode,
+    quadrics: &[Quadric],
+    u: u32,
+    v: u32,
+) -> (f64, Point3) {
+    let q = quadrics[u as usize].add(&quadrics[v as usize]);
+    let mid = (nu.pos + nv.pos) * 0.5;
+    let mut best = (q.error(nu.pos), nu.pos);
+    for p in [nv.pos, mid] {
+        let e = q.error(p);
+        if e < best.0 {
+            best = (e, p);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_terrain::dem::TerrainConfig;
+
+    #[test]
+    fn tree_invariants_hold() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(3);
+        let tree = build_dmtm(&mesh);
+        assert_eq!(tree.num_leaves(), mesh.num_vertices());
+        // A connected mesh collapses to a single root.
+        assert_eq!(tree.num_steps() as usize, mesh.num_vertices() - 1);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn leaf_front_is_original_mesh() {
+        let mesh = TerrainConfig::ep().with_grid(9).build_mesh(1);
+        let tree = build_dmtm(&mesh);
+        let front = tree.front_at_step(0);
+        assert_eq!(front.len(), mesh.num_vertices());
+        // Leaf adjacency carries the original edge lengths.
+        for (a, b) in mesh.edges() {
+            let found = tree
+                .node(a)
+                .neighbors
+                .iter()
+                .any(|&(w, d)| w == b && (d - mesh.edge_length(a, b)).abs() < 1e-12);
+            assert!(found, "edge ({a},{b}) not recorded on leaf");
+        }
+    }
+
+    #[test]
+    fn representative_is_descendant_leaf() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(7);
+        let tree = build_dmtm(&mesh);
+        for id in (0..tree.nodes().len() as u32).step_by(17) {
+            let rep = tree.node(id).rep;
+            let leaves = tree.descendant_leaves(id);
+            assert!(leaves.contains(&rep), "node {id}: rep {rep} not a descendant");
+        }
+    }
+
+    #[test]
+    fn recorded_distances_are_valid_network_paths() {
+        // Every recorded neighbour distance must be >= the straight-line
+        // distance between the two representatives (it is a path length),
+        // and finite.
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(2);
+        let tree = build_dmtm(&mesh);
+        for (id, node) in tree.nodes().iter().enumerate() {
+            for &(w, d) in &node.neighbors {
+                let wr = tree.node(w).rep_pos;
+                let straight = node.rep_pos.dist(wr);
+                assert!(
+                    d >= straight - 1e-9,
+                    "node {id} -> {w}: recorded {d} < straight {straight}"
+                );
+                assert!(d.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn errors_grow_roughly_with_coarseness() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(5);
+        let tree = build_dmtm(&mesh);
+        // Mean error of the last 10% of collapses should exceed that of the
+        // first 10% (greedy PQ order is only approximately monotone).
+        let n = tree.num_steps() as usize;
+        let err_of = |step: u32| -> f64 {
+            tree.nodes()
+                .iter()
+                .find(|nd| nd.birth == step)
+                .map(|nd| nd.error)
+                .unwrap_or(0.0)
+        };
+        let early: f64 = (1..=n / 10).map(|s| err_of(s as u32)).sum::<f64>() / (n / 10) as f64;
+        let late: f64 = (n - n / 10 + 1..=n).map(|s| err_of(s as u32)).sum::<f64>()
+            / (n / 10) as f64;
+        assert!(late > early, "late {late} <= early {early}");
+    }
+
+    #[test]
+    fn lift_to_front_reaches_live_ancestor() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(4);
+        let tree = build_dmtm(&mesh);
+        let m = tree.step_for_fraction(0.25);
+        for leaf in (0..tree.num_leaves() as u32).step_by(11) {
+            let (anc, off) = tree.lift_to_front(leaf, m);
+            assert!(tree.live_at(anc, m));
+            assert!(off >= 0.0 && off.is_finite());
+            // The ancestor's subtree contains the leaf.
+            assert!(tree.descendant_leaves(anc).contains(&leaf));
+        }
+    }
+
+    #[test]
+    fn step_for_fraction_endpoints() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(0);
+        let tree = build_dmtm(&mesh);
+        assert_eq!(tree.step_for_fraction(1.0), 0);
+        let m_min = tree.step_for_fraction(0.0);
+        assert_eq!(tree.front_size(m_min), 1);
+        let m_half = tree.step_for_fraction(0.5);
+        let half = tree.front_size(m_half);
+        assert!((half as f64 - tree.num_leaves() as f64 * 0.5).abs() <= 1.0);
+    }
+}

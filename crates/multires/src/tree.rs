@@ -1,0 +1,195 @@
+//! The decorated collapse tree (DDM part of the DMTM).
+//!
+//! Leaves are the original mesh vertices; each collapse step merges two
+//! front-adjacent nodes into a parent. A node records:
+//!
+//! * its **representative** — an original mesh vertex (a collapse keeps one
+//!   child's representative), so "distance between nodes" always means the
+//!   length of an original-surface network path between two real vertices;
+//! * its **neighbour entries** `(other node, distance)` following the
+//!   paper's recurrence `d(c, w) = d(a, w)` if `w ∈ N(a)`, else
+//!   `d(b, w) + d(a, b)`;
+//! * its **birth/death steps**, so the *front after m collapses* — the set
+//!   of nodes with `birth <= m < death` — reconstructs exactly the
+//!   simplification state at that moment (fronts are nested, which is what
+//!   makes upper bounds monotone);
+//! * a **representative offset**: an upper bound on the original-surface
+//!   path length from this node's representative to its parent's, used to
+//!   embed query points soundly at any resolution;
+//! * the 2-D **MBR** of its descendant leaves, for ROI filtering.
+
+use sknn_geom::{Point3, Rect2};
+use sknn_terrain::mesh::VertexId;
+
+/// One node of the DMTM collapse tree.
+#[derive(Debug, Clone)]
+pub struct DmtmNode {
+    /// Geometric position of the node (for leaves: the vertex; for merged
+    /// nodes: the collapse target position).
+    pub pos: Point3,
+    /// Representative original vertex.
+    pub rep: VertexId,
+    /// Position of the representative vertex.
+    pub rep_pos: Point3,
+    /// Quadric approximation error recorded at creation (0 for leaves).
+    pub error: f64,
+    /// Collapse step that created this node (0 for leaves; step `s >= 1`
+    /// creates exactly one node).
+    pub birth: u32,
+    /// Collapse step that merged this node away (`u32::MAX` while alive).
+    pub death: u32,
+    /// The parent.
+    pub parent: Option<u32>,
+    /// The children.
+    pub children: Option<(u32, u32)>,
+    /// Upper bound on the original-network path length from `rep` to the
+    /// parent's representative (0 when this node's rep was kept).
+    pub rep_offset: f64,
+    /// Adjacency entries: the front neighbours at birth, plus entries to
+    /// later-born nodes that merged next to this one. An edge of the front
+    /// after `m` collapses joins `u` and `w` iff both are alive at `m` and
+    /// either list contains the other.
+    pub neighbors: Vec<(u32, f64)>,
+    /// MBR (xy) of all descendant leaves.
+    pub mbr: Rect2,
+}
+
+/// The DMTM collapse tree.
+#[derive(Debug, Clone)]
+pub struct DmtmTree {
+    pub(crate) nodes: Vec<DmtmNode>,
+    pub(crate) num_leaves: usize,
+    pub(crate) num_steps: u32,
+}
+
+impl DmtmTree {
+    /// Nodes.
+    pub fn nodes(&self) -> &[DmtmNode] {
+        &self.nodes
+    }
+
+    /// Node.
+    pub fn node(&self, id: u32) -> &DmtmNode {
+        &self.nodes[id as usize]
+    }
+
+    /// Num leaves.
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Total collapse steps performed during construction.
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// Is node `id` part of the front after `m` collapses?
+    pub fn live_at(&self, id: u32, m: u32) -> bool {
+        let n = &self.nodes[id as usize];
+        n.birth <= m && m < n.death
+    }
+
+    /// Node ids of the front after `m` collapses. The front after 0 steps
+    /// is the original mesh; after `num_steps` it is the root set.
+    pub fn front_at_step(&self, m: u32) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&id| self.live_at(id, m))
+            .collect()
+    }
+
+    /// Collapse step whose front holds (approximately) `fraction` of the
+    /// original vertex count. `fraction = 1.0` is the original mesh
+    /// (step 0); smaller fractions are coarser.
+    pub fn step_for_fraction(&self, fraction: f64) -> u32 {
+        let want = ((self.num_leaves as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        let want = want.clamp(1, self.num_leaves);
+        (self.num_leaves - want).min(self.num_steps as usize) as u32
+    }
+
+    /// Front size after `m` collapses (each collapse removes one node).
+    pub fn front_size(&self, m: u32) -> usize {
+        self.num_leaves - (m.min(self.num_steps) as usize)
+    }
+
+    /// Walk up from a leaf to its unique ancestor alive at step `m`,
+    /// accumulating representative offsets. Returns `(ancestor id, path
+    /// bound from the leaf's vertex to the ancestor's representative)`.
+    pub fn lift_to_front(&self, leaf: u32, m: u32) -> (u32, f64) {
+        debug_assert!((leaf as usize) < self.num_leaves);
+        let mut id = leaf;
+        let mut offset = 0.0;
+        while !self.live_at(id, m) {
+            let n = &self.nodes[id as usize];
+            let parent = n.parent.expect("non-live node must have a parent");
+            offset += n.rep_offset;
+            id = parent;
+        }
+        (id, offset)
+    }
+
+    /// Structural invariants; used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Every leaf is covered exactly once by every front.
+        for m in [0, self.num_steps / 2, self.num_steps] {
+            let front = self.front_at_step(m);
+            if front.len() != self.front_size(m) {
+                return Err(format!(
+                    "front size at {m}: {} != {}",
+                    front.len(),
+                    self.front_size(m)
+                ));
+            }
+            let mut covered = vec![0u32; self.num_leaves];
+            for &id in &front {
+                for leaf in self.descendant_leaves(id) {
+                    covered[leaf as usize] += 1;
+                }
+            }
+            if covered.iter().any(|&c| c != 1) {
+                return Err(format!("front at {m} does not partition the leaves"));
+            }
+        }
+        // Parent/child symmetry and birth/death ordering.
+        for (id, n) in self.nodes.iter().enumerate() {
+            if let Some((a, b)) = n.children {
+                for c in [a, b] {
+                    let cn = &self.nodes[c as usize];
+                    if cn.parent != Some(id as u32) {
+                        return Err(format!("child {c} of {id} disagrees"));
+                    }
+                    if cn.death != n.birth {
+                        return Err(format!("child {c} death != parent {id} birth"));
+                    }
+                    if !n.mbr.contains_rect(&cn.mbr) {
+                        return Err(format!("mbr of {id} does not cover child {c}"));
+                    }
+                }
+                // Representative inherited from one child.
+                let (a_rep, b_rep) = (self.nodes[a as usize].rep, self.nodes[b as usize].rep);
+                if n.rep != a_rep && n.rep != b_rep {
+                    return Err(format!("node {id} rep not inherited"));
+                }
+            }
+            if n.birth >= n.death {
+                return Err(format!("node {id} birth {} >= death {}", n.birth, n.death));
+            }
+        }
+        Ok(())
+    }
+
+    /// All original-vertex leaves under `id`.
+    pub fn descendant_leaves(&self, id: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            match self.nodes[n as usize].children {
+                None => out.push(n),
+                Some((a, b)) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+            }
+        }
+        out
+    }
+}

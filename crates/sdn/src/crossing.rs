@@ -1,0 +1,157 @@
+//! Crossing lines: intersecting the terrain with sweep planes.
+//!
+//! "Using a 2D plane y = y0 ... to cut through the terrain, a polyline l
+//! (called a crossing line) can be obtained by intersecting the plane with
+//! the terrain surface" (paper §3.3). A heightfield's cross-section is a
+//! function graph over the sweep coordinate, so the per-facet chords chain
+//! into a single polyline ordered by that coordinate.
+
+use sknn_geom::{AxisPlane, Point3};
+use sknn_terrain::mesh::{TerrainMesh, TriId};
+
+/// One crossing line: the terrain's cross-section at `plane`.
+#[derive(Debug, Clone)]
+pub struct CrossingLine {
+    /// The plane.
+    pub plane: AxisPlane,
+    /// Polyline vertices ordered by the coordinate along the line
+    /// (x for y-planes, y for x-planes).
+    pub points: Vec<Point3>,
+}
+
+impl CrossingLine {
+    /// Intersect the mesh with `plane`. Returns `None` when the plane
+    /// misses the terrain or the cut is degenerate (fewer than 2 points).
+    pub fn build(mesh: &TerrainMesh, plane: AxisPlane) -> Option<CrossingLine> {
+        let along = plane.axis.other();
+        let mut pts: Vec<Point3> = Vec::new();
+        for t in 0..mesh.num_triangles() as TriId {
+            let tri = mesh.triangle(t);
+            if let Some(seg) = plane.intersect_triangle(&tri) {
+                if seg.length() > 1e-12 {
+                    pts.push(seg.a);
+                    pts.push(seg.b);
+                }
+            }
+        }
+        if pts.len() < 2 {
+            return None;
+        }
+        // Sort along the line and merge duplicates (shared facet borders).
+        pts.sort_by(|p, q| {
+            along
+                .coord(*p)
+                .partial_cmp(&along.coord(*q))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut merged: Vec<Point3> = Vec::with_capacity(pts.len() / 2 + 1);
+        for p in pts {
+            if merged.last().is_none_or(|q| q.dist_sq(p) > 1e-16) {
+                merged.push(p);
+            }
+        }
+        if merged.len() < 2 {
+            return None;
+        }
+        Some(CrossingLine { plane, points: merged })
+    }
+
+    /// Number of segments in the polyline.
+    pub fn num_segments(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+
+    /// Total 3-D length of the polyline.
+    pub fn length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].dist(w[1])).sum()
+    }
+}
+
+/// Generate the plane positions for an axis: evenly spaced by `spacing`,
+/// offset half a step from the extent edge so planes avoid grid lines.
+pub fn plane_positions(lo: f64, hi: f64, spacing: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut v = lo + spacing * 0.5;
+    while v < hi {
+        out.push(v);
+        v += spacing;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_geom::Axis;
+    use sknn_terrain::dem::TerrainConfig;
+
+    fn mesh() -> TerrainMesh {
+        TerrainConfig::bh().with_grid(9).build_mesh(3)
+    }
+
+    #[test]
+    fn crossing_line_spans_the_terrain() {
+        let m = mesh();
+        let line = CrossingLine::build(&m, AxisPlane::new(Axis::Y, 35.0)).unwrap();
+        let e = m.extent();
+        assert!((line.points.first().unwrap().x - e.lo.x).abs() < 1e-9);
+        assert!((line.points.last().unwrap().x - e.hi.x).abs() < 1e-9);
+        // Every point lies on the plane.
+        for p in &line.points {
+            assert!((p.y - 35.0).abs() < 1e-9);
+        }
+        // Strictly increasing x.
+        for w in line.points.windows(2) {
+            assert!(w[0].x < w[1].x + 1e-12);
+        }
+    }
+
+    #[test]
+    fn line_lies_on_surface() {
+        let m = mesh();
+        let loc = sknn_terrain::locate::TriangleLocator::build(&m);
+        let line = CrossingLine::build(&m, AxisPlane::new(Axis::X, 41.0)).unwrap();
+        for p in line.points.iter().step_by(3) {
+            let lifted = loc.lift(&m, p.xy()).unwrap();
+            assert!((lifted.z - p.z).abs() < 1e-6, "point off surface: {p:?}");
+        }
+    }
+
+    #[test]
+    fn line_length_at_least_planar_width() {
+        let m = mesh();
+        let line = CrossingLine::build(&m, AxisPlane::new(Axis::Y, 19.0)).unwrap();
+        assert!(line.length() >= m.extent().width() - 1e-9);
+    }
+
+    #[test]
+    fn missing_plane_returns_none() {
+        let m = mesh();
+        assert!(CrossingLine::build(&m, AxisPlane::new(Axis::Y, 1e6)).is_none());
+        assert!(CrossingLine::build(&m, AxisPlane::new(Axis::Y, -5.0)).is_none());
+    }
+
+    #[test]
+    fn plane_positions_cover_interior() {
+        let ps = plane_positions(0.0, 100.0, 10.0);
+        assert_eq!(ps.len(), 10);
+        assert_eq!(ps[0], 5.0);
+        assert!(ps.last().unwrap() < &100.0);
+        // Spacing respected.
+        for w in ps.windows(2) {
+            assert!((w[1] - w[0] - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn x_and_y_axis_lines() {
+        let m = mesh();
+        let ly = CrossingLine::build(&m, AxisPlane::new(Axis::Y, 40.0)).unwrap();
+        let lx = CrossingLine::build(&m, AxisPlane::new(Axis::X, 40.0)).unwrap();
+        assert!(ly.num_segments() >= 8);
+        assert!(lx.num_segments() >= 8);
+        for p in &lx.points {
+            assert!((p.x - 40.0).abs() < 1e-9);
+        }
+    }
+}

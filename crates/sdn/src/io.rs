@@ -1,0 +1,153 @@
+//! Binary serialisation of the MSDN resolution stack.
+//!
+//! Same philosophy as `sknn_multires::io`: versioned little-endian dump,
+//! no dependencies, exact float round-trip, validated on load.
+
+use crate::msdn::{Msdn, SdnLevel};
+use crate::simplify::{SimplifiedLine, SimplifiedSegment};
+use sknn_geom::{Aabb3, Axis, AxisPlane, Point3, Segment3};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"MSDN";
+const VERSION: u32 = 1;
+
+/// Serialise an MSDN.
+pub fn write_msdn(msdn: &Msdn, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(msdn.levels.len() as u32).to_le_bytes())?;
+    for &lvl in &msdn.levels {
+        w.write_all(&lvl.to_le_bytes())?;
+    }
+    for axis in [Axis::X, Axis::Y] {
+        for lvl in 0..msdn.num_levels() {
+            let lines = msdn.level_lines(axis, lvl);
+            w.write_all(&(lines.len() as u32).to_le_bytes())?;
+            for line in lines {
+                w.write_all(&line.plane.value.to_le_bytes())?;
+                w.write_all(&(line.segments.len() as u32).to_le_bytes())?;
+                for seg in &line.segments {
+                    for p in [seg.seg.a, seg.seg.b, seg.mbr.lo, seg.mbr.hi] {
+                        for v in [p.x, p.y, p.z] {
+                            w.write_all(&v.to_le_bytes())?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deserialise an MSDN written by [`write_msdn`].
+pub fn read_msdn(r: &mut impl Read) -> io::Result<Msdn> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not an MSDN file"));
+    }
+    if read_u32(r)? != VERSION {
+        return Err(bad("unsupported MSDN version"));
+    }
+    let n_levels = read_u32(r)? as usize;
+    if n_levels == 0 || n_levels > 64 {
+        return Err(bad("implausible level count"));
+    }
+    let mut levels = Vec::with_capacity(n_levels);
+    for _ in 0..n_levels {
+        levels.push(read_f64(r)?);
+    }
+    let mut read_axis = |axis: Axis| -> io::Result<Vec<SdnLevel>> {
+        let mut out = Vec::with_capacity(n_levels);
+        for &resolution in &levels {
+            let n_lines = read_u32(r)? as usize;
+            let mut lines = Vec::with_capacity(n_lines);
+            for _ in 0..n_lines {
+                let value = read_f64(r)?;
+                let n_segs = read_u32(r)? as usize;
+                let mut segments = Vec::with_capacity(n_segs);
+                for _ in 0..n_segs {
+                    let a = read_point3(r)?;
+                    let b = read_point3(r)?;
+                    let lo = read_point3(r)?;
+                    let hi = read_point3(r)?;
+                    segments.push(SimplifiedSegment {
+                        seg: Segment3::new(a, b),
+                        mbr: Aabb3::new(lo, hi),
+                    });
+                }
+                lines.push(SimplifiedLine {
+                    plane: AxisPlane::new(axis, value),
+                    segments,
+                });
+            }
+            out.push(SdnLevel { resolution, lines });
+        }
+        Ok(out)
+    };
+    let x_levels = read_axis(Axis::X)?;
+    let y_levels = read_axis(Axis::Y)?;
+    Ok(Msdn::from_parts(levels, x_levels, y_levels))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_point3(r: &mut impl Read) -> io::Result<Point3> {
+    Ok(Point3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msdn::MsdnConfig;
+    use sknn_terrain::dem::TerrainConfig;
+
+    #[test]
+    fn roundtrip_preserves_levels_and_bounds() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(5);
+        let msdn = Msdn::build(&mesh, &MsdnConfig::default());
+        let mut buf = Vec::new();
+        write_msdn(&msdn, &mut buf).unwrap();
+        let back = read_msdn(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.levels, msdn.levels);
+        for axis in [Axis::X, Axis::Y] {
+            for lvl in 0..msdn.num_levels() {
+                let a = msdn.level_lines(axis, lvl);
+                let b = back.level_lines(axis, lvl);
+                assert_eq!(a.len(), b.len());
+                for (la, lb) in a.iter().zip(b) {
+                    assert_eq!(la.plane, lb.plane);
+                    assert_eq!(la.segments, lb.segments);
+                }
+            }
+        }
+        // Behavioural equivalence: same lower bound.
+        let a = mesh.vertex(3);
+        let b = mesh.vertex(200);
+        let lb1 = msdn.lower_bound(4, a, b, None).value;
+        let lb2 = back.lower_bound(4, a, b, None).value;
+        assert_eq!(lb1, lb2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_msdn(&mut &b"XXXX"[..]).is_err());
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(1);
+        let msdn = Msdn::build(&mesh, &MsdnConfig::default());
+        let mut buf = Vec::new();
+        write_msdn(&msdn, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_msdn(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Enclosure-preserving crossing-line simplification.
+//!
+//! "Our modification is to ensure that the MBR of the simplified line
+//! segment must fully enclose the MBRs of every line segment from the line
+//! segment before simplification" (paper §3.3). That property is what
+//! makes the SDN a *lower-bound* structure at every resolution: a
+//! simplified segment's MBR contains every surface point of the original
+//! stretch it replaces, so minimum MBR distances can only shrink — never
+//! overshoot — the true gaps. We simplify by uniform index decimation
+//! (keeping `r%` of the points, endpoints always included) and attach to
+//! each kept segment the union MBR of the original segments it spans,
+//! which satisfies the enclosure requirement by construction.
+
+use crate::crossing::CrossingLine;
+use sknn_geom::{Aabb3, Segment3};
+
+/// One simplified crossing-line segment with its covering MBR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimplifiedSegment {
+    /// The seg.
+    pub seg: Segment3,
+    /// Union of the MBRs of all original segments this one replaces.
+    pub mbr: Aabb3,
+}
+
+impl SimplifiedSegment {
+    /// Whether the segment is *exact*: it replaces a single original
+    /// segment, so its geometry equals the surface cross-section and
+    /// distances may be measured against the segment itself rather than
+    /// the (looser) covering MBR.
+    pub fn is_exact(&self) -> bool {
+        let own = self.seg.mbr();
+        own.lo.dist_sq(self.mbr.lo) < 1e-18 && own.hi.dist_sq(self.mbr.hi) < 1e-18
+    }
+
+    /// Lower bound on the distance from any original surface point covered
+    /// by this segment to any covered by `other`.
+    pub fn min_dist(&self, other: &SimplifiedSegment) -> f64 {
+        if self.is_exact() && other.is_exact() {
+            self.seg.dist_segment(&other.seg)
+        } else {
+            self.mbr.min_dist_box(&other.mbr)
+        }
+    }
+
+    /// Lower bound on the distance from `p` to any covered surface point.
+    pub fn min_dist_point(&self, p: sknn_geom::Point3) -> f64 {
+        if self.is_exact() {
+            self.seg.dist_point(p)
+        } else {
+            self.mbr.min_dist_point(p)
+        }
+    }
+}
+
+/// A crossing line at some resolution.
+#[derive(Debug, Clone)]
+pub struct SimplifiedLine {
+    /// The plane.
+    pub plane: sknn_geom::AxisPlane,
+    /// The segments.
+    pub segments: Vec<SimplifiedSegment>,
+}
+
+impl SimplifiedLine {
+    /// MBR of the whole line.
+    pub fn mbr(&self) -> Aabb3 {
+        self.segments
+            .iter()
+            .fold(Aabb3::EMPTY, |b, s| b.union(&s.mbr))
+    }
+}
+
+/// Simplify `line` to `resolution` (fraction of points kept, in `(0, 1]`).
+pub fn simplify_line(line: &CrossingLine, resolution: f64) -> SimplifiedLine {
+    let n = line.points.len();
+    let keep = ((n as f64) * resolution.clamp(0.0, 1.0)).round() as usize;
+    let keep = keep.clamp(2, n);
+    // Evenly spaced kept indices, endpoints included.
+    let mut idx: Vec<usize> = (0..keep)
+        .map(|i| ((i as f64) * (n - 1) as f64 / (keep - 1) as f64).round() as usize)
+        .collect();
+    idx.dedup();
+    let mut segments = Vec::with_capacity(idx.len() - 1);
+    for w in idx.windows(2) {
+        let (s, e) = (w[0], w[1]);
+        let mbr = Aabb3::from_points(line.points[s..=e].iter().copied());
+        segments.push(SimplifiedSegment {
+            seg: Segment3::new(line.points[s], line.points[e]),
+            mbr,
+        });
+    }
+    SimplifiedLine {
+        plane: line.plane,
+        segments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_geom::{Axis, AxisPlane};
+    use sknn_terrain::dem::TerrainConfig;
+
+    fn line() -> CrossingLine {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(5);
+        CrossingLine::build(&mesh, AxisPlane::new(Axis::Y, 83.0)).unwrap()
+    }
+
+    #[test]
+    fn full_resolution_keeps_everything() {
+        let l = line();
+        let s = simplify_line(&l, 1.0);
+        assert_eq!(s.segments.len(), l.num_segments());
+        for (seg, w) in s.segments.iter().zip(l.points.windows(2)) {
+            assert_eq!(seg.seg.a, w[0]);
+            assert_eq!(seg.seg.b, w[1]);
+        }
+    }
+
+    #[test]
+    fn enclosure_property_holds_at_every_resolution() {
+        let l = line();
+        for r in [0.1, 0.25, 0.375, 0.5, 0.75, 1.0] {
+            let s = simplify_line(&l, r);
+            // Each original segment's MBR is enclosed by exactly the
+            // simplified segment covering its index span.
+            for (i, w) in l.points.windows(2).enumerate() {
+                let orig = Aabb3::from_points([w[0], w[1]]);
+                let covered = s.segments.iter().any(|ss| ss.mbr.contains_box(&orig));
+                assert!(covered, "resolution {r}: original segment {i} not enclosed");
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_controls_segment_count() {
+        let l = line();
+        let quarter = simplify_line(&l, 0.25);
+        let half = simplify_line(&l, 0.5);
+        assert!(quarter.segments.len() < half.segments.len());
+        assert!(half.segments.len() < l.num_segments());
+        // Roughly proportional.
+        let frac = quarter.segments.len() as f64 / l.num_segments() as f64;
+        assert!((0.15..=0.35).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn endpoints_preserved() {
+        let l = line();
+        for r in [0.1, 0.5] {
+            let s = simplify_line(&l, r);
+            assert_eq!(s.segments.first().unwrap().seg.a, *l.points.first().unwrap());
+            assert_eq!(s.segments.last().unwrap().seg.b, *l.points.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn finer_resolution_shrinks_mbrs() {
+        let l = line();
+        let coarse = simplify_line(&l, 0.25).mbr();
+        let fine_line = simplify_line(&l, 1.0);
+        // The union MBR is identical (same points)...
+        assert!(coarse.contains_box(&fine_line.mbr()));
+        // ...but individual fine segments are smaller than coarse ones on
+        // average (volume proxy: diagonal length).
+        let diag = |s: &SimplifiedLine| -> f64 {
+            s.segments.iter().map(|x| x.mbr.lo.dist(x.mbr.hi)).sum::<f64>()
+                / s.segments.len() as f64
+        };
+        assert!(diag(&fine_line) < diag(&simplify_line(&l, 0.25)));
+    }
+
+    #[test]
+    fn degenerate_two_point_line() {
+        let l = CrossingLine {
+            plane: AxisPlane::new(Axis::Y, 0.0),
+            points: vec![
+                sknn_geom::Point3::new(0.0, 0.0, 0.0),
+                sknn_geom::Point3::new(1.0, 0.0, 1.0),
+            ],
+        };
+        let s = simplify_line(&l, 0.01);
+        assert_eq!(s.segments.len(), 1);
+    }
+}

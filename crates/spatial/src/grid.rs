@@ -1,0 +1,176 @@
+//! A uniform bucket-grid index over 2-D rectangles.
+//!
+//! Simpler and faster to build than the R-tree for data whose extent and
+//! density are known up front (e.g. SDN crossing-line segments, which are
+//! regenerated per resolution level). Supports window queries only.
+
+use sknn_geom::{Point2, Rect2};
+
+/// Uniform grid over items keyed by rectangle.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    extent: Rect2,
+    nx: usize,
+    ny: usize,
+    cell_w: f64,
+    cell_h: f64,
+    buckets: Vec<Vec<(Rect2, T)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Build a grid with approximately `target_per_bucket` items per bucket.
+    pub fn build(extent: Rect2, items: Vec<(Rect2, T)>, target_per_bucket: usize) -> Self {
+        let n = items.len().max(1);
+        let buckets_wanted = n.div_ceil(target_per_bucket.max(1)).max(1);
+        let aspect = (extent.height() / extent.width().max(1e-12)).max(1e-6);
+        let nx = ((buckets_wanted as f64 / aspect).sqrt().ceil() as usize).max(1);
+        let ny = (buckets_wanted.div_ceil(nx)).max(1);
+        let cell_w = extent.width() / nx as f64;
+        let cell_h = extent.height() / ny as f64;
+        let mut grid = Self {
+            extent,
+            nx,
+            ny,
+            cell_w,
+            cell_h,
+            buckets: vec![Vec::new(); nx * ny],
+            len: 0,
+        };
+        for (r, item) in items {
+            grid.insert(r, item);
+        }
+        grid
+    }
+
+    /// Number of contained items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether it holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an item; it is registered in every bucket its MBR touches.
+    pub fn insert(&mut self, rect: Rect2, item: T) {
+        let (c0, r0) = self.cell_of(rect.lo);
+        let (c1, r1) = self.cell_of(rect.hi);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                self.buckets[r * self.nx + c].push((rect, item.clone()));
+            }
+        }
+        self.len += 1;
+    }
+
+    /// All items intersecting `window`. Items spanning multiple buckets are
+    /// deduplicated by pointer-free rescan (callers supply unique payloads).
+    pub fn range<'a>(&'a self, window: &Rect2, mut visit: impl FnMut(&'a Rect2, &'a T)) {
+        let w = window.intersection(&self.extent);
+        if w.is_empty() && !self.extent.contains_rect(window) {
+            // Window entirely off-grid.
+            if !window.intersects(&self.extent) {
+                return;
+            }
+        }
+        let (c0, r0) = self.cell_of(w.lo);
+        let (c1, r1) = self.cell_of(w.hi);
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                for (rect, item) in &self.buckets[r * self.nx + c] {
+                    if rect.intersects(window) {
+                        // Only report from the bucket owning the rect's lo
+                        // corner (clamped), so multi-bucket items appear once.
+                        let (oc, or) = self.cell_of(clamp_point(rect.lo, &w));
+                        let (oc, or) = (oc.max(c0), or.max(r0));
+                        if oc == c && or == r {
+                            visit(rect, item);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn cell_of(&self, p: Point2) -> (usize, usize) {
+        let cx = if self.cell_w <= 0.0 {
+            0
+        } else {
+            (((p.x - self.extent.lo.x) / self.cell_w) as isize).clamp(0, self.nx as isize - 1)
+                as usize
+        };
+        let cy = if self.cell_h <= 0.0 {
+            0
+        } else {
+            (((p.y - self.extent.lo.y) / self.cell_h) as isize).clamp(0, self.ny as isize - 1)
+                as usize
+        };
+        (cx, cy)
+    }
+}
+
+fn clamp_point(p: Point2, r: &Rect2) -> Point2 {
+    Point2::new(p.x.clamp(r.lo.x, r.hi.x), p.y.clamp(r.lo.y, r.hi.y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_matches_scan_with_dedup() {
+        let extent = Rect2::new(Point2::new(0.0, 0.0), Point2::new(100.0, 100.0));
+        let mut items = Vec::new();
+        // Mix of points and spanning rectangles.
+        for i in 0..200u32 {
+            let x = (i as f64 * 7.3) % 100.0;
+            let y = (i as f64 * 13.7) % 100.0;
+            let w = (i % 5) as f64 * 3.0;
+            items.push((
+                Rect2::new(Point2::new(x, y), Point2::new((x + w).min(100.0), (y + w).min(100.0))),
+                i,
+            ));
+        }
+        let grid = GridIndex::build(extent, items.clone(), 4);
+        let window = Rect2::new(Point2::new(20.0, 30.0), Point2::new(60.0, 70.0));
+        let mut got: Vec<u32> = Vec::new();
+        grid.range(&window, |_, &v| got.push(v));
+        got.sort_unstable();
+        got.dedup();
+        let mut want: Vec<u32> = items
+            .iter()
+            .filter(|(r, _)| r.intersects(&window))
+            .map(|&(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        // No duplicates should have been emitted in the first place.
+        let mut got_raw: Vec<u32> = Vec::new();
+        grid.range(&window, |_, &v| got_raw.push(v));
+        assert_eq!(got_raw.len(), got.len(), "duplicates emitted");
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let extent = Rect2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0));
+        let grid: GridIndex<u32> = GridIndex::build(extent, vec![], 4);
+        assert!(grid.is_empty());
+        let mut n = 0;
+        grid.range(&extent, |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn off_grid_window() {
+        let extent = Rect2::new(Point2::new(0.0, 0.0), Point2::new(10.0, 10.0));
+        let grid = GridIndex::build(extent, vec![(Rect2::from_point(Point2::new(5.0, 5.0)), 1u32)], 4);
+        let mut n = 0;
+        grid.range(
+            &Rect2::new(Point2::new(20.0, 20.0), Point2::new(30.0, 30.0)),
+            |_, _| n += 1,
+        );
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,592 @@
+//! An R-tree over 2-D rectangles.
+//!
+//! Supports Sort-Tile-Recursive (STR) bulk loading, Guttman quadratic-split
+//! insertion, window (range) queries, and best-first incremental nearest
+//! neighbour search (Hjaltason & Samet, TODS'99) — the "distance browsing"
+//! strategy the paper cites for constraint-free k-NN processing.
+//!
+//! Every node visited by a query increments an internal access counter;
+//! the storage layer maps node visits to disk-page accesses.
+
+use sknn_geom::{Point2, Rect2};
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Maximum entries per node.
+pub const MAX_FANOUT: usize = 16;
+/// Minimum entries per node after a split.
+pub const MIN_FANOUT: usize = 6;
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { entries: Vec<(Rect2, T)> },
+    Inner { entries: Vec<(Rect2, usize)> },
+}
+
+/// An R-tree mapping rectangles to payloads.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    nodes: Vec<Node<T>>,
+    root: usize,
+    len: usize,
+    height: usize,
+    accesses: Cell<u64>,
+}
+
+impl<T: Clone> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> RTree<T> {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: vec![Node::Leaf { entries: Vec::new() }],
+            root: 0,
+            len: 0,
+            height: 1,
+            accesses: Cell::new(0),
+        }
+    }
+
+    /// STR bulk load: sort by x, tile into vertical slices, sort each slice
+    /// by y, pack leaves, then repeat on parent level.
+    pub fn bulk_load(mut items: Vec<(Rect2, T)>) -> Self {
+        if items.is_empty() {
+            return Self::new();
+        }
+        let len = items.len();
+        let mut nodes: Vec<Node<T>> = Vec::new();
+
+        // Pack the leaf level.
+        let leaf_count = len.div_ceil(MAX_FANOUT);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_slice = len.div_ceil(slices);
+        items.sort_by(|a, b| cmp_f64(a.0.center().x, b.0.center().x));
+        let mut level: Vec<(Rect2, usize)> = Vec::with_capacity(leaf_count);
+        for slice in items.chunks_mut(per_slice.max(1)) {
+            slice.sort_by(|a, b| cmp_f64(a.0.center().y, b.0.center().y));
+            for group in slice.chunks(MAX_FANOUT) {
+                let mbr = group.iter().fold(Rect2::EMPTY, |r, (g, _)| r.union(g));
+                nodes.push(Node::Leaf { entries: group.to_vec() });
+                level.push((mbr, nodes.len() - 1));
+            }
+        }
+        let mut height = 1;
+
+        // Pack upper levels the same way.
+        while level.len() > 1 {
+            let count = level.len().div_ceil(MAX_FANOUT);
+            let slices = (count as f64).sqrt().ceil() as usize;
+            let per_slice = level.len().div_ceil(slices);
+            level.sort_by(|a, b| cmp_f64(a.0.center().x, b.0.center().x));
+            let mut next: Vec<(Rect2, usize)> = Vec::with_capacity(count);
+            let mut chunks: Vec<Vec<(Rect2, usize)>> = Vec::new();
+            for slice in level.chunks(per_slice.max(1)) {
+                let mut slice = slice.to_vec();
+                slice.sort_by(|a, b| cmp_f64(a.0.center().y, b.0.center().y));
+                for group in slice.chunks(MAX_FANOUT) {
+                    chunks.push(group.to_vec());
+                }
+            }
+            for group in chunks {
+                let mbr = group.iter().fold(Rect2::EMPTY, |r, (g, _)| r.union(g));
+                nodes.push(Node::Inner { entries: group });
+                next.push((mbr, nodes.len() - 1));
+            }
+            level = next;
+            height += 1;
+        }
+        let root = level[0].1;
+        Self {
+            nodes,
+            root,
+            len,
+            height,
+            accesses: Cell::new(0),
+        }
+    }
+
+    /// Number of contained items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether it holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Extent along y.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Cumulative node accesses made by queries so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses.get()
+    }
+
+    /// Reset the node-access counter (typically per query).
+    pub fn reset_accesses(&self) {
+        self.accesses.set(0);
+    }
+
+    fn touch(&self) {
+        self.accesses.set(self.accesses.get() + 1);
+    }
+
+    // ----- insertion ------------------------------------------------------
+
+    /// Insert one item (Guttman: least-enlargement descent, quadratic split).
+    pub fn insert(&mut self, rect: Rect2, item: T) {
+        let split = self.insert_at(self.root, rect, item);
+        if let Some((left_mbr, right_mbr, right_id)) = split {
+            // Grow the tree: new root over old root and the split sibling.
+            let old_root = self.root;
+            self.nodes.push(Node::Inner {
+                entries: vec![(left_mbr, old_root), (right_mbr, right_id)],
+            });
+            self.root = self.nodes.len() - 1;
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns Some((this_mbr, sibling_mbr, sibling_id))
+    /// when `node` was split.
+    fn insert_at(&mut self, node: usize, rect: Rect2, item: T) -> Option<(Rect2, Rect2, usize)> {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => {
+                if let Node::Leaf { entries } = &mut self.nodes[node] {
+                    entries.push((rect, item));
+                    if entries.len() <= MAX_FANOUT {
+                        return None;
+                    }
+                }
+                Some(self.split_leaf(node))
+            }
+            Node::Inner { entries } => {
+                // Choose subtree with least enlargement (ties: smaller area).
+                let mut best = 0usize;
+                let mut best_enl = f64::INFINITY;
+                let mut best_area = f64::INFINITY;
+                for (i, (mbr, _)) in entries.iter().enumerate() {
+                    let enl = mbr.union(&rect).area() - mbr.area();
+                    let area = mbr.area();
+                    if enl < best_enl || (enl == best_enl && area < best_area) {
+                        best = i;
+                        best_enl = enl;
+                        best_area = area;
+                    }
+                }
+                let child = match &self.nodes[node] {
+                    Node::Inner { entries } => entries[best].1,
+                    _ => unreachable!(),
+                };
+                let split = self.insert_at(child, rect, item);
+                if let Node::Inner { entries } = &mut self.nodes[node] {
+                    entries[best].0 = entries[best].0.union(&rect);
+                    if let Some((l_mbr, r_mbr, r_id)) = split {
+                        entries[best] = (l_mbr, child);
+                        entries.push((r_mbr, r_id));
+                        if entries.len() > MAX_FANOUT {
+                            return Some(self.split_inner(node));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, node: usize) -> (Rect2, Rect2, usize) {
+        let entries = match std::mem::replace(&mut self.nodes[node], Node::Leaf { entries: vec![] })
+        {
+            Node::Leaf { entries } => entries,
+            _ => unreachable!(),
+        };
+        let (a, b) = quadratic_split(entries, |e| e.0);
+        let a_mbr = mbr_of(&a, |e| e.0);
+        let b_mbr = mbr_of(&b, |e| e.0);
+        self.nodes[node] = Node::Leaf { entries: a };
+        self.nodes.push(Node::Leaf { entries: b });
+        (a_mbr, b_mbr, self.nodes.len() - 1)
+    }
+
+    fn split_inner(&mut self, node: usize) -> (Rect2, Rect2, usize) {
+        let entries =
+            match std::mem::replace(&mut self.nodes[node], Node::Inner { entries: vec![] }) {
+                Node::Inner { entries } => entries,
+                _ => unreachable!(),
+            };
+        let (a, b) = quadratic_split(entries, |e| e.0);
+        let a_mbr = mbr_of(&a, |e| e.0);
+        let b_mbr = mbr_of(&b, |e| e.0);
+        self.nodes[node] = Node::Inner { entries: a };
+        self.nodes.push(Node::Inner { entries: b });
+        (a_mbr, b_mbr, self.nodes.len() - 1)
+    }
+
+    // ----- queries --------------------------------------------------------
+
+    /// All items whose rectangle intersects `window`.
+    pub fn range(&self, window: &Rect2) -> Vec<(Rect2, T)> {
+        let mut out = Vec::new();
+        self.range_rec(self.root, window, &mut out);
+        out
+    }
+
+    fn range_rec(&self, node: usize, window: &Rect2, out: &mut Vec<(Rect2, T)>) {
+        self.touch();
+        match &self.nodes[node] {
+            Node::Leaf { entries } => {
+                for (r, item) in entries {
+                    if r.intersects(window) {
+                        out.push((*r, item.clone()));
+                    }
+                }
+            }
+            Node::Inner { entries } => {
+                for (r, child) in entries {
+                    if r.intersects(window) {
+                        self.range_rec(*child, window, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All items whose rectangle lies within distance `radius` of `center`.
+    /// This is MR3's step-3 range query (circle, not window).
+    pub fn within_distance(&self, center: Point2, radius: f64) -> Vec<(Rect2, T)> {
+        let window = Rect2::new(
+            Point2::new(center.x - radius, center.y - radius),
+            Point2::new(center.x + radius, center.y + radius),
+        );
+        let mut out = Vec::new();
+        self.within_rec(self.root, &window, center, radius, &mut out);
+        out
+    }
+
+    fn within_rec(
+        &self,
+        node: usize,
+        window: &Rect2,
+        center: Point2,
+        radius: f64,
+        out: &mut Vec<(Rect2, T)>,
+    ) {
+        self.touch();
+        match &self.nodes[node] {
+            Node::Leaf { entries } => {
+                for (r, item) in entries {
+                    if r.min_dist_point(center) <= radius {
+                        out.push((*r, item.clone()));
+                    }
+                }
+            }
+            Node::Inner { entries } => {
+                for (r, child) in entries {
+                    if r.intersects(window) && r.min_dist_point(center) <= radius {
+                        self.within_rec(*child, window, center, radius, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `k` items nearest to `p` by rectangle min-distance, ascending.
+    /// Best-first (priority-queue) traversal.
+    pub fn knn(&self, p: Point2, k: usize) -> Vec<(f64, Rect2, T)> {
+        let mut out = Vec::with_capacity(k);
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        heap.push(HeapItem {
+            dist: 0.0,
+            kind: ItemKind::Node(self.root),
+        });
+        while let Some(HeapItem { dist, kind }) = heap.pop() {
+            match kind {
+                ItemKind::Node(n) => {
+                    self.touch();
+                    match &self.nodes[n] {
+                        Node::Leaf { entries } => {
+                            for (i, (r, _)) in entries.iter().enumerate() {
+                                heap.push(HeapItem {
+                                    dist: r.min_dist_point(p),
+                                    kind: ItemKind::Entry(n, i),
+                                });
+                            }
+                        }
+                        Node::Inner { entries } => {
+                            for (r, child) in entries {
+                                heap.push(HeapItem {
+                                    dist: r.min_dist_point(p),
+                                    kind: ItemKind::Node(*child),
+                                });
+                            }
+                        }
+                    }
+                }
+                ItemKind::Entry(n, i) => {
+                    if let Node::Leaf { entries } = &self.nodes[n] {
+                        let (r, item) = &entries[i];
+                        out.push((dist, *r, item.clone()));
+                        if out.len() == k {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Exhaustive iteration (for verification in tests).
+    pub fn iter_all(&self) -> Vec<(Rect2, T)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n] {
+                Node::Leaf { entries } => out.extend(entries.iter().cloned()),
+                Node::Inner { entries } => stack.extend(entries.iter().map(|(_, c)| *c)),
+            }
+        }
+        out
+    }
+}
+
+fn mbr_of<E>(entries: &[E], rect: impl Fn(&E) -> Rect2) -> Rect2 {
+    entries.iter().fold(Rect2::EMPTY, |r, e| r.union(&rect(e)))
+}
+
+/// Guttman quadratic split: pick the pair wasting the most area as seeds,
+/// then assign each remaining entry to the group needing least enlargement,
+/// respecting the minimum fill.
+fn quadratic_split<E: Clone>(entries: Vec<E>, rect: impl Fn(&E) -> Rect2) -> (Vec<E>, Vec<E>) {
+    debug_assert!(entries.len() > MAX_FANOUT);
+    // Seed selection.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let ri = rect(&entries[i]);
+            let rj = rect(&entries[j]);
+            let waste = ri.union(&rj).area() - ri.area() - rj.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut a = vec![entries[s1].clone()];
+    let mut b = vec![entries[s2].clone()];
+    let mut a_mbr = rect(&entries[s1]);
+    let mut b_mbr = rect(&entries[s2]);
+    let mut rest: Vec<E> = entries
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, e)| (i != s1 && i != s2).then_some(e))
+        .collect();
+
+    while let Some(e) = rest.pop() {
+        let remaining = rest.len();
+        // Force assignment when a group must take everything left to reach
+        // the minimum fill.
+        if a.len() + remaining < MIN_FANOUT {
+            a_mbr = a_mbr.union(&rect(&e));
+            a.push(e);
+            continue;
+        }
+        if b.len() + remaining < MIN_FANOUT {
+            b_mbr = b_mbr.union(&rect(&e));
+            b.push(e);
+            continue;
+        }
+        let r = rect(&e);
+        let enl_a = a_mbr.union(&r).area() - a_mbr.area();
+        let enl_b = b_mbr.union(&r).area() - b_mbr.area();
+        if enl_a < enl_b || (enl_a == enl_b && a.len() <= b.len()) {
+            a_mbr = a_mbr.union(&r);
+            a.push(e);
+        } else {
+            b_mbr = b_mbr.union(&r);
+            b.push(e);
+        }
+    }
+    (a, b)
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    kind: ItemKind,
+}
+
+#[derive(PartialEq, Eq)]
+enum ItemKind {
+    Node(usize),
+    Entry(usize, usize),
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; entries before nodes at equal distance so
+        // results pop as early as possible.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| match (&self.kind, &other.kind) {
+                (ItemKind::Entry(..), ItemKind::Node(_)) => Ordering::Greater,
+                (ItemKind::Node(_), ItemKind::Entry(..)) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Rect2 {
+        Rect2::from_point(Point2::new(x, y))
+    }
+
+    fn grid_points(n: usize) -> Vec<(Rect2, usize)> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                v.push((pt(i as f64, j as f64), i * n + j));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn bulk_load_roundtrip() {
+        let items = grid_points(10);
+        let t = RTree::bulk_load(items.clone());
+        assert_eq!(t.len(), 100);
+        let mut all: Vec<usize> = t.iter_all().into_iter().map(|(_, v)| v).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_roundtrip_and_growth() {
+        let mut t = RTree::new();
+        for (r, v) in grid_points(12) {
+            t.insert(r, v);
+        }
+        assert_eq!(t.len(), 144);
+        assert!(t.height() >= 2);
+        let mut all: Vec<usize> = t.iter_all().into_iter().map(|(_, v)| v).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..144).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let items = grid_points(15);
+        let t = RTree::bulk_load(items.clone());
+        let w = Rect2::new(Point2::new(2.5, 3.5), Point2::new(7.5, 9.0));
+        let mut got: Vec<usize> = t.range(&w).into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(r, _)| w.intersects(r))
+            .map(|&(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn within_distance_matches_scan() {
+        let items = grid_points(15);
+        let t = RTree::bulk_load(items.clone());
+        let c = Point2::new(7.2, 7.9);
+        let r = 3.3;
+        let mut got: Vec<usize> = t.within_distance(c, r).into_iter().map(|(_, v)| v).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = items
+            .iter()
+            .filter(|(rect, _)| rect.min_dist_point(c) <= r)
+            .map(|&(_, v)| v)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn knn_matches_scan_and_is_sorted() {
+        let items = grid_points(15);
+        let t = RTree::bulk_load(items.clone());
+        let p = Point2::new(6.4, 2.1);
+        let got = t.knn(p, 10);
+        assert_eq!(got.len(), 10);
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Compare the k-th distance against a scan.
+        let mut dists: Vec<f64> = items.iter().map(|(r, _)| r.min_dist_point(p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((got.last().unwrap().0 - dists[9]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_more_than_len_returns_all() {
+        let t = RTree::bulk_load(grid_points(3));
+        let got = t.knn(Point2::new(0.0, 0.0), 100);
+        assert_eq!(got.len(), 9);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: RTree<u32> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.knn(Point2::new(0.0, 0.0), 5).is_empty());
+        assert!(t.range(&Rect2::new(Point2::new(0.0, 0.0), Point2::new(1.0, 1.0))).is_empty());
+    }
+
+    #[test]
+    fn access_counter_moves_and_resets() {
+        let t = RTree::bulk_load(grid_points(20));
+        t.reset_accesses();
+        assert_eq!(t.accesses(), 0);
+        let _ = t.knn(Point2::new(3.0, 3.0), 5);
+        let a = t.accesses();
+        assert!(a > 0);
+        let _ = t.range(&Rect2::new(Point2::new(0.0, 0.0), Point2::new(5.0, 5.0)));
+        assert!(t.accesses() > a);
+        t.reset_accesses();
+        assert_eq!(t.accesses(), 0);
+    }
+
+    #[test]
+    fn best_first_visits_fewer_nodes_than_full_scan() {
+        let t = RTree::bulk_load(grid_points(32)); // 1024 points
+        t.reset_accesses();
+        let _ = t.knn(Point2::new(1.0, 1.0), 3);
+        // A full scan would touch every node; best-first should touch a
+        // small corner of the tree.
+        let total_nodes = t.nodes.len() as u64;
+        assert!(t.accesses() < total_nodes / 2, "{} vs {}", t.accesses(), total_nodes);
+    }
+}

@@ -1,0 +1,110 @@
+//! Model-based property tests: the paged structures must agree with their
+//! obvious in-memory models under arbitrary workloads, and page accounting
+//! must obey its own invariants.
+
+use proptest::prelude::*;
+use sknn_store::{BPlusTree, HeapFile, Pager, PAGE_SIZE};
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// B+-tree point lookups and range scans agree with a BTreeMap across
+    /// arbitrary key/value distributions (including values that force
+    /// overflow chains).
+    #[test]
+    fn bptree_agrees_with_btreemap(
+        entries in proptest::collection::btree_map(
+            any::<u64>(),
+            (0usize..3000).prop_map(|n| vec![0xA5u8; n]),
+            0..200,
+        ),
+        probes in proptest::collection::vec(any::<u64>(), 1..40),
+        range in (any::<u64>(), any::<u64>()),
+    ) {
+        let pager = Pager::new(64);
+        let model: BTreeMap<u64, Vec<u8>> = entries;
+        let records: Vec<(u64, Vec<u8>)> =
+            model.iter().map(|(&k, v)| (k, v.clone())).collect();
+        let tree = BPlusTree::bulk_build(&pager, &records);
+        prop_assert_eq!(tree.len(), model.len());
+        // Point lookups: members and non-members.
+        for k in probes.iter().copied().chain(model.keys().copied().take(10)) {
+            prop_assert_eq!(tree.get(&pager, k), model.get(&k).cloned());
+        }
+        // Range scan.
+        let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
+        let mut got = Vec::new();
+        tree.scan_range(&pager, lo, hi, |k, v| got.push((k, v)));
+        let want: Vec<(u64, Vec<u8>)> = model
+            .range(lo..=hi)
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Heap files return exactly what was appended, in order, and every
+    /// record is retrievable by its id.
+    #[test]
+    fn heapfile_agrees_with_vec(
+        recs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..500),
+            1..120,
+        ),
+    ) {
+        let pager = Pager::new(32);
+        let mut hf = HeapFile::new();
+        let rids: Vec<_> = recs.iter().map(|r| hf.append(&pager, r)).collect();
+        prop_assert_eq!(hf.len(), recs.len());
+        for (rid, want) in rids.iter().zip(&recs) {
+            let got = hf.get(&pager, *rid);
+            prop_assert_eq!(got.as_deref(), Some(want.as_slice()));
+        }
+        let mut scanned = Vec::new();
+        hf.scan(&pager, |_, bytes| scanned.push(bytes.to_vec()));
+        prop_assert_eq!(scanned, recs);
+    }
+
+    /// Buffer-pool accounting: physical <= logical, hits + physical ==
+    /// logical, and a pool large enough to hold everything makes repeated
+    /// reads free.
+    #[test]
+    fn pool_accounting_invariants(
+        n_pages in 1usize..30,
+        accesses in proptest::collection::vec(0usize..30, 1..200),
+        pool in 1usize..40,
+    ) {
+        let pager = Pager::new(pool);
+        let ids: Vec<_> = (0..n_pages).map(|_| pager.alloc()).collect();
+        pager.reset_stats();
+        for &a in &accesses {
+            pager.with_page(ids[a % n_pages], |_| ());
+        }
+        let s = pager.stats();
+        prop_assert_eq!(s.logical_reads as usize, accesses.len());
+        prop_assert!(s.physical_reads <= s.logical_reads);
+        prop_assert_eq!(s.hits() + s.physical_reads, s.logical_reads);
+        if pool >= n_pages {
+            // Every page faults at most once.
+            prop_assert!(s.physical_reads as usize <= n_pages);
+        }
+    }
+
+    /// Writes never corrupt neighbouring bytes.
+    #[test]
+    fn page_writes_are_isolated(
+        off1 in 0usize..PAGE_SIZE - 64,
+        off2 in 0usize..PAGE_SIZE - 64,
+        data1 in proptest::collection::vec(any::<u8>(), 1..64),
+        data2 in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        prop_assume!(off1 + data1.len() <= off2 || off2 + data2.len() <= off1);
+        let pager = Pager::new(4);
+        let p = pager.alloc();
+        pager.write(p, off1, &data1);
+        pager.write(p, off2, &data2);
+        let page = pager.read_page(p);
+        prop_assert_eq!(&page[off1..off1 + data1.len()], data1.as_slice());
+        prop_assert_eq!(&page[off2..off2 + data2.len()], data2.as_slice());
+    }
+}

@@ -1,0 +1,226 @@
+//! ESRI ASCII grid (`.asc`) import.
+//!
+//! The paper's datasets were USGS DEMs; the classic interchange format for
+//! those is the ESRI ASCII grid, which every GIS tool can export:
+//!
+//! ```text
+//! ncols        4
+//! nrows        3
+//! xllcorner    0.0
+//! yllcorner    0.0
+//! cellsize     10.0
+//! NODATA_value -9999
+//! 1.0 2.0 3.0 4.0
+//! ...
+//! ```
+//!
+//! Rows are listed north-to-south; we flip them so row 0 is the southern
+//! edge, matching [`crate::dem::Dem`]'s convention. Non-square grids are
+//! cropped to their largest top-left square (the TIN builder assumes a
+//! square sample grid), and NODATA cells are filled with the mean of their
+//! valid 8-neighbours (iterated until the hole closes).
+
+use crate::dem::Dem;
+use std::io::{self, BufRead};
+
+/// Parse an ESRI ASCII grid into a [`Dem`].
+///
+/// Returns `io::ErrorKind::InvalidData` errors for malformed headers,
+/// short grids, or rows with the wrong arity.
+pub fn parse_ascii_grid(reader: impl BufRead) -> io::Result<Dem> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut ncols: Option<usize> = None;
+    let mut nrows: Option<usize> = None;
+    let mut cellsize: Option<f64> = None;
+    let mut nodata: f64 = -9999.0;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let first = parts.next().unwrap();
+        // Header keys are case-insensitive; data rows start with a number.
+        let key = first.to_ascii_lowercase();
+        let is_header = matches!(
+            key.as_str(),
+            "ncols" | "nrows" | "xllcorner" | "yllcorner" | "xllcenter" | "yllcenter"
+                | "cellsize" | "nodata_value"
+        );
+        if is_header {
+            let value = parts.next().ok_or_else(|| bad("header missing value"))?;
+            match key.as_str() {
+                "ncols" => ncols = Some(value.parse().map_err(|_| bad("bad ncols"))?),
+                "nrows" => nrows = Some(value.parse().map_err(|_| bad("bad nrows"))?),
+                "cellsize" => cellsize = Some(value.parse().map_err(|_| bad("bad cellsize"))?),
+                "nodata_value" => nodata = value.parse().map_err(|_| bad("bad NODATA_value"))?,
+                _ => {} // corner coordinates are irrelevant to a local model
+            }
+        } else {
+            let row: Result<Vec<f64>, _> = std::iter::once(first)
+                .chain(parts)
+                .map(|t| t.parse::<f64>())
+                .collect();
+            rows.push(row.map_err(|_| bad("non-numeric grid value"))?);
+        }
+    }
+
+    let ncols = ncols.ok_or_else(|| bad("missing ncols"))?;
+    let nrows = nrows.ok_or_else(|| bad("missing nrows"))?;
+    let cellsize = cellsize.ok_or_else(|| bad("missing cellsize"))?;
+    if cellsize <= 0.0 {
+        return Err(bad("cellsize must be positive"));
+    }
+    if rows.len() != nrows {
+        return Err(bad("row count does not match nrows"));
+    }
+    if rows.iter().any(|r| r.len() != ncols) {
+        return Err(bad("row width does not match ncols"));
+    }
+
+    // Crop to the largest square and flip to south-up.
+    let n = ncols.min(nrows);
+    if n < 2 {
+        return Err(bad("grid too small (need at least 2x2)"));
+    }
+    let mut heights = vec![f64::NAN; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let v = rows[nrows - 1 - r][c];
+            heights[r * n + c] = if v == nodata { f64::NAN } else { v };
+        }
+    }
+    fill_nodata(&mut heights, n)?;
+    Ok(Dem { n, cell_size_m: cellsize, heights })
+}
+
+/// Fill NaN holes with the mean of valid 8-neighbours, iterating inward.
+fn fill_nodata(h: &mut [f64], n: usize) -> io::Result<()> {
+    if !h.iter().any(|v| v.is_nan()) {
+        return Ok(());
+    }
+    if h.iter().all(|v| v.is_nan()) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "grid contains no valid samples",
+        ));
+    }
+    loop {
+        let mut fills: Vec<(usize, f64)> = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if !h[r * n + c].is_nan() {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                for dr in -1i64..=1 {
+                    for dc in -1i64..=1 {
+                        let (rr, cc) = (r as i64 + dr, c as i64 + dc);
+                        if rr >= 0 && rr < n as i64 && cc >= 0 && cc < n as i64 {
+                            let v = h[rr as usize * n + cc as usize];
+                            if !v.is_nan() {
+                                sum += v;
+                                cnt += 1.0;
+                            }
+                        }
+                    }
+                }
+                if cnt > 0.0 {
+                    fills.push((r * n + c, sum / cnt));
+                }
+            }
+        }
+        if fills.is_empty() {
+            return Ok(()); // no NaNs reachable -> none left (checked below)
+        }
+        for (i, v) in fills {
+            h[i] = v;
+        }
+        if !h.iter().any(|v| v.is_nan()) {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "\
+ncols 4
+nrows 4
+xllcorner 100.0
+yllcorner 200.0
+cellsize 10.0
+NODATA_value -9999
+1 2 3 4
+5 6 7 8
+9 10 11 12
+13 14 15 16
+";
+
+    #[test]
+    fn parses_and_flips_rows() {
+        let dem = parse_ascii_grid(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        assert_eq!(dem.n, 4);
+        assert_eq!(dem.cell_size_m, 10.0);
+        // First file row is the northern edge -> highest row index.
+        assert_eq!(dem.height(3, 0), 1.0);
+        assert_eq!(dem.height(0, 0), 13.0);
+        assert_eq!(dem.height(0, 3), 16.0);
+    }
+
+    #[test]
+    fn triangulates_after_import() {
+        let dem = parse_ascii_grid(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        let mesh = crate::builder::triangulate(&dem);
+        assert_eq!(mesh.num_vertices(), 16);
+        mesh.validate().unwrap();
+    }
+
+    #[test]
+    fn fills_nodata_holes() {
+        let text = SAMPLE.replace("5 6 7 8", "5 -9999 7 8");
+        let dem = parse_ascii_grid(BufReader::new(text.as_bytes())).unwrap();
+        let v = dem.height(2, 1); // the filled cell (row flipped)
+        assert!(v.is_finite());
+        // Mean of the valid neighbours of that position.
+        assert!(v > 1.0 && v < 12.0, "{v}");
+    }
+
+    #[test]
+    fn crops_rectangular_grids() {
+        let text = "ncols 5\nnrows 3\ncellsize 1.0\n1 2 3 4 5\n6 7 8 9 10\n11 12 13 14 15\n";
+        let dem = parse_ascii_grid(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(dem.n, 3);
+        assert_eq!(dem.height(2, 0), 1.0); // northern row
+        assert_eq!(dem.height(0, 2), 13.0);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for text in [
+            "nrows 2\ncellsize 1.0\n1 2\n3 4\n",            // missing ncols
+            "ncols 2\nnrows 2\ncellsize 1.0\n1 2\n",        // short grid
+            "ncols 2\nnrows 2\ncellsize 1.0\n1 2\n3 x\n",   // non-numeric
+            "ncols 2\nnrows 2\ncellsize 0.0\n1 2\n3 4\n",   // bad cellsize
+            "ncols 1\nnrows 1\ncellsize 1.0\n7\n",          // too small
+        ] {
+            assert!(
+                parse_ascii_grid(BufReader::new(text.as_bytes())).is_err(),
+                "accepted: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_nodata_rejected() {
+        let text = "ncols 2\nnrows 2\ncellsize 1.0\nNODATA_value -1\n-1 -1\n-1 -1\n";
+        assert!(parse_ascii_grid(BufReader::new(text.as_bytes())).is_err());
+    }
+}

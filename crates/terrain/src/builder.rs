@@ -1,0 +1,90 @@
+//! DEM → TIN triangulation.
+//!
+//! Each grid cell becomes two triangles. The diagonal alternates in a
+//! checkerboard pattern so the triangulation has no global directional bias
+//! (a uniform diagonal skews surface-distance anisotropy measurably).
+
+use crate::dem::Dem;
+use crate::mesh::TerrainMesh;
+use sknn_geom::Point3;
+
+/// Triangulate a DEM into a counter-clockwise TIN.
+pub fn triangulate(dem: &Dem) -> TerrainMesh {
+    let n = dem.n;
+    let s = dem.cell_size_m;
+    let mut vertices = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            vertices.push(Point3::new(c as f64 * s, r as f64 * s, dem.height(r, c)));
+        }
+    }
+    let v = |r: usize, c: usize| (r * n + c) as u32;
+    let mut triangles = Vec::with_capacity(2 * (n - 1) * (n - 1));
+    for r in 0..n - 1 {
+        for c in 0..n - 1 {
+            // Corners: sw, se, ne, nw (CCW when y grows north).
+            let sw = v(r, c);
+            let se = v(r, c + 1);
+            let ne = v(r + 1, c + 1);
+            let nw = v(r + 1, c);
+            if (r + c) % 2 == 0 {
+                // Diagonal sw-ne.
+                triangles.push([sw, se, ne]);
+                triangles.push([sw, ne, nw]);
+            } else {
+                // Diagonal se-nw.
+                triangles.push([sw, se, nw]);
+                triangles.push([se, ne, nw]);
+            }
+        }
+    }
+    TerrainMesh::new(vertices, triangles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::TerrainConfig;
+
+    #[test]
+    fn counts_match_grid() {
+        let dem = TerrainConfig::bh().with_grid(17).build(1);
+        let m = triangulate(&dem);
+        let n = dem.n;
+        assert_eq!(m.num_vertices(), n * n);
+        assert_eq!(m.num_triangles(), 2 * (n - 1) * (n - 1));
+        // Euler-style edge count for this triangulation:
+        // grid edges + diagonals = 2n(n-1) + (n-1)^2
+        assert_eq!(m.num_edges(), 2 * n * (n - 1) + (n - 1) * (n - 1));
+    }
+
+    #[test]
+    fn mesh_is_valid_and_ccw() {
+        let dem = TerrainConfig::ep().with_grid(17).build(2);
+        let m = triangulate(&dem);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn planar_area_equals_extent_square() {
+        let dem = TerrainConfig::bh().with_grid(9).build(3);
+        let m = triangulate(&dem);
+        let e = dem.extent_m();
+        assert!((m.planar_area() - e * e).abs() < 1e-6 * e * e);
+    }
+
+    #[test]
+    fn interior_vertex_degree() {
+        let dem = TerrainConfig::bh().with_grid(9).build(4);
+        let m = triangulate(&dem);
+        let n = dem.n;
+        // An interior vertex touches 4 axis edges + 2..4 diagonals
+        // (checkerboard alternation gives every interior vertex exactly
+        // degree 6 or 8? count: each interior vertex has 4 orthogonal
+        // neighbours and diagonals from adjacent cells whose split passes
+        // through it).
+        let center = (n / 2) * n + n / 2;
+        let deg = m.neighbors(center as u32).len();
+        assert!((5..=8).contains(&deg), "degree {deg}");
+    }
+}

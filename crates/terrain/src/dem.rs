@@ -1,0 +1,325 @@
+//! Synthetic digital elevation models.
+//!
+//! The generator is seeded diamond–square with a Hurst-exponent roughness
+//! control (amplitude halves by `2^-H` per octave), optionally followed by
+//! smoothing passes. Two presets mirror the paper's datasets:
+//!
+//! * [`TerrainConfig::bh`] — "Bearhead Mountain"-like: rugged, high relief.
+//!   The paper reports surface/Euclidean distance ratios of 200–300 % in
+//!   such areas.
+//! * [`TerrainConfig::ep`] — "Eagle Peak"-like: noticeably smoother.
+//!
+//! Everything is deterministic given (config, seed), so every figure in the
+//! benchmark suite is reproducible bit-for-bit.
+
+use crate::mesh::TerrainMesh;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which real-world dataset a config imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerrainKind {
+    /// Rugged mountain terrain (Bearhead Mountain, WA analogue).
+    Bearhead,
+    /// Milder terrain (Eagle Peak, WY analogue).
+    EaglePeak,
+    /// Fully custom parameters.
+    Custom,
+}
+
+/// Parameters of a synthetic DEM.
+#[derive(Debug, Clone)]
+pub struct TerrainConfig {
+    /// The kind.
+    pub kind: TerrainKind,
+    /// Grid points per side. Rounded up to `2^k + 1` internally.
+    pub grid: usize,
+    /// Horizontal spacing between grid samples, metres (USGS DEMs: 10 m).
+    pub cell_size_m: f64,
+    /// Peak-to-peak relief of the base octave, metres.
+    pub relief_m: f64,
+    /// Hurst exponent in `(0, 1]`: smaller is rougher.
+    pub hurst: f64,
+    /// Post-synthesis 3x3 smoothing passes (EP uses more).
+    pub smoothing_passes: usize,
+}
+
+impl TerrainConfig {
+    /// Rugged preset ("more mountains than Eagle Peak", §5.1). Tuned so the
+    /// local slope statistics resemble a 10 m mountain DEM: relief ~35 % of
+    /// the extent, per-cell slopes around 0.4–0.8.
+    pub fn bh() -> Self {
+        Self {
+            kind: TerrainKind::Bearhead,
+            grid: 129,
+            cell_size_m: 10.0,
+            relief_m: 450.0,
+            hurst: 0.55,
+            smoothing_passes: 0,
+        }
+    }
+
+    /// Smoother preset: rolling terrain with per-cell slopes around 0.1.
+    pub fn ep() -> Self {
+        Self {
+            kind: TerrainKind::EaglePeak,
+            grid: 129,
+            cell_size_m: 10.0,
+            relief_m: 200.0,
+            hurst: 0.9,
+            smoothing_passes: 1,
+        }
+    }
+
+    /// Override the grid resolution (points per side).
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// Override the relief amplitude.
+    pub fn with_relief(mut self, relief_m: f64) -> Self {
+        self.relief_m = relief_m;
+        self
+    }
+
+    /// Override the Hurst exponent.
+    pub fn with_hurst(mut self, hurst: f64) -> Self {
+        self.hurst = hurst;
+        self.kind = TerrainKind::Custom;
+        self
+    }
+
+    /// Synthesize the DEM with the given RNG seed.
+    pub fn build(&self, seed: u64) -> Dem {
+        Dem::generate(self, seed)
+    }
+
+    /// Synthesize and triangulate in one step.
+    pub fn build_mesh(&self, seed: u64) -> TerrainMesh {
+        crate::builder::triangulate(&self.build(seed))
+    }
+}
+
+/// A regular elevation grid.
+#[derive(Debug, Clone)]
+pub struct Dem {
+    /// Points per side (always `2^k + 1`).
+    pub n: usize,
+    /// The cell size m.
+    pub cell_size_m: f64,
+    /// Row-major elevations, `heights[row * n + col]`.
+    pub heights: Vec<f64>,
+}
+
+impl Dem {
+    /// Diamond–square synthesis.
+    ///
+    /// `relief_m` is specified for the presets' reference extent (1.28 km,
+    /// the 129-point grid at 10 m spacing) and scales linearly with the
+    /// actual extent, so slope statistics — which drive every surface-
+    /// distance effect — are invariant under grid scaling.
+    pub fn generate(config: &TerrainConfig, seed: u64) -> Dem {
+        let n = round_up_pow2_plus1(config.grid.max(3));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0.0f64; n * n];
+        let idx = |r: usize, c: usize| r * n + c;
+
+        let extent_scale = ((n - 1) as f64 * config.cell_size_m) / 1280.0;
+        let mut amp = config.relief_m * 0.5 * extent_scale;
+        // Seed the corners.
+        for (r, c) in [(0, 0), (0, n - 1), (n - 1, 0), (n - 1, n - 1)] {
+            h[idx(r, c)] = rng.gen_range(-amp..=amp);
+        }
+
+        let mut step = n - 1;
+        let decay = 0.5f64.powf(config.hurst);
+        while step > 1 {
+            let half = step / 2;
+            // Diamond step: centres of squares.
+            for r in (half..n).step_by(step) {
+                for c in (half..n).step_by(step) {
+                    let avg = (h[idx(r - half, c - half)]
+                        + h[idx(r - half, c + half)]
+                        + h[idx(r + half, c - half)]
+                        + h[idx(r + half, c + half)])
+                        / 4.0;
+                    h[idx(r, c)] = avg + rng.gen_range(-amp..=amp);
+                }
+            }
+            // Square step: edge midpoints, wrapping contributions dropped at
+            // the boundary.
+            for r in (0..n).step_by(half) {
+                let c0 = if (r / half).is_multiple_of(2) { half } else { 0 };
+                for c in (c0..n).step_by(step) {
+                    let mut sum = 0.0;
+                    let mut cnt = 0.0;
+                    if r >= half {
+                        sum += h[idx(r - half, c)];
+                        cnt += 1.0;
+                    }
+                    if r + half < n {
+                        sum += h[idx(r + half, c)];
+                        cnt += 1.0;
+                    }
+                    if c >= half {
+                        sum += h[idx(r, c - half)];
+                        cnt += 1.0;
+                    }
+                    if c + half < n {
+                        sum += h[idx(r, c + half)];
+                        cnt += 1.0;
+                    }
+                    h[idx(r, c)] = sum / cnt + rng.gen_range(-amp..=amp);
+                }
+            }
+            amp *= decay;
+            step = half;
+        }
+
+        let mut dem = Dem {
+            n,
+            cell_size_m: config.cell_size_m,
+            heights: h,
+        };
+        for _ in 0..config.smoothing_passes {
+            dem.smooth();
+        }
+        dem
+    }
+
+    /// One 3x3 box-blur pass (boundary cells use the available neighbours).
+    pub fn smooth(&mut self) {
+        let n = self.n;
+        let src = self.heights.clone();
+        for r in 0..n {
+            for c in 0..n {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                for dr in -1i64..=1 {
+                    for dc in -1i64..=1 {
+                        let rr = r as i64 + dr;
+                        let cc = c as i64 + dc;
+                        if rr >= 0 && rr < n as i64 && cc >= 0 && cc < n as i64 {
+                            sum += src[rr as usize * n + cc as usize];
+                            cnt += 1.0;
+                        }
+                    }
+                }
+                self.heights[r * n + c] = sum / cnt;
+            }
+        }
+    }
+
+    /// Extent along y.
+    pub fn height(&self, row: usize, col: usize) -> f64 {
+        self.heights[row * self.n + col]
+    }
+
+    /// Side length of the covered square, metres.
+    pub fn extent_m(&self) -> f64 {
+        (self.n - 1) as f64 * self.cell_size_m
+    }
+
+    /// Covered area in km².
+    pub fn area_km2(&self) -> f64 {
+        let e = self.extent_m() / 1000.0;
+        e * e
+    }
+
+    /// Min max.
+    pub fn min_max(&self) -> (f64, f64) {
+        self.heights.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &z| {
+            (lo.min(z), hi.max(z))
+        })
+    }
+}
+
+fn round_up_pow2_plus1(n: usize) -> usize {
+    let mut p = 2usize;
+    while p + 1 < n {
+        p *= 2;
+    }
+    p + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_rounding() {
+        assert_eq!(round_up_pow2_plus1(3), 3);
+        assert_eq!(round_up_pow2_plus1(4), 5);
+        assert_eq!(round_up_pow2_plus1(5), 5);
+        assert_eq!(round_up_pow2_plus1(100), 129);
+        assert_eq!(round_up_pow2_plus1(129), 129);
+        assert_eq!(round_up_pow2_plus1(130), 257);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TerrainConfig::bh().with_grid(33);
+        let a = cfg.build(9);
+        let b = cfg.build(9);
+        assert_eq!(a.heights, b.heights);
+        let c = cfg.build(10);
+        assert_ne!(a.heights, c.heights);
+    }
+
+    #[test]
+    fn relief_is_bounded_by_geometric_series() {
+        let cfg = TerrainConfig::bh().with_grid(65);
+        let dem = cfg.build(1);
+        let (lo, hi) = dem.min_max();
+        // Sum of displacement amplitudes is a geometric series; the total
+        // range is comfortably below 4x the base relief.
+        assert!(hi - lo <= 4.0 * cfg.relief_m, "range {}", hi - lo);
+        assert!(hi - lo > 0.0);
+    }
+
+    #[test]
+    fn smoothing_reduces_roughness() {
+        let cfg = TerrainConfig::bh().with_grid(65);
+        let rough = cfg.build(5);
+        let mut smooth = rough.clone();
+        smooth.smooth();
+        let tv = |d: &Dem| -> f64 {
+            let n = d.n;
+            let mut sum = 0.0;
+            for r in 0..n {
+                for c in 1..n {
+                    sum += (d.height(r, c) - d.height(r, c - 1)).abs();
+                }
+            }
+            sum
+        };
+        assert!(tv(&smooth) < tv(&rough));
+    }
+
+    #[test]
+    fn bh_is_rougher_than_ep() {
+        let bh = TerrainConfig::bh().with_grid(65).build(3);
+        let ep = TerrainConfig::ep().with_grid(65).build(3);
+        let grad = |d: &Dem| -> f64 {
+            let n = d.n;
+            let mut sum = 0.0;
+            let mut cnt = 0.0;
+            for r in 0..n {
+                for c in 1..n {
+                    sum += ((d.height(r, c) - d.height(r, c - 1)) / d.cell_size_m).abs();
+                    cnt += 1.0;
+                }
+            }
+            sum / cnt
+        };
+        assert!(grad(&bh) > 2.0 * grad(&ep), "bh {} ep {}", grad(&bh), grad(&ep));
+    }
+
+    #[test]
+    fn extent_and_area() {
+        let dem = TerrainConfig::bh().with_grid(129).build(0);
+        assert_eq!(dem.extent_m(), 1280.0);
+        assert!((dem.area_km2() - 1.6384).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Terrain substrate: synthetic digital elevation models and triangulated
+//! terrain meshes.
+//!
+//! The paper evaluates on two USGS DEMs (Bearhead Mountain, WA — rugged; and
+//! Eagle Peak, WY — smoother) that are no longer distributable. This crate
+//! generates *synthetic* DEMs with the same controllable statistics
+//! (roughness/relief via fractional-Brownian diamond–square synthesis) and
+//! triangulates them into [`mesh::TerrainMesh`] — the "original surface
+//! model" every other structure (DMTM, MSDN, pathnet) is derived from.
+//!
+//! ```
+//! use sknn_terrain::{TerrainConfig, MeshStats};
+//!
+//! // Deterministic rugged terrain, 33x33 samples at 10 m spacing.
+//! let mesh = TerrainConfig::bh().with_grid(33).build_mesh(7);
+//! assert_eq!(mesh.num_vertices(), 33 * 33);
+//! let stats = MeshStats::compute(&mesh);
+//! assert!(stats.rugosity > 1.0); // rugged: more surface than footprint
+//! ```
+
+pub mod ascii_grid;
+pub mod builder;
+pub mod dem;
+pub mod locate;
+pub mod obj;
+pub mod mesh;
+pub mod stats;
+
+pub use ascii_grid::parse_ascii_grid;
+pub use dem::{Dem, TerrainConfig, TerrainKind};
+pub use locate::TriangleLocator;
+pub use mesh::TerrainMesh;
+pub use stats::MeshStats;

@@ -1,0 +1,82 @@
+//! Wavefront OBJ export.
+//!
+//! The paper's Fig. 1 shows the same terrain at two resolutions; this
+//! module lets any front of the DMTM (or the original mesh) be inspected
+//! in standard mesh viewers. Meshes export as `v`/`f` records; resolution
+//! fronts — which are graphs, not triangulations — export as `v`/`l`
+//! polyline records.
+
+use crate::mesh::TerrainMesh;
+use sknn_geom::Point3;
+use std::io::{self, Write};
+
+/// Write a triangulated terrain as OBJ (`v` + `f`).
+pub fn write_mesh_obj(mesh: &TerrainMesh, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "# surface-knn terrain: {} vertices, {} facets", mesh.num_vertices(), mesh.num_triangles())?;
+    for v in mesh.vertices() {
+        writeln!(out, "v {} {} {}", v.x, v.y, v.z)?;
+    }
+    for t in mesh.triangles() {
+        // OBJ indices are 1-based.
+        writeln!(out, "f {} {} {}", t[0] + 1, t[1] + 1, t[2] + 1)?;
+    }
+    Ok(())
+}
+
+/// Write a graph (node positions + edges) as OBJ line elements (`v` + `l`).
+/// Used for DMTM fronts and shortest-path polylines.
+pub fn write_graph_obj(
+    positions: &[Point3],
+    edges: &[(u32, u32)],
+    out: &mut impl Write,
+) -> io::Result<()> {
+    writeln!(out, "# surface-knn graph: {} nodes, {} edges", positions.len(), edges.len())?;
+    for v in positions {
+        writeln!(out, "v {} {} {}", v.x, v.y, v.z)?;
+    }
+    for &(a, b) in edges {
+        writeln!(out, "l {} {}", a + 1, b + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::TerrainConfig;
+
+    #[test]
+    fn mesh_obj_roundtrip_counts() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(1);
+        let mut buf = Vec::new();
+        write_mesh_obj(&mesh, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let nv = text.lines().filter(|l| l.starts_with("v ")).count();
+        let nf = text.lines().filter(|l| l.starts_with("f ")).count();
+        assert_eq!(nv, mesh.num_vertices());
+        assert_eq!(nf, mesh.num_triangles());
+        // Face indices are valid 1-based references.
+        for line in text.lines().filter(|l| l.starts_with("f ")) {
+            for idx in line.split_whitespace().skip(1) {
+                let i: usize = idx.parse().unwrap();
+                assert!(i >= 1 && i <= nv);
+            }
+        }
+    }
+
+    #[test]
+    fn graph_obj_lines() {
+        let pos = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 2.0),
+            Point3::new(1.0, 1.0, 1.0),
+        ];
+        let edges = vec![(0u32, 1u32), (1, 2)];
+        let mut buf = Vec::new();
+        write_graph_obj(&pos, &edges, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("l ")).count(), 2);
+        assert!(text.contains("l 1 2"));
+        assert!(text.contains("l 2 3"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Terrain roughness statistics.
+//!
+//! The paper's motivation (§1) leans on the observation that the
+//! surface/Euclidean distance ratio varies wildly with terrain roughness
+//! (200–300 % in rugged areas vs 20–40 % elsewhere — i.e. ratios of
+//! ~1.2–3.0). These statistics characterise a mesh so benchmark output can
+//! report which regime a synthetic terrain is in, and so MSDN plane spacing
+//! can adapt to roughness.
+
+use crate::mesh::TerrainMesh;
+
+/// Summary statistics of a terrain mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshStats {
+    /// The num vertices.
+    pub num_vertices: usize,
+    /// The num triangles.
+    pub num_triangles: usize,
+    /// The num edges.
+    pub num_edges: usize,
+    /// Total facet area / projected area; 1.0 for a flat plane.
+    pub rugosity: f64,
+    /// The mean edge length.
+    pub mean_edge_length: f64,
+    /// The min elevation.
+    pub min_elevation: f64,
+    /// The max elevation.
+    pub max_elevation: f64,
+    /// Mean absolute facet slope (rise over run of facet normals).
+    pub mean_slope: f64,
+}
+
+impl MeshStats {
+    /// Compute.
+    pub fn compute(mesh: &TerrainMesh) -> Self {
+        let surface = mesh.surface_area();
+        let planar = mesh.planar_area().max(1e-12);
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for v in mesh.vertices() {
+            lo = lo.min(v.z);
+            hi = hi.max(v.z);
+        }
+        let mut slope_sum = 0.0;
+        for t in 0..mesh.num_triangles() as u32 {
+            let n = mesh.triangle(t).normal().normalized();
+            let horiz = (n.x * n.x + n.y * n.y).sqrt();
+            let vert = n.z.abs().max(1e-12);
+            slope_sum += horiz / vert;
+        }
+        Self {
+            num_vertices: mesh.num_vertices(),
+            num_triangles: mesh.num_triangles(),
+            num_edges: mesh.num_edges(),
+            rugosity: surface / planar,
+            mean_edge_length: mesh.mean_edge_length(),
+            min_elevation: lo,
+            max_elevation: hi,
+            mean_slope: slope_sum / mesh.num_triangles().max(1) as f64,
+        }
+    }
+
+    /// Elevation relief (max − min).
+    pub fn relief(&self) -> f64 {
+        self.max_elevation - self.min_elevation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dem::TerrainConfig;
+
+    #[test]
+    fn flat_plane_has_unit_rugosity() {
+        use sknn_geom::Point3;
+        let vs = vec![
+            Point3::new(0.0, 0.0, 5.0),
+            Point3::new(1.0, 0.0, 5.0),
+            Point3::new(1.0, 1.0, 5.0),
+            Point3::new(0.0, 1.0, 5.0),
+        ];
+        let m = TerrainMesh::new(vs, vec![[0, 1, 2], [0, 2, 3]]);
+        let s = MeshStats::compute(&m);
+        assert!((s.rugosity - 1.0).abs() < 1e-12);
+        assert_eq!(s.relief(), 0.0);
+        assert!(s.mean_slope.abs() < 1e-9);
+    }
+
+    #[test]
+    fn bh_rugosity_exceeds_ep() {
+        let bh = MeshStats::compute(&TerrainConfig::bh().with_grid(65).build_mesh(11));
+        let ep = MeshStats::compute(&TerrainConfig::ep().with_grid(65).build_mesh(11));
+        assert!(bh.rugosity > ep.rugosity, "bh {} ep {}", bh.rugosity, ep.rugosity);
+        assert!(bh.mean_slope > ep.mean_slope);
+        // The BH preset should be genuinely rugged.
+        assert!(bh.rugosity > 1.15, "bh rugosity {}", bh.rugosity);
+    }
+
+    #[test]
+    fn counts_passthrough() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(0);
+        let s = MeshStats::compute(&mesh);
+        assert_eq!(s.num_vertices, mesh.num_vertices());
+        assert_eq!(s.num_triangles, mesh.num_triangles());
+        assert_eq!(s.num_edges, mesh.num_edges());
+        assert!(s.mean_edge_length > 0.0);
+    }
+}

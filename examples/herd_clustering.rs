@@ -1,0 +1,65 @@
+//! Herd clustering — the paper's §1 narrative end to end: group animal
+//! sightings by *surface* distance (DBSCAN over surface range queries),
+//! then stream in new sightings and assign them to herds with surface
+//! 1-NN queries, flagging the ones that may be a new grouping.
+//!
+//! ```sh
+//! cargo run --release --example herd_clustering
+//! ```
+
+use surface_knn::core::cluster::{assign_sightings, surface_dbscan, DbscanConfig};
+use surface_knn::prelude::*;
+
+fn main() {
+    let mesh = TerrainConfig::bh().with_grid(65).build_mesh(909);
+    // Sightings gather around a few water sources.
+    let scene = SceneBuilder::new(&mesh)
+        .object_count(45)
+        .clustered(4, 30.0)
+        .seed(5)
+        .build();
+    let engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+
+    let cfg = DbscanConfig { eps: 90.0, min_pts: 3 };
+    let clustering = surface_dbscan(&engine, &cfg);
+    println!(
+        "{} sightings -> {} herds, {} unaffiliated (eps {} m surface, min_pts {})",
+        scene.num_objects(),
+        clustering.num_clusters,
+        clustering.noise_count(),
+        cfg.eps,
+        cfg.min_pts
+    );
+    for c in 0..clustering.num_clusters {
+        let members = clustering.members(c);
+        let cx = members
+            .iter()
+            .map(|&id| scene.object(id).point.pos.x)
+            .sum::<f64>()
+            / members.len() as f64;
+        let cy = members
+            .iter()
+            .map(|&id| scene.object(id).point.pos.y)
+            .sum::<f64>()
+            / members.len() as f64;
+        println!(
+            "  herd {c}: {:>2} sightings around ({cx:.0}, {cy:.0})",
+            members.len()
+        );
+    }
+    println!(
+        "clustering cost: {} disk pages, {:?} cpu",
+        clustering.stats.pages, clustering.stats.cpu
+    );
+
+    // New sightings arrive.
+    let new = scene.random_queries(8, 2027);
+    let labels = assign_sightings(&engine, &clustering, &new, cfg.eps);
+    println!("\nnew sightings:");
+    for (s, l) in new.iter().zip(&labels) {
+        match l {
+            Some(c) => println!("  ({:>4.0}, {:>4.0}) -> herd {c}", s.pos.x, s.pos.y),
+            None => println!("  ({:>4.0}, {:>4.0}) -> unaffiliated (possible new herd)", s.pos.x, s.pos.y),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! `sknn` — command-line front end for surface k-NN query processing.
+//!
+//! ```text
+//! sknn info                            terrain + structure statistics
+//! sknn knn --k 5 --queries 3           surface k-NN queries
+//! sknn range --radius 150              surface range query
+//! sknn pair                            surface closest pair
+//! sknn constrained --max-slope 1.5     obstacle-constrained k-NN
+//! sknn export --out terrain.obj [--resolution 0.25]
+//!                                      export terrain (or a DMTM front) as OBJ
+//! sknn prepare --structures t.sknn     prebuild + save the DMTM/MSDN bundle
+//!
+//! common flags:
+//!   --preset bh|ep     terrain preset (default bh)
+//!   --dem file.asc     load a real DEM (ESRI ASCII grid) instead of a preset
+//!   --grid N           grid points per side (default 65)
+//!   --seed N           master seed (default 42)
+//!   --objects N        object count (default 50)
+//!   --schedule s1|s2|s3  MR3 step schedule (default s1)
+//!   --structures f.sknn  reuse a saved structure bundle for knn/range/pair
+//! ```
+
+use surface_knn::core::constrained::{ConstrainedEngine, ObstacleMask};
+use surface_knn::core::config::StepSchedule;
+use surface_knn::prelude::*;
+use surface_knn::terrain::stats::MeshStats;
+
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i + 1 < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                pairs.push((name.to_string(), args[i + 1].clone()));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        Self { pairs }
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn get_str(&self, name: &str, default: &str) -> String {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = argv.first().cloned().unwrap_or_else(|| "help".into());
+    let flags = Flags::parse(&argv);
+
+    let preset = flags.get_str("preset", "bh");
+    let grid: usize = flags.get("grid", 65);
+    let seed: u64 = flags.get("seed", 42);
+    let objects: usize = flags.get("objects", 50);
+    let dem_path = flags.get_str("dem", "");
+    let mesh = if dem_path.is_empty() {
+        let cfg_base = match preset.as_str() {
+            "ep" => TerrainConfig::ep(),
+            _ => TerrainConfig::bh(),
+        };
+        cfg_base.with_grid(grid).build_mesh(seed)
+    } else {
+        let file = std::fs::File::open(&dem_path).expect("cannot open DEM file");
+        let dem = surface_knn::terrain::parse_ascii_grid(std::io::BufReader::new(file))
+            .expect("malformed ESRI ASCII grid");
+        surface_knn::terrain::builder::triangulate(&dem)
+    };
+    let scene = SceneBuilder::new(&mesh).object_count(objects).seed(seed ^ 1).build();
+
+    let schedule = match flags.get_str("schedule", "s1").as_str() {
+        "s2" => StepSchedule::s2(),
+        "s3" => StepSchedule::s3(),
+        _ => StepSchedule::s1(),
+    };
+    let cfg = Mr3Config::default().with_schedule(schedule);
+
+    // Optional prebuilt-structure bundle for the query commands.
+    let structures_path = flags.get_str("structures", "");
+    let build_engine = |cfg: &Mr3Config| -> Mr3Engine {
+        if structures_path.is_empty() {
+            Mr3Engine::build(&mesh, &scene, cfg)
+        } else {
+            let s = surface_knn::core::persist::Structures::load(&structures_path)
+                .expect("cannot load structure bundle");
+            Mr3Engine::build_from(&mesh, &scene, cfg, s)
+        }
+    };
+
+    match cmd.as_str() {
+        "prepare" => {
+            let out = if structures_path.is_empty() {
+                "terrain.sknn".to_string()
+            } else {
+                structures_path.clone()
+            };
+            let s = surface_knn::core::persist::Structures::build(&mesh, &cfg);
+            s.save(&out).expect("cannot save structure bundle");
+            println!(
+                "saved DMTM ({} nodes) + MSDN ({} levels) to {out}",
+                s.tree.nodes().len(),
+                s.msdn.num_levels()
+            );
+        }
+        "info" => {
+            let s = MeshStats::compute(&mesh);
+            println!("preset        : {preset}");
+            println!("vertices      : {}", s.num_vertices);
+            println!("facets        : {}", s.num_triangles);
+            println!("edges         : {}", s.num_edges);
+            println!("extent        : {:.0} m x {:.0} m", mesh.extent().width(), mesh.extent().height());
+            println!("relief        : {:.1} m", s.relief());
+            println!("rugosity      : {:.3}", s.rugosity);
+            println!("mean slope    : {:.3}", s.mean_slope);
+            println!("mean edge len : {:.2} m", s.mean_edge_length);
+            println!("objects       : {}", scene.num_objects());
+        }
+        "knn" => {
+            let k: usize = flags.get("k", 5);
+            let nq: usize = flags.get("queries", 1);
+            let engine = build_engine(&cfg);
+            for (i, q) in scene.random_queries(nq, seed ^ 7).into_iter().enumerate() {
+                let res = engine.query(q, k);
+                println!("query {i} at ({:.0}, {:.0}):", q.pos.x, q.pos.y);
+                for (rank, n) in res.neighbors.iter().enumerate() {
+                    println!(
+                        "  {}. object {:>3}  surface [{:>8.1}, {:>8.1}] m",
+                        rank + 1,
+                        n.id,
+                        n.range.lb,
+                        n.range.ub
+                    );
+                }
+                println!(
+                    "  cost: {} pages, {:.1} ms cpu, {} iterations, {} candidates",
+                    res.stats.pages,
+                    res.stats.cpu.as_secs_f64() * 1e3,
+                    res.stats.iterations,
+                    res.stats.candidates
+                );
+            }
+        }
+        "range" => {
+            let radius: f64 = flags.get("radius", 150.0);
+            let engine = build_engine(&cfg);
+            let q = scene.random_query(seed ^ 7);
+            let res = engine.range_query(q, radius);
+            println!(
+                "objects within {radius} m surface distance of ({:.0}, {:.0}): {:?}",
+                q.pos.x, q.pos.y, res.inside
+            );
+            if !res.undecided.is_empty() {
+                println!("undecided at max resolution: {:?}", res.undecided);
+            }
+            println!(
+                "cost: {} pages, {:.1} ms cpu",
+                res.stats.pages,
+                res.stats.cpu.as_secs_f64() * 1e3
+            );
+        }
+        "pair" => {
+            let engine = build_engine(&cfg);
+            match engine.closest_pair() {
+                Some(cp) => println!(
+                    "closest pair: {} and {} at [{:.1}, {:.1}] m ({}; {} pairs considered, {:.1} ms cpu)",
+                    cp.a,
+                    cp.b,
+                    cp.range.lb,
+                    cp.range.ub,
+                    if cp.proven { "proven" } else { "estimated" },
+                    cp.stats.candidates,
+                    cp.stats.cpu.as_secs_f64() * 1e3
+                ),
+                None => println!("need at least two objects"),
+            }
+        }
+        "constrained" => {
+            let k: usize = flags.get("k", 5);
+            let max_slope: f64 = flags.get("max-slope", 1.5);
+            let mask = ObstacleMask::from_slope_limit(&mesh, max_slope);
+            println!(
+                "slope limit {max_slope}: {:.1}% of facets blocked",
+                mask.blocked_fraction() * 100.0
+            );
+            let engine = ConstrainedEngine::build(&mesh, &scene, mask, 256);
+            let q = scene.random_query(seed ^ 7);
+            let res = engine.query(q, k);
+            if res.neighbors.is_empty() {
+                println!("no reachable objects from ({:.0}, {:.0})", q.pos.x, q.pos.y);
+            }
+            for (rank, n) in res.neighbors.iter().enumerate() {
+                println!(
+                    "  {}. object {:>3}  constrained surface [{:>8.1}, {:>8.1}] m",
+                    rank + 1,
+                    n.id,
+                    n.range.lb,
+                    n.range.ub
+                );
+            }
+        }
+        "export" => {
+            use surface_knn::multires::{build_dmtm, FrontGraph};
+            use surface_knn::terrain::obj;
+            let out_path = flags.get_str("out", "terrain.obj");
+            let resolution: f64 = flags.get("resolution", 1.0);
+            let mut file = std::io::BufWriter::new(
+                std::fs::File::create(&out_path).expect("cannot create output file"),
+            );
+            if resolution >= 1.0 {
+                obj::write_mesh_obj(&mesh, &mut file).unwrap();
+                println!("wrote full mesh to {out_path}");
+            } else {
+                let tree = build_dmtm(&mesh);
+                let m = tree.step_for_fraction(resolution);
+                let fg = FrontGraph::extract(&tree, m, None);
+                let edges: Vec<(u32, u32)> =
+                    fg.edges.iter().map(|&(a, b, _)| (a, b)).collect();
+                obj::write_graph_obj(&fg.rep_pos, &edges, &mut file).unwrap();
+                println!(
+                    "wrote {:.1}% front ({} nodes, {} edges) to {out_path}",
+                    resolution * 100.0,
+                    fg.num_nodes(),
+                    edges.len()
+                );
+            }
+        }
+        _ => {
+            println!("usage: sknn <info|knn|range|pair|constrained|export|prepare> [flags]");
+            println!("see the module docs (src/bin/sknn.rs) for the flag list");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests of the core invariants from DESIGN.md §5, run
+//! across crates with shared fixtures.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use surface_knn::core::config::Mr3Config;
+use surface_knn::core::metrics::QueryStats;
+use surface_knn::core::ranking::RankingContext;
+use surface_knn::core::workload::{SceneBuilder, SurfacePoint};
+use surface_knn::geodesic::ExactGeodesic;
+use surface_knn::geom::{Axis, AxisPlane, Point2};
+use surface_knn::multires::{build_dmtm, DmtmTree, PagedDmtm};
+use surface_knn::sdn::crossing::CrossingLine;
+use surface_knn::sdn::{simplify_line, Msdn, MsdnConfig, PagedMsdn};
+use surface_knn::store::Pager;
+use surface_knn::terrain::locate::TriangleLocator;
+use surface_knn::terrain::mesh::TerrainMesh;
+use surface_knn::terrain::TerrainConfig;
+
+struct Fixture {
+    mesh: TerrainMesh,
+    locator: TriangleLocator,
+    pager: Pager,
+    dmtm: PagedDmtm,
+    msdn: PagedMsdn,
+    cfg: Mr3Config,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(4242);
+        let locator = TriangleLocator::build(&mesh);
+        let pager = Pager::new(256);
+        let dmtm = PagedDmtm::build(&pager, build_dmtm(&mesh));
+        let cfg = Mr3Config::default();
+        let msdn_cfg = MsdnConfig { levels: cfg.msdn_levels.clone(), plane_spacing: None };
+        let msdn = PagedMsdn::build(&pager, &Msdn::build(&mesh, &msdn_cfg));
+        Fixture { mesh, locator, pager, dmtm, msdn, cfg }
+    })
+}
+
+fn exact() -> &'static ExactGeodesic<'static> {
+    static GEO: OnceLock<ExactGeodesic<'static>> = OnceLock::new();
+    GEO.get_or_init(|| ExactGeodesic::new(&fixture().mesh))
+}
+
+fn surface_point(f: &Fixture, x: f64, y: f64) -> SurfacePoint {
+    let e = f.mesh.extent();
+    let p = Point2::new(
+        e.lo.x + x * e.width().max(1e-9),
+        e.lo.y + y * e.height().max(1e-9),
+    );
+    let tri = f.locator.locate(&f.mesh, p).unwrap();
+    let pos = f.mesh.triangle(tri).lift_xy(p).unwrap();
+    SurfacePoint { tri, pos }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Invariant 1: at every resolution pair, `lb <= dS <= ub`.
+    #[test]
+    fn distance_ranges_bracket_exact(
+        ax in 0.05f64..0.95, ay in 0.05f64..0.95,
+        bx in 0.05f64..0.95, by in 0.05f64..0.95,
+        level in 0usize..5,
+        dmtm_idx in 0usize..6,
+    ) {
+        let f = fixture();
+        let a = surface_point(f, ax, ay);
+        let b = surface_point(f, bx, by);
+        prop_assume!(a.pos.dist(b.pos) > 1.0);
+        let ds = exact().distance(a.to_mesh_point(), b.to_mesh_point());
+        let fracs = [0.005, 0.25, 0.5, 0.75, 1.0, 2.0];
+        let ctx = RankingContext {
+            mesh: &f.mesh, dmtm: &f.dmtm, msdn: &f.msdn, pager: &f.pager, cfg: &f.cfg,
+        };
+        let mut stats = QueryStats::default();
+        let range = ctx.estimate_pair(&a, &b, fracs[dmtm_idx], level, &mut stats);
+        prop_assert!(range.lb <= ds + 1e-6, "lb {} > exact {}", range.lb, ds);
+        if range.ub.is_finite() {
+            prop_assert!(range.ub >= ds - 1e-6, "ub {} < exact {}", range.ub, ds);
+        }
+    }
+
+    /// Invariant 3: every original segment's MBR is enclosed by some
+    /// simplified segment's MBR, for arbitrary plane and resolution.
+    #[test]
+    fn sdn_simplification_enclosure(frac in 0.02f64..1.0, at in 0.05f64..0.95, x_axis in any::<bool>()) {
+        let f = fixture();
+        let e = f.mesh.extent();
+        let axis = if x_axis { Axis::X } else { Axis::Y };
+        let value = match axis {
+            Axis::X => e.lo.x + at * e.width(),
+            Axis::Y => e.lo.y + at * e.height(),
+        };
+        if let Some(line) = CrossingLine::build(&f.mesh, AxisPlane::new(axis, value)) {
+            let simp = simplify_line(&line, frac);
+            for w in line.points.windows(2) {
+                let orig = surface_knn::geom::Aabb3::from_points([w[0], w[1]]);
+                prop_assert!(
+                    simp.segments.iter().any(|s| s.mbr.contains_box(&orig)),
+                    "unenclosed original segment at resolution {frac}"
+                );
+            }
+        }
+    }
+
+    /// Invariant 4: the front after any number of collapses partitions the
+    /// leaves exactly once.
+    #[test]
+    fn dmtm_front_partitions_leaves(step_frac in 0.0f64..=1.0) {
+        let f = fixture();
+        let tree: &DmtmTree = f.dmtm.tree();
+        let m = (tree.num_steps() as f64 * step_frac) as u32;
+        let front = tree.front_at_step(m);
+        prop_assert_eq!(front.len(), tree.front_size(m));
+        let mut covered = vec![0u32; tree.num_leaves()];
+        for id in front {
+            for leaf in tree.descendant_leaves(id) {
+                covered[leaf as usize] += 1;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    /// Invariant 7: R-tree k-NN and range results match linear scans for
+    /// arbitrary object sets and query points.
+    #[test]
+    fn rtree_matches_linear_scan(
+        seed in 0u64..1000,
+        n in 1usize..120,
+        k in 1usize..15,
+        qx in 0.0f64..1.0, qy in 0.0f64..1.0,
+        radius in 0.0f64..0.6,
+    ) {
+        let f = fixture();
+        let scene = SceneBuilder::new(&f.mesh).object_count(n).seed(seed).build();
+        let e = f.mesh.extent();
+        let q = Point2::new(e.lo.x + qx * e.width(), e.lo.y + qy * e.height());
+        let knn = scene.dxy().knn(q, k);
+        let mut dists: Vec<f64> = scene
+            .objects()
+            .iter()
+            .map(|o| o.point.pos.xy().dist(q))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect = k.min(n);
+        prop_assert_eq!(knn.len(), expect);
+        if expect > 0 {
+            prop_assert!((knn[expect - 1].0 - dists[expect - 1]).abs() < 1e-9);
+        }
+        // Range query.
+        let r = radius * e.width();
+        let got = scene.dxy().within_distance(q, r).len();
+        let want = dists.iter().filter(|&&d| d <= r).count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Surface lifting: interpolated elevations stay within the facet's
+    /// vertex elevation range.
+    #[test]
+    fn lift_stays_within_facet_range(x in 0.01f64..0.99, y in 0.01f64..0.99) {
+        let f = fixture();
+        let sp = surface_point(f, x, y);
+        let tri = f.mesh.triangle(sp.tri);
+        let zmin = tri.a.z.min(tri.b.z).min(tri.c.z);
+        let zmax = tri.a.z.max(tri.b.z).max(tri.c.z);
+        prop_assert!(sp.pos.z >= zmin - 1e-9 && sp.pos.z <= zmax + 1e-9);
+    }
+
+    /// Exact geodesic sanity under random pairs: bracketed by Euclidean
+    /// and network distances, and symmetric.
+    #[test]
+    fn exact_distance_bracketing(
+        ax in 0.05f64..0.95, ay in 0.05f64..0.95,
+        bx in 0.05f64..0.95, by in 0.05f64..0.95,
+    ) {
+        let f = fixture();
+        let a = surface_point(f, ax, ay);
+        let b = surface_point(f, bx, by);
+        let ds = exact().distance(a.to_mesh_point(), b.to_mesh_point());
+        let de = a.pos.dist(b.pos);
+        prop_assert!(ds >= de - 1e-9, "exact {ds} below euclid {de}");
+        let back = exact().distance(b.to_mesh_point(), a.to_mesh_point());
+        prop_assert!((ds - back).abs() <= 1e-6 * (1.0 + ds), "{ds} vs {back}");
+    }
+}
