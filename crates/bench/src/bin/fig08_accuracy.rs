@@ -30,12 +30,19 @@ fn main() {
     let dmtm = PagedDmtm::build(&pager, build_dmtm(&mesh));
     let msdn_cfg = MsdnConfig { levels: cfg.msdn_levels.clone(), plane_spacing: None };
     let msdn = PagedMsdn::build(&pager, &Msdn::build(&mesh, &msdn_cfg));
-    let ctx = RankingContext { mesh: &mesh, dmtm: &dmtm, msdn: &msdn, pager: &pager, cfg: &cfg };
+    let ctx = RankingContext {
+        mesh: &mesh,
+        dmtm: &dmtm,
+        msdn: &msdn,
+        pager: &pager,
+        cfg: &cfg,
+        rec: &sknn_obs::NOOP,
+        query: 0,
+    };
 
     // Deterministic long-range pairs.
-    let points: Vec<_> = (0..2 * pairs as u64)
-        .map(|i| scene.random_query(seed ^ (i + 100)))
-        .collect();
+    let points: Vec<_> =
+        (0..2 * pairs as u64).map(|i| scene.random_query(seed ^ (i + 100))).collect();
     let pair_list: Vec<_> = points.chunks(2).map(|c| (c[0], c[1])).collect();
 
     start_figure(

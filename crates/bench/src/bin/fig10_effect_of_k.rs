@@ -10,7 +10,9 @@
 //!
 //! Output: `terrain,algo,k,total_seconds,cpu_seconds,pages`.
 
-use sknn_bench::{bh_mesh, ep_mesh, mean, queries, scene_with_density, start_figure, Args};
+use sknn_bench::{
+    bh_mesh, ep_mesh, mean, queries, scene_with_density, start_figure, Args, TraceSink,
+};
 use sknn_core::config::{Mr3Config, StepSchedule};
 use sknn_core::ea::EaEngine;
 use sknn_core::mr3::Mr3Engine;
@@ -29,6 +31,7 @@ fn main() {
     // same factor to preserve the regime. Use --disk-ms 8 for the raw
     // 2002 disk.
     let disk = DiskModel { per_read_ms: args.get("disk-ms", 0.4) };
+    let mut sink = TraceSink::from_args(&args);
 
     start_figure(
         "Fig 10: effect of k (o=4) on BH and EP",
@@ -37,17 +40,18 @@ fn main() {
 
     for (terrain, mesh) in [("BH", bh_mesh(grid, seed)), ("EP", ep_mesh(grid, seed))] {
         let scene = scene_with_density(&mesh, density, seed + 1);
-        eprintln!(
-            "# {terrain}: {} vertices, {} objects",
-            mesh.num_vertices(),
-            scene.num_objects()
-        );
+        eprintln!("# {terrain}: {} vertices, {} objects", mesh.num_vertices(), scene.num_objects());
         let engines: Vec<(String, Mr3Engine)> =
             [StepSchedule::s1(), StepSchedule::s2(), StepSchedule::s3()]
                 .into_iter()
                 .map(|s| {
                     let name = format!("MR3 {}", s.name);
-                    (name, Mr3Engine::build(&mesh, &scene, &Mr3Config::default().with_schedule(s)))
+                    let mut engine =
+                        Mr3Engine::build(&mesh, &scene, &Mr3Config::default().with_schedule(s));
+                    if let Some(sink) = &sink {
+                        sink.attach(&mut engine);
+                    }
+                    (name, engine)
                 })
                 .collect();
         let ea = EaEngine::build(&mesh, &scene, 256);
@@ -63,6 +67,9 @@ fn main() {
                     total.push(r.stats.total_time(&disk).as_secs_f64());
                     cpu.push(r.stats.cpu.as_secs_f64());
                     pages.push(r.stats.pages as f64);
+                    if let (Some(sink), Some(trace)) = (sink.as_mut(), r.trace.as_ref()) {
+                        sink.record(trace);
+                    }
                 }
                 println!(
                     "{terrain},{name},{k},{:.4},{:.4},{:.0}",
@@ -80,12 +87,7 @@ fn main() {
                 cpu.push(r.stats.cpu.as_secs_f64());
                 pages.push(r.stats.pages as f64);
             }
-            println!(
-                "{terrain},EA,{k},{:.4},{:.4},{:.0}",
-                mean(&total),
-                mean(&cpu),
-                mean(&pages)
-            );
+            println!("{terrain},EA,{k},{:.4},{:.4},{:.0}", mean(&total), mean(&cpu), mean(&pages));
         }
     }
 }

@@ -76,12 +76,7 @@ fn main() {
                 cpu.push(r.stats.cpu.as_secs_f64());
                 pages.push(r.stats.pages as f64);
             }
-            println!(
-                "{terrain},EA,{o},{:.4},{:.4},{:.0}",
-                mean(&total),
-                mean(&cpu),
-                mean(&pages)
-            );
+            println!("{terrain},EA,{o},{:.4},{:.4},{:.0}", mean(&total), mean(&cpu), mean(&pages));
         }
     }
 }

@@ -30,7 +30,8 @@ fn main() {
         let qs = queries(&scene, nq, seed + 2);
         let (mr3, t_mr3_build) = time_it(|| Mr3Engine::build(&mesh, &scene, &Mr3Config::default()));
         let (ea, t_ea_build) = time_it(|| EaEngine::build(&mesh, &scene, 256));
-        type Runner<'a> = Box<dyn Fn(sknn_core::workload::SurfacePoint) -> sknn_core::metrics::QueryResult + 'a>;
+        type Runner<'a> =
+            Box<dyn Fn(sknn_core::workload::SurfacePoint) -> sknn_core::metrics::QueryResult + 'a>;
         let runners: Vec<(&str, Runner, f64)> = vec![
             ("MR3 s=1", Box::new(|q| mr3.query(q, k)), t_mr3_build.as_secs_f64()),
             ("EA", Box::new(|q| ea.query(q, k)), t_ea_build.as_secs_f64()),

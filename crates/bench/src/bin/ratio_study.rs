@@ -25,11 +25,10 @@ fn main() {
         "hurst,relief_m,rugosity,mean_ratio,max_ratio",
     );
     let kanai = KanaiConfig { tolerance: 0.02, ..KanaiConfig::default() };
-    for (hurst, relief) in [(0.95, 60.0), (0.85, 150.0), (0.65, 300.0), (0.45, 500.0), (0.35, 700.0)] {
-        let cfg = TerrainConfig::bh()
-            .with_grid(grid)
-            .with_relief(relief)
-            .with_hurst(hurst);
+    for (hurst, relief) in
+        [(0.95, 60.0), (0.85, 150.0), (0.65, 300.0), (0.45, 500.0), (0.35, 700.0)]
+    {
+        let cfg = TerrainConfig::bh().with_grid(grid).with_relief(relief).with_hurst(hurst);
         let mesh = cfg.build_mesh(seed);
         let stats = MeshStats::compute(&mesh);
         let n = mesh.num_vertices() as u32;
@@ -37,18 +36,14 @@ fn main() {
         for i in 0..pairs as u32 {
             let a = (i * 31) % n;
             let b = n - 1 - (i * 17) % (n / 2);
-            let ds = kanai_suzuki_distance(&mesh, MeshPoint::Vertex(a), MeshPoint::Vertex(b), &kanai);
+            let ds =
+                kanai_suzuki_distance(&mesh, MeshPoint::Vertex(a), MeshPoint::Vertex(b), &kanai);
             let de = mesh.vertex(a).dist(mesh.vertex(b));
             if de > 0.0 && ds.is_finite() {
                 ratios.push(ds / de);
             }
         }
         let max = ratios.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "{hurst},{relief},{:.3},{:.3},{:.3}",
-            stats.rugosity,
-            mean(&ratios),
-            max
-        );
+        println!("{hurst},{relief},{:.3},{:.3},{:.3}", stats.rugosity, mean(&ratios), max);
     }
 }

@@ -19,10 +19,7 @@ pub struct ChEngine<'s, 'm> {
 impl<'s, 'm> ChEngine<'s, 'm> {
     /// Creates the value from its parts.
     pub fn new(scene: &'s Scene<'m>) -> Self {
-        Self {
-            scene,
-            geo: ExactGeodesic::new(scene.mesh()),
-        }
+        Self { scene, geo: ExactGeodesic::new(scene.mesh()) }
     }
 
     /// Exact surface distance between two surface points.
@@ -63,7 +60,7 @@ impl<'s, 'm> ChEngine<'s, 'm> {
             .collect();
         timer.stop_into(&mut stats.cpu);
         stats.candidates = self.scene.num_objects();
-        QueryResult { neighbors, stats }
+        QueryResult { neighbors, stats, trace: None }
     }
 }
 

@@ -29,21 +29,13 @@ impl StepSchedule {
 
     /// s = 2: DMTM 0.5, 50, 100, 200 %; MSDN 25, 50, 100 %.
     pub fn s2() -> Self {
-        Self {
-            dmtm: vec![0.005, 0.5, 1.0, 2.0],
-            msdn: vec![0, 2, 4, 4],
-            name: "s=2",
-        }
+        Self { dmtm: vec![0.005, 0.5, 1.0, 2.0], msdn: vec![0, 2, 4, 4], name: "s=2" }
     }
 
     /// s = 3: DMTM 0.5, 100, 200 %; MSDN 25, 100 % — "less multiresolution",
     /// simulating a traditional filter-and-refine jump to full resolution.
     pub fn s3() -> Self {
-        Self {
-            dmtm: vec![0.005, 1.0, 2.0],
-            msdn: vec![0, 4, 4],
-            name: "s=3",
-        }
+        Self { dmtm: vec![0.005, 1.0, 2.0], msdn: vec![0, 4, 4], name: "s=3" }
     }
 
     /// Number of iterations.

@@ -67,12 +67,7 @@ impl ObstacleMask {
     /// Combine two masks (blocked if blocked in either).
     pub fn union(&self, other: &ObstacleMask) -> ObstacleMask {
         ObstacleMask {
-            blocked: self
-                .blocked
-                .iter()
-                .zip(&other.blocked)
-                .map(|(&a, &b)| a || b)
-                .collect(),
+            blocked: self.blocked.iter().zip(&other.blocked).map(|(&a, &b)| a || b).collect(),
         }
     }
 
@@ -120,16 +115,7 @@ impl<'s, 'm> ConstrainedEngine<'s, 'm> {
         let mask_ref = &mask;
         let filter = move |t: TriId| !mask_ref.is_blocked(t);
         let pathnet = Pathnet::build(mesh, 1, Some(&filter));
-        Self {
-            mesh,
-            scene,
-            mask,
-            pathnet,
-            terrain_store,
-            msdn,
-            pager,
-            cold_cache: true,
-        }
+        Self { mesh, scene, mask, pathnet, terrain_store, msdn, pager, cold_cache: true }
     }
 
     /// The traversability mask in force.
@@ -207,7 +193,7 @@ impl<'s, 'm> ConstrainedEngine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads;
-        QueryResult { neighbors, stats }
+        QueryResult { neighbors, stats, trace: None }
     }
 }
 
@@ -287,10 +273,8 @@ mod tests {
         let scene = SceneBuilder::new(&mesh).object_count(20).seed(9).build();
         let e = mesh.extent();
         // Block the half of the terrain containing some objects.
-        let half = Rect2::new(
-            Point2::new(e.lo.x + e.width() * 0.5, e.lo.y),
-            Point2::new(e.hi.x, e.hi.y),
-        );
+        let half =
+            Rect2::new(Point2::new(e.lo.x + e.width() * 0.5, e.lo.y), Point2::new(e.hi.x, e.hi.y));
         let mask = ObstacleMask::from_region(&mesh, &half);
         let engine = ConstrainedEngine::build(&mesh, &scene, mask, 256);
         let q = scene

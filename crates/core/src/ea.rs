@@ -176,7 +176,7 @@ impl<'s, 'm> EaEngine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
-        QueryResult { neighbors, stats }
+        QueryResult { neighbors, stats, trace: None }
     }
 }
 
@@ -210,11 +210,7 @@ mod tests {
         let kth = truth.neighbors.last().unwrap().range.ub;
         for n in &got.neighbors {
             let d = exact.pair_distance(q, scene.object(n.id).point);
-            assert!(
-                d <= kth * 1.07 + 1e-6,
-                "object {} at {d} vs kth {kth}",
-                n.id
-            );
+            assert!(d <= kth * 1.07 + 1e-6, "object {} at {d} vs kth {kth}", n.id);
         }
     }
 

@@ -7,12 +7,12 @@
 
 use crate::bounds::DistRange;
 use sknn_store::DiskModel;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Cost counters of one query.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
-    /// Measured CPU time.
+    /// Measured CPU time (see [`CpuTimer`] for exactly what is measured).
     pub cpu: Duration,
     /// Physical disk pages read (buffer-pool misses + index node visits).
     pub pages: u64,
@@ -43,20 +43,59 @@ impl QueryStats {
 }
 
 /// A scoped CPU timer accumulating into a `Duration`.
+///
+/// On Linux this reads `CLOCK_THREAD_CPUTIME_ID`, i.e. genuine per-thread
+/// CPU time: time the querying thread spends descheduled or blocked does
+/// not count, which is what makes `total = cpu + io` a sound decomposition
+/// when the I/O term comes from a disk model rather than real waits. On
+/// other platforms it falls back to a monotonic wall clock, which
+/// over-reports CPU under contention.
 pub struct CpuTimer {
-    start: Instant,
+    start: Duration,
 }
 
 impl CpuTimer {
     /// Start.
     pub fn start() -> Self {
-        Self { start: Instant::now() }
+        Self { start: thread_cpu_now() }
     }
 
     /// Stop into.
     pub fn stop_into(self, acc: &mut Duration) {
-        *acc += self.start.elapsed();
+        *acc += thread_cpu_now().saturating_sub(self.start);
     }
+}
+
+/// Current per-thread CPU clock reading (an arbitrary-epoch instant, only
+/// differences are meaningful).
+#[cfg(target_os = "linux")]
+fn thread_cpu_now() -> Duration {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    // Stable Linux syscall ABI (clock id 3 = CLOCK_THREAD_CPUTIME_ID),
+    // bound directly so no libc crate dependency is needed.
+    extern "C" {
+        fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc == 0 {
+        Duration::new(ts.tv_sec.max(0) as u64, ts.tv_nsec.clamp(0, 999_999_999) as u32)
+    } else {
+        Duration::ZERO
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn thread_cpu_now() -> Duration {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed()
 }
 
 /// One returned neighbour.
@@ -75,6 +114,9 @@ pub struct QueryResult {
     pub neighbors: Vec<Neighbor>,
     /// Cost counters of the query.
     pub stats: QueryStats,
+    /// Structured trace of the query's execution, present when the engine
+    /// has tracing enabled (see `Mr3Engine::enable_tracing`).
+    pub trace: Option<sknn_obs::QueryTrace>,
 }
 
 #[cfg(test)]
@@ -83,11 +125,8 @@ mod tests {
 
     #[test]
     fn time_decomposition() {
-        let stats = QueryStats {
-            cpu: Duration::from_millis(100),
-            pages: 500,
-            ..Default::default()
-        };
+        let stats =
+            QueryStats { cpu: Duration::from_millis(100), pages: 500, ..Default::default() };
         let model = DiskModel { per_read_ms: 8.0 };
         assert_eq!(stats.io_time(&model), Duration::from_secs(4));
         assert_eq!(stats.total_time(&model), Duration::from_millis(4100));
@@ -97,13 +136,24 @@ mod tests {
     fn timer_accumulates() {
         let mut acc = Duration::ZERO;
         let t = CpuTimer::start();
-        std::hint::black_box((0..10_000).sum::<u64>());
+        std::hint::black_box((0..10_000_000u64).sum::<u64>());
         t.stop_into(&mut acc);
         assert!(acc > Duration::ZERO);
         let before = acc;
         let t = CpuTimer::start();
-        std::hint::black_box((0..10_000).sum::<u64>());
+        std::hint::black_box((0..10_000_000u64).sum::<u64>());
         t.stop_into(&mut acc);
         assert!(acc > before);
+    }
+
+    /// The point of the thread-CPU clock: blocked time is not CPU time.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sleeping_costs_no_cpu_time() {
+        let mut acc = Duration::ZERO;
+        let t = CpuTimer::start();
+        std::thread::sleep(Duration::from_millis(60));
+        t.stop_into(&mut acc);
+        assert!(acc < Duration::from_millis(20), "60 ms sleep billed {acc:?} of CPU");
     }
 }

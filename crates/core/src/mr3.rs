@@ -16,9 +16,17 @@ use crate::metrics::{CpuTimer, Neighbor, QueryResult, QueryStats};
 use crate::ranking::{Candidate, RankingContext};
 use crate::workload::{Scene, SurfacePoint};
 use sknn_multires::PagedDmtm;
+use sknn_obs::{field, QueryTrace, Recorder, RingRecorder, NOOP};
 use sknn_sdn::PagedMsdn;
-use sknn_store::{DiskModel, Pager};
+use sknn_store::{DiskModel, Pager, StructureTag};
 use sknn_terrain::mesh::TerrainMesh;
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default ring capacity when tracing is enabled: comfortably holds the
+/// spans, iteration events and I/O roll-up of one query.
+const TRACE_RING_CAPACITY: usize = 4096;
 
 /// The MR3 surface k-NN query engine.
 pub struct Mr3Engine<'s, 'm> {
@@ -28,6 +36,10 @@ pub struct Mr3Engine<'s, 'm> {
     msdn: PagedMsdn,
     pager: Pager,
     cfg: Mr3Config,
+    /// Trace sink; `None` means tracing off (no-op recorder, no overhead).
+    ring: Option<Arc<RingRecorder>>,
+    /// Query sequence number stamped on trace records.
+    query_seq: Cell<u64>,
     /// Drop cached pages before each query (cold-cache measurement, the
     /// regime of the paper's figures).
     pub cold_cache: bool,
@@ -50,8 +62,15 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         structures: crate::persist::Structures,
     ) -> Self {
         let pager = Pager::new(cfg.pool_pages);
-        let dmtm = PagedDmtm::build(&pager, structures.tree);
-        let msdn = PagedMsdn::build(&pager, &structures.msdn);
+        // Tag each structure's pages so query I/O is attributable.
+        let dmtm = {
+            let _tag = pager.tag_scope(StructureTag::Dmtm);
+            PagedDmtm::build(&pager, structures.tree)
+        };
+        let msdn = {
+            let _tag = pager.tag_scope(StructureTag::Msdn);
+            PagedMsdn::build(&pager, &structures.msdn)
+        };
         Self {
             mesh,
             scene,
@@ -59,9 +78,88 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             msdn,
             pager,
             cfg: cfg.clone(),
+            ring: None,
+            query_seq: Cell::new(0),
             cold_cache: true,
             disk: DiskModel::default(),
         }
+    }
+
+    /// Turn on per-query tracing: subsequent queries carry a
+    /// [`QueryTrace`] in their results (spans for the four MR3 steps, one
+    /// event per ranking iteration, and per-structure I/O attribution).
+    pub fn enable_tracing(&mut self) {
+        if self.ring.is_none() {
+            self.ring = Some(Arc::new(RingRecorder::new(TRACE_RING_CAPACITY)));
+        }
+    }
+
+    /// Turn tracing back off (queries stop paying the recording cost).
+    pub fn disable_tracing(&mut self) {
+        self.ring = None;
+    }
+
+    /// Whether queries are currently traced.
+    pub fn tracing_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    fn recorder(&self) -> &dyn Recorder {
+        match &self.ring {
+            Some(r) => r.as_ref(),
+            None => &NOOP,
+        }
+    }
+
+    fn next_query_id(&self) -> u64 {
+        let id = self.query_seq.get();
+        self.query_seq.set(id + 1);
+        id
+    }
+
+    /// Emit per-structure I/O attribution and the buffer-pool roll-up for
+    /// the query that just ran (pager stats are per-query: they were reset
+    /// at query start).
+    fn emit_io(&self, rec: &dyn Recorder, qid: u64) {
+        for (tag, io) in self.pager.io_by_structure() {
+            rec.event(
+                "io",
+                qid,
+                vec![
+                    field("structure", tag.name()),
+                    field("logical", io.logical_reads),
+                    field("physical", io.physical_reads),
+                    field("hits", io.hits()),
+                    field("evictions", self.pager.evictions_for(tag)),
+                ],
+            );
+        }
+        // The Dxy R-tree is in-memory and counts node accesses itself;
+        // report it under the same schema (every access charged physical).
+        let rtree = self.scene.dxy().accesses();
+        if rtree > 0 {
+            rec.event(
+                "io",
+                qid,
+                vec![
+                    field("structure", StructureTag::Rtree.name()),
+                    field("logical", rtree),
+                    field("physical", rtree),
+                    field("hits", 0u64),
+                    field("evictions", 0u64),
+                ],
+            );
+        }
+        rec.event(
+            "pool",
+            qid,
+            vec![
+                field("hit_rate", self.pager.hit_rate()),
+                field("evictions", self.pager.evictions()),
+                field("logical", self.pager.stats().logical_reads),
+                field("physical", self.pager.stats().physical_reads),
+            ],
+        );
     }
 
     /// Config.
@@ -92,11 +190,16 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             msdn: &self.msdn,
             pager: &self.pager,
             cfg: &self.cfg,
+            rec: self.recorder(),
+            // `query_seq` counts queries *started*; the in-flight query's
+            // id is one less (0 before any query runs).
+            query: self.query_seq.get().saturating_sub(1),
         }
     }
 
     /// Answer a surface k-NN query.
     pub fn query(&self, q: SurfacePoint, k: usize) -> QueryResult {
+        let qid = self.next_query_id();
         let mut stats = QueryStats::default();
         if self.cold_cache {
             self.pager.clear_pool();
@@ -104,6 +207,9 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         self.pager.reset_stats();
         self.scene.dxy().reset_accesses();
         let timer = CpuTimer::start();
+        let rec = self.recorder();
+        let traced = rec.enabled();
+        let query_start = Instant::now();
 
         let k = k.min(self.scene.num_objects());
         let terrain = self.mesh.extent();
@@ -112,16 +218,40 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
 
         if k > 0 {
             // Step 1: 2D k-NN on the projections.
+            let step = Instant::now();
             let seeds = self.scene.dxy().knn(q.pos.xy(), k);
+            if traced {
+                rec.span(
+                    "step1_knn2d",
+                    qid,
+                    vec![
+                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("k", k),
+                        field("seeds", seeds.len()),
+                    ],
+                );
+            }
 
             // Step 2: rank the seeds to bound the k-th neighbour's distance.
+            let step = Instant::now();
             let mut seed_cands: Vec<Candidate> = seeds
                 .iter()
                 .map(|&(_, _, id)| Candidate::new(&q, id, self.scene.object(id).point, &terrain))
                 .collect();
             let radius = ctx.estimate_radius(&q, &mut seed_cands, &mut stats);
+            if traced {
+                rec.span(
+                    "step2_radius",
+                    qid,
+                    vec![
+                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("radius", radius),
+                    ],
+                );
+            }
 
             // Step 3: planar range query with the safe radius.
+            let step = Instant::now();
             let in_range: Vec<u32> = if radius.is_finite() {
                 self.scene
                     .dxy()
@@ -134,23 +264,41 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 // ranking everything.
                 (0..self.scene.num_objects() as u32).collect()
             };
+            if traced {
+                rec.span(
+                    "step3_range",
+                    qid,
+                    vec![
+                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("candidates", in_range.len()),
+                    ],
+                );
+            }
 
             // Step 4: rank C2. Seed bounds carry over so step-2 work is
             // not repeated.
+            let step = Instant::now();
             let mut cands: Vec<Candidate> = in_range
                 .iter()
                 .map(|&id| {
-                    seed_cands
-                        .iter()
-                        .find(|c| c.id == id)
-                        .cloned()
-                        .unwrap_or_else(|| {
-                            Candidate::new(&q, id, self.scene.object(id).point, &terrain)
-                        })
+                    seed_cands.iter().find(|c| c.id == id).cloned().unwrap_or_else(|| {
+                        Candidate::new(&q, id, self.scene.object(id).point, &terrain)
+                    })
                 })
                 .collect();
             stats.candidates = cands.len();
-            ctx.rank_top_k(&q, &mut cands, k, &mut stats);
+            let resolved = ctx.rank_top_k(&q, &mut cands, k, &mut stats);
+            if traced {
+                rec.span(
+                    "step4_rank",
+                    qid,
+                    vec![
+                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("resolved", resolved),
+                        field("iterations", stats.iterations),
+                    ],
+                );
+            }
 
             let mut alive: Vec<&Candidate> = cands.iter().filter(|c| !c.out).collect();
             alive.sort_by(|a, b| {
@@ -160,16 +308,32 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                     .unwrap()
                     .then(a.range.lb.partial_cmp(&b.range.lb).unwrap())
             });
-            neighbors = alive
-                .into_iter()
-                .take(k)
-                .map(|c| Neighbor { id: c.id, range: c.range })
-                .collect();
+            neighbors =
+                alive.into_iter().take(k).map(|c| Neighbor { id: c.id, range: c.range }).collect();
         }
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
-        QueryResult { neighbors, stats }
+        let trace = if traced {
+            self.emit_io(rec, qid);
+            rec.span(
+                "query",
+                qid,
+                vec![
+                    field("dur_us", query_start.elapsed().as_micros() as u64),
+                    field("k", k),
+                    field("pages", stats.pages),
+                ],
+            );
+            self.drain_trace()
+        } else {
+            None
+        };
+        QueryResult { neighbors, stats, trace }
+    }
+
+    fn drain_trace(&self) -> Option<QueryTrace> {
+        self.ring.as_ref().map(|r| r.drain())
     }
 
     /// Progressive distance estimation (paper §5.3): "a query like 'what
@@ -221,6 +385,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// a superset, since `dE <= dS`), then distance-range ranking classifies
     /// each one. Returns ids ascending plus the usual cost counters.
     pub fn range_query(&self, q: SurfacePoint, radius: f64) -> RangeResult {
+        let qid = self.next_query_id();
         let mut stats = QueryStats::default();
         if self.cold_cache {
             self.pager.clear_pool();
@@ -228,6 +393,8 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         self.pager.reset_stats();
         self.scene.dxy().reset_accesses();
         let timer = CpuTimer::start();
+        let rec = self.recorder();
+        let query_start = Instant::now();
 
         let terrain = self.mesh.extent();
         let seeds = self.scene.dxy().within_distance(q.pos.xy(), radius);
@@ -241,7 +408,22 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
-        RangeResult { inside, undecided, stats }
+        let trace = if rec.enabled() {
+            self.emit_io(rec, qid);
+            rec.span(
+                "range_query",
+                qid,
+                vec![
+                    field("dur_us", query_start.elapsed().as_micros() as u64),
+                    field("radius", radius),
+                    field("pages", stats.pages),
+                ],
+            );
+            self.drain_trace()
+        } else {
+            None
+        };
+        RangeResult { inside, undecided, stats, trace }
     }
 }
 
@@ -256,6 +438,8 @@ pub struct RangeResult {
     pub undecided: Vec<u32>,
     /// Cost counters of the query.
     pub stats: QueryStats,
+    /// Execution trace, when the engine has tracing enabled.
+    pub trace: Option<QueryTrace>,
 }
 
 #[cfg(test)]
@@ -374,10 +558,7 @@ mod tests {
         let off = Mr3Engine::build(&mesh, &scene, &off_cfg);
         let pages_on = on.query(q, 8).stats.pages;
         let pages_off = off.query(q, 8).stats.pages;
-        assert!(
-            pages_on <= pages_off,
-            "integration on {pages_on} > off {pages_off}"
-        );
+        assert!(pages_on <= pages_off, "integration on {pages_on} > off {pages_off}");
     }
 
     #[test]

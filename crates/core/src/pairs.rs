@@ -122,13 +122,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         let w = &pairs[winner];
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager().stats().physical_reads;
-        Some(ClosestPair {
-            a: w.a,
-            b: w.b,
-            range: w.range,
-            proven: proven.is_some(),
-            stats,
-        })
+        Some(ClosestPair { a: w.a, b: w.b, range: w.range, proven: proven.is_some(), stats })
     }
 
     /// Index of a pair whose ub is at or below every other alive pair's lb.

@@ -30,10 +30,7 @@ impl Structures {
         let tree = build_dmtm(mesh);
         let msdn = Msdn::build(
             mesh,
-            &MsdnConfig {
-                levels: cfg.msdn_levels.clone(),
-                plane_spacing: cfg.plane_spacing,
-            },
+            &MsdnConfig { levels: cfg.msdn_levels.clone(), plane_spacing: cfg.plane_spacing },
         );
         Self { tree, msdn }
     }

@@ -19,9 +19,10 @@ use crate::regions::{candidate_region, merge_regions, IoGroup};
 use crate::workload::SurfacePoint;
 use sknn_geodesic::graph::{Dijkstra, Graph};
 use sknn_geodesic::pathnet::Pathnet;
+use sknn_geom::Axis;
 use sknn_geom::{Aabb3, Ellipse2, Rect2};
 use sknn_multires::{FrontGraph, PagedDmtm};
-use sknn_geom::Axis;
+use sknn_obs::{field, Recorder};
 use sknn_sdn::network::{corridor_mask, lower_bound};
 use sknn_sdn::{Msdn, PagedMsdn, SimplifiedLine};
 use sknn_store::Pager;
@@ -39,6 +40,33 @@ pub struct RankingContext<'a, 'm> {
     pub pager: &'a Pager,
     /// The cfg.
     pub cfg: &'a Mr3Config,
+    /// Trace sink ([`sknn_obs::NOOP`] when tracing is off).
+    pub rec: &'a dyn Recorder,
+    /// Query sequence number stamped on emitted records.
+    pub query: u64,
+}
+
+/// Per-iteration deltas of the cost counters, captured before a
+/// refinement round so the emitted `iter` event carries this round's
+/// work rather than running totals.
+struct IterSnapshot {
+    ub_estimations: usize,
+    lb_estimations: usize,
+    dummy_lb_hits: usize,
+    settled: usize,
+    physical_reads: u64,
+}
+
+impl IterSnapshot {
+    fn take(stats: &QueryStats, pager: &Pager) -> Self {
+        Self {
+            ub_estimations: stats.ub_estimations,
+            lb_estimations: stats.lb_estimations,
+            dummy_lb_hits: stats.dummy_lb_hits,
+            settled: stats.settled,
+            physical_reads: pager.stats().physical_reads,
+        }
+    }
 }
 
 /// Per-candidate ranking state.
@@ -100,8 +128,16 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             if self.is_resolved(cands, k) {
                 return true;
             }
+            let snap = IterSnapshot::take(stats, self.pager);
             self.refine_iteration(q, cands, i, true, stats);
             stats.iterations += 1;
+            if self.rec.enabled() {
+                // Apply this round's eliminations before observing, so the
+                // event reflects the post-iteration state. `mark_out` is
+                // idempotent — the next loop head repeats it harmlessly.
+                self.mark_out(cands, k);
+                self.emit_iter("rank", i, k, cands, self.is_resolved(cands, k), &snap, stats);
+            }
         }
         self.mark_out(cands, k);
         self.is_resolved(cands, k)
@@ -119,10 +155,15 @@ impl<'a, 'm> RankingContext<'a, 'm> {
     ) -> f64 {
         let mut prev = f64::INFINITY;
         for i in 0..self.cfg.schedule.len() {
+            let snap = IterSnapshot::take(stats, self.pager);
             self.refine_iteration(q, cands, i, false, stats);
             stats.iterations += 1;
             let radius = max_ub(cands);
-            if radius.is_finite() && radius >= prev * 0.95 {
+            let done = radius.is_finite() && radius >= prev * 0.95;
+            if self.rec.enabled() {
+                self.emit_iter("radius", i, cands.len(), cands, done, &snap, stats);
+            }
+            if done {
                 return radius;
             }
             prev = radius;
@@ -163,9 +204,14 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             if cands.iter().all(|c| c.out) {
                 break;
             }
+            let snap = IterSnapshot::take(stats, self.pager);
             self.refine_iteration(q, cands, i, true, stats);
             stats.iterations += 1;
             classify(cands, &mut inside);
+            if self.rec.enabled() {
+                let done = cands.iter().all(|c| c.out);
+                self.emit_iter("range", i, cands.len(), cands, done, &snap, stats);
+            }
         }
         let mut undecided = Vec::new();
         for c in cands.iter() {
@@ -218,11 +264,70 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         if !kth_ub.is_finite() {
             return false;
         }
-        let min_rest_lb = by_ub[k..]
-            .iter()
-            .map(|c| c.range.lb)
-            .fold(f64::INFINITY, f64::min);
+        let min_rest_lb = by_ub[k..].iter().map(|c| c.range.lb).fold(f64::INFINITY, f64::min);
         kth_ub <= min_rest_lb + 1e-9
+    }
+
+    // ----- trace emission -------------------------------------------------
+
+    /// Emit one `iter` trace event describing the post-iteration state.
+    ///
+    /// The bound fields are chosen for their convergence guarantees:
+    /// `kth_ub` (k-th smallest upper bound among alive candidates) is
+    /// non-increasing — upper bounds only tighten, and eliminated
+    /// candidates were ranked beyond k; `next_lb` ((k+1)-th smallest lower
+    /// bound over *all* candidates, alive or not) is non-decreasing —
+    /// lower bounds only tighten over a fixed set. `resolve_lb` is the
+    /// actual VA-file termination quantity (minimum lower bound among
+    /// alive candidates ranked beyond k by upper bound); it is what
+    /// `kth_ub` must drop below, but is not itself monotone because the
+    /// set it minimises over shrinks.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_iter(
+        &self,
+        phase: &'static str,
+        i: usize,
+        k: usize,
+        cands: &[Candidate],
+        resolved: bool,
+        snap: &IterSnapshot,
+        stats: &QueryStats,
+    ) {
+        let alive = cands.iter().filter(|c| !c.out).count();
+        let mut alive_ubs: Vec<f64> = cands.iter().filter(|c| !c.out).map(|c| c.range.ub).collect();
+        alive_ubs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let kth_ub = match alive_ubs.len() {
+            0 => f64::INFINITY,
+            n => alive_ubs[k.clamp(1, n) - 1],
+        };
+        let mut all_lbs: Vec<f64> = cands.iter().map(|c| c.range.lb).collect();
+        all_lbs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let next_lb = all_lbs.get(k).copied().unwrap_or(f64::INFINITY);
+        let resolve_lb = {
+            let mut by_ub: Vec<&Candidate> = cands.iter().filter(|c| !c.out).collect();
+            by_ub.sort_by(|a, b| a.range.ub.partial_cmp(&b.range.ub).unwrap());
+            by_ub.get(k..).unwrap_or(&[]).iter().map(|c| c.range.lb).fold(f64::INFINITY, f64::min)
+        };
+        self.rec.event(
+            "iter",
+            self.query,
+            vec![
+                field("phase", phase),
+                field("i", i),
+                field("dmtm_frac", self.cfg.schedule.dmtm[i]),
+                field("msdn_level", self.cfg.schedule.msdn_level(i) as u64),
+                field("alive", alive),
+                field("kth_ub", kth_ub),
+                field("next_lb", next_lb),
+                field("resolve_lb", resolve_lb),
+                field("resolved", resolved),
+                field("ub_est", stats.ub_estimations - snap.ub_estimations),
+                field("lb_est", stats.lb_estimations - snap.lb_estimations),
+                field("dummy_lb", stats.dummy_lb_hits - snap.dummy_lb_hits),
+                field("settled", stats.settled - snap.settled),
+                field("pages", self.pager.stats().physical_reads - snap.physical_reads),
+            ],
+        );
     }
 
     // ----- one resolution iteration --------------------------------------
@@ -325,19 +430,13 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             return;
         }
         for &ci in members {
-            let exits = self
-                .dmtm
-                .embed(&fg, self.mesh, cands[ci].point.tri, cands[ci].point.pos);
+            let exits = self.dmtm.embed(&fg, self.mesh, cands[ci].point.tri, cands[ci].point.pos);
             if exits.is_empty() {
                 continue;
             }
             stats.ub_estimations += 1;
             let ellipse = if self.cfg.ellipse_prune && cands[ci].range.ub.is_finite() {
-                Some(Ellipse2::new(
-                    q.pos.xy(),
-                    cands[ci].point.pos.xy(),
-                    cands[ci].range.ub,
-                ))
+                Some(Ellipse2::new(q.pos.xy(), cands[ci].point.pos.xy(), cands[ci].range.ub))
             } else {
                 None
             };
@@ -416,11 +515,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         let net = Pathnet::build(mesh, self.cfg.pathnet_steiner, Some(&filter));
         for &ci in members {
             stats.ub_estimations += 1;
-            let d = net.distance(
-                mesh,
-                q.to_mesh_point(),
-                cands[ci].point.to_mesh_point(),
-            );
+            let d = net.distance(mesh, q.to_mesh_point(), cands[ci].point.to_mesh_point());
             if d.is_finite() {
                 cands[ci].range.tighten_ub(d);
             }
@@ -444,10 +539,8 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         let slot = if axis == Axis::X { 0 } else { 1 };
         let (ca, cb) = (axis.coord(q.pos), axis.coord(cands[ci].point.pos));
         let (lo, hi) = (ca.min(cb), ca.max(cb));
-        let mut lines: Vec<&SimplifiedLine> = axis_lines[slot]
-            .iter()
-            .filter(|l| l.plane.value > lo && l.plane.value < hi)
-            .collect();
+        let mut lines: Vec<&SimplifiedLine> =
+            axis_lines[slot].iter().filter(|l| l.plane.value > lo && l.plane.value < hi).collect();
         if ca > cb {
             lines.reverse();
         }
@@ -507,9 +600,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             }
         }
         // Lower bound.
-        let lb = self
-            .msdn
-            .lower_bound(self.pager, msdn_level, a.pos, b.pos, None);
+        let lb = self.msdn.lower_bound(self.pager, msdn_level, a.pos, b.pos, None);
         stats.settled += lb.nodes_settled;
         range.tighten_lb(lb.value);
         range
@@ -517,10 +608,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
 }
 
 fn max_ub(cands: &[Candidate]) -> f64 {
-    cands
-        .iter()
-        .map(|c| c.range.ub)
-        .fold(f64::NEG_INFINITY, f64::max)
+    cands.iter().map(|c| c.range.ub).fold(f64::NEG_INFINITY, f64::max)
 }
 
 /// Dijkstra over a front graph restricted to `allowed` nodes. Returns the
@@ -540,11 +628,8 @@ fn filtered_dijkstra(
         .copied()
         .collect();
     let graph = Graph::from_undirected(n, &edges);
-    let srcs: Vec<(u32, f64)> = sources
-        .iter()
-        .filter(|&&(s, _)| mask[s as usize])
-        .copied()
-        .collect();
+    let srcs: Vec<(u32, f64)> =
+        sources.iter().filter(|&&(s, _)| mask[s as usize]).copied().collect();
     if srcs.is_empty() {
         return (f64::INFINITY, 0, Vec::new());
     }
@@ -562,12 +647,7 @@ fn filtered_dijkstra(
         }
     }
     let path = best_node
-        .map(|x| {
-            d.path_to(x)
-                .into_iter()
-                .map(|local| fg.ids[local as usize])
-                .collect()
-        })
+        .map(|x| d.path_to(x).into_iter().map(|local| fg.ids[local as usize]).collect())
         .unwrap_or_default();
     (best, d.settled, path)
 }
@@ -606,6 +686,8 @@ mod tests {
             msdn: &f.msdn,
             pager: &f.pager,
             cfg: &f.cfg,
+            rec: &sknn_obs::NOOP,
+            query: 0,
         }
     }
 
@@ -616,11 +698,8 @@ mod tests {
         let scene = SceneBuilder::new(f.mesh).object_count(12).seed(3).build();
         let q = scene.random_query(5);
         let terrain = f.mesh.extent();
-        let mut cands: Vec<Candidate> = scene
-            .objects()
-            .iter()
-            .map(|o| Candidate::new(&q, o.id, o.point, &terrain))
-            .collect();
+        let mut cands: Vec<Candidate> =
+            scene.objects().iter().map(|o| Candidate::new(&q, o.id, o.point, &terrain)).collect();
         let mut stats = QueryStats::default();
         let resolved = c.rank_top_k(&q, &mut cands, 3, &mut stats);
         assert!(stats.iterations >= 1);
@@ -710,11 +789,8 @@ mod tests {
         let scene = SceneBuilder::new(f.mesh).object_count(15).seed(21).build();
         let q = scene.random_query(11);
         let terrain = f.mesh.extent();
-        let mut cands: Vec<Candidate> = scene
-            .objects()
-            .iter()
-            .map(|o| Candidate::new(&q, o.id, o.point, &terrain))
-            .collect();
+        let mut cands: Vec<Candidate> =
+            scene.objects().iter().map(|o| Candidate::new(&q, o.id, o.point, &terrain)).collect();
         let mut stats = QueryStats::default();
         let k = 4;
         c.rank_top_k(&q, &mut cands, k, &mut stats);
@@ -727,11 +803,7 @@ mod tests {
         let true_top: Vec<u32> = by_exact.iter().take(k).map(|&(_, id)| id).collect();
         for cd in &cands {
             if cd.out {
-                assert!(
-                    !true_top.contains(&cd.id),
-                    "true neighbor {} was eliminated",
-                    cd.id
-                );
+                assert!(!true_top.contains(&cd.id), "true neighbor {} was eliminated", cd.id);
             }
         }
     }

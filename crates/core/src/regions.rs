@@ -32,11 +32,8 @@ pub struct IoGroup {
 /// reaches `threshold`. With `threshold > 1.0` (or integration disabled)
 /// every candidate keeps its own group.
 pub fn merge_regions(regions: &[Rect2], threshold: f64) -> Vec<IoGroup> {
-    let mut groups: Vec<IoGroup> = regions
-        .iter()
-        .enumerate()
-        .map(|(i, r)| IoGroup { members: vec![i], region: *r })
-        .collect();
+    let mut groups: Vec<IoGroup> =
+        regions.iter().enumerate().map(|(i, r)| IoGroup { members: vec![i], region: *r }).collect();
     loop {
         let mut merged_any = false;
         'outer: for i in 0..groups.len() {
@@ -96,11 +93,8 @@ mod tests {
     fn merge_is_transitive_through_unions() {
         // a overlaps b, b overlaps c, a does not overlap c directly; the
         // union of (a, b) then overlaps c.
-        let regions = vec![
-            r(0.0, 0.0, 10.0, 10.0),
-            r(2.0, 0.0, 12.0, 10.0),
-            r(4.0, 0.0, 14.0, 10.0),
-        ];
+        let regions =
+            vec![r(0.0, 0.0, 10.0, 10.0), r(2.0, 0.0, 12.0, 10.0), r(4.0, 0.0, 14.0, 10.0)];
         let groups = merge_regions(&regions, 0.6);
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].members.len(), 3);

@@ -92,9 +92,7 @@ impl<'m> SceneBuilder<'m> {
         let locator = TriangleLocator::build(self.mesh);
         let extent = self.mesh.extent();
         let area_km2 = extent.area() / 1e6;
-        let n = self
-            .count
-            .unwrap_or_else(|| ((self.density * area_km2).round() as usize).max(1));
+        let n = self.count.unwrap_or_else(|| ((self.density * area_km2).round() as usize).max(1));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut objects = Vec::with_capacity(n);
         if let Some(positions) = &self.explicit {
@@ -128,10 +126,7 @@ impl<'m> SceneBuilder<'m> {
             }
         }
         let rtree = RTree::bulk_load(
-            objects
-                .iter()
-                .map(|o| (Rect2::from_point(o.point.pos.xy()), o.id))
-                .collect(),
+            objects.iter().map(|o| (Rect2::from_point(o.point.pos.xy()), o.id)).collect(),
         );
         Scene { mesh: self.mesh, locator, objects, rtree, density: self.density }
     }
@@ -281,11 +276,8 @@ mod tests {
     fn clustered_placement_is_tighter_than_uniform() {
         let mesh = TerrainConfig::ep().with_grid(33).build_mesh(7);
         let uniform = SceneBuilder::new(&mesh).object_count(60).seed(1).build();
-        let clustered = SceneBuilder::new(&mesh)
-            .object_count(60)
-            .clustered(3, 15.0)
-            .seed(1)
-            .build();
+        let clustered =
+            SceneBuilder::new(&mesh).object_count(60).clustered(3, 15.0).seed(1).build();
         // Mean nearest-neighbour (planar) distance should shrink markedly.
         let mean_nn = |s: &Scene<'_>| -> f64 {
             let mut total = 0.0;
@@ -311,11 +303,8 @@ mod tests {
         let knn = s.dxy().knn(q.pos.xy(), 5);
         assert_eq!(knn.len(), 5);
         // Verify against a scan.
-        let mut dists: Vec<f64> = s
-            .objects()
-            .iter()
-            .map(|o| o.point.pos.xy().dist(q.pos.xy()))
-            .collect();
+        let mut dists: Vec<f64> =
+            s.objects().iter().map(|o| o.point.pos.xy().dist(q.pos.xy())).collect();
         dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((knn[4].0 - dists[4]).abs() < 1e-12);
     }

@@ -436,10 +436,8 @@ impl<'m> ExactGeodesic<'m> {
             return;
         };
         // Children: edge A->C is half-edge (t2, j+1); edge C->B is (t2, j+2).
-        let children = [
-            (a2, c2, t2 * 3 + ((j + 1) % 3) as u32),
-            (c2, b2, t2 * 3 + ((j + 2) % 3) as u32),
-        ];
+        let children =
+            [(a2, c2, t2 * 3 + ((j + 1) % 3) as u32), (c2, b2, t2 * 3 + ((j + 2) % 3) as u32)];
         for (p0, p1, he2) in children {
             let len2 = p0.dist(p1);
             if len2 <= TOL {
@@ -675,9 +673,7 @@ fn dominates(a: &Window, b: &Window, lo: f64, hi: f64) -> bool {
     for pair in cuts.windows(2) {
         samples.push((pair[0] + pair[1]) * 0.5);
     }
-    samples
-        .into_iter()
-        .all(|t| a.dist_at(t) <= b.dist_at(t) + 1e-9)
+    samples.into_iter().all(|t| a.dist_at(t) <= b.dist_at(t) + 1e-9)
 }
 
 /// Convenience wrapper: exact surface distance on `mesh`.
@@ -694,11 +690,7 @@ mod tests {
     use sknn_terrain::locate::TriangleLocator;
 
     fn flat(n: usize) -> TerrainMesh {
-        TerrainConfig {
-            relief_m: 0.0,
-            ..TerrainConfig::bh().with_grid(n)
-        }
-        .build_mesh(0)
+        TerrainConfig { relief_m: 0.0, ..TerrainConfig::bh().with_grid(n) }.build_mesh(0)
     }
 
     #[test]
@@ -712,10 +704,7 @@ mod tests {
         for (s, t) in cases {
             let d = geo.distance(MeshPoint::Vertex(s), MeshPoint::Vertex(t));
             let e = mesh.vertex(s).dist(mesh.vertex(t));
-            assert!(
-                (d - e).abs() < 1e-6 * (1.0 + e),
-                "{s}->{t}: exact {d} vs euclid {e}"
-            );
+            assert!((d - e).abs() < 1e-6 * (1.0 + e), "{s}->{t}: exact {d} vs euclid {e}");
         }
     }
 

@@ -31,12 +31,7 @@ pub struct KanaiConfig {
 
 impl Default for KanaiConfig {
     fn default() -> Self {
-        Self {
-            initial_steiner: 1,
-            max_iterations: 6,
-            tolerance: 0.03,
-            corridor_edges: 2.0,
-        }
+        Self { initial_steiner: 1, max_iterations: 6, tolerance: 0.03, corridor_edges: 2.0 }
     }
 }
 

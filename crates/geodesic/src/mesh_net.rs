@@ -38,11 +38,9 @@ impl MeshPoint {
     pub fn embedding(&self, mesh: &TerrainMesh) -> Vec<(u32, f64)> {
         match *self {
             MeshPoint::Vertex(v) => vec![(v, 0.0)],
-            MeshPoint::Interior { tri, pos } => mesh
-                .triangle_ids(tri)
-                .iter()
-                .map(|&v| (v, mesh.vertex(v).dist(pos)))
-                .collect(),
+            MeshPoint::Interior { tri, pos } => {
+                mesh.triangle_ids(tri).iter().map(|&v| (v, mesh.vertex(v).dist(pos))).collect()
+            }
         }
     }
 }
@@ -56,13 +54,9 @@ pub struct MeshNetwork {
 impl MeshNetwork {
     /// Build the edge graph of a mesh (3-D edge lengths as weights).
     pub fn build(mesh: &TerrainMesh) -> Self {
-        let edges: Vec<(u32, u32, f64)> = mesh
-            .edges()
-            .map(|(a, b)| (a, b, mesh.edge_length(a, b)))
-            .collect();
-        Self {
-            graph: Graph::from_undirected(mesh.num_vertices(), &edges),
-        }
+        let edges: Vec<(u32, u32, f64)> =
+            mesh.edges().map(|(a, b)| (a, b, mesh.edge_length(a, b))).collect();
+        Self { graph: Graph::from_undirected(mesh.num_vertices(), &edges) }
     }
 
     /// Graph.
@@ -74,8 +68,10 @@ impl MeshNetwork {
     /// `f64::INFINITY` when disconnected.
     pub fn distance(&self, mesh: &TerrainMesh, a: MeshPoint, b: MeshPoint) -> f64 {
         // Same-facet fast path: the straight segment is on the surface.
-        if let (MeshPoint::Interior { tri: ta, pos: pa }, MeshPoint::Interior { tri: tb, pos: pb }) =
-            (a, b)
+        if let (
+            MeshPoint::Interior { tri: ta, pos: pa },
+            MeshPoint::Interior { tri: tb, pos: pb },
+        ) = (a, b)
         {
             if ta == tb {
                 return pa.dist(pb);
@@ -84,10 +80,8 @@ impl MeshNetwork {
         let src = a.embedding(mesh);
         let dst = b.embedding(mesh);
         let d = Dijkstra::run_multi(&self.graph, &src, None);
-        let through_net = dst
-            .iter()
-            .map(|&(v, exit)| d.dist[v as usize] + exit)
-            .fold(f64::INFINITY, f64::min);
+        let through_net =
+            dst.iter().map(|&(v, exit)| d.dist[v as usize] + exit).fold(f64::INFINITY, f64::min);
         through_net
     }
 

@@ -45,9 +45,8 @@ impl Pathnet {
         let mut node_pos: Vec<Point3> = mesh.vertices().to_vec();
         let mut edge_steiner = std::collections::HashMap::new();
         let mut edges: Vec<(u32, u32, f64)> = Vec::new();
-        let included: Option<Vec<bool>> = tri_filter.map(|f| {
-            (0..mesh.num_triangles() as TriId).map(f).collect()
-        });
+        let included: Option<Vec<bool>> =
+            tri_filter.map(|f| (0..mesh.num_triangles() as TriId).map(f).collect());
         let tri_in = |t: TriId| included.as_ref().is_none_or(|v| v[t as usize]);
 
         // Subdivide each edge that borders an included facet.
@@ -168,8 +167,10 @@ impl Pathnet {
 
     /// Approximate surface distance between two surface points.
     pub fn distance(&self, mesh: &TerrainMesh, a: MeshPoint, b: MeshPoint) -> f64 {
-        if let (MeshPoint::Interior { tri: ta, pos: pa }, MeshPoint::Interior { tri: tb, pos: pb }) =
-            (a, b)
+        if let (
+            MeshPoint::Interior { tri: ta, pos: pa },
+            MeshPoint::Interior { tri: tb, pos: pb },
+        ) = (a, b)
         {
             if ta == tb {
                 return pa.dist(pb);
@@ -178,9 +179,7 @@ impl Pathnet {
         let src = self.embedding(mesh, a);
         let dst = self.embedding(mesh, b);
         let d = Dijkstra::run_multi(&self.graph, &src, None);
-        dst.iter()
-            .map(|&(v, exit)| d.dist[v as usize] + exit)
-            .fold(f64::INFINITY, f64::min)
+        dst.iter().map(|&(v, exit)| d.dist[v as usize] + exit).fold(f64::INFINITY, f64::min)
     }
 
     /// Node path between two embedded points (positions), for corridor
@@ -239,11 +238,7 @@ mod tests {
     use sknn_terrain::locate::TriangleLocator;
 
     fn flat(n: usize) -> TerrainMesh {
-        TerrainConfig {
-            relief_m: 0.0,
-            ..TerrainConfig::bh().with_grid(n)
-        }
-        .build_mesh(0)
+        TerrainConfig { relief_m: 0.0, ..TerrainConfig::bh().with_grid(n) }.build_mesh(0)
     }
 
     #[test]

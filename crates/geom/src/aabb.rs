@@ -35,9 +35,7 @@ impl Rect2 {
 
     /// Smallest rectangle covering all `points`; `EMPTY` when empty input.
     pub fn from_points(points: impl IntoIterator<Item = Point2>) -> Self {
-        points
-            .into_iter()
-            .fold(Self::EMPTY, |r, p| r.union(&Self::from_point(p)))
+        points.into_iter().fold(Self::EMPTY, |r, p| r.union(&Self::from_point(p)))
     }
 
     /// Whether it holds nothing.
@@ -171,9 +169,7 @@ impl Aabb3 {
 
     /// From points.
     pub fn from_points(points: impl IntoIterator<Item = Point3>) -> Self {
-        points
-            .into_iter()
-            .fold(Self::EMPTY, |b, p| b.union(&Self::from_point(p)))
+        points.into_iter().fold(Self::EMPTY, |b, p| b.union(&Self::from_point(p)))
     }
 
     /// Whether it holds nothing.

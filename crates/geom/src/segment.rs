@@ -117,11 +117,8 @@ impl Segment3 {
             } else {
                 let b = d1.dot(d2);
                 let denom = a * e - b * b;
-                let mut s_ = if denom > 1e-18 {
-                    ((b * f - c * e) / denom).clamp(0.0, 1.0)
-                } else {
-                    0.0
-                };
+                let mut s_ =
+                    if denom > 1e-18 { ((b * f - c * e) / denom).clamp(0.0, 1.0) } else { 0.0 };
                 let mut t_ = (b * s_ + f) / e;
                 if t_ < 0.0 {
                     t_ = 0.0;

@@ -96,11 +96,7 @@ impl Triangle3 {
         if u < -eps || v < -eps || w < -eps {
             return None;
         }
-        Some(Point3::new(
-            p.x,
-            p.y,
-            u * self.a.z + v * self.b.z + w * self.c.z,
-        ))
+        Some(Point3::new(p.x, p.y, u * self.a.z + v * self.b.z + w * self.c.z))
     }
 
     /// Closest point on the (solid) triangle to `p` in 3-space.

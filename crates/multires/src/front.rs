@@ -53,11 +53,8 @@ impl FrontGraph {
     /// Build the graph over an explicit live node set (used by the paged
     /// layer, which fetches records itself).
     pub fn from_ids(tree: &DmtmTree, m: u32, ids: Vec<u32>) -> Self {
-        let index: HashMap<u32, u32> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i as u32))
-            .collect();
+        let index: HashMap<u32, u32> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
         let mut edges = Vec::new();
         for (&id, &local) in &index {
             for &(w, d) in &tree.node(id).neighbors {
@@ -148,11 +145,8 @@ impl FrontGraph {
         ids.sort_unstable();
         ids.dedup();
 
-        let index: HashMap<u32, u32> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i as u32))
-            .collect();
+        let index: HashMap<u32, u32> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
         // Lift a node to its cut member (itself, or the nearest ancestor in
         // the cut), accumulating representative offsets.
         let lift = |mut id: u32| -> Option<(u32, f64)> {
@@ -288,9 +282,7 @@ mod tests {
         let src = fg.embed(tree, mesh, a.0, a.1);
         let dst = fg.embed(tree, mesh, b.0, b.1);
         let d = Dijkstra::run_multi(&g, &src, None);
-        dst.iter()
-            .map(|&(v, exit)| d.dist[v as usize] + exit)
-            .fold(f64::INFINITY, f64::min)
+        dst.iter().map(|&(v, exit)| d.dist[v as usize] + exit).fold(f64::INFINITY, f64::min)
     }
 
     #[test]
@@ -303,7 +295,7 @@ mod tests {
         // Distances equal plain network distances at full resolution.
         let g = Graph::from_undirected(fg.num_nodes(), &fg.edges);
         let net = MeshNetwork::build(&mesh);
-        let d_fg = Dijkstra::run(&g, fg.index[&0] );
+        let d_fg = Dijkstra::run(&g, fg.index[&0]);
         let d_net = Dijkstra::run(net.graph(), 0);
         for v in [5usize, 40, 80] {
             let local = fg.index[&(v as u32)] as usize;
@@ -322,10 +314,7 @@ mod tests {
             // Connectivity: Dijkstra reaches every node.
             let g = Graph::from_undirected(fg.num_nodes(), &fg.edges);
             let d = Dijkstra::run(&g, 0);
-            assert!(
-                d.dist.iter().all(|x| x.is_finite()),
-                "front at {frac} disconnected"
-            );
+            assert!(d.dist.iter().all(|x| x.is_finite()), "front at {frac} disconnected");
         }
     }
 
@@ -354,10 +343,7 @@ mod tests {
                     let m = tree.step_for_fraction(frac);
                     let fg = FrontGraph::extract(&tree, m, None);
                     let ub = ub_between(&tree, &mesh, &fg, lifted[i], lifted[j]);
-                    assert!(
-                        ub >= exact - 1e-6,
-                        "frac {frac}: ub {ub} below exact {exact}"
-                    );
+                    assert!(ub >= exact - 1e-6, "frac {frac}: ub {ub} below exact {exact}");
                 }
             }
         }
@@ -455,19 +441,14 @@ mod tests {
         let dst = cut.embed_cut(&tree, &mesh, b.0, b.1);
         assert!(!src.is_empty() && !dst.is_empty());
         let dd = Dijkstra::run_multi(&g, &src, None);
-        let ub_mixed = dst
-            .iter()
-            .map(|&(v, exit)| dd.dist[v as usize] + exit)
-            .fold(f64::INFINITY, f64::min);
+        let ub_mixed =
+            dst.iter().map(|&(v, exit)| dd.dist[v as usize] + exit).fold(f64::INFINITY, f64::min);
         assert!(ub_mixed >= exact - 1e-6, "mixed ub {ub_mixed} below exact {exact}");
         // It should be at least as good as the pure coarse front's bound
         // (both endpoints sit inside the fine region).
         let coarse_fg = FrontGraph::extract(&tree, coarse, None);
         let ub_coarse = ub_between(&tree, &mesh, &coarse_fg, a, b);
-        assert!(
-            ub_mixed <= ub_coarse + 1e-6,
-            "mixed {ub_mixed} worse than coarse {ub_coarse}"
-        );
+        assert!(ub_mixed <= ub_coarse + 1e-6, "mixed {ub_mixed} worse than coarse {ub_coarse}");
     }
 
     #[test]
@@ -495,10 +476,7 @@ mod tests {
         let tree = build_dmtm(&mesh);
         let m = tree.step_for_fraction(0.5);
         let full = FrontGraph::extract(&tree, m, None);
-        let roi = Rect2::new(
-            sknn_geom::Point2::new(0.0, 0.0),
-            sknn_geom::Point2::new(50.0, 50.0),
-        );
+        let roi = Rect2::new(sknn_geom::Point2::new(0.0, 0.0), sknn_geom::Point2::new(50.0, 50.0));
         let part = FrontGraph::extract(&tree, m, Some(&roi));
         assert!(part.num_nodes() < full.num_nodes());
         assert!(part.num_nodes() > 0);

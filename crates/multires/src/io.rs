@@ -97,8 +97,7 @@ pub fn read_tree(r: &mut impl Read) -> io::Result<DmtmTree> {
         });
     }
     let tree = DmtmTree { nodes, num_leaves, num_steps };
-    tree.check_invariants()
-        .map_err(|e| bad(&format!("corrupt tree: {e}")))?;
+    tree.check_invariants().map_err(|e| bad(&format!("corrupt tree: {e}")))?;
     Ok(tree)
 }
 

@@ -81,18 +81,13 @@ impl PagedDmtm {
     pub fn fetch_ids(&self, pager: &Pager, m: u32, ids: Vec<u32>) -> FrontGraph {
         let mut order: Vec<u32> = ids.clone();
         order.sort_unstable_by_key(|&id| self.keys[id as usize]);
-        let index: std::collections::HashMap<u32, u32> = ids
-            .iter()
-            .enumerate()
-            .map(|(i, &id)| (id, i as u32))
-            .collect();
+        let index: std::collections::HashMap<u32, u32> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
         let mut edges: Vec<(u32, u32, f64)> = Vec::new();
         for &id in &order {
             let local = index[&id];
-            let payload = self
-                .btree
-                .get(pager, self.keys[id as usize])
-                .expect("node payload missing");
+            let payload =
+                self.btree.get(pager, self.keys[id as usize]).expect("node payload missing");
             for (w, d) in parse_payload(&payload) {
                 if let Some(&wl) = index.get(&w) {
                     if self.tree.live_at(w, m) && local < wl {
@@ -204,10 +199,7 @@ mod tests {
         pager.reset_stats();
         let _ = paged.fetch_front(&pager, m, Some(&roi));
         let roi_pages = pager.stats().physical_reads;
-        assert!(
-            roi_pages * 2 < full_pages,
-            "roi {roi_pages} vs full {full_pages}"
-        );
+        assert!(roi_pages * 2 < full_pages, "roi {roi_pages} vs full {full_pages}");
         assert!(roi_pages > 0);
     }
 
@@ -238,10 +230,7 @@ mod tests {
         pager.reset_stats();
         let _ = paged.fetch_front(&pager, coarse, None);
         let coarse_pages = pager.stats().physical_reads;
-        assert!(
-            coarse_pages < fine_pages,
-            "coarse {coarse_pages} vs fine {fine_pages}"
-        );
+        assert!(coarse_pages < fine_pages, "coarse {coarse_pages} vs fine {fine_pages}");
     }
 
     #[test]

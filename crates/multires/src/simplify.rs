@@ -116,13 +116,7 @@ pub fn build_dmtm(mesh: &TerrainMesh) -> DmtmTree {
                           u: u32,
                           v: u32| {
         let (err, _) = best_position(&nodes[u as usize], &nodes[v as usize], quadrics, u, v);
-        heap.push(Candidate {
-            err,
-            u,
-            v,
-            ver_u: version[u as usize],
-            ver_v: version[v as usize],
-        });
+        heap.push(Candidate { err, u, v, ver_u: version[u as usize], ver_v: version[v as usize] });
     };
     for (a, b) in mesh.edges() {
         push_candidate(&mut heap, &nodes, &quadrics, &version, a, b);
@@ -146,7 +140,8 @@ pub fn build_dmtm(mesh: &TerrainMesh) -> DmtmTree {
         // Keep the representative of the child closer to the merged
         // position ("the representative node of c is set to be the
         // representative node of either a or b").
-        let keep_u = nodes[u as usize].rep_pos.dist_sq(pos) <= nodes[v as usize].rep_pos.dist_sq(pos);
+        let keep_u =
+            nodes[u as usize].rep_pos.dist_sq(pos) <= nodes[v as usize].rep_pos.dist_sq(pos);
         let (keep, other) = if keep_u { (u, v) } else { (v, u) };
         let rep = nodes[keep as usize].rep;
         let rep_pos = nodes[keep as usize].rep_pos;
@@ -155,9 +150,8 @@ pub fn build_dmtm(mesh: &TerrainMesh) -> DmtmTree {
         // take the tighter of the two available paths when both children
         // know `w`: through the kept child directly, or through the other
         // child plus the recorded `d(u, v)`.
-        let mut merged: HashMap<u32, f64> = HashMap::with_capacity(
-            adj[u as usize].len() + adj[v as usize].len(),
-        );
+        let mut merged: HashMap<u32, f64> =
+            HashMap::with_capacity(adj[u as usize].len() + adj[v as usize].len());
         for (&w, &d) in &adj[keep as usize] {
             if w != other {
                 merged.insert(w, d);
@@ -168,10 +162,7 @@ pub fn build_dmtm(mesh: &TerrainMesh) -> DmtmTree {
                 continue;
             }
             let via_other = d + duv;
-            merged
-                .entry(w)
-                .and_modify(|cur| *cur = cur.min(via_other))
-                .or_insert(via_other);
+            merged.entry(w).and_modify(|cur| *cur = cur.min(via_other)).or_insert(via_other);
         }
 
         let mbr = nodes[u as usize].mbr.union(&nodes[v as usize].mbr);
@@ -221,11 +212,7 @@ pub fn build_dmtm(mesh: &TerrainMesh) -> DmtmTree {
         }
     }
 
-    DmtmTree {
-        nodes,
-        num_leaves: n,
-        num_steps: step,
-    }
+    DmtmTree { nodes, num_leaves: n, num_steps: step }
 }
 
 /// Candidate merge position (endpoints or midpoint, whichever minimises
@@ -320,15 +307,11 @@ mod tests {
         // first 10% (greedy PQ order is only approximately monotone).
         let n = tree.num_steps() as usize;
         let err_of = |step: u32| -> f64 {
-            tree.nodes()
-                .iter()
-                .find(|nd| nd.birth == step)
-                .map(|nd| nd.error)
-                .unwrap_or(0.0)
+            tree.nodes().iter().find(|nd| nd.birth == step).map(|nd| nd.error).unwrap_or(0.0)
         };
         let early: f64 = (1..=n / 10).map(|s| err_of(s as u32)).sum::<f64>() / (n / 10) as f64;
-        let late: f64 = (n - n / 10 + 1..=n).map(|s| err_of(s as u32)).sum::<f64>()
-            / (n / 10) as f64;
+        let late: f64 =
+            (n - n / 10 + 1..=n).map(|s| err_of(s as u32)).sum::<f64>() / (n / 10) as f64;
         assert!(late > early, "late {late} <= early {early}");
     }
 

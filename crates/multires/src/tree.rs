@@ -92,9 +92,7 @@ impl DmtmTree {
     /// Node ids of the front after `m` collapses. The front after 0 steps
     /// is the original mesh; after `num_steps` it is the root set.
     pub fn front_at_step(&self, m: u32) -> Vec<u32> {
-        (0..self.nodes.len() as u32)
-            .filter(|&id| self.live_at(id, m))
-            .collect()
+        (0..self.nodes.len() as u32).filter(|&id| self.live_at(id, m)).collect()
     }
 
     /// Collapse step whose front holds (approximately) `fraction` of the

@@ -1,0 +1,177 @@
+//! Lock-free aggregate metrics: monotonic counters and log2-bucketed
+//! histograms.
+//!
+//! These complement the per-query trace: a [`crate::RingRecorder`]
+//! answers "what did *this* query do", while counters and histograms
+//! summarise thousands of queries (e.g. the bench harness's `--trace-out`
+//! summary) without storing them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`LogHistogram`]: bucket `i` counts values `v`
+/// with `ilog2(v) == i` (bucket 0 also holds `v == 0`), so the full `u64`
+/// range is covered.
+pub const LOG_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Recording is one relaxed atomic increment; quantiles are estimated from
+/// bucket midpoints, which is accurate to a factor of `sqrt(2)` — plenty
+/// for "how many pages/settled-nodes does a typical query cost".
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; LOG_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [const { AtomicU64::new(0) }; LOG_BUCKETS], sum: AtomicU64::new(0) }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => v.ilog2() as usize + 1,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) from bucket midpoints; `None`
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * (n as f64 - 1.0)).round() as u64).min(n - 1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen > rank {
+                return Some(match i {
+                    0 => 0,
+                    // Geometric bucket midpoint: 2^(i-1) * 1.5, except the
+                    // top bucket which saturates.
+                    64 => u64::MAX,
+                    i => (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2,
+                });
+            }
+        }
+        unreachable!("rank < count")
+    }
+
+    /// One-line human summary: `n=…, mean=…, p50=…, p90=…, max_bucket=…`.
+    pub fn summary(&self) -> String {
+        match self.count() {
+            0 => "n=0".to_string(),
+            n => format!(
+                "n={n}, mean={:.1}, p50~{}, p90~{}",
+                self.mean(),
+                self.quantile(0.5).unwrap(),
+                self.quantile(0.9).unwrap(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn mean_and_quantiles_track_samples() {
+        let h = LogHistogram::new();
+        for v in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert!((h.mean() - 255.0 / 8.0).abs() < 1e-9);
+        // p50 should land near the middle of the sample magnitudes (bucket
+        // midpoints are accurate to roughly a factor of two).
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((8..=24).contains(&p50), "p50 ~ {p50}");
+        assert!(h.quantile(1.0).unwrap() >= 64);
+        assert_eq!(h.quantile(0.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.summary(), "n=0");
+    }
+}

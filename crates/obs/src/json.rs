@@ -1,0 +1,342 @@
+//! Minimal JSON support for the JSONL trace export: a flat-object writer
+//! and a validating parser (used by tests and by consumers that want to
+//! check a trace file line by line).
+//!
+//! Only what the trace format needs is implemented: one level of object
+//! nesting, string/number/bool/null values. The validator, however,
+//! accepts arbitrary JSON so it can vouch for whole lines.
+
+/// Builds one flat JSON object, key by key.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+}
+
+/// A pending key waiting for its value.
+#[derive(Debug)]
+pub struct JsonKey<'a> {
+    w: &'a mut JsonWriter,
+}
+
+impl JsonWriter {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self { buf: String::from("{") }
+    }
+
+    /// Add a key; chain a value call on the result.
+    pub fn key(&mut self, key: &str) -> JsonKey<'_> {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        escape_into(&mut self.buf, key);
+        self.buf.push(':');
+        JsonKey { w: self }
+    }
+
+    /// Close the object and return it.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl JsonKey<'_> {
+    /// String value.
+    pub fn str(self, v: &str) {
+        escape_into(&mut self.w.buf, v);
+    }
+
+    /// Unsigned integer value.
+    pub fn u64(self, v: u64) {
+        self.w.buf.push_str(&v.to_string());
+    }
+
+    /// Signed integer value.
+    pub fn i64(self, v: i64) {
+        self.w.buf.push_str(&v.to_string());
+    }
+
+    /// Float value; non-finite floats have no JSON representation and
+    /// become `null`.
+    pub fn f64(self, v: f64) {
+        if v.is_finite() {
+            self.w.buf.push_str(&format_f64(v));
+        } else {
+            self.w.buf.push_str("null");
+        }
+    }
+
+    /// Boolean value.
+    pub fn bool(self, v: bool) {
+        self.w.buf.push_str(if v { "true" } else { "false" });
+    }
+}
+
+/// Shortest `f64` rendering that still parses as a JSON number (Rust's
+/// `{}` float formatting is round-trip shortest and never produces `inf`
+/// here because callers check finiteness).
+fn format_f64(v: f64) -> String {
+    let s = format!("{v}");
+    // `5` alone is valid JSON, but keep integers distinguishable from the
+    // floats they came from for human readers.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn escape_into(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Validate that `input` is one complete JSON value. Returns the byte
+/// offset of the first error.
+pub fn validate(input: &str) -> Result<(), usize> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos == bytes.len() {
+        Ok(())
+    } else {
+        Err(p.pos)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), usize> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.pos)
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), usize> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.pos)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), usize> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.pos),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), usize> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.pos),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), usize> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.pos),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(
+                                    self.peek(),
+                                    Some(b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F')
+                                ) {
+                                    return Err(self.pos);
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.pos),
+                    }
+                }
+                Some(b) if b >= 0x20 => self.pos += 1,
+                _ => return Err(self.pos),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // JSON forbids leading zeros: the integer part is `0` or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.pos);
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(start),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.pos);
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.pos);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_objects() {
+        let mut w = JsonWriter::new();
+        w.key("name").str("step1 \"quoted\"\n");
+        w.key("n").u64(42);
+        w.key("x").f64(-1.5e-3);
+        w.key("whole").f64(5.0);
+        w.key("inf").f64(f64::INFINITY);
+        w.key("ok").bool(false);
+        let s = w.finish();
+        assert!(validate(&s).is_ok(), "invalid: {s}");
+        assert!(s.contains(r#""whole":5.0"#));
+        assert!(s.contains(r#""inf":null"#));
+    }
+
+    #[test]
+    fn empty_object_is_valid() {
+        assert!(validate(&JsonWriter::new().finish()).is_ok());
+    }
+
+    #[test]
+    fn validator_accepts_real_json() {
+        for ok in [r#"{"a":[1,2.5,-3e4],"b":{"c":null},"d":"é\\"}"#, "true", "[ ]", r#""""#, "-0.5"]
+        {
+            assert!(validate(ok).is_ok(), "rejected: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_junk() {
+        for bad in
+            ["{", "{'a':1}", r#"{"a":}"#, "01", "1.", "1e", r#"{"a":1,}"#, r#"{"a":1}{"#, "nul"]
+        {
+            assert!(validate(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Structured tracing and metrics for the surface k-NN engine
+//! (`sknn-obs`).
+//!
+//! The MR3 engine's value proposition is *how* it converges: per-iteration
+//! bound tightening, candidate pruning, and page traffic are exactly what
+//! the paper's §5 figures measure. This crate makes that visible without
+//! taxing the hot path:
+//!
+//! * [`Recorder`] — the emission interface. Instrumented code builds
+//!   [`Record`]s (a name plus typed [`Field`]s) and hands them to a
+//!   recorder. [`NoopRecorder`] ignores everything and reports
+//!   `enabled() == false`, so instrumentation sites guard field
+//!   construction behind one boolean load and compile down to nothing
+//!   when tracing is off. [`RingRecorder`] keeps the most recent records
+//!   in a bounded ring for post-query inspection.
+//! * [`QueryTrace`] — a drained ring: per-step spans, per-iteration
+//!   convergence events, and per-structure I/O attribution, exportable as
+//!   JSONL ([`QueryTrace::to_jsonl`]) or summarised for humans
+//!   ([`QueryTrace::convergence_summary`]).
+//! * [`Counter`] and [`LogHistogram`] — lock-free monotonic counters and
+//!   log2-bucketed histograms for aggregate statistics across queries.
+//! * [`json`] — the tiny JSON encoder behind the JSONL export, plus a
+//!   validating parser used by tests.
+//!
+//! The crate is dependency-free by design: it sits underneath every crate
+//! in the query path.
+
+pub mod hist;
+pub mod json;
+pub mod record;
+pub mod recorder;
+pub mod trace;
+
+pub use hist::{Counter, LogHistogram};
+pub use record::{field, Field, Record, RecordKind, Value};
+pub use recorder::{NoopRecorder, Recorder, RingRecorder, NOOP};
+pub use trace::{IterEvent, QueryTrace, SpanInfo};

@@ -1,0 +1,213 @@
+//! Trace records: a kind, a name, and a flat list of typed fields.
+//!
+//! Records are deliberately schema-free at this layer — the instrumented
+//! code decides the field names, the [JSONL export](crate::trace) writes
+//! them verbatim, and [`crate::trace::QueryTrace`] reconstructs typed
+//! views (spans, iteration events) from well-known names. That keeps the
+//! emission API stable while the set of instrumented signals grows.
+
+use crate::json::JsonWriter;
+
+/// What a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A completed phase with a duration (`dur_us` field by convention).
+    Span,
+    /// A point-in-time observation (e.g. one ranking iteration).
+    Event,
+}
+
+impl RecordKind {
+    /// Stable tag used in the JSONL `"t"` field.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RecordKind::Span => "span",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// A typed field value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float (non-finite values serialise as `null`).
+    F(f64),
+    /// Static string (field values in hot paths are interned constants).
+    S(&'static str),
+    /// Boolean.
+    B(bool),
+}
+
+impl Value {
+    /// The value as `f64`, when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::U(v) => Some(v as f64),
+            Value::I(v) => Some(v as f64),
+            Value::F(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when an unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, when a string.
+    pub fn as_str(&self) -> Option<&'static str> {
+        match *self {
+            Value::S(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F(v)
+    }
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Self {
+        Value::S(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::B(v)
+    }
+}
+
+/// One named field of a record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Field {
+    /// Field name (a JSON object key in the export).
+    pub key: &'static str,
+    /// Field value.
+    pub val: Value,
+}
+
+/// Build a [`Field`].
+pub fn field(key: &'static str, val: impl Into<Value>) -> Field {
+    Field { key, val: val.into() }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Record name, e.g. `"step2_radius"` or `"iter"`.
+    pub name: &'static str,
+    /// Query sequence number (per engine), so traces of consecutive
+    /// queries can share one file.
+    pub query: u64,
+    /// Typed payload.
+    pub fields: Vec<Field>,
+}
+
+impl Record {
+    /// Look up a field by key.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.fields.iter().find(|f| f.key == key).map(|f| f.val)
+    }
+
+    /// Numeric field lookup.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(|v| v.as_f64())
+    }
+
+    /// Unsigned-integer field lookup.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(|v| v.as_u64())
+    }
+
+    /// Serialise as one JSONL line (no trailing newline):
+    /// `{"t":"span","q":0,"name":"...",<fields>}`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.key("t").str(self.kind.tag());
+        w.key("q").u64(self.query);
+        w.key("name").str(self.name);
+        for f in &self.fields {
+            let w = w.key(f.key);
+            match f.val {
+                Value::U(v) => w.u64(v),
+                Value::I(v) => w.i64(v),
+                Value::F(v) => w.f64(v),
+                Value::S(v) => w.str(v),
+                Value::B(v) => w.bool(v),
+            }
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn rec() -> Record {
+        Record {
+            kind: RecordKind::Event,
+            name: "iter",
+            query: 3,
+            fields: vec![
+                field("i", 2usize),
+                field("kth_ub", 123.456),
+                field("phase", "rank"),
+                field("resolved", true),
+                field("gap", f64::INFINITY),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let line = rec().to_json();
+        assert!(line.starts_with(r#"{"t":"event","q":3,"name":"iter","#));
+        assert!(line.contains(r#""kth_ub":123.456"#));
+        assert!(line.contains(r#""resolved":true"#));
+        // Non-finite floats become null.
+        assert!(line.contains(r#""gap":null"#));
+        assert!(json::validate(&line).is_ok(), "invalid JSON: {line}");
+    }
+
+    #[test]
+    fn field_lookup() {
+        let r = rec();
+        assert_eq!(r.get_u64("i"), Some(2));
+        assert_eq!(r.get_f64("kth_ub"), Some(123.456));
+        assert_eq!(r.get("phase").unwrap().as_str(), Some("rank"));
+        assert_eq!(r.get("missing"), None);
+    }
+}

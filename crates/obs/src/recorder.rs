@@ -1,0 +1,154 @@
+//! The emission interface and its two built-in implementations.
+
+use crate::record::{Field, Record, RecordKind};
+use crate::trace::QueryTrace;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Where instrumented code sends spans and events.
+///
+/// Implementations must be cheap when disabled: hot paths are written as
+///
+/// ```
+/// # use sknn_obs::{Recorder, NOOP, Field};
+/// # let rec: &dyn Recorder = &NOOP;
+/// # let q = 0;
+/// if rec.enabled() {
+///     rec.event("iter", q, vec![/* fields */]);
+/// }
+/// ```
+///
+/// so a disabled recorder costs one virtual call returning `false`, and
+/// no field vectors are ever built.
+pub trait Recorder: Send + Sync {
+    /// Whether emission sites should bother constructing records.
+    fn enabled(&self) -> bool;
+
+    /// Record a completed span (a named phase; by convention carries a
+    /// `dur_us` field).
+    fn span(&self, name: &'static str, query: u64, fields: Vec<Field>);
+
+    /// Record a point-in-time event.
+    fn event(&self, name: &'static str, query: u64, fields: Vec<Field>);
+}
+
+/// Discards everything; `enabled()` is `false`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+/// A shared no-op recorder instance for default wiring and tests.
+pub static NOOP: NoopRecorder = NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn span(&self, _name: &'static str, _query: u64, _fields: Vec<Field>) {}
+
+    fn event(&self, _name: &'static str, _query: u64, _fields: Vec<Field>) {}
+}
+
+/// Keeps the most recent records in a bounded ring buffer.
+///
+/// The ring is drained into a [`QueryTrace`] after each query; the bound
+/// protects against unboundedly long queries, dropping the *oldest*
+/// records first (the tail of a convergence trace is the interesting
+/// part).
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<Record>,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// A ring holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), inner: Mutex::new(Ring::default()) }
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().records.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Move everything buffered so far into a [`QueryTrace`], leaving the
+    /// ring empty.
+    pub fn drain(&self) -> QueryTrace {
+        let mut g = self.inner.lock().unwrap();
+        let records: Vec<Record> = std::mem::take(&mut g.records).into();
+        let dropped = std::mem::take(&mut g.dropped);
+        QueryTrace { records, dropped }
+    }
+
+    fn push(&self, record: Record) {
+        let mut g = self.inner.lock().unwrap();
+        if g.records.len() == self.capacity {
+            g.records.pop_front();
+            g.dropped += 1;
+        }
+        g.records.push_back(record);
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span(&self, name: &'static str, query: u64, fields: Vec<Field>) {
+        self.push(Record { kind: RecordKind::Span, name, query, fields });
+    }
+
+    fn event(&self, name: &'static str, query: u64, fields: Vec<Field>) {
+        self.push(Record { kind: RecordKind::Event, name, query, fields });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::field;
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NOOP.enabled());
+        NOOP.event("iter", 0, vec![]); // must not panic
+    }
+
+    #[test]
+    fn ring_buffers_and_drains() {
+        let r = RingRecorder::new(16);
+        assert!(r.enabled());
+        r.span("step1", 0, vec![field("dur_us", 12u64)]);
+        r.event("iter", 0, vec![field("i", 0usize)]);
+        assert_eq!(r.len(), 2);
+        let t = r.drain();
+        assert_eq!(t.records.len(), 2);
+        assert_eq!(t.dropped, 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_beyond_capacity() {
+        let r = RingRecorder::new(3);
+        for i in 0..5u64 {
+            r.event("iter", 0, vec![field("i", i)]);
+        }
+        let t = r.drain();
+        assert_eq!(t.dropped, 2);
+        let kept: Vec<u64> = t.records.iter().filter_map(|rec| rec.get_u64("i")).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+}

@@ -39,10 +39,7 @@ impl CrossingLine {
         }
         // Sort along the line and merge duplicates (shared facet borders).
         pts.sort_by(|p, q| {
-            along
-                .coord(*p)
-                .partial_cmp(&along.coord(*q))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            along.coord(*p).partial_cmp(&along.coord(*q)).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut merged: Vec<Point3> = Vec::with_capacity(pts.len() / 2 + 1);
         for p in pts {

@@ -77,10 +77,7 @@ pub fn read_msdn(r: &mut impl Read) -> io::Result<Msdn> {
                         mbr: Aabb3::new(lo, hi),
                     });
                 }
-                lines.push(SimplifiedLine {
-                    plane: AxisPlane::new(axis, value),
-                    segments,
-                });
+                lines.push(SimplifiedLine { plane: AxisPlane::new(axis, value), segments });
             }
             out.push(SdnLevel { resolution, lines });
         }

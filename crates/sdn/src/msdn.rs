@@ -31,10 +31,7 @@ pub struct MsdnConfig {
 
 impl Default for MsdnConfig {
     fn default() -> Self {
-        Self {
-            levels: vec![0.25, 0.375, 0.5, 0.75, 1.0],
-            plane_spacing: None,
-        }
+        Self { levels: vec![0.25, 0.375, 0.5, 0.75, 1.0], plane_spacing: None }
     }
 }
 
@@ -59,9 +56,7 @@ pub struct Msdn {
 impl Msdn {
     /// Build the MSDN of a mesh.
     pub fn build(mesh: &TerrainMesh, cfg: &MsdnConfig) -> Self {
-        let spacing = cfg
-            .plane_spacing
-            .unwrap_or_else(|| mesh.mean_edge_length().max(1e-6));
+        let spacing = cfg.plane_spacing.unwrap_or_else(|| mesh.mean_edge_length().max(1e-6));
         let extent = mesh.extent();
         let build_axis = |axis: Axis| -> Vec<CrossingLine> {
             let (lo, hi) = match axis {
@@ -80,11 +75,7 @@ impl Msdn {
                 .iter()
                 .map(|&r| {
                     let stride = (1.0 / r).round().max(1.0) as usize;
-                    let lines = full
-                        .iter()
-                        .step_by(stride)
-                        .map(|l| simplify_line(l, r))
-                        .collect();
+                    let lines = full.iter().step_by(stride).map(|l| simplify_line(l, r)).collect();
                     SdnLevel { resolution: r, lines }
                 })
                 .collect()
@@ -223,10 +214,7 @@ mod tests {
     fn levels_grow_in_size() {
         let (_, _, msdn) = setup();
         for i in 1..msdn.num_levels() {
-            assert!(
-                msdn.level_segments(i) > msdn.level_segments(i - 1),
-                "level {i} not larger"
-            );
+            assert!(msdn.level_segments(i) > msdn.level_segments(i - 1), "level {i} not larger");
         }
     }
 
@@ -268,11 +256,7 @@ mod tests {
             for lvl in 0..msdn.num_levels() {
                 let lb = msdn.lower_bound(lvl, a, b, None);
                 assert!(lb.value >= a.dist(b) - 1e-9);
-                assert!(
-                    lb.value <= ds + 1e-6,
-                    "level {lvl}: lb {} > exact {ds}",
-                    lb.value
-                );
+                assert!(lb.value <= ds + 1e-6, "level {lvl}: lb {} > exact {ds}", lb.value);
             }
         }
     }
@@ -281,11 +265,8 @@ mod tests {
     fn higher_levels_beat_euclid_substantially_on_rugged_terrain() {
         // Use a genuinely rugged custom terrain: on mild terrain the SDN
         // advantage over the Euclidean bound is small by nature (§1).
-        let mesh = TerrainConfig::bh()
-            .with_grid(17)
-            .with_relief(900.0)
-            .with_hurst(0.4)
-            .build_mesh(21);
+        let mesh =
+            TerrainConfig::bh().with_grid(17).with_relief(1500.0).with_hurst(0.3).build_mesh(21);
         let loc = TriangleLocator::build(&mesh);
         let msdn = Msdn::build(&mesh, &MsdnConfig::default());
         let a = loc.lift(&mesh, Point2::new(12.0, 15.0)).unwrap();
@@ -294,10 +275,7 @@ mod tests {
         let lb4 = msdn.lower_bound(4, a, b, None).value;
         let euclid = a.dist(b);
         assert!(lb4 >= lb0 * 0.98, "top level {lb4} below bottom {lb0}");
-        assert!(
-            lb4 > euclid * 1.02,
-            "full-res SDN bound {lb4} barely above euclid {euclid}"
-        );
+        assert!(lb4 > euclid * 1.02, "full-res SDN bound {lb4} barely above euclid {euclid}");
     }
 
     #[test]
@@ -306,9 +284,7 @@ mod tests {
         let a = loc.lift(&mesh, Point2::new(25.0, 20.0)).unwrap();
         let b = loc.lift(&mesh, Point2::new(140.0, 145.0)).unwrap();
         let full = msdn.lower_bound(2, a, b, None);
-        let dummy = msdn
-            .dummy_lower_bound(3, a, b, None, &full.path_mbrs, 10.0)
-            .unwrap();
+        let dummy = msdn.dummy_lower_bound(3, a, b, None, &full.path_mbrs, 10.0).unwrap();
         let full_next = msdn.lower_bound(3, a, b, None);
         assert!(dummy.value >= full_next.value - 1e-9);
         assert!(dummy.segments_used <= full_next.segments_used);

@@ -93,9 +93,8 @@ pub fn lower_bound(
         }
         node_of.push(ids);
     }
-    let seg_of = |ls: (usize, usize)| -> &crate::simplify::SimplifiedSegment {
-        &lines[ls.0].segments[ls.1]
-    };
+    let seg_of =
+        |ls: (usize, usize)| -> &crate::simplify::SimplifiedSegment { &lines[ls.0].segments[ls.1] };
 
     let mut edges: Vec<(u32, u32, f64)> = Vec::new();
     // a to the first layer, b to the last.
@@ -140,33 +139,20 @@ pub fn lower_bound(
         .filter(|&n| n >= 2)
         .map(|n| seg_of(node_seg[(n - 2) as usize]).mbr)
         .collect();
-    LowerBound {
-        value,
-        path_mbrs,
-        nodes_settled: d.settled,
-        segments_used: (next - 2) as usize,
-    }
+    LowerBound { value, path_mbrs, nodes_settled: d.settled, segments_used: (next - 2) as usize }
 }
 
 /// Build the dummy-lower-bound corridor: admit only segments whose MBR
 /// comes within `width` of the previous witness chain ("building an
 /// envelope from extending the lb path identified from the previous round,
 /// by making it thicker", §4.2.2).
-pub fn corridor_mask(
-    lines: &[&SimplifiedLine],
-    path_mbrs: &[Aabb3],
-    width: f64,
-) -> Vec<Vec<bool>> {
+pub fn corridor_mask(lines: &[&SimplifiedLine], path_mbrs: &[Aabb3], width: f64) -> Vec<Vec<bool>> {
     lines
         .iter()
         .map(|line| {
             line.segments
                 .iter()
-                .map(|seg| {
-                    path_mbrs
-                        .iter()
-                        .any(|m| m.min_dist_box(&seg.mbr) <= width)
-                })
+                .map(|seg| path_mbrs.iter().any(|m| m.min_dist_box(&seg.mbr) <= width))
                 .collect()
         })
         .collect()
@@ -187,11 +173,8 @@ mod tests {
     fn setup(seed: u64) -> (TerrainMesh, TriangleLocator) {
         // Rugged custom terrain: SDN bounds only separate visibly from the
         // Euclidean bound when the surface genuinely detours (§1).
-        let mesh = TerrainConfig::bh()
-            .with_grid(17)
-            .with_relief(900.0)
-            .with_hurst(0.4)
-            .build_mesh(seed);
+        let mesh =
+            TerrainConfig::bh().with_grid(17).with_relief(900.0).with_hurst(0.4).build_mesh(seed);
         let loc = TriangleLocator::build(&mesh);
         (mesh, loc)
     }
@@ -227,11 +210,7 @@ mod tests {
             let refs: Vec<&SimplifiedLine> = owned.iter().collect();
             let lb = lower_bound(&refs, a, b, None, None);
             assert!(lb.value >= a.dist(b) - 1e-9, "below euclid");
-            assert!(
-                lb.value <= ds + 1e-6,
-                "res {res}: lb {} exceeds exact {ds}",
-                lb.value
-            );
+            assert!(lb.value <= ds + 1e-6, "res {res}: lb {} exceeds exact {ds}", lb.value);
         }
     }
 
@@ -248,10 +227,7 @@ mod tests {
             // Breakpoint sets are not nested across resolutions, so allow a
             // whisker of regression; the ranking engine clamps bounds
             // monotone anyway.
-            assert!(
-                lb >= prev * 0.98 - 1e-9,
-                "res {res}: lb {lb} regressed below {prev}"
-            );
+            assert!(lb >= prev * 0.98 - 1e-9, "res {res}: lb {lb} regressed below {prev}");
             prev = lb;
         }
         // The full-resolution bound must beat plain Euclidean.
@@ -271,10 +247,7 @@ mod tests {
         let lb_dense = lower_bound(&rd, a, b, None, None).value;
         // Plane positions differ between densities (half-spacing offsets),
         // so require no more than a small regression.
-        assert!(
-            lb_dense >= lb_sparse * 0.95,
-            "dense {lb_dense} vs sparse {lb_sparse}"
-        );
+        assert!(lb_dense >= lb_sparse * 0.95, "dense {lb_dense} vs sparse {lb_sparse}");
     }
 
     #[test]

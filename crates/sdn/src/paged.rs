@@ -50,11 +50,7 @@ impl PagedMsdn {
                             rids.push(file.append(pager, &encode_segment(seg)));
                             mbr_xy = mbr_xy.union(&seg.mbr.xy());
                         }
-                        lines.push(PagedLine {
-                            plane: line.plane,
-                            mbr_xy,
-                            rids,
-                        });
+                        lines.push(PagedLine { plane: line.plane, mbr_xy, rids });
                     }
                     PagedLevel { file, lines }
                 })
@@ -196,8 +192,18 @@ impl PagedMsdn {
 fn encode_segment(seg: &SimplifiedSegment) -> Vec<u8> {
     let mut out = Vec::with_capacity(96);
     for v in [
-        seg.seg.a.x, seg.seg.a.y, seg.seg.a.z, seg.seg.b.x, seg.seg.b.y, seg.seg.b.z,
-        seg.mbr.lo.x, seg.mbr.lo.y, seg.mbr.lo.z, seg.mbr.hi.x, seg.mbr.hi.y, seg.mbr.hi.z,
+        seg.seg.a.x,
+        seg.seg.a.y,
+        seg.seg.a.z,
+        seg.seg.b.x,
+        seg.seg.b.y,
+        seg.seg.b.z,
+        seg.mbr.lo.x,
+        seg.mbr.lo.y,
+        seg.mbr.lo.z,
+        seg.mbr.hi.x,
+        seg.mbr.hi.y,
+        seg.mbr.hi.z,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -207,14 +213,8 @@ fn encode_segment(seg: &SimplifiedSegment) -> Vec<u8> {
 fn decode_segment(bytes: &[u8]) -> SimplifiedSegment {
     let f = |i: usize| f64::from_le_bytes(bytes[i * 8..(i + 1) * 8].try_into().unwrap());
     SimplifiedSegment {
-        seg: Segment3::new(
-            Point3::new(f(0), f(1), f(2)),
-            Point3::new(f(3), f(4), f(5)),
-        ),
-        mbr: Aabb3::new(
-            Point3::new(f(6), f(7), f(8)),
-            Point3::new(f(9), f(10), f(11)),
-        ),
+        seg: Segment3::new(Point3::new(f(0), f(1), f(2)), Point3::new(f(3), f(4), f(5))),
+        mbr: Aabb3::new(Point3::new(f(6), f(7), f(8)), Point3::new(f(9), f(10), f(11))),
     }
 }
 
@@ -231,10 +231,8 @@ mod tests {
         // Explicit dense plane spacing so each level spans several pages
         // (the BH preset at this small grid has long 3-D edges, which the
         // auto spacing would follow).
-        let msdn = Msdn::build(
-            &mesh,
-            &MsdnConfig { plane_spacing: Some(8.0), ..MsdnConfig::default() },
-        );
+        let msdn =
+            Msdn::build(&mesh, &MsdnConfig { plane_spacing: Some(8.0), ..MsdnConfig::default() });
         let pager = Pager::new(128);
         let paged = PagedMsdn::build(&pager, &msdn);
         (pager, msdn, paged, mesh)

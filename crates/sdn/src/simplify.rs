@@ -65,9 +65,7 @@ pub struct SimplifiedLine {
 impl SimplifiedLine {
     /// MBR of the whole line.
     pub fn mbr(&self) -> Aabb3 {
-        self.segments
-            .iter()
-            .fold(Aabb3::EMPTY, |b, s| b.union(&s.mbr))
+        self.segments.iter().fold(Aabb3::EMPTY, |b, s| b.union(&s.mbr))
     }
 }
 
@@ -85,15 +83,10 @@ pub fn simplify_line(line: &CrossingLine, resolution: f64) -> SimplifiedLine {
     for w in idx.windows(2) {
         let (s, e) = (w[0], w[1]);
         let mbr = Aabb3::from_points(line.points[s..=e].iter().copied());
-        segments.push(SimplifiedSegment {
-            seg: Segment3::new(line.points[s], line.points[e]),
-            mbr,
-        });
+        segments
+            .push(SimplifiedSegment { seg: Segment3::new(line.points[s], line.points[e]), mbr });
     }
-    SimplifiedLine {
-        plane: line.plane,
-        segments,
-    }
+    SimplifiedLine { plane: line.plane, segments }
 }
 
 #[cfg(test)]

@@ -28,15 +28,8 @@ impl<T: Clone> GridIndex<T> {
         let ny = (buckets_wanted.div_ceil(nx)).max(1);
         let cell_w = extent.width() / nx as f64;
         let cell_h = extent.height() / ny as f64;
-        let mut grid = Self {
-            extent,
-            nx,
-            ny,
-            cell_w,
-            cell_h,
-            buckets: vec![Vec::new(); nx * ny],
-            len: 0,
-        };
+        let mut grid =
+            Self { extent, nx, ny, cell_w, cell_h, buckets: vec![Vec::new(); nx * ny], len: 0 };
         for (r, item) in items {
             grid.insert(r, item);
         }
@@ -139,11 +132,8 @@ mod tests {
         grid.range(&window, |_, &v| got.push(v));
         got.sort_unstable();
         got.dedup();
-        let mut want: Vec<u32> = items
-            .iter()
-            .filter(|(r, _)| r.intersects(&window))
-            .map(|&(_, v)| v)
-            .collect();
+        let mut want: Vec<u32> =
+            items.iter().filter(|(r, _)| r.intersects(&window)).map(|&(_, v)| v).collect();
         want.sort_unstable();
         // No duplicates should have been emitted in the first place.
         let mut got_raw: Vec<u32> = Vec::new();
@@ -165,12 +155,10 @@ mod tests {
     #[test]
     fn off_grid_window() {
         let extent = Rect2::new(Point2::new(0.0, 0.0), Point2::new(10.0, 10.0));
-        let grid = GridIndex::build(extent, vec![(Rect2::from_point(Point2::new(5.0, 5.0)), 1u32)], 4);
+        let grid =
+            GridIndex::build(extent, vec![(Rect2::from_point(Point2::new(5.0, 5.0)), 1u32)], 4);
         let mut n = 0;
-        grid.range(
-            &Rect2::new(Point2::new(20.0, 20.0), Point2::new(30.0, 30.0)),
-            |_, _| n += 1,
-        );
+        grid.range(&Rect2::new(Point2::new(20.0, 20.0), Point2::new(30.0, 30.0)), |_, _| n += 1);
         assert_eq!(n, 0);
     }
 }

@@ -101,13 +101,7 @@ impl<T: Clone> RTree<T> {
             height += 1;
         }
         let root = level[0].1;
-        Self {
-            nodes,
-            root,
-            len,
-            height,
-            accesses: Cell::new(0),
-        }
+        Self { nodes, root, len, height, accesses: Cell::new(0) }
     }
 
     /// Number of contained items.
@@ -147,9 +141,8 @@ impl<T: Clone> RTree<T> {
         if let Some((left_mbr, right_mbr, right_id)) = split {
             // Grow the tree: new root over old root and the split sibling.
             let old_root = self.root;
-            self.nodes.push(Node::Inner {
-                entries: vec![(left_mbr, old_root), (right_mbr, right_id)],
-            });
+            self.nodes
+                .push(Node::Inner { entries: vec![(left_mbr, old_root), (right_mbr, right_id)] });
             self.root = self.nodes.len() - 1;
             self.height += 1;
         }
@@ -304,10 +297,7 @@ impl<T: Clone> RTree<T> {
     pub fn knn(&self, p: Point2, k: usize) -> Vec<(f64, Rect2, T)> {
         let mut out = Vec::with_capacity(k);
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-        heap.push(HeapItem {
-            dist: 0.0,
-            kind: ItemKind::Node(self.root),
-        });
+        heap.push(HeapItem { dist: 0.0, kind: ItemKind::Node(self.root) });
         while let Some(HeapItem { dist, kind }) = heap.pop() {
             match kind {
                 ItemKind::Node(n) => {
@@ -442,15 +432,13 @@ impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on distance; entries before nodes at equal distance so
         // results pop as early as possible.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| match (&self.kind, &other.kind) {
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal).then_with(|| {
+            match (&self.kind, &other.kind) {
                 (ItemKind::Entry(..), ItemKind::Node(_)) => Ordering::Greater,
                 (ItemKind::Node(_), ItemKind::Entry(..)) => Ordering::Less,
                 _ => Ordering::Equal,
-            })
+            }
+        })
     }
 }
 
@@ -508,11 +496,8 @@ mod tests {
         let w = Rect2::new(Point2::new(2.5, 3.5), Point2::new(7.5, 9.0));
         let mut got: Vec<usize> = t.range(&w).into_iter().map(|(_, v)| v).collect();
         got.sort_unstable();
-        let mut want: Vec<usize> = items
-            .iter()
-            .filter(|(r, _)| w.intersects(r))
-            .map(|&(_, v)| v)
-            .collect();
+        let mut want: Vec<usize> =
+            items.iter().filter(|(r, _)| w.intersects(r)).map(|&(_, v)| v).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }
@@ -525,11 +510,8 @@ mod tests {
         let r = 3.3;
         let mut got: Vec<usize> = t.within_distance(c, r).into_iter().map(|(_, v)| v).collect();
         got.sort_unstable();
-        let mut want: Vec<usize> = items
-            .iter()
-            .filter(|(rect, _)| rect.min_dist_point(c) <= r)
-            .map(|&(_, v)| v)
-            .collect();
+        let mut want: Vec<usize> =
+            items.iter().filter(|(rect, _)| rect.min_dist_point(c) <= r).map(|&(_, v)| v).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }

@@ -71,11 +71,8 @@ impl BPlusTree {
         };
 
         for (key, value) in records {
-            let (flag, payload_len) = if value.len() > MAX_INLINE {
-                (1u8, 8usize)
-            } else {
-                (0u8, value.len())
-            };
+            let (flag, payload_len) =
+                if value.len() > MAX_INLINE { (1u8, 8usize) } else { (0u8, value.len()) };
             let entry_len = 8 + 1 + 4 + payload_len;
             if used + entry_len > target && count > 0 {
                 if let Some(leaf) = flush(&mut buf, &mut used, &mut count, min_key) {
@@ -140,12 +137,7 @@ impl BPlusTree {
             height += 1;
         }
 
-        Self {
-            root: level[0].1,
-            first_leaf,
-            height,
-            len: records.len(),
-        }
+        Self { root: level[0].1, first_leaf, height, len: records.len() }
     }
 
     /// Number of contained items.
@@ -377,11 +369,7 @@ mod tests {
         let tree = BPlusTree::bulk_build(&pager, &recs);
         let mut got = Vec::new();
         tree.scan_range(&pager, 101, 499, |k, v| got.push((k, v)));
-        let want: Vec<_> = recs
-            .iter()
-            .filter(|(k, _)| (101..=499).contains(k))
-            .cloned()
-            .collect();
+        let want: Vec<_> = recs.iter().filter(|(k, _)| (101..=499).contains(k)).cloned().collect();
         assert_eq!(got, want);
         // Degenerate ranges.
         let mut n = 0;

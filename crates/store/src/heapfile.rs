@@ -85,10 +85,7 @@ impl HeapFile {
         put_u16(&mut self.tail_buf, 0, self.tail_count);
         pager.write(page, 0, &self.tail_buf[..self.tail_used]);
         self.len += 1;
-        RecordId {
-            page,
-            slot: self.tail_count - 1,
-        }
+        RecordId { page, slot: self.tail_count - 1 }
     }
 
     /// Fetch one record, charging the page read.
@@ -122,10 +119,7 @@ impl HeapFile {
             let mut off = HDR;
             for s in 0..count {
                 let len = get_u16(buf, off) as usize;
-                visit(
-                    RecordId { page, slot: s },
-                    &buf[off + 2..off + 2 + len],
-                );
+                visit(RecordId { page, slot: s }, &buf[off + 2..off + 2 + len]);
                 off += 2 + len;
             }
         });
@@ -176,9 +170,7 @@ mod tests {
         let mut hf = HeapFile::new();
         let rid = hf.append(&pager, b"a");
         assert!(hf.get(&pager, RecordId { page: rid.page, slot: 99 }).is_none());
-        assert!(hf
-            .get(&pager, RecordId { page: PageId(9999), slot: 0 })
-            .is_none());
+        assert!(hf.get(&pager, RecordId { page: PageId(9999), slot: 0 }).is_none());
     }
 
     #[test]

@@ -51,11 +51,7 @@ mod tests {
     #[test]
     fn io_time_scales_with_reads() {
         let m = DiskModel::vintage_2002();
-        let s = IoStats {
-            physical_reads: 1000,
-            logical_reads: 5000,
-            writes: 0,
-        };
+        let s = IoStats { physical_reads: 1000, logical_reads: 5000, writes: 0 };
         assert_eq!(m.io_time(&s), Duration::from_secs(8));
         assert_eq!(DiskModel::free().io_time(&s), Duration::ZERO);
     }
@@ -63,11 +59,7 @@ mod tests {
     #[test]
     fn hits_do_not_cost() {
         let m = DiskModel::default();
-        let s = IoStats {
-            physical_reads: 0,
-            logical_reads: 10_000,
-            writes: 0,
-        };
+        let s = IoStats { physical_reads: 0, logical_reads: 10_000, writes: 0 };
         assert_eq!(m.io_time(&s), Duration::ZERO);
     }
 }

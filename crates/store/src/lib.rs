@@ -44,4 +44,4 @@ pub use bptree::BPlusTree;
 pub use heapfile::{HeapFile, RecordId};
 pub use latency::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
-pub use pager::{IoStats, Pager};
+pub use pager::{IoStats, Pager, StructureTag, TagScope};

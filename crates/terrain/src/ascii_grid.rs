@@ -47,8 +47,14 @@ pub fn parse_ascii_grid(reader: impl BufRead) -> io::Result<Dem> {
         let key = first.to_ascii_lowercase();
         let is_header = matches!(
             key.as_str(),
-            "ncols" | "nrows" | "xllcorner" | "yllcorner" | "xllcenter" | "yllcenter"
-                | "cellsize" | "nodata_value"
+            "ncols"
+                | "nrows"
+                | "xllcorner"
+                | "yllcorner"
+                | "xllcenter"
+                | "yllcenter"
+                | "cellsize"
+                | "nodata_value"
         );
         if is_header {
             let value = parts.next().ok_or_else(|| bad("header missing value"))?;
@@ -60,10 +66,8 @@ pub fn parse_ascii_grid(reader: impl BufRead) -> io::Result<Dem> {
                 _ => {} // corner coordinates are irrelevant to a local model
             }
         } else {
-            let row: Result<Vec<f64>, _> = std::iter::once(first)
-                .chain(parts)
-                .map(|t| t.parse::<f64>())
-                .collect();
+            let row: Result<Vec<f64>, _> =
+                std::iter::once(first).chain(parts).map(|t| t.parse::<f64>()).collect();
             rows.push(row.map_err(|_| bad("non-numeric grid value"))?);
         }
     }
@@ -103,10 +107,7 @@ fn fill_nodata(h: &mut [f64], n: usize) -> io::Result<()> {
         return Ok(());
     }
     if h.iter().all(|v| v.is_nan()) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "grid contains no valid samples",
-        ));
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "grid contains no valid samples"));
     }
     loop {
         let mut fills: Vec<(usize, f64)> = Vec::new();
@@ -205,16 +206,13 @@ NODATA_value -9999
     #[test]
     fn rejects_malformed_input() {
         for text in [
-            "nrows 2\ncellsize 1.0\n1 2\n3 4\n",            // missing ncols
-            "ncols 2\nnrows 2\ncellsize 1.0\n1 2\n",        // short grid
-            "ncols 2\nnrows 2\ncellsize 1.0\n1 2\n3 x\n",   // non-numeric
-            "ncols 2\nnrows 2\ncellsize 0.0\n1 2\n3 4\n",   // bad cellsize
-            "ncols 1\nnrows 1\ncellsize 1.0\n7\n",          // too small
+            "nrows 2\ncellsize 1.0\n1 2\n3 4\n",          // missing ncols
+            "ncols 2\nnrows 2\ncellsize 1.0\n1 2\n",      // short grid
+            "ncols 2\nnrows 2\ncellsize 1.0\n1 2\n3 x\n", // non-numeric
+            "ncols 2\nnrows 2\ncellsize 0.0\n1 2\n3 4\n", // bad cellsize
+            "ncols 1\nnrows 1\ncellsize 1.0\n7\n",        // too small
         ] {
-            assert!(
-                parse_ascii_grid(BufReader::new(text.as_bytes())).is_err(),
-                "accepted: {text}"
-            );
+            assert!(parse_ascii_grid(BufReader::new(text.as_bytes())).is_err(), "accepted: {text}");
         }
     }
 

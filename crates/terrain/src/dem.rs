@@ -177,11 +177,7 @@ impl Dem {
             step = half;
         }
 
-        let mut dem = Dem {
-            n,
-            cell_size_m: config.cell_size_m,
-            heights: h,
-        };
+        let mut dem = Dem { n, cell_size_m: config.cell_size_m, heights: h };
         for _ in 0..config.smoothing_passes {
             dem.smooth();
         }
@@ -229,9 +225,9 @@ impl Dem {
 
     /// Min max.
     pub fn min_max(&self) -> (f64, f64) {
-        self.heights.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &z| {
-            (lo.min(z), hi.max(z))
-        })
+        self.heights
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &z| (lo.min(z), hi.max(z)))
     }
 }
 

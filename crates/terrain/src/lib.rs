@@ -23,8 +23,8 @@ pub mod ascii_grid;
 pub mod builder;
 pub mod dem;
 pub mod locate;
-pub mod obj;
 pub mod mesh;
+pub mod obj;
 pub mod stats;
 
 pub use ascii_grid::parse_ascii_grid;

@@ -39,14 +39,7 @@ impl TriangleLocator {
                 }
             }
         }
-        Self {
-            extent,
-            nx,
-            ny,
-            cell_w,
-            cell_h,
-            buckets,
-        }
+        Self { extent, nx, ny, cell_w, cell_h, buckets }
     }
 
     /// Triangle whose projection contains `p`, if any. Points on shared
@@ -56,10 +49,7 @@ impl TriangleLocator {
             return None;
         }
         let (c, r) = clamp_cell(self.extent, self.nx, self.ny, self.cell_w, self.cell_h, p);
-        self.buckets[r * self.nx + c]
-            .iter()
-            .copied()
-            .find(|&t| mesh.triangle(t).contains_xy(p))
+        self.buckets[r * self.nx + c].iter().copied().find(|&t| mesh.triangle(t).contains_xy(p))
     }
 
     /// Lift a horizontal position onto the surface (barycentric elevation).

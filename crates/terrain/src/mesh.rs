@@ -81,14 +81,7 @@ impl TerrainMesh {
             nb.dedup();
         }
         let extent = Rect2::from_points(vertices.iter().map(|p| p.xy()));
-        Self {
-            vertices,
-            triangles,
-            vertex_neighbors,
-            vertex_triangles,
-            tri_neighbors,
-            extent,
-        }
+        Self { vertices, triangles, vertex_neighbors, vertex_triangles, tri_neighbors, extent }
     }
 
     /// Num vertices.
@@ -213,13 +206,10 @@ impl TerrainMesh {
 
     /// Iterate all undirected edges `(a, b)` with `a < b`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.vertex_neighbors
-            .iter()
-            .enumerate()
-            .flat_map(|(v, nbs)| {
-                let v = v as VertexId;
-                nbs.iter().copied().filter_map(move |w| (v < w).then_some((v, w)))
-            })
+        self.vertex_neighbors.iter().enumerate().flat_map(|(v, nbs)| {
+            let v = v as VertexId;
+            nbs.iter().copied().filter_map(move |w| (v < w).then_some((v, w)))
+        })
     }
 
     /// Total surface area (sum of facet areas).
@@ -229,9 +219,7 @@ impl TerrainMesh {
 
     /// Planar (projected) area.
     pub fn planar_area(&self) -> f64 {
-        (0..self.num_triangles() as TriId)
-            .map(|t| self.triangle(t).signed_area_xy())
-            .sum()
+        (0..self.num_triangles() as TriId).map(|t| self.triangle(t).signed_area_xy()).sum()
     }
 
     /// Nearest mesh vertex to a horizontal position (linear scan; used only

@@ -12,7 +12,12 @@ use std::io::{self, Write};
 
 /// Write a triangulated terrain as OBJ (`v` + `f`).
 pub fn write_mesh_obj(mesh: &TerrainMesh, out: &mut impl Write) -> io::Result<()> {
-    writeln!(out, "# surface-knn terrain: {} vertices, {} facets", mesh.num_vertices(), mesh.num_triangles())?;
+    writeln!(
+        out,
+        "# surface-knn terrain: {} vertices, {} facets",
+        mesh.num_vertices(),
+        mesh.num_triangles()
+    )?;
     for v in mesh.vertices() {
         writeln!(out, "v {} {} {}", v.x, v.y, v.z)?;
     }

@@ -12,7 +12,7 @@
 use surface_knn::core::config::Mr3Config;
 use surface_knn::core::metrics::QueryStats;
 use surface_knn::core::ranking::RankingContext;
-use surface_knn::geodesic::{ExactGeodesic};
+use surface_knn::geodesic::ExactGeodesic;
 use surface_knn::multires::{build_dmtm, PagedDmtm};
 use surface_knn::prelude::*;
 use surface_knn::sdn::{Msdn, MsdnConfig, PagedMsdn};
@@ -29,7 +29,15 @@ fn main() {
     let dmtm = PagedDmtm::build(&pager, build_dmtm(&mesh));
     let msdn_cfg = MsdnConfig { levels: cfg.msdn_levels.clone(), plane_spacing: None };
     let msdn = PagedMsdn::build(&pager, &Msdn::build(&mesh, &msdn_cfg));
-    let ctx = RankingContext { mesh: &mesh, dmtm: &dmtm, msdn: &msdn, pager: &pager, cfg: &cfg };
+    let ctx = RankingContext {
+        mesh: &mesh,
+        dmtm: &dmtm,
+        msdn: &msdn,
+        pager: &pager,
+        cfg: &cfg,
+        rec: &sknn_obs::NOOP,
+        query: 0,
+    };
 
     let exact = ExactGeodesic::new(&mesh).distance(a.to_mesh_point(), b.to_mesh_point());
     let euclid = a.pos.dist(b.pos);

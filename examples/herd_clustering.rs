@@ -13,11 +13,7 @@ use surface_knn::prelude::*;
 fn main() {
     let mesh = TerrainConfig::bh().with_grid(65).build_mesh(909);
     // Sightings gather around a few water sources.
-    let scene = SceneBuilder::new(&mesh)
-        .object_count(45)
-        .clustered(4, 30.0)
-        .seed(5)
-        .build();
+    let scene = SceneBuilder::new(&mesh).object_count(45).clustered(4, 30.0).seed(5).build();
     let engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
 
     let cfg = DbscanConfig { eps: 90.0, min_pts: 3 };
@@ -32,20 +28,11 @@ fn main() {
     );
     for c in 0..clustering.num_clusters {
         let members = clustering.members(c);
-        let cx = members
-            .iter()
-            .map(|&id| scene.object(id).point.pos.x)
-            .sum::<f64>()
+        let cx = members.iter().map(|&id| scene.object(id).point.pos.x).sum::<f64>()
             / members.len() as f64;
-        let cy = members
-            .iter()
-            .map(|&id| scene.object(id).point.pos.y)
-            .sum::<f64>()
+        let cy = members.iter().map(|&id| scene.object(id).point.pos.y).sum::<f64>()
             / members.len() as f64;
-        println!(
-            "  herd {c}: {:>2} sightings around ({cx:.0}, {cy:.0})",
-            members.len()
-        );
+        println!("  herd {c}: {:>2} sightings around ({cx:.0}, {cy:.0})", members.len());
     }
     println!(
         "clustering cost: {} disk pages, {:?} cpu",
@@ -59,7 +46,10 @@ fn main() {
     for (s, l) in new.iter().zip(&labels) {
         match l {
             Some(c) => println!("  ({:>4.0}, {:>4.0}) -> herd {c}", s.pos.x, s.pos.y),
-            None => println!("  ({:>4.0}, {:>4.0}) -> unaffiliated (possible new herd)", s.pos.x, s.pos.y),
+            None => println!(
+                "  ({:>4.0}, {:>4.0}) -> unaffiliated (possible new herd)",
+                s.pos.x, s.pos.y
+            ),
         }
     }
 }

@@ -55,10 +55,7 @@ fn main() {
     // 3. Ground-crew access: same k-NN question but slopes above 220 % are
     //    untraversable.
     let mask = ObstacleMask::from_slope_limit(&mesh, 2.2);
-    println!(
-        "\nslope constraint blocks {:.1}% of facets",
-        mask.blocked_fraction() * 100.0
-    );
+    println!("\nslope constraint blocks {:.1}% of facets", mask.blocked_fraction() * 100.0);
     let crew = ConstrainedEngine::build(&mesh, &habitats, mask, 256);
     let free = engine.query(site, 5);
     let constrained = crew.query(site, 5);

@@ -50,7 +50,12 @@ fn main() {
     println!(
         "\ncost: {} disk pages, {:?} cpu, {} resolution iterations, \
          {} candidates ranked, {} ub / {} lb estimations ({} dummy-lb shortcuts)",
-        s.pages, s.cpu, s.iterations, s.candidates, s.ub_estimations, s.lb_estimations,
+        s.pages,
+        s.cpu,
+        s.iterations,
+        s.candidates,
+        s.ub_estimations,
+        s.lb_estimations,
         s.dummy_lb_hits
     );
 }

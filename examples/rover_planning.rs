@@ -9,7 +9,7 @@
 //! cargo run --release --example rover_planning
 //! ```
 
-use surface_knn::geodesic::{Pathnet};
+use surface_knn::geodesic::Pathnet;
 use surface_knn::prelude::*;
 
 fn main() {
@@ -18,10 +18,7 @@ fn main() {
     let engine = Mr3Engine::build(&mesh, &sites, &Mr3Config::default());
 
     let rover = sites.random_query(41);
-    println!(
-        "rover at ({:.0}, {:.0}), elevation {:.1} m",
-        rover.pos.x, rover.pos.y, rover.pos.z
-    );
+    println!("rover at ({:.0}, {:.0}), elevation {:.1} m", rover.pos.x, rover.pos.y, rover.pos.z);
 
     let k = 3;
     let result = engine.query(rover, k);
@@ -51,9 +48,9 @@ fn main() {
         dist_so_far += p.dist(last);
         last = *p;
         if i % 10 == 0 || i + 1 == path.len() {
-            let bar_len = ((p.z - mesh.vertices().iter().map(|v| v.z).fold(f64::INFINITY, f64::min))
-                / 10.0)
-                .max(0.0) as usize;
+            let bar_len =
+                ((p.z - mesh.vertices().iter().map(|v| v.z).fold(f64::INFINITY, f64::min)) / 10.0)
+                    .max(0.0) as usize;
             println!("  {:>8.1}  {:>8.1}  {}", dist_so_far, p.z, "#".repeat(bar_len.min(60)));
         }
     }

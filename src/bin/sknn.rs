@@ -3,6 +3,8 @@
 //! ```text
 //! sknn info                            terrain + structure statistics
 //! sknn knn --k 5 --queries 3           surface k-NN queries
+//! sknn trace --k 5 [--out t.jsonl]     traced k-NN: JSONL records + a
+//!                                      human convergence summary
 //! sknn range --radius 150              surface range query
 //! sknn pair                            surface closest pair
 //! sknn constrained --max-slope 1.5     obstacle-constrained k-NN
@@ -20,8 +22,8 @@
 //!   --structures f.sknn  reuse a saved structure bundle for knn/range/pair
 //! ```
 
-use surface_knn::core::constrained::{ConstrainedEngine, ObstacleMask};
 use surface_knn::core::config::StepSchedule;
+use surface_knn::core::constrained::{ConstrainedEngine, ObstacleMask};
 use surface_knn::prelude::*;
 use surface_knn::terrain::stats::MeshStats;
 
@@ -127,7 +129,11 @@ fn main() {
             println!("vertices      : {}", s.num_vertices);
             println!("facets        : {}", s.num_triangles);
             println!("edges         : {}", s.num_edges);
-            println!("extent        : {:.0} m x {:.0} m", mesh.extent().width(), mesh.extent().height());
+            println!(
+                "extent        : {:.0} m x {:.0} m",
+                mesh.extent().width(),
+                mesh.extent().height()
+            );
             println!("relief        : {:.1} m", s.relief());
             println!("rugosity      : {:.3}", s.rugosity);
             println!("mean slope    : {:.3}", s.mean_slope);
@@ -157,6 +163,50 @@ fn main() {
                     res.stats.iterations,
                     res.stats.candidates
                 );
+            }
+        }
+        "trace" => {
+            // Traced k-NN. JSONL records go to stdout (pipe-friendly) and
+            // the human-readable convergence summary to stderr; with
+            // `--out FILE` the JSONL goes to the file and the summary to
+            // stdout instead.
+            use std::io::Write;
+            let k: usize = flags.get("k", 5);
+            let nq: usize = flags.get("queries", 1);
+            let out_path = flags.get_str("out", "");
+            let mut engine = build_engine(&cfg);
+            engine.enable_tracing();
+            let mut file = if out_path.is_empty() {
+                None
+            } else {
+                Some(std::io::BufWriter::new(
+                    std::fs::File::create(&out_path).expect("cannot create --out file"),
+                ))
+            };
+            for (i, q) in scene.random_queries(nq, seed ^ 7).into_iter().enumerate() {
+                let res = engine.query(q, k);
+                let trace = res.trace.expect("tracing enabled but no trace returned");
+                let summary = format!(
+                    "query {i} at ({:.0}, {:.0}) — k={k}, {} pages\n{}",
+                    q.pos.x,
+                    q.pos.y,
+                    res.stats.pages,
+                    trace.convergence_summary()
+                );
+                match file.as_mut() {
+                    Some(f) => {
+                        f.write_all(trace.to_jsonl().as_bytes()).expect("cannot write --out file");
+                        println!("{summary}");
+                    }
+                    None => {
+                        print!("{}", trace.to_jsonl());
+                        eprintln!("{summary}");
+                    }
+                }
+            }
+            if let Some(mut f) = file {
+                f.flush().expect("cannot write --out file");
+                println!("wrote JSONL trace to {out_path}");
             }
         }
         "range" => {
@@ -232,8 +282,7 @@ fn main() {
                 let tree = build_dmtm(&mesh);
                 let m = tree.step_for_fraction(resolution);
                 let fg = FrontGraph::extract(&tree, m, None);
-                let edges: Vec<(u32, u32)> =
-                    fg.edges.iter().map(|&(a, b, _)| (a, b)).collect();
+                let edges: Vec<(u32, u32)> = fg.edges.iter().map(|&(a, b, _)| (a, b)).collect();
                 obj::write_graph_obj(&fg.rep_pos, &edges, &mut file).unwrap();
                 println!(
                     "wrote {:.1}% front ({} nodes, {} edges) to {out_path}",
@@ -244,7 +293,7 @@ fn main() {
             }
         }
         _ => {
-            println!("usage: sknn <info|knn|range|pair|constrained|export|prepare> [flags]");
+            println!("usage: sknn <info|knn|trace|range|pair|constrained|export|prepare> [flags]");
             println!("see the module docs (src/bin/sknn.rs) for the flag list");
         }
     }

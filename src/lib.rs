@@ -17,6 +17,7 @@
 //! * [`geodesic`] — Dijkstra, exact window propagation, Kanai–Suzuki
 //! * [`sdn`] — the MSDN lower-bound networks
 //! * [`core`] — MR3, the EA benchmark and CH baseline, workloads, metrics
+//! * [`obs`] — query tracing and metrics: recorders, histograms, JSONL traces
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@ pub use sknn_core as core;
 pub use sknn_geodesic as geodesic;
 pub use sknn_geom as geom;
 pub use sknn_multires as multires;
+pub use sknn_obs as obs;
 pub use sknn_sdn as sdn;
 pub use sknn_spatial as spatial;
 pub use sknn_store as store;

@@ -68,10 +68,7 @@ fn schedules_and_flags_interact_safely() {
             let res = engine.query(q, k);
             for n in &res.neighbors {
                 let d = exact.pair_distance(q, scene.object(n.id).point);
-                assert!(
-                    d <= kth * 1.06 + 1e-6,
-                    "{name} minimal={minimal}: {d} vs {kth}"
-                );
+                assert!(d <= kth * 1.06 + 1e-6, "{name} minimal={minimal}: {d} vs {kth}");
             }
         }
     }

@@ -115,10 +115,7 @@ fn mr3_is_cheaper_than_ea_in_cpu() {
         mr3_cpu += mr3.query(q, 10).stats.cpu.as_secs_f64();
         ea_cpu += ea.query(q, 10).stats.cpu.as_secs_f64();
     }
-    assert!(
-        ea_cpu > 2.0 * mr3_cpu,
-        "EA cpu {ea_cpu:.4}s not clearly above MR3 cpu {mr3_cpu:.4}s"
-    );
+    assert!(ea_cpu > 2.0 * mr3_cpu, "EA cpu {ea_cpu:.4}s not clearly above MR3 cpu {mr3_cpu:.4}s");
 }
 
 #[test]

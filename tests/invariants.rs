@@ -47,10 +47,7 @@ fn exact() -> &'static ExactGeodesic<'static> {
 
 fn surface_point(f: &Fixture, x: f64, y: f64) -> SurfacePoint {
     let e = f.mesh.extent();
-    let p = Point2::new(
-        e.lo.x + x * e.width().max(1e-9),
-        e.lo.y + y * e.height().max(1e-9),
-    );
+    let p = Point2::new(e.lo.x + x * e.width().max(1e-9), e.lo.y + y * e.height().max(1e-9));
     let tri = f.locator.locate(&f.mesh, p).unwrap();
     let pos = f.mesh.triangle(tri).lift_xy(p).unwrap();
     SurfacePoint { tri, pos }
@@ -75,6 +72,7 @@ proptest! {
         let fracs = [0.005, 0.25, 0.5, 0.75, 1.0, 2.0];
         let ctx = RankingContext {
             mesh: &f.mesh, dmtm: &f.dmtm, msdn: &f.msdn, pager: &f.pager, cfg: &f.cfg,
+            rec: &sknn_obs::NOOP, query: 0,
         };
         let mut stats = QueryStats::default();
         let range = ctx.estimate_pair(&a, &b, fracs[dmtm_idx], level, &mut stats);

@@ -1,0 +1,185 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate. Keeps `cargo bench` (with `harness = false`
+//! targets) compiling and producing useful numbers without the upstream
+//! dependency tree: each benchmark runs a short warm-up, then measures
+//! batches until enough wall time has accumulated, and prints the mean
+//! time per iteration. No statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark driver. Collects and runs registered benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    measure_for: Duration,
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "--bench");
+        Self { measure_for: Duration::from_millis(300), filter }
+    }
+}
+
+impl Criterion {
+    /// Compatibility shim: upstream trims sample counts; here we shorten
+    /// the per-benchmark measurement budget proportionally.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.measure_for = Duration::from_millis((3 * n as u64).clamp(30, 3000));
+        self
+    }
+
+    /// Compatibility shim: ignored.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure_for = d;
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.should_run(id) {
+            let mut b = Bencher::new(self.measure_for);
+            f(&mut b);
+            b.report(id);
+        }
+        self
+    }
+
+    /// Run one parameterised benchmark closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        if self.should_run(&id.0) {
+            let mut b = Bencher::new(self.measure_for);
+            f(&mut b, input);
+            b.report(&id.0);
+        }
+        self
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    measure_for: Duration,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(measure_for: Duration) -> Self {
+        Self { measure_for, mean_ns: None, iters: 0 }
+    }
+
+    /// Measure `f`, keeping its return value alive via `black_box`.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(f());
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        while started.elapsed() < self.measure_for {
+            black_box(f());
+            iters += 1;
+        }
+        let total = started.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = Some(total.as_nanos() as f64 / self.iters as f64);
+    }
+
+    fn report(&self, id: &str) {
+        match self.mean_ns {
+            Some(ns) => {
+                println!("bench {id:<40} {:>14} ns/iter ({} iters)", format_ns(ns), self.iters)
+            }
+            None => println!("bench {id:<40} (no measurement)"),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Identifier for a parameterised benchmark: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Compose `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+}
+
+/// An opaque value barrier preventing the optimiser from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function, mirroring upstream's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion { measure_for: Duration::from_millis(5), filter: None };
+        c.bench_function("smoke/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("front", "50%").0, "front/50%");
+    }
+}

@@ -1,0 +1,97 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values spanning a wide magnitude range (no NaN/inf, which
+        // is what numeric property tests almost always want).
+        let mag = rng.unit_f64() * 2.0 - 1.0;
+        let exp = (rng.below(61) as i32) - 30;
+        mag * 2f64.powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // ASCII printable keeps generated text debuggable.
+        (0x20 + rng.below(0x5f) as u8) as char
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u64_varies() {
+        let mut rng = TestRng::deterministic("any-u64");
+        let s = any::<u64>();
+        let a = s.sample(&mut rng);
+        let b = s.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn any_f64_is_finite() {
+        let mut rng = TestRng::deterministic("any-f64");
+        for _ in 0..1000 {
+            assert!(any::<f64>().sample(&mut rng).is_finite());
+        }
+    }
+
+    #[test]
+    fn any_bool_hits_both() {
+        let mut rng = TestRng::deterministic("any-bool");
+        let vs: Vec<bool> = (0..64).map(|_| any::<bool>().sample(&mut rng)).collect();
+        assert!(vs.contains(&true) && vs.contains(&false));
+    }
+}

@@ -1,0 +1,149 @@
+#![warn(missing_docs)]
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate. The build environment has no network access, so this workspace
+//! ships a minimal replacement that keeps the same *test source syntax*:
+//! the [`proptest!`] macro, range/tuple/`any` strategies, `prop_map`,
+//! collection strategies, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * cases are sampled from a deterministic per-test RNG (seeded from the
+//!   test name), so failures reproduce exactly on every run and machine;
+//! * there is **no shrinking** — a failing case panics with the case
+//!   number and message as-is.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The conventional glob import used by test files.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests. Mirrors upstream syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn holds(x in 0.0f64..1.0, n in any::<u64>()) { prop_assert!(x < 1.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __cfg.cases.saturating_mul(20).max(20);
+                while __accepted < __cfg.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest '{}': too many rejected cases ({} attempts for {} accepted)",
+                        stringify!($name), __attempts, __accepted,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::CaseError> =
+                        (|| { $body; Ok(()) })();
+                    match __outcome {
+                        Ok(()) => __accepted += 1,
+                        Err($crate::test_runner::CaseError::Reject) => {}
+                        Err($crate::test_runner::CaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed on case {}: {}",
+                                stringify!($name), __accepted, msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::test_runner::CaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::CaseError::Reject);
+        }
+    };
+}
