@@ -38,6 +38,7 @@ fn main() {
         cfg: &cfg,
         rec: &sknn_obs::NOOP,
         query: 0,
+        scratch: std::cell::RefCell::new(Default::default()),
     };
 
     // Deterministic long-range pairs.

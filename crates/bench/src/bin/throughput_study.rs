@@ -1,0 +1,148 @@
+//! Batch-query throughput at 1/2/4/8 threads.
+//!
+//! Runs one seeded k-NN workload through `Mr3Engine::query_batch` at each
+//! thread count and reports queries/second, p50/p99 latency, and speedup
+//! over the 1-thread run. Every sweep's neighbour sets and distance-range
+//! bits are checked against the 1-thread baseline — the batch path must be
+//! output-identical to the sequential loop, so the speedup is free of
+//! result drift by construction.
+//!
+//! The pager is given a real per-miss read stall (`--stall-ms`, default
+//! the unscaled paper-era random read of ~8 ms), so the workload runs in
+//! the I/O-bound regime the paper's disk numbers imply; threads overlap
+//! their stalls exactly as overlapping disk requests would, which is where
+//! batch parallelism pays even on a small CPU-core budget.
+//!
+//! Output: `threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical` as
+//! CSV on stdout, and the same numbers as JSON to `--out`
+//! (default `BENCH_mr3.json`) to start the perf trajectory.
+
+use sknn_bench::{bh_mesh, percentile, queries, scene_with_density, start_figure, Args};
+use sknn_core::config::Mr3Config;
+use sknn_core::metrics::QueryResult;
+use sknn_core::mr3::Mr3Engine;
+use sknn_core::workload::SurfacePoint;
+use std::time::{Duration, Instant};
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args = Args::parse();
+    let grid: usize = args.get("grid", 49);
+    let seed: u64 = args.get("seed", 7);
+    let nq: usize = args.get("queries", 64);
+    let k: usize = args.get("k", 6);
+    let density: f64 = args.get("density", 4.0);
+    // Real wall-clock cost of a buffer-pool miss. Unlike the figures'
+    // scaled-down DiskModel (0.4 ms, a bookkeeping charge), this is slept
+    // for real, so it uses the unscaled random-read latency of the paper's
+    // disk era (~8 ms).
+    let stall_ms: f64 = args.get("stall-ms", 8.0);
+    let out: String = args.get("out", "BENCH_mr3.json".to_string());
+
+    let mesh = bh_mesh(grid, seed);
+    let scene = scene_with_density(&mesh, density, seed + 1);
+    let mut engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+    // Throughput is a service-regime measurement: keep the pool warm
+    // across queries (misses still stream through the LRU) instead of the
+    // figures' per-query cold start, and charge misses real latency.
+    engine.cold_cache = false;
+    engine.pager().set_read_stall(Duration::from_secs_f64(stall_ms / 1000.0));
+
+    let qs = queries(&scene, nq, seed + 2);
+    let batch: Vec<(SurfacePoint, usize)> = qs.iter().map(|&q| (q, k)).collect();
+    eprintln!(
+        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stall {stall_ms} ms",
+        scene.num_objects(),
+        batch.len()
+    );
+
+    start_figure(
+        "Batch k-NN throughput vs thread count",
+        "threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical",
+    );
+
+    let mut baseline: Option<Vec<QueryResult>> = None;
+    let mut base_qps = 0.0;
+    let mut rows = Vec::new();
+    for threads in SWEEP {
+        // Identical pool state at every sweep start.
+        engine.pager().clear_pool();
+        let t = Instant::now();
+        let results = engine.query_batch(&batch, threads);
+        let wall = t.elapsed().as_secs_f64();
+        let qps = batch.len() as f64 / wall;
+        let lat_ms: Vec<f64> =
+            results.iter().map(|r| r.stats.wall.as_secs_f64() * 1000.0).collect();
+        let (p50, p99) = (percentile(&lat_ms, 50.0), percentile(&lat_ms, 99.0));
+        let identical = match &baseline {
+            None => {
+                base_qps = qps;
+                baseline = Some(results);
+                true
+            }
+            Some(base) => bitwise_equal(base, &results),
+        };
+        let speedup = qps / base_qps;
+        println!("{threads},{wall:.4},{qps:.2},{p50:.3},{p99:.3},{speedup:.3},{identical}");
+        rows.push((threads, wall, qps, p50, p99, speedup, identical));
+    }
+
+    let json = render_json(grid, seed, scene.num_objects(), nq, k, stall_ms, &rows);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("# warning: cannot write --out {out}: {e}");
+    } else {
+        eprintln!("# wrote {out}");
+    }
+    if rows.iter().any(|r| !r.6) {
+        eprintln!("# ERROR: a parallel sweep diverged from the sequential baseline");
+        std::process::exit(1);
+    }
+}
+
+/// Neighbour ids and the exact f64 bit patterns of both bounds must match.
+fn bitwise_equal(a: &[QueryResult], b: &[QueryResult]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.neighbors.len() == y.neighbors.len()
+                && x.neighbors.iter().zip(&y.neighbors).all(|(m, n)| {
+                    m.id == n.id
+                        && m.range.lb.to_bits() == n.range.lb.to_bits()
+                        && m.range.ub.to_bits() == n.range.ub.to_bits()
+                })
+        })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    grid: usize,
+    seed: u64,
+    objects: usize,
+    nq: usize,
+    k: usize,
+    stall_ms: f64,
+    rows: &[(usize, f64, f64, f64, f64, f64, bool)],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"throughput_study\",\n");
+    s.push_str("  \"terrain\": \"BH\",\n");
+    s.push_str(&format!("  \"grid\": {grid},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"objects\": {objects},\n"));
+    s.push_str(&format!("  \"queries\": {nq},\n"));
+    s.push_str(&format!("  \"k\": {k},\n"));
+    s.push_str(&format!("  \"stall_ms\": {stall_ms},\n"));
+    s.push_str(&format!("  \"host_threads\": {},\n", sknn_exec::available_threads()));
+    s.push_str("  \"sweeps\": [\n");
+    for (i, (threads, wall, qps, p50, p99, speedup, identical)) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"threads\": {threads}, \"wall_s\": {wall:.4}, \"qps\": {qps:.2}, \
+             \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"speedup\": {speedup:.3}, \
+             \"identical_to_sequential\": {identical}}}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -193,6 +193,18 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// The `p`-th percentile (0–100, nearest-rank on a sorted copy); 0.0 for
+/// an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((p.clamp(0.0, 100.0) / 100.0) * (v.len() - 1) as f64).round() as usize;
+    v[idx]
+}
+
 /// Emit a CSV header + note on stderr.
 pub fn start_figure(name: &str, columns: &str) {
     eprintln!("# {name}");
@@ -207,6 +219,18 @@ mod tests {
     fn mean_handles_empty() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 51.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        // Order-independent.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
     }
 
     #[test]

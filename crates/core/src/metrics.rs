@@ -14,6 +14,10 @@ use std::time::Duration;
 pub struct QueryStats {
     /// Measured CPU time (see [`CpuTimer`] for exactly what is measured).
     pub cpu: Duration,
+    /// Measured wall-clock time of the query, including real pager stalls
+    /// and scheduling delays — the per-query latency that batch execution
+    /// aggregates into percentiles.
+    pub wall: Duration,
     /// Physical disk pages read (buffer-pool misses + index node visits).
     pub pages: u64,
     /// Resolution iterations executed by the ranking engine.
@@ -28,6 +32,9 @@ pub struct QueryStats {
     pub lb_estimations: usize,
     /// Dummy (corridor) lower bounds that sufficed without confirmation.
     pub dummy_lb_hits: usize,
+    /// Front-graph fetches answered by the per-query front cache instead
+    /// of re-extracting (and re-paging) the DMTM front.
+    pub front_cache_hits: usize,
 }
 
 impl QueryStats {

@@ -13,14 +13,15 @@
 
 use crate::config::Mr3Config;
 use crate::metrics::{CpuTimer, Neighbor, QueryResult, QueryStats};
-use crate::ranking::{Candidate, RankingContext};
+use crate::ranking::{Candidate, RankScratch, RankingContext};
 use crate::workload::{Scene, SurfacePoint};
 use sknn_multires::PagedDmtm;
 use sknn_obs::{field, QueryTrace, Recorder, RingRecorder, NOOP};
 use sknn_sdn::PagedMsdn;
 use sknn_store::{DiskModel, Pager, StructureTag};
 use sknn_terrain::mesh::TerrainMesh;
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +30,14 @@ use std::time::Instant;
 const TRACE_RING_CAPACITY: usize = 4096;
 
 /// The MR3 surface k-NN query engine.
+///
+/// The engine is `Sync`: every query-path structure is either immutable
+/// (mesh, scene, DMTM, MSDN) or internally synchronised (the mutex-backed
+/// [`Pager`], the ring recorder, atomic counters), so independent queries
+/// may run concurrently through `&self` — see [`query_batch`]
+/// (Self::query_batch). Query *results* depend only on the immutable
+/// structures; the shared mutable state only feeds cost counters, which
+/// become aggregate (not per-query-exact) under concurrency.
 pub struct Mr3Engine<'s, 'm> {
     mesh: &'m TerrainMesh,
     scene: &'s Scene<'m>,
@@ -39,7 +48,7 @@ pub struct Mr3Engine<'s, 'm> {
     /// Trace sink; `None` means tracing off (no-op recorder, no overhead).
     ring: Option<Arc<RingRecorder>>,
     /// Query sequence number stamped on trace records.
-    query_seq: Cell<u64>,
+    query_seq: AtomicU64,
     /// Drop cached pages before each query (cold-cache measurement, the
     /// regime of the paper's figures).
     pub cold_cache: bool,
@@ -79,7 +88,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             pager,
             cfg: cfg.clone(),
             ring: None,
-            query_seq: Cell::new(0),
+            query_seq: AtomicU64::new(0),
             cold_cache: true,
             disk: DiskModel::default(),
         }
@@ -112,9 +121,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     }
 
     fn next_query_id(&self) -> u64 {
-        let id = self.query_seq.get();
-        self.query_seq.set(id + 1);
-        id
+        self.query_seq.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Emit per-structure I/O attribution and the buffer-pool roll-up for
@@ -184,6 +191,14 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     }
 
     fn ctx(&self) -> RankingContext<'_, 'm> {
+        // `query_seq` counts queries *started*; the in-flight query's id is
+        // one less (0 before any query runs). Only approximate once
+        // queries run concurrently — the concurrent entry points pass
+        // their own id via `ctx_for`.
+        self.ctx_for(self.query_seq.load(Ordering::Relaxed).saturating_sub(1))
+    }
+
+    fn ctx_for(&self, qid: u64) -> RankingContext<'_, 'm> {
         RankingContext {
             mesh: self.mesh,
             dmtm: &self.dmtm,
@@ -191,9 +206,8 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             pager: &self.pager,
             cfg: &self.cfg,
             rec: self.recorder(),
-            // `query_seq` counts queries *started*; the in-flight query's
-            // id is one less (0 before any query runs).
-            query: self.query_seq.get().saturating_sub(1),
+            query: qid,
+            scratch: RefCell::new(RankScratch::default()),
         }
     }
 
@@ -213,7 +227,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
 
         let k = k.min(self.scene.num_objects());
         let terrain = self.mesh.extent();
-        let ctx = self.ctx();
+        let ctx = self.ctx_for(qid);
         let mut neighbors = Vec::new();
 
         if k > 0 {
@@ -313,6 +327,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         }
 
         timer.stop_into(&mut stats.cpu);
+        stats.wall = query_start.elapsed();
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
         let trace = if traced {
             self.emit_io(rec, qid);
@@ -330,6 +345,20 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             None
         };
         QueryResult { neighbors, stats, trace }
+    }
+
+    /// Answer a batch of independent k-NN queries on `threads` worker
+    /// threads, returning results in batch order.
+    ///
+    /// Neighbour sets and distance ranges are bit-identical to calling
+    /// [`query`](Self::query) in a sequential loop: results depend only on
+    /// the engine's immutable structures, and each query carries its own
+    /// ranking scratch. The shared buffer pool and access counters do race
+    /// under concurrency, so the *cost* fields (`stats.pages`, pager
+    /// stats) describe the batch in aggregate rather than any one query;
+    /// the same applies to trace attribution when tracing is enabled.
+    pub fn query_batch(&self, batch: &[(SurfacePoint, usize)], threads: usize) -> Vec<QueryResult> {
+        sknn_exec::par_map(threads, batch, |_, &(q, k)| self.query(q, k))
     }
 
     fn drain_trace(&self) -> Option<QueryTrace> {
@@ -353,6 +382,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         }
         self.pager.reset_stats();
         let timer = CpuTimer::start();
+        let start = Instant::now();
         let ctx = self.ctx();
         let mut range = crate::bounds::DistRange::unbounded();
         range.tighten_lb(a.pos.dist(b.pos));
@@ -375,6 +405,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             stats.iterations += 1;
         }
         timer.stop_into(&mut stats.cpu);
+        stats.wall = start.elapsed();
         stats.pages = self.pager.stats().physical_reads;
         (range, stats)
     }
@@ -403,10 +434,11 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             .iter()
             .map(|&(_, id)| Candidate::new(&q, id, self.scene.object(id).point, &terrain))
             .collect();
-        let ctx = self.ctx();
+        let ctx = self.ctx_for(qid);
         let (inside, undecided) = ctx.resolve_within(&q, &mut cands, radius, &mut stats);
 
         timer.stop_into(&mut stats.cpu);
+        stats.wall = query_start.elapsed();
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
         let trace = if rec.enabled() {
             self.emit_io(rec, qid);
@@ -440,6 +472,14 @@ pub struct RangeResult {
     pub stats: QueryStats,
     /// Execution trace, when the engine has tracing enabled.
     pub trace: Option<QueryTrace>,
+}
+
+/// Compile-time seal of the thread-safety contract `query_batch` relies
+/// on: if any engine component regresses to unsynchronised interior
+/// mutability (`Cell`, `RefCell`, raw pointers), this stops compiling.
+#[allow(dead_code)]
+fn _assert_engine_sync<'a>(engine: &'a Mr3Engine<'_, '_>) -> &'a (dyn Sync + 'a) {
+    engine
 }
 
 #[cfg(test)]

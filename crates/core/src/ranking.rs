@@ -17,7 +17,7 @@ use crate::config::Mr3Config;
 use crate::metrics::QueryStats;
 use crate::regions::{candidate_region, merge_regions, IoGroup};
 use crate::workload::SurfacePoint;
-use sknn_geodesic::graph::{Dijkstra, Graph};
+use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph};
 use sknn_geodesic::pathnet::Pathnet;
 use sknn_geom::Axis;
 use sknn_geom::{Aabb3, Ellipse2, Rect2};
@@ -27,8 +27,13 @@ use sknn_sdn::network::{corridor_mask, lower_bound};
 use sknn_sdn::{Msdn, PagedMsdn, SimplifiedLine};
 use sknn_store::Pager;
 use sknn_terrain::mesh::TerrainMesh;
+use std::cell::RefCell;
 
 /// Shared immutable state for ranking runs.
+///
+/// A context belongs to one query on one thread (the engine creates one
+/// per query); batch parallelism shares the engine, never a context, which
+/// is why the per-query [`RankScratch`] can live here in a `RefCell`.
 pub struct RankingContext<'a, 'm> {
     /// The mesh.
     pub mesh: &'m TerrainMesh,
@@ -44,6 +49,55 @@ pub struct RankingContext<'a, 'm> {
     pub rec: &'a dyn Recorder,
     /// Query sequence number stamped on emitted records.
     pub query: u64,
+    /// Reusable hot-path state (Dijkstra scratch, filtered-graph buffers,
+    /// the cached front graph). Per-query, so it never crosses threads.
+    pub scratch: RefCell<RankScratch>,
+}
+
+/// Reusable working state of the ranking hot path. Everything here is an
+/// optimisation cache: dropping it between calls changes performance, not
+/// results.
+#[derive(Debug, Default)]
+pub struct RankScratch {
+    /// DMTM front graph cached across refinement calls. Hit when the
+    /// resolution step matches and the cached fetch region contains the
+    /// requested one — a front fetched for an enclosing region is a
+    /// superset, and every front-graph path is a real surface path, so a
+    /// superset front still yields valid (if anything tighter) upper
+    /// bounds. Invalidated by fetching at a different step (resolution
+    /// advance) or a region the cached one does not contain.
+    front_cache: Option<CachedFront>,
+    /// Buffers for per-candidate corridor/ellipse-filtered Dijkstra runs.
+    bufs: DijkstraBufs,
+    /// Buffers for the per-group shared unrestricted Dijkstra run.
+    shared: SharedBufs,
+}
+
+#[derive(Debug)]
+struct CachedFront {
+    step: u32,
+    roi: Rect2,
+    graph: FrontGraph,
+}
+
+/// Mask/edge/source buffers plus a CSR graph and Dijkstra scratch, reused
+/// across every filtered bound estimation of a query.
+#[derive(Debug, Default)]
+struct DijkstraBufs {
+    mask: Vec<bool>,
+    edges: Vec<(u32, u32, f64)>,
+    srcs: Vec<(u32, f64)>,
+    graph: Graph,
+    dij: DijkstraScratch,
+}
+
+/// Separate graph + scratch for the shared unrestricted run, so its
+/// distances stay readable while per-candidate filtered runs recycle
+/// [`DijkstraBufs`].
+#[derive(Debug, Default)]
+struct SharedBufs {
+    graph: Graph,
+    dij: DijkstraScratch,
 }
 
 /// Per-iteration deltas of the cost counters, captured before a
@@ -234,8 +288,11 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         if ubs.len() <= k {
             return f64::INFINITY;
         }
-        ubs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        ubs[k - 1]
+        // Only the k-th order statistic is needed, not the full order:
+        // quickselect is O(n) against the old sort's O(n log n), and this
+        // runs every iteration over every candidate set.
+        let (_, kth, _) = ubs.select_nth_unstable_by(k - 1, |a, b| a.partial_cmp(b).unwrap());
+        *kth
     }
 
     /// Drop candidates that can no longer be in the top k.
@@ -410,7 +467,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
     }
 
     /// Upper bounds from a DMTM front at `frac` resolution, one fetch per
-    /// group.
+    /// group (or none at all when the cached front already covers it).
     fn ub_phase_front(
         &self,
         q: &SurfacePoint,
@@ -421,66 +478,126 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         stats: &mut QueryStats,
     ) {
         let m = self.dmtm.tree().step_for_fraction(frac);
-        let fg = self.dmtm.fetch_front(self.pager, m, Some(&region));
+        let scratch = &mut *self.scratch.borrow_mut();
+        let RankScratch { front_cache, bufs, shared } = scratch;
+
+        // Front cache: rebuilding the front per group per iteration is the
+        // dominant redundant work — the step repeats across consecutive
+        // schedule levels and regions only shrink, so a previously fetched
+        // front frequently covers the request outright.
+        let hit = matches!(front_cache.as_ref(),
+            Some(c) if c.step == m && c.roi.contains_rect(&region));
+        if hit {
+            stats.front_cache_hits += 1;
+        } else {
+            let graph = self.dmtm.fetch_front(self.pager, m, Some(&region));
+            *front_cache = Some(CachedFront { step: m, roi: region, graph });
+        }
+        let fg = &front_cache.as_ref().expect("front cache populated above").graph;
         if fg.num_nodes() == 0 {
             return;
         }
-        let q_emb = self.dmtm.embed(&fg, self.mesh, q.tri, q.pos);
+        let q_emb = self.dmtm.embed(fg, self.mesh, q.tri, q.pos);
         if q_emb.is_empty() {
             return;
         }
+
+        // Unrestricted candidates (no finite upper bound yet, no corridor —
+        // i.e. everyone on the first iteration) all need the *same*
+        // multi-source Dijkstra from the query embedding; run it once per
+        // group instead of once per candidate.
+        let unrestricted = |c: &Candidate| {
+            (!self.cfg.ellipse_prune || !c.range.ub.is_finite())
+                && (!self.cfg.corridor_refinement || c.corridor.is_empty())
+        };
+        let shared_run = if members.iter().any(|&ci| unrestricted(&cands[ci])) {
+            shared.graph.rebuild_undirected(fg.num_nodes(), &fg.edges);
+            let run = Dijkstra::run_multi_scratch(&shared.graph, &q_emb, None, &mut shared.dij);
+            stats.settled += run.settled;
+            Some(run)
+        } else {
+            None
+        };
+
         for &ci in members {
-            let exits = self.dmtm.embed(&fg, self.mesh, cands[ci].point.tri, cands[ci].point.pos);
+            let exits = self.dmtm.embed(fg, self.mesh, cands[ci].point.tri, cands[ci].point.pos);
             if exits.is_empty() {
                 continue;
             }
             stats.ub_estimations += 1;
+            let pad = self.mesh.mean_edge_length();
             let ellipse = if self.cfg.ellipse_prune && cands[ci].range.ub.is_finite() {
                 Some(Ellipse2::new(q.pos.xy(), cands[ci].point.pos.xy(), cands[ci].range.ub))
             } else {
                 None
             };
+            let has_corr = self.cfg.corridor_refinement && !cands[ci].corridor.is_empty();
+
+            if ellipse.is_none() && !has_corr {
+                // Read this candidate's answer off the shared run.
+                let run = shared_run.as_ref().expect("shared run covers unrestricted candidates");
+                let mut best = f64::INFINITY;
+                let mut best_node = None;
+                for &(x, exit_cost) in &exits {
+                    let total = run.dist(x) + exit_cost;
+                    if total < best {
+                        best = total;
+                        best_node = Some(x);
+                    }
+                }
+                if best.is_finite() {
+                    cands[ci].range.tighten_ub(best);
+                    let path = best_node.map(|x| run.path_to(x)).unwrap_or_default();
+                    cands[ci].corridor.clear();
+                    cands[ci].corridor.extend(path.iter().map(|&local| {
+                        self.dmtm.tree().node(fg.ids[local as usize]).mbr.expanded(pad)
+                    }));
+                } else {
+                    // Disconnected even unrestricted (over-tight fetch
+                    // region): keep the previous bound; the region
+                    // re-derives next round.
+                    cands[ci].corridor.clear();
+                }
+                continue;
+            }
+
             // Try the most restricted region first, then relax.
-            let corridor = if self.cfg.corridor_refinement && !cands[ci].corridor.is_empty() {
-                Some(cands[ci].corridor.clone())
-            } else {
-                None
-            };
             let attempts: [(bool, bool); 3] = [(true, true), (false, true), (false, false)];
             let mut done = false;
             for (use_corr, use_ell) in attempts {
-                if use_corr && corridor.is_none() {
+                if use_corr && !has_corr {
                     continue;
                 }
-                let allowed = |local: usize| -> bool {
-                    let p = fg.rep_pos[local].xy();
-                    if use_ell {
-                        if let Some(e) = &ellipse {
-                            if !e.contains(p) {
-                                return false;
+                let (dist, settled, path) = {
+                    // Borrow the corridor only for the duration of the run
+                    // (it ends with this block, freeing the candidate for
+                    // the mutations below — no clone).
+                    let corridor = &cands[ci].corridor;
+                    let allowed = |local: usize| -> bool {
+                        let p = fg.rep_pos[local].xy();
+                        if use_ell {
+                            if let Some(e) = &ellipse {
+                                if !e.contains(p) {
+                                    return false;
+                                }
                             }
                         }
-                    }
-                    if use_corr {
-                        if let Some(c) = &corridor {
-                            if !c.iter().any(|r| r.contains_point(p)) {
-                                return false;
-                            }
+                        if use_corr && !corridor.iter().any(|r| r.contains_point(p)) {
+                            return false;
                         }
-                    }
-                    true
+                        true
+                    };
+                    filtered_dijkstra(fg, &allowed, &q_emb, &exits, bufs)
                 };
-                let (dist, settled, path) = filtered_dijkstra(&fg, &allowed, &q_emb, &exits);
                 stats.settled += settled;
                 if dist.is_finite() {
                     cands[ci].range.tighten_ub(dist);
                     // Record the corridor for the next level: the path
                     // nodes' descendant MBRs, slightly expanded.
-                    let pad = self.mesh.mean_edge_length();
-                    cands[ci].corridor = path
-                        .iter()
-                        .map(|&id| self.dmtm.tree().node(id).mbr.expanded(pad))
-                        .collect();
+                    cands[ci].corridor.clear();
+                    cands[ci]
+                        .corridor
+                        .extend(path.iter().map(|&id| self.dmtm.tree().node(id).mbr.expanded(pad)));
                     done = true;
                     break;
                 }
@@ -586,7 +703,9 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             let src = self.dmtm.embed(&fg, self.mesh, a.tri, a.pos);
             let dst = self.dmtm.embed(&fg, self.mesh, b.tri, b.pos);
             if !src.is_empty() && !dst.is_empty() {
-                let (d, settled, _) = filtered_dijkstra(&fg, &|_| true, &src, &dst);
+                let mut scratch = self.scratch.borrow_mut();
+                let (d, settled, _) =
+                    filtered_dijkstra(&fg, &|_| true, &src, &dst, &mut scratch.bufs);
                 stats.settled += settled;
                 if d.is_finite() {
                     range.tighten_ub(d);
@@ -613,43 +732,48 @@ fn max_ub(cands: &[Candidate]) -> f64 {
 
 /// Dijkstra over a front graph restricted to `allowed` nodes. Returns the
 /// best source-to-exit distance, settled count, and the tree-node-id path.
+///
+/// Allocation-free on the hot path: the node mask, filtered edge list,
+/// source list, CSR graph and Dijkstra working state all live in `bufs`
+/// and are recycled run to run.
 fn filtered_dijkstra(
     fg: &FrontGraph,
     allowed: &dyn Fn(usize) -> bool,
     sources: &[(u32, f64)],
     exits: &[(u32, f64)],
+    bufs: &mut DijkstraBufs,
 ) -> (f64, usize, Vec<u32>) {
     let n = fg.num_nodes();
-    let mask: Vec<bool> = (0..n).map(allowed).collect();
-    let edges: Vec<(u32, u32, f64)> = fg
-        .edges
-        .iter()
-        .filter(|&&(a, b, _)| mask[a as usize] && mask[b as usize])
-        .copied()
-        .collect();
-    let graph = Graph::from_undirected(n, &edges);
-    let srcs: Vec<(u32, f64)> =
-        sources.iter().filter(|&&(s, _)| mask[s as usize]).copied().collect();
+    let DijkstraBufs { mask, edges, srcs, graph, dij } = bufs;
+    mask.clear();
+    mask.extend((0..n).map(allowed));
+    edges.clear();
+    edges.extend(
+        fg.edges.iter().filter(|&&(a, b, _)| mask[a as usize] && mask[b as usize]).copied(),
+    );
+    graph.rebuild_undirected(n, edges);
+    srcs.clear();
+    srcs.extend(sources.iter().filter(|&&(s, _)| mask[s as usize]).copied());
     if srcs.is_empty() {
         return (f64::INFINITY, 0, Vec::new());
     }
-    let d = Dijkstra::run_multi(&graph, &srcs, None);
+    let run = Dijkstra::run_multi_scratch(graph, srcs, None, dij);
     let mut best = f64::INFINITY;
     let mut best_node = None;
     for &(x, exit_cost) in exits {
         if !mask[x as usize] {
             continue;
         }
-        let total = d.dist[x as usize] + exit_cost;
+        let total = run.dist(x) + exit_cost;
         if total < best {
             best = total;
             best_node = Some(x);
         }
     }
     let path = best_node
-        .map(|x| d.path_to(x).into_iter().map(|local| fg.ids[local as usize]).collect())
+        .map(|x| run.path_to(x).into_iter().map(|local| fg.ids[local as usize]).collect())
         .unwrap_or_default();
-    (best, d.settled, path)
+    (best, run.settled, path)
 }
 
 #[cfg(test)]
@@ -688,6 +812,7 @@ mod tests {
             cfg: &f.cfg,
             rec: &sknn_obs::NOOP,
             query: 0,
+            scratch: RefCell::new(RankScratch::default()),
         }
     }
 

@@ -22,26 +22,49 @@ impl Graph {
     /// # Panics
     /// Panics on negative weights or out-of-range endpoints.
     pub fn from_undirected(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Self {
-        let mut deg = vec![0u32; num_nodes];
+        let mut g = Self::default();
+        g.rebuild_undirected(num_nodes, edges);
+        g
+    }
+
+    /// Rebuild in place from an undirected edge list, reusing the CSR
+    /// allocations of the previous build (the batch-query hot path builds
+    /// a filtered graph per bound estimation; this keeps that free of
+    /// fresh allocations once the buffers have grown to a working size).
+    ///
+    /// # Panics
+    /// Panics on negative weights or out-of-range endpoints.
+    pub fn rebuild_undirected(&mut self, num_nodes: usize, edges: &[(u32, u32, f64)]) {
+        self.offsets.clear();
+        self.offsets.resize(num_nodes + 1, 0);
+        // First pass: degree counts in offsets[1..].
         for &(a, b, w) in edges {
             assert!(w >= 0.0, "negative edge weight {w}");
             assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
-            deg[a as usize] += 1;
-            deg[b as usize] += 1;
+            self.offsets[a as usize + 1] += 1;
+            self.offsets[b as usize + 1] += 1;
         }
-        let mut offsets = vec![0u32; num_nodes + 1];
         for i in 0..num_nodes {
-            offsets[i + 1] = offsets[i] + deg[i];
+            self.offsets[i + 1] += self.offsets[i];
         }
-        let mut fill = offsets.clone();
-        let mut adj = vec![(0u32, 0f64); edges.len() * 2];
+        self.edges.clear();
+        self.edges.resize(edges.len() * 2, (0u32, 0f64));
+        // Second pass: place entries using offsets[0..n] as fill cursors;
+        // each cursor ends at the next node's start, so shifting the array
+        // right by one restores the CSR offsets without an auxiliary
+        // buffer.
         for &(a, b, w) in edges {
-            adj[fill[a as usize] as usize] = (b, w);
-            fill[a as usize] += 1;
-            adj[fill[b as usize] as usize] = (a, w);
-            fill[b as usize] += 1;
+            self.edges[self.offsets[a as usize] as usize] = (b, w);
+            self.offsets[a as usize] += 1;
+            self.edges[self.offsets[b as usize] as usize] = (a, w);
+            self.offsets[b as usize] += 1;
         }
-        Self { offsets, edges: adj }
+        for i in (1..=num_nodes).rev() {
+            self.offsets[i] = self.offsets[i - 1];
+        }
+        if num_nodes > 0 {
+            self.offsets[0] = 0;
+        }
     }
 
     /// Num nodes.
@@ -60,7 +83,7 @@ impl Graph {
     }
 }
 
-#[derive(PartialEq)]
+#[derive(Debug, PartialEq)]
 struct QueueItem {
     dist: f64,
     node: u32,
@@ -93,6 +116,109 @@ pub struct Dijkstra {
     pub prev: Vec<u32>,
     /// Nodes settled by the run (relaxation work, a CPU-cost proxy).
     pub settled: usize,
+}
+
+/// Reusable Dijkstra working state.
+///
+/// [`Dijkstra::run_multi`] allocates three O(n) arrays per call; query
+/// processing runs *hundreds* of Dijkstras per sk-NN query (one per
+/// candidate per resolution level per restriction attempt), most of them
+/// over fronts of similar size. A scratch amortises those allocations:
+/// arrays grow to the largest front seen and are then reused forever.
+///
+/// Staleness is handled by **generation stamping** rather than clearing:
+/// each run bumps `generation`, and a node's `dist`/`prev`/`done` entries
+/// are only meaningful when its stamp matches the current generation.
+/// Starting a run is therefore O(1) in the graph size (no O(n) memset),
+/// which matters for the early-exit runs that settle a handful of nodes
+/// in a front of thousands.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    /// Generation at which `dist`/`prev` were last written, per node.
+    seen: Vec<u32>,
+    /// Generation at which the node was settled, per node.
+    done: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<QueueItem>,
+}
+
+impl DijkstraScratch {
+    /// An empty scratch; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepare for a run over `n` nodes: grow the arrays if needed and
+    /// open a fresh generation.
+    fn begin(&mut self, n: usize) {
+        if self.seen.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, u32::MAX);
+            self.seen.resize(n, 0);
+            self.done.resize(n, 0);
+        }
+        // Generation 0 is reserved as "never written" for freshly grown
+        // entries; on wrap-around all stamps are hard-reset once.
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.seen.fill(0);
+            self.done.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn get_dist(&self, v: usize) -> f64 {
+        if self.seen[v] == self.generation {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, v: usize, d: f64, p: u32) {
+        self.dist[v] = d;
+        self.prev[v] = p;
+        self.seen[v] = self.generation;
+    }
+}
+
+/// Read-only view of the most recent [`Dijkstra::run_multi_scratch`] run.
+/// Borrowing the scratch keeps the arrays in place for the next run.
+#[derive(Debug)]
+pub struct ScratchRun<'s> {
+    scratch: &'s DijkstraScratch,
+    /// Nodes settled by the run (relaxation work, a CPU-cost proxy).
+    pub settled: usize,
+}
+
+impl ScratchRun<'_> {
+    /// Distance to `node`; `f64::INFINITY` when unreached.
+    pub fn dist(&self, node: u32) -> f64 {
+        self.scratch.get_dist(node as usize)
+    }
+
+    /// Reconstruct the node path ending at `target` (source first). Empty
+    /// when `target` is unreachable.
+    pub fn path_to(&self, target: u32) -> Vec<u32> {
+        if !self.dist(target).is_finite() {
+            return Vec::new();
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while self.scratch.prev[cur as usize] != u32::MAX
+            && self.scratch.seen[cur as usize] == self.scratch.generation
+        {
+            cur = self.scratch.prev[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
 }
 
 impl Dijkstra {
@@ -142,6 +268,45 @@ impl Dijkstra {
             }
         }
         Self { dist, prev, settled }
+    }
+
+    /// [`run_multi`](Self::run_multi) against reusable working state: no
+    /// O(n) allocation, no O(n) initialisation. Produces node-for-node the
+    /// same distances, predecessors and settled count as the fresh
+    /// allocation path (a property test in this module pins that).
+    pub fn run_multi_scratch<'s>(
+        graph: &Graph,
+        sources: &[(u32, f64)],
+        target: Option<u32>,
+        scratch: &'s mut DijkstraScratch,
+    ) -> ScratchRun<'s> {
+        let n = graph.num_nodes();
+        scratch.begin(n);
+        for &(s, d0) in sources {
+            if d0 < scratch.get_dist(s as usize) {
+                scratch.set(s as usize, d0, u32::MAX);
+                scratch.heap.push(QueueItem { dist: d0, node: s });
+            }
+        }
+        let mut settled = 0usize;
+        while let Some(QueueItem { dist: d, node }) = scratch.heap.pop() {
+            if scratch.done[node as usize] == scratch.generation {
+                continue;
+            }
+            scratch.done[node as usize] = scratch.generation;
+            settled += 1;
+            if target == Some(node) {
+                break;
+            }
+            for &(nb, w) in graph.neighbors(node) {
+                let nd = d + w;
+                if nd < scratch.get_dist(nb as usize) {
+                    scratch.set(nb as usize, nd, node);
+                    scratch.heap.push(QueueItem { dist: nd, node: nb });
+                }
+            }
+        }
+        ScratchRun { scratch, settled }
     }
 
     /// Reconstruct the node path ending at `target` (source first). Empty
@@ -230,5 +395,104 @@ mod tests {
     #[should_panic(expected = "negative edge weight")]
     fn rejects_negative_weights() {
         Graph::from_undirected(2, &[(0, 1, -1.0)]);
+    }
+
+    #[test]
+    fn scratch_run_matches_fresh_on_diamond() {
+        let g = diamond();
+        let mut scratch = DijkstraScratch::new();
+        let fresh = Dijkstra::run_multi(&g, &[(0, 10.0), (4, 0.5)], None);
+        let run = Dijkstra::run_multi_scratch(&g, &[(0, 10.0), (4, 0.5)], None, &mut scratch);
+        assert_eq!(run.settled, fresh.settled);
+        for v in 0..g.num_nodes() as u32 {
+            assert_eq!(run.dist(v).to_bits(), fresh.dist[v as usize].to_bits());
+            assert_eq!(run.path_to(v), fresh.path_to(v));
+        }
+    }
+
+    #[test]
+    fn scratch_survives_reuse_across_graph_sizes() {
+        let big = diamond();
+        let small = Graph::from_undirected(2, &[(0, 1, 3.0)]);
+        let mut scratch = DijkstraScratch::new();
+        // Dirty the scratch on the larger graph first.
+        let _ = Dijkstra::run_multi_scratch(&big, &[(0, 0.0)], None, &mut scratch);
+        // A smaller graph must not see the stale entries.
+        let run = Dijkstra::run_multi_scratch(&small, &[(1, 0.0)], None, &mut scratch);
+        assert_eq!(run.dist(0), 3.0);
+        assert_eq!(run.path_to(0), vec![1, 0]);
+        // And back to the larger graph.
+        let run = Dijkstra::run_multi_scratch(&big, &[(0, 0.0)], Some(2), &mut scratch);
+        assert_eq!(run.dist(2), 2.0);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_matches_fresh_build() {
+        let mut g = Graph::from_undirected(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let edges = [(0u32, 2u32, 5.0f64), (1, 3, 1.0)];
+        g.rebuild_undirected(5, &edges);
+        let fresh = Graph::from_undirected(5, &edges);
+        assert_eq!(g.num_nodes(), fresh.num_nodes());
+        for v in 0..5u32 {
+            assert_eq!(g.neighbors(v), fresh.neighbors(v));
+        }
+        // Shrinking works too.
+        g.rebuild_undirected(1, &[]);
+        assert_eq!(g.num_nodes(), 1);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        fn random_graph(seed: u64, n: usize, m: usize) -> (Graph, Vec<(u32, f64)>) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let edges: Vec<(u32, u32, f64)> = (0..m)
+                .map(|_| {
+                    (
+                        rng.gen_range(0usize..n) as u32,
+                        rng.gen_range(0usize..n) as u32,
+                        rng.gen_range(0.0..10.0f64),
+                    )
+                })
+                .filter(|&(a, b, _)| a != b)
+                .collect();
+            let sources: Vec<(u32, f64)> = (0..rng.gen_range(1usize..4))
+                .map(|_| (rng.gen_range(0usize..n) as u32, rng.gen_range(0.0..3.0f64)))
+                .collect();
+            (Graph::from_undirected(n, &edges), sources)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// A scratch dirtied by arbitrary earlier runs produces
+            /// bit-identical distances, settled counts and paths to the
+            /// fresh-allocation path, on random graphs.
+            #[test]
+            fn scratch_reuse_matches_fresh_allocation(
+                seed in any::<u64>(),
+                n in 1usize..48,
+                m in 0usize..128,
+            ) {
+                let (g, sources) = random_graph(seed, n, m);
+                // Dirty the scratch with two unrelated runs of different
+                // sizes so stale stamps/dists exist at every index.
+                let (decoy, dsrc) = random_graph(seed ^ 0xABCD, (n * 2).max(3), m / 2 + 3);
+                let mut scratch = DijkstraScratch::new();
+                let _ = Dijkstra::run_multi_scratch(&decoy, &dsrc, None, &mut scratch);
+                let _ = Dijkstra::run_multi_scratch(&g, &sources, Some(0), &mut scratch);
+
+                let fresh = Dijkstra::run_multi(&g, &sources, None);
+                let run = Dijkstra::run_multi_scratch(&g, &sources, None, &mut scratch);
+                prop_assert_eq!(run.settled, fresh.settled);
+                for v in 0..n as u32 {
+                    prop_assert_eq!(run.dist(v).to_bits(), fresh.dist[v as usize].to_bits());
+                    prop_assert_eq!(run.path_to(v), fresh.path_to(v));
+                }
+            }
+        }
     }
 }

@@ -9,9 +9,9 @@
 //! the storage layer maps node visits to disk-page accesses.
 
 use sknn_geom::{Point2, Rect2};
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 
 /// Maximum entries per node.
 pub const MAX_FANOUT: usize = 16;
@@ -25,13 +25,29 @@ enum Node<T> {
 }
 
 /// An R-tree mapping rectangles to payloads.
-#[derive(Debug, Clone)]
+///
+/// The access counter is atomic so concurrent queries over a shared tree
+/// (batch execution) stay `Sync`; counts from overlapping queries simply
+/// sum.
+#[derive(Debug)]
 pub struct RTree<T> {
     nodes: Vec<Node<T>>,
     root: usize,
     len: usize,
     height: usize,
-    accesses: Cell<u64>,
+    accesses: AtomicU64,
+}
+
+impl<T: Clone> Clone for RTree<T> {
+    fn clone(&self) -> Self {
+        Self {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            len: self.len,
+            height: self.height,
+            accesses: AtomicU64::new(self.accesses.load(AtomicOrdering::Relaxed)),
+        }
+    }
 }
 
 impl<T: Clone> Default for RTree<T> {
@@ -48,7 +64,7 @@ impl<T: Clone> RTree<T> {
             root: 0,
             len: 0,
             height: 1,
-            accesses: Cell::new(0),
+            accesses: AtomicU64::new(0),
         }
     }
 
@@ -101,7 +117,7 @@ impl<T: Clone> RTree<T> {
             height += 1;
         }
         let root = level[0].1;
-        Self { nodes, root, len, height, accesses: Cell::new(0) }
+        Self { nodes, root, len, height, accesses: AtomicU64::new(0) }
     }
 
     /// Number of contained items.
@@ -121,16 +137,16 @@ impl<T: Clone> RTree<T> {
 
     /// Cumulative node accesses made by queries so far.
     pub fn accesses(&self) -> u64 {
-        self.accesses.get()
+        self.accesses.load(AtomicOrdering::Relaxed)
     }
 
     /// Reset the node-access counter (typically per query).
     pub fn reset_accesses(&self) {
-        self.accesses.set(0);
+        self.accesses.store(0, AtomicOrdering::Relaxed);
     }
 
     fn touch(&self) {
-        self.accesses.set(self.accesses.get() + 1);
+        self.accesses.fetch_add(1, AtomicOrdering::Relaxed);
     }
 
     // ----- insertion ------------------------------------------------------

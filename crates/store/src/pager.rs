@@ -18,6 +18,7 @@
 use crate::page::{PageId, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Which on-disk structure a page belongs to. Assigned when the page is
 /// allocated (inside a [`Pager::tag_scope`]) and fixed for the page's
@@ -108,6 +109,10 @@ struct PagerInner {
     by_tag: [IoStats; StructureTag::COUNT],
     evictions: u64,
     evictions_by_tag: [u64; StructureTag::COUNT],
+    /// Wall-clock penalty per physical read (zero by default). Slept
+    /// *outside* the pager lock so concurrent queries overlap their
+    /// stalls — the I/O-bound regime the paper's disk numbers imply.
+    read_stall: Duration,
 }
 
 /// The simulated disk: a page allocator, page contents, buffer pool, and
@@ -150,8 +155,18 @@ impl Pager {
                 by_tag: [IoStats::default(); StructureTag::COUNT],
                 evictions: 0,
                 evictions_by_tag: [0; StructureTag::COUNT],
+                read_stall: Duration::ZERO,
             }),
         }
+    }
+
+    /// Make every buffer-pool miss cost `stall` of real wall-clock time,
+    /// simulating the seek+transfer latency of the disk the paper models.
+    /// The sleep happens with the pager lock *released*, so queries running
+    /// on different threads overlap their stalls exactly as overlapping
+    /// disk requests would. `Duration::ZERO` (the default) disables it.
+    pub fn set_read_stall(&self, stall: Duration) {
+        self.inner.lock().read_stall = stall;
     }
 
     /// Attribute allocations to `tag` until the returned guard is dropped
@@ -211,9 +226,11 @@ impl Pager {
         g.by_tag[t].logical_reads += 1;
         g.clock += 1;
         let clock = g.clock;
+        let mut stall = Duration::ZERO;
         if g.pool.insert(id.0, clock).is_none() {
             g.stats.physical_reads += 1;
             g.by_tag[t].physical_reads += 1;
+            stall = g.read_stall;
             if g.pool.len() > g.pool_capacity {
                 // Evict the least-recently-used page (linear scan; pools are
                 // small and misses already model a ~ms disk access).
@@ -226,6 +243,13 @@ impl Pager {
                     }
                 }
             }
+        }
+        if stall > Duration::ZERO {
+            // Pay the simulated disk latency with the lock released so
+            // other threads' reads (and their stalls) proceed in parallel.
+            drop(g);
+            std::thread::sleep(stall);
+            g = self.inner.lock();
         }
         f(&g.pages[id.0 as usize])
     }
@@ -451,5 +475,39 @@ mod tests {
         p.with_page(a, |_| ()); // hit
         p.with_page(a, |_| ()); // hit
         assert!((p.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn read_stall_sleeps_on_miss_only() {
+        use std::time::{Duration, Instant};
+        let p = Pager::new(4);
+        let a = p.alloc();
+        p.clear_pool();
+        p.set_read_stall(Duration::from_millis(20));
+        let t = Instant::now();
+        p.with_page(a, |_| ()); // miss: pays the stall
+        assert!(t.elapsed() >= Duration::from_millis(20));
+        let t = Instant::now();
+        p.with_page(a, |_| ()); // hit: must not sleep
+        assert!(t.elapsed() < Duration::from_millis(20));
+    }
+
+    /// The stall is slept outside the pool mutex: a second thread must be
+    /// able to get a hit while the first is mid-stall.
+    #[test]
+    fn read_stall_does_not_hold_the_lock() {
+        use std::time::{Duration, Instant};
+        let p = Pager::new(4);
+        let a = p.alloc();
+        let b = p.alloc();
+        p.with_page(b, |_| ()); // b resident
+        p.set_read_stall(Duration::from_millis(50));
+        std::thread::scope(|s| {
+            s.spawn(|| p.with_page(a, |_| ())); // miss: stalls 50 ms
+            std::thread::sleep(Duration::from_millis(10)); // let it enter the stall
+            let t = Instant::now();
+            p.with_page(b, |_| ()); // hit on another page
+            assert!(t.elapsed() < Duration::from_millis(40), "hit blocked behind a stalling miss");
+        });
     }
 }

@@ -11,7 +11,7 @@
 
 use surface_knn::core::config::Mr3Config;
 use surface_knn::core::metrics::QueryStats;
-use surface_knn::core::ranking::RankingContext;
+use surface_knn::core::ranking::{RankScratch, RankingContext};
 use surface_knn::geodesic::ExactGeodesic;
 use surface_knn::multires::{build_dmtm, PagedDmtm};
 use surface_knn::prelude::*;
@@ -37,6 +37,7 @@ fn main() {
         cfg: &cfg,
         rec: &sknn_obs::NOOP,
         query: 0,
+        scratch: std::cell::RefCell::new(RankScratch::default()),
     };
 
     let exact = ExactGeodesic::new(&mesh).distance(a.to_mesh_point(), b.to_mesh_point());

@@ -3,6 +3,7 @@
 //! ```text
 //! sknn info                            terrain + structure statistics
 //! sknn knn --k 5 --queries 3           surface k-NN queries
+//!          [--threads N]               run the batch on N threads
 //! sknn trace --k 5 [--out t.jsonl]     traced k-NN: JSONL records + a
 //!                                      human convergence summary
 //! sknn range --radius 150              surface range query
@@ -143,9 +144,16 @@ fn main() {
         "knn" => {
             let k: usize = flags.get("k", 5);
             let nq: usize = flags.get("queries", 1);
+            let threads: usize = flags.get("threads", 1);
             let engine = build_engine(&cfg);
-            for (i, q) in scene.random_queries(nq, seed ^ 7).into_iter().enumerate() {
-                let res = engine.query(q, k);
+            let qs = scene.random_queries(nq, seed ^ 7);
+            let results = if threads > 1 {
+                let batch: Vec<_> = qs.iter().map(|&q| (q, k)).collect();
+                engine.query_batch(&batch, threads)
+            } else {
+                qs.iter().map(|&q| engine.query(q, k)).collect()
+            };
+            for (i, (q, res)) in qs.iter().zip(&results).enumerate() {
                 println!("query {i} at ({:.0}, {:.0}):", q.pos.x, q.pos.y);
                 for (rank, n) in res.neighbors.iter().enumerate() {
                     println!(

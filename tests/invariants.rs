@@ -73,6 +73,7 @@ proptest! {
         let ctx = RankingContext {
             mesh: &f.mesh, dmtm: &f.dmtm, msdn: &f.msdn, pager: &f.pager, cfg: &f.cfg,
             rec: &sknn_obs::NOOP, query: 0,
+            scratch: std::cell::RefCell::new(Default::default()),
         };
         let mut stats = QueryStats::default();
         let range = ctx.estimate_pair(&a, &b, fracs[dmtm_idx], level, &mut stats);
