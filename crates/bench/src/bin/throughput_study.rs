@@ -1,21 +1,29 @@
-//! Batch-query throughput at 1/2/4/8 threads.
+//! Batch-query throughput across thread counts and stall regimes.
 //!
 //! Runs one seeded k-NN workload through `Mr3Engine::query_batch` at each
-//! thread count and reports queries/second, p50/p99 latency, and speedup
-//! over the 1-thread run. Every sweep's neighbour sets and distance-range
-//! bits are checked against the 1-thread baseline — the batch path must be
-//! output-identical to the sequential loop, so the speedup is free of
-//! result drift by construction.
+//! thread count of `--sweep` (default `1,2,4,8`) and reports
+//! queries/second, p50/p99 latency, and speedup over the 1-thread run.
+//! Every sweep's neighbour sets and distance-range bits are checked
+//! against the 1-thread baseline *of its own regime* — the batch path
+//! must be output-identical to the sequential loop, so the speedup is
+//! free of result drift by construction.
 //!
-//! The pager is given a real per-miss read stall (`--stall-ms`, default
-//! the unscaled paper-era random read of ~8 ms), so the workload runs in
-//! the I/O-bound regime the paper's disk numbers imply; threads overlap
-//! their stalls exactly as overlapping disk requests would, which is where
-//! batch parallelism pays even on a small CPU-core budget.
+//! `--stall-ms` takes a comma list of per-miss read stalls and runs the
+//! whole sweep once per value (default `8,0`):
 //!
-//! Output: `threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical` as
-//! CSV on stdout, and the same numbers as JSON to `--out`
-//! (default `BENCH_mr3.json`) to start the perf trajectory.
+//! * `8` — the unscaled paper-era random read (~8 ms) slept for real, so
+//!   the workload runs in the I/O-bound regime the paper's disk numbers
+//!   imply; threads overlap their stalls exactly as overlapping disk
+//!   requests would, which is where batch parallelism pays even on a
+//!   small CPU-core budget.
+//! * `0` — the CPU-bound regime: misses cost only bookkeeping, so this
+//!   isolates lock/shard overhead of the concurrent buffer pool from
+//!   stall overlap.
+//!
+//! Output: `stall_ms,threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical`
+//! as CSV on stdout, and the same numbers as JSON (one `regimes` entry
+//! per stall value) to `--out` (default `BENCH_mr3.json`) to extend the
+//! perf trajectory.
 
 use sknn_bench::{bh_mesh, percentile, queries, scene_with_density, start_figure, Args};
 use sknn_core::config::Mr3Config;
@@ -24,7 +32,7 @@ use sknn_core::mr3::Mr3Engine;
 use sknn_core::workload::SurfacePoint;
 use std::time::{Duration, Instant};
 
-const SWEEP: [usize; 4] = [1, 2, 4, 8];
+type Row = (usize, f64, f64, f64, f64, f64, bool);
 
 fn main() {
     let args = Args::parse();
@@ -33,71 +41,90 @@ fn main() {
     let nq: usize = args.get("queries", 64);
     let k: usize = args.get("k", 6);
     let density: f64 = args.get("density", 4.0);
-    // Real wall-clock cost of a buffer-pool miss. Unlike the figures'
-    // scaled-down DiskModel (0.4 ms, a bookkeeping charge), this is slept
-    // for real, so it uses the unscaled random-read latency of the paper's
-    // disk era (~8 ms).
-    let stall_ms: f64 = args.get("stall-ms", 8.0);
+    // Real wall-clock cost of a buffer-pool miss per regime. Unlike the
+    // figures' scaled-down DiskModel (0.4 ms, a bookkeeping charge),
+    // these are slept for real.
+    let stalls = parse_list::<f64>(&args.get("stall-ms", "8,0".to_string()), "--stall-ms");
+    let sweep = parse_list::<usize>(&args.get("sweep", "1,2,4,8".to_string()), "--sweep");
     let out: String = args.get("out", "BENCH_mr3.json".to_string());
+    assert!(!stalls.is_empty(), "--stall-ms list is empty");
+    assert!(!sweep.is_empty(), "--sweep list is empty");
 
     let mesh = bh_mesh(grid, seed);
     let scene = scene_with_density(&mesh, density, seed + 1);
     let mut engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
     // Throughput is a service-regime measurement: keep the pool warm
-    // across queries (misses still stream through the LRU) instead of the
-    // figures' per-query cold start, and charge misses real latency.
+    // across queries (misses still stream through the pool) instead of
+    // the figures' per-query cold start, and charge misses real latency.
     engine.cold_cache = false;
-    engine.pager().set_read_stall(Duration::from_secs_f64(stall_ms / 1000.0));
 
     let qs = queries(&scene, nq, seed + 2);
     let batch: Vec<(SurfacePoint, usize)> = qs.iter().map(|&q| (q, k)).collect();
     eprintln!(
-        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stall {stall_ms} ms",
+        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stalls {stalls:?} ms, sweep {sweep:?}",
         scene.num_objects(),
         batch.len()
     );
 
     start_figure(
-        "Batch k-NN throughput vs thread count",
-        "threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical",
+        "Batch k-NN throughput vs thread count and stall regime",
+        "stall_ms,threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical",
     );
 
-    let mut baseline: Option<Vec<QueryResult>> = None;
-    let mut base_qps = 0.0;
-    let mut rows = Vec::new();
-    for threads in SWEEP {
-        // Identical pool state at every sweep start.
-        engine.pager().clear_pool();
-        let t = Instant::now();
-        let results = engine.query_batch(&batch, threads);
-        let wall = t.elapsed().as_secs_f64();
-        let qps = batch.len() as f64 / wall;
-        let lat_ms: Vec<f64> =
-            results.iter().map(|r| r.stats.wall.as_secs_f64() * 1000.0).collect();
-        let (p50, p99) = (percentile(&lat_ms, 50.0), percentile(&lat_ms, 99.0));
-        let identical = match &baseline {
-            None => {
-                base_qps = qps;
-                baseline = Some(results);
-                true
-            }
-            Some(base) => bitwise_equal(base, &results),
-        };
-        let speedup = qps / base_qps;
-        println!("{threads},{wall:.4},{qps:.2},{p50:.3},{p99:.3},{speedup:.3},{identical}");
-        rows.push((threads, wall, qps, p50, p99, speedup, identical));
+    let mut regimes: Vec<(f64, Vec<Row>)> = Vec::new();
+    let mut diverged = false;
+    for &stall_ms in &stalls {
+        engine.pager().set_read_stall(Duration::from_secs_f64(stall_ms / 1000.0));
+        let mut baseline: Option<Vec<QueryResult>> = None;
+        let mut base_qps = 0.0;
+        let mut rows: Vec<Row> = Vec::new();
+        for &threads in &sweep {
+            // Identical pool state at every sweep start.
+            engine.pager().clear_pool();
+            let t = Instant::now();
+            let results = engine.query_batch(&batch, threads);
+            let wall = t.elapsed().as_secs_f64();
+            let qps = batch.len() as f64 / wall;
+            let lat_ms: Vec<f64> =
+                results.iter().map(|r| r.stats.wall.as_secs_f64() * 1000.0).collect();
+            let (p50, p99) = (percentile(&lat_ms, 50.0), percentile(&lat_ms, 99.0));
+            let identical = match &baseline {
+                None => {
+                    base_qps = qps;
+                    baseline = Some(results);
+                    true
+                }
+                Some(base) => bitwise_equal(base, &results),
+            };
+            diverged |= !identical;
+            let speedup = qps / base_qps;
+            println!(
+                "{stall_ms},{threads},{wall:.4},{qps:.2},{p50:.3},{p99:.3},{speedup:.3},{identical}"
+            );
+            rows.push((threads, wall, qps, p50, p99, speedup, identical));
+        }
+        regimes.push((stall_ms, rows));
     }
 
-    let json = render_json(grid, seed, scene.num_objects(), nq, k, stall_ms, &rows);
+    let json = render_json(grid, seed, scene.num_objects(), nq, k, &regimes);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("# warning: cannot write --out {out}: {e}");
     } else {
         eprintln!("# wrote {out}");
     }
-    if rows.iter().any(|r| !r.6) {
-        eprintln!("# ERROR: a parallel sweep diverged from the sequential baseline");
+    if diverged {
+        eprintln!("# ERROR: a parallel sweep diverged from its regime's sequential baseline");
         std::process::exit(1);
     }
+}
+
+/// Parse a comma-separated flag value (`"8,0"`, `"1,2,4,8"`).
+fn parse_list<T: std::str::FromStr>(raw: &str, flag: &str) -> Vec<T> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("{flag}: cannot parse {s:?}")))
+        .collect()
 }
 
 /// Neighbour ids and the exact f64 bit patterns of both bounds must match.
@@ -113,15 +140,13 @@ fn bitwise_equal(a: &[QueryResult], b: &[QueryResult]) -> bool {
         })
 }
 
-#[allow(clippy::too_many_arguments)]
 fn render_json(
     grid: usize,
     seed: u64,
     objects: usize,
     nq: usize,
     k: usize,
-    stall_ms: f64,
-    rows: &[(usize, f64, f64, f64, f64, f64, bool)],
+    regimes: &[(f64, Vec<Row>)],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -132,16 +157,19 @@ fn render_json(
     s.push_str(&format!("  \"objects\": {objects},\n"));
     s.push_str(&format!("  \"queries\": {nq},\n"));
     s.push_str(&format!("  \"k\": {k},\n"));
-    s.push_str(&format!("  \"stall_ms\": {stall_ms},\n"));
     s.push_str(&format!("  \"host_threads\": {},\n", sknn_exec::available_threads()));
-    s.push_str("  \"sweeps\": [\n");
-    for (i, (threads, wall, qps, p50, p99, speedup, identical)) in rows.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"threads\": {threads}, \"wall_s\": {wall:.4}, \"qps\": {qps:.2}, \
-             \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"speedup\": {speedup:.3}, \
-             \"identical_to_sequential\": {identical}}}{}\n",
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    s.push_str("  \"regimes\": [\n");
+    for (ri, (stall_ms, rows)) in regimes.iter().enumerate() {
+        s.push_str(&format!("    {{\"stall_ms\": {stall_ms}, \"sweeps\": [\n"));
+        for (i, (threads, wall, qps, p50, p99, speedup, identical)) in rows.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"threads\": {threads}, \"wall_s\": {wall:.4}, \"qps\": {qps:.2}, \
+                 \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"speedup\": {speedup:.3}, \
+                 \"identical_to_sequential\": {identical}}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str(&format!("    ]}}{}\n", if ri + 1 < regimes.len() { "," } else { "" }));
     }
     s.push_str("  ]\n}\n");
     s

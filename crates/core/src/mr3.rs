@@ -157,6 +157,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 ],
             );
         }
+        let conc = self.pager.concurrency_stats();
         rec.event(
             "pool",
             qid,
@@ -165,6 +166,10 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 field("evictions", self.pager.evictions()),
                 field("logical", self.pager.stats().logical_reads),
                 field("physical", self.pager.stats().physical_reads),
+                field("coalesced", conc.coalesced_misses),
+                field("sf_waits", conc.singleflight_waits),
+                field("contention", conc.shard_contention),
+                field("shards", self.pager.num_shards() as u64),
             ],
         );
     }

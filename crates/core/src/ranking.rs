@@ -21,7 +21,7 @@ use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph};
 use sknn_geodesic::pathnet::Pathnet;
 use sknn_geom::Axis;
 use sknn_geom::{Aabb3, Ellipse2, Rect2};
-use sknn_multires::{FrontGraph, PagedDmtm};
+use sknn_multires::{FetchScratch, FrontGraph, PagedDmtm};
 use sknn_obs::{field, Recorder};
 use sknn_sdn::network::{corridor_mask, lower_bound};
 use sknn_sdn::{Msdn, PagedMsdn, SimplifiedLine};
@@ -71,6 +71,9 @@ pub struct RankScratch {
     bufs: DijkstraBufs,
     /// Buffers for the per-group shared unrestricted Dijkstra run.
     shared: SharedBufs,
+    /// Buffers for DMTM front fetches (key ordering, id→local index,
+    /// edge/position vectors), recycled from replaced cached fronts.
+    fetch: FetchScratch,
 }
 
 #[derive(Debug)]
@@ -479,7 +482,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
     ) {
         let m = self.dmtm.tree().step_for_fraction(frac);
         let scratch = &mut *self.scratch.borrow_mut();
-        let RankScratch { front_cache, bufs, shared } = scratch;
+        let RankScratch { front_cache, bufs, shared, fetch } = scratch;
 
         // Front cache: rebuilding the front per group per iteration is the
         // dominant redundant work — the step repeats across consecutive
@@ -490,7 +493,12 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         if hit {
             stats.front_cache_hits += 1;
         } else {
-            let graph = self.dmtm.fetch_front(self.pager, m, Some(&region));
+            // Recycle the replaced front's buffers into the fetch scratch
+            // so steady-state refinement allocates nothing per fetch.
+            if let Some(old) = front_cache.take() {
+                fetch.recycle(old.graph);
+            }
+            let graph = self.dmtm.fetch_front_with(self.pager, m, Some(&region), fetch);
             *front_cache = Some(CachedFront { step: m, roi: region, graph });
         }
         let fg = &front_cache.as_ref().expect("front cache populated above").graph;
@@ -623,8 +631,13 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         stats: &mut QueryStats,
     ) {
         // Charge the I/O of reading the original-resolution terrain in the
-        // region (the pathnet is derived from it on the fly).
-        let _leafs = self.dmtm.fetch_front(self.pager, 0, Some(&region));
+        // region (the pathnet is derived from it on the fly). The graph
+        // itself is unused, so its buffers go straight back to scratch.
+        {
+            let fetch = &mut self.scratch.borrow_mut().fetch;
+            let leafs = self.dmtm.fetch_front_with(self.pager, 0, Some(&region), fetch);
+            fetch.recycle(leafs);
+        }
         let mesh = self.mesh;
         let filter = |t: sknn_terrain::mesh::TriId| -> bool {
             mesh.triangle(t).mbr_xy().intersects(&region)

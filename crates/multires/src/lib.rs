@@ -45,6 +45,6 @@ pub mod simplify;
 pub mod tree;
 
 pub use front::FrontGraph;
-pub use paged::PagedDmtm;
+pub use paged::{FetchScratch, PagedDmtm};
 pub use simplify::build_dmtm;
 pub use tree::{DmtmNode, DmtmTree};

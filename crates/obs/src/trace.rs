@@ -17,8 +17,13 @@
 //!   `rank` for step 4, `range` for surface range queries);
 //! * `{"t":"event","name":"io","structure":"dmtm","logical":…,
 //!   "physical":…,"hits":…,"evictions":…}` — per-structure page
-//!   attribution, plus a `{"t":"event","name":"pool","hit_rate":…,…}`
-//!   buffer-pool roll-up.
+//!   attribution, plus a `{"t":"event","name":"pool","hit_rate":…,
+//!   "evictions":…,"logical":…,"physical":…,"coalesced":…,"sf_waits":…,
+//!   "contention":…,"shards":…}` buffer-pool roll-up (`coalesced` =
+//!   misses served without their own stall — single-flight waiters and
+//!   batched-read members; `sf_waits` = waits on another thread's
+//!   in-flight read; `contention` = shard-lock acquisitions that would
+//!   have blocked).
 
 use crate::hist::LogHistogram;
 use crate::record::{Record, RecordKind};
@@ -200,10 +205,27 @@ impl QueryTrace {
         for r in &self.records {
             if r.name == "pool" {
                 out.push_str(&format!(
-                    "buffer pool: hit rate {:.1}%, {} evictions\n",
+                    "buffer pool: hit rate {:.1}%, {} evictions",
                     r.get_f64("hit_rate").unwrap_or(0.0) * 100.0,
                     r.get_u64("evictions").unwrap_or(0),
                 ));
+                // Concurrency counters (absent in traces from older
+                // engines): batched/overlapped misses, single-flight
+                // waits, shard-lock contention.
+                if let Some(coalesced) = r.get_u64("coalesced") {
+                    out.push_str(&format!(", {coalesced} coalesced misses"));
+                }
+                if let Some(waits) = r.get_u64("sf_waits") {
+                    out.push_str(&format!(", {waits} single-flight waits"));
+                }
+                if let Some(contention) = r.get_u64("contention") {
+                    out.push_str(&format!(
+                        ", {} contended shard locks ({} shards)",
+                        contention,
+                        r.get_u64("shards").unwrap_or(0)
+                    ));
+                }
+                out.push('\n');
             }
         }
         if self.dropped > 0 {
@@ -271,7 +293,14 @@ mod tests {
                     kind: RecordKind::Event,
                     name: "pool",
                     query: 0,
-                    fields: vec![field("hit_rate", 0.43), field("evictions", 2u64)],
+                    fields: vec![
+                        field("hit_rate", 0.43),
+                        field("evictions", 2u64),
+                        field("coalesced", 4u64),
+                        field("sf_waits", 1u64),
+                        field("contention", 0u64),
+                        field("shards", 8u64),
+                    ],
                 },
             ],
             dropped: 0,
@@ -316,5 +345,22 @@ mod tests {
         assert!(s.contains("rank"));
         assert!(s.contains("dmtm"));
         assert!(s.contains("hit rate"));
+        assert!(s.contains("4 coalesced misses"));
+        assert!(s.contains("1 single-flight waits"));
+        assert!(s.contains("contended shard locks"));
+    }
+
+    /// Traces without the concurrency fields (older engines) still render.
+    #[test]
+    fn summary_tolerates_missing_pool_counters() {
+        let mut t = sample_trace();
+        for r in &mut t.records {
+            if r.name == "pool" {
+                r.fields.retain(|f| f.key == "hit_rate" || f.key == "evictions");
+            }
+        }
+        let s = t.convergence_summary();
+        assert!(s.contains("hit rate"));
+        assert!(!s.contains("coalesced"));
     }
 }

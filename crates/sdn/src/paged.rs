@@ -101,23 +101,7 @@ impl PagedMsdn {
             wanted.reverse();
         }
 
-        // One physical visit per distinct page across all wanted lines.
-        let mut by_page: HashMap<sknn_store::PageId, Vec<RecordId>> = HashMap::new();
-        for line in &wanted {
-            for &rid in &line.rids {
-                by_page.entry(rid.page).or_default().push(rid);
-            }
-        }
-        let mut fetched: HashMap<RecordId, SimplifiedSegment> = HashMap::new();
-        for (page, rids) in by_page {
-            let want: std::collections::HashSet<RecordId> = rids.into_iter().collect();
-            level.file.visit_page(pager, page, |rid, bytes| {
-                if want.contains(&rid) {
-                    fetched.insert(rid, decode_segment(bytes));
-                }
-            });
-        }
-
+        let fetched = fetch_segments(pager, level, &wanted);
         wanted
             .into_iter()
             .map(|line| SimplifiedLine {
@@ -150,21 +134,7 @@ impl PagedMsdn {
             .collect();
         wanted.sort_by(|p, q| p.plane.value.partial_cmp(&q.plane.value).unwrap());
 
-        let mut by_page: HashMap<sknn_store::PageId, Vec<RecordId>> = HashMap::new();
-        for line in &wanted {
-            for &rid in &line.rids {
-                by_page.entry(rid.page).or_default().push(rid);
-            }
-        }
-        let mut fetched: HashMap<RecordId, SimplifiedSegment> = HashMap::new();
-        for (page, rids) in by_page {
-            let want: std::collections::HashSet<RecordId> = rids.into_iter().collect();
-            level.file.visit_page(pager, page, |rid, bytes| {
-                if want.contains(&rid) {
-                    fetched.insert(rid, decode_segment(bytes));
-                }
-            });
-        }
+        let fetched = fetch_segments(pager, level, &wanted);
         wanted
             .into_iter()
             .map(|line| SimplifiedLine {
@@ -187,6 +157,32 @@ impl PagedMsdn {
         let refs: Vec<&SimplifiedLine> = owned.iter().collect();
         lower_bound(&refs, a, b, roi, None)
     }
+}
+
+/// Fetch the segments of every wanted line in one batched heap read:
+/// the distinct pages of all record ids, sorted ascending, go through
+/// [`HeapFile::visit_pages`] — each page is still one logical read (the
+/// integrated-I/O dedup as before), but all misses of the fetch share a
+/// single overlapped stall, and the sorted order makes the eviction
+/// sequence deterministic where the old per-page `HashMap` iteration was
+/// not.
+fn fetch_segments(
+    pager: &Pager,
+    level: &PagedLevel,
+    wanted: &[&PagedLine],
+) -> HashMap<RecordId, SimplifiedSegment> {
+    let want: std::collections::HashSet<RecordId> =
+        wanted.iter().flat_map(|l| l.rids.iter().copied()).collect();
+    let mut pages: Vec<sknn_store::PageId> = want.iter().map(|rid| rid.page).collect();
+    pages.sort_unstable();
+    pages.dedup();
+    let mut fetched = HashMap::with_capacity(want.len());
+    level.file.visit_pages(pager, &pages, |rid, bytes| {
+        if want.contains(&rid) {
+            fetched.insert(rid, decode_segment(bytes));
+        }
+    });
+    fetched
 }
 
 fn encode_segment(seg: &SimplifiedSegment) -> Vec<u8> {

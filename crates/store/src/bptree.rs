@@ -156,36 +156,105 @@ impl BPlusTree {
     }
 
     /// Fetch the value stored under `key`, charging page reads.
+    ///
+    /// Costs exactly one page read per tree level (plus overflow pages):
+    /// a single-key [`BPlusTree::get_many`].
     pub fn get(&self, pager: &Pager, key: u64) -> Option<Vec<u8>> {
+        let mut out = None;
+        self.get_many(pager, std::slice::from_ref(&key), |_, v| out = Some(v));
+        out
+    }
+
+    /// Descend the internal levels towards `key` *without* reading the
+    /// leaf. Returns the leaf page together with the exclusive upper
+    /// bound of its key range (the next leaf's minimum key, `u64::MAX`
+    /// for the rightmost leaf) — every key below the bound lives in this
+    /// leaf if it exists at all, which is what lets [`Self::get_many`]
+    /// split sorted keys into leaf runs before touching any leaf.
+    fn locate_leaf(&self, pager: &Pager, key: u64) -> (PageId, u64) {
         let mut page = self.root;
-        loop {
-            let step = pager.with_page(page, |buf| {
-                if buf[0] == INNER_TAG {
-                    let count = get_u16(buf, 1) as usize;
-                    // Last child whose min key <= key.
-                    let mut child = get_u64(buf, INNER_HDR + 8);
-                    for i in 0..count {
-                        let k = get_u64(buf, INNER_HDR + i * INNER_ENTRY);
-                        if k <= key {
-                            child = get_u64(buf, INNER_HDR + i * INNER_ENTRY + 8);
-                        } else {
-                            break;
-                        }
+        let mut bound = u64::MAX;
+        for _ in 1..self.height {
+            let (child, next_min) = pager.with_page(page, |buf| {
+                debug_assert_eq!(buf[0], INNER_TAG);
+                let count = get_u16(buf, 1) as usize;
+                // Last child whose min key <= key.
+                let mut child = get_u64(buf, INNER_HDR + 8);
+                let mut next_min = None;
+                for i in 0..count {
+                    let k = get_u64(buf, INNER_HDR + i * INNER_ENTRY);
+                    if k <= key {
+                        child = get_u64(buf, INNER_HDR + i * INNER_ENTRY + 8);
+                    } else {
+                        next_min = Some(k);
+                        break;
                     }
-                    Step::Descend(PageId(child))
-                } else {
-                    Step::Leaf(find_in_leaf(buf, key))
                 }
+                (PageId(child), next_min)
             });
-            match step {
-                Step::Descend(p) => page = p,
-                Step::Leaf(None) => return None,
-                Step::Leaf(Some(LeafHit::Inline(v))) => return Some(v),
-                Step::Leaf(Some(LeafHit::Overflow(head, len))) => {
-                    return Some(read_overflow(pager, head, len))
-                }
+            page = child;
+            if let Some(b) = next_min {
+                bound = bound.min(b);
             }
         }
+        (page, bound)
+    }
+
+    /// Batched point lookups: fetch the values of `keys` (strictly
+    /// increasing; asserted), handing each found `(key, value)` to
+    /// `visit` in key order. Absent keys are skipped. Returns how many
+    /// keys were found.
+    ///
+    /// Keys that share a leaf pay **one** descent for the whole run
+    /// instead of one per key, so the page-access count is equal to or
+    /// deterministically lower than a `get` loop — never higher. The
+    /// leaves of all runs are then read through [`Pager::with_pages`],
+    /// which overlaps their simulated stalls.
+    pub fn get_many(
+        &self,
+        pager: &Pager,
+        keys: &[u64],
+        mut visit: impl FnMut(u64, Vec<u8>),
+    ) -> usize {
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1], "keys must be strictly increasing");
+        }
+        if keys.is_empty() {
+            return 0;
+        }
+        // Phase 1: one inner-only descent per leaf run. The bound from
+        // the descent tells us how many of the following keys land in the
+        // same leaf without reading it.
+        let mut runs: Vec<(PageId, usize, usize)> = Vec::new(); // (leaf, start, end)
+        let mut i = 0;
+        while i < keys.len() {
+            let (leaf, bound) = self.locate_leaf(pager, keys[i]);
+            let end = i + keys[i..].partition_point(|&k| k < bound);
+            debug_assert!(end > i, "descent bound must cover the descended key");
+            runs.push((leaf, i, end));
+            i = end;
+        }
+        // Phase 2: batch-read the run leaves (runs are maximal and keys
+        // sorted, so the leaf pages are distinct and ascending) and
+        // collect the hits of each run.
+        let leaf_ids: Vec<PageId> = runs.iter().map(|&(leaf, _, _)| leaf).collect();
+        let mut hits: Vec<(u64, LeafHit)> = Vec::new();
+        let mut run = 0;
+        pager.with_pages(&leaf_ids, |page, buf| {
+            let (leaf, start, end) = runs[run];
+            run += 1;
+            debug_assert_eq!(page, leaf);
+            collect_run_hits(buf, &keys[start..end], &mut hits);
+        });
+        // Phase 3: resolve overflow chains and emit, still in key order.
+        let found = hits.len();
+        for (k, hit) in hits {
+            match hit {
+                LeafHit::Inline(v) => visit(k, v),
+                LeafHit::Overflow(head, len) => visit(k, read_overflow(pager, head, len)),
+            }
+        }
+        found
     }
 
     /// Visit all `(key, value)` pairs with `start <= key <= end`, in key
@@ -268,37 +337,41 @@ impl BPlusTree {
     }
 }
 
-enum Step {
-    Descend(PageId),
-    Leaf(Option<LeafHit>),
-}
-
 enum LeafHit {
     Inline(Vec<u8>),
     Overflow(PageId, usize),
 }
 
-fn find_in_leaf(buf: &[u8], key: u64) -> Option<LeafHit> {
+/// Merge-walk a leaf's entries against a sorted run of wanted keys,
+/// appending the found ones to `hits`. Wanted keys the leaf skips past
+/// are absent from the tree (the run bound guarantees they could only
+/// have lived here).
+fn collect_run_hits(buf: &[u8], keys: &[u64], hits: &mut Vec<(u64, LeafHit)>) {
     let count = get_u16(buf, 1) as usize;
     let mut off = LEAF_HDR;
+    let mut ki = 0;
     for _ in 0..count {
+        if ki >= keys.len() {
+            break;
+        }
         let k = get_u64(buf, off);
         let flag = buf[off + 8];
         let len = get_u32(buf, off + 9) as usize;
         let payload = off + 13;
-        if k == key {
-            return Some(if flag == 0 {
+        while ki < keys.len() && keys[ki] < k {
+            ki += 1; // absent key
+        }
+        if ki < keys.len() && keys[ki] == k {
+            let hit = if flag == 0 {
                 LeafHit::Inline(buf[payload..payload + len].to_vec())
             } else {
                 LeafHit::Overflow(PageId(get_u64(buf, payload)), len)
-            });
-        }
-        if k > key {
-            return None;
+            };
+            hits.push((k, hit));
+            ki += 1;
         }
         off = payload + if flag == 0 { len } else { 8 };
     }
-    None
 }
 
 fn write_overflow(pager: &Pager, value: &[u8]) -> PageId {
@@ -409,6 +482,68 @@ mod tests {
     fn rejects_unsorted_keys() {
         let pager = Pager::new(8);
         BPlusTree::bulk_build(&pager, &[(2, vec![]), (1, vec![])]);
+    }
+
+    #[test]
+    fn get_many_matches_gets_and_reads_fewer_pages() {
+        let pager = Pager::new(4096);
+        let recs = records(20000, 3);
+        let tree = BPlusTree::bulk_build(&pager, &recs);
+        // Mix of present keys (clustered and spread) and absent ones.
+        let keys: Vec<u64> =
+            vec![0, 3, 6, 7, 300, 303, 9000, 9003, 9004, 30000, 30003, 59994, 59997, 60001];
+
+        pager.clear_pool();
+        pager.reset_stats();
+        let mut looped = Vec::new();
+        for &k in &keys {
+            if let Some(v) = tree.get(&pager, k) {
+                looped.push((k, v));
+            }
+        }
+        let loop_stats = pager.stats();
+
+        pager.clear_pool();
+        pager.reset_stats();
+        let mut batched = Vec::new();
+        let found = tree.get_many(&pager, &keys, |k, v| batched.push((k, v)));
+        let batch_stats = pager.stats();
+
+        assert_eq!(batched, looped);
+        assert_eq!(found, batched.len());
+        assert!(
+            batch_stats.physical_reads <= loop_stats.physical_reads,
+            "batched lookups must never read more pages ({} > {})",
+            batch_stats.physical_reads,
+            loop_stats.physical_reads
+        );
+        assert!(batch_stats.logical_reads < loop_stats.logical_reads);
+    }
+
+    #[test]
+    fn get_many_of_every_key_walks_each_leaf_once() {
+        let pager = Pager::new(4096);
+        let recs = records(5000, 1);
+        let tree = BPlusTree::bulk_build(&pager, &recs);
+        let keys: Vec<u64> = recs.iter().map(|&(k, _)| k).collect();
+        pager.clear_pool();
+        pager.reset_stats();
+        let mut n = 0;
+        let found = tree.get_many(&pager, &keys, |k, v| {
+            assert_eq!(v, format!("value-{k}").into_bytes());
+            n += 1;
+        });
+        assert_eq!((n, found), (5000, 5000));
+        // One descent per leaf run: far fewer pages than per-key descents.
+        assert!(pager.stats().logical_reads < keys.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn get_many_rejects_unsorted_keys() {
+        let pager = Pager::new(8);
+        let tree = BPlusTree::bulk_build(&pager, &records(10, 1));
+        tree.get_many(&pager, &[5, 3], |_, _| ());
     }
 
     #[test]

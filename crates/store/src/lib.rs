@@ -8,8 +8,11 @@
 //! deterministically:
 //!
 //! * [`page`] — 8 KiB pages addressed by [`page::PageId`];
-//! * [`pager`] — the page store plus an LRU buffer pool; every cache miss is
-//!   a *physical read* (the paper's "page accessed"), hits are free;
+//! * [`pager`] — the page store plus a sharded, single-flight buffer pool
+//!   with CLOCK eviction; every cache miss is a *physical read* (the
+//!   paper's "page accessed"), hits are free, and batched reads
+//!   ([`pager::Pager::with_pages`], [`bptree::BPlusTree::get_many`])
+//!   overlap their simulated stalls without changing the page counts;
 //! * [`bptree`] — a clustering B+-tree (bulk-built, variable-length values
 //!   with overflow chains) used to store DMTM nodes keyed by node id;
 //! * [`heapfile`] — slotted-page heap files for SDN segments and objects;
@@ -22,7 +25,7 @@
 //! ```
 //! use sknn_store::{BPlusTree, Pager};
 //!
-//! let pager = Pager::new(16); // 16-page LRU buffer pool
+//! let pager = Pager::new(16); // 16-page sharded buffer pool
 //! let records: Vec<(u64, Vec<u8>)> =
 //!     (0..1000).map(|k| (k, format!("row-{k}").into_bytes())).collect();
 //! let tree = BPlusTree::bulk_build(&pager, &records);
@@ -44,4 +47,4 @@ pub use bptree::BPlusTree;
 pub use heapfile::{HeapFile, RecordId};
 pub use latency::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
-pub use pager::{IoStats, Pager, StructureTag, TagScope};
+pub use pager::{ConcurrencyStats, IoStats, Pager, StructureTag, TagScope, POOL_SHARDS};

@@ -4,6 +4,9 @@
 //! sknn info                            terrain + structure statistics
 //! sknn knn --k 5 --queries 3           surface k-NN queries
 //!          [--threads N]               run the batch on N threads
+//!          [--stall-ms MS]             simulate MS ms of disk latency per
+//!                                      buffer-pool miss (I/O-bound regime;
+//!                                      prints pool concurrency counters)
 //! sknn trace --k 5 [--out t.jsonl]     traced k-NN: JSONL records + a
 //!                                      human convergence summary
 //! sknn range --radius 150              surface range query
@@ -145,14 +148,20 @@ fn main() {
             let k: usize = flags.get("k", 5);
             let nq: usize = flags.get("queries", 1);
             let threads: usize = flags.get("threads", 1);
+            let stall_ms: f64 = flags.get("stall-ms", 0.0);
             let engine = build_engine(&cfg);
+            if stall_ms > 0.0 {
+                engine.pager().set_read_stall(std::time::Duration::from_secs_f64(stall_ms / 1e3));
+            }
             let qs = scene.random_queries(nq, seed ^ 7);
+            let start = std::time::Instant::now();
             let results = if threads > 1 {
                 let batch: Vec<_> = qs.iter().map(|&q| (q, k)).collect();
                 engine.query_batch(&batch, threads)
             } else {
                 qs.iter().map(|&q| engine.query(q, k)).collect()
             };
+            let elapsed = start.elapsed();
             for (i, (q, res)) in qs.iter().zip(&results).enumerate() {
                 println!("query {i} at ({:.0}, {:.0}):", q.pos.x, q.pos.y);
                 for (rank, n) in res.neighbors.iter().enumerate() {
@@ -170,6 +179,28 @@ fn main() {
                     res.stats.cpu.as_secs_f64() * 1e3,
                     res.stats.iterations,
                     res.stats.candidates
+                );
+            }
+            println!(
+                "batch: {} queries on {} thread{} in {:.2} s ({:.2} qps)",
+                qs.len(),
+                threads,
+                if threads == 1 { "" } else { "s" },
+                elapsed.as_secs_f64(),
+                qs.len() as f64 / elapsed.as_secs_f64().max(1e-9)
+            );
+            if threads > 1 {
+                // Per-query stat resets race across workers, so these
+                // counters cover the tail window of the batch — enough to
+                // see the single-flight machinery at work.
+                let c = engine.pager().concurrency_stats();
+                println!(
+                    "pool concurrency (tail window): {} single-flight waits, \
+                     {} coalesced misses, {} contended shard locks over {} shards",
+                    c.singleflight_waits,
+                    c.coalesced_misses,
+                    c.shard_contention,
+                    engine.pager().num_shards()
                 );
             }
         }
