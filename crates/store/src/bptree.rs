@@ -231,7 +231,14 @@ impl BPlusTree {
             let (leaf, bound) = self.locate_leaf(pager, keys[i]);
             let end = i + keys[i..].partition_point(|&k| k < bound);
             debug_assert!(end > i, "descent bound must cover the descended key");
-            runs.push((leaf, i, end));
+            // A key below the tree's minimum resolves to the leftmost leaf
+            // with its bound at that leaf's own min key, so the following
+            // run can land on the same leaf again — extend the previous
+            // run instead of duplicating its page in the batch read.
+            match runs.last_mut() {
+                Some(prev) if prev.0 == leaf => prev.2 = end,
+                _ => runs.push((leaf, i, end)),
+            }
             i = end;
         }
         // Phase 2: batch-read the run leaves (runs are maximal and keys
@@ -536,6 +543,34 @@ mod tests {
         assert_eq!((n, found), (5000, 5000));
         // One descent per leaf run: far fewer pages than per-key descents.
         assert!(pager.stats().logical_reads < keys.len() as u64);
+    }
+
+    #[test]
+    fn get_many_handles_keys_below_tree_minimum() {
+        let pager = Pager::new(64);
+        // Tree keys start at 10: everything below is absent and resolves
+        // to the leftmost leaf with a bound at that leaf's own min key,
+        // which used to duplicate the leaf in the batch read.
+        let recs: Vec<(u64, Vec<u8>)> =
+            (0..2000u64).map(|i| (10 + i * 10, format!("v{i}").into_bytes())).collect();
+        let tree = BPlusTree::bulk_build(&pager, &recs);
+        let keys = vec![0, 5, 10, 15, 20, 30, 19_990];
+        let mut got = Vec::new();
+        let found = tree.get_many(&pager, &keys, |k, v| got.push((k, v)));
+        assert_eq!(found, 4);
+        assert_eq!(
+            got,
+            vec![
+                (10, b"v0".to_vec()),
+                (20, b"v1".to_vec()),
+                (30, b"v2".to_vec()),
+                (19_990, b"v1998".to_vec()),
+            ]
+        );
+        // All-absent batches below the minimum work too.
+        let mut n = 0;
+        assert_eq!(tree.get_many(&pager, &[1, 2, 3], |_, _| n += 1), 0);
+        assert_eq!(n, 0);
     }
 
     #[test]

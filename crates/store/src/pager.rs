@@ -290,6 +290,17 @@ impl Drop for FlightLease<'_> {
     }
 }
 
+/// Outcome of a [`Pager::claim_flight`] attempt.
+enum FlightClaim<'p> {
+    /// We won the claim: pay the physical read, then drop the lease.
+    Led(FlightLease<'p>),
+    /// Another thread already holds the page's claim — wait for its read
+    /// to complete instead of issuing our own.
+    Lost,
+    /// The page became resident while we were claiming; nothing to do.
+    Resident,
+}
+
 impl Pager {
     /// Create a pager whose buffer pool holds `pool_pages` pages, split
     /// over [`POOL_SHARDS`] shards (fewer if the pool is tiny).
@@ -427,20 +438,24 @@ impl Pager {
         }
     }
 
-    /// Claim leadership of `page` in the flight registry. Returns `None`
-    /// if the page became resident while we were acquiring the claim
-    /// (another leader just completed), otherwise the lease to release.
-    fn claim_flight(&self, page: u64) -> Option<FlightLease<'_>> {
-        self.flight.lock().unwrap().insert(page);
+    /// Try to claim leadership of `page`'s read. The claim is atomic: a
+    /// single flight-lock critical section does the contains-check *and*
+    /// the insert (`HashSet::insert` returning `false` means another
+    /// leader holds the claim), so exactly one thread can ever hold a
+    /// page's lease — losers get [`FlightClaim::Lost`] and must wait.
+    fn claim_flight(&self, page: u64) -> FlightClaim<'_> {
+        if !self.flight.lock().unwrap().insert(page) {
+            return FlightClaim::Lost;
+        }
         let lease = FlightLease { pager: self, page };
         // Double-check under our claim: between our miss and the claim, a
         // previous leader may have inserted the page and left the flight.
         // Holding the claim excludes any new leader, so this is race-free.
         if self.pool_touch(page) {
             drop(lease); // deregister + notify
-            None
+            FlightClaim::Resident
         } else {
-            Some(lease)
+            FlightClaim::Led(lease)
         }
     }
 
@@ -452,30 +467,39 @@ impl Pager {
             if self.pool_touch(page) {
                 return;
             }
-            {
-                let mut flight = self.flight.lock().unwrap();
-                if flight.contains(&page) {
-                    self.singleflight_waits.fetch_add(1, Relaxed);
-                    while flight.contains(&page) {
-                        flight = self.flight_done.wait(flight).unwrap();
+            match self.claim_flight(page) {
+                FlightClaim::Resident => return,
+                FlightClaim::Led(lease) => {
+                    self.counters.physical[tag_idx].fetch_add(1, Relaxed);
+                    let stall = self.read_stall();
+                    if stall > Duration::ZERO {
+                        // Pay the simulated disk latency with no locks
+                        // held so other threads' reads (and their stalls)
+                        // proceed in parallel.
+                        std::thread::sleep(stall);
                     }
-                    // The leader's read served our miss for free.
-                    self.coalesced_misses.fetch_add(1, Relaxed);
-                    continue; // re-check the pool (victim of a rare eviction: lead ourselves)
+                    self.pool_insert(page);
+                    drop(lease);
+                    return;
+                }
+                FlightClaim::Lost => {
+                    let mut flight = self.flight.lock().unwrap();
+                    if flight.contains(&page) {
+                        self.singleflight_waits.fetch_add(1, Relaxed);
+                        while flight.contains(&page) {
+                            flight = self.flight_done.wait(flight).unwrap();
+                        }
+                    }
+                    drop(flight);
+                    // Count the coalesced miss only once the pool confirms
+                    // the leader's read served us; if the page was already
+                    // evicted, loop around and lead it ourselves.
+                    if self.pool_touch(page) {
+                        self.coalesced_misses.fetch_add(1, Relaxed);
+                        return;
+                    }
                 }
             }
-            let Some(lease) = self.claim_flight(page) else { return };
-            self.counters.physical[tag_idx].fetch_add(1, Relaxed);
-            let stall = self.read_stall();
-            if stall > Duration::ZERO {
-                // Pay the simulated disk latency with no locks held so
-                // other threads' reads (and their stalls) proceed in
-                // parallel.
-                std::thread::sleep(stall);
-            }
-            self.pool_insert(page);
-            drop(lease);
-            return;
         }
     }
 
@@ -522,14 +546,13 @@ impl Pager {
             if self.pool_touch(id.0) {
                 continue;
             }
-            let in_flight = self.flight.lock().unwrap().contains(&id.0);
-            if in_flight {
-                deferred.push((id.0, t));
-                continue;
-            }
-            if let Some(lease) = self.claim_flight(id.0) {
-                self.counters.physical[t].fetch_add(1, Relaxed);
-                led.push((id.0, lease));
+            match self.claim_flight(id.0) {
+                FlightClaim::Led(lease) => {
+                    self.counters.physical[t].fetch_add(1, Relaxed);
+                    led.push((id.0, lease));
+                }
+                FlightClaim::Lost => deferred.push((id.0, t)),
+                FlightClaim::Resident => {}
             }
         }
         // Phase 2: one stall covers the whole batch of misses — the

@@ -154,9 +154,11 @@ fn main() {
                 engine.pager().set_read_stall(std::time::Duration::from_secs_f64(stall_ms / 1e3));
             }
             let qs = scene.random_queries(nq, seed ^ 7);
+            // Build the batch vector outside the timed region so 1-thread
+            // and N-thread qps lines measure the same work.
+            let batch: Vec<_> = qs.iter().map(|&q| (q, k)).collect();
             let start = std::time::Instant::now();
             let results = if threads > 1 {
-                let batch: Vec<_> = qs.iter().map(|&q| (q, k)).collect();
                 engine.query_batch(&batch, threads)
             } else {
                 qs.iter().map(|&q| engine.query(q, k)).collect()
