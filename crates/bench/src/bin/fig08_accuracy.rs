@@ -39,6 +39,7 @@ fn main() {
         rec: &sknn_obs::NOOP,
         query: 0,
         scratch: std::cell::RefCell::new(Default::default()),
+        faults: sknn_core::FaultLog::new(cfg.fault_budget),
     };
 
     // Deterministic long-range pairs.

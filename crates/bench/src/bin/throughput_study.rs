@@ -24,6 +24,13 @@
 //! as CSV on stdout, and the same numbers as JSON (one `regimes` entry
 //! per stall value) to `--out` (default `BENCH_mr3.json`) to extend the
 //! perf trajectory.
+//!
+//! `--fault-profile seed:rate:kind` injects storage faults for the whole
+//! run (see `sknn_store::FaultProfile`); the CSV schema is unchanged and
+//! the JSON gains the profile plus fault/retry counters. Transient kinds
+//! keep the bit-identical guarantee — the pager's retry budget absorbs
+//! them below the query layer; a permanent profile will abort the study
+//! once a query's fault budget is exhausted.
 
 use sknn_bench::{bh_mesh, percentile, queries, scene_with_density, start_figure, Args};
 use sknn_core::config::Mr3Config;
@@ -47,6 +54,7 @@ fn main() {
     let stalls = parse_list::<f64>(&args.get("stall-ms", "8,0".to_string()), "--stall-ms");
     let sweep = parse_list::<usize>(&args.get("sweep", "1,2,4,8".to_string()), "--sweep");
     let out: String = args.get("out", "BENCH_mr3.json".to_string());
+    let fault_spec: String = args.get("fault-profile", String::new());
     assert!(!stalls.is_empty(), "--stall-ms list is empty");
     assert!(!sweep.is_empty(), "--sweep list is empty");
 
@@ -57,6 +65,12 @@ fn main() {
     // across queries (misses still stream through the pool) instead of
     // the figures' per-query cold start, and charge misses real latency.
     engine.cold_cache = false;
+    if !fault_spec.is_empty() {
+        let profile = sknn_store::FaultProfile::parse(&fault_spec)
+            .expect("--fault-profile must be seed:rate:kind");
+        engine.pager().set_fault_injector(Some(sknn_store::FaultInjector::from_profile(&profile)));
+        eprintln!("# fault profile: {fault_spec}");
+    }
 
     let qs = queries(&scene, nq, seed + 2);
     let batch: Vec<(SurfacePoint, usize)> = qs.iter().map(|&q| (q, k)).collect();
@@ -106,7 +120,18 @@ fn main() {
         regimes.push((stall_ms, rows));
     }
 
-    let json = render_json(grid, seed, scene.num_objects(), nq, k, &regimes);
+    let fault_json = if fault_spec.is_empty() {
+        String::new()
+    } else {
+        let fs = engine.pager().fault_stats();
+        format!(
+            "  \"fault_profile\": \"{fault_spec}\",\n  \"faults\": {{\"injected\": {}, \
+             \"retries\": {}, \"exhausted\": {}, \"checksum_failures\": {}, \
+             \"permanent_failures\": {}}},\n",
+            fs.injected, fs.retries, fs.exhausted, fs.checksum_failures, fs.permanent_failures
+        )
+    };
+    let json = render_json(grid, seed, scene.num_objects(), nq, k, &fault_json, &regimes);
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("# warning: cannot write --out {out}: {e}");
     } else {
@@ -146,6 +171,7 @@ fn render_json(
     objects: usize,
     nq: usize,
     k: usize,
+    fault_json: &str,
     regimes: &[(f64, Vec<Row>)],
 ) -> String {
     let mut s = String::new();
@@ -158,6 +184,7 @@ fn render_json(
     s.push_str(&format!("  \"queries\": {nq},\n"));
     s.push_str(&format!("  \"k\": {k},\n"));
     s.push_str(&format!("  \"host_threads\": {},\n", sknn_exec::available_threads()));
+    s.push_str(fault_json);
     s.push_str("  \"regimes\": [\n");
     for (ri, (stall_ms, rows)) in regimes.iter().enumerate() {
         s.push_str(&format!("    {{\"stall_ms\": {stall_ms}, \"sweeps\": [\n"));

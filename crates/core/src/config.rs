@@ -81,6 +81,10 @@ pub struct Mr3Config {
     pub pathnet_steiner: usize,
     /// MSDN plane spacing override, metres (`None` = mean edge length).
     pub plane_spacing: Option<f64>,
+    /// Storage faults one query may absorb (degrading to the last
+    /// materialised resolution's bounds) before the fallible entry points
+    /// return [`QueryError`](crate::QueryError) instead.
+    pub fault_budget: usize,
 }
 
 impl Default for Mr3Config {
@@ -96,6 +100,7 @@ impl Default for Mr3Config {
             pool_pages: 256,
             pathnet_steiner: 1,
             plane_spacing: None,
+            fault_budget: 16,
         }
     }
 }

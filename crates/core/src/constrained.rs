@@ -180,12 +180,14 @@ impl<'s, 'm> ConstrainedEngine<'s, 'm> {
             .into_iter()
             .map(|(ub, id)| {
                 let p = self.scene.object(id).point;
-                let lb = self
+                // A failed SDN read degrades to the Euclidean lower bound,
+                // which remains valid under obstacles too.
+                let sdn_lb = self
                     .msdn
                     .lower_bound(&self.pager, 0, q.pos, p.pos, None)
-                    .value
-                    .max(q.pos.dist(p.pos))
-                    .min(ub);
+                    .map(|lb| lb.value)
+                    .unwrap_or(0.0);
+                let lb = sdn_lb.max(q.pos.dist(p.pos)).min(ub);
                 stats.lb_estimations += 1;
                 Neighbor { id, range: DistRange::new(lb, ub) }
             })
@@ -193,7 +195,7 @@ impl<'s, 'm> ConstrainedEngine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads;
-        QueryResult { neighbors, stats, trace: None }
+        QueryResult { neighbors, stats, trace: None, degraded: None }
     }
 }
 

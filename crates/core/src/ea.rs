@@ -84,10 +84,15 @@ impl<'s, 'm> EaEngine<'s, 'm> {
     }
 
     fn sdn_lb(&self, q: SurfacePoint, p: SurfacePoint, roi: &Rect2, stats: &mut QueryStats) -> f64 {
-        let lb = self.msdn.lower_bound(&self.pager, 0, q.pos, p.pos, Some(roi));
-        stats.settled += lb.nodes_settled;
         stats.lb_estimations += 1;
-        lb.value.max(q.pos.dist(p.pos))
+        // A failed SDN read degrades to the (valid) Euclidean lower bound.
+        match self.msdn.lower_bound(&self.pager, 0, q.pos, p.pos, Some(roi)) {
+            Ok(lb) => {
+                stats.settled += lb.nodes_settled;
+                lb.value.max(q.pos.dist(p.pos))
+            }
+            Err(_) => q.pos.dist(p.pos),
+        }
     }
 
     /// Answer a surface k-NN query at full resolution.
@@ -176,7 +181,7 @@ impl<'s, 'm> EaEngine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
-        QueryResult { neighbors, stats, trace: None }
+        QueryResult { neighbors, stats, trace: None, degraded: None }
     }
 }
 

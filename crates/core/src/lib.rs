@@ -37,6 +37,7 @@ pub mod pairs;
 pub mod persist;
 pub mod ranking;
 pub mod regions;
+pub mod resilience;
 pub mod workload;
 
 pub use bounds::DistRange;
@@ -49,4 +50,5 @@ pub use metrics::{QueryResult, QueryStats};
 pub use mr3::{Mr3Engine, RangeResult};
 pub use pairs::ClosestPair;
 pub use persist::Structures;
+pub use resilience::{Degraded, FaultLog, QueryError};
 pub use workload::{Scene, SceneBuilder, SurfacePoint};

@@ -124,6 +124,9 @@ pub struct QueryResult {
     /// Structured trace of the query's execution, present when the engine
     /// has tracing enabled (see `Mr3Engine::enable_tracing`).
     pub trace: Option<sknn_obs::QueryTrace>,
+    /// Set when storage faults were absorbed along the way: the bounds are
+    /// still valid, but looser than the schedule would normally deliver.
+    pub degraded: Option<crate::resilience::Degraded>,
 }
 
 #[cfg(test)]

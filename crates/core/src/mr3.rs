@@ -14,6 +14,7 @@
 use crate::config::Mr3Config;
 use crate::metrics::{CpuTimer, Neighbor, QueryResult, QueryStats};
 use crate::ranking::{Candidate, RankScratch, RankingContext};
+use crate::resilience::{FaultLog, QueryError};
 use crate::workload::{Scene, SurfacePoint};
 use sknn_multires::PagedDmtm;
 use sknn_obs::{field, QueryTrace, Recorder, RingRecorder, NOOP};
@@ -172,6 +173,22 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 field("shards", self.pager.num_shards() as u64),
             ],
         );
+        // Fault/retry counters (cumulative over the pager's lifetime —
+        // they are deliberately not cleared by the per-query stat reset).
+        let faults = self.pager.fault_stats();
+        if faults.injected > 0 || faults.checksum_failures > 0 || faults.retries > 0 {
+            rec.event(
+                "faults",
+                qid,
+                vec![
+                    field("injected", faults.injected),
+                    field("retries", faults.retries),
+                    field("exhausted", faults.exhausted),
+                    field("checksum", faults.checksum_failures),
+                    field("permanent", faults.permanent_failures),
+                ],
+            );
+        }
     }
 
     /// Config.
@@ -213,11 +230,26 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             rec: self.recorder(),
             query: qid,
             scratch: RefCell::new(RankScratch::default()),
+            faults: FaultLog::new(self.cfg.fault_budget),
         }
     }
 
     /// Answer a surface k-NN query.
+    ///
+    /// Panics if the query exceeds its storage-fault budget; use
+    /// [`try_query`](Self::try_query) to handle that case as a value.
     pub fn query(&self, q: SurfacePoint, k: usize) -> QueryResult {
+        self.try_query(q, k).unwrap_or_else(|e| panic!("sknn query failed: {e}"))
+    }
+
+    /// Answer a surface k-NN query, surfacing storage-fault exhaustion as
+    /// a typed error.
+    ///
+    /// Storage faults below the budget degrade gracefully: the affected
+    /// refinement steps are skipped, the returned bounds stay valid (the
+    /// last materialised resolution's bounds are correct, just looser),
+    /// and the result carries a [`Degraded`](crate::Degraded) marker.
+    pub fn try_query(&self, q: SurfacePoint, k: usize) -> Result<QueryResult, QueryError> {
         let qid = self.next_query_id();
         let mut stats = QueryStats::default();
         if self.cold_cache {
@@ -334,6 +366,9 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         timer.stop_into(&mut stats.cpu);
         stats.wall = query_start.elapsed();
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
+        if let Some(err) = ctx.faults.error() {
+            return Err(err);
+        }
         let trace = if traced {
             self.emit_io(rec, qid);
             rec.span(
@@ -349,7 +384,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         } else {
             None
         };
-        QueryResult { neighbors, stats, trace }
+        Ok(QueryResult { neighbors, stats, trace, degraded: ctx.faults.degraded() })
     }
 
     /// Answer a batch of independent k-NN queries on `threads` worker
@@ -362,8 +397,24 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// under concurrency, so the *cost* fields (`stats.pages`, pager
     /// stats) describe the batch in aggregate rather than any one query;
     /// the same applies to trace attribution when tracing is enabled.
+    ///
+    /// Panics if any query exceeds its storage-fault budget; use
+    /// [`try_query_batch`](Self::try_query_batch) to handle failures
+    /// per query.
     pub fn query_batch(&self, batch: &[(SurfacePoint, usize)], threads: usize) -> Vec<QueryResult> {
         sknn_exec::par_map(threads, batch, |_, &(q, k)| self.query(q, k))
+    }
+
+    /// Fallible batch variant: each query independently returns its result
+    /// or its typed error, in batch order. One failing query does not
+    /// disturb the others — the determinism guarantee of
+    /// [`query_batch`](Self::query_batch) holds per element.
+    pub fn try_query_batch(
+        &self,
+        batch: &[(SurfacePoint, usize)],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, QueryError>> {
+        sknn_exec::par_map(threads, batch, |_, &(q, k)| self.try_query(q, k))
     }
 
     fn drain_trace(&self) -> Option<QueryTrace> {
@@ -460,7 +511,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         } else {
             None
         };
-        RangeResult { inside, undecided, stats, trace }
+        RangeResult { inside, undecided, stats, trace, degraded: ctx.faults.degraded() }
     }
 }
 
@@ -477,6 +528,9 @@ pub struct RangeResult {
     pub stats: QueryStats,
     /// Execution trace, when the engine has tracing enabled.
     pub trace: Option<QueryTrace>,
+    /// Set when storage faults were absorbed: classifications remain
+    /// bound-correct, but more objects may be left `undecided`.
+    pub degraded: Option<crate::resilience::Degraded>,
 }
 
 /// Compile-time seal of the thread-safety contract `query_batch` relies

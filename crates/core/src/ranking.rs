@@ -16,6 +16,7 @@ use crate::bounds::DistRange;
 use crate::config::Mr3Config;
 use crate::metrics::QueryStats;
 use crate::regions::{candidate_region, merge_regions, IoGroup};
+use crate::resilience::FaultLog;
 use crate::workload::SurfacePoint;
 use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph};
 use sknn_geodesic::pathnet::Pathnet;
@@ -52,6 +53,9 @@ pub struct RankingContext<'a, 'm> {
     /// Reusable hot-path state (Dijkstra scratch, filtered-graph buffers,
     /// the cached front graph). Per-query, so it never crosses threads.
     pub scratch: RefCell<RankScratch>,
+    /// Absorbed storage faults of this query (graceful degradation: a
+    /// failed finer-resolution fetch keeps the last resolution's bounds).
+    pub faults: FaultLog,
 }
 
 /// Reusable working state of the ranking hot path. Everything here is an
@@ -170,6 +174,30 @@ impl Candidate {
 }
 
 impl<'a, 'm> RankingContext<'a, 'm> {
+    /// Record one absorbed storage fault: the failed fetch is skipped, the
+    /// affected candidates keep the last materialised resolution's (valid,
+    /// looser) bounds, and the event lands in the trace when enabled.
+    fn absorb_fault(&self, phase: &'static str, err: sknn_store::StoreError) {
+        self.faults.absorb(phase, err);
+        if self.rec.enabled() {
+            let kind = match err {
+                sknn_store::StoreError::Checksum { .. } => "checksum",
+                sknn_store::StoreError::TransientRead { .. } => "transient",
+                sknn_store::StoreError::PermanentRead { .. } => "permanent",
+            };
+            self.rec.event(
+                "fault",
+                self.query,
+                vec![
+                    field("phase", phase),
+                    field("page", err.page()),
+                    field("kind", kind),
+                    field("absorbed", self.faults.count()),
+                ],
+            );
+        }
+    }
+
     /// Rank `cands` until the top `k` separate or the schedule is
     /// exhausted. Returns whether the ranking fully resolved. On exit the
     /// candidates' ranges hold the final bounds.
@@ -184,6 +212,9 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             self.mark_out(cands, k);
             if self.is_resolved(cands, k) {
                 return true;
+            }
+            if self.faults.exceeded() {
+                break;
             }
             let snap = IterSnapshot::take(stats, self.pager);
             self.refine_iteration(q, cands, i, true, stats);
@@ -212,6 +243,9 @@ impl<'a, 'm> RankingContext<'a, 'm> {
     ) -> f64 {
         let mut prev = f64::INFINITY;
         for i in 0..self.cfg.schedule.len() {
+            if self.faults.exceeded() {
+                break;
+            }
             let snap = IterSnapshot::take(stats, self.pager);
             self.refine_iteration(q, cands, i, false, stats);
             stats.iterations += 1;
@@ -258,7 +292,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         };
         classify(cands, &mut inside);
         for i in 0..self.cfg.schedule.len() {
-            if cands.iter().all(|c| c.out) {
+            if cands.iter().all(|c| c.out) || self.faults.exceeded() {
                 break;
             }
             let snap = IterSnapshot::take(stats, self.pager);
@@ -425,6 +459,9 @@ impl<'a, 'm> RankingContext<'a, 'm> {
 
         let frac = self.cfg.schedule.dmtm[iter];
         for group in &groups {
+            if self.faults.exceeded() {
+                return;
+            }
             let members: Vec<usize> = group.members.iter().map(|&gi| active[gi]).collect();
             if frac <= 1.0 {
                 self.ub_phase_front(q, cands, &members, group.region, frac, stats);
@@ -439,8 +476,15 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             // group covers every member; per-candidate line subsets are
             // sliced in memory.
             for group in &groups {
+                if self.faults.exceeded() {
+                    return;
+                }
                 let members: Vec<usize> = group.members.iter().map(|&gi| active[gi]).collect();
                 let mut axis_lines: [Vec<SimplifiedLine>; 2] = [Vec::new(), Vec::new()];
+                // A failed axis fetch degrades: its members skip this
+                // round's lower-bound tightening and keep their current
+                // (valid) lower bounds.
+                let mut axis_ok = [true, true];
                 for (slot, axis) in [(0, Axis::X), (1, Axis::Y)] {
                     let mut lo = f64::INFINITY;
                     let mut hi = f64::NEG_INFINITY;
@@ -452,17 +496,28 @@ impl<'a, 'm> RankingContext<'a, 'm> {
                         }
                     }
                     if lo < hi {
-                        axis_lines[slot] = self.msdn.fetch_lines_axis(
+                        match self.msdn.fetch_lines_axis(
                             self.pager,
                             lvl,
                             axis,
                             lo,
                             hi,
                             Some(&group.region),
-                        );
+                        ) {
+                            Ok(lines) => axis_lines[slot] = lines,
+                            Err(e) => {
+                                self.absorb_fault("lb", e);
+                                axis_ok[slot] = false;
+                            }
+                        }
                     }
                 }
                 for &ci in &members {
+                    let axis = Msdn::axis_for(q.pos, cands[ci].point.pos);
+                    let slot = if axis == Axis::X { 0 } else { 1 };
+                    if !axis_ok[slot] {
+                        continue;
+                    }
                     self.lb_phase(q, cands, ci, &axis_lines, stats);
                 }
             }
@@ -498,7 +553,15 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             if let Some(old) = front_cache.take() {
                 fetch.recycle(old.graph);
             }
-            let graph = self.dmtm.fetch_front_with(self.pager, m, Some(&region), fetch);
+            let graph = match self.dmtm.fetch_front_with(self.pager, m, Some(&region), fetch) {
+                Ok(g) => g,
+                Err(e) => {
+                    // Degrade: this group keeps its previous upper bounds
+                    // (still valid, just looser) and no front is cached.
+                    self.absorb_fault("ub", e);
+                    return;
+                }
+            };
             *front_cache = Some(CachedFront { step: m, roi: region, graph });
         }
         let fg = &front_cache.as_ref().expect("front cache populated above").graph;
@@ -635,8 +698,12 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         // itself is unused, so its buffers go straight back to scratch.
         {
             let fetch = &mut self.scratch.borrow_mut().fetch;
-            let leafs = self.dmtm.fetch_front_with(self.pager, 0, Some(&region), fetch);
-            fetch.recycle(leafs);
+            match self.dmtm.fetch_front_with(self.pager, 0, Some(&region), fetch) {
+                Ok(leafs) => fetch.recycle(leafs),
+                // The pathnet itself is derived in memory, so a failed
+                // leaf-page charge degrades the accounting, not the bound.
+                Err(e) => self.absorb_fault("ub", e),
+            }
         }
         let mesh = self.mesh;
         let filter = |t: sknn_terrain::mesh::TriId| -> bool {
@@ -712,17 +779,22 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         // Upper bound.
         if dmtm_frac <= 1.0 {
             let m = self.dmtm.tree().step_for_fraction(dmtm_frac);
-            let fg = self.dmtm.fetch_front(self.pager, m, None);
-            let src = self.dmtm.embed(&fg, self.mesh, a.tri, a.pos);
-            let dst = self.dmtm.embed(&fg, self.mesh, b.tri, b.pos);
-            if !src.is_empty() && !dst.is_empty() {
-                let mut scratch = self.scratch.borrow_mut();
-                let (d, settled, _) =
-                    filtered_dijkstra(&fg, &|_| true, &src, &dst, &mut scratch.bufs);
-                stats.settled += settled;
-                if d.is_finite() {
-                    range.tighten_ub(d);
+            match self.dmtm.fetch_front(self.pager, m, None) {
+                Ok(fg) => {
+                    let src = self.dmtm.embed(&fg, self.mesh, a.tri, a.pos);
+                    let dst = self.dmtm.embed(&fg, self.mesh, b.tri, b.pos);
+                    if !src.is_empty() && !dst.is_empty() {
+                        let mut scratch = self.scratch.borrow_mut();
+                        let (d, settled, _) =
+                            filtered_dijkstra(&fg, &|_| true, &src, &dst, &mut scratch.bufs);
+                        stats.settled += settled;
+                        if d.is_finite() {
+                            range.tighten_ub(d);
+                        }
+                    }
                 }
+                // Degrade: the pair keeps an unbounded (valid) upper bound.
+                Err(e) => self.absorb_fault("pair_ub", e),
             }
         } else {
             let net = Pathnet::build(self.mesh, self.cfg.pathnet_steiner, None);
@@ -732,9 +804,14 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             }
         }
         // Lower bound.
-        let lb = self.msdn.lower_bound(self.pager, msdn_level, a.pos, b.pos, None);
-        stats.settled += lb.nodes_settled;
-        range.tighten_lb(lb.value);
+        match self.msdn.lower_bound(self.pager, msdn_level, a.pos, b.pos, None) {
+            Ok(lb) => {
+                stats.settled += lb.nodes_settled;
+                range.tighten_lb(lb.value);
+            }
+            // Degrade: the Euclidean lower bound seeded above stands.
+            Err(e) => self.absorb_fault("pair_lb", e),
+        }
         range
     }
 }
@@ -826,6 +903,7 @@ mod tests {
             rec: &sknn_obs::NOOP,
             query: 0,
             scratch: RefCell::new(RankScratch::default()),
+            faults: FaultLog::new(f.cfg.fault_budget),
         }
     }
 

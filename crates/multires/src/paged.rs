@@ -15,7 +15,7 @@
 use crate::front::FrontGraph;
 use crate::tree::DmtmTree;
 use sknn_geom::{Point3, Rect2};
-use sknn_store::{BPlusTree, Pager};
+use sknn_store::{BPlusTree, Pager, StoreResult};
 use sknn_terrain::mesh::{TerrainMesh, TriId};
 use std::collections::HashMap;
 
@@ -99,8 +99,15 @@ impl PagedDmtm {
 
     /// Fetch the front after `m` collapses within `roi`, charging one page
     /// read per B+-tree page touched. Fetches happen in storage-key order
-    /// to exploit the Morton clustering.
-    pub fn fetch_front(&self, pager: &Pager, m: u32, roi: Option<&Rect2>) -> FrontGraph {
+    /// to exploit the Morton clustering. Read failures surface as
+    /// [`StoreError`](sknn_store::StoreError) so the engine can degrade
+    /// to a coarser, already-materialized resolution.
+    pub fn fetch_front(
+        &self,
+        pager: &Pager,
+        m: u32,
+        roi: Option<&Rect2>,
+    ) -> StoreResult<FrontGraph> {
         self.fetch_front_with(pager, m, roi, &mut FetchScratch::default())
     }
 
@@ -111,7 +118,7 @@ impl PagedDmtm {
         m: u32,
         roi: Option<&Rect2>,
         scratch: &mut FetchScratch,
-    ) -> FrontGraph {
+    ) -> StoreResult<FrontGraph> {
         let mut ids = std::mem::take(&mut scratch.ids);
         ids.clear();
         self.live_ids_into(m, roi, &mut ids);
@@ -134,7 +141,7 @@ impl PagedDmtm {
 
     /// Fetch an explicit id set (the integrated-I/O path: ids from several
     /// merged candidate regions, deduplicated, fetched once).
-    pub fn fetch_ids(&self, pager: &Pager, m: u32, ids: Vec<u32>) -> FrontGraph {
+    pub fn fetch_ids(&self, pager: &Pager, m: u32, ids: Vec<u32>) -> StoreResult<FrontGraph> {
         self.fetch_ids_with(pager, m, ids, &mut FetchScratch::default())
     }
 
@@ -150,7 +157,7 @@ impl PagedDmtm {
         m: u32,
         ids: Vec<u32>,
         scratch: &mut FetchScratch,
-    ) -> FrontGraph {
+    ) -> StoreResult<FrontGraph> {
         scratch.order.clear();
         scratch.order.extend(ids.iter().map(|&id| (self.keys[id as usize], id)));
         scratch.order.sort_unstable_by_key(|&(k, _)| k);
@@ -163,7 +170,7 @@ impl PagedDmtm {
         edges.clear();
         let order = &scratch.order;
         let mut cursor = 0usize;
-        let found = self.btree.get_many(pager, &scratch.sorted_keys, |_, payload| {
+        let fetched = self.btree.get_many(pager, &scratch.sorted_keys, |_, payload| {
             let id = order[cursor].1;
             cursor += 1;
             let local = index[&id];
@@ -175,13 +182,29 @@ impl PagedDmtm {
                 }
             }
         });
-        assert_eq!(found, order.len(), "node payload missing");
+        match fetched {
+            // Every known id has a payload record: a clean lookup that
+            // finds fewer is a build-time programmer error, not an I/O
+            // fault.
+            Ok(found) => assert_eq!(found, order.len(), "node payload missing"),
+            Err(e) => {
+                // Return the partially-filled buffers to the scratch so a
+                // degraded caller's next fetch still reuses them.
+                index.clear();
+                edges.clear();
+                scratch.index = index;
+                scratch.edges = edges;
+                scratch.ids = ids;
+                scratch.ids.clear();
+                return Err(e);
+            }
+        }
         edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.partial_cmp(&b.2).unwrap()));
         edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
         let mut rep_pos = std::mem::take(&mut scratch.rep_pos);
         rep_pos.clear();
         rep_pos.extend(ids.iter().map(|&id| self.tree.node(id).rep_pos));
-        FrontGraph { ids, index, edges, rep_pos, step: m }
+        Ok(FrontGraph { ids, index, edges, rep_pos, step: m })
     }
 
     /// Embed a surface point into a fetched front (metadata only; the
@@ -258,7 +281,7 @@ mod tests {
         let (pager, paged) = setup();
         let m = paged.tree().step_for_fraction(0.3);
         let mem = FrontGraph::extract(paged.tree(), m, None);
-        let disk = paged.fetch_front(&pager, m, None);
+        let disk = paged.fetch_front(&pager, m, None).unwrap();
         assert_eq!(mem.ids, disk.ids);
         let norm = |mut e: Vec<(u32, u32, f64)>| {
             e.sort_by_key(|&(a, b, _)| (a, b));
@@ -273,12 +296,12 @@ mod tests {
         let m = paged.tree().step_for_fraction(1.0);
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_front(&pager, m, None);
+        let _ = paged.fetch_front(&pager, m, None).unwrap();
         let full_pages = pager.stats().physical_reads;
         let roi = Rect2::new(Point2::new(0.0, 0.0), Point2::new(40.0, 40.0));
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_front(&pager, m, Some(&roi));
+        let _ = paged.fetch_front(&pager, m, Some(&roi)).unwrap();
         let roi_pages = pager.stats().physical_reads;
         assert!(roi_pages * 2 < full_pages, "roi {roi_pages} vs full {full_pages}");
         assert!(roi_pages > 0);
@@ -290,10 +313,10 @@ mod tests {
         let m = paged.tree().step_for_fraction(0.2);
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_front(&pager, m, None);
+        let _ = paged.fetch_front(&pager, m, None).unwrap();
         let cold = pager.stats().physical_reads;
         pager.reset_stats();
-        let _ = paged.fetch_front(&pager, m, None);
+        let _ = paged.fetch_front(&pager, m, None).unwrap();
         let warm = pager.stats().physical_reads;
         assert!(warm < cold / 2, "warm {warm} vs cold {cold}");
     }
@@ -305,11 +328,11 @@ mod tests {
         let coarse = paged.tree().step_for_fraction(0.05);
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_front(&pager, fine, None);
+        let _ = paged.fetch_front(&pager, fine, None).unwrap();
         let fine_pages = pager.stats().physical_reads;
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_front(&pager, coarse, None);
+        let _ = paged.fetch_front(&pager, coarse, None).unwrap();
         let coarse_pages = pager.stats().physical_reads;
         assert!(coarse_pages < fine_pages, "coarse {coarse_pages} vs fine {fine_pages}");
     }
@@ -321,11 +344,11 @@ mod tests {
         let mut prev: Option<FrontGraph> = None;
         for frac in [0.1, 0.3, 0.3, 0.6] {
             let m = paged.tree().step_for_fraction(frac);
-            let fresh = paged.fetch_front(&pager, m, None);
+            let fresh = paged.fetch_front(&pager, m, None).unwrap();
             if let Some(old) = prev.take() {
                 scratch.recycle(old);
             }
-            let reused = paged.fetch_front_with(&pager, m, None, &mut scratch);
+            let reused = paged.fetch_front_with(&pager, m, None, &mut scratch).unwrap();
             assert_eq!(fresh.ids, reused.ids);
             assert_eq!(fresh.edges, reused.edges);
             assert_eq!(fresh.step, reused.step);

@@ -14,7 +14,7 @@ use crate::msdn::Msdn;
 use crate::network::{lower_bound, LowerBound};
 use crate::simplify::{SimplifiedLine, SimplifiedSegment};
 use sknn_geom::{Aabb3, Axis, AxisPlane, Point3, Rect2, Segment3};
-use sknn_store::{HeapFile, Pager, RecordId};
+use sknn_store::{HeapFile, Pager, RecordId, StoreResult};
 use std::collections::HashMap;
 
 struct PagedLine {
@@ -77,7 +77,8 @@ impl PagedMsdn {
 
     /// Fetch the lines of `level_idx` separating `a` and `b`, restricted to
     /// `roi`, charging one page read per distinct heap page. Lines whose
-    /// directory MBR misses the ROI are skipped without I/O.
+    /// directory MBR misses the ROI are skipped without I/O. Read failures
+    /// surface as [`StoreError`](sknn_store::StoreError).
     pub fn fetch_lines_between(
         &self,
         pager: &Pager,
@@ -85,7 +86,7 @@ impl PagedMsdn {
         a: Point3,
         b: Point3,
         roi: Option<&Rect2>,
-    ) -> Vec<SimplifiedLine> {
+    ) -> StoreResult<Vec<SimplifiedLine>> {
         let axis = Msdn::axis_for(a, b);
         let (ca, cb) = (axis.coord(a), axis.coord(b));
         let (lo, hi) = (ca.min(cb), ca.max(cb));
@@ -101,14 +102,14 @@ impl PagedMsdn {
             wanted.reverse();
         }
 
-        let fetched = fetch_segments(pager, level, &wanted);
-        wanted
+        let fetched = fetch_segments(pager, level, &wanted)?;
+        Ok(wanted
             .into_iter()
             .map(|line| SimplifiedLine {
                 plane: line.plane,
                 segments: line.rids.iter().map(|rid| fetched[rid]).collect(),
             })
-            .collect()
+            .collect())
     }
 
     /// Fetch all lines of one axis with plane value in `(lo, hi)`,
@@ -124,7 +125,7 @@ impl PagedMsdn {
         lo: f64,
         hi: f64,
         roi: Option<&Rect2>,
-    ) -> Vec<SimplifiedLine> {
+    ) -> StoreResult<Vec<SimplifiedLine>> {
         let level = self.level(axis, level_idx);
         let mut wanted: Vec<&PagedLine> = level
             .lines
@@ -134,14 +135,14 @@ impl PagedMsdn {
             .collect();
         wanted.sort_by(|p, q| p.plane.value.partial_cmp(&q.plane.value).unwrap());
 
-        let fetched = fetch_segments(pager, level, &wanted);
-        wanted
+        let fetched = fetch_segments(pager, level, &wanted)?;
+        Ok(wanted
             .into_iter()
             .map(|line| SimplifiedLine {
                 plane: line.plane,
                 segments: line.rids.iter().map(|rid| fetched[rid]).collect(),
             })
-            .collect()
+            .collect())
     }
 
     /// Page-charged lower bound (fetch + Dijkstra).
@@ -152,10 +153,10 @@ impl PagedMsdn {
         a: Point3,
         b: Point3,
         roi: Option<&Rect2>,
-    ) -> LowerBound {
-        let owned = self.fetch_lines_between(pager, level_idx, a, b, roi);
+    ) -> StoreResult<LowerBound> {
+        let owned = self.fetch_lines_between(pager, level_idx, a, b, roi)?;
         let refs: Vec<&SimplifiedLine> = owned.iter().collect();
-        lower_bound(&refs, a, b, roi, None)
+        Ok(lower_bound(&refs, a, b, roi, None))
     }
 }
 
@@ -170,7 +171,7 @@ fn fetch_segments(
     pager: &Pager,
     level: &PagedLevel,
     wanted: &[&PagedLine],
-) -> HashMap<RecordId, SimplifiedSegment> {
+) -> StoreResult<HashMap<RecordId, SimplifiedSegment>> {
     let want: std::collections::HashSet<RecordId> =
         wanted.iter().flat_map(|l| l.rids.iter().copied()).collect();
     let mut pages: Vec<sknn_store::PageId> = want.iter().map(|rid| rid.page).collect();
@@ -181,8 +182,8 @@ fn fetch_segments(
         if want.contains(&rid) {
             fetched.insert(rid, decode_segment(bytes));
         }
-    });
-    fetched
+    })?;
+    Ok(fetched)
 }
 
 fn encode_segment(seg: &SimplifiedSegment) -> Vec<u8> {
@@ -251,7 +252,7 @@ mod tests {
         let b = loc.lift(&mesh, Point2::new(290.0, 260.0)).unwrap();
         for lvl in [0, 2, 4] {
             let mem = msdn.lower_bound(lvl, a, b, None);
-            let disk = paged.lower_bound(&pager, lvl, a, b, None);
+            let disk = paged.lower_bound(&pager, lvl, a, b, None).unwrap();
             assert!(
                 (mem.value - disk.value).abs() < 1e-9,
                 "level {lvl}: {} vs {}",
@@ -269,12 +270,12 @@ mod tests {
         let b = loc.lift(&mesh, Point2::new(300.0, 170.0)).unwrap();
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_lines_between(&pager, 4, a, b, None);
+        let _ = paged.fetch_lines_between(&pager, 4, a, b, None).unwrap();
         let full = pager.stats().physical_reads;
         let roi = Rect2::new(Point2::new(0.0, 40.0), Point2::new(320.0, 200.0));
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_lines_between(&pager, 4, a, b, Some(&roi));
+        let _ = paged.fetch_lines_between(&pager, 4, a, b, Some(&roi)).unwrap();
         let restricted = pager.stats().physical_reads;
         assert!(restricted <= full);
         assert!(restricted > 0);
@@ -288,11 +289,11 @@ mod tests {
         let b = loc.lift(&mesh, Point2::new(300.0, 280.0)).unwrap();
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_lines_between(&pager, 0, a, b, None);
+        let _ = paged.fetch_lines_between(&pager, 0, a, b, None).unwrap();
         let coarse = pager.stats().physical_reads;
         pager.clear_pool();
         pager.reset_stats();
-        let _ = paged.fetch_lines_between(&pager, 4, a, b, None);
+        let _ = paged.fetch_lines_between(&pager, 4, a, b, None).unwrap();
         let fine = pager.stats().physical_reads;
         assert!(coarse < fine, "coarse {coarse} vs fine {fine}");
     }
@@ -304,7 +305,7 @@ mod tests {
         let a = loc.lift(&mesh, Point2::new(30.0, 10.0)).unwrap();
         let b = loc.lift(&mesh, Point2::new(45.0, 300.0)).unwrap();
         let mem = msdn.lines_between(3, a, b);
-        let disk = paged.fetch_lines_between(&pager, 3, a, b, None);
+        let disk = paged.fetch_lines_between(&pager, 3, a, b, None).unwrap();
         assert_eq!(mem.len(), disk.len());
         for (m, d) in mem.iter().zip(&disk) {
             assert_eq!(m.plane, d.plane);

@@ -8,6 +8,7 @@
 //! [`Pager`]'s buffer pool, so tree descent cost shows up in the "pages
 //! accessed" metric exactly as it did in the paper's setup.
 
+use crate::error::StoreResult;
 use crate::page::codec::*;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
@@ -158,11 +159,12 @@ impl BPlusTree {
     /// Fetch the value stored under `key`, charging page reads.
     ///
     /// Costs exactly one page read per tree level (plus overflow pages):
-    /// a single-key [`BPlusTree::get_many`].
-    pub fn get(&self, pager: &Pager, key: u64) -> Option<Vec<u8>> {
+    /// a single-key [`BPlusTree::get_many`]. Read failures surface as
+    /// [`StoreError`](crate::StoreError).
+    pub fn get(&self, pager: &Pager, key: u64) -> StoreResult<Option<Vec<u8>>> {
         let mut out = None;
-        self.get_many(pager, std::slice::from_ref(&key), |_, v| out = Some(v));
-        out
+        self.get_many(pager, std::slice::from_ref(&key), |_, v| out = Some(v))?;
+        Ok(out)
     }
 
     /// Descend the internal levels towards `key` *without* reading the
@@ -171,7 +173,7 @@ impl BPlusTree {
     /// for the rightmost leaf) — every key below the bound lives in this
     /// leaf if it exists at all, which is what lets [`Self::get_many`]
     /// split sorted keys into leaf runs before touching any leaf.
-    fn locate_leaf(&self, pager: &Pager, key: u64) -> (PageId, u64) {
+    fn locate_leaf(&self, pager: &Pager, key: u64) -> StoreResult<(PageId, u64)> {
         let mut page = self.root;
         let mut bound = u64::MAX;
         for _ in 1..self.height {
@@ -191,13 +193,13 @@ impl BPlusTree {
                     }
                 }
                 (PageId(child), next_min)
-            });
+            })?;
             page = child;
             if let Some(b) = next_min {
                 bound = bound.min(b);
             }
         }
-        (page, bound)
+        Ok((page, bound))
     }
 
     /// Batched point lookups: fetch the values of `keys` (strictly
@@ -215,12 +217,12 @@ impl BPlusTree {
         pager: &Pager,
         keys: &[u64],
         mut visit: impl FnMut(u64, Vec<u8>),
-    ) -> usize {
+    ) -> StoreResult<usize> {
         for w in keys.windows(2) {
             assert!(w[0] < w[1], "keys must be strictly increasing");
         }
         if keys.is_empty() {
-            return 0;
+            return Ok(0);
         }
         // Phase 1: one inner-only descent per leaf run. The bound from
         // the descent tells us how many of the following keys land in the
@@ -228,7 +230,7 @@ impl BPlusTree {
         let mut runs: Vec<(PageId, usize, usize)> = Vec::new(); // (leaf, start, end)
         let mut i = 0;
         while i < keys.len() {
-            let (leaf, bound) = self.locate_leaf(pager, keys[i]);
+            let (leaf, bound) = self.locate_leaf(pager, keys[i])?;
             let end = i + keys[i..].partition_point(|&k| k < bound);
             debug_assert!(end > i, "descent bound must cover the descended key");
             // A key below the tree's minimum resolves to the leftmost leaf
@@ -252,16 +254,16 @@ impl BPlusTree {
             run += 1;
             debug_assert_eq!(page, leaf);
             collect_run_hits(buf, &keys[start..end], &mut hits);
-        });
+        })?;
         // Phase 3: resolve overflow chains and emit, still in key order.
         let found = hits.len();
         for (k, hit) in hits {
             match hit {
                 LeafHit::Inline(v) => visit(k, v),
-                LeafHit::Overflow(head, len) => visit(k, read_overflow(pager, head, len)),
+                LeafHit::Overflow(head, len) => visit(k, read_overflow(pager, head, len)?),
             }
         }
-        found
+        Ok(found)
     }
 
     /// Visit all `(key, value)` pairs with `start <= key <= end`, in key
@@ -272,9 +274,9 @@ impl BPlusTree {
         start: u64,
         end: u64,
         mut visit: impl FnMut(u64, Vec<u8>),
-    ) {
+    ) -> StoreResult<()> {
         if start > end {
-            return;
+            return Ok(());
         }
         // Descend to the leaf that may contain `start`.
         let mut page = self.root;
@@ -295,7 +297,7 @@ impl BPlusTree {
                 } else {
                     None
                 }
-            });
+            })?;
             match next {
                 Some(p) => page = p,
                 None => break,
@@ -328,11 +330,11 @@ impl BPlusTree {
                     off = payload + if flag == 0 { len } else { 8 };
                 }
                 PageId(get_u64(buf, 3))
-            });
+            })?;
             for (k, hit) in hits {
                 match hit {
                     LeafHit::Inline(v) => visit(k, v),
-                    LeafHit::Overflow(head, len) => visit(k, read_overflow(pager, head, len)),
+                    LeafHit::Overflow(head, len) => visit(k, read_overflow(pager, head, len)?),
                 }
             }
             if done || !next.is_valid() {
@@ -341,6 +343,7 @@ impl BPlusTree {
             page = next;
         }
         let _ = self.first_leaf;
+        Ok(())
     }
 }
 
@@ -402,7 +405,7 @@ fn write_overflow(pager: &Pager, value: &[u8]) -> PageId {
     head
 }
 
-fn read_overflow(pager: &Pager, head: PageId, total_len: usize) -> Vec<u8> {
+fn read_overflow(pager: &Pager, head: PageId, total_len: usize) -> StoreResult<Vec<u8>> {
     let mut out = Vec::with_capacity(total_len);
     let mut page = head;
     while page.is_valid() && out.len() < total_len {
@@ -410,9 +413,9 @@ fn read_overflow(pager: &Pager, head: PageId, total_len: usize) -> Vec<u8> {
             let len = get_u16(buf, 8) as usize;
             out.extend_from_slice(&buf[OVF_HDR..OVF_HDR + len]);
             PageId(get_u64(buf, 0))
-        });
+        })?;
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -435,11 +438,11 @@ mod tests {
         let tree = BPlusTree::bulk_build(&pager, &recs);
         assert_eq!(tree.len(), 5000);
         assert!(tree.height() >= 2);
-        assert_eq!(tree.get(&pager, 0).unwrap(), b"value-0");
-        assert_eq!(tree.get(&pager, 2997).unwrap(), b"value-2997");
-        assert_eq!(tree.get(&pager, 14997).unwrap(), b"value-14997");
-        assert!(tree.get(&pager, 1).is_none());
-        assert!(tree.get(&pager, 15000).is_none());
+        assert_eq!(tree.get(&pager, 0).unwrap().unwrap(), b"value-0");
+        assert_eq!(tree.get(&pager, 2997).unwrap().unwrap(), b"value-2997");
+        assert_eq!(tree.get(&pager, 14997).unwrap().unwrap(), b"value-14997");
+        assert!(tree.get(&pager, 1).unwrap().is_none());
+        assert!(tree.get(&pager, 15000).unwrap().is_none());
     }
 
     #[test]
@@ -448,12 +451,12 @@ mod tests {
         let recs = records(2000, 2);
         let tree = BPlusTree::bulk_build(&pager, &recs);
         let mut got = Vec::new();
-        tree.scan_range(&pager, 101, 499, |k, v| got.push((k, v)));
+        tree.scan_range(&pager, 101, 499, |k, v| got.push((k, v))).unwrap();
         let want: Vec<_> = recs.iter().filter(|(k, _)| (101..=499).contains(k)).cloned().collect();
         assert_eq!(got, want);
         // Degenerate ranges.
         let mut n = 0;
-        tree.scan_range(&pager, 10, 5, |_, _| n += 1);
+        tree.scan_range(&pager, 10, 5, |_, _| n += 1).unwrap();
         assert_eq!(n, 0);
     }
 
@@ -464,12 +467,12 @@ mod tests {
         let small = b"tiny".to_vec();
         let recs = vec![(1u64, small.clone()), (2, big.clone()), (3, small.clone())];
         let tree = BPlusTree::bulk_build(&pager, &recs);
-        assert_eq!(tree.get(&pager, 2).unwrap(), big);
-        assert_eq!(tree.get(&pager, 3).unwrap(), small);
+        assert_eq!(tree.get(&pager, 2).unwrap().unwrap(), big);
+        assert_eq!(tree.get(&pager, 3).unwrap().unwrap(), small);
         // Overflow reads charge extra pages.
         pager.clear_pool();
         pager.reset_stats();
-        let _ = tree.get(&pager, 2);
+        let _ = tree.get(&pager, 2).unwrap();
         assert!(pager.stats().physical_reads >= 4); // leaf + 4 overflow-ish
     }
 
@@ -478,9 +481,9 @@ mod tests {
         let pager = Pager::new(8);
         let tree = BPlusTree::bulk_build(&pager, &[]);
         assert!(tree.is_empty());
-        assert!(tree.get(&pager, 42).is_none());
+        assert!(tree.get(&pager, 42).unwrap().is_none());
         let mut n = 0;
-        tree.scan_range(&pager, 0, u64::MAX, |_, _| n += 1);
+        tree.scan_range(&pager, 0, u64::MAX, |_, _| n += 1).unwrap();
         assert_eq!(n, 0);
     }
 
@@ -504,7 +507,7 @@ mod tests {
         pager.reset_stats();
         let mut looped = Vec::new();
         for &k in &keys {
-            if let Some(v) = tree.get(&pager, k) {
+            if let Some(v) = tree.get(&pager, k).unwrap() {
                 looped.push((k, v));
             }
         }
@@ -513,7 +516,7 @@ mod tests {
         pager.clear_pool();
         pager.reset_stats();
         let mut batched = Vec::new();
-        let found = tree.get_many(&pager, &keys, |k, v| batched.push((k, v)));
+        let found = tree.get_many(&pager, &keys, |k, v| batched.push((k, v))).unwrap();
         let batch_stats = pager.stats();
 
         assert_eq!(batched, looped);
@@ -536,10 +539,12 @@ mod tests {
         pager.clear_pool();
         pager.reset_stats();
         let mut n = 0;
-        let found = tree.get_many(&pager, &keys, |k, v| {
-            assert_eq!(v, format!("value-{k}").into_bytes());
-            n += 1;
-        });
+        let found = tree
+            .get_many(&pager, &keys, |k, v| {
+                assert_eq!(v, format!("value-{k}").into_bytes());
+                n += 1;
+            })
+            .unwrap();
         assert_eq!((n, found), (5000, 5000));
         // One descent per leaf run: far fewer pages than per-key descents.
         assert!(pager.stats().logical_reads < keys.len() as u64);
@@ -556,7 +561,7 @@ mod tests {
         let tree = BPlusTree::bulk_build(&pager, &recs);
         let keys = vec![0, 5, 10, 15, 20, 30, 19_990];
         let mut got = Vec::new();
-        let found = tree.get_many(&pager, &keys, |k, v| got.push((k, v)));
+        let found = tree.get_many(&pager, &keys, |k, v| got.push((k, v))).unwrap();
         assert_eq!(found, 4);
         assert_eq!(
             got,
@@ -569,7 +574,7 @@ mod tests {
         );
         // All-absent batches below the minimum work too.
         let mut n = 0;
-        assert_eq!(tree.get_many(&pager, &[1, 2, 3], |_, _| n += 1), 0);
+        assert_eq!(tree.get_many(&pager, &[1, 2, 3], |_, _| n += 1).unwrap(), 0);
         assert_eq!(n, 0);
     }
 
@@ -578,7 +583,7 @@ mod tests {
     fn get_many_rejects_unsorted_keys() {
         let pager = Pager::new(8);
         let tree = BPlusTree::bulk_build(&pager, &records(10, 1));
-        tree.get_many(&pager, &[5, 3], |_, _| ());
+        let _ = tree.get_many(&pager, &[5, 3], |_, _| ());
     }
 
     #[test]
@@ -588,7 +593,7 @@ mod tests {
         let tree = BPlusTree::bulk_build(&pager, &recs);
         pager.clear_pool();
         pager.reset_stats();
-        let _ = tree.get(&pager, 12345).unwrap();
+        let _ = tree.get(&pager, 12345).unwrap().unwrap();
         assert_eq!(pager.stats().physical_reads as usize, tree.height());
     }
 }

@@ -7,6 +7,7 @@
 //! exhibits the locality the paper's integrated-I/O-region optimisation
 //! exploits.
 
+use crate::error::StoreResult;
 use crate::page::codec::*;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::pager::Pager;
@@ -88,10 +89,11 @@ impl HeapFile {
         RecordId { page, slot: self.tail_count - 1 }
     }
 
-    /// Fetch one record, charging the page read.
-    pub fn get(&self, pager: &Pager, rid: RecordId) -> Option<Vec<u8>> {
+    /// Fetch one record, charging the page read. Read failures surface as
+    /// [`StoreError`](crate::StoreError).
+    pub fn get(&self, pager: &Pager, rid: RecordId) -> StoreResult<Option<Vec<u8>>> {
         if !self.pages.contains(&rid.page) {
-            return None;
+            return Ok(None);
         }
         pager.with_page(rid.page, |buf| {
             let count = get_u16(buf, 0);
@@ -113,7 +115,12 @@ impl HeapFile {
     /// Visit every record on `page` with a single page read. Batch access
     /// is what the integrated-I/O-region optimisation buys: candidates whose
     /// regions merged read each shared page once.
-    pub fn visit_page(&self, pager: &Pager, page: PageId, mut visit: impl FnMut(RecordId, &[u8])) {
+    pub fn visit_page(
+        &self,
+        pager: &Pager,
+        page: PageId,
+        mut visit: impl FnMut(RecordId, &[u8]),
+    ) -> StoreResult<()> {
         pager.with_page(page, |buf| {
             let count = get_u16(buf, 0);
             let mut off = HDR;
@@ -122,7 +129,7 @@ impl HeapFile {
                 visit(RecordId { page, slot: s }, &buf[off + 2..off + 2 + len]);
                 off += 2 + len;
             }
-        });
+        })
     }
 
     /// Visit every record of a batch of pages (sorted ascending, no
@@ -135,7 +142,7 @@ impl HeapFile {
         pager: &Pager,
         pages: &[PageId],
         mut visit: impl FnMut(RecordId, &[u8]),
-    ) {
+    ) -> StoreResult<()> {
         pager.with_pages(pages, |page, buf| {
             let count = get_u16(buf, 0);
             let mut off = HDR;
@@ -144,14 +151,15 @@ impl HeapFile {
                 visit(RecordId { page, slot: s }, &buf[off + 2..off + 2 + len]);
                 off += 2 + len;
             }
-        });
+        })
     }
 
     /// Visit every record in the file in append order.
-    pub fn scan(&self, pager: &Pager, mut visit: impl FnMut(RecordId, &[u8])) {
+    pub fn scan(&self, pager: &Pager, mut visit: impl FnMut(RecordId, &[u8])) -> StoreResult<()> {
         for &page in &self.pages {
-            self.visit_page(pager, page, |rid, rec| visit(rid, rec));
+            self.visit_page(pager, page, |rid, rec| visit(rid, rec))?;
         }
+        Ok(())
     }
 
     /// Pages backing this file, in order.
@@ -182,7 +190,7 @@ mod tests {
         assert_eq!(hf.len(), 1000);
         assert!(hf.num_pages() > 1);
         for (rid, want) in &rids {
-            assert_eq!(hf.get(&pager, *rid).unwrap(), want.as_bytes());
+            assert_eq!(hf.get(&pager, *rid).unwrap().unwrap(), want.as_bytes());
         }
     }
 
@@ -191,8 +199,8 @@ mod tests {
         let pager = Pager::new(4);
         let mut hf = HeapFile::new();
         let rid = hf.append(&pager, b"a");
-        assert!(hf.get(&pager, RecordId { page: rid.page, slot: 99 }).is_none());
-        assert!(hf.get(&pager, RecordId { page: PageId(9999), slot: 0 }).is_none());
+        assert!(hf.get(&pager, RecordId { page: rid.page, slot: 99 }).unwrap().is_none());
+        assert!(hf.get(&pager, RecordId { page: PageId(9999), slot: 0 }).unwrap().is_none());
     }
 
     #[test]
@@ -205,7 +213,8 @@ mod tests {
         let mut seen = Vec::new();
         hf.scan(&pager, |_, rec| {
             seen.push(u32::from_le_bytes(rec.try_into().unwrap()));
-        });
+        })
+        .unwrap();
         assert_eq!(seen, (0..500).collect::<Vec<_>>());
     }
 
@@ -221,7 +230,7 @@ mod tests {
         pager.clear_pool();
         pager.reset_stats();
         let mut n = 0;
-        hf.visit_page(&pager, first_page.unwrap(), |_, _| n += 1);
+        hf.visit_page(&pager, first_page.unwrap(), |_, _| n += 1).unwrap();
         assert!(n > 1);
         assert_eq!(pager.stats().physical_reads, 1);
     }
@@ -238,13 +247,13 @@ mod tests {
         pager.reset_stats();
         let mut one_by_one = Vec::new();
         for &p in &pages {
-            hf.visit_page(&pager, p, |rid, rec| one_by_one.push((rid, rec.to_vec())));
+            hf.visit_page(&pager, p, |rid, rec| one_by_one.push((rid, rec.to_vec()))).unwrap();
         }
         let loop_stats = pager.stats();
         pager.clear_pool();
         pager.reset_stats();
         let mut batched = Vec::new();
-        hf.visit_pages(&pager, &pages, |rid, rec| batched.push((rid, rec.to_vec())));
+        hf.visit_pages(&pager, &pages, |rid, rec| batched.push((rid, rec.to_vec()))).unwrap();
         let batch_stats = pager.stats();
         assert_eq!(batched, one_by_one);
         assert_eq!(batch_stats.logical_reads, loop_stats.logical_reads);

@@ -13,6 +13,12 @@
 //!   paper's "page accessed"), hits are free, and batched reads
 //!   ([`pager::Pager::with_pages`], [`bptree::BPlusTree::get_many`])
 //!   overlap their simulated stalls without changing the page counts;
+//! * [`error`] / [`fault`] — the failure model: the physical read path
+//!   returns typed [`StoreError`]s instead of panicking, every page is
+//!   checksummed (FNV-1a, verified on each physical read), and a seeded
+//!   deterministic [`FaultInjector`] can fail, corrupt, delay, or panic
+//!   reads for resilience testing, with transient faults absorbed by a
+//!   bounded [`RetryPolicy`];
 //! * [`bptree`] — a clustering B+-tree (bulk-built, variable-length values
 //!   with overflow chains) used to store DMTM nodes keyed by node id;
 //! * [`heapfile`] — slotted-page heap files for SDN segments and objects;
@@ -32,19 +38,25 @@
 //!
 //! pager.clear_pool();
 //! pager.reset_stats();
-//! assert_eq!(tree.get(&pager, 42).unwrap(), b"row-42");
+//! assert_eq!(tree.get(&pager, 42).unwrap().unwrap(), b"row-42");
 //! // The lookup paid exactly one page per tree level (cold cache).
 //! assert_eq!(pager.stats().physical_reads as usize, tree.height());
 //! ```
 
 pub mod bptree;
+pub mod error;
+pub mod fault;
 pub mod heapfile;
 pub mod latency;
 pub mod page;
 pub mod pager;
 
 pub use bptree::BPlusTree;
+pub use error::{StoreError, StoreResult};
+pub use fault::{FaultInjector, FaultKind, FaultProfile, FaultStats, RetryPolicy};
 pub use heapfile::{HeapFile, RecordId};
 pub use latency::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
-pub use pager::{ConcurrencyStats, IoStats, Pager, StructureTag, TagScope, POOL_SHARDS};
+pub use pager::{
+    page_checksum, ConcurrencyStats, IoStats, Pager, StructureTag, TagScope, POOL_SHARDS,
+};

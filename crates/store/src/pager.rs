@@ -37,21 +37,65 @@
 //!   `physical_reads` are still charged individually, so the page-access
 //!   metric is unchanged; only wall-clock time improves).
 //!
+//! # Failure model
+//!
+//! The physical read path returns [`StoreResult`] instead of panicking:
+//!
+//! * every page keeps an FNV-1a checksum in a pager-maintained frame
+//!   sidecar, recomputed on write and verified on every physical read —
+//!   corrupt bytes are never admitted to the pool or served to a caller;
+//! * an optional, seeded [`FaultInjector`] decides per read *attempt*
+//!   whether it faults (transient, permanent, bit flip, latency, panic);
+//! * transient faults (including checksum failures from injected bit
+//!   flips) are retried with bounded backoff per [`RetryPolicy`]; when
+//!   the budget is exhausted a typed [`StoreError`] surfaces;
+//! * a failed or panicking single-flight *leader* releases its claim
+//!   without publishing the page (the lease is a drop guard), so waiters
+//!   wake, re-run the claim, and either lead the read themselves or
+//!   surface their own error — they are never stranded.
+//!
+//! Failed attempts are **not** physical reads: the paper's page-access
+//! metric counts only successfully served pages, so a fault-free and a
+//! transiently-faulty run report identical page counts. Retry traffic is
+//! tracked separately in [`FaultStats`].
+//!
 //! Metric parity: on a single thread the flight registry is always empty
 //! and the counters reduce exactly to the classic hit/miss bookkeeping, so
 //! per-query `logical_reads` / `physical_reads` stay deterministic and
 //! comparable across runs.
 
+use crate::error::{StoreError, StoreResult};
+use crate::fault::{FaultInjector, FaultKind, FaultStats, RetryPolicy};
 use crate::page::{PageId, PAGE_SIZE};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 /// Number of buffer-pool shards (capped by the pool capacity so every
 /// shard holds at least one page). A fixed constant keeps eviction — and
 /// with it the paper's disk-page metric — machine-independent.
 pub const POOL_SHARDS: usize = 8;
+
+/// FNV-1a 64-bit checksum over a page's bytes. Dependency-free, fast
+/// enough for 8 KiB frames, and sensitive to any single-byte change —
+/// exactly what the torn/bit-rot detection here needs.
+pub fn page_checksum(bytes: &[u8]) -> u64 {
+    fnv1a(bytes, usize::MAX)
+}
+
+/// FNV-1a with one byte XOR-flipped at `flip` (out-of-range = no flip):
+/// computes the checksum a bit-flipped wire read would observe without
+/// copying the page.
+fn fnv1a(bytes: &[u8], flip: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (i, &b) in bytes.iter().enumerate() {
+        let b = if i == flip { b ^ 0x01 } else { b };
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// Which on-disk structure a page belongs to. Assigned when the page is
 /// allocated (inside a [`Pager::tag_scope`]) and fixed for the page's
@@ -149,6 +193,10 @@ pub struct ConcurrencyStats {
 #[derive(Debug)]
 struct PageStore {
     pages: Vec<Box<[u8]>>,
+    /// FNV-1a checksum per page (the pager-maintained frame sidecar),
+    /// parallel to `pages`. Recomputed on write, verified on every
+    /// physical read.
+    sums: Vec<u64>,
     /// Structure tag per page, parallel to `pages`.
     tags: Vec<StructureTag>,
     /// Tag applied to new allocations (see [`Pager::tag_scope`]).
@@ -239,6 +287,16 @@ struct TagCounters {
     evictions: [AtomicU64; StructureTag::COUNT],
 }
 
+/// Atomic backing of [`FaultStats`].
+#[derive(Debug, Default)]
+struct FaultCounters {
+    injected: AtomicU64,
+    retries: AtomicU64,
+    exhausted: AtomicU64,
+    checksum: AtomicU64,
+    permanent: AtomicU64,
+}
+
 /// The simulated disk: a page allocator, page contents, a sharded
 /// single-flight buffer pool, and I/O statistics.
 #[derive(Debug)]
@@ -258,6 +316,29 @@ pub struct Pager {
     /// overlap their stalls — the I/O-bound regime the paper's disk
     /// numbers imply.
     read_stall_ns: AtomicU64,
+    /// Optional deterministic fault source, consulted per read attempt.
+    fault: RwLock<Option<FaultInjector>>,
+    /// Retry budget for transient faults.
+    retry: Mutex<RetryPolicy>,
+    fault_counters: FaultCounters,
+}
+
+/// Recover a mutex guard even when a holder panicked: every critical
+/// section in this module leaves the guarded data consistent at all times
+/// (single field updates), so lock poisoning carries no information here
+/// and must not take the whole pager down with the panicking thread.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Pager {
+    fn store_read(&self) -> RwLockReadGuard<'_, PageStore> {
+        self.store.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn store_write(&self) -> RwLockWriteGuard<'_, PageStore> {
+        self.store.write().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Restores the pager's allocation tag when dropped; see
@@ -270,12 +351,13 @@ pub struct TagScope<'p> {
 
 impl Drop for TagScope<'_> {
     fn drop(&mut self) {
-        self.pager.store.write().unwrap().alloc_tag = self.previous;
+        self.pager.store_write().alloc_tag = self.previous;
     }
 }
 
 /// Removes a page from the flight registry (waking waiters) when dropped,
-/// so a panicking leader cannot strand its waiters on the condvar.
+/// so a failing — or panicking — leader cannot strand its waiters on the
+/// condvar: they wake, find the page absent, and re-run the claim.
 struct FlightLease<'p> {
     pager: &'p Pager,
     page: u64,
@@ -283,7 +365,7 @@ struct FlightLease<'p> {
 
 impl Drop for FlightLease<'_> {
     fn drop(&mut self) {
-        let mut flight = self.pager.flight.lock().unwrap();
+        let mut flight = lock_recover(&self.pager.flight);
         flight.remove(&self.page);
         drop(flight);
         self.pager.flight_done.notify_all();
@@ -329,6 +411,7 @@ impl Pager {
         Self {
             store: RwLock::new(PageStore {
                 pages: Vec::new(),
+                sums: Vec::new(),
                 tags: Vec::new(),
                 alloc_tag: StructureTag::Other,
             }),
@@ -339,6 +422,9 @@ impl Pager {
             singleflight_waits: AtomicU64::new(0),
             coalesced_misses: AtomicU64::new(0),
             read_stall_ns: AtomicU64::new(0),
+            fault: RwLock::new(None),
+            retry: Mutex::new(RetryPolicy::default()),
+            fault_counters: FaultCounters::default(),
         }
     }
 
@@ -355,6 +441,34 @@ impl Pager {
         Duration::from_nanos(self.read_stall_ns.load(Relaxed))
     }
 
+    /// Install (or with `None` remove) the deterministic fault source
+    /// consulted on every physical read attempt.
+    pub fn set_fault_injector(&self, injector: Option<FaultInjector>) {
+        *self.fault.write().unwrap_or_else(|e| e.into_inner()) = injector;
+    }
+
+    /// Set the retry budget for transient read faults.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *lock_recover(&self.retry) = policy;
+    }
+
+    /// The retry budget in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *lock_recover(&self.retry)
+    }
+
+    /// Fault and retry counters, cumulative since construction (a
+    /// per-query [`Pager::reset_stats`] does not clear them).
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            injected: self.fault_counters.injected.load(Relaxed),
+            retries: self.fault_counters.retries.load(Relaxed),
+            exhausted: self.fault_counters.exhausted.load(Relaxed),
+            checksum_failures: self.fault_counters.checksum.load(Relaxed),
+            permanent_failures: self.fault_counters.permanent.load(Relaxed),
+        }
+    }
+
     /// Attribute allocations to `tag` until the returned guard is dropped
     /// (the previous tag is then restored, so scopes nest):
     ///
@@ -368,42 +482,56 @@ impl Pager {
     /// assert_eq!(pager.tag_of(dmtm_page), StructureTag::Dmtm);
     /// ```
     pub fn tag_scope(&self, tag: StructureTag) -> TagScope<'_> {
-        let previous = std::mem::replace(&mut self.store.write().unwrap().alloc_tag, tag);
+        let previous = std::mem::replace(&mut self.store_write().alloc_tag, tag);
         TagScope { pager: self, previous }
     }
 
     /// Allocate a fresh zeroed page, tagged with the active scope's tag.
     pub fn alloc(&self) -> PageId {
-        let mut store = self.store.write().unwrap();
+        let mut store = self.store_write();
         let tag = store.alloc_tag;
-        store.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
+        let page: Box<[u8]> = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        store.sums.push(page_checksum(&page));
+        store.pages.push(page);
         store.tags.push(tag);
         PageId(store.pages.len() as u64 - 1)
     }
 
     /// Number of allocated pages.
     pub fn num_pages(&self) -> usize {
-        self.store.read().unwrap().pages.len()
+        self.store_read().pages.len()
     }
 
     /// The structure a page was allocated under.
     pub fn tag_of(&self, id: PageId) -> StructureTag {
-        self.store.read().unwrap().tags[id.0 as usize]
+        self.store_read().tags[id.0 as usize]
     }
 
     fn tag_idx(&self, page: u64) -> usize {
-        self.store.read().unwrap().tags[page as usize].idx()
+        self.store_read().tags[page as usize].idx()
     }
 
-    /// Overwrite bytes within a page. Counts one write. Not routed through
-    /// the buffer pool: structures are built once, then queried.
+    /// Overwrite bytes within a page. Counts one write and refreshes the
+    /// page's checksum. Not routed through the buffer pool: structures
+    /// are built once, then queried.
     pub fn write(&self, id: PageId, offset: usize, bytes: &[u8]) {
         assert!(offset + bytes.len() <= PAGE_SIZE, "write past page end");
-        let mut store = self.store.write().unwrap();
+        let mut store = self.store_write();
         store.pages[id.0 as usize][offset..offset + bytes.len()].copy_from_slice(bytes);
+        store.sums[id.0 as usize] = page_checksum(&store.pages[id.0 as usize]);
         let t = store.tags[id.0 as usize].idx();
         drop(store);
         self.counters.writes[t].fetch_add(1, Relaxed);
+    }
+
+    /// Flip one bit of a page *without* refreshing its checksum — latent
+    /// media corruption, for fault drills and tests. The next physical
+    /// read of the page fails verification with
+    /// [`StoreError::Checksum`]; a still-buffered copy keeps serving hits
+    /// (the cached frame was verified when it was admitted).
+    pub fn corrupt_byte(&self, id: PageId, offset: usize) {
+        assert!(offset < PAGE_SIZE, "corrupt_byte past page end");
+        self.store_write().pages[id.0 as usize][offset] ^= 0x01;
     }
 
     fn shard_of(&self, page: u64) -> usize {
@@ -415,10 +543,11 @@ impl Pager {
         let shard = &self.shards[idx];
         match shard.pool.try_lock() {
             Ok(guard) => guard,
-            Err(_) => {
+            Err(std::sync::TryLockError::WouldBlock) => {
                 shard.contention.fetch_add(1, Relaxed);
-                shard.pool.lock().unwrap()
+                lock_recover(&shard.pool)
             }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         }
     }
 
@@ -444,7 +573,7 @@ impl Pager {
     /// leader holds the claim), so exactly one thread can ever hold a
     /// page's lease — losers get [`FlightClaim::Lost`] and must wait.
     fn claim_flight(&self, page: u64) -> FlightClaim<'_> {
-        if !self.flight.lock().unwrap().insert(page) {
+        if !lock_recover(&self.flight).insert(page) {
             return FlightClaim::Lost;
         }
         let lease = FlightLease { pager: self, page };
@@ -459,44 +588,157 @@ impl Pager {
         }
     }
 
+    /// Verify a page's bytes against its checksum sidecar. Failure means
+    /// the stored bytes themselves are corrupt — rereading cannot help,
+    /// so the error is surfaced without retry.
+    fn verify_page(&self, page: u64) -> StoreResult<()> {
+        let store = self.store_read();
+        let stored = store.sums[page as usize];
+        let computed = page_checksum(&store.pages[page as usize]);
+        drop(store);
+        if computed == stored {
+            Ok(())
+        } else {
+            Err(StoreError::Checksum { page, stored, computed })
+        }
+    }
+
+    /// A single-flight leader's read of `page`: consult the fault
+    /// injector, verify the checksum, and retry transient failures within
+    /// the [`RetryPolicy`]. On success the physical read is charged; the
+    /// caller pays the stall and publishes the page. The caller holds the
+    /// flight lease throughout and drops it afterwards (also on error or
+    /// unwind), so waiters always wake.
+    fn read_attempts(&self, page: u64, tag_idx: usize) -> StoreResult<()> {
+        let policy = self.retry_policy();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            if attempt > 1 {
+                self.fault_counters.retries.fetch_add(1, Relaxed);
+                if policy.backoff > Duration::ZERO {
+                    // Linear backoff, slept with no pager locks held.
+                    std::thread::sleep(policy.backoff * (attempt - 1));
+                }
+            }
+            let (fault, latency) = {
+                let guard = self.fault.read().unwrap_or_else(|e| e.into_inner());
+                match guard.as_ref() {
+                    None => (None, Duration::ZERO),
+                    Some(inj) => (inj.decide(page), inj.latency()),
+                }
+            };
+            if fault.is_some() {
+                self.fault_counters.injected.fetch_add(1, Relaxed);
+            }
+            let outcome = match fault {
+                None => self.verify_page(page),
+                Some(FaultKind::Latency) => {
+                    // A slow read, not a failed one.
+                    std::thread::sleep(latency);
+                    self.verify_page(page)
+                }
+                Some(FaultKind::BitFlip) => {
+                    // The wire flipped a byte: the checksum the reader
+                    // computes disagrees with the sidecar. Detected before
+                    // the page is admitted; retried like a transient fault.
+                    let store = self.store_read();
+                    let flip = {
+                        let guard = self.fault.read().unwrap_or_else(|e| e.into_inner());
+                        guard.as_ref().map_or(0, |inj| inj.flip_offset(page, PAGE_SIZE))
+                    };
+                    let stored = store.sums[page as usize];
+                    let computed = fnv1a(&store.pages[page as usize], flip);
+                    Err(StoreError::Checksum { page, stored, computed })
+                }
+                Some(FaultKind::Transient) => {
+                    Err(StoreError::TransientRead { page, attempts: attempt })
+                }
+                Some(FaultKind::Permanent) => Err(StoreError::PermanentRead { page }),
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: panic while leading the read of page {page}")
+                }
+            };
+            match outcome {
+                Ok(()) => {
+                    // Charged only on success: failed attempts are not
+                    // pages served, and the paper metric must not drift
+                    // under injected faults.
+                    self.counters.physical[tag_idx].fetch_add(1, Relaxed);
+                    return Ok(());
+                }
+                Err(e @ StoreError::PermanentRead { .. }) => {
+                    self.fault_counters.permanent.fetch_add(1, Relaxed);
+                    return Err(e);
+                }
+                Err(e @ StoreError::Checksum { .. }) if fault.is_none() => {
+                    // Latent corruption of the stored bytes: rereading
+                    // returns the same bytes, so retrying is useless.
+                    self.fault_counters.checksum.fetch_add(1, Relaxed);
+                    return Err(e);
+                }
+                Err(e) => {
+                    if matches!(e, StoreError::Checksum { .. }) {
+                        self.fault_counters.checksum.fetch_add(1, Relaxed);
+                    }
+                    if attempt > policy.max_retries {
+                        self.fault_counters.exhausted.fetch_add(1, Relaxed);
+                        return Err(match e {
+                            StoreError::TransientRead { page, .. } => {
+                                StoreError::TransientRead { page, attempts: attempt }
+                            }
+                            other => other,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     /// Block until `page` is resident, observing single-flight: wait for
     /// an in-flight read, or become the leader and pay the physical read
-    /// plus its stall. `logical_reads` are *not* counted here.
-    fn wait_resident(&self, page: u64, tag_idx: usize) {
+    /// plus its stall. `logical_reads` are *not* counted here. On error
+    /// the claim is released before returning, so a failed leader's
+    /// waiters re-run the claim and surface their own error.
+    fn wait_resident(&self, page: u64, tag_idx: usize) -> StoreResult<()> {
         loop {
             if self.pool_touch(page) {
-                return;
+                return Ok(());
             }
             match self.claim_flight(page) {
-                FlightClaim::Resident => return,
+                FlightClaim::Resident => return Ok(()),
                 FlightClaim::Led(lease) => {
-                    self.counters.physical[tag_idx].fetch_add(1, Relaxed);
-                    let stall = self.read_stall();
-                    if stall > Duration::ZERO {
-                        // Pay the simulated disk latency with no locks
-                        // held so other threads' reads (and their stalls)
-                        // proceed in parallel.
-                        std::thread::sleep(stall);
+                    let read = self.read_attempts(page, tag_idx);
+                    if read.is_ok() {
+                        let stall = self.read_stall();
+                        if stall > Duration::ZERO {
+                            // Pay the simulated disk latency with no locks
+                            // held so other threads' reads (and their
+                            // stalls) proceed in parallel.
+                            std::thread::sleep(stall);
+                        }
+                        self.pool_insert(page);
                     }
-                    self.pool_insert(page);
                     drop(lease);
-                    return;
+                    return read;
                 }
                 FlightClaim::Lost => {
-                    let mut flight = self.flight.lock().unwrap();
+                    let mut flight = lock_recover(&self.flight);
                     if flight.contains(&page) {
                         self.singleflight_waits.fetch_add(1, Relaxed);
                         while flight.contains(&page) {
-                            flight = self.flight_done.wait(flight).unwrap();
+                            flight =
+                                self.flight_done.wait(flight).unwrap_or_else(|e| e.into_inner());
                         }
                     }
                     drop(flight);
                     // Count the coalesced miss only once the pool confirms
-                    // the leader's read served us; if the page was already
-                    // evicted, loop around and lead it ourselves.
+                    // the leader's read served us; if the leader failed or
+                    // the page was already evicted, loop around and lead
+                    // it ourselves.
                     if self.pool_touch(page) {
                         self.coalesced_misses.fetch_add(1, Relaxed);
-                        return;
+                        return Ok(());
                     }
                 }
             }
@@ -506,13 +748,13 @@ impl Pager {
     /// Read a page through the buffer pool, handing its bytes to `f`.
     ///
     /// `f` runs under the store's read lock; it must not allocate or
-    /// write pages.
-    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
+    /// write pages. Errors surface as [`StoreError`] without running `f`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> StoreResult<R> {
         let t = self.tag_idx(id.0);
         self.counters.logical[t].fetch_add(1, Relaxed);
-        self.wait_resident(id.0, t);
-        let store = self.store.read().unwrap();
-        f(&store.pages[id.0 as usize])
+        self.wait_resident(id.0, t)?;
+        let store = self.store_read();
+        Ok(f(&store.pages[id.0 as usize]))
     }
 
     /// Read a batch of pages through the buffer pool, handing each page's
@@ -522,15 +764,19 @@ impl Pager {
     /// callers coalesce and sort their page sets, which also makes the
     /// access order, and with it the eviction sequence, deterministic.
     ///
-    /// Every page still costs one `logical_read`, and every miss one
-    /// `physical_read` — the paper's page-access metric is identical to a
-    /// `with_page` loop. What changes is wall-clock time: all misses of
-    /// the batch are claimed up front and pay a **single** overlapped
+    /// Every page still costs one `logical_read`, and every served miss
+    /// one `physical_read` — the paper's page-access metric is identical
+    /// to a `with_page` loop. What changes is wall-clock time: all misses
+    /// of the batch are claimed up front and pay a **single** overlapped
     /// stall (like a queued batch of disk requests), with the extra
     /// misses counted as `coalesced_misses`. Pages another thread is
     /// already reading are not waited on until our own claims are
     /// published, so two overlapping batches cannot deadlock.
-    pub fn with_pages(&self, ids: &[PageId], mut f: impl FnMut(PageId, &[u8])) {
+    ///
+    /// On a read failure the first error is returned, every healthy claim
+    /// of the batch is still published (waiters are never stranded), and
+    /// `f` is not called for any page.
+    pub fn with_pages(&self, ids: &[PageId], mut f: impl FnMut(PageId, &[u8])) -> StoreResult<()> {
         assert!(
             ids.windows(2).all(|w| w[0].0 < w[1].0),
             "with_pages requires sorted, de-duplicated page ids"
@@ -538,7 +784,7 @@ impl Pager {
         // Phase 1: account logical reads; claim every miss we can lead.
         // Pages in flight elsewhere are deferred, not waited on — waiting
         // while holding unpublished claims could deadlock two batches.
-        let mut led: Vec<(u64, FlightLease<'_>)> = Vec::new();
+        let mut led: Vec<(u64, usize, FlightLease<'_>)> = Vec::new();
         let mut deferred: Vec<(u64, usize)> = Vec::new();
         for &id in ids {
             let t = self.tag_idx(id.0);
@@ -547,42 +793,56 @@ impl Pager {
                 continue;
             }
             match self.claim_flight(id.0) {
-                FlightClaim::Led(lease) => {
-                    self.counters.physical[t].fetch_add(1, Relaxed);
-                    led.push((id.0, lease));
-                }
+                FlightClaim::Led(lease) => led.push((id.0, t, lease)),
                 FlightClaim::Lost => deferred.push((id.0, t)),
                 FlightClaim::Resident => {}
             }
         }
-        // Phase 2: one stall covers the whole batch of misses — the
-        // overlapped-I/O model. Then publish the pages and release the
-        // claims so our waiters (and deferred peers) can proceed.
-        if !led.is_empty() {
-            self.coalesced_misses.fetch_add(led.len() as u64 - 1, Relaxed);
+        // Phase 2: attempt every claimed read (faults and retries are
+        // per page), then pay one stall covering all served misses — the
+        // overlapped-I/O model. Only then publish the pages and release
+        // the claims so our waiters (and deferred peers) can proceed;
+        // failed claims release without publishing.
+        let mut first_err: Option<StoreError> = None;
+        let mut served: Vec<(u64, FlightLease<'_>)> = Vec::new();
+        for (page, t, lease) in led {
+            match self.read_attempts(page, t) {
+                Ok(()) => served.push((page, lease)),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    drop(lease); // wake waiters: they re-claim and fail themselves
+                }
+            }
+        }
+        if !served.is_empty() {
+            self.coalesced_misses.fetch_add(served.len() as u64 - 1, Relaxed);
             let stall = self.read_stall();
             if stall > Duration::ZERO {
                 std::thread::sleep(stall);
             }
-            for &(page, _) in &led {
+            for &(page, _) in &served {
                 self.pool_insert(page);
             }
-            led.clear(); // drop the leases: deregister + notify
+            served.clear(); // drop the leases: deregister + notify
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         // Phase 3: wait for pages another thread was already reading
         // (re-leading them ourselves if they were evicted meanwhile).
         for &(page, t) in &deferred {
-            self.wait_resident(page, t);
+            self.wait_resident(page, t)?;
         }
         // Phase 4: visit in caller order under the store read lock.
-        let store = self.store.read().unwrap();
+        let store = self.store_read();
         for &id in ids {
             f(id, &store.pages[id.0 as usize]);
         }
+        Ok(())
     }
 
     /// Copy a whole page out (convenience for tests).
-    pub fn read_page(&self, id: PageId) -> Vec<u8> {
+    pub fn read_page(&self, id: PageId) -> StoreResult<Vec<u8>> {
         self.with_page(id, |b| b.to_vec())
     }
 
@@ -667,7 +927,8 @@ impl Pager {
     /// per-structure breakdown, eviction counts, and concurrency
     /// counters. The pool contents are kept: a warm cache across queries
     /// is realistic. Page tags persist — they describe what a page *is*,
-    /// not traffic.
+    /// not traffic. Fault counters persist too: they describe the run,
+    /// not one query (see [`Pager::fault_stats`]).
     pub fn reset_stats(&self) {
         for t in 0..StructureTag::COUNT {
             self.counters.logical[t].store(0, Relaxed);
@@ -702,8 +963,8 @@ mod tests {
         assert_ne!(a, b);
         p.write(a, 100, b"hello");
         p.write(b, 0, b"world");
-        assert_eq!(&p.read_page(a)[100..105], b"hello");
-        assert_eq!(&p.read_page(b)[..5], b"world");
+        assert_eq!(&p.read_page(a).unwrap()[100..105], b"hello");
+        assert_eq!(&p.read_page(b).unwrap()[..5], b"world");
     }
 
     #[test]
@@ -712,12 +973,12 @@ mod tests {
         let ids: Vec<_> = (0..3).map(|_| p.alloc()).collect();
         p.reset_stats();
         for &id in &ids {
-            p.with_page(id, |_| ());
+            p.with_page(id, |_| ()).unwrap();
         }
         assert_eq!(p.stats().physical_reads, 3);
         // Re-reading cached pages adds logical but not physical reads.
         for &id in &ids {
-            p.with_page(id, |_| ());
+            p.with_page(id, |_| ()).unwrap();
         }
         let s = p.stats();
         assert_eq!(s.physical_reads, 3);
@@ -734,12 +995,12 @@ mod tests {
         let b = p.alloc();
         let c = p.alloc();
         p.reset_stats();
-        p.with_page(a, |_| ()); // miss
-        p.with_page(b, |_| ()); // miss (other shard)
-        p.with_page(a, |_| ()); // hit
-        p.with_page(c, |_| ()); // miss, evicts a from their shared shard
-        p.with_page(a, |_| ()); // miss (was evicted)
-        p.with_page(b, |_| ()); // hit (own shard untouched)
+        p.with_page(a, |_| ()).unwrap(); // miss
+        p.with_page(b, |_| ()).unwrap(); // miss (other shard)
+        p.with_page(a, |_| ()).unwrap(); // hit
+        p.with_page(c, |_| ()).unwrap(); // miss, evicts a from their shared shard
+        p.with_page(a, |_| ()).unwrap(); // miss (was evicted)
+        p.with_page(b, |_| ()).unwrap(); // hit (own shard untouched)
         assert_eq!(p.stats().physical_reads, 4);
         assert!(p.cached_pages() <= 2);
     }
@@ -748,10 +1009,10 @@ mod tests {
     fn clear_pool_forces_cold_reads() {
         let p = Pager::new(8);
         let a = p.alloc();
-        p.with_page(a, |_| ());
+        p.with_page(a, |_| ()).unwrap();
         p.clear_pool();
         p.reset_stats();
-        p.with_page(a, |_| ());
+        p.with_page(a, |_| ()).unwrap();
         assert_eq!(p.stats().physical_reads, 1);
     }
 
@@ -798,7 +1059,7 @@ mod tests {
         };
         p.reset_stats();
         for &id in dmtm.iter().chain(&msdn).chain(&dmtm) {
-            p.with_page(id, |_| ());
+            p.with_page(id, |_| ()).unwrap();
         }
         let global = p.stats();
         let per: Vec<_> = p.io_by_structure();
@@ -826,16 +1087,16 @@ mod tests {
             (0..3).map(|_| p.alloc()).collect()
         };
         p.reset_stats();
-        p.with_page(pages[0], |_| ()); // miss, shard 0 = {0}
-        p.with_page(pages[1], |_| ()); // miss, shard 1 = {1}
+        p.with_page(pages[0], |_| ()).unwrap(); // miss, shard 0 = {0}
+        p.with_page(pages[1], |_| ()).unwrap(); // miss, shard 1 = {1}
         assert_eq!(p.evictions(), 0, "no eviction below capacity");
-        p.with_page(pages[2], |_| ()); // miss, evicts page 0 (same shard)
+        p.with_page(pages[2], |_| ()).unwrap(); // miss, evicts page 0 (same shard)
         assert_eq!(p.evictions(), 1);
         assert_eq!(p.evictions_for(StructureTag::Dmtm), 1);
         assert_eq!(p.evictions_for(StructureTag::Msdn), 0);
         // Victim really is gone: re-reading it is a physical read.
         let before = p.stats().physical_reads;
-        p.with_page(pages[0], |_| ());
+        p.with_page(pages[0], |_| ()).unwrap();
         assert_eq!(p.stats().physical_reads, before + 1);
     }
 
@@ -845,9 +1106,9 @@ mod tests {
         let a = p.alloc();
         p.reset_stats();
         assert_eq!(p.hit_rate(), 0.0);
-        p.with_page(a, |_| ()); // miss
-        p.with_page(a, |_| ()); // hit
-        p.with_page(a, |_| ()); // hit
+        p.with_page(a, |_| ()).unwrap(); // miss
+        p.with_page(a, |_| ()).unwrap(); // hit
+        p.with_page(a, |_| ()).unwrap(); // hit
         assert!((p.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 
@@ -857,7 +1118,7 @@ mod tests {
         let ids: Vec<_> = (0..6).map(|_| p.alloc()).collect();
         p.clear_pool();
         p.reset_stats();
-        p.with_pages(&ids, |_, _| ());
+        p.with_pages(&ids, |_, _| ()).unwrap();
         let s = p.stats();
         assert_eq!(s.logical_reads, 6);
         assert_eq!(s.physical_reads, 6, "every cold page is still one physical read");
@@ -866,7 +1127,7 @@ mod tests {
         // Warm re-batch: all hits, nothing coalesced.
         p.reset_stats();
         let mut seen = Vec::new();
-        p.with_pages(&ids, |id, _| seen.push(id));
+        p.with_pages(&ids, |id, _| seen.push(id)).unwrap();
         assert_eq!(seen, ids, "pages visited in caller order");
         let s = p.stats();
         assert_eq!((s.logical_reads, s.physical_reads), (6, 0));
@@ -879,7 +1140,7 @@ mod tests {
         let p = Pager::new(4);
         let a = p.alloc();
         let b = p.alloc();
-        p.with_pages(&[b, a], |_, _| ());
+        let _ = p.with_pages(&[b, a], |_, _| ());
     }
 
     #[test]
@@ -890,10 +1151,10 @@ mod tests {
         p.clear_pool();
         p.set_read_stall(Duration::from_millis(20));
         let t = Instant::now();
-        p.with_page(a, |_| ()); // miss: pays the stall
+        p.with_page(a, |_| ()).unwrap(); // miss: pays the stall
         assert!(t.elapsed() >= Duration::from_millis(20));
         let t = Instant::now();
-        p.with_page(a, |_| ()); // hit: must not sleep
+        p.with_page(a, |_| ()).unwrap(); // hit: must not sleep
         assert!(t.elapsed() < Duration::from_millis(20));
     }
 
@@ -905,14 +1166,51 @@ mod tests {
         let p = Pager::new(4);
         let a = p.alloc();
         let b = p.alloc();
-        p.with_page(b, |_| ()); // b resident
+        p.with_page(b, |_| ()).unwrap(); // b resident
         p.set_read_stall(Duration::from_millis(50));
         std::thread::scope(|s| {
-            s.spawn(|| p.with_page(a, |_| ())); // miss: stalls 50 ms
+            s.spawn(|| p.with_page(a, |_| ()).unwrap()); // miss: stalls 50 ms
             std::thread::sleep(Duration::from_millis(10)); // let it enter the stall
             let t = Instant::now();
-            p.with_page(b, |_| ()); // hit on another page
+            p.with_page(b, |_| ()).unwrap(); // hit on another page
             assert!(t.elapsed() < Duration::from_millis(40), "hit blocked behind a stalling miss");
         });
+    }
+
+    #[test]
+    fn checksum_tracks_writes() {
+        let p = Pager::new(4);
+        let a = p.alloc();
+        p.write(a, 0, b"first");
+        assert_eq!(&p.read_page(a).unwrap()[..5], b"first");
+        p.write(a, 0, b"newer");
+        p.clear_pool();
+        // Re-verified on the cold read; the refreshed checksum matches.
+        assert_eq!(&p.read_page(a).unwrap()[..5], b"newer");
+    }
+
+    #[test]
+    fn latent_corruption_fails_cold_read_but_not_cached_hit() {
+        let p = Pager::new(4);
+        let a = p.alloc();
+        p.write(a, 10, b"payload");
+        p.with_page(a, |_| ()).unwrap(); // admitted while healthy
+        p.corrupt_byte(a, 11);
+        // The buffered frame was verified at admission: hits still serve.
+        p.with_page(a, |_| ()).unwrap();
+        // A cold read re-verifies and refuses to serve corrupt bytes.
+        p.clear_pool();
+        match p.with_page(a, |_| ()) {
+            Err(StoreError::Checksum { page, stored, computed }) => {
+                assert_eq!(page, a.0);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected checksum error, got {other:?}"),
+        }
+        // Failed attempts are not physical reads.
+        p.reset_stats();
+        let _ = p.with_page(a, |_| ());
+        assert_eq!(p.stats().physical_reads, 0);
+        assert_eq!(p.stats().logical_reads, 1);
     }
 }

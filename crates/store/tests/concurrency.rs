@@ -37,7 +37,7 @@ fn concurrent_misses_pay_one_stall_and_one_physical_read() {
         for _ in 0..THREADS {
             s.spawn(|| {
                 barrier.wait();
-                pager.with_page(page, |_| ());
+                pager.with_page(page, |_| ()).unwrap();
             });
         }
     });
@@ -75,7 +75,7 @@ fn batched_cold_read_pays_a_single_stall() {
 
     let start = Instant::now();
     let mut seen = 0usize;
-    pager.with_pages(&ids, |_, _| seen += 1);
+    pager.with_pages(&ids, |_, _| seen += 1).unwrap();
     let elapsed = start.elapsed();
 
     assert_eq!(seen, ids.len());
@@ -102,13 +102,13 @@ fn get_many_matches_get_loop_on_overflow_values() {
 
     pager.clear_pool();
     pager.reset_stats();
-    let looped: Vec<Option<Vec<u8>>> = keys.iter().map(|&k| tree.get(&pager, k)).collect();
+    let looped: Vec<Option<Vec<u8>>> = keys.iter().map(|&k| tree.get(&pager, k).unwrap()).collect();
     let loop_io = pager.stats();
 
     pager.clear_pool();
     pager.reset_stats();
     let mut batched: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
-    let found = tree.get_many(&pager, &keys, |k, v| batched[k as usize] = Some(v));
+    let found = tree.get_many(&pager, &keys, |k, v| batched[k as usize] = Some(v)).unwrap();
     let batch_io = pager.stats();
 
     assert_eq!(batched, looped);
@@ -143,7 +143,7 @@ proptest! {
 
         for &(seed, batch) in &ops {
             if batch == 0 {
-                pager.with_page(ids[(seed as usize) % N_PAGES], |_| ());
+                pager.with_page(ids[(seed as usize) % N_PAGES], |_| ()).unwrap();
             } else {
                 // Build a sorted, deduplicated batch from the seed.
                 let mut picks: Vec<_> = (0..batch)
@@ -156,7 +156,7 @@ proptest! {
                     .collect();
                 picks.sort();
                 picks.dedup();
-                pager.with_pages(&picks, |_, _| ());
+                pager.with_pages(&picks, |_, _| ()).unwrap();
             }
             prop_assert!(
                 pager.cached_pages() <= cap,

@@ -30,12 +30,12 @@ proptest! {
         prop_assert_eq!(tree.len(), model.len());
         // Point lookups: members and non-members.
         for k in probes.iter().copied().chain(model.keys().copied().take(10)) {
-            prop_assert_eq!(tree.get(&pager, k), model.get(&k).cloned());
+            prop_assert_eq!(tree.get(&pager, k).unwrap(), model.get(&k).cloned());
         }
         // Range scan.
         let (lo, hi) = (range.0.min(range.1), range.0.max(range.1));
         let mut got = Vec::new();
-        tree.scan_range(&pager, lo, hi, |k, v| got.push((k, v)));
+        tree.scan_range(&pager, lo, hi, |k, v| got.push((k, v))).unwrap();
         let want: Vec<(u64, Vec<u8>)> = model
             .range(lo..=hi)
             .map(|(&k, v)| (k, v.clone()))
@@ -57,11 +57,11 @@ proptest! {
         let rids: Vec<_> = recs.iter().map(|r| hf.append(&pager, r)).collect();
         prop_assert_eq!(hf.len(), recs.len());
         for (rid, want) in rids.iter().zip(&recs) {
-            let got = hf.get(&pager, *rid);
+            let got = hf.get(&pager, *rid).unwrap();
             prop_assert_eq!(got.as_deref(), Some(want.as_slice()));
         }
         let mut scanned = Vec::new();
-        hf.scan(&pager, |_, bytes| scanned.push(bytes.to_vec()));
+        hf.scan(&pager, |_, bytes| scanned.push(bytes.to_vec())).unwrap();
         prop_assert_eq!(scanned, recs);
     }
 
@@ -78,7 +78,7 @@ proptest! {
         let ids: Vec<_> = (0..n_pages).map(|_| pager.alloc()).collect();
         pager.reset_stats();
         for &a in &accesses {
-            pager.with_page(ids[a % n_pages], |_| ());
+            pager.with_page(ids[a % n_pages], |_| ()).unwrap();
         }
         let s = pager.stats();
         prop_assert_eq!(s.logical_reads as usize, accesses.len());
@@ -103,7 +103,7 @@ proptest! {
         let p = pager.alloc();
         pager.write(p, off1, &data1);
         pager.write(p, off2, &data2);
-        let page = pager.read_page(p);
+        let page = pager.read_page(p).unwrap();
         prop_assert_eq!(&page[off1..off1 + data1.len()], data1.as_slice());
         prop_assert_eq!(&page[off2..off2 + data2.len()], data2.as_slice());
     }

@@ -38,6 +38,7 @@ fn main() {
         rec: &sknn_obs::NOOP,
         query: 0,
         scratch: std::cell::RefCell::new(RankScratch::default()),
+        faults: sknn_core::FaultLog::new(cfg.fault_budget),
     };
 
     let exact = ExactGeodesic::new(&mesh).distance(a.to_mesh_point(), b.to_mesh_point());

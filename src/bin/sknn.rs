@@ -7,6 +7,10 @@
 //!          [--stall-ms MS]             simulate MS ms of disk latency per
 //!                                      buffer-pool miss (I/O-bound regime;
 //!                                      prints pool concurrency counters)
+//!          [--fault-profile S:R:K]     inject storage faults: seed S, rate
+//!                                      R in [0,1], kind K (transient|
+//!                                      permanent|bitflip|latency); prints
+//!                                      fault/retry/degradation counters
 //! sknn trace --k 5 [--out t.jsonl]     traced k-NN: JSONL records + a
 //!                                      human convergence summary
 //! sknn range --radius 150              surface range query
@@ -149,23 +153,40 @@ fn main() {
             let nq: usize = flags.get("queries", 1);
             let threads: usize = flags.get("threads", 1);
             let stall_ms: f64 = flags.get("stall-ms", 0.0);
+            let fault_spec = flags.get_str("fault-profile", "");
             let engine = build_engine(&cfg);
             if stall_ms > 0.0 {
                 engine.pager().set_read_stall(std::time::Duration::from_secs_f64(stall_ms / 1e3));
+            }
+            if !fault_spec.is_empty() {
+                let profile = surface_knn::store::FaultProfile::parse(&fault_spec)
+                    .expect("--fault-profile must be seed:rate:kind");
+                engine.pager().set_fault_injector(Some(
+                    surface_knn::store::FaultInjector::from_profile(&profile),
+                ));
             }
             let qs = scene.random_queries(nq, seed ^ 7);
             // Build the batch vector outside the timed region so 1-thread
             // and N-thread qps lines measure the same work.
             let batch: Vec<_> = qs.iter().map(|&q| (q, k)).collect();
             let start = std::time::Instant::now();
+            // try_query surfaces fault-budget exhaustion as a value (the
+            // point of --fault-profile); fault-free it matches query.
             let results = if threads > 1 {
-                engine.query_batch(&batch, threads)
+                engine.try_query_batch(&batch, threads)
             } else {
-                qs.iter().map(|&q| engine.query(q, k)).collect()
+                qs.iter().map(|&q| engine.try_query(q, k)).collect()
             };
             let elapsed = start.elapsed();
-            for (i, (q, res)) in qs.iter().zip(&results).enumerate() {
+            for (i, (q, outcome)) in qs.iter().zip(&results).enumerate() {
                 println!("query {i} at ({:.0}, {:.0}):", q.pos.x, q.pos.y);
+                let res = match outcome {
+                    Ok(res) => res,
+                    Err(e) => {
+                        println!("  ERROR: {e}");
+                        continue;
+                    }
+                };
                 for (rank, n) in res.neighbors.iter().enumerate() {
                     println!(
                         "  {}. object {:>3}  surface [{:>8.1}, {:>8.1}] m",
@@ -174,6 +195,9 @@ fn main() {
                         n.range.lb,
                         n.range.ub
                     );
+                }
+                if let Some(d) = &res.degraded {
+                    println!("  DEGRADED: {d}");
                 }
                 println!(
                     "  cost: {} pages, {:.1} ms cpu, {} iterations, {} candidates",
@@ -203,6 +227,25 @@ fn main() {
                     c.coalesced_misses,
                     c.shard_contention,
                     engine.pager().num_shards()
+                );
+            }
+            if !fault_spec.is_empty() {
+                let fs = engine.pager().fault_stats();
+                let degraded = results
+                    .iter()
+                    .filter(|r| matches!(r, Ok(res) if res.degraded.is_some()))
+                    .count();
+                let failed = results.iter().filter(|r| r.is_err()).count();
+                println!(
+                    "faults: {} injected, {} retried, {} budgets exhausted, \
+                     {} checksum failures, {} permanent; {} queries degraded, {} failed",
+                    fs.injected,
+                    fs.retries,
+                    fs.exhausted,
+                    fs.checksum_failures,
+                    fs.permanent_failures,
+                    degraded,
+                    failed
                 );
             }
         }

@@ -56,8 +56,10 @@ pub mod prelude {
     pub use sknn_core::ea::EaEngine;
     pub use sknn_core::mr3::Mr3Engine;
     pub use sknn_core::persist::Structures;
+    pub use sknn_core::resilience::{Degraded, QueryError};
     pub use sknn_core::workload::{Scene, SceneBuilder, SurfacePoint};
     pub use sknn_geom::{Point2, Point3};
+    pub use sknn_store::{FaultInjector, FaultProfile};
     pub use sknn_terrain::dem::TerrainConfig;
     pub use sknn_terrain::mesh::TerrainMesh;
 }

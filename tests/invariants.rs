@@ -74,6 +74,7 @@ proptest! {
             mesh: &f.mesh, dmtm: &f.dmtm, msdn: &f.msdn, pager: &f.pager, cfg: &f.cfg,
             rec: &sknn_obs::NOOP, query: 0,
             scratch: std::cell::RefCell::new(Default::default()),
+            faults: sknn_core::FaultLog::new(f.cfg.fault_budget),
         };
         let mut stats = QueryStats::default();
         let range = ctx.estimate_pair(&a, &b, fracs[dmtm_idx], level, &mut stats);
