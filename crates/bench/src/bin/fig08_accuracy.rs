@@ -40,6 +40,8 @@ fn main() {
         query: 0,
         scratch: std::cell::RefCell::new(Default::default()),
         faults: sknn_core::FaultLog::new(cfg.fault_budget),
+        deadline: None,
+        deadline_hit: std::cell::Cell::new(false),
     };
 
     // Deterministic long-range pairs.

@@ -22,13 +22,15 @@ use std::collections::BTreeSet;
 use std::io::Write;
 use std::time::{Duration, Instant};
 
-/// Minimal flag parser: `--name value` pairs.
+/// Minimal flag parser: `--name value` pairs and `--name=value` tokens.
 ///
-/// Malformed input is not silently dropped: a trailing `--flag` with no
-/// value and stray tokens that are not part of any pair are reported on
-/// stderr at parse time, and flags that no `get` ever asked about are
-/// reported when the `Args` is dropped (they are usually typos for a flag
-/// the binary does support).
+/// Both spellings are accepted and may be mixed freely — the `=` form is
+/// what systemd units and container command lines typically emit
+/// (`sknn serve --port=7070`). Malformed input is not silently dropped: a
+/// trailing `--flag` with no value and stray tokens that are not part of
+/// any pair are reported on stderr at parse time, and flags that no `get`
+/// ever asked about are reported when the `Args` is dropped (they are
+/// usually typos for a flag the binary does support).
 #[derive(Debug)]
 pub struct Args {
     pairs: Vec<(String, String)>,
@@ -46,7 +48,12 @@ impl Args {
         let mut i = 0;
         while i < argv.len() {
             if let Some(name) = argv[i].strip_prefix("--") {
-                if i + 1 < argv.len() {
+                if let Some((n, v)) = name.split_once('=') {
+                    // `--name=value`: self-contained; only the first `=`
+                    // splits, so values may themselves contain `=`.
+                    pairs.push((n.to_string(), v.to_string()));
+                    i += 1;
+                } else if i + 1 < argv.len() {
                     pairs.push((name.to_string(), argv[i + 1].clone()));
                     i += 2;
                 } else {
@@ -266,6 +273,38 @@ mod tests {
         let a = Args::from_argv(argv(&["stray", "--grid", "33", "oops", "--seed", "2"]));
         assert_eq!(a.get("grid", 0usize), 33);
         assert_eq!(a.get("seed", 0u64), 2);
+    }
+
+    #[test]
+    fn args_equals_form_parses_and_mixes_with_pairs() {
+        let a = Args::from_argv(argv(&["--port=7070", "--grid", "33", "--seed=9"]));
+        assert_eq!(a.get("port", 0u16), 7070);
+        assert_eq!(a.get("grid", 0usize), 33);
+        assert_eq!(a.get("seed", 0u64), 9);
+    }
+
+    #[test]
+    fn args_equals_form_last_wins_across_styles() {
+        let a = Args::from_argv(argv(&["--grid", "17", "--grid=65"]));
+        assert_eq!(a.get("grid", 0usize), 65);
+        let b = Args::from_argv(argv(&["--grid=65", "--grid", "17"]));
+        assert_eq!(b.get("grid", 0usize), 17);
+    }
+
+    #[test]
+    fn args_equals_form_value_may_contain_equals() {
+        // Only the first `=` splits: profile specs like seed:rate:kind or
+        // key=value payloads survive intact.
+        let a = Args::from_argv(argv(&["--label=x=y"]));
+        assert_eq!(a.get_opt::<String>("label"), Some("x=y".to_string()));
+    }
+
+    #[test]
+    fn args_trailing_equals_flag_is_a_pair_with_empty_value() {
+        // `--out=` is a complete token (empty value), not a valueless flag.
+        let a = Args::from_argv(argv(&["--out=", "--grid", "33"]));
+        assert_eq!(a.get_opt::<String>("out"), Some(String::new()));
+        assert_eq!(a.get("grid", 0usize), 33);
     }
 
     #[test]

@@ -85,6 +85,15 @@ pub struct Mr3Config {
     /// materialised resolution's bounds) before the fallible entry points
     /// return [`QueryError`](crate::QueryError) instead.
     pub fault_budget: usize,
+    /// Per-query wall-clock budget. Checked between MR3 refinement
+    /// iterations: on expiry the query stops escalating resolution and
+    /// returns its current valid-but-looser bounds with a
+    /// [`Degraded`](crate::Degraded) reason of `DeadlineExpired` — every
+    /// materialised resolution's bounds bracket the exact distance, so an
+    /// expired query still answers correctly, just less tightly. `None`
+    /// (the default) runs to convergence. The serving layer overrides this
+    /// per request via `Mr3Engine::try_query_at`.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl Default for Mr3Config {
@@ -101,6 +110,7 @@ impl Default for Mr3Config {
             pathnet_steiner: 1,
             plane_spacing: None,
             fault_budget: 16,
+            deadline: None,
         }
     }
 }

@@ -221,6 +221,13 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     }
 
     fn ctx_for(&self, qid: u64) -> RankingContext<'_, 'm> {
+        self.ctx_at(qid, None)
+    }
+
+    /// Ranking context with an explicit wall-clock deadline; falls back to
+    /// the config's per-query budget when the caller passes `None`.
+    fn ctx_at(&self, qid: u64, deadline: Option<Instant>) -> RankingContext<'_, 'm> {
+        let deadline = deadline.or_else(|| self.cfg.deadline.map(|d| Instant::now() + d));
         RankingContext {
             mesh: self.mesh,
             dmtm: &self.dmtm,
@@ -231,7 +238,23 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             query: qid,
             scratch: RefCell::new(RankScratch::default()),
             faults: FaultLog::new(self.cfg.fault_budget),
+            deadline,
+            deadline_hit: std::cell::Cell::new(false),
         }
+    }
+
+    /// Degradation marker combining absorbed faults and deadline expiry.
+    /// Deadline expiry dominates the reported reason — it explains why the
+    /// bounds are looser than scheduled even when faults also occurred.
+    fn degraded_marker(ctx: &RankingContext<'_, 'm>) -> Option<crate::resilience::Degraded> {
+        if ctx.deadline_hit.get() {
+            return Some(crate::resilience::Degraded {
+                phase: "deadline",
+                faults: ctx.faults.count(),
+                reason: "DeadlineExpired".to_string(),
+            });
+        }
+        ctx.faults.degraded()
     }
 
     /// Answer a surface k-NN query.
@@ -250,6 +273,21 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// last materialised resolution's bounds are correct, just looser),
     /// and the result carries a [`Degraded`](crate::Degraded) marker.
     pub fn try_query(&self, q: SurfacePoint, k: usize) -> Result<QueryResult, QueryError> {
+        self.try_query_at(q, k, None)
+    }
+
+    /// [`try_query`](Self::try_query) with an explicit per-query deadline
+    /// (the serving layer's per-request budget). The deadline is checked
+    /// between refinement iterations: on expiry the query stops escalating
+    /// resolution and returns its current valid bounds with a `Degraded`
+    /// reason of `DeadlineExpired`. `None` falls back to
+    /// [`Mr3Config::deadline`], then to running to convergence.
+    pub fn try_query_at(
+        &self,
+        q: SurfacePoint,
+        k: usize,
+        deadline: Option<Instant>,
+    ) -> Result<QueryResult, QueryError> {
         let qid = self.next_query_id();
         let mut stats = QueryStats::default();
         if self.cold_cache {
@@ -264,7 +302,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
 
         let k = k.min(self.scene.num_objects());
         let terrain = self.mesh.extent();
-        let ctx = self.ctx_for(qid);
+        let ctx = self.ctx_at(qid, deadline);
         let mut neighbors = Vec::new();
 
         if k > 0 {
@@ -384,7 +422,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         } else {
             None
         };
-        Ok(QueryResult { neighbors, stats, trace, degraded: ctx.faults.degraded() })
+        Ok(QueryResult { neighbors, stats, trace, degraded: Self::degraded_marker(&ctx) })
     }
 
     /// Answer a batch of independent k-NN queries on `threads` worker
@@ -415,6 +453,19 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         threads: usize,
     ) -> Vec<Result<QueryResult, QueryError>> {
         sknn_exec::par_map(threads, batch, |_, &(q, k)| self.try_query(q, k))
+    }
+
+    /// [`try_query_batch`](Self::try_query_batch) with a per-request
+    /// wall-clock deadline per element — the serving layer's micro-batch
+    /// entry point, where coalesced requests arrived with different
+    /// deadlines. Elements with `None` run to convergence (or the config's
+    /// budget); see [`try_query_at`](Self::try_query_at).
+    pub fn try_query_batch_at(
+        &self,
+        batch: &[(SurfacePoint, usize, Option<Instant>)],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, QueryError>> {
+        sknn_exec::par_map(threads, batch, |_, &(q, k, dl)| self.try_query_at(q, k, dl))
     }
 
     fn drain_trace(&self) -> Option<QueryTrace> {
@@ -511,7 +562,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         } else {
             None
         };
-        RangeResult { inside, undecided, stats, trace, degraded: ctx.faults.degraded() }
+        RangeResult { inside, undecided, stats, trace, degraded: Self::degraded_marker(&ctx) }
     }
 }
 
@@ -726,6 +777,66 @@ mod tests {
         let res = engine.range_query(q, 1e9);
         assert_eq!(res.inside.len(), 12);
         assert!(res.undecided.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_still_brackets_exact_distances() {
+        let mesh = mesh();
+        let scene = SceneBuilder::new(&mesh).object_count(20).seed(41).build();
+        // A zero deadline expires before the first ranking iteration: the
+        // query must still answer, with Euclidean/seed bounds that bracket
+        // the exact surface distances, and carry the DeadlineExpired
+        // degradation marker.
+        let cfg = Mr3Config { deadline: Some(std::time::Duration::ZERO), ..Mr3Config::default() };
+        let engine = Mr3Engine::build(&mesh, &scene, &cfg);
+        let q = scene.random_query(6);
+        let res = engine.query(q, 4);
+        assert_eq!(res.neighbors.len(), 4);
+        let d = res.degraded.expect("zero deadline must degrade");
+        assert_eq!(d.phase, "deadline");
+        assert_eq!(d.reason, "DeadlineExpired");
+        let exact = ChEngine::new(&scene);
+        for n in &res.neighbors {
+            let ds = exact.pair_distance(q, scene.object(n.id).point);
+            assert!(n.range.lb <= ds + 1e-6, "object {}: lb {} > exact {ds}", n.id, n.range.lb);
+            assert!(n.range.ub >= ds - 1e-6, "object {}: ub {} < exact {ds}", n.id, n.range.ub);
+        }
+    }
+
+    #[test]
+    fn generous_deadline_matches_unbounded_query() {
+        let mesh = mesh();
+        let scene = SceneBuilder::new(&mesh).object_count(15).seed(43).build();
+        let free = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+        let budgeted_cfg = Mr3Config {
+            deadline: Some(std::time::Duration::from_secs(600)),
+            ..Mr3Config::default()
+        };
+        let budgeted = Mr3Engine::build(&mesh, &scene, &budgeted_cfg);
+        let q = scene.random_query(8);
+        let a = free.query(q, 3);
+        let b = budgeted.query(q, 3);
+        assert!(b.degraded.is_none(), "generous deadline must not degrade");
+        let ids = |r: &QueryResult| {
+            r.neighbors
+                .iter()
+                .map(|n| (n.id, n.range.lb.to_bits(), n.range.ub.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn explicit_deadline_overrides_config() {
+        let mesh = mesh();
+        let scene = SceneBuilder::new(&mesh).object_count(10).seed(47).build();
+        let engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+        let q = scene.random_query(2);
+        // An already-expired explicit deadline degrades even though the
+        // config itself has no budget.
+        let res = engine.try_query_at(q, 3, Some(Instant::now())).unwrap();
+        let d = res.degraded.expect("expired explicit deadline must degrade");
+        assert_eq!(d.reason, "DeadlineExpired");
     }
 
     #[test]

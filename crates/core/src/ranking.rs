@@ -28,7 +28,8 @@ use sknn_sdn::network::{corridor_mask, lower_bound};
 use sknn_sdn::{Msdn, PagedMsdn, SimplifiedLine};
 use sknn_store::Pager;
 use sknn_terrain::mesh::TerrainMesh;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
 
 /// Shared immutable state for ranking runs.
 ///
@@ -56,6 +57,12 @@ pub struct RankingContext<'a, 'm> {
     /// Absorbed storage faults of this query (graceful degradation: a
     /// failed finer-resolution fetch keeps the last resolution's bounds).
     pub faults: FaultLog,
+    /// Wall-clock deadline of this query, checked between refinement
+    /// iterations. `None` runs to convergence.
+    pub deadline: Option<Instant>,
+    /// Set once the deadline has been observed expired: refinement halted
+    /// and the query's bounds are valid but looser than scheduled.
+    pub deadline_hit: Cell<bool>,
 }
 
 /// Reusable working state of the ranking hot path. Everything here is an
@@ -198,6 +205,22 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         }
     }
 
+    /// Whether this query's deadline has passed. Evaluated between
+    /// refinement iterations only — never inside a bound estimation — so
+    /// an expired query always stops at a materialised resolution whose
+    /// bounds are valid, just looser than the schedule would deliver.
+    /// Latches [`deadline_hit`](Self::deadline_hit) on first expiry so the
+    /// engine can mark the result degraded.
+    pub fn deadline_expired(&self) -> bool {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.deadline_hit.set(true);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Rank `cands` until the top `k` separate or the schedule is
     /// exhausted. Returns whether the ranking fully resolved. On exit the
     /// candidates' ranges hold the final bounds.
@@ -213,7 +236,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             if self.is_resolved(cands, k) {
                 return true;
             }
-            if self.faults.exceeded() {
+            if self.faults.exceeded() || self.deadline_expired() {
                 break;
             }
             let snap = IterSnapshot::take(stats, self.pager);
@@ -243,7 +266,10 @@ impl<'a, 'm> RankingContext<'a, 'm> {
     ) -> f64 {
         let mut prev = f64::INFINITY;
         for i in 0..self.cfg.schedule.len() {
-            if self.faults.exceeded() {
+            // Radius estimation must deliver at least one finite upper
+            // bound or step 3 degenerates to ranking the whole scene, so
+            // the deadline only halts it after a usable radius exists.
+            if self.faults.exceeded() || (prev.is_finite() && self.deadline_expired()) {
                 break;
             }
             let snap = IterSnapshot::take(stats, self.pager);
@@ -292,7 +318,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         };
         classify(cands, &mut inside);
         for i in 0..self.cfg.schedule.len() {
-            if cands.iter().all(|c| c.out) || self.faults.exceeded() {
+            if cands.iter().all(|c| c.out) || self.faults.exceeded() || self.deadline_expired() {
                 break;
             }
             let snap = IterSnapshot::take(stats, self.pager);
@@ -904,6 +930,8 @@ mod tests {
             query: 0,
             scratch: RefCell::new(RankScratch::default()),
             faults: FaultLog::new(f.cfg.fault_budget),
+            deadline: None,
+            deadline_hit: Cell::new(false),
         }
     }
 

@@ -1,0 +1,640 @@
+//! The `sknn` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame is a fixed 12-byte header followed by a payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"SKNN"
+//!      4     2  protocol version (little-endian u16, currently 1)
+//!      6     1  frame type tag
+//!      7     1  reserved (must be 0 on send, ignored on receive)
+//!      8     4  payload length (little-endian u32, <= MAX_PAYLOAD)
+//! ```
+//!
+//! All integers are little-endian; `f64` values travel as their IEEE-754
+//! bit patterns (`to_bits`/`from_bits`), so a decoded frame re-encodes to
+//! the identical byte string — the property the round-trip proptests pin
+//! down, and what makes the end-to-end "server result == direct engine
+//! call" comparison exact rather than approximate.
+//!
+//! Decoding is total: any byte string produces either a frame or a typed
+//! [`ProtocolError`], never a panic. The payload-length cap bounds every
+//! allocation before it happens, including the per-list counts inside
+//! payloads (a claimed element count is checked against the bytes actually
+//! present before a vector is reserved).
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"SKNN";
+
+/// Current protocol version. Bumped on any incompatible layout change;
+/// servers reject other versions with [`ProtocolError::BadVersion`].
+pub const VERSION: u16 = 1;
+
+/// Size of the fixed frame header in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Upper bound on a payload. Frames claiming more are rejected before any
+/// allocation happens, so a hostile length field cannot balloon memory.
+pub const MAX_PAYLOAD: u32 = 4 << 20;
+
+/// Sentinel triangle id in a [`QueryFrame`]: the query point carries only
+/// plan coordinates `(x, y)` and the server locates the containing facet
+/// itself (`Scene::surface_point`). Any other value names the facet
+/// directly and `z` must be the surface height.
+pub const LOCATE_TRI: u32 = u32::MAX;
+
+const TAG_QUERY: u8 = 1;
+const TAG_RESPONSE: u8 = 2;
+const TAG_ERROR: u8 = 3;
+const TAG_STATS_REQUEST: u8 = 4;
+const TAG_STATS: u8 = 5;
+
+/// A surface k-NN request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryFrame {
+    /// Client-chosen correlation id, echoed verbatim in the reply. Replies
+    /// may arrive out of order (different micro-batches finish at
+    /// different times), so clients match on this, not on arrival order.
+    pub req_id: u64,
+    /// Containing facet of the query point, or [`LOCATE_TRI`] to have the
+    /// server locate it from `(x, y)`.
+    pub tri: u32,
+    /// Query point x (bit-exact f64).
+    pub x: f64,
+    /// Query point y.
+    pub y: f64,
+    /// Query point z (surface height; ignored when `tri` is [`LOCATE_TRI`]).
+    pub z: f64,
+    /// Number of neighbors requested.
+    pub k: u32,
+    /// Per-request deadline in milliseconds from arrival; `0` means none.
+    pub deadline_ms: u32,
+}
+
+/// One ranked neighbor on the wire: object id plus its surface-distance
+/// range `[lb, ub]`, bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireNeighbor {
+    /// Object id.
+    pub id: u32,
+    /// Surface distance lower bound.
+    pub lb: f64,
+    /// Surface distance upper bound.
+    pub ub: f64,
+}
+
+/// Server-side timing attached to every successful response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerTiming {
+    /// Microseconds the request waited in the admission queue.
+    pub queue_us: u32,
+    /// Microseconds the micro-batch spent in `Engine::try_query_batch_at`.
+    pub exec_us: u32,
+    /// Number of requests coalesced into the batch that served this one.
+    pub batch: u16,
+}
+
+/// A successful k-NN reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// Echo of the request's correlation id.
+    pub req_id: u64,
+    /// The k nearest objects, ascending by distance estimate.
+    pub neighbors: Vec<WireNeighbor>,
+    /// Set when the result is valid but looser than a fault-free,
+    /// deadline-free run would deliver (e.g. `"DeadlineExpired"`).
+    pub degraded: Option<String>,
+    /// Queue/execution timing and batch size for this request.
+    pub timing: ServerTiming,
+}
+
+/// Why a request was answered with an [`ErrorFrame`] instead of a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission queue was full; the request was shed without being
+    /// executed. Retry against a less-loaded server (or later).
+    Overloaded,
+    /// The deadline expired while the request was still queued; it was
+    /// dropped at dequeue without being executed.
+    DeadlineExpired,
+    /// The query ran but storage faults exceeded the engine's per-query
+    /// budget (`QueryError::FaultBudgetExceeded`).
+    FaultBudgetExceeded,
+    /// The server is draining and no longer admits new requests.
+    ShuttingDown,
+    /// The frame was well-formed but semantically invalid (facet id out of
+    /// range, non-finite coordinates, point outside the terrain, or an
+    /// unexpected frame type).
+    BadRequest,
+}
+
+impl ErrorCode {
+    fn as_u8(self) -> u8 {
+        match self {
+            ErrorCode::Overloaded => 1,
+            ErrorCode::DeadlineExpired => 2,
+            ErrorCode::FaultBudgetExceeded => 3,
+            ErrorCode::ShuttingDown => 4,
+            ErrorCode::BadRequest => 5,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExpired,
+            3 => ErrorCode::FaultBudgetExceeded,
+            4 => ErrorCode::ShuttingDown,
+            5 => ErrorCode::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::Overloaded => "Overloaded",
+            ErrorCode::DeadlineExpired => "DeadlineExpired",
+            ErrorCode::FaultBudgetExceeded => "FaultBudgetExceeded",
+            ErrorCode::ShuttingDown => "ShuttingDown",
+            ErrorCode::BadRequest => "BadRequest",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed error reply. Every admitted or rejected request gets exactly
+/// one reply — an error frame is the "no" that prevents client hangs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorFrame {
+    /// Echo of the request's correlation id (0 when the error is not
+    /// attributable to a specific request, e.g. a malformed frame).
+    pub req_id: u64,
+    /// Machine-readable reason.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// A server statistics snapshot: ordered `(name, value)` counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsFrame {
+    /// Counter name/value pairs, in server-defined order.
+    pub entries: Vec<(String, u64)>,
+}
+
+/// Any protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: a k-NN request.
+    Query(QueryFrame),
+    /// Server → client: a successful reply.
+    Response(ResponseFrame),
+    /// Server → client: a typed failure reply.
+    Error(ErrorFrame),
+    /// Client → server: ask for a statistics snapshot.
+    StatsRequest,
+    /// Server → client: the statistics snapshot.
+    Stats(StatsFrame),
+}
+
+/// Why a byte string failed to decode as a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version field did not match [`VERSION`].
+    BadVersion(u16),
+    /// The frame type tag is not one this version defines.
+    UnknownFrameType(u8),
+    /// The header claimed a payload larger than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Claimed payload length.
+        len: u32,
+    },
+    /// The input ended before the field being read was complete.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        got: usize,
+    },
+    /// The payload parsed but violated an invariant (bad UTF-8, unknown
+    /// error code, trailing bytes, a count larger than the payload could
+    /// possibly hold).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            ProtocolError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+            }
+            ProtocolError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            ProtocolError::Oversized { len } => {
+                write!(f, "payload length {len} exceeds cap {MAX_PAYLOAD}")
+            }
+            ProtocolError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} more bytes, got {got}")
+            }
+            ProtocolError::Malformed(why) => write!(f, "malformed payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Writes `s` as a u16 length prefix plus UTF-8 bytes, truncating at a
+/// char boundary if it exceeds the prefix's range (our strings are short
+/// degradation reasons and error details; truncation is a non-event).
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(out, end as u16);
+    out.extend_from_slice(&s.as_bytes()[..end]);
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Query(_) => TAG_QUERY,
+            Frame::Response(_) => TAG_RESPONSE,
+            Frame::Error(_) => TAG_ERROR,
+            Frame::StatsRequest => TAG_STATS_REQUEST,
+            Frame::Stats(_) => TAG_STATS,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Query(q) => {
+                put_u64(out, q.req_id);
+                put_u32(out, q.tri);
+                put_f64(out, q.x);
+                put_f64(out, q.y);
+                put_f64(out, q.z);
+                put_u32(out, q.k);
+                put_u32(out, q.deadline_ms);
+            }
+            Frame::Response(r) => {
+                put_u64(out, r.req_id);
+                put_u32(out, r.timing.queue_us);
+                put_u32(out, r.timing.exec_us);
+                put_u16(out, r.timing.batch);
+                match &r.degraded {
+                    Some(s) => {
+                        out.push(1);
+                        put_str(out, s);
+                    }
+                    None => out.push(0),
+                }
+                let n = r.neighbors.len().min(u16::MAX as usize);
+                put_u16(out, n as u16);
+                for nb in &r.neighbors[..n] {
+                    put_u32(out, nb.id);
+                    put_f64(out, nb.lb);
+                    put_f64(out, nb.ub);
+                }
+            }
+            Frame::Error(e) => {
+                put_u64(out, e.req_id);
+                out.push(e.code.as_u8());
+                put_str(out, &e.detail);
+            }
+            Frame::StatsRequest => {}
+            Frame::Stats(s) => {
+                let n = s.entries.len().min(u16::MAX as usize);
+                put_u16(out, n as u16);
+                for (name, value) in &s.entries[..n] {
+                    put_str(out, name);
+                    put_u64(out, *value);
+                }
+            }
+        }
+    }
+
+    /// Serializes the frame (header plus payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 64);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.push(self.tag());
+        out.push(0); // reserved
+        out.extend_from_slice(&0u32.to_le_bytes()); // length back-patched
+        self.encode_payload(&mut out);
+        let len = (out.len() - HEADER_LEN) as u32;
+        out[8..12].copy_from_slice(&len.to_le_bytes());
+        out
+    }
+
+    /// Parses exactly one frame from the front of `bytes`, returning the
+    /// frame and the number of bytes it occupied. Trailing bytes beyond
+    /// the frame are the caller's business (the next frame, typically).
+    pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), ProtocolError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ProtocolError::Truncated { needed: HEADER_LEN, got: bytes.len() });
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&bytes[..HEADER_LEN]);
+        let (tag, len) = parse_header(&header)?;
+        let total = HEADER_LEN + len as usize;
+        if bytes.len() < total {
+            return Err(ProtocolError::Truncated { needed: total, got: bytes.len() });
+        }
+        let frame = decode_payload(tag, &bytes[HEADER_LEN..total])?;
+        Ok((frame, total))
+    }
+}
+
+/// Validates a frame header, returning the frame type tag and payload
+/// length. Shared by the one-shot [`Frame::decode`] and the incremental
+/// socket readers (which need to size the payload read before it exists).
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ProtocolError> {
+    if header[..4] != MAGIC {
+        let mut m = [0u8; 4];
+        m.copy_from_slice(&header[..4]);
+        return Err(ProtocolError::BadMagic(m));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(ProtocolError::BadVersion(version));
+    }
+    let tag = header[6];
+    if !(TAG_QUERY..=TAG_STATS).contains(&tag) {
+        return Err(ProtocolError::UnknownFrameType(tag));
+    }
+    let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized { len });
+    }
+    Ok((tag, len))
+}
+
+/// Cursor over a payload with bounds-checked little-endian reads.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Truncated { needed: n, got: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str16(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u16()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("invalid utf-8 in string"))
+    }
+}
+
+/// Decodes a validated-header payload into a frame. The payload must be
+/// consumed exactly; trailing bytes are malformed (they would silently
+/// desynchronize a stream under a future layout change).
+pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
+    let mut rd = Rd { buf: payload, pos: 0 };
+    let frame = match tag {
+        TAG_QUERY => Frame::Query(QueryFrame {
+            req_id: rd.u64()?,
+            tri: rd.u32()?,
+            x: rd.f64()?,
+            y: rd.f64()?,
+            z: rd.f64()?,
+            k: rd.u32()?,
+            deadline_ms: rd.u32()?,
+        }),
+        TAG_RESPONSE => {
+            let req_id = rd.u64()?;
+            let timing = ServerTiming { queue_us: rd.u32()?, exec_us: rd.u32()?, batch: rd.u16()? };
+            let degraded = match rd.u8()? {
+                0 => None,
+                1 => Some(rd.str16()?),
+                _ => return Err(ProtocolError::Malformed("bad degraded flag")),
+            };
+            let n = rd.u16()? as usize;
+            // Each neighbor is 20 bytes; reject counts the payload cannot
+            // hold before reserving anything.
+            if rd.remaining() < n * 20 {
+                return Err(ProtocolError::Truncated { needed: n * 20, got: rd.remaining() });
+            }
+            let mut neighbors = Vec::with_capacity(n);
+            for _ in 0..n {
+                neighbors.push(WireNeighbor { id: rd.u32()?, lb: rd.f64()?, ub: rd.f64()? });
+            }
+            Frame::Response(ResponseFrame { req_id, neighbors, degraded, timing })
+        }
+        TAG_ERROR => {
+            let req_id = rd.u64()?;
+            let code = ErrorCode::from_u8(rd.u8()?)
+                .ok_or(ProtocolError::Malformed("unknown error code"))?;
+            let detail = rd.str16()?;
+            Frame::Error(ErrorFrame { req_id, code, detail })
+        }
+        TAG_STATS_REQUEST => Frame::StatsRequest,
+        TAG_STATS => {
+            let n = rd.u16()? as usize;
+            // Each entry is at least 10 bytes (empty name + u64 value).
+            if rd.remaining() < n * 10 {
+                return Err(ProtocolError::Truncated { needed: n * 10, got: rd.remaining() });
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = rd.str16()?;
+                let value = rd.u64()?;
+                entries.push((name, value));
+            }
+            Frame::Stats(StatsFrame { entries })
+        }
+        other => return Err(ProtocolError::UnknownFrameType(other)),
+    };
+    if rd.pos != payload.len() {
+        return Err(ProtocolError::Malformed("trailing bytes in payload"));
+    }
+    Ok(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Blocking socket I/O
+// ---------------------------------------------------------------------------
+
+/// Why a blocking frame read failed.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The transport failed (including read timeouts).
+    Io(io::Error),
+    /// Bytes arrived but were not a valid frame.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Closed => f.write_str("connection closed"),
+            RecvError::Io(e) => write!(f, "i/o error: {e}"),
+            RecvError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Writes one frame to `w` (single `write_all`, so concurrent writers
+/// serialized by a mutex cannot interleave partial frames).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Blocking read of exactly one frame. EOF at a frame boundary is
+/// [`RecvError::Closed`]; EOF mid-frame is a protocol truncation.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, RecvError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_or(r, &mut header, true)?;
+    let (tag, len) = parse_header(&header).map_err(RecvError::Protocol)?;
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    decode_payload(tag, &payload).map_err(RecvError::Protocol)
+}
+
+/// `read_exact` that distinguishes clean EOF before the first byte
+/// (`boundary` true → [`RecvError::Closed`]) from truncation mid-field.
+fn read_exact_or<R: Read>(r: &mut R, buf: &mut [u8], boundary: bool) -> Result<(), RecvError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if boundary && filled == 0 {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Protocol(ProtocolError::Truncated {
+                        needed: buf.len(),
+                        got: filled,
+                    }))
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_round_trip() {
+        let f = Frame::Query(QueryFrame {
+            req_id: 7,
+            tri: 3,
+            x: 10.5,
+            y: -2.25,
+            z: 99.0,
+            k: 4,
+            deadline_ms: 250,
+        });
+        let bytes = f.encode();
+        let (back, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn nan_coordinates_round_trip_bit_exact() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let f = Frame::Query(QueryFrame {
+            req_id: 1,
+            tri: LOCATE_TRI,
+            x: weird,
+            y: f64::NEG_INFINITY,
+            z: -0.0,
+            k: 1,
+            deadline_ms: 0,
+        });
+        let bytes = f.encode();
+        let (back, _) = Frame::decode(&bytes).unwrap();
+        // NaN != NaN, so compare the re-encoding byte-for-byte.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn oversized_length_is_typed_without_allocation() {
+        let mut bytes = Frame::StatsRequest.encode();
+        bytes[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(Frame::decode(&bytes), Err(ProtocolError::Oversized { len: MAX_PAYLOAD + 1 }));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        let mut bytes = Frame::StatsRequest.encode();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        bytes.push(0xAB);
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(ProtocolError::Malformed("trailing bytes in payload"))
+        );
+    }
+}

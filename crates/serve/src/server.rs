@@ -1,0 +1,381 @@
+//! The TCP front end: accept loop, per-connection readers, admission
+//! control, and graceful drain.
+//!
+//! Threading model (all scoped, no detached threads):
+//!
+//! ```text
+//! run()
+//!  ├─ dispatcher thread      — crate::batch::dispatch_loop
+//!  ├─ accept loop (run itself) — nonblocking accept + shutdown poll
+//!  └─ one reader thread per connection
+//! ```
+//!
+//! Admission is a bounded `sync_channel`: a reader `try_send`s each
+//! query, and a full queue means an immediate typed `Overloaded` reply —
+//! load shedding is a fast "no", never a hang or an unbounded buffer.
+//!
+//! Graceful drain is ordering, not machinery: setting the shutdown flag
+//! stops the accept loop and makes every reader exit at its next frame
+//! boundary (rejecting frames that slip in mid-read with a typed
+//! `ShuttingDown`). Readers drop their queue senders as they exit, and
+//! the dispatcher — which only terminates on sender disconnect — first
+//! receives everything still buffered. Admitted requests are therefore
+//! answered, new ones refused, and `run` returns when the last reply is
+//! written.
+
+use crate::batch::{dispatch_loop, BatchPolicy, ConnWriter, Job};
+use crate::protocol::{
+    decode_payload, parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame,
+    HEADER_LEN, LOCATE_TRI,
+};
+use crate::stats::ServeStats;
+use sknn_core::mr3::Mr3Engine;
+use sknn_core::workload::SurfacePoint;
+use sknn_geom::Point2;
+use sknn_obs::{QueryTrace, Recorder, RingRecorder, NOOP};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving knobs. The defaults suit an interactive service on a local
+/// machine; the load generator and tests override freely.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one engine batch.
+    pub max_batch: usize,
+    /// How long the dispatcher lingers for more work after the first
+    /// request of a batch arrives.
+    pub max_wait: Duration,
+    /// Admission queue bound; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Threads handed to `try_query_batch_at` for each batch.
+    pub exec_threads: usize,
+    /// Socket read timeout — the granularity at which blocked readers
+    /// notice the shutdown flag.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 64,
+            exec_threads: sknn_exec::available_threads(),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Remote handle on a running server: its address and a shutdown switch.
+/// Clonable across threads; `shutdown` is idempotent.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful drain: stop accepting, answer what was admitted,
+    /// then return from [`Server::run`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// A bound (but not yet running) sk-NN query server.
+pub struct Server<'e, 's, 'm> {
+    engine: &'e Mr3Engine<'s, 'm>,
+    listener: TcpListener,
+    cfg: ServeConfig,
+    stats: Arc<ServeStats>,
+    shutdown: Arc<AtomicBool>,
+    ring: Option<RingRecorder>,
+}
+
+impl<'e, 's, 'm> Server<'e, 's, 'm> {
+    /// Binds the listener. Pass port 0 for an ephemeral port (tests).
+    pub fn bind<A: ToSocketAddrs>(
+        engine: &'e Mr3Engine<'s, 'm>,
+        addr: A,
+        cfg: ServeConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            engine,
+            listener,
+            cfg,
+            stats: Arc::new(ServeStats::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            ring: None,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { addr: self.local_addr(), shutdown: Arc::clone(&self.shutdown) }
+    }
+
+    /// The live counters (shared; updated while the server runs).
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Record per-request spans and per-batch events into a bounded ring,
+    /// drained into the trace that [`run`](Self::run) returns.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.ring = Some(RingRecorder::new(capacity));
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called, then drains and
+    /// returns the final observability trace (when tracing is enabled).
+    pub fn run(&self) -> Option<QueryTrace> {
+        self.listener.set_nonblocking(true).expect("listener nonblocking");
+        let rec: &dyn Recorder = match &self.ring {
+            Some(ring) => ring,
+            None => &NOOP,
+        };
+        let policy = BatchPolicy {
+            max_batch: self.cfg.max_batch.max(1),
+            max_wait: self.cfg.max_wait,
+            exec_threads: self.cfg.exec_threads.max(1),
+        };
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_depth.max(1));
+        std::thread::scope(|scope| {
+            scope.spawn(move || dispatch_loop(self.engine, &rx, policy, &self.stats, rec));
+            while !self.shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.stats.connections.inc();
+                        let tx = tx.clone();
+                        scope.spawn(move || self.serve_conn(stream, tx));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            // Dropping the master sender starts the drain clock: the
+            // dispatcher exits once the per-connection clones are gone
+            // too and the queue is empty.
+            drop(tx);
+        });
+        if rec.enabled() {
+            rec.event(
+                "serve_final",
+                0,
+                vec![
+                    sknn_obs::field("accepted", self.stats.accepted.get()),
+                    sknn_obs::field("completed", self.stats.completed.get()),
+                    sknn_obs::field("shed", self.stats.shed.get()),
+                ],
+            );
+        }
+        self.ring.as_ref().map(|r| r.drain())
+    }
+
+    /// Reader thread for one connection.
+    fn serve_conn(&self, stream: TcpStream, tx: SyncSender<Job>) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.cfg.poll_interval));
+        let writer = match stream.try_clone() {
+            Ok(w) => Arc::new(ConnWriter::new(w)),
+            Err(_) => return,
+        };
+        let mut stream = stream;
+        loop {
+            match read_frame_interruptible(&mut stream, &self.shutdown) {
+                ReadOutcome::Frame(Frame::Query(q)) => self.admit(q, &tx, &writer),
+                ReadOutcome::Frame(Frame::StatsRequest) => {
+                    writer.send(&self.stats, &Frame::Stats(self.stats.snapshot()));
+                }
+                ReadOutcome::Frame(_) => {
+                    // Response/Error/Stats only flow server → client.
+                    self.stats.protocol_errors.inc();
+                    writer.send(
+                        &self.stats,
+                        &error_frame(0, ErrorCode::BadRequest, "unexpected frame type"),
+                    );
+                }
+                ReadOutcome::Protocol(e) => {
+                    // A framing error means the stream position is no
+                    // longer trustworthy; reply once and hang up.
+                    self.stats.protocol_errors.inc();
+                    writer
+                        .send(&self.stats, &error_frame(0, ErrorCode::BadRequest, &e.to_string()));
+                    return;
+                }
+                ReadOutcome::Closed | ReadOutcome::Io => return,
+                ReadOutcome::Shutdown => return,
+            }
+        }
+    }
+
+    /// Validates one query frame and offers it to the bounded queue.
+    fn admit(&self, q: QueryFrame, tx: &SyncSender<Job>, writer: &Arc<ConnWriter>) {
+        if self.shutdown.load(Ordering::Relaxed) {
+            self.stats.rejected_shutdown.inc();
+            writer.send(
+                &self.stats,
+                &error_frame(q.req_id, ErrorCode::ShuttingDown, "server is draining"),
+            );
+            return;
+        }
+        let point = match self.resolve_point(&q) {
+            Ok(p) => p,
+            Err(why) => {
+                writer.send(&self.stats, &error_frame(q.req_id, ErrorCode::BadRequest, why));
+                return;
+            }
+        };
+        let enqueued = Instant::now();
+        let deadline = match q.deadline_ms {
+            0 => None,
+            ms => Some(enqueued + Duration::from_millis(ms as u64)),
+        };
+        let job = Job {
+            req_id: q.req_id,
+            point,
+            k: q.k as usize,
+            deadline,
+            enqueued,
+            writer: Arc::clone(writer),
+        };
+        match tx.try_send(job) {
+            Ok(()) => {
+                self.stats.accepted.inc();
+                self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.shed.inc();
+                writer.send(
+                    &self.stats,
+                    &error_frame(q.req_id, ErrorCode::Overloaded, "admission queue full"),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.stats.rejected_shutdown.inc();
+                writer.send(
+                    &self.stats,
+                    &error_frame(q.req_id, ErrorCode::ShuttingDown, "server is draining"),
+                );
+            }
+        }
+    }
+
+    /// Lifts the wire coordinates onto the surface: either trust the
+    /// client's facet id (validated against the mesh) or locate the facet
+    /// from the plan position.
+    fn resolve_point(&self, q: &QueryFrame) -> Result<SurfacePoint, &'static str> {
+        if !(q.x.is_finite() && q.y.is_finite() && q.z.is_finite()) {
+            return Err("non-finite query coordinates");
+        }
+        let scene = self.engine.scene();
+        if q.tri == LOCATE_TRI {
+            scene
+                .surface_point(Point2::new(q.x, q.y))
+                .ok_or("query point outside the terrain extent")
+        } else if (q.tri as usize) < scene.mesh().num_triangles() {
+            Ok(SurfacePoint { tri: q.tri, pos: sknn_geom::Point3::new(q.x, q.y, q.z) })
+        } else {
+            Err("facet id out of range")
+        }
+    }
+}
+
+fn error_frame(req_id: u64, code: ErrorCode, detail: &str) -> Frame {
+    Frame::Error(ErrorFrame { req_id, code, detail: detail.to_string() })
+}
+
+enum ReadOutcome {
+    Frame(Frame),
+    /// Clean close at a frame boundary.
+    Closed,
+    /// Shutdown observed at a frame boundary.
+    Shutdown,
+    Protocol(ProtocolError),
+    Io,
+}
+
+/// Reads one frame off a socket with a read timeout, re-arming on
+/// timeouts so the reader can poll the shutdown flag. The flag is only
+/// honored *between* frames: a frame whose bytes have started arriving
+/// is finished and then rejected by the caller, keeping the stream
+/// framing intact for the final replies.
+fn read_frame_interruptible(stream: &mut TcpStream, shutdown: &AtomicBool) -> ReadOutcome {
+    let mut header = [0u8; HEADER_LEN];
+    match fill(stream, &mut header, Some(shutdown)) {
+        Fill::Done => {}
+        Fill::Eof(0) => return ReadOutcome::Closed,
+        Fill::Eof(got) => {
+            return ReadOutcome::Protocol(ProtocolError::Truncated { needed: HEADER_LEN, got })
+        }
+        Fill::Shutdown => return ReadOutcome::Shutdown,
+        Fill::Io => return ReadOutcome::Io,
+    }
+    let (tag, len) = match parse_header(&header) {
+        Ok(v) => v,
+        Err(e) => return ReadOutcome::Protocol(e),
+    };
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, None) {
+        Fill::Done => {}
+        Fill::Eof(got) => {
+            return ReadOutcome::Protocol(ProtocolError::Truncated { needed: len as usize, got })
+        }
+        Fill::Shutdown => unreachable!("shutdown not polled mid-frame"),
+        Fill::Io => return ReadOutcome::Io,
+    }
+    match decode_payload(tag, &payload) {
+        Ok(frame) => ReadOutcome::Frame(frame),
+        Err(e) => ReadOutcome::Protocol(e),
+    }
+}
+
+enum Fill {
+    Done,
+    /// EOF after this many bytes.
+    Eof(usize),
+    Shutdown,
+    Io,
+}
+
+/// Fills `buf` from the socket, treating timeouts as poll ticks. When
+/// `shutdown` is provided it is checked before the first byte — i.e. at
+/// a frame boundary only.
+fn fill(stream: &mut TcpStream, buf: &mut [u8], shutdown: Option<&AtomicBool>) -> Fill {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if filled == 0 && shutdown.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Fill::Shutdown;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Fill::Eof(filled),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return Fill::Io,
+        }
+    }
+    Fill::Done
+}

@@ -1,0 +1,127 @@
+//! Aggregate serving metrics: lock-free counters, gauges, and latency
+//! histograms, snapshotted into a [`StatsFrame`] for the `STATS` protocol
+//! frame and the shutdown summary.
+
+use crate::protocol::StatsFrame;
+use sknn_obs::{Counter, LogHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters shared by the accept loop, per-connection readers, and the
+/// dispatcher. Everything is monotonic except `queue_depth`, a gauge.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Requests admitted to the queue.
+    pub accepted: Counter,
+    /// Requests answered with a successful response.
+    pub completed: Counter,
+    /// Requests shed at admission because the queue was full.
+    pub shed: Counter,
+    /// Requests dropped at dequeue because their deadline had expired.
+    pub expired: Counter,
+    /// Requests rejected because the server was draining.
+    pub rejected_shutdown: Counter,
+    /// Malformed or unexpected frames received.
+    pub protocol_errors: Counter,
+    /// Queries that ran but returned a typed engine error.
+    pub query_errors: Counter,
+    /// Micro-batches dispatched to the engine.
+    pub batches: Counter,
+    /// Requests executed across all batches (`batched_requests / batches`
+    /// is the mean coalescing factor — the adaptive batcher's yield).
+    pub batched_requests: Counter,
+    /// Reply writes that failed (client gone mid-flight).
+    pub write_errors: Counter,
+    /// Requests currently queued (gauge).
+    pub queue_depth: AtomicU64,
+    /// Time spent waiting in the queue, microseconds.
+    pub queue_us: LogHistogram,
+    /// End-to-end server-side latency (enqueue to reply), microseconds.
+    pub latency_us: LogHistogram,
+    /// Micro-batch sizes.
+    pub batch_size: LogHistogram,
+}
+
+impl ServeStats {
+    /// Fresh, all-zero stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean requests per dispatched micro-batch (0 before any batch).
+    pub fn mean_batch(&self) -> f64 {
+        let batches = self.batches.get();
+        if batches == 0 {
+            0.0
+        } else {
+            self.batched_requests.get() as f64 / batches as f64
+        }
+    }
+
+    /// Snapshot for the `STATS` frame. Quantiles come from the log2
+    /// histograms, so they are bucket-resolution approximations; the mean
+    /// batch size is scaled by 1000 to survive the integer wire format.
+    pub fn snapshot(&self) -> StatsFrame {
+        let q = |h: &LogHistogram, p: f64| h.quantile(p).unwrap_or(0);
+        let entries = vec![
+            ("connections".to_string(), self.connections.get()),
+            ("accepted".to_string(), self.accepted.get()),
+            ("completed".to_string(), self.completed.get()),
+            ("shed".to_string(), self.shed.get()),
+            ("expired".to_string(), self.expired.get()),
+            ("rejected_shutdown".to_string(), self.rejected_shutdown.get()),
+            ("protocol_errors".to_string(), self.protocol_errors.get()),
+            ("query_errors".to_string(), self.query_errors.get()),
+            ("batches".to_string(), self.batches.get()),
+            ("batched_requests".to_string(), self.batched_requests.get()),
+            ("write_errors".to_string(), self.write_errors.get()),
+            ("queue_depth".to_string(), self.queue_depth.load(Ordering::Relaxed)),
+            ("mean_batch_x1000".to_string(), (self.mean_batch() * 1000.0).round() as u64),
+            ("queue_p50_us".to_string(), q(&self.queue_us, 0.5)),
+            ("latency_p50_us".to_string(), q(&self.latency_us, 0.5)),
+            ("latency_p95_us".to_string(), q(&self.latency_us, 0.95)),
+            ("latency_p99_us".to_string(), q(&self.latency_us, 0.99)),
+        ];
+        StatsFrame { entries }
+    }
+
+    /// One-line human summary for the shutdown log.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} conns, {} accepted, {} completed, {} shed, {} expired, \
+             {} shutdown-rejected, {} protocol errors; {} batches \
+             (mean size {:.2}), latency {}",
+            self.connections.get(),
+            self.accepted.get(),
+            self.completed.get(),
+            self.shed.get(),
+            self.expired.get(),
+            self.rejected_shutdown.get(),
+            self.protocol_errors.get(),
+            self.batches.get(),
+            self.mean_batch(),
+            self.latency_us.summary(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_batch_and_snapshot() {
+        let s = ServeStats::new();
+        assert_eq!(s.mean_batch(), 0.0);
+        s.batches.inc();
+        s.batches.inc();
+        s.batched_requests.add(7);
+        assert!((s.mean_batch() - 3.5).abs() < 1e-12);
+        let snap = s.snapshot();
+        let get = |name: &str| snap.entries.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("batches"), 2);
+        assert_eq!(get("batched_requests"), 7);
+        assert_eq!(get("mean_batch_x1000"), 3500);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the wire protocol.
+//!
+//! Two families: round trips (every frame re-encodes to the identical
+//! byte string after a decode — the bit-exactness the end-to-end
+//! determinism check rests on) and malformed-input fuzzing (arbitrary
+//! and corrupted byte strings produce typed errors, never panics, and
+//! never allocations beyond the length cap).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sknn_serve::protocol::{
+    parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame, ResponseFrame,
+    ServerTiming, StatsFrame, WireNeighbor, HEADER_LEN, MAX_PAYLOAD,
+};
+
+fn short_string() -> impl Strategy<Value = String> {
+    vec(any::<char>(), 0..16).prop_map(|cs| cs.into_iter().collect())
+}
+
+fn wire_f64() -> impl Strategy<Value = f64> {
+    // All bit patterns, including NaNs, infinities and -0.0: the wire
+    // format must preserve every one exactly.
+    any::<u64>().prop_map(f64::from_bits)
+}
+
+fn error_code() -> impl Strategy<Value = ErrorCode> {
+    (0u8..5).prop_map(|i| {
+        [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExpired,
+            ErrorCode::FaultBudgetExceeded,
+            ErrorCode::ShuttingDown,
+            ErrorCode::BadRequest,
+        ][i as usize]
+    })
+}
+
+fn neighbor() -> impl Strategy<Value = WireNeighbor> {
+    (any::<u32>(), wire_f64(), wire_f64()).prop_map(|(id, lb, ub)| WireNeighbor { id, lb, ub })
+}
+
+/// Encode → decode → re-encode must reproduce the bytes exactly, and the
+/// decode must consume the whole buffer. (Byte-level comparison rather
+/// than `==` so NaN payloads are covered too.)
+fn assert_round_trip(frame: &Frame) -> Result<(), proptest::test_runner::CaseError> {
+    let bytes = frame.encode();
+    let (decoded, used) = Frame::decode(&bytes).expect("valid frame must decode");
+    prop_assert_eq!(used, bytes.len());
+    prop_assert_eq!(decoded.encode(), bytes);
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn query_frames_round_trip(
+        req_id in any::<u64>(),
+        tri in any::<u32>(),
+        x in wire_f64(),
+        y in wire_f64(),
+        z in wire_f64(),
+        k in any::<u32>(),
+        deadline_ms in any::<u32>(),
+    ) {
+        assert_round_trip(&Frame::Query(QueryFrame { req_id, tri, x, y, z, k, deadline_ms }))?;
+    }
+
+    #[test]
+    fn response_frames_round_trip(
+        req_id in any::<u64>(),
+        neighbors in vec(neighbor(), 0..24),
+        degraded_some in any::<bool>(),
+        degraded_text in short_string(),
+        queue_us in any::<u32>(),
+        exec_us in any::<u32>(),
+        batch in any::<u16>(),
+    ) {
+        assert_round_trip(&Frame::Response(ResponseFrame {
+            req_id,
+            neighbors,
+            degraded: degraded_some.then_some(degraded_text),
+            timing: ServerTiming { queue_us, exec_us, batch },
+        }))?;
+    }
+
+    #[test]
+    fn error_frames_round_trip(
+        req_id in any::<u64>(),
+        code in error_code(),
+        detail in short_string(),
+    ) {
+        assert_round_trip(&Frame::Error(ErrorFrame { req_id, code, detail }))?;
+    }
+
+    #[test]
+    fn stats_frames_round_trip(
+        entries in vec((short_string(), any::<u64>()), 0..12),
+    ) {
+        assert_round_trip(&Frame::Stats(StatsFrame { entries }))?;
+    }
+
+    #[test]
+    fn stats_request_round_trips(_x in any::<bool>()) {
+        assert_round_trip(&Frame::StatsRequest)?;
+    }
+
+    /// Every strict prefix of a valid frame is a typed truncation error.
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        neighbors in vec(neighbor(), 0..8),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = Frame::Response(ResponseFrame {
+            req_id: 1,
+            neighbors,
+            degraded: None,
+            timing: ServerTiming::default(),
+        })
+        .encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        match Frame::decode(&bytes[..cut]) {
+            Err(ProtocolError::Truncated { .. }) => {}
+            other => prop_assert!(false, "prefix of len {} gave {:?}", cut, other),
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder; whatever comes back is a
+    /// frame or a typed error.
+    #[test]
+    fn random_bytes_never_panic(bytes in vec(any::<u8>(), 0..64)) {
+        let _ = Frame::decode(&bytes);
+    }
+
+    /// Corrupting one header byte of a valid frame yields a typed error
+    /// (or, for the payload-length bytes, possibly a shorter valid frame
+    /// — but never a panic or a bogus success of the full length).
+    #[test]
+    fn corrupted_headers_never_panic(
+        pos in 0usize..HEADER_LEN,
+        val in any::<u8>(),
+    ) {
+        let mut bytes = Frame::Query(QueryFrame {
+            req_id: 9,
+            tri: 0,
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+            k: 4,
+            deadline_ms: 5,
+        })
+        .encode();
+        let original = bytes[pos];
+        bytes[pos] = val;
+        let result = Frame::decode(&bytes);
+        if original != val && pos != 7 {
+            // Any real change outside the reserved byte must be rejected
+            // (a changed length either truncates or leaves trailing
+            // bytes; both are typed).
+            prop_assert!(result.is_err(), "corrupt byte {} accepted: {:?}", pos, result);
+        }
+    }
+}
+
+#[test]
+fn oversized_length_rejected_before_allocation() {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(b"SKNN");
+    header[4..6].copy_from_slice(&1u16.to_le_bytes());
+    header[6] = 1;
+    header[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_eq!(parse_header(&header), Err(ProtocolError::Oversized { len: u32::MAX }));
+    const { assert!(MAX_PAYLOAD < u32::MAX) };
+}
+
+#[test]
+fn bad_version_and_magic_are_typed() {
+    let mut bytes = Frame::StatsRequest.encode();
+    bytes[4] = 99;
+    assert!(matches!(Frame::decode(&bytes), Err(ProtocolError::BadVersion(_))));
+    let mut bytes = Frame::StatsRequest.encode();
+    bytes[0] = b'X';
+    assert!(matches!(Frame::decode(&bytes), Err(ProtocolError::BadMagic(_))));
+    let mut bytes = Frame::StatsRequest.encode();
+    bytes[6] = 200;
+    assert_eq!(Frame::decode(&bytes), Err(ProtocolError::UnknownFrameType(200)));
+}

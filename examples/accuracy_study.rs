@@ -39,6 +39,8 @@ fn main() {
         query: 0,
         scratch: std::cell::RefCell::new(RankScratch::default()),
         faults: sknn_core::FaultLog::new(cfg.fault_budget),
+        deadline: None,
+        deadline_hit: std::cell::Cell::new(false),
     };
 
     let exact = ExactGeodesic::new(&mesh).distance(a.to_mesh_point(), b.to_mesh_point());

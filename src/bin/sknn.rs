@@ -19,8 +19,26 @@
 //! sknn export --out terrain.obj [--resolution 0.25]
 //!                                      export terrain (or a DMTM front) as OBJ
 //! sknn prepare --structures t.sknn     prebuild + save the DMTM/MSDN bundle
+//! sknn serve --port 7070               networked query service (micro-
+//!          [--max-batch 16]            batching; SIGINT/SIGTERM drains
+//!          [--max-wait-us 1000]        gracefully). --fault-profile or the
+//!          [--queue-depth 64]          SKNN_FAULT_PROFILE env var injects
+//!          [--threads N]               storage faults into the serving
+//!          [--max-seconds S]           engine; --trace-out FILE writes the
+//!          [--trace-out s.jsonl]       final observability trace
+//! sknn loadgen --addr HOST:PORT        drive a running server
+//!          [--connections 8]           concurrent connections
+//!          [--requests 50]             requests per connection
+//!          [--qps 0]                   comma list of open-loop rates
+//!                                      (0 = closed loop), one pass each
+//!          [--k 5] [--deadline-ms 0]
+//!          [--verify true]             check responses bit-for-bit
+//!                                      against a local engine (terrain
+//!                                      flags must match the server's)
+//!          [--expect-coalescing true]  fail unless mean batch size > 1
+//!          [--out BENCH_serve.json]    write the JSON report
 //!
-//! common flags:
+//! common flags (accepted as `--name value` or `--name=value`):
 //!   --preset bh|ep     terrain preset (default bh)
 //!   --dem file.asc     load a real DEM (ESRI ASCII grid) instead of a preset
 //!   --grid N           grid points per side (default 65)
@@ -30,59 +48,29 @@
 //!   --structures f.sknn  reuse a saved structure bundle for knn/range/pair
 //! ```
 
+use sknn_bench::Args;
 use surface_knn::core::config::StepSchedule;
 use surface_knn::core::constrained::{ConstrainedEngine, ObstacleMask};
 use surface_knn::prelude::*;
+use surface_knn::serve::{LoadgenConfig, ServeConfig, Server, ServerHandle};
 use surface_knn::terrain::stats::MeshStats;
 
-struct Flags {
-    pairs: Vec<(String, String)>,
-}
-
-impl Flags {
-    fn parse(args: &[String]) -> Self {
-        let mut pairs = Vec::new();
-        let mut i = 0;
-        while i + 1 < args.len() {
-            if let Some(name) = args[i].strip_prefix("--") {
-                pairs.push((name.to_string(), args[i + 1].clone()));
-                i += 2;
-            } else {
-                i += 1;
-            }
-        }
-        Self { pairs }
-    }
-
-    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.parse().ok())
-            .unwrap_or(default)
-    }
-
-    fn get_str(&self, name: &str, default: &str) -> String {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| v.clone())
-            .unwrap_or_else(|| default.to_string())
-    }
-}
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().cloned().unwrap_or_else(|| "help".into());
-    let flags = Flags::parse(&argv);
+    // The subcommand token is consumed above; everything after it is
+    // `--name value` / `--name=value` flags (Args warns on strays and on
+    // flags no branch reads).
+    let args = Args::from_argv(argv.get(1..).unwrap_or(&[]).to_vec());
 
-    let preset = flags.get_str("preset", "bh");
-    let grid: usize = flags.get("grid", 65);
-    let seed: u64 = flags.get("seed", 42);
-    let objects: usize = flags.get("objects", 50);
-    let dem_path = flags.get_str("dem", "");
+    let preset: String = args.get("preset", "bh".to_string());
+    let grid: usize = args.get("grid", 65);
+    let seed: u64 = args.get("seed", 42);
+    let objects: usize = args.get("objects", 50);
+    let dem_path: String = args.get("dem", String::new());
     let mesh = if dem_path.is_empty() {
         let cfg_base = match preset.as_str() {
             "ep" => TerrainConfig::ep(),
@@ -97,7 +85,7 @@ fn main() {
     };
     let scene = SceneBuilder::new(&mesh).object_count(objects).seed(seed ^ 1).build();
 
-    let schedule = match flags.get_str("schedule", "s1").as_str() {
+    let schedule = match args.get::<String>("schedule", "s1".to_string()).as_str() {
         "s2" => StepSchedule::s2(),
         "s3" => StepSchedule::s3(),
         _ => StepSchedule::s1(),
@@ -105,7 +93,7 @@ fn main() {
     let cfg = Mr3Config::default().with_schedule(schedule);
 
     // Optional prebuilt-structure bundle for the query commands.
-    let structures_path = flags.get_str("structures", "");
+    let structures_path: String = args.get("structures", String::new());
     let build_engine = |cfg: &Mr3Config| -> Mr3Engine {
         if structures_path.is_empty() {
             Mr3Engine::build(&mesh, &scene, cfg)
@@ -149,11 +137,11 @@ fn main() {
             println!("objects       : {}", scene.num_objects());
         }
         "knn" => {
-            let k: usize = flags.get("k", 5);
-            let nq: usize = flags.get("queries", 1);
-            let threads: usize = flags.get("threads", 1);
-            let stall_ms: f64 = flags.get("stall-ms", 0.0);
-            let fault_spec = flags.get_str("fault-profile", "");
+            let k: usize = args.get("k", 5);
+            let nq: usize = args.get("queries", 1);
+            let threads: usize = args.get("threads", 1);
+            let stall_ms: f64 = args.get("stall-ms", 0.0);
+            let fault_spec: String = args.get("fault-profile", String::new());
             let engine = build_engine(&cfg);
             if stall_ms > 0.0 {
                 engine.pager().set_read_stall(std::time::Duration::from_secs_f64(stall_ms / 1e3));
@@ -255,9 +243,9 @@ fn main() {
             // `--out FILE` the JSONL goes to the file and the summary to
             // stdout instead.
             use std::io::Write;
-            let k: usize = flags.get("k", 5);
-            let nq: usize = flags.get("queries", 1);
-            let out_path = flags.get_str("out", "");
+            let k: usize = args.get("k", 5);
+            let nq: usize = args.get("queries", 1);
+            let out_path: String = args.get("out", String::new());
             let mut engine = build_engine(&cfg);
             engine.enable_tracing();
             let mut file = if out_path.is_empty() {
@@ -294,7 +282,7 @@ fn main() {
             }
         }
         "range" => {
-            let radius: f64 = flags.get("radius", 150.0);
+            let radius: f64 = args.get("radius", 150.0);
             let engine = build_engine(&cfg);
             let q = scene.random_query(seed ^ 7);
             let res = engine.range_query(q, radius);
@@ -328,8 +316,8 @@ fn main() {
             }
         }
         "constrained" => {
-            let k: usize = flags.get("k", 5);
-            let max_slope: f64 = flags.get("max-slope", 1.5);
+            let k: usize = args.get("k", 5);
+            let max_slope: f64 = args.get("max-slope", 1.5);
             let mask = ObstacleMask::from_slope_limit(&mesh, max_slope);
             println!(
                 "slope limit {max_slope}: {:.1}% of facets blocked",
@@ -354,8 +342,8 @@ fn main() {
         "export" => {
             use surface_knn::multires::{build_dmtm, FrontGraph};
             use surface_knn::terrain::obj;
-            let out_path = flags.get_str("out", "terrain.obj");
-            let resolution: f64 = flags.get("resolution", 1.0);
+            let out_path: String = args.get("out", "terrain.obj".to_string());
+            let resolution: f64 = args.get("resolution", 1.0);
             let mut file = std::io::BufWriter::new(
                 std::fs::File::create(&out_path).expect("cannot create output file"),
             );
@@ -376,9 +364,209 @@ fn main() {
                 );
             }
         }
+        "serve" => {
+            let host: String = args.get("host", "127.0.0.1".to_string());
+            let port: u16 = args.get("port", 7070);
+            let serve_cfg = ServeConfig {
+                max_batch: args.get("max-batch", 16),
+                max_wait: Duration::from_micros(args.get("max-wait-us", 1000)),
+                queue_depth: args.get("queue-depth", 64),
+                exec_threads: match args.get("threads", 0usize) {
+                    0 => surface_knn::exec::available_threads(),
+                    n => n,
+                },
+                ..ServeConfig::default()
+            };
+            let max_seconds: f64 = args.get("max-seconds", 0.0);
+            let trace_out: String = args.get("trace-out", String::new());
+            // `--fault-profile` wins; the env var is how CI wires fault
+            // injection through without touching the command line.
+            let fault_spec: String =
+                args.get("fault-profile", std::env::var("SKNN_FAULT_PROFILE").unwrap_or_default());
+
+            let mut engine = build_engine(&cfg);
+            // Serving is the warm regime: the buffer pool persists across
+            // requests instead of being wiped per query.
+            engine.cold_cache = false;
+            if !fault_spec.is_empty() {
+                let profile = surface_knn::store::FaultProfile::parse(&fault_spec)
+                    .expect("fault profile must be seed:rate:kind");
+                engine.pager().set_fault_injector(Some(
+                    surface_knn::store::FaultInjector::from_profile(&profile),
+                ));
+                eprintln!("# fault injection active: {fault_spec}");
+            }
+
+            let mut server = Server::bind(&engine, (host.as_str(), port), serve_cfg)
+                .expect("cannot bind server address");
+            if !trace_out.is_empty() {
+                server.enable_tracing(4096);
+            }
+            let stats = server.stats();
+            println!(
+                "serving {} objects (grid {grid}, preset {preset}) on {}",
+                scene.num_objects(),
+                server.local_addr()
+            );
+            install_shutdown_watcher(server.handle(), max_seconds);
+            let trace = server.run();
+            println!("drained: {}", stats.summary());
+            if let Some(trace) = trace {
+                std::fs::write(&trace_out, trace.to_jsonl()).expect("cannot write --trace-out");
+                println!("wrote serve trace to {trace_out}");
+            }
+        }
+        "loadgen" => {
+            let addr: String = args.get("addr", "127.0.0.1:7070".to_string());
+            let qps_list: String = args.get("qps", "0".to_string());
+            let verify: bool = args.get("verify", false);
+            let expect_coalescing: bool = args.get("expect-coalescing", false);
+            let out: String = args.get("out", String::new());
+            let base = LoadgenConfig {
+                addr,
+                connections: args.get("connections", 8),
+                requests_per_conn: args.get("requests", 50),
+                qps: 0.0,
+                k: args.get("k", 5),
+                deadline_ms: args.get("deadline-ms", 0),
+                seed: seed ^ 0xC0FFEE,
+            };
+            // The verification engine rebuilds the same scene the server
+            // was started with, so the terrain flags must match.
+            let verify_engine = verify.then(|| build_engine(&cfg));
+
+            let mut reports = Vec::new();
+            let mut failed = false;
+            for qps_raw in qps_list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let qps: f64 = qps_raw.parse().expect("--qps must be a comma list of numbers");
+                let pass = LoadgenConfig { qps, ..base.clone() };
+                let report =
+                    surface_knn::serve::loadgen::run(&scene, &pass, verify_engine.as_ref())
+                        .expect("loadgen pass failed");
+                println!(
+                    "{}{}: {} sent, {} ok ({} degraded), {} overloaded, {} expired, \
+                     {:.1} qps, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+                     mean batch {:.2}{}",
+                    report.mode,
+                    if qps > 0.0 { format!("@{qps:.0}") } else { String::new() },
+                    report.sent,
+                    report.ok,
+                    report.degraded,
+                    report.overloaded,
+                    report.expired,
+                    report.achieved_qps,
+                    report.latency.p50,
+                    report.latency.p95,
+                    report.latency.p99,
+                    report.server_mean_batch(),
+                    if verify {
+                        format!(", {} verified / {} mismatches", report.verified, report.mismatches)
+                    } else {
+                        String::new()
+                    },
+                );
+                if report.protocol_errors > 0 || report.mismatches > 0 || report.missing > 0 {
+                    eprintln!(
+                        "# ERROR: {} protocol errors, {} mismatches, {} missing replies",
+                        report.protocol_errors, report.mismatches, report.missing
+                    );
+                    failed = true;
+                }
+                reports.push(report);
+            }
+            if expect_coalescing {
+                let mean = reports.last().map(|r| r.server_mean_batch()).unwrap_or(0.0);
+                if mean <= 1.0 {
+                    eprintln!("# ERROR: expected coalescing but mean batch size is {mean:.2}");
+                    failed = true;
+                }
+            }
+            if !out.is_empty() {
+                let json = render_loadgen_json(grid, seed, scene.num_objects(), &base, &reports);
+                std::fs::write(&out, &json).expect("cannot write --out file");
+                eprintln!("# wrote {out}");
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
         _ => {
-            println!("usage: sknn <info|knn|trace|range|pair|constrained|export|prepare> [flags]");
+            println!(
+                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|serve|loadgen> [flags]"
+            );
             println!("see the module docs (src/bin/sknn.rs) for the flag list");
         }
     }
+}
+
+/// JSON report for `sknn loadgen --out` (the `BENCH_serve.json` format).
+fn render_loadgen_json(
+    grid: usize,
+    seed: u64,
+    objects: usize,
+    base: &LoadgenConfig,
+    reports: &[surface_knn::serve::RunReport],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"serve_loadgen\",\n");
+    s.push_str("  \"terrain\": \"BH\",\n");
+    s.push_str(&format!("  \"grid\": {grid},\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"objects\": {objects},\n"));
+    s.push_str(&format!("  \"connections\": {},\n", base.connections));
+    s.push_str(&format!("  \"requests_per_conn\": {},\n", base.requests_per_conn));
+    s.push_str(&format!("  \"k\": {},\n", base.k));
+    s.push_str(&format!("  \"deadline_ms\": {},\n", base.deadline_ms));
+    s.push_str(&format!("  \"host_threads\": {},\n", surface_knn::exec::available_threads()));
+    s.push_str("  \"runs\": [\n");
+    for (i, report) in reports.iter().enumerate() {
+        s.push_str(&report.to_json("    "));
+        s.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Latched by the signal handler; polled by the watcher thread. An
+/// atomic store is async-signal-safe, which is all the handler does.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_flag() {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::Relaxed);
+    }
+    // Direct symbol binding, same technique as core's CpuTimer: no libc
+    // crate in the workspace.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_flag() {}
+
+/// Triggers graceful drain on SIGINT/SIGTERM, or after `max_seconds`
+/// when positive (0 = run until signalled).
+fn install_shutdown_watcher(handle: ServerHandle, max_seconds: f64) {
+    install_signal_flag();
+    let deadline = (max_seconds > 0.0)
+        .then(|| std::time::Instant::now() + Duration::from_secs_f64(max_seconds));
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::Relaxed)
+            || deadline.is_some_and(|d| std::time::Instant::now() >= d)
+        {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
 }

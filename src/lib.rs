@@ -18,6 +18,9 @@
 //! * [`sdn`] — the MSDN lower-bound networks
 //! * [`core`] — MR3, the EA benchmark and CH baseline, workloads, metrics
 //! * [`obs`] — query tracing and metrics: recorders, histograms, JSONL traces
+//! * [`exec`] — the scoped thread pool behind batch queries
+//! * [`serve`] — the networked query service: wire protocol, micro-batching
+//!   server, client, and load generator
 //!
 //! ## Quickstart
 //!
@@ -37,11 +40,13 @@
 //! ```
 
 pub use sknn_core as core;
+pub use sknn_exec as exec;
 pub use sknn_geodesic as geodesic;
 pub use sknn_geom as geom;
 pub use sknn_multires as multires;
 pub use sknn_obs as obs;
 pub use sknn_sdn as sdn;
+pub use sknn_serve as serve;
 pub use sknn_spatial as spatial;
 pub use sknn_store as store;
 pub use sknn_terrain as terrain;

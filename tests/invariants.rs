@@ -75,6 +75,8 @@ proptest! {
             rec: &sknn_obs::NOOP, query: 0,
             scratch: std::cell::RefCell::new(Default::default()),
             faults: sknn_core::FaultLog::new(f.cfg.fault_budget),
+            deadline: None,
+            deadline_hit: std::cell::Cell::new(false),
         };
         let mut stats = QueryStats::default();
         let range = ctx.estimate_pair(&a, &b, fracs[dmtm_idx], level, &mut stats);
