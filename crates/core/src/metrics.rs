@@ -9,6 +9,32 @@ use crate::bounds::DistRange;
 use sknn_store::DiskModel;
 use std::time::Duration;
 
+/// Wall-clock time spent in each MR3 step of one query, in microseconds.
+///
+/// Measured unconditionally (four `Instant::now()` reads per query —
+/// noise next to a Dijkstra pass), so the serving layer can report
+/// per-stage latency even with tracing off. The fields mirror the four
+/// step spans of the trace (`step1_knn2d` … `step4_rank`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Step 1: 2D k-NN seeding on the projection R-tree.
+    pub knn2d_us: u64,
+    /// Step 2: ranking the seeds to bound the k-th neighbour's distance.
+    pub radius_us: u64,
+    /// Step 3: planar range query with the safe radius.
+    pub range_us: u64,
+    /// Step 4: iterative multi-resolution ranking of the candidate set.
+    pub rank_us: u64,
+}
+
+impl StageTimes {
+    /// Sum of all stage times (≤ the query's wall time: stages exclude
+    /// setup, result assembly, and trace drain).
+    pub fn total_us(&self) -> u64 {
+        self.knn2d_us + self.radius_us + self.range_us + self.rank_us
+    }
+}
+
 /// Cost counters of one query.
 #[derive(Debug, Clone, Default)]
 pub struct QueryStats {
@@ -35,6 +61,8 @@ pub struct QueryStats {
     /// Front-graph fetches answered by the per-query front cache instead
     /// of re-extracting (and re-paging) the DMTM front.
     pub front_cache_hits: usize,
+    /// Per-step wall-clock breakdown (always measured, tracing or not).
+    pub stages: StageTimes,
 }
 
 impl QueryStats {

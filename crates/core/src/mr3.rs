@@ -288,7 +288,24 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         k: usize,
         deadline: Option<Instant>,
     ) -> Result<QueryResult, QueryError> {
-        let qid = self.next_query_id();
+        self.try_query_traced(q, k, deadline, 0)
+    }
+
+    /// [`try_query_at`](Self::try_query_at) with an explicit request trace
+    /// id. When `trace_id` is non-zero it stamps every obs record the
+    /// query emits — step spans, iteration events, I/O attribution, fault
+    /// events — in place of the engine's own sequence number, so a
+    /// serving-layer request keeps its records attributable even when
+    /// batched with strangers. `0` means "no external id" and falls back
+    /// to the engine's sequence.
+    pub fn try_query_traced(
+        &self,
+        q: SurfacePoint,
+        k: usize,
+        deadline: Option<Instant>,
+        trace_id: u64,
+    ) -> Result<QueryResult, QueryError> {
+        let qid = if trace_id != 0 { trace_id } else { self.next_query_id() };
         let mut stats = QueryStats::default();
         if self.cold_cache {
             self.pager.clear_pool();
@@ -309,12 +326,13 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             // Step 1: 2D k-NN on the projections.
             let step = Instant::now();
             let seeds = self.scene.dxy().knn(q.pos.xy(), k);
+            stats.stages.knn2d_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
                     "step1_knn2d",
                     qid,
                     vec![
-                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("dur_us", stats.stages.knn2d_us),
                         field("k", k),
                         field("seeds", seeds.len()),
                     ],
@@ -328,14 +346,12 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 .map(|&(_, _, id)| Candidate::new(&q, id, self.scene.object(id).point, &terrain))
                 .collect();
             let radius = ctx.estimate_radius(&q, &mut seed_cands, &mut stats);
+            stats.stages.radius_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
                     "step2_radius",
                     qid,
-                    vec![
-                        field("dur_us", step.elapsed().as_micros() as u64),
-                        field("radius", radius),
-                    ],
+                    vec![field("dur_us", stats.stages.radius_us), field("radius", radius)],
                 );
             }
 
@@ -353,12 +369,13 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 // ranking everything.
                 (0..self.scene.num_objects() as u32).collect()
             };
+            stats.stages.range_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
                     "step3_range",
                     qid,
                     vec![
-                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("dur_us", stats.stages.range_us),
                         field("candidates", in_range.len()),
                     ],
                 );
@@ -377,12 +394,13 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 .collect();
             stats.candidates = cands.len();
             let resolved = ctx.rank_top_k(&q, &mut cands, k, &mut stats);
+            stats.stages.rank_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
                     "step4_rank",
                     qid,
                     vec![
-                        field("dur_us", step.elapsed().as_micros() as u64),
+                        field("dur_us", stats.stages.rank_us),
                         field("resolved", resolved),
                         field("iterations", stats.iterations),
                     ],
@@ -466,6 +484,24 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         threads: usize,
     ) -> Vec<Result<QueryResult, QueryError>> {
         sknn_exec::par_map(threads, batch, |_, &(q, k, dl)| self.try_query_at(q, k, dl))
+    }
+
+    /// [`try_query_batch_at`](Self::try_query_batch_at) with a request
+    /// trace id per element (see
+    /// [`try_query_traced`](Self::try_query_traced)): the serving layer's
+    /// telemetry entry point, where each coalesced request keeps its own
+    /// wire-propagated id. Under tracing the ring is drained per query, so
+    /// each result's trace holds *some* complete set of records and the
+    /// union over the batch holds them all — every record stamped with the
+    /// id of the request that emitted it.
+    pub fn try_query_batch_traced(
+        &self,
+        batch: &[(SurfacePoint, usize, Option<Instant>, u64)],
+        threads: usize,
+    ) -> Vec<Result<QueryResult, QueryError>> {
+        sknn_exec::par_map(threads, batch, |_, &(q, k, dl, tid)| {
+            self.try_query_traced(q, k, dl, tid)
+        })
     }
 
     fn drain_trace(&self) -> Option<QueryTrace> {

@@ -39,11 +39,30 @@ impl Counter {
 /// range is covered.
 pub const LOG_BUCKETS: usize = 65;
 
+/// A point-in-time copy of a [`LogHistogram`]'s buckets and sum, the unit
+/// the metrics [`crate::Registry`] renders into Prometheus exposition
+/// format (cumulative `le` buckets, `_sum`, `_count`).
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; bucket `i` holds values `v` with
+    /// `ilog2(v) == i - 1` (bucket 0 holds `v == 0`).
+    pub buckets: [u64; LOG_BUCKETS],
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+}
+
 /// A log2-bucketed histogram of `u64` samples.
 ///
 /// Recording is one relaxed atomic increment; quantiles are estimated from
-/// bucket midpoints, which is accurate to a factor of `sqrt(2)` — plenty
-/// for "how many pages/settled-nodes does a typical query cost".
+/// geometric bucket midpoints, which is accurate to a factor of `sqrt(2)`
+/// — plenty for "how many pages/settled-nodes does a typical query cost".
 #[derive(Debug)]
 pub struct LogHistogram {
     buckets: [AtomicU64; LOG_BUCKETS],
@@ -90,8 +109,36 @@ impl LogHistogram {
         }
     }
 
-    /// Estimated quantile (`q` in `[0, 1]`) from bucket midpoints; `None`
-    /// when empty.
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the bucket counts and sum (each load is
+    /// relaxed; under concurrent recording the snapshot may be mid-update,
+    /// which Prometheus-style scrapes tolerate).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; LOG_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, sum: self.sum.load(Ordering::Relaxed) }
+    }
+
+    /// Representative value for bucket `i`: the geometric mean of the
+    /// bucket bounds `[2^(i-1), 2^i)`, i.e. `2^(i-1) * sqrt(2)`. The
+    /// arithmetic midpoint (or worse, the lower bound) systematically
+    /// biases log-bucketed quantiles; the geometric mean is the unbiased
+    /// center of a multiplicative bucket.
+    pub fn bucket_value(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            i => (2f64.powi(i as i32 - 1) * std::f64::consts::SQRT_2).round() as u64,
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) from geometric bucket
+    /// midpoints; `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         let n = self.count();
         if n == 0 {
@@ -102,13 +149,7 @@ impl LogHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen > rank {
-                return Some(match i {
-                    0 => 0,
-                    // Geometric bucket midpoint: 2^(i-1) * 1.5, except the
-                    // top bucket which saturates.
-                    64 => u64::MAX,
-                    i => (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2,
-                });
+                return Some(Self::bucket_value(i));
             }
         }
         unreachable!("rank < count")
@@ -164,6 +205,45 @@ mod tests {
         assert!((8..=24).contains(&p50), "p50 ~ {p50}");
         assert!(h.quantile(1.0).unwrap() >= 64);
         assert_eq!(h.quantile(0.0).unwrap(), 1);
+    }
+
+    /// Pins the geometric-mean bucket midpoint: a log2 bucket `[2^(i-1),
+    /// 2^i)` reports `2^(i-1)·√2`, not its lower bound (which biased p95
+    /// and p99 low by up to 2×) and not the arithmetic midpoint.
+    #[test]
+    fn quantile_uses_geometric_bucket_midpoint() {
+        // Known distribution: 90 samples at ~100µs (bucket [64,128)),
+        // 9 at ~1000µs (bucket [512,1024)), 1 at ~10000µs ([8192,16384)).
+        let h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1000);
+        }
+        h.record(10_000);
+        // 64·√2 ≈ 90.51, 512·√2 ≈ 724.08, 8192·√2 ≈ 11585.24.
+        assert_eq!(h.quantile(0.5), Some(91));
+        assert_eq!(h.quantile(0.95), Some(724));
+        assert_eq!(h.quantile(0.999), Some(11_585));
+        // Per-bucket pins, including the degenerate bottom buckets.
+        assert_eq!(LogHistogram::bucket_value(0), 0);
+        assert_eq!(LogHistogram::bucket_value(1), 1); // [1,2) → √2 → 1
+        assert_eq!(LogHistogram::bucket_value(2), 3); // [2,4) → 2√2 → 3
+        assert_eq!(LogHistogram::bucket_value(8), 181); // [128,256) → 128√2
+    }
+
+    #[test]
+    fn snapshot_copies_buckets_and_sum() {
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum, 10);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[3], 2); // 5 ∈ [4,8) → bucket 3
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   ([`QueryTrace::convergence_summary`]).
 //! * [`Counter`] and [`LogHistogram`] — lock-free monotonic counters and
 //!   log2-bucketed histograms for aggregate statistics across queries.
+//! * [`Registry`] — a pull-model metrics registry rendering Prometheus
+//!   text exposition format from registered counter/gauge/histogram
+//!   sources (the serving layer's scrape endpoint).
+//! * [`mint_trace_id`] — process-unique request trace ids, the stamp that
+//!   keeps one request's records attributable inside a shared batch.
 //! * [`json`] — the tiny JSON encoder behind the JSONL export, plus a
 //!   validating parser used by tests.
 //!
@@ -30,9 +35,14 @@ pub mod hist;
 pub mod json;
 pub mod record;
 pub mod recorder;
+pub mod registry;
 pub mod trace;
+pub mod traceid;
 
-pub use hist::{Counter, LogHistogram};
+pub use hist::{Counter, HistogramSnapshot, LogHistogram};
+pub use json::JsonWriter;
 pub use record::{field, Field, Record, RecordKind, Value};
 pub use recorder::{NoopRecorder, Recorder, RingRecorder, NOOP};
+pub use registry::{MetricKind, Registry};
 pub use trace::{IterEvent, QueryTrace, SpanInfo};
+pub use traceid::mint_trace_id;

@@ -30,6 +30,14 @@ pub trait Recorder: Send + Sync {
 
     /// Record a point-in-time event.
     fn event(&self, name: &'static str, query: u64, fields: Vec<Field>);
+
+    /// Fold the records of an already-drained trace into this recorder,
+    /// preserving their query stamps. Used by the serving layer to merge
+    /// per-query engine traces into the server's ring so one drain holds
+    /// the whole request-scoped story. No-op by default.
+    fn absorb(&self, trace: QueryTrace) {
+        let _ = trace;
+    }
 }
 
 /// Discards everything; `enabled()` is `false`.
@@ -113,6 +121,18 @@ impl Recorder for RingRecorder {
 
     fn event(&self, name: &'static str, query: u64, fields: Vec<Field>) {
         self.push(Record { kind: RecordKind::Event, name, query, fields });
+    }
+
+    fn absorb(&self, trace: QueryTrace) {
+        let mut g = self.inner.lock().unwrap();
+        g.dropped += trace.dropped;
+        for record in trace.records {
+            if g.records.len() == self.capacity {
+                g.records.pop_front();
+                g.dropped += 1;
+            }
+            g.records.push_back(record);
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! The adaptive micro-batcher: a single dispatcher thread that drains the
 //! bounded admission queue, coalescing whatever is waiting into one
-//! `Mr3Engine::try_query_batch_at` call.
+//! `Mr3Engine::try_query_batch_traced` call.
 //!
 //! The coalescing rule is the classic linger: the first job is taken the
 //! moment it is available, then the dispatcher gathers more until the
@@ -11,6 +11,14 @@
 //! waiting at all — throughput rises with offered load instead of
 //! collapsing into per-request lock churn.
 //!
+//! Each job carries three clocks from the same monotonic source:
+//! `enqueued` (admission), `recv_at` (dispatcher pickup — stamped at the
+//! moment the job leaves the channel, so queue time and linger time are
+//! genuinely disjoint), and the batch-wide `exec_start`. The stage
+//! decomposition the response reports is therefore a partition of real
+//! wall time: queue (enqueued→recv) + linger (recv→exec) + engine stages
+//! ≤ end-to-end latency.
+//!
 //! Termination doubles as graceful drain: the loop exits when every
 //! sender handle has dropped *and* the queue is empty, which is exactly
 //! `std::sync::mpsc`'s disconnect contract — buffered messages are all
@@ -18,8 +26,9 @@
 //! every admitted request still gets its reply.
 
 use crate::protocol::{
-    write_frame, ErrorCode, ErrorFrame, Frame, ResponseFrame, ServerTiming, WireNeighbor,
+    write_frame_v, ErrorCode, ErrorFrame, Frame, ResponseFrame, ServerTiming, WireNeighbor,
 };
+use crate::slowlog::{SlowEntry, SlowOutcome, SlowQueryLog};
 use crate::stats::ServeStats;
 use sknn_core::mr3::Mr3Engine;
 use sknn_core::resilience::QueryError;
@@ -48,13 +57,15 @@ impl ConnWriter {
         Self { stream: Mutex::new(stream), dead: AtomicBool::new(false) }
     }
 
-    /// Writes one frame; returns whether the client is still reachable.
-    pub(crate) fn send(&self, stats: &ServeStats, frame: &Frame) -> bool {
+    /// Writes one frame encoded at `version` (the wire version the
+    /// request being answered arrived in — a v1 client must never see a
+    /// v2 layout); returns whether the client is still reachable.
+    pub(crate) fn send(&self, stats: &ServeStats, frame: &Frame, version: u16) -> bool {
         if self.dead.load(Ordering::Relaxed) {
             return false;
         }
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        match write_frame(&mut *stream, frame) {
+        match write_frame_v(&mut *stream, frame, version) {
             Ok(()) => true,
             Err(_) => {
                 self.dead.store(true, Ordering::Relaxed);
@@ -68,12 +79,21 @@ impl ConnWriter {
 /// One admitted request, parked in the queue until a batch picks it up.
 pub(crate) struct Job {
     pub req_id: u64,
+    /// The request's trace id: client-supplied or minted at admission,
+    /// never 0 past that point. Doubles as the engine's query id so every
+    /// obs record of this request carries it.
+    pub trace_id: u64,
     pub point: SurfacePoint,
     pub k: usize,
     /// Absolute deadline (arrival + `deadline_ms`); enforced at dequeue
     /// and passed into the engine for mid-query enforcement.
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
+    /// When the dispatcher pulled this job off the channel. Initialized
+    /// to `enqueued` at admission and overwritten at pickup.
+    pub recv_at: Instant,
+    /// Protocol version the query frame arrived in; replies use it.
+    pub wire_version: u16,
     pub writer: std::sync::Arc<ConnWriter>,
 }
 
@@ -92,14 +112,19 @@ pub(crate) fn dispatch_loop(
     rx: &Receiver<Job>,
     policy: BatchPolicy,
     stats: &ServeStats,
+    slow: &SlowQueryLog,
     rec: &dyn Recorder,
 ) {
-    while let Ok(first) = rx.recv() {
+    while let Ok(mut first) = rx.recv() {
+        first.recv_at = Instant::now();
         let mut jobs = vec![first];
         let linger_until = Instant::now() + policy.max_wait;
         while jobs.len() < policy.max_batch {
             match rx.try_recv() {
-                Ok(job) => jobs.push(job),
+                Ok(mut job) => {
+                    job.recv_at = Instant::now();
+                    jobs.push(job);
+                }
                 Err(TryRecvError::Disconnected) => break,
                 Err(TryRecvError::Empty) => {
                     let now = Instant::now();
@@ -107,13 +132,16 @@ pub(crate) fn dispatch_loop(
                         break;
                     }
                     match rx.recv_timeout(linger_until - now) {
-                        Ok(job) => jobs.push(job),
+                        Ok(mut job) => {
+                            job.recv_at = Instant::now();
+                            jobs.push(job);
+                        }
                         Err(_) => break,
                     }
                 }
             }
         }
-        run_batch(engine, jobs, policy, stats, rec);
+        run_batch(engine, jobs, policy, stats, slow, rec);
     }
 }
 
@@ -130,6 +158,7 @@ fn run_batch(
     jobs: Vec<Job>,
     policy: BatchPolicy,
     stats: &ServeStats,
+    slow: &SlowQueryLog,
     rec: &dyn Recorder,
 ) {
     // Dequeue-time bookkeeping and deadline enforcement: a request whose
@@ -139,9 +168,23 @@ fn run_batch(
     let mut live = Vec::with_capacity(jobs.len());
     for job in jobs {
         stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        stats.queue_us.record(micros_u64(dequeued.duration_since(job.enqueued)));
+        stats.queue_us.record(micros_u64(job.recv_at.duration_since(job.enqueued)));
         if job.deadline.is_some_and(|d| dequeued >= d) {
             stats.expired.inc();
+            let total_us = micros_u64(dequeued.duration_since(job.enqueued));
+            if slow.wants(total_us, SlowOutcome::Expired) {
+                stats.slow_captured.inc();
+                slow.push(SlowEntry {
+                    trace_id: job.trace_id,
+                    req_id: job.req_id,
+                    total_us,
+                    timing: ServerTiming {
+                        queue_us: micros_u32(job.recv_at.duration_since(job.enqueued)),
+                        ..Default::default()
+                    },
+                    outcome: SlowOutcome::Expired,
+                });
+            }
             job.writer.send(
                 stats,
                 &Frame::Error(ErrorFrame {
@@ -149,6 +192,7 @@ fn run_batch(
                     code: ErrorCode::DeadlineExpired,
                     detail: "deadline expired while queued".to_string(),
                 }),
+                job.wire_version,
             );
             continue;
         }
@@ -158,17 +202,25 @@ fn run_batch(
         return;
     }
 
-    let batch: Vec<(SurfacePoint, usize, Option<Instant>)> =
-        live.iter().map(|j| (j.point, j.k, j.deadline)).collect();
+    let batch: Vec<(SurfacePoint, usize, Option<Instant>, u64)> =
+        live.iter().map(|j| (j.point, j.k, j.deadline, j.trace_id)).collect();
+    let stall_before_ns = engine.pager().stall_ns();
     let exec_start = Instant::now();
-    let results = engine.try_query_batch_at(&batch, policy.exec_threads);
+    let results = engine.try_query_batch_traced(&batch, policy.exec_threads);
     let exec_us = micros_u32(exec_start.elapsed());
+    // The pager's stall clock is cumulative; the difference across the
+    // engine call is this batch's stall wall time. Stalls of concurrent
+    // batch members overlap, so this is attributed per batch, not split
+    // per request.
+    let stall_us = ((engine.pager().stall_ns().saturating_sub(stall_before_ns)) / 1_000)
+        .min(u32::MAX as u64) as u32;
 
     let size = live.len();
     let batch_id = stats.batches.get();
     stats.batches.inc();
     stats.batched_requests.add(size as u64);
     stats.batch_size.record(size as u64);
+    stats.stall_us.record(stall_us as u64);
     if rec.enabled() {
         rec.event(
             "serve_batch",
@@ -176,25 +228,66 @@ fn run_batch(
             vec![
                 field("size", size),
                 field("exec_us", exec_us as u64),
+                field("stall_us", stall_us as u64),
                 field("queue_depth", stats.queue_depth.load(Ordering::Relaxed)),
             ],
         );
     }
 
-    let timing_for = |job: &Job| ServerTiming {
-        queue_us: micros_u32(dequeued.duration_since(job.enqueued)),
-        exec_us,
-        batch: size.min(u16::MAX as usize) as u16,
-    };
     for (job, result) in live.into_iter().zip(results) {
         let latency = micros_u64(Instant::now().duration_since(job.enqueued));
         stats.latency_us.record(latency);
+        let queue_us = micros_u32(job.recv_at.duration_since(job.enqueued));
+        let linger_us = micros_u32(exec_start.duration_since(job.recv_at));
+        stats.linger_us.record(linger_us as u64);
+        stats.exec_us.record(exec_us as u64);
+        let mut timing = ServerTiming {
+            queue_us,
+            linger_us,
+            exec_us,
+            stall_us,
+            batch: size.min(u16::MAX as usize) as u16,
+            ..Default::default()
+        };
         let frame = match result {
-            Ok(res) => {
+            Ok(mut res) => {
                 stats.completed.inc();
+                let stages = res.stats.stages;
+                timing.knn2d_us = stages.knn2d_us.min(u32::MAX as u64) as u32;
+                timing.radius_us = stages.radius_us.min(u32::MAX as u64) as u32;
+                timing.range_us = stages.range_us.min(u32::MAX as u64) as u32;
+                timing.rank_us = stages.rank_us.min(u32::MAX as u64) as u32;
+                stats.stage_knn2d_us.record(stages.knn2d_us);
+                stats.stage_radius_us.record(stages.radius_us);
+                stats.stage_range_us.record(stages.range_us);
+                stats.stage_rank_us.record(stages.rank_us);
+                if res.degraded.is_some() {
+                    stats.degraded.inc();
+                }
+                // Fold the engine's per-query trace (records stamped with
+                // the trace id) into the server's ring, so one drain tells
+                // the whole request-scoped story.
+                if rec.enabled() {
+                    if let Some(trace) = res.trace.take() {
+                        rec.absorb(trace);
+                    }
+                }
+                let outcome =
+                    if res.degraded.is_some() { SlowOutcome::Degraded } else { SlowOutcome::Ok };
+                if slow.wants(latency, outcome) {
+                    stats.slow_captured.inc();
+                    slow.push(SlowEntry {
+                        trace_id: job.trace_id,
+                        req_id: job.req_id,
+                        total_us: latency,
+                        timing,
+                        outcome,
+                    });
+                }
                 Frame::Response(ResponseFrame {
                     req_id: job.req_id,
-                    timing: timing_for(&job),
+                    trace_id: job.trace_id,
+                    timing,
                     degraded: res.degraded.as_ref().map(|d| d.reason.clone()),
                     neighbors: res
                         .neighbors
@@ -205,6 +298,16 @@ fn run_batch(
             }
             Err(e @ QueryError::FaultBudgetExceeded { .. }) => {
                 stats.query_errors.inc();
+                if slow.wants(latency, SlowOutcome::Error) {
+                    stats.slow_captured.inc();
+                    slow.push(SlowEntry {
+                        trace_id: job.trace_id,
+                        req_id: job.req_id,
+                        total_us: latency,
+                        timing,
+                        outcome: SlowOutcome::Error,
+                    });
+                }
                 Frame::Error(ErrorFrame {
                     req_id: job.req_id,
                     code: ErrorCode::FaultBudgetExceeded,
@@ -215,10 +318,16 @@ fn run_batch(
         if rec.enabled() {
             rec.span(
                 "serve_request",
-                job.req_id,
-                vec![field("dur_us", latency), field("batch", size)],
+                job.trace_id,
+                vec![
+                    field("dur_us", latency),
+                    field("req_id", job.req_id),
+                    field("queue_us", queue_us as u64),
+                    field("linger_us", linger_us as u64),
+                    field("batch", size),
+                ],
             );
         }
-        job.writer.send(stats, &frame);
+        job.writer.send(stats, &frame, job.wire_version);
     }
 }

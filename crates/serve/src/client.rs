@@ -2,7 +2,9 @@
 //! generator, the end-to-end tests, and anyone scripting against a
 //! running server.
 
-use crate::protocol::{read_frame, write_frame, Frame, QueryFrame, RecvError, LOCATE_TRI};
+use crate::protocol::{
+    read_frame, write_frame_v, Frame, QueryFrame, RecvError, LOCATE_TRI, VERSION,
+};
 use sknn_core::workload::SurfacePoint;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -14,6 +16,9 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Wire version frames are encoded at (default: current). Tests pin
+    /// this to exercise old-client/new-server compatibility.
+    version: u16,
 }
 
 impl Client {
@@ -31,18 +36,25 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(read_timeout))?;
-        Ok(Self { stream })
+        Ok(Self { stream, version: VERSION })
+    }
+
+    /// Pins the wire version this client encodes at (the server replies
+    /// in kind). Useful for compatibility tests; outside them the
+    /// default current version is right.
+    pub fn set_wire_version(&mut self, version: u16) {
+        self.version = version;
     }
 
     /// Clones the underlying socket (shared kernel buffers), so one half
     /// can send while the other receives.
     pub fn try_clone(&self) -> io::Result<Self> {
-        Ok(Self { stream: self.stream.try_clone()? })
+        Ok(Self { stream: self.stream.try_clone()?, version: self.version })
     }
 
     /// Sends one frame.
     pub fn send(&mut self, frame: &Frame) -> io::Result<()> {
-        write_frame(&mut self.stream, frame)
+        write_frame_v(&mut self.stream, frame, self.version)
     }
 
     /// Receives one frame (blocking, up to the read timeout).
@@ -58,6 +70,19 @@ impl Client {
         k: u32,
         deadline_ms: u32,
     ) -> io::Result<()> {
+        self.send_query_traced(req_id, q, k, deadline_ms, 0)
+    }
+
+    /// [`send_query`](Self::send_query) with an explicit trace id (0 =
+    /// let the server mint one; the reply echoes the effective id).
+    pub fn send_query_traced(
+        &mut self,
+        req_id: u64,
+        q: SurfacePoint,
+        k: u32,
+        deadline_ms: u32,
+        trace_id: u64,
+    ) -> io::Result<()> {
         self.send(&Frame::Query(QueryFrame {
             req_id,
             tri: q.tri,
@@ -66,6 +91,7 @@ impl Client {
             z: q.pos.z,
             k,
             deadline_ms,
+            trace_id,
         }))
     }
 
@@ -80,6 +106,7 @@ impl Client {
             z: 0.0,
             k,
             deadline_ms: 0,
+            trace_id: 0,
         }))
     }
 
@@ -99,6 +126,24 @@ impl Client {
                             Frame::Query(_) => "server sent a query frame",
                             _ => "unexpected frame awaiting stats",
                         },
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Round-trips a `TRACE_DUMP` request, returning the server's
+    /// slow-query reservoir as JSONL (v2 servers only). Same caveat as
+    /// [`fetch_stats`](Self::fetch_stats): no queries in flight.
+    pub fn fetch_trace_dump(&mut self) -> Result<String, RecvError> {
+        self.send(&Frame::TraceDumpRequest).map_err(RecvError::Io)?;
+        loop {
+            match self.recv()? {
+                Frame::TraceDump(t) => return Ok(t.jsonl),
+                Frame::Response(_) | Frame::Error(_) => continue,
+                _ => {
+                    return Err(RecvError::Protocol(crate::protocol::ProtocolError::Malformed(
+                        "unexpected frame awaiting trace dump",
                     )))
                 }
             }

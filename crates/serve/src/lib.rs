@@ -25,22 +25,36 @@
 //!   load generator that measures latency percentiles and verifies
 //!   responses bit-for-bit against direct engine calls.
 //!
+//! Request telemetry (protocol v2) rides on top:
+//!
+//! * [`slowlog`] — an always-on bounded reservoir of slow / degraded /
+//!   failed requests, dumped as JSONL via the `TRACE_DUMP` frame and at
+//!   drain.
+//! * [`metrics_http`] (internal) — a std-only HTTP listener serving
+//!   Prometheus text (`/metrics`) and drain-aware health (`/healthz`).
+//! * [`promtext`] — client-side Prometheus text parsing and quantile
+//!   estimation, powering `sknn top` and the CI scrape check.
+//!
 //! Everything is `std` — `TcpListener`, scoped threads, and
 //! `sync_channel` — matching the workspace's no-new-dependencies rule.
 
 pub mod client;
 pub mod loadgen;
+pub mod promtext;
 pub mod protocol;
 pub mod server;
+pub mod slowlog;
 pub mod stats;
 
 mod batch;
+mod metrics_http;
 
 pub use client::Client;
 pub use loadgen::{LoadgenConfig, RunReport};
 pub use protocol::{
     ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame, RecvError, ResponseFrame,
-    ServerTiming, StatsFrame, WireNeighbor,
+    ServerTiming, StatsFrame, TraceDumpFrame, WireNeighbor,
 };
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use slowlog::{SlowEntry, SlowOutcome, SlowQueryLog};
 pub use stats::ServeStats;

@@ -11,13 +11,22 @@
 //! guarantee, measured rather than assumed.
 
 use crate::client::Client;
-use crate::protocol::{ErrorCode, Frame, RecvError};
+use crate::protocol::{ErrorCode, Frame, RecvError, ServerTiming};
 use sknn_core::mr3::Mr3Engine;
 use sknn_core::workload::{Scene, SurfacePoint};
 use std::collections::HashMap;
 use std::io;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Stage names, in request-path order, for the server-side breakdown
+/// table. Indices match [`stage_values`].
+pub const STAGE_NAMES: [&str; 8] =
+    ["queue", "linger", "exec", "knn2d", "radius", "range", "rank", "stall"];
+
+fn stage_values(t: &ServerTiming) -> [u32; 8] {
+    [t.queue_us, t.linger_us, t.exec_us, t.knn2d_us, t.radius_us, t.range_us, t.rank_us, t.stall_us]
+}
 
 /// What to run against the server.
 #[derive(Debug, Clone)]
@@ -92,6 +101,14 @@ pub struct RunReport {
     pub achieved_qps: f64,
     /// Latency of successful responses.
     pub latency: LatencyMs,
+    /// Server-reported per-stage latency summaries (protocol v2), in
+    /// [`STAGE_NAMES`] order. Empty when the server spoke v1.
+    pub stages: Vec<(String, LatencyMs)>,
+    /// Responses whose server-reported stage sum (queue + linger + exec)
+    /// exceeded the client-measured round trip — should be zero; both
+    /// come from monotonic clocks and the client span contains the
+    /// server span.
+    pub stage_sum_violations: u64,
     /// Server `STATS` snapshot taken after the pass.
     pub server: Vec<(String, u64)>,
 }
@@ -105,6 +122,26 @@ impl RunReport {
     /// Mean micro-batch size observed by the server.
     pub fn server_mean_batch(&self) -> f64 {
         self.server_stat("mean_batch_x1000") as f64 / 1000.0
+    }
+
+    /// The per-stage breakdown as an aligned text table (empty string
+    /// when the server reported no stage timing).
+    pub fn stage_table(&self) -> String {
+        if self.stages.is_empty() {
+            return String::new();
+        }
+        let mut s = String::new();
+        s.push_str(&format!(
+            "  {:<8} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage", "mean_ms", "p50_ms", "p95_ms", "p99_ms"
+        ));
+        for (name, l) in &self.stages {
+            s.push_str(&format!(
+                "  {:<8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                name, l.mean, l.p50, l.p95, l.p99
+            ));
+        }
+        s
     }
 
     /// The pass as a JSON object (one element of `BENCH_serve.json`).
@@ -140,6 +177,21 @@ impl RunReport {
              \"p99\": {:.3}, \"max\": {:.3}}},\n",
             l.mean, l.p50, l.p95, l.p99, l.max
         ));
+        s.push_str(&format!(
+            "{indent}  \"stage_sum_violations\": {},\n",
+            self.stage_sum_violations
+        ));
+        s.push_str(&format!("{indent}  \"stages_ms\": {{"));
+        for (i, (name, sl)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "\"{name}\": {{\"mean\": {:.3}, \"p50\": {:.3}, \"p95\": {:.3}, \"p99\": {:.3}}}",
+                sl.mean, sl.p50, sl.p95, sl.p99
+            ));
+        }
+        s.push_str("},\n");
         s.push_str(&format!("{indent}  \"server\": {{"));
         for (i, (name, value)) in self.server.iter().enumerate() {
             if i > 0 {
@@ -169,6 +221,34 @@ struct ConnTally {
     verified: u64,
     mismatches: u64,
     latencies_ms: Vec<f64>,
+    /// Per-stage server-reported times, ms, in [`STAGE_NAMES`] order.
+    stage_ms: [Vec<f64>; 8],
+    stage_sum_violations: u64,
+}
+
+impl ConnTally {
+    /// Folds one response's server timing into the stage vectors and
+    /// checks the containment invariant against the client round trip.
+    fn record_stages(&mut self, timing: &ServerTiming, e2e_ms: f64) {
+        // A v1 server reports no stage split; skip rather than pollute
+        // the table with zeros (queue/exec alone are still reported via
+        // the plain latency stats).
+        if timing.linger_us == 0 && timing.knn2d_us == 0 && timing.rank_us == 0 {
+            // Either a v1 reply or a genuinely sub-µs request; the latter
+            // also carries nothing worth tabulating.
+            return;
+        }
+        for (vec, us) in self.stage_ms.iter_mut().zip(stage_values(timing)) {
+            vec.push(us as f64 / 1e3);
+        }
+        let server_path_ms =
+            (timing.queue_us as u64 + timing.linger_us as u64 + timing.exec_us as u64) as f64 / 1e3;
+        // Allow a microsecond of rounding slack: each stage is truncated
+        // to whole µs independently of the client's clock read.
+        if server_path_ms > e2e_ms + 0.001 {
+            self.stage_sum_violations += 1;
+        }
+    }
 }
 
 /// Bit pattern of a response, for exact comparison.
@@ -239,6 +319,7 @@ pub fn run(
         ..Default::default()
     };
     let mut latencies: Vec<f64> = Vec::new();
+    let mut stage_ms: [Vec<f64>; 8] = Default::default();
     for tally in tallies {
         let t = tally?;
         report.sent += t.sent;
@@ -253,10 +334,21 @@ pub fn run(
         report.protocol_errors += t.protocol_errors;
         report.verified += t.verified;
         report.mismatches += t.mismatches;
+        report.stage_sum_violations += t.stage_sum_violations;
         latencies.extend(t.latencies_ms);
+        for (merged, conn) in stage_ms.iter_mut().zip(t.stage_ms) {
+            merged.extend(conn);
+        }
     }
     report.achieved_qps = report.ok as f64 / wall_s.max(1e-9);
     report.latency = summarize(&mut latencies);
+    if stage_ms.iter().any(|v| !v.is_empty()) {
+        report.stages = STAGE_NAMES
+            .iter()
+            .zip(stage_ms.iter_mut())
+            .map(|(name, vals)| (name.to_string(), summarize(vals)))
+            .collect();
+    }
     report.server = Client::connect(&cfg.addr)?
         .fetch_stats()
         .map_err(|e| io::Error::other(format!("stats fetch failed: {e}")))?;
@@ -333,10 +425,12 @@ fn run_closed_conn(
         tally.sent += 1;
         match client.recv() {
             Ok(frame) => {
-                if classify(&mut tally, &frame, expect).is_some()
-                    && matches!(frame, Frame::Response(_))
-                {
-                    tally.latencies_ms.push(sent_at.elapsed().as_secs_f64() * 1e3);
+                if classify(&mut tally, &frame, expect).is_some() {
+                    if let Frame::Response(r) = &frame {
+                        let e2e_ms = sent_at.elapsed().as_secs_f64() * 1e3;
+                        tally.latencies_ms.push(e2e_ms);
+                        tally.record_stages(&r.timing, e2e_ms);
+                    }
                 }
             }
             Err(RecvError::Protocol(_)) => {
@@ -395,8 +489,10 @@ fn run_open_conn(
                     }
                     if let Some(idx) = classify(&mut tally, &frame, expect) {
                         outcomes += 1;
-                        if let (Frame::Response(_), Some(at)) = (&frame, send_times.get(&idx)) {
-                            tally.latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
+                        if let (Frame::Response(r), Some(at)) = (&frame, send_times.get(&idx)) {
+                            let e2e_ms = at.elapsed().as_secs_f64() * 1e3;
+                            tally.latencies_ms.push(e2e_ms);
+                            tally.record_stages(&r.timing, e2e_ms);
                         }
                     }
                 }

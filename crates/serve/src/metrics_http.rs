@@ -1,0 +1,181 @@
+//! A deliberately tiny metrics endpoint: std-only HTTP/1.1, GET-only,
+//! two routes.
+//!
+//! * `GET /metrics` — Prometheus text exposition rendered from an
+//!   [`sknn_obs::Registry`] at request time (pull model: reading the
+//!   counters costs nothing until someone scrapes).
+//! * `GET /healthz` — `200` with `{"status":"serving"}` while the query
+//!   port accepts work, `503` with `{"status":"draining"}` once graceful
+//!   drain has begun. Load balancers poll this to stop routing before
+//!   the query port actually closes.
+//!
+//! The listener is nonblocking and single-threaded: a scrape is a few
+//! hundred microseconds of rendering, and metrics traffic is one poller,
+//! not a fleet. Requests are read with a short timeout and a bounded
+//! buffer; anything that is not a well-formed `GET` line gets a 400 and
+//! a hangup, because this endpoint's threat model is "curl and a
+//! scraper", not the open internet.
+
+use sknn_obs::Registry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Serves `/metrics` and `/healthz` until `stop` is set. `draining`
+/// flips the health answer; it is independent of `stop` so the endpoint
+/// keeps answering (as draining) for the whole drain window.
+pub(crate) fn metrics_loop(
+    listener: &TcpListener,
+    registry: &Registry<'_>,
+    draining: &AtomicBool,
+    stop: &AtomicBool,
+) {
+    listener.set_nonblocking(true).expect("metrics listener nonblocking");
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One request per connection, served inline: losing a
+                // scrape interval to a slow client is acceptable, leaking
+                // a thread per scrape is not.
+                let _ = serve_one(stream, registry, draining);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry<'_>,
+    draining: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_nodelay(true).ok();
+    let path = match read_request_path(&mut stream) {
+        Some(p) => p,
+        None => {
+            return write_response(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n")
+        }
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = registry.render();
+            write_response(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/healthz" => {
+            if draining.load(Ordering::Relaxed) {
+                write_response(&mut stream, 503, "application/json", "{\"status\":\"draining\"}\n")
+            } else {
+                write_response(&mut stream, 200, "application/json", "{\"status\":\"serving\"}\n")
+            }
+        }
+        _ => write_response(&mut stream, 404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// Reads up to the end of the request head and returns the GET path, or
+/// `None` for anything malformed, non-GET, or oversized.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 2048];
+    let mut filled = 0;
+    loop {
+        // The request line alone is enough; stop as soon as it is complete.
+        if let Some(line_end) = buf[..filled].windows(2).position(|w| w == b"\r\n") {
+            let line = std::str::from_utf8(&buf[..line_end]).ok()?;
+            let mut parts = line.split(' ');
+            let method = parts.next()?;
+            let path = parts.next()?;
+            let version = parts.next()?;
+            if method != "GET" || !version.starts_with("HTTP/1.") {
+                return None;
+            }
+            return Some(path.to_string());
+        }
+        if filled == buf.len() {
+            return None;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return None,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Binds the metrics listener (port 0 for ephemeral) and returns it with
+/// its resolved address.
+pub(crate) fn bind_metrics(addr: &str) -> io::Result<(TcpListener, SocketAddr)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    Ok((listener, local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        let status: u16 = out.split(' ').nth(1).and_then(|c| c.parse().ok()).expect("status code");
+        let body = out.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn routes_metrics_healthz_and_404() {
+        let (listener, addr) = bind_metrics("127.0.0.1:0").unwrap();
+        let registry = Registry::new();
+        registry.counter_fn("test_hits_total", "Test counter", || 42);
+        let draining = AtomicBool::new(false);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| metrics_loop(&listener, &registry, &draining, &stop));
+            let (status, body) = get(addr, "/metrics");
+            assert_eq!(status, 200);
+            assert!(body.contains("test_hits_total 42"), "{body}");
+            let (status, body) = get(addr, "/healthz");
+            assert_eq!(status, 200);
+            assert!(body.contains("serving"), "{body}");
+            draining.store(true, Ordering::Relaxed);
+            let (status, body) = get(addr, "/healthz");
+            assert_eq!(status, 503);
+            assert!(body.contains("draining"), "{body}");
+            let (status, _) = get(addr, "/nope");
+            assert_eq!(status, 404);
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+}

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"SKNN"
-//!      4     2  protocol version (little-endian u16, currently 1)
+//!      4     2  protocol version (little-endian u16, 1 or 2)
 //!      6     1  frame type tag
 //!      7     1  reserved (must be 0 on send, ignored on receive)
 //!      8     4  payload length (little-endian u32, <= MAX_PAYLOAD)
@@ -16,6 +16,25 @@
 //! the identical byte string — the property the round-trip proptests pin
 //! down, and what makes the end-to-end "server result == direct engine
 //! call" comparison exact rather than approximate.
+//!
+//! # Versioning
+//!
+//! The version travels per frame, and both ends accept the whole
+//! [`MIN_VERSION`]`..=`[`VERSION`] range. Version 2 extends version 1
+//! with request telemetry:
+//!
+//! * [`QueryFrame`] carries a `trace_id` (appended; 0 = "server mints"),
+//! * [`ResponseFrame`] echoes the `trace_id` and carries the full
+//!   per-stage [`ServerTiming`] breakdown (v1 encodes only
+//!   queue/exec/batch),
+//! * the `TRACE_DUMP_REQUEST` / `TRACE_DUMP` frames (slow-query JSONL
+//!   retrieval) exist only in v2.
+//!
+//! Negotiation is implicit: the server replies to each request in the
+//! version the request arrived in, so an old client never sees fields it
+//! cannot parse, and a new client talking to an old server gets a typed
+//! [`ProtocolError::BadVersion`] rejection it can downgrade on. Decoding
+//! a v1 payload fills the v2-only fields with their zero values.
 //!
 //! Decoding is total: any byte string produces either a frame or a typed
 //! [`ProtocolError`], never a panic. The payload-length cap bounds every
@@ -28,9 +47,14 @@ use std::io::{self, Read, Write};
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SKNN";
 
-/// Current protocol version. Bumped on any incompatible layout change;
-/// servers reject other versions with [`ProtocolError::BadVersion`].
-pub const VERSION: u16 = 1;
+/// Current (highest supported) protocol version. Frames carrying any
+/// version in [`MIN_VERSION`]`..=VERSION` are accepted; others are
+/// rejected with [`ProtocolError::BadVersion`].
+pub const VERSION: u16 = 2;
+
+/// Oldest protocol version still decoded (v1: no trace ids, three-field
+/// timing, no trace-dump frames).
+pub const MIN_VERSION: u16 = 1;
 
 /// Size of the fixed frame header in bytes.
 pub const HEADER_LEN: usize = 12;
@@ -50,6 +74,8 @@ const TAG_RESPONSE: u8 = 2;
 const TAG_ERROR: u8 = 3;
 const TAG_STATS_REQUEST: u8 = 4;
 const TAG_STATS: u8 = 5;
+const TAG_TRACE_DUMP_REQUEST: u8 = 6;
+const TAG_TRACE_DUMP: u8 = 7;
 
 /// A surface k-NN request.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,6 +97,10 @@ pub struct QueryFrame {
     pub k: u32,
     /// Per-request deadline in milliseconds from arrival; `0` means none.
     pub deadline_ms: u32,
+    /// Client-supplied trace id stamping every obs record this request
+    /// produces; `0` asks the server to mint one (echoed in the reply
+    /// either way). v2 only — decoding a v1 frame yields 0.
+    pub trace_id: u64,
 }
 
 /// One ranked neighbor on the wire: object id plus its surface-distance
@@ -86,12 +116,32 @@ pub struct WireNeighbor {
 }
 
 /// Server-side timing attached to every successful response.
+///
+/// v1 carries only `queue_us`, `exec_us`, and `batch`; the per-stage
+/// fields are a v2 extension and decode as 0 from a v1 frame. The four
+/// engine-stage fields are per-request wall time inside the engine call;
+/// `stall_us` is the pager stall of the whole batch (stalls overlap
+/// across batch members, so per-request attribution is not defined).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerTiming {
-    /// Microseconds the request waited in the admission queue.
+    /// Microseconds the request waited in the admission queue (arrival to
+    /// dispatcher pickup).
     pub queue_us: u32,
+    /// Microseconds between dispatcher pickup and batch execution start —
+    /// the micro-batcher's linger share of this request's latency.
+    pub linger_us: u32,
     /// Microseconds the micro-batch spent in `Engine::try_query_batch_at`.
     pub exec_us: u32,
+    /// Engine step 1 (2D k-NN seeding) wall time for this request.
+    pub knn2d_us: u32,
+    /// Engine step 2 (radius estimation) wall time for this request.
+    pub radius_us: u32,
+    /// Engine step 3 (planar range query) wall time for this request.
+    pub range_us: u32,
+    /// Engine step 4 (iterative ranking) wall time for this request.
+    pub rank_us: u32,
+    /// Pager stall wall time of the batch this request rode in.
+    pub stall_us: u32,
     /// Number of requests coalesced into the batch that served this one.
     pub batch: u16,
 }
@@ -101,6 +151,10 @@ pub struct ServerTiming {
 pub struct ResponseFrame {
     /// Echo of the request's correlation id.
     pub req_id: u64,
+    /// The request's trace id (client-supplied or server-minted) — the
+    /// key into metrics-endpoint slow-query dumps and server traces.
+    /// v2 only; 0 when decoded from a v1 frame.
+    pub trace_id: u64,
     /// The k nearest objects, ascending by distance estimate.
     pub neighbors: Vec<WireNeighbor>,
     /// Set when the result is valid but looser than a fault-free,
@@ -186,6 +240,16 @@ pub struct StatsFrame {
     pub entries: Vec<(String, u64)>,
 }
 
+/// The slow-query reservoir as JSONL, one object per captured request
+/// (v2 only). The text is truncated at a char boundary if it would
+/// exceed [`MAX_PAYLOAD`]; each line is self-contained, so truncation
+/// loses whole oldest-entries, never syntax.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceDumpFrame {
+    /// JSONL body: newline-separated JSON objects.
+    pub jsonl: String,
+}
+
 /// Any protocol frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -199,6 +263,10 @@ pub enum Frame {
     StatsRequest,
     /// Server → client: the statistics snapshot.
     Stats(StatsFrame),
+    /// Client → server: ask for the slow-query JSONL dump (v2 only).
+    TraceDumpRequest,
+    /// Server → client: the slow-query JSONL dump (v2 only).
+    TraceDump(TraceDumpFrame),
 }
 
 /// Why a byte string failed to decode as a frame.
@@ -206,7 +274,7 @@ pub enum Frame {
 pub enum ProtocolError {
     /// The first four bytes were not [`MAGIC`].
     BadMagic([u8; 4]),
-    /// The version field did not match [`VERSION`].
+    /// The version field was outside [`MIN_VERSION`]`..=`[`VERSION`].
     BadVersion(u16),
     /// The frame type tag is not one this version defines.
     UnknownFrameType(u8),
@@ -233,7 +301,7 @@ impl std::fmt::Display for ProtocolError {
         match self {
             ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
             ProtocolError::BadVersion(v) => {
-                write!(f, "unsupported protocol version {v} (expected {VERSION})")
+                write!(f, "unsupported protocol version {v} (supported {MIN_VERSION}..={VERSION})")
             }
             ProtocolError::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
             ProtocolError::Oversized { len } => {
@@ -281,6 +349,19 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&s.as_bytes()[..end]);
 }
 
+/// Writes `s` as a u32 length prefix plus UTF-8 bytes, truncating at a
+/// char boundary so the payload stays within [`MAX_PAYLOAD`] (used by the
+/// JSONL trace dump, whose lines are independently parseable — dropping a
+/// tail loses entries, never syntax).
+fn put_str32(out: &mut Vec<u8>, s: &str) {
+    let mut end = s.len().min(MAX_PAYLOAD as usize - 4);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u32(out, end as u32);
+    out.extend_from_slice(&s.as_bytes()[..end]);
+}
+
 impl Frame {
     fn tag(&self) -> u8 {
         match self {
@@ -289,10 +370,20 @@ impl Frame {
             Frame::Error(_) => TAG_ERROR,
             Frame::StatsRequest => TAG_STATS_REQUEST,
             Frame::Stats(_) => TAG_STATS,
+            Frame::TraceDumpRequest => TAG_TRACE_DUMP_REQUEST,
+            Frame::TraceDump(_) => TAG_TRACE_DUMP,
         }
     }
 
-    fn encode_payload(&self, out: &mut Vec<u8>) {
+    /// Lowest protocol version whose wire format can carry this frame.
+    pub fn min_version(&self) -> u16 {
+        match self {
+            Frame::TraceDumpRequest | Frame::TraceDump(_) => 2,
+            _ => 1,
+        }
+    }
+
+    fn encode_payload(&self, version: u16, out: &mut Vec<u8>) {
         match self {
             Frame::Query(q) => {
                 put_u64(out, q.req_id);
@@ -302,11 +393,27 @@ impl Frame {
                 put_f64(out, q.z);
                 put_u32(out, q.k);
                 put_u32(out, q.deadline_ms);
+                if version >= 2 {
+                    put_u64(out, q.trace_id);
+                }
             }
             Frame::Response(r) => {
                 put_u64(out, r.req_id);
+                if version >= 2 {
+                    put_u64(out, r.trace_id);
+                }
                 put_u32(out, r.timing.queue_us);
+                if version >= 2 {
+                    put_u32(out, r.timing.linger_us);
+                }
                 put_u32(out, r.timing.exec_us);
+                if version >= 2 {
+                    put_u32(out, r.timing.knn2d_us);
+                    put_u32(out, r.timing.radius_us);
+                    put_u32(out, r.timing.range_us);
+                    put_u32(out, r.timing.rank_us);
+                    put_u32(out, r.timing.stall_us);
+                }
                 put_u16(out, r.timing.batch);
                 match &r.degraded {
                     Some(s) => {
@@ -337,18 +444,31 @@ impl Frame {
                     put_u64(out, *value);
                 }
             }
+            Frame::TraceDumpRequest => {}
+            Frame::TraceDump(t) => put_str32(out, &t.jsonl),
         }
     }
 
-    /// Serializes the frame (header plus payload).
+    /// Serializes the frame at the current protocol [`VERSION`].
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_v(VERSION)
+    }
+
+    /// Serializes the frame at a specific protocol version — the server
+    /// replies in the version each request arrived in, so old clients
+    /// never see v2 fields. Out-of-range versions are clamped into
+    /// [`MIN_VERSION`]`..=`[`VERSION`], and a frame that does not exist
+    /// below some version (trace dumps) is raised to it, so the output is
+    /// always a decodable frame.
+    pub fn encode_v(&self, version: u16) -> Vec<u8> {
+        let version = version.clamp(MIN_VERSION, VERSION).max(self.min_version());
         let mut out = Vec::with_capacity(HEADER_LEN + 64);
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&version.to_le_bytes());
         out.push(self.tag());
         out.push(0); // reserved
         out.extend_from_slice(&0u32.to_le_bytes()); // length back-patched
-        self.encode_payload(&mut out);
+        self.encode_payload(version, &mut out);
         let len = (out.len() - HEADER_LEN) as u32;
         out[8..12].copy_from_slice(&len.to_le_bytes());
         out
@@ -358,43 +478,53 @@ impl Frame {
     /// frame and the number of bytes it occupied. Trailing bytes beyond
     /// the frame are the caller's business (the next frame, typically).
     pub fn decode(bytes: &[u8]) -> Result<(Frame, usize), ProtocolError> {
+        let (frame, _version, used) = Self::decode_versioned(bytes)?;
+        Ok((frame, used))
+    }
+
+    /// [`decode`](Self::decode), also returning the wire version the
+    /// frame arrived in (what a server echoes back).
+    pub fn decode_versioned(bytes: &[u8]) -> Result<(Frame, u16, usize), ProtocolError> {
         if bytes.len() < HEADER_LEN {
             return Err(ProtocolError::Truncated { needed: HEADER_LEN, got: bytes.len() });
         }
         let mut header = [0u8; HEADER_LEN];
         header.copy_from_slice(&bytes[..HEADER_LEN]);
-        let (tag, len) = parse_header(&header)?;
+        let (version, tag, len) = parse_header(&header)?;
         let total = HEADER_LEN + len as usize;
         if bytes.len() < total {
             return Err(ProtocolError::Truncated { needed: total, got: bytes.len() });
         }
-        let frame = decode_payload(tag, &bytes[HEADER_LEN..total])?;
-        Ok((frame, total))
+        let frame = decode_payload(version, tag, &bytes[HEADER_LEN..total])?;
+        Ok((frame, version, total))
     }
 }
 
-/// Validates a frame header, returning the frame type tag and payload
-/// length. Shared by the one-shot [`Frame::decode`] and the incremental
-/// socket readers (which need to size the payload read before it exists).
-pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ProtocolError> {
+/// Validates a frame header, returning the wire version, frame type tag,
+/// and payload length. Shared by the one-shot [`Frame::decode`] and the
+/// incremental socket readers (which need to size the payload read before
+/// it exists). The valid tag range is version-dependent: the trace-dump
+/// tags do not exist in v1 headers.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, u8, u32), ProtocolError> {
     if header[..4] != MAGIC {
         let mut m = [0u8; 4];
         m.copy_from_slice(&header[..4]);
         return Err(ProtocolError::BadMagic(m));
     }
     let version = u16::from_le_bytes([header[4], header[5]]);
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ProtocolError::BadVersion(version));
     }
     let tag = header[6];
-    if !(TAG_QUERY..=TAG_STATS).contains(&tag) {
+    let max_tag = if version >= 2 { TAG_TRACE_DUMP } else { TAG_STATS };
+    if !(TAG_QUERY..=max_tag).contains(&tag) {
         return Err(ProtocolError::UnknownFrameType(tag));
     }
     let len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
     if len > MAX_PAYLOAD {
         return Err(ProtocolError::Oversized { len });
     }
-    Ok((tag, len))
+    Ok((version, tag, len))
 }
 
 /// Cursor over a payload with bounds-checked little-endian reads.
@@ -446,12 +576,22 @@ impl<'a> Rd<'a> {
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ProtocolError::Malformed("invalid utf-8 in string"))
     }
+
+    fn str32(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("invalid utf-8 in string"))
+    }
 }
 
 /// Decodes a validated-header payload into a frame. The payload must be
 /// consumed exactly; trailing bytes are malformed (they would silently
-/// desynchronize a stream under a future layout change).
-pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
+/// desynchronize a stream under a future layout change). `version` is the
+/// wire version from the header: v1 payloads fill the v2-only fields
+/// (trace ids, per-stage timing) with zeros.
+pub fn decode_payload(version: u16, tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
+    let v2 = version >= 2;
     let mut rd = Rd { buf: payload, pos: 0 };
     let frame = match tag {
         TAG_QUERY => Frame::Query(QueryFrame {
@@ -462,10 +602,22 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
             z: rd.f64()?,
             k: rd.u32()?,
             deadline_ms: rd.u32()?,
+            trace_id: if v2 { rd.u64()? } else { 0 },
         }),
         TAG_RESPONSE => {
             let req_id = rd.u64()?;
-            let timing = ServerTiming { queue_us: rd.u32()?, exec_us: rd.u32()?, batch: rd.u16()? };
+            let trace_id = if v2 { rd.u64()? } else { 0 };
+            let timing = ServerTiming {
+                queue_us: rd.u32()?,
+                linger_us: if v2 { rd.u32()? } else { 0 },
+                exec_us: rd.u32()?,
+                knn2d_us: if v2 { rd.u32()? } else { 0 },
+                radius_us: if v2 { rd.u32()? } else { 0 },
+                range_us: if v2 { rd.u32()? } else { 0 },
+                rank_us: if v2 { rd.u32()? } else { 0 },
+                stall_us: if v2 { rd.u32()? } else { 0 },
+                batch: rd.u16()?,
+            };
             let degraded = match rd.u8()? {
                 0 => None,
                 1 => Some(rd.str16()?),
@@ -481,7 +633,7 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
             for _ in 0..n {
                 neighbors.push(WireNeighbor { id: rd.u32()?, lb: rd.f64()?, ub: rd.f64()? });
             }
-            Frame::Response(ResponseFrame { req_id, neighbors, degraded, timing })
+            Frame::Response(ResponseFrame { req_id, trace_id, neighbors, degraded, timing })
         }
         TAG_ERROR => {
             let req_id = rd.u64()?;
@@ -505,6 +657,8 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
             }
             Frame::Stats(StatsFrame { entries })
         }
+        TAG_TRACE_DUMP_REQUEST if v2 => Frame::TraceDumpRequest,
+        TAG_TRACE_DUMP if v2 => Frame::TraceDump(TraceDumpFrame { jsonl: rd.str32()? }),
         other => return Err(ProtocolError::UnknownFrameType(other)),
     };
     if rd.pos != payload.len() {
@@ -546,15 +700,26 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
     w.write_all(&frame.encode())
 }
 
+/// [`write_frame`] at a specific wire version (see [`Frame::encode_v`]).
+pub fn write_frame_v<W: Write>(w: &mut W, frame: &Frame, version: u16) -> io::Result<()> {
+    w.write_all(&frame.encode_v(version))
+}
+
 /// Blocking read of exactly one frame. EOF at a frame boundary is
 /// [`RecvError::Closed`]; EOF mid-frame is a protocol truncation.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, RecvError> {
+    Ok(read_frame_versioned(r)?.0)
+}
+
+/// [`read_frame`], also returning the wire version the frame arrived in.
+pub fn read_frame_versioned<R: Read>(r: &mut R) -> Result<(Frame, u16), RecvError> {
     let mut header = [0u8; HEADER_LEN];
     read_exact_or(r, &mut header, true)?;
-    let (tag, len) = parse_header(&header).map_err(RecvError::Protocol)?;
+    let (version, tag, len) = parse_header(&header).map_err(RecvError::Protocol)?;
     let mut payload = vec![0u8; len as usize];
     read_exact_or(r, &mut payload, false)?;
-    decode_payload(tag, &payload).map_err(RecvError::Protocol)
+    let frame = decode_payload(version, tag, &payload).map_err(RecvError::Protocol)?;
+    Ok((frame, version))
 }
 
 /// `read_exact` that distinguishes clean EOF before the first byte
@@ -595,6 +760,7 @@ mod tests {
             z: 99.0,
             k: 4,
             deadline_ms: 250,
+            trace_id: 0xDEAD_BEEF,
         });
         let bytes = f.encode();
         let (back, used) = Frame::decode(&bytes).unwrap();
@@ -613,11 +779,87 @@ mod tests {
             z: -0.0,
             k: 1,
             deadline_ms: 0,
+            trace_id: 0,
         });
         let bytes = f.encode();
         let (back, _) = Frame::decode(&bytes).unwrap();
         // NaN != NaN, so compare the re-encoding byte-for-byte.
         assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn v1_query_decodes_with_zero_trace_id() {
+        let f = Frame::Query(QueryFrame {
+            req_id: 9,
+            tri: 2,
+            x: 1.0,
+            y: 2.0,
+            z: 3.0,
+            k: 5,
+            deadline_ms: 10,
+            trace_id: 0x1234,
+        });
+        let bytes = f.encode_v(1);
+        let (back, version, _) = Frame::decode_versioned(&bytes).unwrap();
+        assert_eq!(version, 1);
+        match back {
+            Frame::Query(q) => {
+                assert_eq!(q.trace_id, 0, "v1 wire cannot carry a trace id");
+                assert_eq!(q.req_id, 9);
+            }
+            other => panic!("expected query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn v1_response_drops_stage_fields_v2_keeps_them() {
+        let f = Frame::Response(ResponseFrame {
+            req_id: 11,
+            trace_id: 77,
+            neighbors: vec![WireNeighbor { id: 1, lb: 0.5, ub: 1.5 }],
+            degraded: None,
+            timing: ServerTiming {
+                queue_us: 10,
+                linger_us: 20,
+                exec_us: 30,
+                knn2d_us: 1,
+                radius_us: 2,
+                range_us: 3,
+                rank_us: 4,
+                stall_us: 5,
+                batch: 6,
+            },
+        });
+        let (v1, _) = Frame::decode(&f.encode_v(1)).unwrap();
+        match &v1 {
+            Frame::Response(r) => {
+                assert_eq!(r.trace_id, 0);
+                assert_eq!(
+                    r.timing,
+                    ServerTiming { queue_us: 10, exec_us: 30, batch: 6, ..Default::default() }
+                );
+            }
+            other => panic!("expected response, got {other:?}"),
+        }
+        let (v2, _) = Frame::decode(&f.encode_v(2)).unwrap();
+        assert_eq!(v2, f);
+    }
+
+    #[test]
+    fn trace_dump_round_trips_and_is_v2_only() {
+        let f = Frame::TraceDump(TraceDumpFrame { jsonl: "{\"a\":1}\n{\"b\":2}\n".into() });
+        // Asking for v1 is raised to the frame's minimum version.
+        let bytes = f.encode_v(1);
+        let (back, version, _) = Frame::decode_versioned(&bytes).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(back, f);
+        // A v1 header with a trace-dump tag is an unknown frame type.
+        let mut forged = Frame::TraceDumpRequest.encode();
+        forged[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&forged),
+            Err(ProtocolError::UnknownFrameType(TAG_TRACE_DUMP_REQUEST))
+        );
     }
 
     #[test]

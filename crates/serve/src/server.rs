@@ -24,21 +24,27 @@
 //! written.
 
 use crate::batch::{dispatch_loop, BatchPolicy, ConnWriter, Job};
+use crate::metrics_http::{bind_metrics, metrics_loop};
 use crate::protocol::{
     decode_payload, parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame,
-    HEADER_LEN, LOCATE_TRI,
+    TraceDumpFrame, HEADER_LEN, LOCATE_TRI, MIN_VERSION,
 };
+use crate::slowlog::SlowQueryLog;
 use crate::stats::ServeStats;
 use sknn_core::mr3::Mr3Engine;
 use sknn_core::workload::SurfacePoint;
 use sknn_geom::Point2;
-use sknn_obs::{QueryTrace, Recorder, RingRecorder, NOOP};
+use sknn_obs::{mint_trace_id, QueryTrace, Recorder, Registry, RingRecorder, NOOP};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long the metrics endpoint keeps answering `/healthz` as draining
+/// after the drain itself completes (see the lame-duck note in `run`).
+const METRICS_DRAIN_GRACE: Duration = Duration::from_millis(250);
 
 /// Serving knobs. The defaults suit an interactive service on a local
 /// machine; the load generator and tests override freely.
@@ -56,6 +62,15 @@ pub struct ServeConfig {
     /// Socket read timeout — the granularity at which blocked readers
     /// notice the shutdown flag.
     pub poll_interval: Duration,
+    /// Where to serve `/metrics` and `/healthz` (e.g. `"127.0.0.1:0"`);
+    /// `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Slow-query capture threshold: a successful request slower than
+    /// this lands in the slow-query log. Failures (expired, degraded,
+    /// errored) are captured regardless.
+    pub slow_threshold: Duration,
+    /// Bound on the slow-query reservoir; oldest entries evicted first.
+    pub slow_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +81,9 @@ impl Default for ServeConfig {
             queue_depth: 64,
             exec_threads: sknn_exec::available_threads(),
             poll_interval: Duration::from_millis(20),
+            metrics_addr: None,
+            slow_threshold: Duration::from_millis(100),
+            slow_capacity: 256,
         }
     }
 }
@@ -99,16 +117,28 @@ pub struct Server<'e, 's, 'm> {
     stats: Arc<ServeStats>,
     shutdown: Arc<AtomicBool>,
     ring: Option<RingRecorder>,
+    slow: SlowQueryLog,
+    metrics: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 impl<'e, 's, 'm> Server<'e, 's, 'm> {
-    /// Binds the listener. Pass port 0 for an ephemeral port (tests).
+    /// Binds the listener (and the metrics listener, when configured).
+    /// Pass port 0 for an ephemeral port (tests).
     pub fn bind<A: ToSocketAddrs>(
         engine: &'e Mr3Engine<'s, 'm>,
         addr: A,
         cfg: ServeConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let (metrics, metrics_addr) = match &cfg.metrics_addr {
+            Some(addr) => {
+                let (l, a) = bind_metrics(addr)?;
+                (Some(l), Some(a))
+            }
+            None => (None, None),
+        };
+        let slow = SlowQueryLog::new(cfg.slow_threshold.as_micros() as u64, cfg.slow_capacity);
         Ok(Self {
             engine,
             listener,
@@ -116,12 +146,20 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
             stats: Arc::new(ServeStats::new()),
             shutdown: Arc::new(AtomicBool::new(false)),
             ring: None,
+            slow,
+            metrics,
+            metrics_addr,
         })
     }
 
     /// The bound address.
     pub fn local_addr(&self) -> SocketAddr {
         self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// The metrics endpoint's bound address, when one is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Handle for shutting the server down from another thread.
@@ -134,10 +172,75 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
         Arc::clone(&self.stats)
     }
 
+    /// The slow-query reservoir (readable at any time; the drain dump in
+    /// the binary reads it after [`run`](Self::run) returns).
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow
+    }
+
     /// Record per-request spans and per-batch events into a bounded ring,
     /// drained into the trace that [`run`](Self::run) returns.
     pub fn enable_tracing(&mut self, capacity: usize) {
         self.ring = Some(RingRecorder::new(capacity));
+    }
+
+    /// Builds the metrics registry: serving counters and histograms, the
+    /// pager's pool/stall counters, and the fault-injection counters.
+    fn build_registry(&self) -> Registry<'_> {
+        let registry = Registry::new();
+        self.stats.register_into(&registry);
+        let pager = self.engine.pager();
+        registry.counter_fn(
+            "sknn_store_stall_us_total",
+            "Cumulative pager stall wall time, microseconds",
+            move || pager.stall_ns() / 1_000,
+        );
+        registry.counter_fn(
+            "sknn_store_logical_reads_total",
+            "Page read requests, hit or miss",
+            move || pager.stats().logical_reads,
+        );
+        registry.counter_fn(
+            "sknn_store_physical_reads_total",
+            "Buffer-pool misses fetched from disk",
+            move || pager.stats().physical_reads,
+        );
+        registry.counter_fn(
+            "sknn_store_singleflight_waits_total",
+            "Threads that waited on another's in-flight read",
+            move || pager.concurrency_stats().singleflight_waits,
+        );
+        registry.counter_fn(
+            "sknn_store_coalesced_misses_total",
+            "Misses that did not pay their own stall",
+            move || pager.concurrency_stats().coalesced_misses,
+        );
+        registry.counter_fn(
+            "sknn_store_shard_contention_total",
+            "Shard-lock acquisitions that found the lock held",
+            move || pager.concurrency_stats().shard_contention,
+        );
+        registry.counter_fn(
+            "sknn_store_faults_injected_total",
+            "Storage faults fired by the injector",
+            move || pager.fault_stats().injected,
+        );
+        registry.counter_fn(
+            "sknn_store_fault_retries_total",
+            "Read attempts beyond a read's first",
+            move || pager.fault_stats().retries,
+        );
+        registry.counter_fn(
+            "sknn_store_fault_exhausted_total",
+            "Reads that exhausted the retry budget",
+            move || pager.fault_stats().exhausted,
+        );
+        registry.counter_fn(
+            "sknn_store_checksum_failures_total",
+            "Checksum verification failures on physical reads",
+            move || pager.fault_stats().checksum_failures,
+        );
+        registry
     }
 
     /// Serves until [`ServerHandle::shutdown`] is called, then drains and
@@ -153,9 +256,19 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
             max_wait: self.cfg.max_wait,
             exec_threads: self.cfg.exec_threads.max(1),
         };
+        let registry = self.build_registry();
+        let metrics_stop = AtomicBool::new(false);
         let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_depth.max(1));
         std::thread::scope(|scope| {
-            scope.spawn(move || dispatch_loop(self.engine, &rx, policy, &self.stats, rec));
+            let dispatcher = scope.spawn(move || {
+                dispatch_loop(self.engine, &rx, policy, &self.stats, &self.slow, rec)
+            });
+            if let Some(listener) = &self.metrics {
+                let registry = &registry;
+                let draining = &*self.shutdown;
+                let stop = &metrics_stop;
+                scope.spawn(move || metrics_loop(listener, registry, draining, stop));
+            }
             while !self.shutdown.load(Ordering::Relaxed) {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
@@ -172,8 +285,18 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
             }
             // Dropping the master sender starts the drain clock: the
             // dispatcher exits once the per-connection clones are gone
-            // too and the queue is empty.
+            // too and the queue is empty. The metrics endpoint keeps
+            // answering `/healthz` as "draining" for the whole window
+            // and stops only after the last reply is written.
             drop(tx);
+            let _ = dispatcher.join();
+            // Lame-duck grace: even an instant drain keeps `/healthz`
+            // answering 503 briefly, so pollers observe the state
+            // transition instead of a vanished endpoint.
+            if self.metrics.is_some() {
+                std::thread::sleep(METRICS_DRAIN_GRACE);
+            }
+            metrics_stop.store(true, Ordering::Relaxed);
         });
         if rec.enabled() {
             rec.event(
@@ -200,24 +323,38 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
         let mut stream = stream;
         loop {
             match read_frame_interruptible(&mut stream, &self.shutdown) {
-                ReadOutcome::Frame(Frame::Query(q)) => self.admit(q, &tx, &writer),
-                ReadOutcome::Frame(Frame::StatsRequest) => {
-                    writer.send(&self.stats, &Frame::Stats(self.stats.snapshot()));
+                ReadOutcome::Frame(Frame::Query(q), version) => {
+                    self.admit(q, version, &tx, &writer)
                 }
-                ReadOutcome::Frame(_) => {
-                    // Response/Error/Stats only flow server → client.
+                ReadOutcome::Frame(Frame::StatsRequest, version) => {
+                    writer.send(&self.stats, &Frame::Stats(self.stats.snapshot()), version);
+                }
+                ReadOutcome::Frame(Frame::TraceDumpRequest, version) => {
+                    let dump = TraceDumpFrame { jsonl: self.slow.to_jsonl() };
+                    writer.send(&self.stats, &Frame::TraceDump(dump), version);
+                }
+                ReadOutcome::Frame(_, version) => {
+                    // Response/Error/Stats/TraceDump only flow server → client.
                     self.stats.protocol_errors.inc();
                     writer.send(
                         &self.stats,
                         &error_frame(0, ErrorCode::BadRequest, "unexpected frame type"),
+                        version,
                     );
                 }
                 ReadOutcome::Protocol(e) => {
                     // A framing error means the stream position is no
-                    // longer trustworthy; reply once and hang up.
+                    // longer trustworthy; reply once and hang up. The
+                    // sender's version is unknown (the header may be the
+                    // corrupt part), so use the oldest layout — the error
+                    // frame's body is identical across versions and every
+                    // supported peer decodes v1.
                     self.stats.protocol_errors.inc();
-                    writer
-                        .send(&self.stats, &error_frame(0, ErrorCode::BadRequest, &e.to_string()));
+                    writer.send(
+                        &self.stats,
+                        &error_frame(0, ErrorCode::BadRequest, &e.to_string()),
+                        MIN_VERSION,
+                    );
                     return;
                 }
                 ReadOutcome::Closed | ReadOutcome::Io => return,
@@ -227,19 +364,24 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
     }
 
     /// Validates one query frame and offers it to the bounded queue.
-    fn admit(&self, q: QueryFrame, tx: &SyncSender<Job>, writer: &Arc<ConnWriter>) {
+    fn admit(&self, q: QueryFrame, version: u16, tx: &SyncSender<Job>, writer: &Arc<ConnWriter>) {
         if self.shutdown.load(Ordering::Relaxed) {
             self.stats.rejected_shutdown.inc();
             writer.send(
                 &self.stats,
                 &error_frame(q.req_id, ErrorCode::ShuttingDown, "server is draining"),
+                version,
             );
             return;
         }
         let point = match self.resolve_point(&q) {
             Ok(p) => p,
             Err(why) => {
-                writer.send(&self.stats, &error_frame(q.req_id, ErrorCode::BadRequest, why));
+                writer.send(
+                    &self.stats,
+                    &error_frame(q.req_id, ErrorCode::BadRequest, why),
+                    version,
+                );
                 return;
             }
         };
@@ -248,12 +390,20 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
             0 => None,
             ms => Some(enqueued + Duration::from_millis(ms as u64)),
         };
+        // Every admitted request has a nonzero trace id from here on:
+        // the client's, or one minted now. It becomes the engine's query
+        // id, so each obs record this request produces carries it even
+        // when the request rides a batch with strangers.
+        let trace_id = if q.trace_id != 0 { q.trace_id } else { mint_trace_id() };
         let job = Job {
             req_id: q.req_id,
+            trace_id,
             point,
             k: q.k as usize,
             deadline,
             enqueued,
+            recv_at: enqueued,
+            wire_version: version,
             writer: Arc::clone(writer),
         };
         match tx.try_send(job) {
@@ -266,6 +416,7 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
                 writer.send(
                     &self.stats,
                     &error_frame(q.req_id, ErrorCode::Overloaded, "admission queue full"),
+                    version,
                 );
             }
             Err(TrySendError::Disconnected(_)) => {
@@ -273,6 +424,7 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
                 writer.send(
                     &self.stats,
                     &error_frame(q.req_id, ErrorCode::ShuttingDown, "server is draining"),
+                    version,
                 );
             }
         }
@@ -303,7 +455,9 @@ fn error_frame(req_id: u64, code: ErrorCode, detail: &str) -> Frame {
 }
 
 enum ReadOutcome {
-    Frame(Frame),
+    /// A decoded frame plus the wire version it arrived in (replies echo
+    /// that version so old clients never see new layouts).
+    Frame(Frame, u16),
     /// Clean close at a frame boundary.
     Closed,
     /// Shutdown observed at a frame boundary.
@@ -328,7 +482,7 @@ fn read_frame_interruptible(stream: &mut TcpStream, shutdown: &AtomicBool) -> Re
         Fill::Shutdown => return ReadOutcome::Shutdown,
         Fill::Io => return ReadOutcome::Io,
     }
-    let (tag, len) = match parse_header(&header) {
+    let (version, tag, len) = match parse_header(&header) {
         Ok(v) => v,
         Err(e) => return ReadOutcome::Protocol(e),
     };
@@ -341,8 +495,8 @@ fn read_frame_interruptible(stream: &mut TcpStream, shutdown: &AtomicBool) -> Re
         Fill::Shutdown => unreachable!("shutdown not polled mid-frame"),
         Fill::Io => return ReadOutcome::Io,
     }
-    match decode_payload(tag, &payload) {
-        Ok(frame) => ReadOutcome::Frame(frame),
+    match decode_payload(version, tag, &payload) {
+        Ok(frame) => ReadOutcome::Frame(frame, version),
         Err(e) => ReadOutcome::Protocol(e),
     }
 }

@@ -1,10 +1,18 @@
 //! Aggregate serving metrics: lock-free counters, gauges, and latency
 //! histograms, snapshotted into a [`StatsFrame`] for the `STATS` protocol
-//! frame and the shutdown summary.
+//! frame and the shutdown summary, and registered into an
+//! [`sknn_obs::Registry`] for the Prometheus metrics endpoint.
+//!
+//! The per-stage histograms decompose `latency_us` along the request's
+//! path: admission queue wait → micro-batch linger → engine execution
+//! (itself split into the four MR3 steps) — plus the pager stall time of
+//! the batch the request rode in. Stage sums are ≤ the end-to-end
+//! latency; the remainder is dispatch overhead and reply writing.
 
 use crate::protocol::StatsFrame;
-use sknn_obs::{Counter, LogHistogram};
+use sknn_obs::{Counter, LogHistogram, Registry};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters shared by the accept loop, per-connection readers, and the
 /// dispatcher. Everything is monotonic except `queue_depth`, a gauge.
@@ -26,6 +34,10 @@ pub struct ServeStats {
     pub protocol_errors: Counter,
     /// Queries that ran but returned a typed engine error.
     pub query_errors: Counter,
+    /// Successful responses that carried a degradation marker.
+    pub degraded: Counter,
+    /// Requests captured by the slow-query log.
+    pub slow_captured: Counter,
     /// Micro-batches dispatched to the engine.
     pub batches: Counter,
     /// Requests executed across all batches (`batched_requests / batches`
@@ -35,8 +47,22 @@ pub struct ServeStats {
     pub write_errors: Counter,
     /// Requests currently queued (gauge).
     pub queue_depth: AtomicU64,
-    /// Time spent waiting in the queue, microseconds.
+    /// Time spent waiting in the queue (arrival → dispatcher pickup), µs.
     pub queue_us: LogHistogram,
+    /// Time between dispatcher pickup and batch execution start, µs.
+    pub linger_us: LogHistogram,
+    /// Engine batch execution time, recorded once per request, µs.
+    pub exec_us: LogHistogram,
+    /// Engine step 1 (2D k-NN seeding) per-request wall time, µs.
+    pub stage_knn2d_us: LogHistogram,
+    /// Engine step 2 (radius estimation) per-request wall time, µs.
+    pub stage_radius_us: LogHistogram,
+    /// Engine step 3 (planar range query) per-request wall time, µs.
+    pub stage_range_us: LogHistogram,
+    /// Engine step 4 (iterative ranking) per-request wall time, µs.
+    pub stage_rank_us: LogHistogram,
+    /// Pager stall wall time per batch (recorded once per batch), µs.
+    pub stall_us: LogHistogram,
     /// End-to-end server-side latency (enqueue to reply), microseconds.
     pub latency_us: LogHistogram,
     /// Micro-batch sizes.
@@ -62,6 +88,10 @@ impl ServeStats {
     /// Snapshot for the `STATS` frame. Quantiles come from the log2
     /// histograms, so they are bucket-resolution approximations; the mean
     /// batch size is scaled by 1000 to survive the integer wire format.
+    ///
+    /// Every quantile entry is paired with an `_n` sample-count entry for
+    /// its histogram, so a reader can tell "p50 of nothing" (count 0,
+    /// quantile reported 0) from a genuine sub-microsecond p50.
     pub fn snapshot(&self) -> StatsFrame {
         let q = |h: &LogHistogram, p: f64| h.quantile(p).unwrap_or(0);
         let entries = vec![
@@ -73,17 +103,81 @@ impl ServeStats {
             ("rejected_shutdown".to_string(), self.rejected_shutdown.get()),
             ("protocol_errors".to_string(), self.protocol_errors.get()),
             ("query_errors".to_string(), self.query_errors.get()),
+            ("degraded".to_string(), self.degraded.get()),
+            ("slow_captured".to_string(), self.slow_captured.get()),
             ("batches".to_string(), self.batches.get()),
             ("batched_requests".to_string(), self.batched_requests.get()),
             ("write_errors".to_string(), self.write_errors.get()),
             ("queue_depth".to_string(), self.queue_depth.load(Ordering::Relaxed)),
             ("mean_batch_x1000".to_string(), (self.mean_batch() * 1000.0).round() as u64),
             ("queue_p50_us".to_string(), q(&self.queue_us, 0.5)),
+            ("queue_us_n".to_string(), self.queue_us.count()),
+            ("linger_p50_us".to_string(), q(&self.linger_us, 0.5)),
+            ("linger_us_n".to_string(), self.linger_us.count()),
             ("latency_p50_us".to_string(), q(&self.latency_us, 0.5)),
             ("latency_p95_us".to_string(), q(&self.latency_us, 0.95)),
             ("latency_p99_us".to_string(), q(&self.latency_us, 0.99)),
+            ("latency_us_n".to_string(), self.latency_us.count()),
         ];
         StatsFrame { entries }
+    }
+
+    /// Registers every counter, the queue-depth gauge, and all latency
+    /// histograms into `reg` under the `sknn_serve_` prefix. Sources are
+    /// `Arc` clones, so the registry may outlive the server loop.
+    pub fn register_into(self: &Arc<Self>, reg: &Registry<'_>) {
+        macro_rules! counters {
+            ($($field:ident => $help:expr),+ $(,)?) => {$(
+                let s = Arc::clone(self);
+                reg.counter_fn(
+                    concat!("sknn_serve_", stringify!($field), "_total"),
+                    $help,
+                    move || s.$field.get(),
+                );
+            )+};
+        }
+        counters! {
+            connections => "Connections accepted",
+            accepted => "Requests admitted to the queue",
+            completed => "Requests answered with a successful response",
+            shed => "Requests shed at admission (queue full)",
+            expired => "Requests dropped at dequeue (deadline expired)",
+            rejected_shutdown => "Requests rejected while draining",
+            protocol_errors => "Malformed or unexpected frames received",
+            query_errors => "Queries returning a typed engine error",
+            degraded => "Successful responses carrying a degradation marker",
+            slow_captured => "Requests captured by the slow-query log",
+            batches => "Micro-batches dispatched to the engine",
+            batched_requests => "Requests executed across all batches",
+            write_errors => "Reply writes that failed",
+        }
+        let s = Arc::clone(self);
+        reg.gauge_fn("sknn_serve_queue_depth", "Requests currently queued", move || {
+            s.queue_depth.load(Ordering::Relaxed) as f64
+        });
+        macro_rules! hists {
+            ($($field:ident => $help:expr),+ $(,)?) => {$(
+                let s = Arc::clone(self);
+                reg.histogram_fn(
+                    concat!("sknn_serve_", stringify!($field)),
+                    $help,
+                    "",
+                    move || s.$field.snapshot(),
+                );
+            )+};
+        }
+        hists! {
+            queue_us => "Admission queue wait, microseconds",
+            linger_us => "Micro-batch linger share of latency, microseconds",
+            exec_us => "Engine batch execution time per request, microseconds",
+            stage_knn2d_us => "MR3 step 1 (2D k-NN seeding) wall time, microseconds",
+            stage_radius_us => "MR3 step 2 (radius estimation) wall time, microseconds",
+            stage_range_us => "MR3 step 3 (planar range query) wall time, microseconds",
+            stage_rank_us => "MR3 step 4 (iterative ranking) wall time, microseconds",
+            stall_us => "Pager stall wall time per batch, microseconds",
+            latency_us => "End-to-end server-side latency, microseconds",
+            batch_size => "Micro-batch sizes",
+        }
     }
 
     /// One-line human summary for the shutdown log.
@@ -117,11 +211,42 @@ mod tests {
         s.batches.inc();
         s.batches.inc();
         s.batched_requests.add(7);
-        assert!((s.mean_batch() - 3.5).abs() < 1e-12);
         let snap = s.snapshot();
         let get = |name: &str| snap.entries.iter().find(|(n, _)| n == name).unwrap().1;
         assert_eq!(get("batches"), 2);
         assert_eq!(get("batched_requests"), 7);
         assert_eq!(get("mean_batch_x1000"), 3500);
+    }
+
+    /// The `_n` entries disambiguate the quantile fallback: an empty
+    /// histogram reports quantile 0 *and* count 0; a populated one whose
+    /// samples all landed in bucket 0 reports quantile 0 with a nonzero
+    /// count.
+    #[test]
+    fn snapshot_counts_disambiguate_zero_quantiles() {
+        let s = ServeStats::new();
+        let get =
+            |snap: &StatsFrame, name: &str| snap.entries.iter().find(|(n, _)| n == name).unwrap().1;
+        let empty = s.snapshot();
+        assert_eq!(get(&empty, "latency_p50_us"), 0);
+        assert_eq!(get(&empty, "latency_us_n"), 0);
+        s.latency_us.record(0);
+        s.latency_us.record(0);
+        let populated = s.snapshot();
+        assert_eq!(get(&populated, "latency_p50_us"), 0);
+        assert_eq!(get(&populated, "latency_us_n"), 2);
+    }
+
+    #[test]
+    fn registry_exposes_counters_and_histograms() {
+        let s = Arc::new(ServeStats::new());
+        s.accepted.inc();
+        s.latency_us.record(100);
+        let reg = Registry::new();
+        s.register_into(&reg);
+        let text = reg.render();
+        assert!(text.contains("sknn_serve_accepted_total 1"), "{text}");
+        assert!(text.contains("sknn_serve_latency_us_count 1"), "{text}");
+        assert!(text.contains("sknn_serve_queue_depth 0"), "{text}");
     }
 }

@@ -1,16 +1,20 @@
 //! Property tests for the wire protocol.
 //!
-//! Two families: round trips (every frame re-encodes to the identical
+//! Three families: round trips (every frame re-encodes to the identical
 //! byte string after a decode — the bit-exactness the end-to-end
-//! determinism check rests on) and malformed-input fuzzing (arbitrary
-//! and corrupted byte strings produce typed errors, never panics, and
-//! never allocations beyond the length cap).
+//! determinism check rests on), cross-version compatibility (v1 clients
+//! against v2 servers and vice versa stay mutually decodable, with v2
+//! extension fields either preserved byte-identically or dropped to
+//! zero), and malformed-input fuzzing (arbitrary and corrupted byte
+//! strings produce typed errors, never panics, and never allocations
+//! beyond the length cap).
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sknn_serve::protocol::{
     parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame, ResponseFrame,
-    ServerTiming, StatsFrame, WireNeighbor, HEADER_LEN, MAX_PAYLOAD,
+    ServerTiming, StatsFrame, TraceDumpFrame, WireNeighbor, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION,
+    VERSION,
 };
 
 fn short_string() -> impl Strategy<Value = String> {
@@ -39,6 +43,72 @@ fn neighbor() -> impl Strategy<Value = WireNeighbor> {
     (any::<u32>(), wire_f64(), wire_f64()).prop_map(|(id, lb, ub)| WireNeighbor { id, lb, ub })
 }
 
+fn server_timing() -> impl Strategy<Value = ServerTiming> {
+    (
+        (any::<u32>(), any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()),
+        any::<u32>(),
+        any::<u16>(),
+    )
+        .prop_map(|((queue_us, linger_us, exec_us), stages, stall_us, batch)| {
+            let (knn2d_us, radius_us, range_us, rank_us) = stages;
+            ServerTiming {
+                queue_us,
+                linger_us,
+                exec_us,
+                knn2d_us,
+                radius_us,
+                range_us,
+                rank_us,
+                stall_us,
+                batch,
+            }
+        })
+}
+
+fn query_frame() -> impl Strategy<Value = QueryFrame> {
+    (
+        any::<u64>(),
+        any::<u32>(),
+        wire_f64(),
+        wire_f64(),
+        wire_f64(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+    )
+        .prop_map(|(req_id, tri, x, y, z, k, deadline_ms, trace_id)| QueryFrame {
+            req_id,
+            tri,
+            x,
+            y,
+            z,
+            k,
+            deadline_ms,
+            trace_id,
+        })
+}
+
+fn response_frame() -> impl Strategy<Value = ResponseFrame> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        vec(neighbor(), 0..24),
+        any::<bool>(),
+        short_string(),
+        server_timing(),
+    )
+        .prop_map(|(req_id, trace_id, neighbors, degraded_some, degraded_text, timing)| {
+            ResponseFrame {
+                req_id,
+                trace_id,
+                neighbors,
+                degraded: degraded_some.then_some(degraded_text),
+                timing,
+            }
+        })
+}
+
 /// Encode → decode → re-encode must reproduce the bytes exactly, and the
 /// decode must consume the whole buffer. (Byte-level comparison rather
 /// than `==` so NaN payloads are covered too.)
@@ -52,34 +122,13 @@ fn assert_round_trip(frame: &Frame) -> Result<(), proptest::test_runner::CaseErr
 
 proptest! {
     #[test]
-    fn query_frames_round_trip(
-        req_id in any::<u64>(),
-        tri in any::<u32>(),
-        x in wire_f64(),
-        y in wire_f64(),
-        z in wire_f64(),
-        k in any::<u32>(),
-        deadline_ms in any::<u32>(),
-    ) {
-        assert_round_trip(&Frame::Query(QueryFrame { req_id, tri, x, y, z, k, deadline_ms }))?;
+    fn query_frames_round_trip(q in query_frame()) {
+        assert_round_trip(&Frame::Query(q))?;
     }
 
     #[test]
-    fn response_frames_round_trip(
-        req_id in any::<u64>(),
-        neighbors in vec(neighbor(), 0..24),
-        degraded_some in any::<bool>(),
-        degraded_text in short_string(),
-        queue_us in any::<u32>(),
-        exec_us in any::<u32>(),
-        batch in any::<u16>(),
-    ) {
-        assert_round_trip(&Frame::Response(ResponseFrame {
-            req_id,
-            neighbors,
-            degraded: degraded_some.then_some(degraded_text),
-            timing: ServerTiming { queue_us, exec_us, batch },
-        }))?;
+    fn response_frames_round_trip(r in response_frame()) {
+        assert_round_trip(&Frame::Response(r))?;
     }
 
     #[test]
@@ -103,19 +152,124 @@ proptest! {
         assert_round_trip(&Frame::StatsRequest)?;
     }
 
-    /// Every strict prefix of a valid frame is a typed truncation error.
+    #[test]
+    fn trace_dump_frames_round_trip(jsonl in short_string()) {
+        assert_round_trip(&Frame::TraceDump(TraceDumpFrame { jsonl }))?;
+    }
+
+    /// Old-client/new-server direction: a frame encoded at v1 (what an
+    /// old client sends) must decode on a v2 peer, with every v2
+    /// extension field read back as zero.
+    #[test]
+    fn v1_query_decodes_on_v2_peer_with_zero_trace(q in query_frame()) {
+        let bytes = Frame::Query(q.clone()).encode_v(MIN_VERSION);
+        let (decoded, version, used) =
+            Frame::decode_versioned(&bytes).expect("v1 frame must decode");
+        prop_assert_eq!(version, MIN_VERSION);
+        prop_assert_eq!(used, bytes.len());
+        match decoded {
+            Frame::Query(d) => {
+                prop_assert_eq!(d.req_id, q.req_id);
+                prop_assert_eq!(d.tri, q.tri);
+                prop_assert_eq!(d.x.to_bits(), q.x.to_bits());
+                prop_assert_eq!(d.y.to_bits(), q.y.to_bits());
+                prop_assert_eq!(d.z.to_bits(), q.z.to_bits());
+                prop_assert_eq!(d.k, q.k);
+                prop_assert_eq!(d.deadline_ms, q.deadline_ms);
+                // The v2 extension is absent from v1 bytes: zero-filled.
+                prop_assert_eq!(d.trace_id, 0);
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+
+    /// New-client/old-server direction: a v2 server replying to a v1
+    /// client encodes the response at v1. Those bytes must round-trip
+    /// with the v1-visible fields intact and the v2 stage fields dropped
+    /// to zero — never a decode error.
+    #[test]
+    fn v2_response_downgraded_to_v1_stays_decodable(r in response_frame()) {
+        let bytes = Frame::Response(r.clone()).encode_v(MIN_VERSION);
+        let (decoded, version, used) =
+            Frame::decode_versioned(&bytes).expect("v1 response must decode");
+        prop_assert_eq!(version, MIN_VERSION);
+        prop_assert_eq!(used, bytes.len());
+        match decoded {
+            Frame::Response(d) => {
+                prop_assert_eq!(d.req_id, r.req_id);
+                prop_assert_eq!(d.neighbors.len(), r.neighbors.len());
+                for (a, b) in d.neighbors.iter().zip(r.neighbors.iter()) {
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(a.lb.to_bits(), b.lb.to_bits());
+                    prop_assert_eq!(a.ub.to_bits(), b.ub.to_bits());
+                }
+                prop_assert_eq!(&d.degraded, &r.degraded);
+                // v1 carries only queue/exec/batch; everything v2 is dropped.
+                let expected = ServerTiming {
+                    queue_us: r.timing.queue_us,
+                    exec_us: r.timing.exec_us,
+                    batch: r.timing.batch,
+                    ..Default::default()
+                };
+                prop_assert_eq!(d.timing, expected);
+                prop_assert_eq!(d.trace_id, 0);
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+
+    /// v2 → v2: the trace id and every stage-latency field survive the
+    /// wire byte-identically (the re-encode equality in the round-trip
+    /// family covers the raw bytes; this pins the field semantics).
+    #[test]
+    fn v2_trace_and_stage_fields_survive_byte_identically(
+        q in query_frame(),
+        r in response_frame(),
+    ) {
+        let qb = Frame::Query(q.clone()).encode_v(VERSION);
+        let (qd, qv, _) = Frame::decode_versioned(&qb).expect("v2 query must decode");
+        prop_assert_eq!(qv, VERSION);
+        match qd {
+            Frame::Query(d) => prop_assert_eq!(d.trace_id, q.trace_id),
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+        let rb = Frame::Response(r.clone()).encode_v(VERSION);
+        let (rd, rv, _) = Frame::decode_versioned(&rb).expect("v2 response must decode");
+        prop_assert_eq!(rv, VERSION);
+        match rd {
+            Frame::Response(d) => {
+                prop_assert_eq!(d.trace_id, r.trace_id);
+                prop_assert_eq!(d.timing, r.timing);
+                prop_assert_eq!(Frame::Response(d).encode_v(VERSION), rb);
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+
+    /// Every strict prefix of a valid v2 frame is a typed truncation
+    /// error — the new trace/stage bytes introduce no position where a
+    /// cut is silently accepted.
     #[test]
     fn truncated_frames_are_typed_errors(
-        neighbors in vec(neighbor(), 0..8),
+        r in response_frame(),
         cut_seed in any::<u64>(),
     ) {
-        let bytes = Frame::Response(ResponseFrame {
-            req_id: 1,
-            neighbors,
-            degraded: None,
-            timing: ServerTiming::default(),
-        })
-        .encode();
+        let bytes = Frame::Response(r).encode();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        match Frame::decode(&bytes[..cut]) {
+            Err(ProtocolError::Truncated { .. }) => {}
+            other => prop_assert!(false, "prefix of len {} gave {:?}", cut, other),
+        }
+    }
+
+    /// Same property for v1-encoded frames: a v2 peer truncating a v1
+    /// stream still reports typed truncation.
+    #[test]
+    fn truncated_v1_frames_are_typed_errors(
+        q in query_frame(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = Frame::Query(q).encode_v(MIN_VERSION);
         let cut = (cut_seed % bytes.len() as u64) as usize;
         match Frame::decode(&bytes[..cut]) {
             Err(ProtocolError::Truncated { .. }) => {}
@@ -146,6 +300,7 @@ proptest! {
             z: 3.0,
             k: 4,
             deadline_ms: 5,
+            trace_id: 6,
         })
         .encode();
         let original = bytes[pos];
@@ -182,4 +337,19 @@ fn bad_version_and_magic_are_typed() {
     let mut bytes = Frame::StatsRequest.encode();
     bytes[6] = 200;
     assert_eq!(Frame::decode(&bytes), Err(ProtocolError::UnknownFrameType(200)));
+}
+
+/// The trace-dump tags are v2-only: a v1 header carrying them is an
+/// unknown frame type, so old peers reject rather than misparse.
+#[test]
+fn trace_dump_tags_are_invalid_at_v1() {
+    let dump = Frame::TraceDump(TraceDumpFrame { jsonl: "{}\n".to_string() });
+    // encode_v(1) is raised to the frame's minimum version (2).
+    let bytes = dump.encode_v(MIN_VERSION);
+    let (_, version, _) = Frame::decode_versioned(&bytes).expect("raised frame decodes");
+    assert_eq!(version, VERSION);
+    // Forge a v1 header around the same tag: typed rejection.
+    let mut forged = bytes.clone();
+    forged[4..6].copy_from_slice(&MIN_VERSION.to_le_bytes());
+    assert!(matches!(Frame::decode(&forged), Err(ProtocolError::UnknownFrameType(_))));
 }

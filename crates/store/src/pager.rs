@@ -70,7 +70,7 @@ use crate::page::{PageId, PAGE_SIZE};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of buffer-pool shards (capped by the pool capacity so every
 /// shard holds at least one page). A fixed constant keeps eviction — and
@@ -316,6 +316,13 @@ pub struct Pager {
     /// overlap their stalls — the I/O-bound regime the paper's disk
     /// numbers imply.
     read_stall_ns: AtomicU64,
+    /// Cumulative wall-clock nanoseconds threads spent stalled in this
+    /// pager: simulated disk stalls, injected read latency, retry
+    /// backoff, and single-flight waits. Monotonic over the pager's
+    /// lifetime (like the fault counters, deliberately *not* cleared by
+    /// [`Pager::reset_stats`]), so callers attribute stall time to a
+    /// window by differencing [`Pager::stall_ns`] around it.
+    stall_ns: AtomicU64,
     /// Optional deterministic fault source, consulted per read attempt.
     fault: RwLock<Option<FaultInjector>>,
     /// Retry budget for transient faults.
@@ -422,6 +429,7 @@ impl Pager {
             singleflight_waits: AtomicU64::new(0),
             coalesced_misses: AtomicU64::new(0),
             read_stall_ns: AtomicU64::new(0),
+            stall_ns: AtomicU64::new(0),
             fault: RwLock::new(None),
             retry: Mutex::new(RetryPolicy::default()),
             fault_counters: FaultCounters::default(),
@@ -439,6 +447,20 @@ impl Pager {
 
     fn read_stall(&self) -> Duration {
         Duration::from_nanos(self.read_stall_ns.load(Relaxed))
+    }
+
+    /// Add a stalled wall-clock interval to the cumulative stall counter.
+    fn charge_stall(&self, d: Duration) {
+        self.stall_ns.fetch_add(d.as_nanos().min(u128::from(u64::MAX)) as u64, Relaxed);
+    }
+
+    /// Cumulative wall-clock nanoseconds spent stalled in the pager —
+    /// simulated disk stalls, injected latency, retry backoff, and
+    /// single-flight waits — since construction. Monotonic: a per-query
+    /// [`Pager::reset_stats`] does not clear it, so a serving batch
+    /// attributes its stall share by differencing around the engine call.
+    pub fn stall_ns(&self) -> u64 {
+        self.stall_ns.load(Relaxed)
     }
 
     /// Install (or with `None` remove) the deterministic fault source
@@ -618,7 +640,9 @@ impl Pager {
                 self.fault_counters.retries.fetch_add(1, Relaxed);
                 if policy.backoff > Duration::ZERO {
                     // Linear backoff, slept with no pager locks held.
-                    std::thread::sleep(policy.backoff * (attempt - 1));
+                    let pause = policy.backoff * (attempt - 1);
+                    std::thread::sleep(pause);
+                    self.charge_stall(pause);
                 }
             }
             let (fault, latency) = {
@@ -636,6 +660,7 @@ impl Pager {
                 Some(FaultKind::Latency) => {
                     // A slow read, not a failed one.
                     std::thread::sleep(latency);
+                    self.charge_stall(latency);
                     self.verify_page(page)
                 }
                 Some(FaultKind::BitFlip) => {
@@ -716,6 +741,7 @@ impl Pager {
                             // held so other threads' reads (and their
                             // stalls) proceed in parallel.
                             std::thread::sleep(stall);
+                            self.charge_stall(stall);
                         }
                         self.pool_insert(page);
                     }
@@ -726,10 +752,12 @@ impl Pager {
                     let mut flight = lock_recover(&self.flight);
                     if flight.contains(&page) {
                         self.singleflight_waits.fetch_add(1, Relaxed);
+                        let waited = Instant::now();
                         while flight.contains(&page) {
                             flight =
                                 self.flight_done.wait(flight).unwrap_or_else(|e| e.into_inner());
                         }
+                        self.charge_stall(waited.elapsed());
                     }
                     drop(flight);
                     // Count the coalesced miss only once the pool confirms
@@ -819,6 +847,7 @@ impl Pager {
             let stall = self.read_stall();
             if stall > Duration::ZERO {
                 std::thread::sleep(stall);
+                self.charge_stall(stall);
             }
             for &(page, _) in &served {
                 self.pool_insert(page);

@@ -26,6 +26,11 @@
 //!          [--threads N]               storage faults into the serving
 //!          [--max-seconds S]           engine; --trace-out FILE writes the
 //!          [--trace-out s.jsonl]       final observability trace
+//!          [--metrics-port P]          Prometheus /metrics + /healthz on
+//!                                      port P (0 = ephemeral, printed)
+//!          [--slow-ms 100]             slow-query capture threshold
+//!          [--slow-log slow.jsonl]     write the slow-query log at drain
+//!          [--stall-ms MS]             per-miss read stall (I/O regime)
 //! sknn loadgen --addr HOST:PORT        drive a running server
 //!          [--connections 8]           concurrent connections
 //!          [--requests 50]             requests per connection
@@ -37,6 +42,12 @@
 //!                                      flags must match the server's)
 //!          [--expect-coalescing true]  fail unless mean batch size > 1
 //!          [--out BENCH_serve.json]    write the JSON report
+//! sknn top --metrics HOST:PORT         live server telemetry: polls the
+//!          [--interval-ms 1000]        metrics endpoint and redraws qps,
+//!          [--iterations 0]            queue depth, stage quantiles and
+//!          [--check]                   shed/expired/degraded rates
+//!                                      (--check: scrape once, validate,
+//!                                      exit nonzero on parse failure)
 //!
 //! common flags (accepted as `--name value` or `--name=value`):
 //!   --preset bh|ep     terrain preset (default bh)
@@ -65,6 +76,13 @@ fn main() {
     // `--name value` / `--name=value` flags (Args warns on strays and on
     // flags no branch reads).
     let args = Args::from_argv(argv.get(1..).unwrap_or(&[]).to_vec());
+
+    // `top` is a pure network client — dispatch before the (expensive)
+    // terrain build the query commands share.
+    if cmd == "top" {
+        run_top(&args);
+        return;
+    }
 
     let preset: String = args.get("preset", "bh".to_string());
     let grid: usize = args.get("grid", 65);
@@ -375,10 +393,15 @@ fn main() {
                     0 => surface_knn::exec::available_threads(),
                     n => n,
                 },
+                metrics_addr: args.get_opt::<u16>("metrics-port").map(|p| format!("{host}:{p}")),
+                slow_threshold: Duration::from_secs_f64(args.get("slow-ms", 100.0) / 1e3),
+                slow_capacity: args.get("slow-capacity", 256),
                 ..ServeConfig::default()
             };
             let max_seconds: f64 = args.get("max-seconds", 0.0);
             let trace_out: String = args.get("trace-out", String::new());
+            let slow_log_out: String = args.get("slow-log", String::new());
+            let stall_ms: f64 = args.get("stall-ms", 0.0);
             // `--fault-profile` wins; the env var is how CI wires fault
             // injection through without touching the command line.
             let fault_spec: String =
@@ -388,6 +411,9 @@ fn main() {
             // Serving is the warm regime: the buffer pool persists across
             // requests instead of being wiped per query.
             engine.cold_cache = false;
+            if stall_ms > 0.0 {
+                engine.pager().set_read_stall(Duration::from_secs_f64(stall_ms / 1e3));
+            }
             if !fault_spec.is_empty() {
                 let profile = surface_knn::store::FaultProfile::parse(&fault_spec)
                     .expect("fault profile must be seed:rate:kind");
@@ -408,9 +434,24 @@ fn main() {
                 scene.num_objects(),
                 server.local_addr()
             );
+            if let Some(addr) = server.metrics_addr() {
+                println!("metrics on http://{addr}/metrics (health: /healthz)");
+            }
             install_shutdown_watcher(server.handle(), max_seconds);
             let trace = server.run();
             println!("drained: {}", stats.summary());
+            if !server.slow_log().is_empty() || !slow_log_out.is_empty() {
+                let jsonl = server.slow_log().to_jsonl();
+                if slow_log_out.is_empty() {
+                    print!("slow-query log ({} entries):\n{jsonl}", server.slow_log().len());
+                } else {
+                    std::fs::write(&slow_log_out, &jsonl).expect("cannot write --slow-log");
+                    println!(
+                        "wrote {} slow-query entries to {slow_log_out}",
+                        server.slow_log().len()
+                    );
+                }
+            }
             if let Some(trace) = trace {
                 std::fs::write(&trace_out, trace.to_jsonl()).expect("cannot write --trace-out");
                 println!("wrote serve trace to {trace_out}");
@@ -465,10 +506,21 @@ fn main() {
                         String::new()
                     },
                 );
+                let table = report.stage_table();
+                if !table.is_empty() {
+                    print!("{table}");
+                }
                 if report.protocol_errors > 0 || report.mismatches > 0 || report.missing > 0 {
                     eprintln!(
                         "# ERROR: {} protocol errors, {} mismatches, {} missing replies",
                         report.protocol_errors, report.mismatches, report.missing
+                    );
+                    failed = true;
+                }
+                if report.stage_sum_violations > 0 {
+                    eprintln!(
+                        "# ERROR: {} responses with stage sum > end-to-end latency",
+                        report.stage_sum_violations
                     );
                     failed = true;
                 }
@@ -492,11 +544,211 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|serve|loadgen> [flags]"
+                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|serve|loadgen|top> [flags]"
             );
             println!("see the module docs (src/bin/sknn.rs) for the flag list");
         }
     }
+}
+
+/// `sknn top`: poll the metrics endpoint and redraw a one-screen summary.
+///
+/// Quantiles come from the cumulative (lifetime) histograms the endpoint
+/// exposes; rates are deltas between successive scrapes. `--check true`
+/// scrapes once, validates that the exposition parses and the expected
+/// metric families are present, and exits nonzero otherwise — the CI
+/// smoke test runs exactly that.
+fn run_top(args: &Args) {
+    use surface_knn::serve::promtext::{self, Sample};
+
+    let metrics: String = args.get("metrics", "127.0.0.1:7071".to_string());
+    let query_addr: String = args.get("addr", String::new());
+    let interval = Duration::from_millis(args.get("interval-ms", 1000));
+    let iterations: usize = args.get("iterations", 0);
+    let check: bool = args.get("check", false);
+    let timeout = Duration::from_secs(2);
+
+    let scrape = || -> Result<Vec<Sample>, String> {
+        let body = promtext::http_get(&metrics, "/metrics", timeout)
+            .map_err(|e| format!("scrape of {metrics} failed: {e}"))?;
+        promtext::parse(&body).map_err(|line| {
+            format!("metrics line {line} does not parse as Prometheus text exposition")
+        })
+    };
+    let value = |samples: &[Sample], name: &str| -> f64 {
+        samples.iter().find(|s| s.name == name).map(|s| s.value).unwrap_or(0.0)
+    };
+    let buckets = |samples: &[Sample], hist: &str| -> Vec<Sample> {
+        let bucket_name = format!("{hist}_bucket");
+        samples.iter().filter(|s| s.name == bucket_name).cloned().collect()
+    };
+
+    if check {
+        let samples = match scrape() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("# ERROR: {e}");
+                std::process::exit(1);
+            }
+        };
+        let required = [
+            "sknn_serve_accepted_total",
+            "sknn_serve_completed_total",
+            "sknn_serve_queue_depth",
+            "sknn_serve_queue_us_bucket",
+            "sknn_serve_linger_us_bucket",
+            "sknn_serve_exec_us_bucket",
+            "sknn_serve_stage_knn2d_us_bucket",
+            "sknn_serve_stage_rank_us_bucket",
+            "sknn_serve_stall_us_bucket",
+            "sknn_serve_latency_us_bucket",
+            "sknn_store_logical_reads_total",
+            "sknn_store_faults_injected_total",
+        ];
+        let mut missing = Vec::new();
+        for name in required {
+            if !samples.iter().any(|s| s.name == name) {
+                missing.push(name);
+            }
+        }
+        if !missing.is_empty() {
+            eprintln!("# ERROR: metrics endpoint is missing families: {missing:?}");
+            std::process::exit(1);
+        }
+        match promtext::http_get_status(&metrics, "/healthz", timeout) {
+            Ok((status, body)) => {
+                println!("metrics OK: {} samples, healthz {status} {}", samples.len(), body.trim())
+            }
+            Err(e) => {
+                eprintln!("# ERROR: healthz fetch failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let stage_hists = [
+        ("queue", "sknn_serve_queue_us"),
+        ("linger", "sknn_serve_linger_us"),
+        ("exec", "sknn_serve_exec_us"),
+        ("knn2d", "sknn_serve_stage_knn2d_us"),
+        ("radius", "sknn_serve_stage_radius_us"),
+        ("range", "sknn_serve_stage_range_us"),
+        ("rank", "sknn_serve_stage_rank_us"),
+        ("stall", "sknn_serve_stall_us"),
+        ("latency", "sknn_serve_latency_us"),
+    ];
+    let mut prev: Option<(Vec<Sample>, std::time::Instant)> = None;
+    let mut tick = 0usize;
+    loop {
+        let samples = match scrape() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("# {e}");
+                std::process::exit(1);
+            }
+        };
+        let now = std::time::Instant::now();
+        let health = promtext::http_get_status(&metrics, "/healthz", timeout)
+            .map(|(status, _)| if status == 200 { "serving" } else { "draining" })
+            .unwrap_or("unreachable");
+        let rate = |name: &str| -> f64 {
+            match &prev {
+                Some((old, at)) => {
+                    let dt = now.duration_since(*at).as_secs_f64().max(1e-9);
+                    (value(&samples, name) - value(old, name)).max(0.0) / dt
+                }
+                None => 0.0,
+            }
+        };
+        let batches = value(&samples, "sknn_serve_batches_total");
+        let mean_batch = if batches > 0.0 {
+            value(&samples, "sknn_serve_batched_requests_total") / batches
+        } else {
+            0.0
+        };
+        // Full-screen redraw (clear + home); plain append when piped is
+        // still readable since each frame is self-contained.
+        let mut out = String::new();
+        out.push_str("\x1b[2J\x1b[H");
+        out.push_str(&format!("sknn top — {metrics} — {health} — scrape #{tick}\n\n"));
+        out.push_str(&format!(
+            "qps {:8.1}   queue depth {:4.0}   mean batch {:5.2}   connections {:6.0}\n",
+            rate("sknn_serve_completed_total"),
+            value(&samples, "sknn_serve_queue_depth"),
+            mean_batch,
+            value(&samples, "sknn_serve_connections_total"),
+        ));
+        out.push_str(&format!(
+            "shed {:6.1}/s   expired {:6.1}/s   degraded {:6.1}/s   errors {:6.1}/s\n\n",
+            rate("sknn_serve_shed_total"),
+            rate("sknn_serve_expired_total"),
+            rate("sknn_serve_degraded_total"),
+            rate("sknn_serve_query_errors_total"),
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>10} {:>10} {:>10}   (µs, lifetime)\n",
+            "stage", "p50", "p95", "p99", "count"
+        ));
+        for (label, hist) in stage_hists {
+            let b = buckets(&samples, hist);
+            let q = |p: f64| {
+                promtext::histogram_quantile(&b, p)
+                    .map(|v| if v.is_infinite() { "inf".to_string() } else { format!("{v:.0}") })
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            out.push_str(&format!(
+                "{label:<10} {:>10} {:>10} {:>10} {:>10.0}\n",
+                q(0.5),
+                q(0.95),
+                q(0.99),
+                value(&samples, &format!("{hist}_count")),
+            ));
+        }
+        if !query_addr.is_empty() {
+            out.push_str("\ntop slow queries (slowest first):\n");
+            match fetch_slow_lines(&query_addr, 5) {
+                Ok(lines) if lines.is_empty() => out.push_str("  (none captured)\n"),
+                Ok(lines) => {
+                    for line in lines {
+                        let mut line = line;
+                        if line.len() > 120 {
+                            line.truncate(117);
+                            line.push_str("...");
+                        }
+                        out.push_str("  ");
+                        out.push_str(&line);
+                        out.push('\n');
+                    }
+                }
+                Err(e) => out.push_str(&format!("  (dump failed: {e})\n")),
+            }
+        }
+        print!("{out}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+
+        tick += 1;
+        if iterations > 0 && tick >= iterations {
+            return;
+        }
+        prev = Some((samples, now));
+        std::thread::sleep(interval);
+    }
+}
+
+/// Fetches the slow-query JSONL dump over the query port and returns up
+/// to `limit` entry lines (the `{"evicted":N}` header is skipped).
+fn fetch_slow_lines(addr: &str, limit: usize) -> Result<Vec<String>, String> {
+    let mut client =
+        surface_knn::serve::Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let jsonl = client.fetch_trace_dump().map_err(|e| format!("trace dump: {e}"))?;
+    Ok(jsonl
+        .lines()
+        .filter(|l| !l.starts_with("{\"evicted\""))
+        .take(limit)
+        .map(str::to_string)
+        .collect())
 }
 
 /// JSON report for `sknn loadgen --out` (the `BENCH_serve.json` format).
