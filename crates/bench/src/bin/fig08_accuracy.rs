@@ -39,9 +39,17 @@ fn main() {
         rec: &sknn_obs::NOOP,
         query: 0,
         scratch: std::cell::RefCell::new(Default::default()),
+        cuts: None,
+        lines: None,
+        grid: sknn_multires::CutGrid::new(
+            mesh.extent(),
+            cfg.cut_cache.tiles,
+            cfg.cut_cache.pad_tiles,
+        ),
         faults: sknn_core::FaultLog::new(cfg.fault_budget),
         deadline: None,
         deadline_hit: std::cell::Cell::new(false),
+        pool: None,
     };
 
     // Deterministic long-range pairs.

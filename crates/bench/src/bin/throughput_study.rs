@@ -31,6 +31,24 @@
 //! keep the bit-identical guarantee — the pager's retry budget absorbs
 //! them below the query layer; a permanent profile will abort the study
 //! once a query's fault budget is exhausted.
+//!
+//! `--cache on,off` runs the whole stall × thread grid once per shared
+//! cut-cache mode (default `on,off`). Each sweep starts with cleared cut
+//! caches, so cache-on rows measure within-batch reuse — the service
+//! regime where concurrent queries share materialized cuts. Results must
+//! be bit-identical across modes (region canonicalization is
+//! unconditional); the study cross-checks the sequential baselines of
+//! both modes and reports `cross_mode_identical` in the JSON, aborting on
+//! divergence just like the per-regime parallel check.
+//!
+//! `--cache-tiles` / `--cache-pad` set the canonicalization lattice
+//! (default `2` / `0.5`): a *coarse* loading radius, unlike the engine's
+//! per-query default (16). Coarse tiles are the service regime's
+//! loading-radius hysteresis — every fetch loads a quarter-terrain
+//! neighbourhood, which costs extra extraction work per miss but makes
+//! nearly every concurrent query land on an already-warm cut. The
+//! over-fetch applies to both modes (canonicalization is unconditional),
+//! so the on/off comparison isolates exactly the work the cache deletes.
 
 use sknn_bench::{bh_mesh, percentile, queries, scene_with_density, start_figure, Args};
 use sknn_core::config::Mr3Config;
@@ -40,6 +58,7 @@ use sknn_core::workload::SurfacePoint;
 use std::time::{Duration, Instant};
 
 type Row = (usize, f64, f64, f64, f64, f64, bool);
+type Regime = (String, f64, Vec<Row>, Option<(u64, u64, u64)>);
 
 fn main() {
     let args = Args::parse();
@@ -53,14 +72,24 @@ fn main() {
     // these are slept for real.
     let stalls = parse_list::<f64>(&args.get("stall-ms", "8,0".to_string()), "--stall-ms");
     let sweep = parse_list::<usize>(&args.get("sweep", "1,2,4,8".to_string()), "--sweep");
+    let cache_modes = parse_list::<String>(&args.get("cache", "on,off".to_string()), "--cache");
+    let cache_tiles: usize = args.get("cache-tiles", 2);
+    let cache_pad: f64 = args.get("cache-pad", 0.5);
     let out: String = args.get("out", "BENCH_mr3.json".to_string());
     let fault_spec: String = args.get("fault-profile", String::new());
     assert!(!stalls.is_empty(), "--stall-ms list is empty");
     assert!(!sweep.is_empty(), "--sweep list is empty");
+    assert!(
+        !cache_modes.is_empty() && cache_modes.iter().all(|m| m == "on" || m == "off"),
+        "--cache takes a comma list of on/off"
+    );
 
     let mesh = bh_mesh(grid, seed);
     let scene = scene_with_density(&mesh, density, seed + 1);
-    let mut engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+    let mut cfg = Mr3Config::default();
+    cfg.cut_cache.tiles = cache_tiles;
+    cfg.cut_cache.pad_tiles = cache_pad;
+    let mut engine = Mr3Engine::build(&mesh, &scene, &cfg);
     // Throughput is a service-regime measurement: keep the pool warm
     // across queries (misses still stream through the pool) instead of
     // the figures' per-query cold start, and charge misses real latency.
@@ -75,49 +104,71 @@ fn main() {
     let qs = queries(&scene, nq, seed + 2);
     let batch: Vec<(SurfacePoint, usize)> = qs.iter().map(|&q| (q, k)).collect();
     eprintln!(
-        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stalls {stalls:?} ms, sweep {sweep:?}",
+        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stalls {stalls:?} ms, sweep {sweep:?}, cache {cache_modes:?}",
         scene.num_objects(),
         batch.len()
     );
 
     start_figure(
-        "Batch k-NN throughput vs thread count and stall regime",
-        "stall_ms,threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical",
+        "Batch k-NN throughput vs thread count, stall regime and cut-cache mode",
+        "cache,stall_ms,threads,wall_seconds,qps,p50_ms,p99_ms,speedup,identical",
     );
 
-    let mut regimes: Vec<(f64, Vec<Row>)> = Vec::new();
+    let mut regimes: Vec<Regime> = Vec::new();
+    // 1-thread baselines keyed by stall value, compared across cache
+    // modes: canonicalization is unconditional, so cache on/off must be
+    // bit-identical, not just internally consistent.
+    let mut cross: Vec<(u64, Vec<QueryResult>)> = Vec::new();
+    let mut cross_identical = true;
     let mut diverged = false;
-    for &stall_ms in &stalls {
-        engine.pager().set_read_stall(Duration::from_secs_f64(stall_ms / 1000.0));
-        let mut baseline: Option<Vec<QueryResult>> = None;
-        let mut base_qps = 0.0;
-        let mut rows: Vec<Row> = Vec::new();
-        for &threads in &sweep {
-            // Identical pool state at every sweep start.
-            engine.pager().clear_pool();
-            let t = Instant::now();
-            let results = engine.query_batch(&batch, threads);
-            let wall = t.elapsed().as_secs_f64();
-            let qps = batch.len() as f64 / wall;
-            let lat_ms: Vec<f64> =
-                results.iter().map(|r| r.stats.wall.as_secs_f64() * 1000.0).collect();
-            let (p50, p99) = (percentile(&lat_ms, 50.0), percentile(&lat_ms, 99.0));
-            let identical = match &baseline {
-                None => {
-                    base_qps = qps;
-                    baseline = Some(results);
-                    true
-                }
-                Some(base) => bitwise_equal(base, &results),
-            };
-            diverged |= !identical;
-            let speedup = qps / base_qps;
-            println!(
-                "{stall_ms},{threads},{wall:.4},{qps:.2},{p50:.3},{p99:.3},{speedup:.3},{identical}"
-            );
-            rows.push((threads, wall, qps, p50, p99, speedup, identical));
+    for mode in &cache_modes {
+        engine.set_cut_cache(mode == "on");
+        // Untimed warmup pass: stabilises allocator and scratch-pool state
+        // so the first timed regime is not penalised for running first.
+        engine.pager().set_read_stall(Duration::ZERO);
+        let _ = engine.query_batch(&batch, 1);
+        for &stall_ms in &stalls {
+            engine.pager().set_read_stall(Duration::from_secs_f64(stall_ms / 1000.0));
+            let mut baseline: Option<Vec<QueryResult>> = None;
+            let mut base_qps = 0.0;
+            let mut rows: Vec<Row> = Vec::new();
+            // Regime-scoped counters (no-op with the cache off).
+            engine.reset_cut_cache_stats();
+            for &threads in &sweep {
+                // Identical pool and cut-cache state at every sweep start.
+                engine.pager().clear_pool();
+                engine.clear_cut_caches();
+                let t = Instant::now();
+                let results = engine.query_batch(&batch, threads);
+                let wall = t.elapsed().as_secs_f64();
+                let qps = batch.len() as f64 / wall;
+                let lat_ms: Vec<f64> =
+                    results.iter().map(|r| r.stats.wall.as_secs_f64() * 1000.0).collect();
+                let (p50, p99) = (percentile(&lat_ms, 50.0), percentile(&lat_ms, 99.0));
+                let identical = match &baseline {
+                    None => {
+                        base_qps = qps;
+                        let key = stall_ms.to_bits();
+                        match cross.iter().find(|(k, _)| *k == key) {
+                            None => cross.push((key, results.clone())),
+                            Some((_, other)) => cross_identical &= bitwise_equal(other, &results),
+                        }
+                        baseline = Some(results);
+                        true
+                    }
+                    Some(base) => bitwise_equal(base, &results),
+                };
+                diverged |= !identical;
+                let speedup = qps / base_qps;
+                println!(
+                    "{mode},{stall_ms},{threads},{wall:.4},{qps:.2},{p50:.3},{p99:.3},{speedup:.3},{identical}"
+                );
+                rows.push((threads, wall, qps, p50, p99, speedup, identical));
+            }
+            let cache_counters =
+                engine.cut_cache_snapshot().map(|cc| (cc.hits, cc.misses, cc.singleflight_waits));
+            regimes.push((mode.clone(), stall_ms, rows, cache_counters));
         }
-        regimes.push((stall_ms, rows));
     }
 
     let fault_json = if fault_spec.is_empty() {
@@ -131,7 +182,17 @@ fn main() {
             fs.injected, fs.retries, fs.exhausted, fs.checksum_failures, fs.permanent_failures
         )
     };
-    let json = render_json(grid, seed, scene.num_objects(), nq, k, &fault_json, &regimes);
+    let json = render_json(
+        grid,
+        seed,
+        scene.num_objects(),
+        nq,
+        k,
+        &fault_json,
+        (cache_tiles, cache_pad),
+        cross_identical,
+        &regimes,
+    );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("# warning: cannot write --out {out}: {e}");
     } else {
@@ -139,6 +200,10 @@ fn main() {
     }
     if diverged {
         eprintln!("# ERROR: a parallel sweep diverged from its regime's sequential baseline");
+        std::process::exit(1);
+    }
+    if !cross_identical {
+        eprintln!("# ERROR: cache-on and cache-off sequential baselines diverged");
         std::process::exit(1);
     }
 }
@@ -165,6 +230,7 @@ fn bitwise_equal(a: &[QueryResult], b: &[QueryResult]) -> bool {
         })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     grid: usize,
     seed: u64,
@@ -172,7 +238,9 @@ fn render_json(
     nq: usize,
     k: usize,
     fault_json: &str,
-    regimes: &[(f64, Vec<Row>)],
+    (cache_tiles, cache_pad): (usize, f64),
+    cross_identical: bool,
+    regimes: &[Regime],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -185,9 +253,20 @@ fn render_json(
     s.push_str(&format!("  \"k\": {k},\n"));
     s.push_str(&format!("  \"host_threads\": {},\n", sknn_exec::available_threads()));
     s.push_str(fault_json);
+    s.push_str(&format!("  \"cache_tiles\": {cache_tiles},\n  \"cache_pad\": {cache_pad},\n"));
+    s.push_str(&format!("  \"cross_mode_identical\": {cross_identical},\n"));
     s.push_str("  \"regimes\": [\n");
-    for (ri, (stall_ms, rows)) in regimes.iter().enumerate() {
-        s.push_str(&format!("    {{\"stall_ms\": {stall_ms}, \"sweeps\": [\n"));
+    for (ri, (cache, stall_ms, rows, counters)) in regimes.iter().enumerate() {
+        s.push_str(&format!("    {{\"cache\": \"{cache}\", \"stall_ms\": {stall_ms},"));
+        if let Some((hits, misses, waits)) = counters {
+            let total = hits + misses;
+            let rate = if total > 0 { *hits as f64 / total as f64 } else { 0.0 };
+            s.push_str(&format!(
+                " \"cut_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \
+                 \"singleflight_waits\": {waits}, \"hit_rate\": {rate:.3}}},"
+            ));
+        }
+        s.push_str(" \"sweeps\": [\n");
         for (i, (threads, wall, qps, p50, p99, speedup, identical)) in rows.iter().enumerate() {
             s.push_str(&format!(
                 "      {{\"threads\": {threads}, \"wall_s\": {wall:.4}, \"qps\": {qps:.2}, \

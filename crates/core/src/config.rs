@@ -54,6 +54,46 @@ impl StepSchedule {
     }
 }
 
+/// Configuration of the shared process-wide cut cache (materialized DMTM
+/// fronts and MSDN line bands, shared across concurrent queries).
+///
+/// Results are bit-identical with the cache enabled or disabled: fetch
+/// regions are canonicalized (padded by `pad_tiles` and snapped to a
+/// `tiles × tiles` lattice) in both modes, and cached cuts are byte-equal
+/// to freshly extracted ones, so the cache only removes repeated work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutCacheConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Total resident-weight budget in approximate bytes, split 3:1
+    /// between the DMTM front cache and the MSDN line cache.
+    pub capacity_bytes: usize,
+    /// Tiles per side of the region-canonicalization lattice.
+    pub tiles: usize,
+    /// Loading-radius hysteresis: fetch regions are padded by this many
+    /// tiles before snapping, so repeat traffic around a hot spot lands
+    /// inside already-materialized cuts.
+    pub pad_tiles: f64,
+    /// Extractions admitted per tick, prioritized by query demand;
+    /// `0` = unlimited (no admission control).
+    pub extract_budget: usize,
+    /// Admission tick length in milliseconds.
+    pub tick_ms: u64,
+}
+
+impl Default for CutCacheConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            capacity_bytes: 64 << 20,
+            tiles: 16,
+            pad_tiles: 0.5,
+            extract_budget: 0,
+            tick_ms: 10,
+        }
+    }
+}
+
 /// Knobs of the MR3 engine.
 #[derive(Debug, Clone)]
 pub struct Mr3Config {
@@ -94,6 +134,8 @@ pub struct Mr3Config {
     /// (the default) runs to convergence. The serving layer overrides this
     /// per request via `Mr3Engine::try_query_at`.
     pub deadline: Option<std::time::Duration>,
+    /// Shared cut cache (process-wide materialized-cut reuse).
+    pub cut_cache: CutCacheConfig,
 }
 
 impl Default for Mr3Config {
@@ -111,6 +153,7 @@ impl Default for Mr3Config {
             plane_spacing: None,
             fault_budget: 16,
             deadline: None,
+            cut_cache: CutCacheConfig::default(),
         }
     }
 }
@@ -157,5 +200,7 @@ mod tests {
         assert!(c.integrated_io && c.ellipse_prune && c.corridor_refinement && c.dummy_lower_bound);
         assert_eq!(c.io_merge_threshold, 0.8);
         assert_eq!(c.msdn_levels.len(), 5);
+        assert!(c.cut_cache.enabled);
+        assert_eq!(c.cut_cache.extract_budget, 0, "admission control off by default");
     }
 }

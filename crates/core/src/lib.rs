@@ -43,11 +43,11 @@ pub mod workload;
 pub use bounds::DistRange;
 pub use ch::ChEngine;
 pub use cluster::{assign_sightings, surface_dbscan, Clustering, DbscanConfig};
-pub use config::{Mr3Config, StepSchedule};
+pub use config::{CutCacheConfig, Mr3Config, StepSchedule};
 pub use constrained::{ConstrainedEngine, ObstacleMask};
 pub use ea::EaEngine;
 pub use metrics::{QueryResult, QueryStats};
-pub use mr3::{Mr3Engine, RangeResult};
+pub use mr3::{CutCacheSnapshot, Mr3Engine, RangeResult};
 pub use pairs::ClosestPair;
 pub use persist::Structures;
 pub use resilience::{Degraded, FaultLog, QueryError};

@@ -61,6 +61,11 @@ pub struct QueryStats {
     /// Front-graph fetches answered by the per-query front cache instead
     /// of re-extracting (and re-paging) the DMTM front.
     pub front_cache_hits: usize,
+    /// Cut fetches (DMTM fronts + MSDN line bands) served by the shared
+    /// process-wide cut cache without running an extraction.
+    pub cut_cache_hits: usize,
+    /// Cut fetches this query led an extraction for (shared-cache misses).
+    pub cut_cache_misses: usize,
     /// Per-step wall-clock breakdown (always measured, tracing or not).
     pub stages: StageTimes,
 }

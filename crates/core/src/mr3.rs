@@ -16,15 +16,15 @@ use crate::metrics::{CpuTimer, Neighbor, QueryResult, QueryStats};
 use crate::ranking::{Candidate, RankScratch, RankingContext};
 use crate::resilience::{FaultLog, QueryError};
 use crate::workload::{Scene, SurfacePoint};
-use sknn_multires::PagedDmtm;
+use sknn_multires::{CutCache, CutGrid, PagedDmtm};
 use sknn_obs::{field, QueryTrace, Recorder, RingRecorder, NOOP};
-use sknn_sdn::PagedMsdn;
+use sknn_sdn::{LineCutCache, PagedMsdn};
 use sknn_store::{DiskModel, Pager, StructureTag};
 use sknn_terrain::mesh::TerrainMesh;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Default ring capacity when tracing is enabled: comfortably holds the
 /// spans, iteration events and I/O roll-up of one query.
@@ -48,6 +48,17 @@ pub struct Mr3Engine<'s, 'm> {
     cfg: Mr3Config,
     /// Trace sink; `None` means tracing off (no-op recorder, no overhead).
     ring: Option<Arc<RingRecorder>>,
+    /// Fetch-region canonicalizer shared by every query context; applied
+    /// whether or not the cut caches are enabled (bit-identity, see
+    /// [`CutCacheConfig`](crate::config::CutCacheConfig)).
+    cut_grid: CutGrid,
+    /// Shared process-wide DMTM front cache (`None` = disabled).
+    cut_cache: Option<CutCache>,
+    /// Shared process-wide MSDN line cache (`None` = disabled).
+    line_cache: Option<LineCutCache>,
+    /// Recycled per-query ranking scratches (see
+    /// [`RankingContext::pool`](crate::ranking::RankingContext)).
+    scratch_pool: Mutex<Vec<RankScratch>>,
     /// Query sequence number stamped on trace records.
     query_seq: AtomicU64,
     /// Drop cached pages before each query (cold-cache measurement, the
@@ -81,6 +92,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             let _tag = pager.tag_scope(StructureTag::Msdn);
             PagedMsdn::build(&pager, &structures.msdn)
         };
+        let (cut_cache, line_cache) = Self::build_caches(cfg);
         Self {
             mesh,
             scene,
@@ -89,9 +101,99 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             pager,
             cfg: cfg.clone(),
             ring: None,
+            cut_grid: CutGrid::new(mesh.extent(), cfg.cut_cache.tiles, cfg.cut_cache.pad_tiles),
+            cut_cache,
+            line_cache,
+            scratch_pool: Mutex::new(Vec::new()),
             query_seq: AtomicU64::new(0),
             cold_cache: true,
             disk: DiskModel::default(),
+        }
+    }
+
+    /// Build (or skip) the shared cut caches per the config. The weight
+    /// budget splits 3:1 between fronts and line bands — extracted fronts
+    /// are the larger objects by far.
+    fn build_caches(cfg: &Mr3Config) -> (Option<CutCache>, Option<LineCutCache>) {
+        if !cfg.cut_cache.enabled {
+            return (None, None);
+        }
+        let cc = &cfg.cut_cache;
+        let tick = Duration::from_millis(cc.tick_ms.max(1));
+        let front_cap = (cc.capacity_bytes / 4 * 3).max(1);
+        let line_cap = (cc.capacity_bytes / 4).max(1);
+        (
+            Some(CutCache::new(front_cap, cc.extract_budget, tick)),
+            Some(LineCutCache::new(line_cap, cc.extract_budget, tick)),
+        )
+    }
+
+    /// Whether the shared cut caches are active.
+    pub fn cut_cache_enabled(&self) -> bool {
+        self.cut_cache.is_some()
+    }
+
+    /// Enable or disable the shared cut caches at runtime (rebuilds them
+    /// from the config; disabling drops every resident cut). Results are
+    /// bit-identical either way — only the work profile changes.
+    pub fn set_cut_cache(&mut self, enabled: bool) {
+        self.cfg.cut_cache.enabled = enabled;
+        let (cut, line) = Self::build_caches(&self.cfg);
+        self.cut_cache = cut;
+        self.line_cache = line;
+    }
+
+    /// Combined counter/occupancy snapshot of the shared cut caches, or
+    /// `None` when disabled.
+    pub fn cut_cache_snapshot(&self) -> Option<CutCacheSnapshot> {
+        if self.cut_cache.is_none() && self.line_cache.is_none() {
+            return None;
+        }
+        let mut s = CutCacheSnapshot::default();
+        let mut absorb =
+            |stats: sknn_store::CacheStats, gauges: sknn_store::CacheGauges, in_flight: u64| {
+                s.hits += stats.hits;
+                s.misses += stats.misses;
+                s.singleflight_waits += stats.singleflight_waits;
+                s.evictions += stats.evictions;
+                s.failed_loads += stats.failed_loads;
+                s.budget_deferrals += stats.budget_deferrals;
+                s.warm_entries += gauges.warm;
+                s.cooling_entries += gauges.cooling;
+                s.loading += gauges.loading;
+                s.resident_bytes += gauges.resident_weight;
+                s.in_flight += in_flight;
+            };
+        if let Some(c) = &self.cut_cache {
+            absorb(c.stats(), c.gauges(), c.loads_in_flight());
+        }
+        if let Some(c) = &self.line_cache {
+            absorb(c.stats(), c.gauges(), c.loads_in_flight());
+        }
+        Some(s)
+    }
+
+    /// Zero the shared caches' cumulative counters (hit/miss/wait/…),
+    /// leaving resident cuts in place. For scoping measurements; a no-op
+    /// when the caches are disabled.
+    pub fn reset_cut_cache_stats(&self) {
+        if let Some(c) = &self.cut_cache {
+            c.reset_stats();
+        }
+        if let Some(c) = &self.line_cache {
+            c.reset_stats();
+        }
+    }
+
+    /// Drop every resident cut from the shared caches (counters keep
+    /// running). The cold-cache query path calls this alongside the buffer
+    /// pool clear so page-count determinism holds per query.
+    pub fn clear_cut_caches(&self) {
+        if let Some(c) = &self.cut_cache {
+            c.clear();
+        }
+        if let Some(c) = &self.line_cache {
+            c.clear();
         }
     }
 
@@ -173,6 +275,24 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 field("shards", self.pager.num_shards() as u64),
             ],
         );
+        // Shared cut-cache roll-up (cumulative counters + instant gauges).
+        if let Some(cc) = self.cut_cache_snapshot() {
+            rec.event(
+                "cutcache",
+                qid,
+                vec![
+                    field("hits", cc.hits),
+                    field("misses", cc.misses),
+                    field("sf_waits", cc.singleflight_waits),
+                    field("evictions", cc.evictions),
+                    field("deferrals", cc.budget_deferrals),
+                    field("warm", cc.warm_entries),
+                    field("cooling", cc.cooling_entries),
+                    field("in_flight", cc.in_flight),
+                    field("bytes", cc.resident_bytes),
+                ],
+            );
+        }
         // Fault/retry counters (cumulative over the pager's lifetime —
         // they are deliberately not cleared by the per-query stat reset).
         let faults = self.pager.fault_stats();
@@ -228,6 +348,8 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// the config's per-query budget when the caller passes `None`.
     fn ctx_at(&self, qid: u64, deadline: Option<Instant>) -> RankingContext<'_, 'm> {
         let deadline = deadline.or_else(|| self.cfg.deadline.map(|d| Instant::now() + d));
+        let scratch =
+            self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default();
         RankingContext {
             mesh: self.mesh,
             dmtm: &self.dmtm,
@@ -236,10 +358,14 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             cfg: &self.cfg,
             rec: self.recorder(),
             query: qid,
-            scratch: RefCell::new(RankScratch::default()),
+            scratch: RefCell::new(scratch),
+            cuts: self.cut_cache.as_ref(),
+            lines: self.line_cache.as_ref(),
+            grid: self.cut_grid,
             faults: FaultLog::new(self.cfg.fault_budget),
             deadline,
             deadline_hit: std::cell::Cell::new(false),
+            pool: Some(&self.scratch_pool),
         }
     }
 
@@ -309,6 +435,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         let mut stats = QueryStats::default();
         if self.cold_cache {
             self.pager.clear_pool();
+            self.clear_cut_caches();
         }
         self.pager.reset_stats();
         self.scene.dxy().reset_accesses();
@@ -522,6 +649,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         let mut stats = QueryStats::default();
         if self.cold_cache {
             self.pager.clear_pool();
+            self.clear_cut_caches();
         }
         self.pager.reset_stats();
         let timer = CpuTimer::start();
@@ -563,6 +691,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         let mut stats = QueryStats::default();
         if self.cold_cache {
             self.pager.clear_pool();
+            self.clear_cut_caches();
         }
         self.pager.reset_stats();
         self.scene.dxy().reset_accesses();
@@ -599,6 +728,48 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             None
         };
         RangeResult { inside, undecided, stats, trace, degraded: Self::degraded_marker(&ctx) }
+    }
+}
+
+/// Combined counter/occupancy snapshot of the engine's shared cut caches
+/// (DMTM fronts + MSDN line bands summed), as returned by
+/// [`Mr3Engine::cut_cache_snapshot`]. Counters are cumulative since engine
+/// build (or the last reset); gauges describe the current instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CutCacheSnapshot {
+    /// Fetches served from a resident cut.
+    pub hits: u64,
+    /// Fetches that led an extraction.
+    pub misses: u64,
+    /// Fetches that waited on another query's in-flight extraction.
+    pub singleflight_waits: u64,
+    /// Resident cuts evicted to stay within the weight budget.
+    pub evictions: u64,
+    /// Extractions that failed (storage faults); no entry was published.
+    pub failed_loads: u64,
+    /// Extractions delayed by the per-tick admission budget.
+    pub budget_deferrals: u64,
+    /// Resident cuts currently marked warm (recently used).
+    pub warm_entries: u64,
+    /// Resident cuts cooled by the CLOCK hand (eviction candidates).
+    pub cooling_entries: u64,
+    /// Keys currently holding a loading latch.
+    pub loading: u64,
+    /// Approximate bytes of resident cut data.
+    pub resident_bytes: u64,
+    /// Extractions running right now.
+    pub in_flight: u64,
+}
+
+impl CutCacheSnapshot {
+    /// Hit rate over all fetches so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 

@@ -22,13 +22,14 @@ use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph};
 use sknn_geodesic::pathnet::Pathnet;
 use sknn_geom::Axis;
 use sknn_geom::{Aabb3, Ellipse2, Rect2};
-use sknn_multires::{FetchScratch, FrontGraph, PagedDmtm};
+use sknn_multires::{CutCache, CutGrid, FetchScratch, FrontGraph, PagedDmtm};
 use sknn_obs::{field, Recorder};
 use sknn_sdn::network::{corridor_mask, lower_bound};
-use sknn_sdn::{Msdn, PagedMsdn, SimplifiedLine};
-use sknn_store::Pager;
+use sknn_sdn::{LineCutCache, Msdn, PagedMsdn, SimplifiedLine};
+use sknn_store::{Pager, StoreResult};
 use sknn_terrain::mesh::TerrainMesh;
 use std::cell::{Cell, RefCell};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared immutable state for ranking runs.
@@ -57,12 +58,43 @@ pub struct RankingContext<'a, 'm> {
     /// Absorbed storage faults of this query (graceful degradation: a
     /// failed finer-resolution fetch keeps the last resolution's bounds).
     pub faults: FaultLog,
+    /// Shared process-wide DMTM cut cache, `None` when disabled. Fetch
+    /// regions are canonicalized through [`grid`](Self::grid) *regardless*
+    /// of this being set, so results are bit-identical cache on or off.
+    pub cuts: Option<&'a CutCache>,
+    /// Shared process-wide MSDN line cache, `None` when disabled.
+    pub lines: Option<&'a LineCutCache>,
+    /// Fetch-region canonicalizer (pad + tile-snap). Always applied, so
+    /// extraction inputs — and therefore results — do not depend on
+    /// whether the shared caches are consulted.
+    pub grid: CutGrid,
     /// Wall-clock deadline of this query, checked between refinement
     /// iterations. `None` runs to convergence.
     pub deadline: Option<Instant>,
     /// Set once the deadline has been observed expired: refinement halted
     /// and the query's bounds are valid but looser than scheduled.
     pub deadline_hit: Cell<bool>,
+    /// Engine scratch pool this context returns its [`RankScratch`] to on
+    /// drop (after [`RankScratch::reset_for_reuse`]). Pooling removes the
+    /// per-query allocation burst of fresh Dijkstra/fetch buffers — a
+    /// measurable allocator contention point under multi-threaded batches.
+    pub pool: Option<&'a std::sync::Mutex<Vec<RankScratch>>>,
+}
+
+/// Upper bound on pooled scratches — enough for any realistic thread
+/// count while bounding retained buffer memory.
+pub const SCRATCH_POOL_CAP: usize = 32;
+
+impl Drop for RankingContext<'_, '_> {
+    fn drop(&mut self) {
+        let Some(pool) = self.pool else { return };
+        let mut s = std::mem::take(&mut *self.scratch.borrow_mut());
+        s.reset_for_reuse();
+        let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(s);
+        }
+    }
 }
 
 /// Reusable working state of the ranking hot path. Everything here is an
@@ -91,7 +123,59 @@ pub struct RankScratch {
 struct CachedFront {
     step: u32,
     roi: Rect2,
-    graph: FrontGraph,
+    graph: FrontHandle,
+}
+
+/// A front either owned by this query (paged extraction, cache off) or
+/// shared out of the process-wide cut cache. Read-only either way.
+#[derive(Debug)]
+enum FrontHandle {
+    Owned(FrontGraph),
+    Shared(Arc<FrontGraph>),
+}
+
+impl FrontHandle {
+    fn get(&self) -> &FrontGraph {
+        match self {
+            FrontHandle::Owned(g) => g,
+            FrontHandle::Shared(g) => g,
+        }
+    }
+}
+
+/// Line sets mirroring [`FrontHandle`] for the lower-bound phase.
+#[derive(Debug, Default)]
+enum LineSet {
+    #[default]
+    Empty,
+    Owned(Vec<SimplifiedLine>),
+    Shared(Arc<Vec<SimplifiedLine>>),
+}
+
+impl LineSet {
+    fn as_slice(&self) -> &[SimplifiedLine] {
+        match self {
+            LineSet::Empty => &[],
+            LineSet::Owned(v) => v,
+            LineSet::Shared(v) => v,
+        }
+    }
+}
+
+impl RankScratch {
+    /// Prepare the scratch for reuse by a *different* query (the engine's
+    /// scratch pool): the cached front must not carry over — a front
+    /// cached under one query's key sequence could satisfy another query's
+    /// containment check and make its Dijkstra inputs depend on query
+    /// execution order, breaking bit-reproducibility — but its buffers
+    /// (and all the Dijkstra/fetch buffers) are worth keeping warm.
+    pub fn reset_for_reuse(&mut self) {
+        if let Some(old) = self.front_cache.take() {
+            if let FrontHandle::Owned(g) = old.graph {
+                self.fetch.recycle(g);
+            }
+        }
+    }
 }
 
 /// Mask/edge/source buffers plus a CSR graph and Dijkstra scratch, reused
@@ -506,11 +590,16 @@ impl<'a, 'm> RankingContext<'a, 'm> {
                     return;
                 }
                 let members: Vec<usize> = group.members.iter().map(|&gi| active[gi]).collect();
-                let mut axis_lines: [Vec<SimplifiedLine>; 2] = [Vec::new(), Vec::new()];
+                let mut axis_lines: [LineSet; 2] = [LineSet::Empty, LineSet::Empty];
                 // A failed axis fetch degrades: its members skip this
                 // round's lower-bound tightening and keep their current
                 // (valid) lower bounds.
                 let mut axis_ok = [true, true];
+                // Canonical fetch region, shared with the cache-off path
+                // (see `ub_phase_front`); per-candidate slicing in
+                // `lb_phase` keeps the widened band/region transparent to
+                // the lower-bound math.
+                let roi_c = self.grid.snap(&group.region);
                 for (slot, axis) in [(0, Axis::X), (1, Axis::Y)] {
                     let mut lo = f64::INFINITY;
                     let mut hi = f64::NEG_INFINITY;
@@ -522,13 +611,15 @@ impl<'a, 'm> RankingContext<'a, 'm> {
                         }
                     }
                     if lo < hi {
-                        match self.msdn.fetch_lines_axis(
-                            self.pager,
+                        let (blo, bhi) = self.grid.snap_band(slot, lo, hi);
+                        match self.fetch_lines_shared(
                             lvl,
                             axis,
-                            lo,
-                            hi,
-                            Some(&group.region),
+                            blo,
+                            bhi,
+                            &roi_c,
+                            members.len(),
+                            stats,
                         ) {
                             Ok(lines) => axis_lines[slot] = lines,
                             Err(e) => {
@@ -562,6 +653,11 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         stats: &mut QueryStats,
     ) {
         let m = self.dmtm.tree().step_for_fraction(frac);
+        // Canonicalize the fetch region (pad + tile-snap) — done whether
+        // or not the shared cache is on, so extraction inputs are
+        // identical in both modes and hot neighbourhoods converge onto a
+        // small set of reusable keys.
+        let region = self.grid.snap(&region);
         let scratch = &mut *self.scratch.borrow_mut();
         let RankScratch { front_cache, bufs, shared, fetch } = scratch;
 
@@ -577,20 +673,40 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             // Recycle the replaced front's buffers into the fetch scratch
             // so steady-state refinement allocates nothing per fetch.
             if let Some(old) = front_cache.take() {
-                fetch.recycle(old.graph);
+                if let FrontHandle::Owned(g) = old.graph {
+                    fetch.recycle(g);
+                }
             }
-            let graph = match self.dmtm.fetch_front_with(self.pager, m, Some(&region), fetch) {
-                Ok(g) => g,
-                Err(e) => {
-                    // Degrade: this group keeps its previous upper bounds
-                    // (still valid, just looser) and no front is cached.
-                    self.absorb_fault("ub", e);
-                    return;
+            let graph = if let Some(cache) = self.cuts {
+                match cache.get_or_extract(self.dmtm, self.pager, m, Some(&region), members.len()) {
+                    Ok(out) => {
+                        if out.hit {
+                            stats.cut_cache_hits += 1;
+                        } else {
+                            stats.cut_cache_misses += 1;
+                        }
+                        FrontHandle::Shared(out.value)
+                    }
+                    Err(e) => {
+                        // Degrade: this group keeps its previous upper
+                        // bounds (still valid, just looser) and no front
+                        // is cached.
+                        self.absorb_fault("ub", e);
+                        return;
+                    }
+                }
+            } else {
+                match self.dmtm.fetch_front_with(self.pager, m, Some(&region), fetch) {
+                    Ok(g) => FrontHandle::Owned(g),
+                    Err(e) => {
+                        self.absorb_fault("ub", e);
+                        return;
+                    }
                 }
             };
             *front_cache = Some(CachedFront { step: m, roi: region, graph });
         }
-        let fg = &front_cache.as_ref().expect("front cache populated above").graph;
+        let fg = front_cache.as_ref().expect("front cache populated above").graph.get();
         if fg.num_nodes() == 0 {
             return;
         }
@@ -720,15 +836,38 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         stats: &mut QueryStats,
     ) {
         // Charge the I/O of reading the original-resolution terrain in the
-        // region (the pathnet is derived from it on the fly). The graph
-        // itself is unused, so its buffers go straight back to scratch.
+        // (canonical) region — the pathnet is derived from it on the fly.
+        // The graph itself is unused, so in owned mode its buffers go
+        // straight back to scratch; under the shared cache repeat charges
+        // for a hot region are served residently.
         {
-            let fetch = &mut self.scratch.borrow_mut().fetch;
-            match self.dmtm.fetch_front_with(self.pager, 0, Some(&region), fetch) {
-                Ok(leafs) => fetch.recycle(leafs),
-                // The pathnet itself is derived in memory, so a failed
-                // leaf-page charge degrades the accounting, not the bound.
-                Err(e) => self.absorb_fault("ub", e),
+            let charge_roi = self.grid.snap(&region);
+            if let Some(cache) = self.cuts {
+                match cache.get_or_extract(
+                    self.dmtm,
+                    self.pager,
+                    0,
+                    Some(&charge_roi),
+                    members.len(),
+                ) {
+                    Ok(out) => {
+                        if out.hit {
+                            stats.cut_cache_hits += 1;
+                        } else {
+                            stats.cut_cache_misses += 1;
+                        }
+                    }
+                    // The pathnet itself is derived in memory, so a failed
+                    // leaf-page charge degrades the accounting, not the
+                    // bound.
+                    Err(e) => self.absorb_fault("ub", e),
+                }
+            } else {
+                let fetch = &mut self.scratch.borrow_mut().fetch;
+                match self.dmtm.fetch_front_with(self.pager, 0, Some(&charge_roi), fetch) {
+                    Ok(leafs) => fetch.recycle(leafs),
+                    Err(e) => self.absorb_fault("ub", e),
+                }
             }
         }
         let mesh = self.mesh;
@@ -746,6 +885,34 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         }
     }
 
+    /// Fetch an axis line band through the shared line cache when enabled,
+    /// falling back to paged retrieval. Inputs must already be canonical.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_lines_shared(
+        &self,
+        lvl: usize,
+        axis: Axis,
+        lo: f64,
+        hi: f64,
+        roi: &Rect2,
+        demand: usize,
+        stats: &mut QueryStats,
+    ) -> StoreResult<LineSet> {
+        if let Some(cache) = self.lines {
+            let out =
+                cache.get_or_fetch(self.msdn, self.pager, lvl, axis, lo, hi, Some(roi), demand)?;
+            if out.hit {
+                stats.cut_cache_hits += 1;
+            } else {
+                stats.cut_cache_misses += 1;
+            }
+            Ok(LineSet::Shared(out.value))
+        } else {
+            let lines = self.msdn.fetch_lines_axis(self.pager, lvl, axis, lo, hi, Some(roi))?;
+            Ok(LineSet::Owned(lines))
+        }
+    }
+
     /// Lower bound for one candidate, slicing its separating lines from
     /// the group's prefetched axis ranges, with the dummy-bound shortcut
     /// of §4.2.2.
@@ -754,7 +921,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         q: &SurfacePoint,
         cands: &mut [Candidate],
         ci: usize,
-        axis_lines: &[Vec<SimplifiedLine>; 2],
+        axis_lines: &[LineSet; 2],
         stats: &mut QueryStats,
     ) {
         let roi = cands[ci].region;
@@ -762,8 +929,15 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         let slot = if axis == Axis::X { 0 } else { 1 };
         let (ca, cb) = (axis.coord(q.pos), axis.coord(cands[ci].point.pos));
         let (lo, hi) = (ca.min(cb), ca.max(cb));
-        let mut lines: Vec<&SimplifiedLine> =
-            axis_lines[slot].iter().filter(|l| l.plane.value > lo && l.plane.value < hi).collect();
+        // Slice this candidate's exact plane interval out of the group's
+        // canonical (widened) band; out-of-band or out-of-region lines
+        // contribute nothing to `lower_bound` (their segments fail its ROI
+        // filter), so the widening never changes the computed bound.
+        let mut lines: Vec<&SimplifiedLine> = axis_lines[slot]
+            .as_slice()
+            .iter()
+            .filter(|l| l.plane.value > lo && l.plane.value < hi)
+            .collect();
         if ca > cb {
             lines.reverse();
         }
@@ -805,14 +979,27 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         // Upper bound.
         if dmtm_frac <= 1.0 {
             let m = self.dmtm.tree().step_for_fraction(dmtm_frac);
-            match self.dmtm.fetch_front(self.pager, m, None) {
-                Ok(fg) => {
-                    let src = self.dmtm.embed(&fg, self.mesh, a.tri, a.pos);
-                    let dst = self.dmtm.embed(&fg, self.mesh, b.tri, b.pos);
+            let fetched: StoreResult<FrontHandle> = if let Some(cache) = self.cuts {
+                cache.get_or_extract(self.dmtm, self.pager, m, None, 1).map(|out| {
+                    if out.hit {
+                        stats.cut_cache_hits += 1;
+                    } else {
+                        stats.cut_cache_misses += 1;
+                    }
+                    FrontHandle::Shared(out.value)
+                })
+            } else {
+                self.dmtm.fetch_front(self.pager, m, None).map(FrontHandle::Owned)
+            };
+            match fetched {
+                Ok(handle) => {
+                    let fg = handle.get();
+                    let src = self.dmtm.embed(fg, self.mesh, a.tri, a.pos);
+                    let dst = self.dmtm.embed(fg, self.mesh, b.tri, b.pos);
                     if !src.is_empty() && !dst.is_empty() {
                         let mut scratch = self.scratch.borrow_mut();
                         let (d, settled, _) =
-                            filtered_dijkstra(&fg, &|_| true, &src, &dst, &mut scratch.bufs);
+                            filtered_dijkstra(fg, &|_| true, &src, &dst, &mut scratch.bufs);
                         stats.settled += settled;
                         if d.is_finite() {
                             range.tighten_ub(d);
@@ -929,9 +1116,13 @@ mod tests {
             rec: &sknn_obs::NOOP,
             query: 0,
             scratch: RefCell::new(RankScratch::default()),
+            cuts: None,
+            lines: None,
+            grid: CutGrid::new(f.mesh.extent(), f.cfg.cut_cache.tiles, f.cfg.cut_cache.pad_tiles),
             faults: FaultLog::new(f.cfg.fault_budget),
             deadline: None,
             deadline_hit: Cell::new(false),
+            pool: None,
         }
     }
 

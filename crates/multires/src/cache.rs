@@ -1,0 +1,268 @@
+//! Process-wide cache of materialized DMTM cuts.
+//!
+//! Extracting a front — scanning live ids, walking the clustering B+-tree,
+//! decoding payloads, sorting edges — dominates MR3's CPU-bound cost, and
+//! concurrent queries over hot terrain redo the exact same extractions.
+//! [`CutCache`] memoizes extracted [`FrontGraph`]s keyed by `(resolution
+//! step, fetch region)`, with single-flight extraction, CLOCK eviction and
+//! an optional per-tick extraction budget (all provided by
+//! [`SingleFlightCache`] in `sknn-store`).
+//!
+//! ## Region canonicalization and bit-identity
+//!
+//! A cache keyed by raw query-dependent regions would never hit: every
+//! query computes slightly different candidate MBRs. [`CutGrid`] therefore
+//! canonicalizes fetch regions *before* they reach the store layer —
+//! padding them by a loading-radius fraction of a tile (hysteresis: repeat
+//! traffic in a hot neighbourhood lands inside an already-materialized
+//! cut) and snapping the result outward to a fixed tile lattice over the
+//! terrain extent. Crucially the ranking layer applies the same
+//! canonicalization **whether the cache is on or off**: extraction is a
+//! pure function of `(step, canonical region)`, a superset region only
+//! adds nodes that ROI filtering would admit anyway, and so query results
+//! are bit-identical in both modes — the cache can only change *when* work
+//! happens, never *what* it produces. Keys match exactly (`f64::to_bits`
+//! of the snapped bounds); there is no containment-based reuse across
+//! different keys, which would change Dijkstra inputs per query ordering.
+
+use crate::front::FrontGraph;
+use crate::paged::PagedDmtm;
+use sknn_geom::{Point2, Rect2};
+use sknn_store::{CacheGauges, CacheOutcome, CacheStats, Pager, SingleFlightCache, StoreResult};
+use std::time::Duration;
+
+/// Fixed tile lattice over the terrain extent used to canonicalize fetch
+/// regions (see module docs). Copy-cheap; the engine builds one and hands
+/// it to every query context.
+#[derive(Debug, Clone, Copy)]
+pub struct CutGrid {
+    extent: Rect2,
+    tiles: usize,
+    tile_w: f64,
+    tile_h: f64,
+    /// Loading-radius padding in tiles, applied before snapping.
+    pad_tiles: f64,
+}
+
+impl CutGrid {
+    /// A lattice of `tiles × tiles` cells over `extent`, padding regions
+    /// by `pad_tiles` tiles before snapping them outward.
+    pub fn new(extent: Rect2, tiles: usize, pad_tiles: f64) -> Self {
+        let tiles = tiles.max(1);
+        Self {
+            extent,
+            tiles,
+            tile_w: extent.width() / tiles as f64,
+            tile_h: extent.height() / tiles as f64,
+            pad_tiles: pad_tiles.max(0.0),
+        }
+    }
+
+    /// Canonicalize a fetch region: pad by the loading radius, snap
+    /// outward to tile boundaries, clamp to the extent. Snapped bounds are
+    /// computed from integer tile indices so equal inputs produce
+    /// bit-equal outputs on any machine. Returns the full extent for
+    /// regions that cover it (the common first-iteration case, where the
+    /// candidate upper bound is still infinite). Apply exactly once per
+    /// raw region — with a nonzero pad, re-snapping a snapped region grows
+    /// it by another tile (the pad always extends).
+    pub fn snap(&self, r: &Rect2) -> Rect2 {
+        if r.contains_rect(&self.extent) {
+            return self.extent;
+        }
+        let (x0, x1) =
+            self.snap_axis(r.lo.x, r.hi.x, self.extent.lo.x, self.extent.hi.x, self.tile_w);
+        let (y0, y1) =
+            self.snap_axis(r.lo.y, r.hi.y, self.extent.lo.y, self.extent.hi.y, self.tile_h);
+        Rect2::new(Point2::new(x0, y0), Point2::new(x1, y1))
+    }
+
+    /// Canonicalize a 1-D band (an MSDN plane-coordinate interval) along
+    /// `axis` (0 = x, 1 = y) with the same pad-and-snap rule.
+    pub fn snap_band(&self, axis: usize, lo: f64, hi: f64) -> (f64, f64) {
+        if axis == 0 {
+            self.snap_axis(lo, hi, self.extent.lo.x, self.extent.hi.x, self.tile_w)
+        } else {
+            self.snap_axis(lo, hi, self.extent.lo.y, self.extent.hi.y, self.tile_h)
+        }
+    }
+
+    fn snap_axis(&self, lo: f64, hi: f64, origin: f64, end: f64, tile: f64) -> (f64, f64) {
+        if tile <= 0.0 || !lo.is_finite() || !hi.is_finite() {
+            // Degenerate extent or unbounded band: the whole axis range.
+            return (origin, end);
+        }
+        let pad = self.pad_tiles * tile;
+        let i0 = ((((lo - pad) - origin) / tile).floor().max(0.0) as usize).min(self.tiles);
+        let i1 =
+            (((((hi + pad) - origin) / tile).ceil()).max(0.0) as usize).min(self.tiles).max(i0);
+        // Tile indices 0 and `tiles` resolve to the exact extent bounds so
+        // clamped regions share bit patterns with the full extent.
+        let a = if i0 == 0 { origin } else { origin + i0 as f64 * tile };
+        let b = if i1 >= self.tiles { end } else { origin + i1 as f64 * tile };
+        (a, b)
+    }
+
+    /// The terrain extent the lattice covers.
+    pub fn extent(&self) -> Rect2 {
+        self.extent
+    }
+}
+
+/// Exact identity of a materialized cut: resolution step plus the bit
+/// patterns of the canonical fetch region (`None` = unrestricted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CutKey {
+    /// Collapse step of the front.
+    pub step: u32,
+    /// `[lo.x, lo.y, hi.x, hi.y]` as `f64::to_bits`, or `None` for a
+    /// whole-terrain cut.
+    pub roi: Option<[u64; 4]>,
+}
+
+impl CutKey {
+    /// Key for a (already canonicalized) fetch.
+    pub fn new(step: u32, roi: Option<&Rect2>) -> Self {
+        Self {
+            step,
+            roi: roi
+                .map(|r| [r.lo.x.to_bits(), r.lo.y.to_bits(), r.hi.x.to_bits(), r.hi.y.to_bits()]),
+        }
+    }
+}
+
+/// Approximate resident bytes of a front (cache weight).
+fn front_weight(fg: &FrontGraph) -> usize {
+    64 + fg.ids.len() * 4 + fg.index.len() * 16 + fg.edges.len() * 24 + fg.rep_pos.len() * 24
+}
+
+/// The shared DMTM cut cache. See the module docs for semantics; pass
+/// canonical ([`CutGrid::snap`]ped) regions only.
+pub struct CutCache {
+    inner: SingleFlightCache<CutKey, FrontGraph>,
+}
+
+impl CutCache {
+    /// A cache bounded by `capacity_bytes`, admitting at most
+    /// `budget_per_tick` extractions per `tick` (`0` = unlimited).
+    pub fn new(capacity_bytes: usize, budget_per_tick: usize, tick: Duration) -> Self {
+        Self { inner: SingleFlightCache::new(capacity_bytes, budget_per_tick, tick) }
+    }
+
+    /// Fetch the front at step `m` restricted to (canonical) `roi`,
+    /// extracting through `dmtm`/`pager` under single-flight on a cold
+    /// key. `demand` is the number of candidates the requesting group
+    /// resolves from this cut (extraction-budget priority). I/O cost is
+    /// charged to `pager` only when an extraction actually runs.
+    pub fn get_or_extract(
+        &self,
+        dmtm: &PagedDmtm,
+        pager: &Pager,
+        m: u32,
+        roi: Option<&Rect2>,
+        demand: usize,
+    ) -> StoreResult<CacheOutcome<FrontGraph>> {
+        let key = CutKey::new(m, roi);
+        self.inner.get_or_load(key, demand, || {
+            let fg = dmtm.fetch_front(pager, m, roi)?;
+            let weight = front_weight(&fg);
+            Ok((fg, weight))
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Occupancy snapshot.
+    pub fn gauges(&self) -> CacheGauges {
+        self.inner.gauges()
+    }
+
+    /// Extractions currently running.
+    pub fn loads_in_flight(&self) -> u64 {
+        self.inner.loads_in_flight()
+    }
+
+    /// Drop every resident cut (cold-cache mode between queries).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Zero the counters.
+    pub fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+
+    /// Resident cuts.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no cut is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CutGrid {
+        CutGrid::new(Rect2::new(Point2::new(0.0, 0.0), Point2::new(1600.0, 800.0)), 16, 0.5)
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_containing() {
+        let g = grid();
+        let r = Rect2::new(Point2::new(123.4, 77.7), Point2::new(456.7, 301.0));
+        let s = g.snap(&r);
+        assert!(s.contains_rect(&r), "{s:?} must contain {r:?}");
+        // Snapped bounds sit on lattice lines (tile 100 × 50 here).
+        assert_eq!(s.lo.x % 100.0, 0.0);
+        assert_eq!(s.hi.x % 100.0, 0.0);
+        assert_eq!(s.lo.y % 50.0, 0.0);
+        assert_eq!(s.hi.y % 50.0, 0.0);
+        // Determinism: equal inputs give bit-equal outputs.
+        assert_eq!(g.snap(&r), s);
+    }
+
+    #[test]
+    fn snap_clamps_to_extent() {
+        let g = grid();
+        let r = Rect2::new(Point2::new(-500.0, -500.0), Point2::new(5000.0, 5000.0));
+        assert_eq!(g.snap(&r), g.extent());
+        // Near-edge regions clamp to the exact extent corner bits.
+        let r = Rect2::new(Point2::new(1.0, 1.0), Point2::new(2.0, 2.0));
+        let s = g.snap(&r);
+        assert_eq!(s.lo.x.to_bits(), 0f64.to_bits());
+        assert_eq!(s.lo.y.to_bits(), 0f64.to_bits());
+    }
+
+    #[test]
+    fn snap_band_matches_axis_snapping() {
+        let g = grid();
+        let (lo, hi) = g.snap_band(0, 123.4, 456.7);
+        let s = g.snap(&Rect2::new(Point2::new(123.4, 0.0), Point2::new(456.7, 1.0)));
+        assert_eq!((lo.to_bits(), hi.to_bits()), (s.lo.x.to_bits(), s.hi.x.to_bits()));
+        let (lo, hi) = g.snap_band(1, 10.0, 20.0);
+        assert!(lo <= 10.0 && hi >= 20.0);
+        assert!(lo >= 0.0 && hi <= 800.0);
+    }
+
+    #[test]
+    fn keys_discriminate_step_and_region() {
+        let g = grid();
+        let a = g.snap(&Rect2::new(Point2::new(100.0, 100.0), Point2::new(200.0, 200.0)));
+        let b = g.snap(&Rect2::new(Point2::new(900.0, 100.0), Point2::new(1100.0, 200.0)));
+        assert_ne!(CutKey::new(3, Some(&a)), CutKey::new(3, Some(&b)));
+        assert_ne!(CutKey::new(3, Some(&a)), CutKey::new(4, Some(&a)));
+        assert_ne!(CutKey::new(3, Some(&a)), CutKey::new(3, None));
+        // Two regions snapping to the same tiles share a key: that is the
+        // whole point of canonicalization.
+        let a2 = g.snap(&Rect2::new(Point2::new(101.0, 101.0), Point2::new(199.0, 199.0)));
+        assert_eq!(CutKey::new(3, Some(&a)), CutKey::new(3, Some(&a2)));
+    }
+}

@@ -37,6 +37,7 @@
 //! assert!(coarse.num_nodes() < full.num_nodes() / 5);
 //! ```
 
+pub mod cache;
 pub mod front;
 pub mod io;
 pub mod paged;
@@ -44,6 +45,7 @@ pub mod quadric;
 pub mod simplify;
 pub mod tree;
 
+pub use cache::{CutCache, CutGrid, CutKey};
 pub use front::FrontGraph;
 pub use paged::{FetchScratch, PagedDmtm};
 pub use simplify::build_dmtm;

@@ -1,0 +1,144 @@
+//! Process-wide cache of materialized MSDN crossing-line cuts.
+//!
+//! The lower-bound phase repeatedly fetches the simplified crossing lines
+//! of a plane-coordinate band at some resolution level — decoded from heap
+//! files and filtered per region — and concurrent queries over the same
+//! hot band redo that work. This mirrors the DMTM [`CutCache`]
+//! (`sknn-multires`): line sets are memoized under single-flight keyed by
+//! `(level, axis, canonical band, canonical region)`, with the same CLOCK
+//! eviction and extraction-budget machinery from `sknn-store`.
+//!
+//! Bands and regions must be canonicalized (padded + tile-snapped) by the
+//! caller **identically with the cache on or off** — see the
+//! bit-identity discussion in `sknn-multires::cache`. The ranking layer
+//! then slices each candidate's exact interval out of the (superset)
+//! cached band, so widening is transparent to the lower-bound math.
+
+use crate::paged::PagedMsdn;
+use crate::simplify::SimplifiedLine;
+use sknn_geom::{Axis, Rect2};
+use sknn_store::{CacheGauges, CacheOutcome, CacheStats, Pager, SingleFlightCache, StoreResult};
+use std::time::Duration;
+
+/// Exact identity of a materialized line set: resolution level, sweep
+/// axis, and the bit patterns of the canonical band and region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineKey {
+    /// Resolution level index.
+    pub level: u32,
+    /// Sweep axis (0 = X, 1 = Y).
+    pub axis: u8,
+    /// Canonical band `(lo, hi)` as `f64::to_bits`.
+    pub band: [u64; 2],
+    /// Canonical region bits, or `None` for unrestricted.
+    pub roi: Option<[u64; 4]>,
+}
+
+impl LineKey {
+    /// Key for an (already canonicalized) band fetch.
+    pub fn new(level: usize, axis: Axis, lo: f64, hi: f64, roi: Option<&Rect2>) -> Self {
+        Self {
+            level: level as u32,
+            axis: match axis {
+                Axis::X => 0,
+                Axis::Y => 1,
+            },
+            band: [lo.to_bits(), hi.to_bits()],
+            roi: roi
+                .map(|r| [r.lo.x.to_bits(), r.lo.y.to_bits(), r.hi.x.to_bits(), r.hi.y.to_bits()]),
+        }
+    }
+}
+
+/// Approximate resident bytes of a line set (cache weight).
+fn lines_weight(lines: &[SimplifiedLine]) -> usize {
+    64 + lines.iter().map(|l| 64 + l.segments.len() * 96).sum::<usize>()
+}
+
+/// The shared MSDN line cache; pass canonical bands/regions only.
+pub struct LineCutCache {
+    inner: SingleFlightCache<LineKey, Vec<SimplifiedLine>>,
+}
+
+impl LineCutCache {
+    /// A cache bounded by `capacity_bytes`, admitting at most
+    /// `budget_per_tick` fetches per `tick` (`0` = unlimited).
+    pub fn new(capacity_bytes: usize, budget_per_tick: usize, tick: Duration) -> Self {
+        Self { inner: SingleFlightCache::new(capacity_bytes, budget_per_tick, tick) }
+    }
+
+    /// Fetch the simplified lines of `axis` with plane coordinate in the
+    /// open (canonical) band `(lo, hi)` intersecting (canonical) `roi`,
+    /// loading through `msdn`/`pager` under single-flight on a cold key.
+    /// `demand` prioritizes extraction-budget admission.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_fetch(
+        &self,
+        msdn: &PagedMsdn,
+        pager: &Pager,
+        level_idx: usize,
+        axis: Axis,
+        lo: f64,
+        hi: f64,
+        roi: Option<&Rect2>,
+        demand: usize,
+    ) -> StoreResult<CacheOutcome<Vec<SimplifiedLine>>> {
+        let key = LineKey::new(level_idx, axis, lo, hi, roi);
+        self.inner.get_or_load(key, demand, || {
+            let lines = msdn.fetch_lines_axis(pager, level_idx, axis, lo, hi, roi)?;
+            let weight = lines_weight(&lines);
+            Ok((lines, weight))
+        })
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Occupancy snapshot.
+    pub fn gauges(&self) -> CacheGauges {
+        self.inner.gauges()
+    }
+
+    /// Fetches currently running.
+    pub fn loads_in_flight(&self) -> u64 {
+        self.inner.loads_in_flight()
+    }
+
+    /// Drop every resident line set (cold-cache mode between queries).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Zero the counters.
+    pub fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+
+    /// Resident line sets.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no line set is resident.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_discriminate_every_dimension() {
+        let r = Rect2::new(sknn_geom::Point2::new(0.0, 0.0), sknn_geom::Point2::new(10.0, 10.0));
+        let base = LineKey::new(1, Axis::X, 2.0, 8.0, Some(&r));
+        assert_eq!(base, LineKey::new(1, Axis::X, 2.0, 8.0, Some(&r)));
+        assert_ne!(base, LineKey::new(2, Axis::X, 2.0, 8.0, Some(&r)));
+        assert_ne!(base, LineKey::new(1, Axis::Y, 2.0, 8.0, Some(&r)));
+        assert_ne!(base, LineKey::new(1, Axis::X, 2.5, 8.0, Some(&r)));
+        assert_ne!(base, LineKey::new(1, Axis::X, 2.0, 8.0, None));
+    }
+}

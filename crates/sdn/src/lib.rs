@@ -40,6 +40,7 @@
 //! assert!(hi >= lo * 0.98);
 //! ```
 
+pub mod cache;
 pub mod crossing;
 pub mod io;
 pub mod msdn;
@@ -47,6 +48,7 @@ pub mod network;
 pub mod paged;
 pub mod simplify;
 
+pub use cache::{LineCutCache, LineKey};
 pub use crossing::CrossingLine;
 pub use msdn::{Msdn, MsdnConfig};
 pub use network::{corridor_mask, lower_bound, LowerBound};

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod bptree;
+pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod heapfile;
@@ -52,6 +53,7 @@ pub mod page;
 pub mod pager;
 
 pub use bptree::BPlusTree;
+pub use cache::{CacheGauges, CacheOutcome, CacheStats, SingleFlightCache, CACHE_SHARDS};
 pub use error::{StoreError, StoreResult};
 pub use fault::{FaultInjector, FaultKind, FaultProfile, FaultStats, RetryPolicy};
 pub use heapfile::{HeapFile, RecordId};

@@ -610,6 +610,41 @@ impl Pager {
         }
     }
 
+    /// Batch variant of [`claim_flight`](Self::claim_flight): claim
+    /// leadership of every miss in `misses` inside **one** flight-lock
+    /// critical section. The per-page loop used to take the flight mutex
+    /// once per miss, which under concurrent batches made that mutex a
+    /// measurable contention point; one critical section claims the whole
+    /// batch at the cost of a single acquisition. Returns the claims won
+    /// (to lead) and the pages another thread is already reading (to
+    /// defer). The resident double-check of `claim_flight` runs after the
+    /// lock is released — dropping a lease deregisters the claim, so
+    /// pages published meanwhile are simply dropped from the led set.
+    #[allow(clippy::type_complexity)]
+    fn claim_flight_batch(
+        &self,
+        misses: Vec<(u64, usize)>,
+    ) -> (Vec<(u64, usize, FlightLease<'_>)>, Vec<(u64, usize)>) {
+        let mut led = Vec::new();
+        let mut deferred = Vec::new();
+        {
+            let mut flight = lock_recover(&self.flight);
+            for (page, t) in misses {
+                if flight.insert(page) {
+                    led.push((page, t, FlightLease { pager: self, page }));
+                } else {
+                    deferred.push((page, t));
+                }
+            }
+        }
+        // Double-check under our claims (see `claim_flight`): between the
+        // miss and the claim a previous leader may have published the
+        // page. Holding the claim excludes any new leader, so this is
+        // race-free; `retain` drops the lease of each resident page.
+        led.retain(|&(page, _, _)| !self.pool_touch(page));
+        (led, deferred)
+    }
+
     /// Verify a page's bytes against its checksum sidecar. Failure means
     /// the stored bytes themselves are corrupt — rereading cannot help,
     /// so the error is surfaced without retry.
@@ -809,23 +844,20 @@ impl Pager {
             ids.windows(2).all(|w| w[0].0 < w[1].0),
             "with_pages requires sorted, de-duplicated page ids"
         );
-        // Phase 1: account logical reads; claim every miss we can lead.
-        // Pages in flight elsewhere are deferred, not waited on — waiting
-        // while holding unpublished claims could deadlock two batches.
-        let mut led: Vec<(u64, usize, FlightLease<'_>)> = Vec::new();
-        let mut deferred: Vec<(u64, usize)> = Vec::new();
+        // Phase 1: account logical reads; claim every miss we can lead —
+        // all claims in one flight-lock critical section
+        // ([`claim_flight_batch`](Self::claim_flight_batch)). Pages in
+        // flight elsewhere are deferred, not waited on — waiting while
+        // holding unpublished claims could deadlock two batches.
+        let mut misses: Vec<(u64, usize)> = Vec::new();
         for &id in ids {
             let t = self.tag_idx(id.0);
             self.counters.logical[t].fetch_add(1, Relaxed);
-            if self.pool_touch(id.0) {
-                continue;
-            }
-            match self.claim_flight(id.0) {
-                FlightClaim::Led(lease) => led.push((id.0, t, lease)),
-                FlightClaim::Lost => deferred.push((id.0, t)),
-                FlightClaim::Resident => {}
+            if !self.pool_touch(id.0) {
+                misses.push((id.0, t));
             }
         }
+        let (led, deferred) = self.claim_flight_batch(misses);
         // Phase 2: attempt every claimed read (faults and retries are
         // per page), then pay one stall covering all served misses — the
         // overlapped-I/O model. Only then publish the pages and release

@@ -38,9 +38,17 @@ fn main() {
         rec: &sknn_obs::NOOP,
         query: 0,
         scratch: std::cell::RefCell::new(RankScratch::default()),
+        cuts: None,
+        lines: None,
+        grid: surface_knn::multires::CutGrid::new(
+            mesh.extent(),
+            cfg.cut_cache.tiles,
+            cfg.cut_cache.pad_tiles,
+        ),
         faults: sknn_core::FaultLog::new(cfg.fault_budget),
         deadline: None,
         deadline_hit: std::cell::Cell::new(false),
+        pool: None,
     };
 
     let exact = ExactGeodesic::new(&mesh).distance(a.to_mesh_point(), b.to_mesh_point());

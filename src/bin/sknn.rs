@@ -11,6 +11,10 @@
 //!                                      R in [0,1], kind K (transient|
 //!                                      permanent|bitflip|latency); prints
 //!                                      fault/retry/degradation counters
+//!          [--cache on|off]            shared cut cache (default on;
+//!                                      results are bit-identical either way)
+//!          [--cache-stats true]        print the cut-cache summary line
+//!                                      (hits, misses, hit rate, residency)
 //! sknn trace --k 5 [--out t.jsonl]     traced k-NN: JSONL records + a
 //!                                      human convergence summary
 //! sknn range --radius 150              surface range query
@@ -44,8 +48,9 @@
 //!          [--out BENCH_serve.json]    write the JSON report
 //! sknn top --metrics HOST:PORT         live server telemetry: polls the
 //!          [--interval-ms 1000]        metrics endpoint and redraws qps,
-//!          [--iterations 0]            queue depth, stage quantiles and
-//!          [--check]                   shed/expired/degraded rates
+//!          [--iterations 0]            queue depth, cut-cache gauges,
+//!          [--check]                   stage quantiles and shed/expired/
+//!                                      degraded rates
 //!                                      (--check: scrape once, validate,
 //!                                      exit nonzero on parse failure)
 //!
@@ -160,7 +165,15 @@ fn main() {
             let threads: usize = args.get("threads", 1);
             let stall_ms: f64 = args.get("stall-ms", 0.0);
             let fault_spec: String = args.get("fault-profile", String::new());
-            let engine = build_engine(&cfg);
+            let cache_mode: String = args.get("cache", "on".to_string());
+            let cache_stats: bool = args.get("cache-stats", false);
+            let mut engine = build_engine(&cfg);
+            match cache_mode.as_str() {
+                "on" => {}
+                "off" => engine.set_cut_cache(false),
+                other => panic!("--cache must be on or off, not {other:?}"),
+            }
+            let engine = engine;
             if stall_ms > 0.0 {
                 engine.pager().set_read_stall(std::time::Duration::from_secs_f64(stall_ms / 1e3));
             }
@@ -234,6 +247,25 @@ fn main() {
                     c.shard_contention,
                     engine.pager().num_shards()
                 );
+            }
+            if cache_stats {
+                match engine.cut_cache_snapshot() {
+                    Some(s) => println!(
+                        "cut cache: {} hits, {} misses ({:.1}% hit rate), \
+                         {} single-flight waits, {} evictions, {} deferrals, \
+                         {} warm + {} cooling resident ({} KiB)",
+                        s.hits,
+                        s.misses,
+                        s.hit_rate() * 100.0,
+                        s.singleflight_waits,
+                        s.evictions,
+                        s.budget_deferrals,
+                        s.warm_entries,
+                        s.cooling_entries,
+                        s.resident_bytes / 1024,
+                    ),
+                    None => println!("cut cache: disabled (--cache off)"),
+                }
             }
             if !fault_spec.is_empty() {
                 let fs = engine.pager().fault_stats();
@@ -604,6 +636,9 @@ fn run_top(args: &Args) {
             "sknn_serve_latency_us_bucket",
             "sknn_store_logical_reads_total",
             "sknn_store_faults_injected_total",
+            "sknn_cutcache_hits_total",
+            "sknn_cutcache_misses_total",
+            "sknn_cutcache_hit_rate",
         ];
         let mut missing = Vec::new();
         for name in required {
@@ -680,11 +715,20 @@ fn run_top(args: &Args) {
             value(&samples, "sknn_serve_connections_total"),
         ));
         out.push_str(&format!(
-            "shed {:6.1}/s   expired {:6.1}/s   degraded {:6.1}/s   errors {:6.1}/s\n\n",
+            "shed {:6.1}/s   expired {:6.1}/s   degraded {:6.1}/s   errors {:6.1}/s\n",
             rate("sknn_serve_shed_total"),
             rate("sknn_serve_expired_total"),
             rate("sknn_serve_degraded_total"),
             rate("sknn_serve_query_errors_total"),
+        ));
+        out.push_str(&format!(
+            "cut cache: hit rate {:5.1}%   warm {:5.0}   cooling {:4.0}   \
+             in-flight {:2.0}   resident {:6.0} KiB\n\n",
+            value(&samples, "sknn_cutcache_hit_rate") * 100.0,
+            value(&samples, "sknn_cutcache_warm_entries"),
+            value(&samples, "sknn_cutcache_cooling_entries"),
+            value(&samples, "sknn_cutcache_extractions_in_flight"),
+            value(&samples, "sknn_cutcache_resident_bytes") / 1024.0,
         ));
         out.push_str(&format!(
             "{:<10} {:>10} {:>10} {:>10} {:>10}   (µs, lifetime)\n",

@@ -1,0 +1,189 @@
+//! The shared cut cache's four contracts (DESIGN.md §16).
+//!
+//! * **Single-flight** — N threads hitting the same cold key pay exactly
+//!   one extraction; the rest either wait on the leader's latch or hit the
+//!   published entry.
+//! * **Bounded memory** — inserting past the weight budget evicts cooled
+//!   entries instead of growing.
+//! * **Bit-identity** — query results with the cache on are bit-identical
+//!   to the cache-off run at any thread count (proptest over scenes and
+//!   query sets), and a cached cut is byte-equal to a freshly extracted
+//!   one.
+//! * **Fault interaction** — a failed extraction publishes nothing: no
+//!   poisoned Warm entry, and the next request after the fault clears
+//!   re-runs the extraction and succeeds.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use surface_knn::core::config::Mr3Config;
+use surface_knn::core::metrics::QueryResult;
+use surface_knn::core::mr3::Mr3Engine;
+use surface_knn::core::workload::{SceneBuilder, SurfacePoint};
+use surface_knn::multires::{build_dmtm, CutCache, FrontGraph, PagedDmtm};
+use surface_knn::prelude::*;
+use surface_knn::store::Pager;
+
+fn dmtm_fixture(grid: usize, seed: u64) -> (Pager, PagedDmtm) {
+    let mesh = TerrainConfig::bh().with_grid(grid).build_mesh(seed);
+    let pager = Pager::new(256);
+    let dmtm = PagedDmtm::build(&pager, build_dmtm(&mesh));
+    (pager, dmtm)
+}
+
+type FrontFingerprint = (u32, Vec<u32>, Vec<(u32, u32, u64)>, Vec<[u64; 3]>);
+
+/// All `f64`s compared by bit pattern: byte-equality, not tolerance. The
+/// id→local index map is checked for agreement with `ids` rather than
+/// fingerprinted — it is derived data with unordered iteration.
+fn front_fingerprint(fg: &FrontGraph) -> FrontFingerprint {
+    for (&id, &local) in &fg.index {
+        assert_eq!(fg.ids[local as usize], id, "index disagrees with ids");
+    }
+    (
+        fg.step,
+        fg.ids.clone(),
+        fg.edges.iter().map(|&(a, b, w)| (a, b, w.to_bits())).collect(),
+        fg.rep_pos.iter().map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]).collect(),
+    )
+}
+
+#[test]
+fn single_flight_one_extraction_across_four_threads() {
+    let (pager, dmtm) = dmtm_fixture(25, 301);
+    let cache = CutCache::new(64 << 20, 0, Duration::from_millis(10));
+    let step = dmtm.tree().num_steps() / 2;
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                cache.get_or_extract(&dmtm, &pager, step, None, 1).expect("extraction failed");
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "exactly one thread must lead the extraction");
+    // Every non-leader is ultimately served from the published entry (a
+    // waiter records both a latch wait and the hit it wakes to).
+    assert_eq!(stats.hits, 3, "the other three must hit the published entry: {stats:?}");
+    assert!(stats.singleflight_waits <= 3, "more waiters than threads: {stats:?}");
+    assert_eq!(stats.failed_loads, 0);
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn eviction_at_capacity_bounds_residency() {
+    let (pager, dmtm) = dmtm_fixture(25, 303);
+    // A budget far below one front's weight: every insert must evict.
+    let cache = CutCache::new(512, 0, Duration::from_millis(10));
+    let steps = dmtm.tree().num_steps();
+    for step in 0..steps.min(6) {
+        cache.get_or_extract(&dmtm, &pager, step, None, 1).expect("extraction failed");
+    }
+    let stats = cache.stats();
+    assert!(stats.evictions > 0, "no evictions despite a 512-byte budget: {stats:?}");
+    // Residency stays bounded: at most one over-budget entry per shard
+    // (an entry is admitted, then evicted when the next one arrives).
+    assert!(cache.len() <= 8, "cache grew unboundedly: {} resident", cache.len());
+}
+
+#[test]
+fn cached_cut_is_byte_equal_to_fresh_extraction() {
+    let (pager, dmtm) = dmtm_fixture(25, 305);
+    let cache = CutCache::new(64 << 20, 0, Duration::from_millis(10));
+    for step in [0, dmtm.tree().num_steps() / 3, dmtm.tree().num_steps() - 1] {
+        // Twice through the cache: the second is a hit serving the cached
+        // value.
+        let first = cache.get_or_extract(&dmtm, &pager, step, None, 1).unwrap();
+        let second = cache.get_or_extract(&dmtm, &pager, step, None, 1).unwrap();
+        assert!(!first.hit && second.hit);
+        let fresh = dmtm.fetch_front(&pager, step, None).unwrap();
+        assert_eq!(
+            front_fingerprint(&second.value),
+            front_fingerprint(&fresh),
+            "cached cut at step {step} differs from a fresh extraction"
+        );
+    }
+}
+
+#[test]
+fn failed_extraction_leaves_no_poisoned_entry() {
+    let (pager, dmtm) = dmtm_fixture(25, 307);
+    let cache = CutCache::new(64 << 20, 0, Duration::from_millis(10));
+    let step = dmtm.tree().num_steps() / 2;
+
+    // Permanent faults at rate 1: the extraction must fail...
+    pager.set_fault_injector(Some(FaultInjector::seeded(
+        99,
+        1.0,
+        surface_knn::store::FaultKind::Permanent,
+    )));
+    let err = cache.get_or_extract(&dmtm, &pager, step, None, 1);
+    assert!(err.is_err(), "extraction under permanent faults must fail");
+    let stats = cache.stats();
+    assert!(stats.failed_loads >= 1, "failed load not counted: {stats:?}");
+    // ...and publish nothing: no Warm entry holding a partial front.
+    assert_eq!(cache.len(), 0, "failed extraction left a resident entry");
+
+    // After the fault clears, the same key extracts fresh and correctly.
+    pager.set_fault_injector(None);
+    let ok = cache.get_or_extract(&dmtm, &pager, step, None, 1).unwrap();
+    assert!(!ok.hit, "a failed load must not satisfy later requests");
+    let fresh = dmtm.fetch_front(&pager, step, None).unwrap();
+    assert_eq!(front_fingerprint(&ok.value), front_fingerprint(&fresh));
+}
+
+/// Neighbour ids and the exact f64 bit patterns of both bounds.
+fn fingerprint(results: &[QueryResult]) -> Vec<Vec<(u32, u64, u64)>> {
+    results
+        .iter()
+        .map(|r| {
+            r.neighbors.iter().map(|n| (n.id, n.range.lb.to_bits(), n.range.ub.to_bits())).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Query results are bit-identical with the cache on or off, at 1, 4
+    /// and 8 threads, in the warm service regime where the shared cache
+    /// actually carries state across queries.
+    #[test]
+    fn cache_on_off_bit_identical_across_thread_counts(
+        mesh_seed in 0u64..1000,
+        scene_seed in 0u64..1000,
+        query_seed in 0u64..1000,
+    ) {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(mesh_seed);
+        let scene = SceneBuilder::new(&mesh).object_count(12).seed(scene_seed).build();
+        let k = 3;
+        let qs = scene.random_queries(6, query_seed);
+        let batch: Vec<(SurfacePoint, usize)> = qs.iter().map(|&q| (q, k)).collect();
+
+        let mut off_cfg = Mr3Config::default();
+        off_cfg.cut_cache.enabled = false;
+        let mut off = Mr3Engine::build(&mesh, &scene, &off_cfg);
+        off.cold_cache = false;
+        let baseline: Vec<QueryResult> = qs.iter().map(|&q| off.query(q, k)).collect();
+        let expect = fingerprint(&baseline);
+
+        let mut on = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+        on.cold_cache = false;
+        prop_assert!(on.cut_cache_enabled());
+        for threads in [1usize, 4, 8] {
+            on.clear_cut_caches();
+            let got = on.query_batch(&batch, threads);
+            prop_assert!(
+                fingerprint(&got) == expect,
+                "cache-on at {} threads diverged from cache-off sequential",
+                threads
+            );
+        }
+        // The warm path too: a second pass with everything resident.
+        let warm = on.query_batch(&batch, 4);
+        prop_assert_eq!(fingerprint(&warm), expect);
+        let snap = on.cut_cache_snapshot().unwrap();
+        prop_assert!(snap.hits > 0, "warm pass produced no cache hits: {:?}", snap);
+    }
+}

@@ -74,9 +74,17 @@ proptest! {
             mesh: &f.mesh, dmtm: &f.dmtm, msdn: &f.msdn, pager: &f.pager, cfg: &f.cfg,
             rec: &sknn_obs::NOOP, query: 0,
             scratch: std::cell::RefCell::new(Default::default()),
+            cuts: None,
+            lines: None,
+            grid: surface_knn::multires::CutGrid::new(
+                f.mesh.extent(),
+                f.cfg.cut_cache.tiles,
+                f.cfg.cut_cache.pad_tiles,
+            ),
             faults: sknn_core::FaultLog::new(f.cfg.fault_budget),
             deadline: None,
             deadline_hit: std::cell::Cell::new(false),
+            pool: None,
         };
         let mut stats = QueryStats::default();
         let range = ctx.estimate_pair(&a, &b, fracs[dmtm_idx], level, &mut stats);
