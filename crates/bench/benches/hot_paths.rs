@@ -1,0 +1,230 @@
+//! Microbenchmarks of the three compute kernels the hot-path overhaul
+//! targets: the Dijkstra priority queue (Dial buckets vs binary heap),
+//! multi-source Dijkstra over the three graph shapes MR3 actually runs
+//! (DMTM front, pathnet, corridor-restricted front), and the batched
+//! point–MBR distance kernel behind R-tree descent.
+//!
+//! Runs under `cargo bench --bench hot_paths`. Beyond the criterion-style
+//! human report, two extra modes back the committed artifacts and CI:
+//!
+//! * `-- --out BENCH_kernels.json` writes every measurement as JSON
+//!   (the committed `BENCH_kernels.json`).
+//! * `-- --gate` exits nonzero when the bucket queue is more than 5%
+//!   slower than the heap on the front shape — the CI regression gate
+//!   that keeps the default queue policy honest.
+//!
+//! A positional argument filters benchmarks by substring, like upstream
+//! criterion. `--budget-ms N` sets the per-benchmark measurement budget.
+
+use criterion::black_box;
+use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph, QueuePolicy};
+use sknn_geodesic::Pathnet;
+use sknn_geom::{Point2, Rect2};
+use sknn_multires::{build_dmtm, FrontGraph};
+use sknn_spatial::kernel::{min_dists_point, min_dists_point_sq, MAX_BATCH};
+use sknn_terrain::dem::TerrainConfig;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement: mean wall time per iteration.
+struct Record {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+struct Harness {
+    budget: Duration,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Harness {
+    /// Warm up once, then iterate until the budget elapses.
+    fn bench<O>(&mut self, name: &str, mut f: impl FnMut() -> O) {
+        if let Some(fil) = &self.filter {
+            if !name.contains(fil.as_str()) {
+                return;
+            }
+        }
+        black_box(f());
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        while started.elapsed() < self.budget {
+            black_box(f());
+            iters += 1;
+        }
+        let iters = iters.max(1);
+        let ns = started.elapsed().as_nanos() as f64 / iters as f64;
+        println!("bench {name:<44} {ns:>14.0} ns/iter ({iters} iters)");
+        self.records.push(Record { name: name.to_string(), ns_per_iter: ns, iters });
+    }
+
+    fn mean(&self, name: &str) -> Option<f64> {
+        self.records.iter().find(|r| r.name == name).map(|r| r.ns_per_iter)
+    }
+
+    fn json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"bench\": \"hot_paths\",\n");
+        s.push_str(&format!("  \"host_threads\": {},\n", sknn_exec::available_threads()));
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}{}\n",
+                r.name,
+                r.ns_per_iter,
+                r.iters,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Deterministic multi-source Dijkstra driver: three spread sources, full
+/// settle (no target cutoff), both queue policies share the scratch type.
+fn run_shape(graph: &Graph, scratch: &mut DijkstraScratch) -> (usize, u64) {
+    let n = graph.num_nodes() as u32;
+    let sources = [(0u32, 0.0), (n / 3, 0.0), (2 * n / 3, 0.0)];
+    let run = Dijkstra::run_multi_scratch(graph, &sources, None, scratch);
+    (run.settled, run.queue.pushes)
+}
+
+/// Synthetic queue-stress graph: a seeded geometric lattice with random
+/// weights and long-range chords, sized so queue traffic (push/pop/stale
+/// churn) dominates over memory effects.
+fn synthetic_graph(side: u32) -> Graph {
+    let n = side * side;
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    // Splitmix-style seeded generator; no external RNG dependency.
+    let mut state: u64 = 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+    for y in 0..side {
+        for x in 0..side {
+            let v = y * side + x;
+            if x + 1 < side {
+                edges.push((v, v + 1, 1.0 + next()));
+            }
+            if y + 1 < side {
+                edges.push((v, v + side, 1.0 + next()));
+            }
+            // Sparse chords create decrease-key traffic (stale pops).
+            if v.is_multiple_of(7) && v + side + 1 < n {
+                edges.push((v, v + side + 1, 1.5 + 2.0 * next()));
+            }
+        }
+    }
+    Graph::from_undirected(n as usize, &edges)
+}
+
+fn main() {
+    let mut filter = None;
+    let mut out: Option<String> = None;
+    let mut gate = false;
+    let mut budget_ms: u64 = 300;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench" => {}
+            "--out" => out = Some(args.next().expect("--out takes a path")),
+            "--gate" => gate = true,
+            "--budget-ms" => {
+                budget_ms =
+                    args.next().and_then(|v| v.parse().ok()).expect("--budget-ms takes an integer")
+            }
+            other if !other.starts_with('-') => filter = Some(other.to_string()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    // The gate compares the two queue policies on the front shape; it
+    // needs both measurements regardless of any filter.
+    if gate {
+        filter = None;
+    }
+    let mut h = Harness { budget: Duration::from_millis(budget_ms), filter, records: Vec::new() };
+
+    // --- Queue push/pop on the synthetic stress lattice ------------------
+    let synth = synthetic_graph(96);
+    for policy in [QueuePolicy::Heap, QueuePolicy::Bucket] {
+        let mut scratch = DijkstraScratch::with_policy(policy);
+        h.bench(&format!("queue/lattice96/{policy}"), || {
+            black_box(run_shape(&synth, &mut scratch))
+        });
+    }
+
+    // --- Multi-source Dijkstra over the MR3 graph shapes -----------------
+    let mesh = TerrainConfig::bh().with_grid(33).build_mesh(2);
+    let tree = build_dmtm(&mesh);
+    let m50 = tree.step_for_fraction(0.5);
+    let front = FrontGraph::extract(&tree, m50, None);
+    let front_graph = Graph::from_undirected(front.num_nodes(), &front.edges);
+    // Corridor shape: the same front restricted to a narrow ROI band, the
+    // ranking stage's region-limited retrieval.
+    let ext = mesh.extent();
+    let band = Rect2::new(
+        Point2::new(ext.lo.x, ext.lo.y + 0.40 * (ext.hi.y - ext.lo.y)),
+        Point2::new(ext.hi.x, ext.lo.y + 0.60 * (ext.hi.y - ext.lo.y)),
+    );
+    let corridor = FrontGraph::extract(&tree, m50, Some(&band));
+    let corridor_graph = Graph::from_undirected(corridor.num_nodes(), &corridor.edges);
+    let pathnet = Pathnet::build(&mesh, 2, None);
+
+    let shapes: [(&str, &Graph); 3] =
+        [("front50", &front_graph), ("corridor", &corridor_graph), ("pathnet", pathnet.graph())];
+    for (shape, graph) in shapes {
+        for policy in [QueuePolicy::Heap, QueuePolicy::Bucket] {
+            let mut scratch = DijkstraScratch::with_policy(policy);
+            h.bench(&format!("dijkstra/{shape}/{policy}"), || {
+                black_box(run_shape(graph, &mut scratch))
+            });
+        }
+    }
+
+    // --- Batched point–MBR mindist kernel --------------------------------
+    let rects: Vec<Rect2> = (0..16)
+        .map(|i| {
+            let x = (i as f64) * 1.3 - 8.0;
+            let y = (i as f64) * -0.7 + 5.0;
+            Rect2::new(Point2::new(x, y), Point2::new(x + 2.0, y + 1.5))
+        })
+        .collect();
+    let p = Point2::new(0.4, -1.2);
+    h.bench("mbr/scalar_16", || {
+        let mut acc = 0.0;
+        for r in &rects {
+            acc += r.min_dist_point(p);
+        }
+        acc
+    });
+    let mut lanes = [0.0f64; MAX_BATCH];
+    h.bench("mbr/batch_16", || {
+        let n = min_dists_point(p, &rects, &mut lanes);
+        lanes[..n].iter().sum::<f64>()
+    });
+    h.bench("mbr/batch_sq_16", || {
+        let n = min_dists_point_sq(p, &rects, &mut lanes);
+        lanes[..n].iter().sum::<f64>()
+    });
+
+    if let Some(path) = out {
+        std::fs::write(&path, h.json()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("# wrote {path}");
+    }
+    if gate {
+        let heap = h.mean("dijkstra/front50/heap").expect("gate needs the heap front run");
+        let bucket = h.mean("dijkstra/front50/bucket").expect("gate needs the bucket front run");
+        let ratio = bucket / heap;
+        eprintln!("# gate: front50 bucket/heap ratio {ratio:.3} (limit 1.05)");
+        if ratio > 1.05 {
+            eprintln!("# ERROR: bucket queue is {:.1}% slower than heap", (ratio - 1.0) * 100.0);
+            std::process::exit(1);
+        }
+    }
+}

@@ -41,6 +41,11 @@
 //! both modes and reports `cross_mode_identical` in the JSON, aborting on
 //! divergence just like the per-regime parallel check.
 //!
+//! `--queue heap|bucket` selects the Dijkstra priority queue (default
+//! `bucket`). Both policies are bit-identical by construction, so the
+//! identity checks hold for either; sweeping the flag across two runs
+//! isolates the queue's share of the throughput delta.
+//!
 //! `--cache-tiles` / `--cache-pad` set the canonicalization lattice
 //! (default `2` / `0.5`): a *coarse* loading radius, unlike the engine's
 //! per-query default (16). Coarse tiles are the service regime's
@@ -77,6 +82,10 @@ fn main() {
     let cache_pad: f64 = args.get("cache-pad", 0.5);
     let out: String = args.get("out", "BENCH_mr3.json".to_string());
     let fault_spec: String = args.get("fault-profile", String::new());
+    let queue: sknn_geodesic::graph::QueuePolicy = args
+        .get("queue", sknn_geodesic::graph::QueuePolicy::default().to_string())
+        .parse()
+        .unwrap_or_else(|e| panic!("--queue: {e}"));
     assert!(!stalls.is_empty(), "--stall-ms list is empty");
     assert!(!sweep.is_empty(), "--sweep list is empty");
     assert!(
@@ -89,6 +98,7 @@ fn main() {
     let mut cfg = Mr3Config::default();
     cfg.cut_cache.tiles = cache_tiles;
     cfg.cut_cache.pad_tiles = cache_pad;
+    cfg.queue = queue;
     let mut engine = Mr3Engine::build(&mesh, &scene, &cfg);
     // Throughput is a service-regime measurement: keep the pool warm
     // across queries (misses still stream through the pool) instead of
@@ -104,7 +114,7 @@ fn main() {
     let qs = queries(&scene, nq, seed + 2);
     let batch: Vec<(SurfacePoint, usize)> = qs.iter().map(|&q| (q, k)).collect();
     eprintln!(
-        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stalls {stalls:?} ms, sweep {sweep:?}, cache {cache_modes:?}",
+        "# throughput_study: BH grid {grid}, {} objects, {} queries, k={k}, stalls {stalls:?} ms, sweep {sweep:?}, cache {cache_modes:?}, queue {queue}",
         scene.num_objects(),
         batch.len()
     );
@@ -190,6 +200,7 @@ fn main() {
         k,
         &fault_json,
         (cache_tiles, cache_pad),
+        queue,
         cross_identical,
         &regimes,
     );
@@ -239,6 +250,7 @@ fn render_json(
     k: usize,
     fault_json: &str,
     (cache_tiles, cache_pad): (usize, f64),
+    queue: sknn_geodesic::graph::QueuePolicy,
     cross_identical: bool,
     regimes: &[Regime],
 ) -> String {
@@ -254,6 +266,7 @@ fn render_json(
     s.push_str(&format!("  \"host_threads\": {},\n", sknn_exec::available_threads()));
     s.push_str(fault_json);
     s.push_str(&format!("  \"cache_tiles\": {cache_tiles},\n  \"cache_pad\": {cache_pad},\n"));
+    s.push_str(&format!("  \"queue\": \"{queue}\",\n"));
     s.push_str(&format!("  \"cross_mode_identical\": {cross_identical},\n"));
     s.push_str("  \"regimes\": [\n");
     for (ri, (cache, stall_ms, rows, counters)) in regimes.iter().enumerate() {

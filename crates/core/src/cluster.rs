@@ -128,6 +128,9 @@ fn accumulate(into: &mut QueryStats, from: &QueryStats) {
     into.iterations += from.iterations;
     into.candidates += from.candidates;
     into.settled += from.settled;
+    into.queue_pushes += from.queue_pushes;
+    into.queue_pops += from.queue_pops;
+    into.stale_pops += from.stale_pops;
     into.ub_estimations += from.ub_estimations;
     into.lb_estimations += from.lb_estimations;
     into.dummy_lb_hits += from.dummy_lb_hits;

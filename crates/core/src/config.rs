@@ -136,6 +136,11 @@ pub struct Mr3Config {
     pub deadline: Option<std::time::Duration>,
     /// Shared cut cache (process-wide materialized-cut reuse).
     pub cut_cache: CutCacheConfig,
+    /// Priority-queue implementation for every Dijkstra run (bound
+    /// estimation, constrained paths, SDN lower bounds). `Bucket` is the
+    /// monotone Dial-style queue and the default; `Heap` keeps the binary
+    /// heap for comparison. Both produce bit-identical distances.
+    pub queue: sknn_geodesic::graph::QueuePolicy,
 }
 
 impl Default for Mr3Config {
@@ -154,6 +159,7 @@ impl Default for Mr3Config {
             fault_budget: 16,
             deadline: None,
             cut_cache: CutCacheConfig::default(),
+            queue: sknn_geodesic::graph::QueuePolicy::default(),
         }
     }
 }

@@ -135,6 +135,7 @@ impl<'s, 'm> ConstrainedEngine<'s, 'm> {
         let src = self.pathnet.embedding(self.mesh, q.to_mesh_point());
         let d = Dijkstra::run_multi(self.pathnet.graph(), &src, None);
         stats.settled += d.settled;
+        stats.absorb_queue(&d.queue);
         stats.ub_estimations += 1;
         self.scene
             .objects()

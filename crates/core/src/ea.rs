@@ -89,6 +89,7 @@ impl<'s, 'm> EaEngine<'s, 'm> {
         match self.msdn.lower_bound(&self.pager, 0, q.pos, p.pos, Some(roi)) {
             Ok(lb) => {
                 stats.settled += lb.nodes_settled;
+                stats.absorb_queue(&lb.queue);
                 lb.value.max(q.pos.dist(p.pos))
             }
             Err(_) => q.pos.dist(p.pos),

@@ -52,6 +52,13 @@ pub struct QueryStats {
     pub candidates: usize,
     /// Dijkstra nodes settled across all bound estimations (CPU proxy).
     pub settled: usize,
+    /// Priority-queue pushes across all Dijkstra runs of the query.
+    pub queue_pushes: u64,
+    /// Priority-queue pops (stale or not) across all Dijkstra runs.
+    pub queue_pops: u64,
+    /// Pops discarded as stale (lazy deletion) — the gap between pops and
+    /// settles that the bucketed queue is designed to keep cheap.
+    pub stale_pops: u64,
     /// Upper-bound estimations performed.
     pub ub_estimations: usize,
     /// Lower-bound estimations performed (full, not dummy).
@@ -71,6 +78,13 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
+    /// Accumulate one Dijkstra run's queue-operation counters.
+    pub fn absorb_queue(&mut self, q: &sknn_geodesic::graph::QueueCounters) {
+        self.queue_pushes += q.pushes;
+        self.queue_pops += q.pops;
+        self.stale_pops += q.stale_pops;
+    }
+
     /// Simulated I/O time under `model`.
     pub fn io_time(&self, model: &DiskModel) -> Duration {
         Duration::from_secs_f64(self.pages as f64 * model.per_read_ms / 1000.0)

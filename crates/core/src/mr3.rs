@@ -230,7 +230,21 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// Emit per-structure I/O attribution and the buffer-pool roll-up for
     /// the query that just ran (pager stats are per-query: they were reset
     /// at query start).
-    fn emit_io(&self, rec: &dyn Recorder, qid: u64) {
+    fn emit_io(&self, rec: &dyn Recorder, qid: u64, stats: &QueryStats) {
+        // Dijkstra queue-traffic roll-up: how much priority-queue work the
+        // query's bound estimations did, and how much of it was wasted on
+        // stale (lazily deleted) entries.
+        rec.event(
+            "dijkstra",
+            qid,
+            vec![
+                field("settled", stats.settled),
+                field("pushes", stats.queue_pushes),
+                field("pops", stats.queue_pops),
+                field("stale_pops", stats.stale_pops),
+                field("queue", self.cfg.queue.as_str()),
+            ],
+        );
         for (tag, io) in self.pager.io_by_structure() {
             rec.event(
                 "io",
@@ -348,8 +362,11 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// the config's per-query budget when the caller passes `None`.
     fn ctx_at(&self, qid: u64, deadline: Option<Instant>) -> RankingContext<'_, 'm> {
         let deadline = deadline.or_else(|| self.cfg.deadline.map(|d| Instant::now() + d));
-        let scratch =
+        let mut scratch: RankScratch =
             self.scratch_pool.lock().unwrap_or_else(|e| e.into_inner()).pop().unwrap_or_default();
+        // A pooled scratch may have served a query under a different
+        // (CLI-overridden) policy; re-pin it to this engine's config.
+        scratch.set_queue_policy(self.cfg.queue);
         RankingContext {
             mesh: self.mesh,
             dmtm: &self.dmtm,
@@ -553,7 +570,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             return Err(err);
         }
         let trace = if traced {
-            self.emit_io(rec, qid);
+            self.emit_io(rec, qid, &stats);
             rec.span(
                 "query",
                 qid,
@@ -713,7 +730,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         stats.wall = query_start.elapsed();
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
         let trace = if rec.enabled() {
-            self.emit_io(rec, qid);
+            self.emit_io(rec, qid, &stats);
             rec.span(
                 "range_query",
                 qid,

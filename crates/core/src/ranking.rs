@@ -18,13 +18,13 @@ use crate::metrics::QueryStats;
 use crate::regions::{candidate_region, merge_regions, IoGroup};
 use crate::resilience::FaultLog;
 use crate::workload::SurfacePoint;
-use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph};
+use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph, QueueCounters, QueuePolicy};
 use sknn_geodesic::pathnet::Pathnet;
 use sknn_geom::Axis;
 use sknn_geom::{Aabb3, Ellipse2, Rect2};
 use sknn_multires::{CutCache, CutGrid, FetchScratch, FrontGraph, PagedDmtm};
 use sknn_obs::{field, Recorder};
-use sknn_sdn::network::{corridor_mask, lower_bound};
+use sknn_sdn::network::{corridor_mask, lower_bound_with, LbScratch};
 use sknn_sdn::{LineCutCache, Msdn, PagedMsdn, SimplifiedLine};
 use sknn_store::{Pager, StoreResult};
 use sknn_terrain::mesh::TerrainMesh;
@@ -117,6 +117,10 @@ pub struct RankScratch {
     /// Buffers for DMTM front fetches (key ordering, id→local index,
     /// edge/position vectors), recycled from replaced cached fronts.
     fetch: FetchScratch,
+    /// Layered-graph and Dijkstra buffers for SDN lower bounds.
+    lb: LbScratch,
+    /// Dijkstra state for the per-group shared pathnet run.
+    pathnet: DijkstraScratch,
 }
 
 #[derive(Debug)]
@@ -175,6 +179,15 @@ impl RankScratch {
                 self.fetch.recycle(g);
             }
         }
+    }
+
+    /// Pin every embedded Dijkstra scratch to `policy` (the engine applies
+    /// the config knob here when handing a scratch to a query).
+    pub fn set_queue_policy(&mut self, policy: QueuePolicy) {
+        self.bufs.dij.set_policy(policy);
+        self.shared.dij.set_policy(policy);
+        self.pathnet.set_policy(policy);
+        self.lb.set_queue_policy(policy);
     }
 }
 
@@ -659,7 +672,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         // small set of reusable keys.
         let region = self.grid.snap(&region);
         let scratch = &mut *self.scratch.borrow_mut();
-        let RankScratch { front_cache, bufs, shared, fetch } = scratch;
+        let RankScratch { front_cache, bufs, shared, fetch, .. } = scratch;
 
         // Front cache: rebuilding the front per group per iteration is the
         // dominant redundant work — the step repeats across consecutive
@@ -727,6 +740,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             shared.graph.rebuild_undirected(fg.num_nodes(), &fg.edges);
             let run = Dijkstra::run_multi_scratch(&shared.graph, &q_emb, None, &mut shared.dij);
             stats.settled += run.settled;
+            stats.absorb_queue(&run.queue);
             Some(run)
         } else {
             None
@@ -781,7 +795,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
                 if use_corr && !has_corr {
                     continue;
                 }
-                let (dist, settled, path) = {
+                let (dist, settled, queue, path) = {
                     // Borrow the corridor only for the duration of the run
                     // (it ends with this block, freeing the candidate for
                     // the mutations below — no clone).
@@ -803,6 +817,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
                     filtered_dijkstra(fg, &allowed, &q_emb, &exits, bufs)
                 };
                 stats.settled += settled;
+                stats.absorb_queue(&queue);
                 if dist.is_finite() {
                     cands[ci].range.tighten_ub(dist);
                     // Record the corridor for the next level: the path
@@ -875,9 +890,15 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             mesh.triangle(t).mbr_xy().intersects(&region)
         };
         let net = Pathnet::build(mesh, self.cfg.pathnet_steiner, Some(&filter));
+        // Every member shares the query as source, so one Dijkstra serves
+        // the whole group; per-destination distances are embedding
+        // read-offs, bit-identical to per-pair `Pathnet::distance` calls.
+        let scratch = &mut *self.scratch.borrow_mut();
+        let run = net.run_from(mesh, q.to_mesh_point(), &mut scratch.pathnet);
+        stats.absorb_queue(&run.queue_counters());
         for &ci in members {
             stats.ub_estimations += 1;
-            let d = net.distance(mesh, q.to_mesh_point(), cands[ci].point.to_mesh_point());
+            let d = run.distance_to(mesh, cands[ci].point.to_mesh_point());
             if d.is_finite() {
                 cands[ci].range.tighten_ub(d);
             }
@@ -942,11 +963,14 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             lines.reverse();
         }
         let width = self.mesh.mean_edge_length() * 2.0;
+        let lb = &mut self.scratch.borrow_mut().lb;
 
         if self.cfg.dummy_lower_bound && !cands[ci].lb_path.is_empty() {
             let mask = corridor_mask(&lines, &cands[ci].lb_path, width);
-            let dummy = lower_bound(&lines, q.pos, cands[ci].point.pos, Some(&roi), Some(&mask));
+            let dummy =
+                lower_bound_with(&lines, q.pos, cands[ci].point.pos, Some(&roi), Some(&mask), lb);
             stats.settled += dummy.nodes_settled;
+            stats.absorb_queue(&dummy.queue);
             // The dummy bound over-estimates the true lower bound. If even
             // it cannot push this candidate's range above its current lb,
             // the full bound cannot either — skip the full computation.
@@ -956,8 +980,9 @@ impl<'a, 'm> RankingContext<'a, 'm> {
             }
         }
         stats.lb_estimations += 1;
-        let full = lower_bound(&lines, q.pos, cands[ci].point.pos, Some(&roi), None);
+        let full = lower_bound_with(&lines, q.pos, cands[ci].point.pos, Some(&roi), None, lb);
         stats.settled += full.nodes_settled;
+        stats.absorb_queue(&full.queue);
         cands[ci].range.tighten_lb(full.value);
         cands[ci].lb_path = full.path_mbrs;
     }
@@ -998,9 +1023,10 @@ impl<'a, 'm> RankingContext<'a, 'm> {
                     let dst = self.dmtm.embed(fg, self.mesh, b.tri, b.pos);
                     if !src.is_empty() && !dst.is_empty() {
                         let mut scratch = self.scratch.borrow_mut();
-                        let (d, settled, _) =
+                        let (d, settled, queue, _) =
                             filtered_dijkstra(fg, &|_| true, &src, &dst, &mut scratch.bufs);
                         stats.settled += settled;
+                        stats.absorb_queue(&queue);
                         if d.is_finite() {
                             range.tighten_ub(d);
                         }
@@ -1020,6 +1046,7 @@ impl<'a, 'm> RankingContext<'a, 'm> {
         match self.msdn.lower_bound(self.pager, msdn_level, a.pos, b.pos, None) {
             Ok(lb) => {
                 stats.settled += lb.nodes_settled;
+                stats.absorb_queue(&lb.queue);
                 range.tighten_lb(lb.value);
             }
             // Degrade: the Euclidean lower bound seeded above stands.
@@ -1034,7 +1061,8 @@ fn max_ub(cands: &[Candidate]) -> f64 {
 }
 
 /// Dijkstra over a front graph restricted to `allowed` nodes. Returns the
-/// best source-to-exit distance, settled count, and the tree-node-id path.
+/// best source-to-exit distance, settled count, queue counters, and the
+/// tree-node-id path.
 ///
 /// Allocation-free on the hot path: the node mask, filtered edge list,
 /// source list, CSR graph and Dijkstra working state all live in `bufs`
@@ -1045,7 +1073,7 @@ fn filtered_dijkstra(
     sources: &[(u32, f64)],
     exits: &[(u32, f64)],
     bufs: &mut DijkstraBufs,
-) -> (f64, usize, Vec<u32>) {
+) -> (f64, usize, QueueCounters, Vec<u32>) {
     let n = fg.num_nodes();
     let DijkstraBufs { mask, edges, srcs, graph, dij } = bufs;
     mask.clear();
@@ -1058,7 +1086,7 @@ fn filtered_dijkstra(
     srcs.clear();
     srcs.extend(sources.iter().filter(|&&(s, _)| mask[s as usize]).copied());
     if srcs.is_empty() {
-        return (f64::INFINITY, 0, Vec::new());
+        return (f64::INFINITY, 0, QueueCounters::default(), Vec::new());
     }
     let run = Dijkstra::run_multi_scratch(graph, srcs, None, dij);
     let mut best = f64::INFINITY;
@@ -1076,7 +1104,7 @@ fn filtered_dijkstra(
     let path = best_node
         .map(|x| run.path_to(x).into_iter().map(|local| fg.ids[local as usize]).collect())
         .unwrap_or_default();
-    (best, run.settled, path)
+    (best, run.settled, run.queue, path)
 }
 
 #[cfg(test)]

@@ -3,28 +3,111 @@
 //! Used by DMTM upper-bound estimation (front meshes are graphs), the SDN
 //! lower-bound networks, the pathnet, and the EA benchmark — everywhere the
 //! paper says "Dijkstra's shortest path algorithm [3]".
+//!
+//! Two priority-queue implementations drive the runs, selected by
+//! [`QueuePolicy`]: the classic binary heap and a Dial-style monotone
+//! bucket queue whose width is the graph's minimum positive edge weight.
+//! Both pop the globally smallest `(distance, node)` pair, so distances,
+//! predecessors and settle counts are bit-identical between them (pinned
+//! by property tests here and in `tests/queue_equivalence.rs`); they
+//! differ only in constant factors on the relaxation hot path.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Typed graph-construction failure.
+///
+/// The `try_` constructors surface a poisoned (NaN) weight as an error
+/// instead of letting it reach a priority queue, where any comparison
+/// involving NaN would silently mis-order the heap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// NaN weight: would poison every downstream distance and mis-order
+    /// any comparison-based queue.
+    PoisonedWeight {
+        /// Index of the offending edge in the input slice.
+        index: usize,
+        /// Edge endpoints.
+        endpoints: (u32, u32),
+    },
+    /// Negative weight: Dijkstra's settle invariant does not hold.
+    NegativeWeight {
+        /// Index of the offending edge in the input slice.
+        index: usize,
+        /// The weight.
+        weight: f64,
+    },
+    /// An endpoint is outside `0..num_nodes`.
+    NodeOutOfRange {
+        /// Index of the offending edge in the input slice.
+        index: usize,
+        /// The out-of-range endpoint.
+        node: u32,
+        /// Number of nodes the graph was declared with.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PoisonedWeight { index, endpoints } => write!(
+                f,
+                "poisoned (NaN) edge weight at edge {index} ({} - {})",
+                endpoints.0, endpoints.1
+            ),
+            Self::NegativeWeight { index: _, weight } => {
+                write!(f, "negative edge weight {weight}")
+            }
+            Self::NodeOutOfRange { index, node, num_nodes } => {
+                write!(f, "edge {index} endpoint {node} out of range (num_nodes {num_nodes})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
 
 /// A compact adjacency-list graph with non-negative edge weights.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     /// CSR offsets, one per node plus a terminator.
     offsets: Vec<u32>,
-    /// (neighbor, weight) pairs.
+    /// (neighbor, weight) pairs, interleaved for unit-stride relaxation.
     edges: Vec<(u32, f64)>,
+    /// Smallest strictly-positive edge weight (`f64::INFINITY` when the
+    /// graph has none) — the Dial bucket width for [`QueuePolicy::Bucket`].
+    min_pos_weight: f64,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self { offsets: Vec::new(), edges: Vec::new(), min_pos_weight: f64::INFINITY }
+    }
 }
 
 impl Graph {
     /// Build from an undirected edge list.
     ///
     /// # Panics
-    /// Panics on negative weights or out-of-range endpoints.
+    /// Panics on NaN or negative weights or out-of-range endpoints.
     pub fn from_undirected(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Self {
         let mut g = Self::default();
         g.rebuild_undirected(num_nodes, edges);
         g
+    }
+
+    /// [`from_undirected`](Self::from_undirected) with poisoned input
+    /// surfaced as a typed [`GraphError`] instead of a panic.
+    pub fn try_from_undirected(
+        num_nodes: usize,
+        edges: &[(u32, u32, f64)],
+    ) -> Result<Self, GraphError> {
+        let mut g = Self::default();
+        g.try_rebuild_undirected(num_nodes, edges)?;
+        Ok(g)
     }
 
     /// Rebuild in place from an undirected edge list, reusing the CSR
@@ -33,14 +116,39 @@ impl Graph {
     /// fresh allocations once the buffers have grown to a working size).
     ///
     /// # Panics
-    /// Panics on negative weights or out-of-range endpoints.
+    /// Panics on NaN or negative weights or out-of-range endpoints.
     pub fn rebuild_undirected(&mut self, num_nodes: usize, edges: &[(u32, u32, f64)]) {
+        self.try_rebuild_undirected(num_nodes, edges).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`rebuild_undirected`](Self::rebuild_undirected) with poisoned input
+    /// surfaced as a typed [`GraphError`]. On `Err` the graph is left in an
+    /// unspecified (but memory-safe) state and must be rebuilt before use.
+    pub fn try_rebuild_undirected(
+        &mut self,
+        num_nodes: usize,
+        edges: &[(u32, u32, f64)],
+    ) -> Result<(), GraphError> {
         self.offsets.clear();
         self.offsets.resize(num_nodes + 1, 0);
-        // First pass: degree counts in offsets[1..].
-        for &(a, b, w) in edges {
-            assert!(w >= 0.0, "negative edge weight {w}");
-            assert!((a as usize) < num_nodes && (b as usize) < num_nodes);
+        let mut minw = f64::INFINITY;
+        // First pass: validate and count degrees in offsets[1..].
+        for (i, &(a, b, w)) in edges.iter().enumerate() {
+            if w.is_nan() {
+                return Err(GraphError::PoisonedWeight { index: i, endpoints: (a, b) });
+            }
+            if w < 0.0 {
+                return Err(GraphError::NegativeWeight { index: i, weight: w });
+            }
+            if (a as usize) >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { index: i, node: a, num_nodes });
+            }
+            if (b as usize) >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { index: i, node: b, num_nodes });
+            }
+            if w > 0.0 && w < minw {
+                minw = w;
+            }
             self.offsets[a as usize + 1] += 1;
             self.offsets[b as usize + 1] += 1;
         }
@@ -65,6 +173,8 @@ impl Graph {
         if num_nodes > 0 {
             self.offsets[0] = 0;
         }
+        self.min_pos_weight = minw;
+        Ok(())
     }
 
     /// Num nodes.
@@ -81,6 +191,78 @@ impl Graph {
     pub fn neighbors(&self, n: u32) -> &[(u32, f64)] {
         &self.edges[self.offsets[n as usize] as usize..self.offsets[n as usize + 1] as usize]
     }
+
+    /// Smallest strictly-positive edge weight, `f64::INFINITY` when the
+    /// graph has no positive-weight edge. The Dial bucket width.
+    pub fn min_positive_weight(&self) -> f64 {
+        self.min_pos_weight
+    }
+}
+
+/// Which priority queue drives a Dijkstra run.
+///
+/// Both implementations pop the globally smallest `(distance, node)` pair,
+/// so distances, predecessors and settle counts are bit-identical; they
+/// differ only in constant factors. `Bucket` is the default: with the
+/// bucket width at the graph's minimum positive edge weight, pops are
+/// amortized O(1) instead of O(log n) sift-downs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// `std::collections::BinaryHeap` — the classic baseline.
+    Heap,
+    /// Dial-style monotone bucket (calendar) queue with an overflow band.
+    #[default]
+    Bucket,
+}
+
+impl QueuePolicy {
+    /// Canonical lowercase name (CLI/config value).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Heap => "heap",
+            Self::Bucket => "bucket",
+        }
+    }
+}
+
+impl fmt::Display for QueuePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for QueuePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(Self::Heap),
+            "bucket" => Ok(Self::Bucket),
+            other => Err(format!("unknown queue policy '{other}' (expected heap|bucket)")),
+        }
+    }
+}
+
+/// Queue-operation counters from one Dijkstra run (satellite telemetry:
+/// exported per query as `queue_pushes` / `queue_pops` / `stale_pops`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Items pushed into the queue.
+    pub pushes: u64,
+    /// Items popped from the queue, including stale ones.
+    pub pops: u64,
+    /// Popped items discarded because their node was already settled
+    /// (lazy deletion — the queue holds superseded entries until popped).
+    pub stale_pops: u64,
+}
+
+impl QueueCounters {
+    /// Accumulate another run's counters.
+    pub fn absorb(&mut self, other: &QueueCounters) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.stale_pops += other.stale_pops;
+    }
 }
 
 #[derive(Debug, PartialEq)]
@@ -93,17 +275,194 @@ impl Eq for QueueItem {}
 
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.node.cmp(&self.node))
+        // Reversed: BinaryHeap is a max-heap and we pop the smallest
+        // distance, ties broken towards the smallest node id. `total_cmp`
+        // makes this a genuine total order even for NaN/-0.0 payloads —
+        // though a NaN weight is already rejected at graph build as
+        // `GraphError::PoisonedWeight`, so a poisoned weight surfaces as a
+        // typed error rather than a mis-ordered heap.
+        other.dist.total_cmp(&self.dist).then_with(|| other.node.cmp(&self.node))
     }
 }
 
 impl PartialOrd for QueueItem {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// `(dist, node)` strict-less by the queue order: smaller distance first,
+/// ties towards the smaller node id.
+#[inline]
+fn key_lt(a: (f64, u32), b: (f64, u32)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        Ordering::Less => true,
+        Ordering::Greater => false,
+        Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Minimal priority-queue surface the Dijkstra core needs. Monomorphized
+/// per implementation so the relaxation loop inlines the queue ops.
+trait Pq {
+    fn push(&mut self, dist: f64, node: u32);
+    fn pop(&mut self) -> Option<(f64, u32)>;
+}
+
+impl Pq for BinaryHeap<QueueItem> {
+    #[inline]
+    fn push(&mut self, dist: f64, node: u32) {
+        BinaryHeap::push(self, QueueItem { dist, node });
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        BinaryHeap::pop(self).map(|q| (q.dist, q.node))
+    }
+}
+
+/// Number of ring buckets before keys spill to the overflow band. At the
+/// default width (minimum positive edge weight) this covers a distance
+/// range of 2048 minimal edges per ring epoch, which holds every front,
+/// pathnet and SDN graph in the test terrains without a single re-seed.
+const RING_BUCKETS: usize = 2048;
+
+/// Dial-style monotone bucket queue (calendar queue).
+///
+/// Keys are bucketed at width `delta` (the graph's minimum positive edge
+/// weight). Dijkstra settles in non-decreasing key order, and a relaxation
+/// from a node settled at distance `d` pushes `d + w ≥ d + delta` for any
+/// positive-weight edge — so once the cursor sits on bucket `b`, no later
+/// push lands before `b`, and the smallest `(dist, node)` pair in bucket
+/// `b` is the global minimum. When the cursor reaches a bucket it is
+/// sorted once, descending, and drained by `O(1)` pops off its tail —
+/// ascending `(dist, node)` order, reproducing the binary heap's pop
+/// order exactly, which is what makes the two policies bit-identical.
+/// Zero-weight edges re-enter the *current* bucket (never an earlier one)
+/// and mark it for a re-sort. Keys beyond the ring land in an overflow
+/// band; when the ring drains, the band re-seeds it at a new base
+/// ("wide-range" graphs). A graph with no positive-weight edge degrades
+/// to scanning the band.
+#[derive(Debug, Default)]
+struct BucketQueue {
+    ring: Vec<Vec<(f64, u32)>>,
+    /// Ring slots dirtied since the last reset (so reset clears O(touched)
+    /// instead of O(RING_BUCKETS)).
+    touched: Vec<u32>,
+    overflow: Vec<(f64, u32)>,
+    /// Bucket width; `0.0` means "no positive edge weight" (band-only).
+    delta: f64,
+    /// Key at the start of ring slot 0 for the current epoch.
+    base: f64,
+    /// Next ring slot to inspect (monotone within an epoch).
+    cur: usize,
+    /// Whether the cursor's bucket has been tail-sorted already.
+    cur_sorted: bool,
+    in_ring: usize,
+}
+
+impl BucketQueue {
+    /// Prepare for a run over a graph whose minimum positive edge weight
+    /// is `delta` (pass `f64::INFINITY` when there is none).
+    fn reset(&mut self, delta: f64) {
+        if self.ring.is_empty() {
+            self.ring.resize_with(RING_BUCKETS, Vec::new);
+        }
+        for &slot in &self.touched {
+            self.ring[slot as usize].clear();
+        }
+        self.touched.clear();
+        self.overflow.clear();
+        self.delta = if delta.is_finite() && delta > 0.0 { delta } else { 0.0 };
+        self.base = 0.0;
+        self.cur = 0;
+        self.cur_sorted = false;
+        self.in_ring = 0;
+    }
+
+    /// Scan-remove the smallest `(dist, node)` pair of a slot.
+    #[inline]
+    fn take_min(v: &mut Vec<(f64, u32)>) -> (f64, u32) {
+        let mut mi = 0;
+        for i in 1..v.len() {
+            if key_lt(v[i], v[mi]) {
+                mi = i;
+            }
+        }
+        v.swap_remove(mi)
+    }
+
+    /// Sort a slot descending by `(dist, node)`, so ascending pops come
+    /// off the tail in `O(1)`.
+    #[inline]
+    fn sort_desc(v: &mut [(f64, u32)]) {
+        v.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| b.1.cmp(&a.1)));
+    }
+}
+
+impl Pq for BucketQueue {
+    #[inline]
+    fn push(&mut self, dist: f64, node: u32) {
+        if self.delta == 0.0 {
+            self.overflow.push((dist, node));
+            return;
+        }
+        // Monotonicity guarantees dist >= base, so the cast is exact and
+        // saturating-to-large for distant keys (those spill to the band).
+        let rel = ((dist - self.base) / self.delta) as usize;
+        if rel >= RING_BUCKETS {
+            self.overflow.push((dist, node));
+        } else {
+            let b = &mut self.ring[rel];
+            if b.is_empty() {
+                self.touched.push(rel as u32);
+            }
+            b.push((dist, node));
+            self.in_ring += 1;
+            // A zero-weight edge can land in the cursor's (already sorted)
+            // bucket; flag it for a re-sort before the next pop.
+            if rel == self.cur {
+                self.cur_sorted = false;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        loop {
+            if self.in_ring == 0 {
+                if self.overflow.is_empty() {
+                    return None;
+                }
+                if self.delta == 0.0 {
+                    return Some(Self::take_min(&mut self.overflow));
+                }
+                // Ring drained: re-seed it from the overflow band. The
+                // smallest band key becomes the new base (it lands in slot
+                // 0, so the loop always makes progress).
+                self.base = self.overflow.iter().map(|&(d, _)| d).fold(f64::INFINITY, f64::min);
+                self.cur = 0;
+                self.cur_sorted = false;
+                self.touched.clear();
+                let band = std::mem::take(&mut self.overflow);
+                for (d, n) in band {
+                    self.push(d, n);
+                }
+                continue;
+            }
+            // in_ring > 0 and pushes never land before `cur` (monotone), so
+            // an occupied slot exists at or after the cursor.
+            while self.ring[self.cur].is_empty() {
+                self.cur += 1;
+                self.cur_sorted = false;
+            }
+            if !self.cur_sorted {
+                Self::sort_desc(&mut self.ring[self.cur]);
+                self.cur_sorted = true;
+            }
+            let item = self.ring[self.cur].pop().expect("cursor slot is non-empty");
+            self.in_ring -= 1;
+            return Some(item);
+        }
     }
 }
 
@@ -116,6 +475,8 @@ pub struct Dijkstra {
     pub prev: Vec<u32>,
     /// Nodes settled by the run (relaxation work, a CPU-cost proxy).
     pub settled: usize,
+    /// Queue-operation counters for the run.
+    pub queue: QueueCounters,
 }
 
 /// Reusable Dijkstra working state.
@@ -125,6 +486,11 @@ pub struct Dijkstra {
 /// candidate per resolution level per restriction attempt), most of them
 /// over fronts of similar size. A scratch amortises those allocations:
 /// arrays grow to the largest front seen and are then reused forever.
+///
+/// The relaxation state is SoA — parallel `dist`/`prev`/`seen`/`done`
+/// arrays indexed by node — and the inner loop over the CSR adjacency
+/// (neighbor, weight interleaved per edge for unit-stride access) runs
+/// without bounds checks: endpoints were validated at graph build.
 ///
 /// Staleness is handled by **generation stamping** rather than clearing:
 /// each run bumps `generation`, and a node's `dist`/`prev`/`done` entries
@@ -142,12 +508,31 @@ pub struct DijkstraScratch {
     done: Vec<u32>,
     generation: u32,
     heap: BinaryHeap<QueueItem>,
+    bucket: BucketQueue,
+    policy: QueuePolicy,
 }
 
 impl DijkstraScratch {
-    /// An empty scratch; arrays grow on first use.
+    /// An empty scratch; arrays grow on first use. Uses the default
+    /// [`QueuePolicy`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty scratch pinned to `policy`.
+    pub fn with_policy(policy: QueuePolicy) -> Self {
+        Self { policy, ..Self::default() }
+    }
+
+    /// Queue policy future runs will use.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Switch the queue policy for future runs (both queues' storage is
+    /// retained, so flipping back and forth stays allocation-free).
+    pub fn set_policy(&mut self, policy: QueuePolicy) {
+        self.policy = policy;
     }
 
     /// Prepare for a run over `n` nodes: grow the arrays if needed and
@@ -167,7 +552,6 @@ impl DijkstraScratch {
             self.done.fill(0);
             self.generation = 1;
         }
-        self.heap.clear();
     }
 
     #[inline]
@@ -178,13 +562,6 @@ impl DijkstraScratch {
             f64::INFINITY
         }
     }
-
-    #[inline]
-    fn set(&mut self, v: usize, d: f64, p: u32) {
-        self.dist[v] = d;
-        self.prev[v] = p;
-        self.seen[v] = self.generation;
-    }
 }
 
 /// Read-only view of the most recent [`Dijkstra::run_multi_scratch`] run.
@@ -194,12 +571,24 @@ pub struct ScratchRun<'s> {
     scratch: &'s DijkstraScratch,
     /// Nodes settled by the run (relaxation work, a CPU-cost proxy).
     pub settled: usize,
+    /// Queue-operation counters for the run.
+    pub queue: QueueCounters,
 }
 
 impl ScratchRun<'_> {
     /// Distance to `node`; `f64::INFINITY` when unreached.
     pub fn dist(&self, node: u32) -> f64 {
         self.scratch.get_dist(node as usize)
+    }
+
+    /// Predecessor of `node`; `u32::MAX` for sources and unreached nodes.
+    pub fn prev(&self, node: u32) -> u32 {
+        let v = node as usize;
+        if self.scratch.seen[v] == self.scratch.generation {
+            self.scratch.prev[v]
+        } else {
+            u32::MAX
+        }
     }
 
     /// Reconstruct the node path ending at `target` (source first). Empty
@@ -221,6 +610,91 @@ impl ScratchRun<'_> {
     }
 }
 
+/// The shared relaxation core: SoA state (`dist`/`prev`/`seen`/`done`
+/// stamped with `gen`), generic over the queue so each policy gets a
+/// monomorphized, fully inlined loop.
+///
+/// # Safety invariants (all checked at build / begin time)
+/// * `graph` CSR is well-formed: `offsets` is non-decreasing with
+///   `offsets[n] == edges.len()`, every edge target `< n` (validated by
+///   `try_rebuild_undirected`, the only writer).
+/// * The SoA arrays have length `>= n` (`DijkstraScratch::begin`).
+/// * Popped nodes are `< n`: only sources (asserted below) and validated
+///   edge targets are ever pushed.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn run_core<Q: Pq>(
+    graph: &Graph,
+    sources: &[(u32, f64)],
+    target: Option<u32>,
+    dist: &mut [f64],
+    prev: &mut [u32],
+    seen: &mut [u32],
+    done: &mut [u32],
+    gen: u32,
+    q: &mut Q,
+) -> (usize, QueueCounters) {
+    let n = graph.num_nodes();
+    let mut counters = QueueCounters::default();
+    for &(s, d0) in sources {
+        let si = s as usize;
+        assert!(si < n, "source {s} out of range (num_nodes {n})");
+        let cur = if seen[si] == gen { dist[si] } else { f64::INFINITY };
+        if d0 < cur {
+            dist[si] = d0;
+            prev[si] = u32::MAX;
+            seen[si] = gen;
+            q.push(d0, s);
+            counters.pushes += 1;
+        }
+    }
+    let mut settled = 0usize;
+    while let Some((d, node)) = q.pop() {
+        counters.pops += 1;
+        let u = node as usize;
+        debug_assert!(u < n);
+        // SAFETY: u < n (sources asserted above, edge targets validated at
+        // graph build); `done` has length >= n.
+        if unsafe { *done.get_unchecked(u) } == gen {
+            counters.stale_pops += 1;
+            continue;
+        }
+        unsafe { *done.get_unchecked_mut(u) = gen };
+        settled += 1;
+        if target == Some(node) {
+            break;
+        }
+        // SAFETY: u < n and the CSR is well-formed (offsets non-decreasing,
+        // terminated at edges.len()), so the slice bounds are in range.
+        let (lo, hi) = unsafe {
+            (*graph.offsets.get_unchecked(u) as usize, *graph.offsets.get_unchecked(u + 1) as usize)
+        };
+        let adj = unsafe { graph.edges.get_unchecked(lo..hi) };
+        for &(nb, w) in adj {
+            let nd = d + w;
+            let v = nb as usize;
+            debug_assert!(v < n);
+            // SAFETY: edge targets were validated < n at graph build and
+            // every SoA array has length >= n.
+            unsafe {
+                let cur = if *seen.get_unchecked(v) == gen {
+                    *dist.get_unchecked(v)
+                } else {
+                    f64::INFINITY
+                };
+                if nd < cur {
+                    *dist.get_unchecked_mut(v) = nd;
+                    *prev.get_unchecked_mut(v) = node;
+                    *seen.get_unchecked_mut(v) = gen;
+                    q.push(nd, nb);
+                    counters.pushes += 1;
+                }
+            }
+        }
+    }
+    (settled, counters)
+}
+
 impl Dijkstra {
     /// Single-source shortest paths from `source`.
     pub fn run(graph: &Graph, source: u32) -> Self {
@@ -232,48 +706,37 @@ impl Dijkstra {
         Self::run_multi(graph, &[(source, 0.0)], Some(target))
     }
 
-    /// Multi-source Dijkstra with optional early exit at `target`.
+    /// Multi-source Dijkstra with optional early exit at `target`, using
+    /// the default [`QueuePolicy`].
     ///
     /// Multiple sources with offsets implement point embedding: an off-graph
     /// query point "connects" to several graph nodes with given entry costs.
     pub fn run_multi(graph: &Graph, sources: &[(u32, f64)], target: Option<u32>) -> Self {
+        Self::run_multi_with(graph, sources, target, QueuePolicy::default())
+    }
+
+    /// [`run_multi`](Self::run_multi) with an explicit queue policy.
+    pub fn run_multi_with(
+        graph: &Graph,
+        sources: &[(u32, f64)],
+        target: Option<u32>,
+        policy: QueuePolicy,
+    ) -> Self {
+        let mut scratch = DijkstraScratch::with_policy(policy);
+        let run = Self::run_multi_scratch(graph, sources, target, &mut scratch);
+        let settled = run.settled;
+        let queue = run.queue;
         let n = graph.num_nodes();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev = vec![u32::MAX; n];
-        let mut heap = BinaryHeap::new();
-        for &(s, d0) in sources {
-            if d0 < dist[s as usize] {
-                dist[s as usize] = d0;
-                heap.push(QueueItem { dist: d0, node: s });
-            }
-        }
-        let mut settled = 0usize;
-        let mut done = vec![false; n];
-        while let Some(QueueItem { dist: d, node }) = heap.pop() {
-            if done[node as usize] {
-                continue;
-            }
-            done[node as usize] = true;
-            settled += 1;
-            if target == Some(node) {
-                break;
-            }
-            for &(nb, w) in graph.neighbors(node) {
-                let nd = d + w;
-                if nd < dist[nb as usize] {
-                    dist[nb as usize] = nd;
-                    prev[nb as usize] = node;
-                    heap.push(QueueItem { dist: nd, node: nb });
-                }
-            }
-        }
-        Self { dist, prev, settled }
+        let dist: Vec<f64> = (0..n as u32).map(|v| run.dist(v)).collect();
+        let prev: Vec<u32> = (0..n as u32).map(|v| run.prev(v)).collect();
+        Self { dist, prev, settled, queue }
     }
 
     /// [`run_multi`](Self::run_multi) against reusable working state: no
     /// O(n) allocation, no O(n) initialisation. Produces node-for-node the
     /// same distances, predecessors and settled count as the fresh
-    /// allocation path (a property test in this module pins that).
+    /// allocation path and as either queue policy (property tests in this
+    /// module and `tests/queue_equivalence.rs` pin both).
     pub fn run_multi_scratch<'s>(
         graph: &Graph,
         sources: &[(u32, f64)],
@@ -282,31 +745,20 @@ impl Dijkstra {
     ) -> ScratchRun<'s> {
         let n = graph.num_nodes();
         scratch.begin(n);
-        for &(s, d0) in sources {
-            if d0 < scratch.get_dist(s as usize) {
-                scratch.set(s as usize, d0, u32::MAX);
-                scratch.heap.push(QueueItem { dist: d0, node: s });
+        let DijkstraScratch { dist, prev, seen, done, generation, heap, bucket, policy } =
+            &mut *scratch;
+        let gen = *generation;
+        let (settled, queue) = match policy {
+            QueuePolicy::Heap => {
+                heap.clear();
+                run_core(graph, sources, target, dist, prev, seen, done, gen, heap)
             }
-        }
-        let mut settled = 0usize;
-        while let Some(QueueItem { dist: d, node }) = scratch.heap.pop() {
-            if scratch.done[node as usize] == scratch.generation {
-                continue;
+            QueuePolicy::Bucket => {
+                bucket.reset(graph.min_pos_weight);
+                run_core(graph, sources, target, dist, prev, seen, done, gen, bucket)
             }
-            scratch.done[node as usize] = scratch.generation;
-            settled += 1;
-            if target == Some(node) {
-                break;
-            }
-            for &(nb, w) in graph.neighbors(node) {
-                let nd = d + w;
-                if nd < scratch.get_dist(nb as usize) {
-                    scratch.set(nb as usize, nd, node);
-                    scratch.heap.push(QueueItem { dist: nd, node: nb });
-                }
-            }
-        }
-        ScratchRun { scratch, settled }
+        };
+        ScratchRun { scratch, settled, queue }
     }
 
     /// Reconstruct the node path ending at `target` (source first). Empty
@@ -398,6 +850,87 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_weight_is_a_typed_error_not_a_misordered_heap() {
+        // A NaN weight must never reach a priority queue (where any
+        // comparison involving it silently mis-orders the heap): graph
+        // construction surfaces it as a typed error instead.
+        let err = Graph::try_from_undirected(3, &[(0, 1, 1.0), (1, 2, f64::NAN)])
+            .expect_err("NaN weight accepted");
+        assert_eq!(err, GraphError::PoisonedWeight { index: 1, endpoints: (1, 2) });
+        assert!(err.to_string().contains("poisoned"));
+        // Negative weights get their own variant (and the panicking
+        // constructor keeps its historical message).
+        let err = Graph::try_from_undirected(2, &[(0, 1, -2.0)]).unwrap_err();
+        assert!(matches!(err, GraphError::NegativeWeight { .. }));
+        // Out-of-range endpoints too.
+        let err = Graph::try_from_undirected(2, &[(0, 7, 1.0)]).unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, .. }));
+    }
+
+    #[test]
+    fn min_positive_weight_ignores_zeros() {
+        let g = Graph::from_undirected(3, &[(0, 1, 0.0), (1, 2, 0.25)]);
+        assert_eq!(g.min_positive_weight(), 0.25);
+        let zeros = Graph::from_undirected(2, &[(0, 1, 0.0)]);
+        assert!(zeros.min_positive_weight().is_infinite());
+    }
+
+    #[test]
+    fn queue_policies_agree_on_diamond() {
+        let g = diamond();
+        let heap = Dijkstra::run_multi_with(&g, &[(0, 10.0), (4, 0.5)], None, QueuePolicy::Heap);
+        let bucket =
+            Dijkstra::run_multi_with(&g, &[(0, 10.0), (4, 0.5)], None, QueuePolicy::Bucket);
+        assert_eq!(heap.settled, bucket.settled);
+        for v in 0..g.num_nodes() {
+            assert_eq!(heap.dist[v].to_bits(), bucket.dist[v].to_bits());
+            assert_eq!(heap.prev[v], bucket.prev[v]);
+        }
+    }
+
+    #[test]
+    fn bucket_queue_handles_zero_weight_edges() {
+        // Zero-weight edges re-enter the current bucket; the scan must
+        // still pop in exact (dist, node) order.
+        let g = Graph::from_undirected(
+            5,
+            &[(0, 1, 0.0), (1, 2, 1.0), (0, 3, 1.0), (3, 4, 0.0), (4, 2, 0.5)],
+        );
+        let heap = Dijkstra::run_multi_with(&g, &[(0, 0.0)], None, QueuePolicy::Heap);
+        let bucket = Dijkstra::run_multi_with(&g, &[(0, 0.0)], None, QueuePolicy::Bucket);
+        assert_eq!(heap.settled, bucket.settled);
+        for v in 0..g.num_nodes() {
+            assert_eq!(heap.dist[v].to_bits(), bucket.dist[v].to_bits());
+        }
+    }
+
+    #[test]
+    fn bucket_queue_wide_range_uses_overflow_band() {
+        // Edge weights spanning > RING_BUCKETS * delta force the overflow
+        // band and at least one re-seed.
+        let g =
+            Graph::from_undirected(4, &[(0, 1, 0.001), (1, 2, 50.0), (2, 3, 0.001), (0, 3, 100.0)]);
+        let heap = Dijkstra::run_multi_with(&g, &[(0, 0.0)], None, QueuePolicy::Heap);
+        let bucket = Dijkstra::run_multi_with(&g, &[(0, 0.0)], None, QueuePolicy::Bucket);
+        assert_eq!(heap.settled, bucket.settled);
+        for v in 0..g.num_nodes() {
+            assert_eq!(heap.dist[v].to_bits(), bucket.dist[v].to_bits());
+            assert_eq!(heap.prev[v], bucket.prev[v]);
+        }
+    }
+
+    #[test]
+    fn counters_track_queue_traffic() {
+        let g = diamond();
+        for policy in [QueuePolicy::Heap, QueuePolicy::Bucket] {
+            let d = Dijkstra::run_multi_with(&g, &[(0, 0.0)], None, policy);
+            assert!(d.queue.pushes >= d.settled as u64, "{policy}: fewer pushes than settles");
+            assert_eq!(d.queue.pops, d.queue.pushes, "{policy}: queue drained fully");
+            assert_eq!(d.queue.stale_pops, d.queue.pops - d.settled as u64, "{policy}");
+        }
+    }
+
+    #[test]
     fn scratch_run_matches_fresh_on_diamond() {
         let g = diamond();
         let mut scratch = DijkstraScratch::new();
@@ -433,6 +966,7 @@ mod tests {
         g.rebuild_undirected(5, &edges);
         let fresh = Graph::from_undirected(5, &edges);
         assert_eq!(g.num_nodes(), fresh.num_nodes());
+        assert_eq!(g.min_positive_weight(), fresh.min_positive_weight());
         for v in 0..5u32 {
             assert_eq!(g.neighbors(v), fresh.neighbors(v));
         }
@@ -440,6 +974,7 @@ mod tests {
         g.rebuild_undirected(1, &[]);
         assert_eq!(g.num_nodes(), 1);
         assert!(g.neighbors(0).is_empty());
+        assert!(g.min_positive_weight().is_infinite());
     }
 
     mod properties {
@@ -491,6 +1026,32 @@ mod tests {
                 for v in 0..n as u32 {
                     prop_assert_eq!(run.dist(v).to_bits(), fresh.dist[v as usize].to_bits());
                     prop_assert_eq!(run.path_to(v), fresh.path_to(v));
+                }
+            }
+
+            /// Bucket and heap policies produce bit-identical distances,
+            /// identical predecessors and identical settle counts, with and
+            /// without an early-exit target (the queue-equivalence pin; the
+            /// workspace-level suite covers the end-to-end pipeline).
+            #[test]
+            fn bucket_matches_heap_bit_for_bit(
+                seed in any::<u64>(),
+                n in 1usize..48,
+                m in 0usize..128,
+                early_exit in any::<bool>(),
+            ) {
+                let (g, sources) = random_graph(seed, n, m);
+                let target = if early_exit { Some((n as u32) / 2) } else { None };
+                let heap = Dijkstra::run_multi_with(&g, &sources, target, QueuePolicy::Heap);
+                let bucket = Dijkstra::run_multi_with(&g, &sources, target, QueuePolicy::Bucket);
+                prop_assert_eq!(heap.settled, bucket.settled);
+                prop_assert_eq!(heap.queue.pops, bucket.queue.pops);
+                for v in 0..n as u32 {
+                    prop_assert_eq!(
+                        heap.dist[v as usize].to_bits(),
+                        bucket.dist[v as usize].to_bits()
+                    );
+                    prop_assert_eq!(heap.prev[v as usize], bucket.prev[v as usize]);
                 }
             }
         }

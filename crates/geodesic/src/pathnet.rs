@@ -11,10 +11,28 @@
 //! The DMTM's ">100 % resolution" levels are pathnets over the original
 //! mesh (paper §3.2), and the Kanai–Suzuki engine refines pathnets locally.
 
-use crate::graph::{Dijkstra, Graph};
+use crate::graph::{Dijkstra, DijkstraScratch, Graph, QueueCounters, ScratchRun};
 use crate::mesh_net::MeshPoint;
 use sknn_geom::Point3;
 use sknn_terrain::mesh::{TerrainMesh, TriId};
+
+/// Sorted-vector map from a subdivided mesh edge `(lo, hi)` to its first
+/// Steiner node id. The build path is the ranking hot loop (one pathnet
+/// per candidate group at the >100 % level), so lookups are binary
+/// searches over two dense arrays instead of hashing — and iteration
+/// order is deterministic, which also pins the Steiner node numbering.
+#[derive(Debug, Clone, Default)]
+struct EdgeSteinerMap {
+    keys: Vec<(u32, u32)>,
+    first: Vec<u32>,
+}
+
+impl EdgeSteinerMap {
+    #[inline]
+    fn get(&self, key: (u32, u32)) -> Option<u32> {
+        self.keys.binary_search(&key).ok().map(|i| self.first[i])
+    }
+}
 
 /// A Steiner-point graph over (a region of) a mesh.
 #[derive(Debug, Clone)]
@@ -24,7 +42,7 @@ pub struct Pathnet {
     /// vertices, Steiner nodes follow.
     node_pos: Vec<Point3>,
     /// `edge -> first steiner node id` for each subdivided mesh edge.
-    edge_steiner: std::collections::HashMap<(u32, u32), u32>,
+    edge_steiner: EdgeSteinerMap,
     steiner_per_edge: usize,
     /// Which facets were included (None = all).
     included: Option<Vec<bool>>,
@@ -41,25 +59,29 @@ impl Pathnet {
         tri_filter: Option<&dyn Fn(TriId) -> bool>,
     ) -> Self {
         let m = steiner_per_edge;
-        let _nv = mesh.num_vertices();
         let mut node_pos: Vec<Point3> = mesh.vertices().to_vec();
-        let mut edge_steiner = std::collections::HashMap::new();
         let mut edges: Vec<(u32, u32, f64)> = Vec::new();
         let included: Option<Vec<bool>> =
             tri_filter.map(|f| (0..mesh.num_triangles() as TriId).map(f).collect());
         let tri_in = |t: TriId| included.as_ref().is_none_or(|v| v[t as usize]);
 
-        // Subdivide each edge that borders an included facet.
-        let mut edge_in = std::collections::HashSet::new();
+        // Subdivide each edge that borders an included facet. Sorted-dedup
+        // (rather than a hash set) keeps the Steiner numbering
+        // deterministic and the per-build cost branch-light.
+        let mut edge_in: Vec<(u32, u32)> = Vec::new();
         for t in 0..mesh.num_triangles() as TriId {
             if !tri_in(t) {
                 continue;
             }
             let [a, b, c] = mesh.triangle_ids(t);
             for (u, v) in [(a, b), (b, c), (c, a)] {
-                edge_in.insert((u.min(v), u.max(v)));
+                edge_in.push((u.min(v), u.max(v)));
             }
         }
+        edge_in.sort_unstable();
+        edge_in.dedup();
+        let mut edge_steiner =
+            EdgeSteinerMap { keys: Vec::new(), first: Vec::with_capacity(edge_in.len()) };
         for &(a, b) in &edge_in {
             let pa = mesh.vertex(a);
             let pb = mesh.vertex(b);
@@ -69,7 +91,7 @@ impl Pathnet {
                     let t = i as f64 / (m + 1) as f64;
                     node_pos.push(pa.lerp(pb, t));
                 }
-                edge_steiner.insert((a, b), first);
+                edge_steiner.first.push(first);
                 // Chain along the original edge: a - s1 - ... - sm - b.
                 let mut prev = a;
                 for i in 0..m {
@@ -82,13 +104,17 @@ impl Pathnet {
                 edges.push((a, b, pa.dist(pb)));
             }
         }
+        if m > 0 {
+            edge_steiner.keys = edge_in;
+        }
 
         // Within each included facet, connect boundary nodes across edges.
+        let mut sides: [Vec<u32>; 3] = Default::default();
         for t in 0..mesh.num_triangles() as TriId {
             if !tri_in(t) {
                 continue;
             }
-            let sides = facet_sides(mesh, &edge_steiner, m, t);
+            facet_sides_into(mesh, &edge_steiner, m, t, &mut sides);
             // Pairwise links between nodes on different sides. Corner nodes
             // appear on two sides; dedupe with an ordered guard.
             for i in 0..3 {
@@ -105,7 +131,7 @@ impl Pathnet {
                 }
             }
         }
-        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.partial_cmp(&b.2).unwrap()));
+        edges.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(a.2.total_cmp(&b.2)));
         edges.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
 
         Self {
@@ -151,7 +177,8 @@ impl Pathnet {
                         .map(|&v| (v, self.node_pos[v as usize].dist(pos)))
                         .collect();
                 }
-                let sides = facet_sides(mesh, &self.edge_steiner, self.steiner_per_edge, tri);
+                let mut sides: [Vec<u32>; 3] = Default::default();
+                facet_sides_into(mesh, &self.edge_steiner, self.steiner_per_edge, tri, &mut sides);
                 let mut out = Vec::new();
                 for side in &sides {
                     for &n in side {
@@ -167,19 +194,25 @@ impl Pathnet {
 
     /// Approximate surface distance between two surface points.
     pub fn distance(&self, mesh: &TerrainMesh, a: MeshPoint, b: MeshPoint) -> f64 {
-        if let (
-            MeshPoint::Interior { tri: ta, pos: pa },
-            MeshPoint::Interior { tri: tb, pos: pb },
-        ) = (a, b)
-        {
-            if ta == tb {
-                return pa.dist(pb);
-            }
-        }
+        let mut scratch = DijkstraScratch::new();
+        self.run_from(mesh, a, &mut scratch).distance_to(mesh, b)
+    }
+
+    /// Materialize one single-source Dijkstra from `a` over the pathnet,
+    /// reusable across many destinations: the ranking engine runs one per
+    /// candidate *group* instead of one per candidate, and each
+    /// [`PathnetRun::distance_to`] is then a cheap embedding read-off.
+    /// Distances are bit-identical to per-pair [`distance`](Self::distance)
+    /// calls (same source embedding, same run).
+    pub fn run_from<'n, 's>(
+        &'n self,
+        mesh: &TerrainMesh,
+        a: MeshPoint,
+        scratch: &'s mut DijkstraScratch,
+    ) -> PathnetRun<'n, 's> {
         let src = self.embedding(mesh, a);
-        let dst = self.embedding(mesh, b);
-        let d = Dijkstra::run_multi(&self.graph, &src, None);
-        dst.iter().map(|&(v, exit)| d.dist[v as usize] + exit).fold(f64::INFINITY, f64::min)
+        let run = Dijkstra::run_multi_scratch(&self.graph, &src, None, scratch);
+        PathnetRun { net: self, a, run }
     }
 
     /// Node path between two embedded points (positions), for corridor
@@ -205,18 +238,56 @@ impl Pathnet {
     }
 }
 
-/// Node lists of a facet's three sides (corner, steiner..., corner).
-fn facet_sides(
+/// A shared single-source pathnet run (see [`Pathnet::run_from`]).
+#[derive(Debug)]
+pub struct PathnetRun<'n, 's> {
+    net: &'n Pathnet,
+    a: MeshPoint,
+    run: ScratchRun<'s>,
+}
+
+impl PathnetRun<'_, '_> {
+    /// Approximate surface distance from the run's source to `b`.
+    pub fn distance_to(&self, mesh: &TerrainMesh, b: MeshPoint) -> f64 {
+        if let (
+            MeshPoint::Interior { tri: ta, pos: pa },
+            MeshPoint::Interior { tri: tb, pos: pb },
+        ) = (self.a, b)
+        {
+            if ta == tb {
+                return pa.dist(pb);
+            }
+        }
+        let dst = self.net.embedding(mesh, b);
+        dst.iter().map(|&(v, exit)| self.run.dist(v) + exit).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Queue-operation counters of the underlying Dijkstra run.
+    pub fn queue_counters(&self) -> QueueCounters {
+        self.run.queue
+    }
+
+    /// Nodes settled by the underlying Dijkstra run.
+    pub fn settled(&self) -> usize {
+        self.run.settled
+    }
+}
+
+/// Fill `out` with the node lists of a facet's three sides
+/// (corner, steiner..., corner), reusing the caller's buffers.
+fn facet_sides_into(
     mesh: &TerrainMesh,
-    edge_steiner: &std::collections::HashMap<(u32, u32), u32>,
+    edge_steiner: &EdgeSteinerMap,
     m: usize,
     t: TriId,
-) -> [Vec<u32>; 3] {
+    out: &mut [Vec<u32>; 3],
+) {
     let [a, b, c] = mesh.triangle_ids(t);
-    let side = |u: u32, v: u32| -> Vec<u32> {
-        let mut s = vec![u];
+    for (s, (u, v)) in out.iter_mut().zip([(a, b), (b, c), (c, a)]) {
+        s.clear();
+        s.push(u);
         if m > 0 {
-            if let Some(&first) = edge_steiner.get(&(u.min(v), u.max(v))) {
+            if let Some(first) = edge_steiner.get((u.min(v), u.max(v))) {
                 if u < v {
                     s.extend(first..first + m as u32);
                 } else {
@@ -225,9 +296,7 @@ fn facet_sides(
             }
         }
         s.push(v);
-        s
-    };
-    [side(a, b), side(b, c), side(c, a)]
+    }
 }
 
 #[cfg(test)]
@@ -315,5 +384,19 @@ mod tests {
         assert!(path.len() >= 2);
         assert_eq!(path[0], mesh.vertex(0));
         assert_eq!(*path.last().unwrap(), mesh.vertex(80));
+    }
+
+    #[test]
+    fn shared_run_matches_per_pair_distance() {
+        let mesh = TerrainConfig::bh().with_grid(9).build_mesh(3);
+        let net = Pathnet::build(&mesh, 1, None);
+        let a = MeshPoint::Vertex(0);
+        let mut scratch = DijkstraScratch::new();
+        let run = net.run_from(&mesh, a, &mut scratch);
+        for v in [5u32, 17, 40, 80] {
+            let shared = run.distance_to(&mesh, MeshPoint::Vertex(v));
+            let pair = net.distance(&mesh, a, MeshPoint::Vertex(v));
+            assert_eq!(shared.to_bits(), pair.to_bits(), "v{v}");
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! between the corresponding segment MBRs.
 
 use crate::simplify::SimplifiedLine;
-use sknn_geodesic::graph::{Dijkstra, Graph};
+use sknn_geodesic::graph::{Dijkstra, DijkstraScratch, Graph, QueueCounters, QueuePolicy};
 use sknn_geom::{Aabb3, Point3, Rect2};
 
 /// Result of a lower-bound computation.
@@ -28,6 +28,39 @@ pub struct LowerBound {
     /// Segments that participated after filtering (I/O-cost proxy for the
     /// in-memory path; the paged layer counts real pages).
     pub segments_used: usize,
+    /// Queue-operation counters of the Dijkstra run.
+    pub queue: QueueCounters,
+}
+
+/// Reusable working state for [`lower_bound_with`].
+///
+/// The ranking engine computes thousands of lower bounds per query batch;
+/// each one builds a small layered graph and runs an early-exit Dijkstra
+/// over it. This scratch keeps the layer table, edge list, CSR graph and
+/// Dijkstra state alive across calls so the steady state allocates
+/// nothing.
+#[derive(Debug, Default)]
+pub struct LbScratch {
+    /// `(line, segment)` per admitted segment, grouped by layer; the graph
+    /// node of entry `i` is `2 + i` (0 and 1 are the query endpoints).
+    segs: Vec<(u32, u32)>,
+    /// Layer boundaries into `segs` (`len == layers + 1`).
+    layer_off: Vec<u32>,
+    edges: Vec<(u32, u32, f64)>,
+    graph: Graph,
+    dij: DijkstraScratch,
+}
+
+impl LbScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue policy for the embedded Dijkstra runs.
+    pub fn set_queue_policy(&mut self, policy: QueuePolicy) {
+        self.dij.set_policy(policy);
+    }
 }
 
 /// Compute the SDN lower bound between `a` and `b`.
@@ -49,11 +82,31 @@ pub fn lower_bound(
     roi: Option<&Rect2>,
     corridor: Option<&[Vec<bool>]>,
 ) -> LowerBound {
+    let mut scratch = LbScratch::new();
+    lower_bound_with(lines, a, b, roi, corridor, &mut scratch)
+}
+
+/// [`lower_bound`] against reusable working state (see [`LbScratch`]):
+/// no per-call allocation once the buffers have grown to a working size,
+/// identical results.
+pub fn lower_bound_with(
+    lines: &[&SimplifiedLine],
+    a: Point3,
+    b: Point3,
+    roi: Option<&Rect2>,
+    corridor: Option<&[Vec<bool>]>,
+    scratch: &mut LbScratch,
+) -> LowerBound {
     let euclid = a.dist(b);
-    // Collect admissible segments per line, dropping empty lines.
-    let mut layers: Vec<Vec<(usize, usize)>> = Vec::with_capacity(lines.len());
+    let LbScratch { segs, layer_off, edges, graph, dij } = scratch;
+    // Collect admissible segments per line, dropping empty lines. Node
+    // numbering: 0 = a, 1 = b, then segments layer by layer — so the graph
+    // node of `segs[i]` is `2 + i`.
+    segs.clear();
+    layer_off.clear();
+    layer_off.push(0);
     for (li, line) in lines.iter().enumerate() {
-        let mut layer = Vec::new();
+        let start = segs.len();
         for (si, seg) in line.segments.iter().enumerate() {
             if let Some(r) = roi {
                 if !r.intersects(&seg.mbr.xy()) {
@@ -65,81 +118,71 @@ pub fn lower_bound(
                     continue;
                 }
             }
-            layer.push((li, si));
+            segs.push((li as u32, si as u32));
         }
-        if !layer.is_empty() {
-            layers.push(layer);
+        if segs.len() > start {
+            layer_off.push(segs.len() as u32);
         }
     }
-    if layers.is_empty() {
+    if segs.is_empty() {
         return LowerBound {
             value: euclid,
             path_mbrs: Vec::new(),
             nodes_settled: 0,
             segments_used: 0,
+            queue: QueueCounters::default(),
         };
     }
+    let nlayers = layer_off.len() - 1;
+    let seg_of = |i: u32| -> &crate::simplify::SimplifiedSegment {
+        let (li, si) = segs[i as usize];
+        &lines[li as usize].segments[si as usize]
+    };
 
-    // Node numbering: 0 = a, 1 = b, then segments layer by layer.
-    let mut node_of: Vec<Vec<u32>> = Vec::with_capacity(layers.len());
-    let mut node_seg: Vec<(usize, usize)> = Vec::new();
-    let mut next = 2u32;
-    for layer in &layers {
-        let mut ids = Vec::with_capacity(layer.len());
-        for &ls in layer {
-            ids.push(next);
-            node_seg.push(ls);
-            next += 1;
-        }
-        node_of.push(ids);
-    }
-    let seg_of =
-        |ls: (usize, usize)| -> &crate::simplify::SimplifiedSegment { &lines[ls.0].segments[ls.1] };
-
-    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    edges.clear();
     // a to the first layer, b to the last.
-    for (k, &ls) in layers[0].iter().enumerate() {
-        edges.push((0, node_of[0][k], seg_of(ls).min_dist_point(a)));
+    for k in layer_off[0]..layer_off[1] {
+        edges.push((0, 2 + k, seg_of(k).min_dist_point(a)));
     }
-    let last = layers.len() - 1;
-    for (k, &ls) in layers[last].iter().enumerate() {
-        edges.push((1, node_of[last][k], seg_of(ls).min_dist_point(b)));
+    for k in layer_off[nlayers - 1]..layer_off[nlayers] {
+        edges.push((1, 2 + k, seg_of(k).min_dist_point(b)));
     }
     // Consecutive layers, all pairs.
-    for li in 0..layers.len() - 1 {
-        for (i, &ls1) in layers[li].iter().enumerate() {
-            let s1 = seg_of(ls1);
-            for (j, &ls2) in layers[li + 1].iter().enumerate() {
-                edges.push((node_of[li][i], node_of[li + 1][j], s1.min_dist(seg_of(ls2))));
+    for li in 0..nlayers - 1 {
+        for i in layer_off[li]..layer_off[li + 1] {
+            let s1 = seg_of(i);
+            for j in layer_off[li + 1]..layer_off[li + 2] {
+                edges.push((2 + i, 2 + j, s1.min_dist(seg_of(j))));
             }
         }
     }
-    let graph = Graph::from_undirected(next as usize, &edges);
-    let d = Dijkstra::run_to(&graph, 0, 1);
+    graph.rebuild_undirected(2 + segs.len(), edges);
+    let d = Dijkstra::run_multi_scratch(graph, &[(0, 0.0)], Some(1), dij);
     // Single-plane bound (the paper's original intuition, §3.3): any
     // surface path must touch every separating crossing line, so for each
     // line, min over its segments of dist(a, seg) + dist(seg, b) is a
     // valid bound — take the best line. This captures forced climbs over
     // ridges that the chain bound can dodge laterally.
     let mut single = 0.0f64;
-    for layer in &layers {
-        let line_bound = layer
-            .iter()
-            .map(|&ls| {
-                let sgm = seg_of(ls);
+    for li in 0..nlayers {
+        let line_bound = (layer_off[li]..layer_off[li + 1])
+            .map(|i| {
+                let sgm = seg_of(i);
                 sgm.min_dist_point(a) + sgm.min_dist_point(b)
             })
             .fold(f64::INFINITY, f64::min);
         single = single.max(line_bound);
     }
-    let value = d.dist[1].max(single).max(euclid);
-    let path_mbrs = d
-        .path_to(1)
-        .into_iter()
-        .filter(|&n| n >= 2)
-        .map(|n| seg_of(node_seg[(n - 2) as usize]).mbr)
-        .collect();
-    LowerBound { value, path_mbrs, nodes_settled: d.settled, segments_used: (next - 2) as usize }
+    let value = d.dist(1).max(single).max(euclid);
+    let path_mbrs =
+        d.path_to(1).into_iter().filter(|&n| n >= 2).map(|n| seg_of(n - 2).mbr).collect();
+    LowerBound {
+        value,
+        path_mbrs,
+        nodes_settled: d.settled,
+        segments_used: segs.len(),
+        queue: d.queue,
+    }
 }
 
 /// Build the dummy-lower-bound corridor: admit only segments whose MBR

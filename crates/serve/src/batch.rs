@@ -261,6 +261,10 @@ fn run_batch(
                 stats.stage_radius_us.record(stages.radius_us);
                 stats.stage_range_us.record(stages.range_us);
                 stats.stage_rank_us.record(stages.rank_us);
+                stats.dijkstra_pushes.add(res.stats.queue_pushes);
+                stats.dijkstra_pops.add(res.stats.queue_pops);
+                stats.dijkstra_stale_pops.add(res.stats.stale_pops);
+                stats.dijkstra_settled.add(res.stats.settled as u64);
                 if res.degraded.is_some() {
                     stats.degraded.inc();
                 }

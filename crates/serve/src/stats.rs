@@ -45,6 +45,14 @@ pub struct ServeStats {
     pub batched_requests: Counter,
     /// Reply writes that failed (client gone mid-flight).
     pub write_errors: Counter,
+    /// Dijkstra priority-queue pushes across all served queries.
+    pub dijkstra_pushes: Counter,
+    /// Dijkstra priority-queue pops across all served queries.
+    pub dijkstra_pops: Counter,
+    /// Dijkstra stale pops (superseded entries discarded on pop).
+    pub dijkstra_stale_pops: Counter,
+    /// Dijkstra nodes settled across all served queries.
+    pub dijkstra_settled: Counter,
     /// Requests currently queued (gauge).
     pub queue_depth: AtomicU64,
     /// Time spent waiting in the queue (arrival → dispatcher pickup), µs.
@@ -108,6 +116,10 @@ impl ServeStats {
             ("batches".to_string(), self.batches.get()),
             ("batched_requests".to_string(), self.batched_requests.get()),
             ("write_errors".to_string(), self.write_errors.get()),
+            ("dijkstra_pushes".to_string(), self.dijkstra_pushes.get()),
+            ("dijkstra_pops".to_string(), self.dijkstra_pops.get()),
+            ("dijkstra_stale_pops".to_string(), self.dijkstra_stale_pops.get()),
+            ("dijkstra_settled".to_string(), self.dijkstra_settled.get()),
             ("queue_depth".to_string(), self.queue_depth.load(Ordering::Relaxed)),
             ("mean_batch_x1000".to_string(), (self.mean_batch() * 1000.0).round() as u64),
             ("queue_p50_us".to_string(), q(&self.queue_us, 0.5)),
@@ -150,6 +162,25 @@ impl ServeStats {
             batches => "Micro-batches dispatched to the engine",
             batched_requests => "Requests executed across all batches",
             write_errors => "Reply writes that failed",
+        }
+        // Engine hot-path counters live under their own `sknn_dijkstra_`
+        // prefix: they describe kernel work (queue traffic, settled
+        // nodes), not request plumbing.
+        macro_rules! dijkstra {
+            ($($field:ident => $name:expr, $help:expr);+ $(;)?) => {$(
+                let s = Arc::clone(self);
+                reg.counter_fn($name, $help, move || s.$field.get());
+            )+};
+        }
+        dijkstra! {
+            dijkstra_pushes => "sknn_dijkstra_pushes_total",
+                "Dijkstra priority-queue pushes across served queries";
+            dijkstra_pops => "sknn_dijkstra_pops_total",
+                "Dijkstra priority-queue pops across served queries";
+            dijkstra_stale_pops => "sknn_dijkstra_stale_pops_total",
+                "Dijkstra stale pops (superseded entries discarded)";
+            dijkstra_settled => "sknn_dijkstra_settled_total",
+                "Dijkstra nodes settled across served queries";
         }
         let s = Arc::clone(self);
         reg.gauge_fn("sknn_serve_queue_depth", "Requests currently queued", move || {
@@ -246,6 +277,7 @@ mod tests {
         s.register_into(&reg);
         let text = reg.render();
         assert!(text.contains("sknn_serve_accepted_total 1"), "{text}");
+        assert!(text.contains("sknn_dijkstra_pushes_total 0"), "{text}");
         assert!(text.contains("sknn_serve_latency_us_count 1"), "{text}");
         assert!(text.contains("sknn_serve_queue_depth 0"), "{text}");
     }

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod grid;
+pub mod kernel;
 pub mod rtree;
 
 pub use rtree::RTree;

@@ -8,6 +8,7 @@
 //! Every node visited by a query increments an internal access counter;
 //! the storage layer maps node visits to disk-page accesses.
 
+use crate::kernel::{min_dists_point, min_dists_point_sq, MAX_BATCH};
 use sknn_geom::{Point2, Rect2};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -18,10 +19,26 @@ pub const MAX_FANOUT: usize = 16;
 /// Minimum entries per node after a split.
 pub const MIN_FANOUT: usize = 6;
 
+/// Nodes keep their entry rectangles and payloads in parallel arrays
+/// (SoA): `rects[i]` bounds `items[i]` / `children[i]`. The contiguous
+/// rectangle slice is what the batched mindist kernel consumes — one pass
+/// of autovectorized lanes per node instead of a scalar call per entry.
 #[derive(Debug, Clone)]
 enum Node<T> {
-    Leaf { entries: Vec<(Rect2, T)> },
-    Inner { entries: Vec<(Rect2, usize)> },
+    Leaf { rects: Vec<Rect2>, items: Vec<T> },
+    Inner { rects: Vec<Rect2>, children: Vec<usize> },
+}
+
+impl<T> Node<T> {
+    fn leaf(entries: Vec<(Rect2, T)>) -> Self {
+        let (rects, items) = entries.into_iter().unzip();
+        Node::Leaf { rects, items }
+    }
+
+    fn inner(entries: Vec<(Rect2, usize)>) -> Self {
+        let (rects, children) = entries.into_iter().unzip();
+        Node::Inner { rects, children }
+    }
 }
 
 /// An R-tree mapping rectangles to payloads.
@@ -60,7 +77,7 @@ impl<T: Clone> RTree<T> {
     /// An empty tree.
     pub fn new() -> Self {
         Self {
-            nodes: vec![Node::Leaf { entries: Vec::new() }],
+            nodes: vec![Node::Leaf { rects: Vec::new(), items: Vec::new() }],
             root: 0,
             len: 0,
             height: 1,
@@ -87,7 +104,7 @@ impl<T: Clone> RTree<T> {
             slice.sort_by(|a, b| cmp_f64(a.0.center().y, b.0.center().y));
             for group in slice.chunks(MAX_FANOUT) {
                 let mbr = group.iter().fold(Rect2::EMPTY, |r, (g, _)| r.union(g));
-                nodes.push(Node::Leaf { entries: group.to_vec() });
+                nodes.push(Node::leaf(group.to_vec()));
                 level.push((mbr, nodes.len() - 1));
             }
         }
@@ -110,7 +127,7 @@ impl<T: Clone> RTree<T> {
             }
             for group in chunks {
                 let mbr = group.iter().fold(Rect2::EMPTY, |r, (g, _)| r.union(g));
-                nodes.push(Node::Inner { entries: group });
+                nodes.push(Node::inner(group));
                 next.push((mbr, nodes.len() - 1));
             }
             level = next;
@@ -157,8 +174,7 @@ impl<T: Clone> RTree<T> {
         if let Some((left_mbr, right_mbr, right_id)) = split {
             // Grow the tree: new root over old root and the split sibling.
             let old_root = self.root;
-            self.nodes
-                .push(Node::Inner { entries: vec![(left_mbr, old_root), (right_mbr, right_id)] });
+            self.nodes.push(Node::inner(vec![(left_mbr, old_root), (right_mbr, right_id)]));
             self.root = self.nodes.len() - 1;
             self.height += 1;
         }
@@ -170,20 +186,21 @@ impl<T: Clone> RTree<T> {
     fn insert_at(&mut self, node: usize, rect: Rect2, item: T) -> Option<(Rect2, Rect2, usize)> {
         match &self.nodes[node] {
             Node::Leaf { .. } => {
-                if let Node::Leaf { entries } = &mut self.nodes[node] {
-                    entries.push((rect, item));
-                    if entries.len() <= MAX_FANOUT {
+                if let Node::Leaf { rects, items } = &mut self.nodes[node] {
+                    rects.push(rect);
+                    items.push(item);
+                    if rects.len() <= MAX_FANOUT {
                         return None;
                     }
                 }
                 Some(self.split_leaf(node))
             }
-            Node::Inner { entries } => {
+            Node::Inner { rects, .. } => {
                 // Choose subtree with least enlargement (ties: smaller area).
                 let mut best = 0usize;
                 let mut best_enl = f64::INFINITY;
                 let mut best_area = f64::INFINITY;
-                for (i, (mbr, _)) in entries.iter().enumerate() {
+                for (i, mbr) in rects.iter().enumerate() {
                     let enl = mbr.union(&rect).area() - mbr.area();
                     let area = mbr.area();
                     if enl < best_enl || (enl == best_enl && area < best_area) {
@@ -193,16 +210,18 @@ impl<T: Clone> RTree<T> {
                     }
                 }
                 let child = match &self.nodes[node] {
-                    Node::Inner { entries } => entries[best].1,
+                    Node::Inner { children, .. } => children[best],
                     _ => unreachable!(),
                 };
                 let split = self.insert_at(child, rect, item);
-                if let Node::Inner { entries } = &mut self.nodes[node] {
-                    entries[best].0 = entries[best].0.union(&rect);
+                if let Node::Inner { rects, children } = &mut self.nodes[node] {
+                    rects[best] = rects[best].union(&rect);
                     if let Some((l_mbr, r_mbr, r_id)) = split {
-                        entries[best] = (l_mbr, child);
-                        entries.push((r_mbr, r_id));
-                        if entries.len() > MAX_FANOUT {
+                        rects[best] = l_mbr;
+                        children[best] = child;
+                        rects.push(r_mbr);
+                        children.push(r_id);
+                        if rects.len() > MAX_FANOUT {
                             return Some(self.split_inner(node));
                         }
                     }
@@ -213,30 +232,34 @@ impl<T: Clone> RTree<T> {
     }
 
     fn split_leaf(&mut self, node: usize) -> (Rect2, Rect2, usize) {
-        let entries = match std::mem::replace(&mut self.nodes[node], Node::Leaf { entries: vec![] })
-        {
-            Node::Leaf { entries } => entries,
+        let entries = match std::mem::replace(
+            &mut self.nodes[node],
+            Node::Leaf { rects: vec![], items: vec![] },
+        ) {
+            Node::Leaf { rects, items } => rects.into_iter().zip(items).collect::<Vec<_>>(),
             _ => unreachable!(),
         };
         let (a, b) = quadratic_split(entries, |e| e.0);
         let a_mbr = mbr_of(&a, |e| e.0);
         let b_mbr = mbr_of(&b, |e| e.0);
-        self.nodes[node] = Node::Leaf { entries: a };
-        self.nodes.push(Node::Leaf { entries: b });
+        self.nodes[node] = Node::leaf(a);
+        self.nodes.push(Node::leaf(b));
         (a_mbr, b_mbr, self.nodes.len() - 1)
     }
 
     fn split_inner(&mut self, node: usize) -> (Rect2, Rect2, usize) {
-        let entries =
-            match std::mem::replace(&mut self.nodes[node], Node::Inner { entries: vec![] }) {
-                Node::Inner { entries } => entries,
-                _ => unreachable!(),
-            };
+        let entries = match std::mem::replace(
+            &mut self.nodes[node],
+            Node::Inner { rects: vec![], children: vec![] },
+        ) {
+            Node::Inner { rects, children } => rects.into_iter().zip(children).collect::<Vec<_>>(),
+            _ => unreachable!(),
+        };
         let (a, b) = quadratic_split(entries, |e| e.0);
         let a_mbr = mbr_of(&a, |e| e.0);
         let b_mbr = mbr_of(&b, |e| e.0);
-        self.nodes[node] = Node::Inner { entries: a };
-        self.nodes.push(Node::Inner { entries: b });
+        self.nodes[node] = Node::inner(a);
+        self.nodes.push(Node::inner(b));
         (a_mbr, b_mbr, self.nodes.len() - 1)
     }
 
@@ -252,15 +275,15 @@ impl<T: Clone> RTree<T> {
     fn range_rec(&self, node: usize, window: &Rect2, out: &mut Vec<(Rect2, T)>) {
         self.touch();
         match &self.nodes[node] {
-            Node::Leaf { entries } => {
-                for (r, item) in entries {
+            Node::Leaf { rects, items } => {
+                for (r, item) in rects.iter().zip(items) {
                     if r.intersects(window) {
                         out.push((*r, item.clone()));
                     }
                 }
             }
-            Node::Inner { entries } => {
-                for (r, child) in entries {
+            Node::Inner { rects, children } => {
+                for (r, child) in rects.iter().zip(children) {
                     if r.intersects(window) {
                         self.range_rec(*child, window, out);
                     }
@@ -290,18 +313,26 @@ impl<T: Clone> RTree<T> {
         out: &mut Vec<(Rect2, T)>,
     ) {
         self.touch();
+        // One batched-kernel pass per node: all entry distances in
+        // autovectorized lanes, then a branchy-but-cheap filter. The
+        // squared variant spares the sqrt lane — `d² <= radius²` is the
+        // same predicate (both sides non-negative).
+        let mut d2 = [0.0f64; MAX_BATCH];
+        let r2 = radius * radius;
         match &self.nodes[node] {
-            Node::Leaf { entries } => {
-                for (r, item) in entries {
-                    if r.min_dist_point(center) <= radius {
-                        out.push((*r, item.clone()));
+            Node::Leaf { rects, items } => {
+                let n = min_dists_point_sq(center, rects, &mut d2);
+                for i in 0..n {
+                    if d2[i] <= r2 {
+                        out.push((rects[i], items[i].clone()));
                     }
                 }
             }
-            Node::Inner { entries } => {
-                for (r, child) in entries {
-                    if r.intersects(window) && r.min_dist_point(center) <= radius {
-                        self.within_rec(*child, window, center, radius, out);
+            Node::Inner { rects, children } => {
+                let n = min_dists_point_sq(center, rects, &mut d2);
+                for i in 0..n {
+                    if rects[i].intersects(window) && d2[i] <= r2 {
+                        self.within_rec(children[i], window, center, radius, out);
                     }
                 }
             }
@@ -318,29 +349,27 @@ impl<T: Clone> RTree<T> {
             match kind {
                 ItemKind::Node(n) => {
                     self.touch();
+                    // Batched kernel: every entry's mindist in one pass,
+                    // then the heap pushes read off the lane buffer.
+                    let mut d = [0.0f64; MAX_BATCH];
                     match &self.nodes[n] {
-                        Node::Leaf { entries } => {
-                            for (i, (r, _)) in entries.iter().enumerate() {
-                                heap.push(HeapItem {
-                                    dist: r.min_dist_point(p),
-                                    kind: ItemKind::Entry(n, i),
-                                });
+                        Node::Leaf { rects, .. } => {
+                            let cnt = min_dists_point(p, rects, &mut d);
+                            for (i, &dist) in d[..cnt].iter().enumerate() {
+                                heap.push(HeapItem { dist, kind: ItemKind::Entry(n, i) });
                             }
                         }
-                        Node::Inner { entries } => {
-                            for (r, child) in entries {
-                                heap.push(HeapItem {
-                                    dist: r.min_dist_point(p),
-                                    kind: ItemKind::Node(*child),
-                                });
+                        Node::Inner { rects, children } => {
+                            let cnt = min_dists_point(p, rects, &mut d);
+                            for (i, &dist) in d[..cnt].iter().enumerate() {
+                                heap.push(HeapItem { dist, kind: ItemKind::Node(children[i]) });
                             }
                         }
                     }
                 }
                 ItemKind::Entry(n, i) => {
-                    if let Node::Leaf { entries } = &self.nodes[n] {
-                        let (r, item) = &entries[i];
-                        out.push((dist, *r, item.clone()));
+                    if let Node::Leaf { rects, items } = &self.nodes[n] {
+                        out.push((dist, rects[i], items[i].clone()));
                         if out.len() == k {
                             break;
                         }
@@ -357,8 +386,10 @@ impl<T: Clone> RTree<T> {
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
             match &self.nodes[n] {
-                Node::Leaf { entries } => out.extend(entries.iter().cloned()),
-                Node::Inner { entries } => stack.extend(entries.iter().map(|(_, c)| *c)),
+                Node::Leaf { rects, items } => {
+                    out.extend(rects.iter().copied().zip(items.iter().cloned()))
+                }
+                Node::Inner { children, .. } => stack.extend(children.iter().copied()),
             }
         }
         out

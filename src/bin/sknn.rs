@@ -15,6 +15,8 @@
 //!                                      results are bit-identical either way)
 //!          [--cache-stats true]        print the cut-cache summary line
 //!                                      (hits, misses, hit rate, residency)
+//!          [--queue heap|bucket]       Dijkstra priority queue (default
+//!                                      bucket; bit-identical results)
 //! sknn trace --k 5 [--out t.jsonl]     traced k-NN: JSONL records + a
 //!                                      human convergence summary
 //! sknn range --radius 150              surface range query
@@ -167,6 +169,11 @@ fn main() {
             let fault_spec: String = args.get("fault-profile", String::new());
             let cache_mode: String = args.get("cache", "on".to_string());
             let cache_stats: bool = args.get("cache-stats", false);
+            let queue: String = args.get("queue", String::new());
+            let mut cfg = cfg.clone();
+            if !queue.is_empty() {
+                cfg.queue = queue.parse().unwrap_or_else(|e| panic!("--queue: {e}"));
+            }
             let mut engine = build_engine(&cfg);
             match cache_mode.as_str() {
                 "on" => {}
@@ -636,6 +643,10 @@ fn run_top(args: &Args) {
             "sknn_serve_latency_us_bucket",
             "sknn_store_logical_reads_total",
             "sknn_store_faults_injected_total",
+            "sknn_dijkstra_pushes_total",
+            "sknn_dijkstra_pops_total",
+            "sknn_dijkstra_stale_pops_total",
+            "sknn_dijkstra_settled_total",
             "sknn_cutcache_hits_total",
             "sknn_cutcache_misses_total",
             "sknn_cutcache_hit_rate",
@@ -729,6 +740,15 @@ fn run_top(args: &Args) {
             value(&samples, "sknn_cutcache_cooling_entries"),
             value(&samples, "sknn_cutcache_extractions_in_flight"),
             value(&samples, "sknn_cutcache_resident_bytes") / 1024.0,
+        ));
+        let stale = value(&samples, "sknn_dijkstra_stale_pops_total");
+        let pops = value(&samples, "sknn_dijkstra_pops_total");
+        out.push_str(&format!(
+            "dijkstra: settled {:8.1}/s   pushes {:8.1}/s   pops {:8.1}/s   stale {:4.1}%\n\n",
+            rate("sknn_dijkstra_settled_total"),
+            rate("sknn_dijkstra_pushes_total"),
+            rate("sknn_dijkstra_pops_total"),
+            if pops > 0.0 { stale / pops * 100.0 } else { 0.0 },
         ));
         out.push_str(&format!(
             "{:<10} {:>10} {:>10} {:>10} {:>10}   (µs, lifetime)\n",
