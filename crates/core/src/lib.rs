@@ -33,6 +33,7 @@ pub mod constrained;
 pub mod ea;
 pub mod metrics;
 pub mod mr3;
+pub mod objects;
 pub mod pairs;
 pub mod persist;
 pub mod ranking;
@@ -48,6 +49,7 @@ pub use constrained::{ConstrainedEngine, ObstacleMask};
 pub use ea::EaEngine;
 pub use metrics::{QueryResult, QueryStats};
 pub use mr3::{CutCacheSnapshot, Mr3Engine, RangeResult};
+pub use objects::{ObjOp, ObjectSnapshot, ObjectStore, RecoveryReport, WriteStats};
 pub use pairs::ClosestPair;
 pub use persist::Structures;
 pub use resilience::{Degraded, FaultLog, QueryError};

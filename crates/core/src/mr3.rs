@@ -13,6 +13,7 @@
 
 use crate::config::Mr3Config;
 use crate::metrics::{CpuTimer, Neighbor, QueryResult, QueryStats};
+use crate::objects::{ObjectSnapshot, ObjectStore, WriteStats};
 use crate::ranking::{Candidate, RankScratch, RankingContext};
 use crate::resilience::{FaultLog, QueryError};
 use crate::workload::{Scene, SurfacePoint};
@@ -42,6 +43,10 @@ const TRACE_RING_CAPACITY: usize = 4096;
 pub struct Mr3Engine<'s, 'm> {
     mesh: &'m TerrainMesh,
     scene: &'s Scene<'m>,
+    /// The dynamic object set: durable heap + WAL behind copy-on-write
+    /// snapshots. Queries pin one snapshot for their whole run, so
+    /// concurrent mutations never shift the ground mid-ranking.
+    objects: ObjectStore,
     dmtm: PagedDmtm,
     msdn: PagedMsdn,
     pager: Pager,
@@ -93,9 +98,11 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             PagedMsdn::build(&pager, &structures.msdn)
         };
         let (cut_cache, line_cache) = Self::build_caches(cfg);
+        let objects = ObjectStore::genesis(scene.objects(), cfg.pool_pages, None);
         Self {
             mesh,
             scene,
+            objects,
             dmtm,
             msdn,
             pager,
@@ -230,7 +237,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     /// Emit per-structure I/O attribution and the buffer-pool roll-up for
     /// the query that just ran (pager stats are per-query: they were reset
     /// at query start).
-    fn emit_io(&self, rec: &dyn Recorder, qid: u64, stats: &QueryStats) {
+    fn emit_io(&self, rec: &dyn Recorder, qid: u64, stats: &QueryStats, rtree_accesses: u64) {
         // Dijkstra queue-traffic roll-up: how much priority-queue work the
         // query's bound estimations did, and how much of it was wasted on
         // stale (lazily deleted) entries.
@@ -260,7 +267,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         }
         // The Dxy R-tree is in-memory and counts node accesses itself;
         // report it under the same schema (every access charged physical).
-        let rtree = self.scene.dxy().accesses();
+        let rtree = rtree_accesses;
         if rtree > 0 {
             rec.event(
                 "io",
@@ -336,8 +343,49 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     }
 
     /// The scene this engine answers queries over.
+    ///
+    /// This is the *genesis* object set. Once mutations run, the live set
+    /// is the object store's current snapshot ([`objects`](Self::objects));
+    /// the scene keeps serving the mesh, locator and query generators.
     pub fn scene(&self) -> &'s Scene<'m> {
         self.scene
+    }
+
+    /// The dynamic object store behind the query path.
+    pub fn objects(&self) -> &ObjectStore {
+        &self.objects
+    }
+
+    /// Replace the engine's object store — the recovery path: build the
+    /// engine from the same mesh/scene/config, then install the store
+    /// rebuilt from a [`CrashImage`](sknn_store::CrashImage) (or one
+    /// created with a fault injector). Queries switch to the installed
+    /// store's snapshots immediately.
+    pub fn with_object_store(mut self, store: ObjectStore) -> Self {
+        self.objects = store;
+        self
+    }
+
+    /// Insert an object at a surface point; returns its id. Durable (WAL
+    /// commit fsynced) once this returns.
+    pub fn insert(&self, point: SurfacePoint) -> sknn_store::StoreResult<u32> {
+        self.objects.insert(point)
+    }
+
+    /// Delete an object. `Ok(false)` if the id is not live.
+    pub fn delete(&self, id: u32) -> sknn_store::StoreResult<bool> {
+        self.objects.delete(id)
+    }
+
+    /// Move an object to a new surface position. `Ok(false)` if the id is
+    /// not live.
+    pub fn move_object(&self, id: u32, point: SurfacePoint) -> sknn_store::StoreResult<bool> {
+        self.objects.move_object(id, point)
+    }
+
+    /// Write-path counters (`sknn_wal_*` metric families).
+    pub fn write_stats(&self) -> WriteStats {
+        self.objects.write_stats()
     }
 
     /// Ranking context over this engine's structures (shared by the k-NN,
@@ -455,13 +503,16 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             self.clear_cut_caches();
         }
         self.pager.reset_stats();
-        self.scene.dxy().reset_accesses();
+        // Pin the object snapshot for the whole query: concurrent
+        // mutations publish new snapshots without disturbing this one.
+        let objs: Arc<ObjectSnapshot> = self.objects.snapshot();
+        objs.rtree().reset_accesses();
         let timer = CpuTimer::start();
         let rec = self.recorder();
         let traced = rec.enabled();
         let query_start = Instant::now();
 
-        let k = k.min(self.scene.num_objects());
+        let k = k.min(objs.live());
         let terrain = self.mesh.extent();
         let ctx = self.ctx_at(qid, deadline);
         let mut neighbors = Vec::new();
@@ -469,7 +520,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         if k > 0 {
             // Step 1: 2D k-NN on the projections.
             let step = Instant::now();
-            let seeds = self.scene.dxy().knn(q.pos.xy(), k);
+            let seeds = objs.rtree().knn(q.pos.xy(), k);
             stats.stages.knn2d_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
@@ -487,7 +538,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             let step = Instant::now();
             let mut seed_cands: Vec<Candidate> = seeds
                 .iter()
-                .map(|&(_, _, id)| Candidate::new(&q, id, self.scene.object(id).point, &terrain))
+                .map(|&(_, _, id)| Candidate::new(&q, id, objs.point(id), &terrain))
                 .collect();
             let radius = ctx.estimate_radius(&q, &mut seed_cands, &mut stats);
             stats.stages.radius_us = step.elapsed().as_micros() as u64;
@@ -502,8 +553,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             // Step 3: planar range query with the safe radius.
             let step = Instant::now();
             let in_range: Vec<u32> = if radius.is_finite() {
-                self.scene
-                    .dxy()
+                objs.rtree()
                     .within_distance(q.pos.xy(), radius)
                     .into_iter()
                     .map(|(_, id)| id)
@@ -511,7 +561,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             } else {
                 // Radius estimation failed (degenerate scene); fall back to
                 // ranking everything.
-                (0..self.scene.num_objects() as u32).collect()
+                objs.live_ids()
             };
             stats.stages.range_us = step.elapsed().as_micros() as u64;
             if traced {
@@ -531,9 +581,11 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             let mut cands: Vec<Candidate> = in_range
                 .iter()
                 .map(|&id| {
-                    seed_cands.iter().find(|c| c.id == id).cloned().unwrap_or_else(|| {
-                        Candidate::new(&q, id, self.scene.object(id).point, &terrain)
-                    })
+                    seed_cands
+                        .iter()
+                        .find(|c| c.id == id)
+                        .cloned()
+                        .unwrap_or_else(|| Candidate::new(&q, id, objs.point(id), &terrain))
                 })
                 .collect();
             stats.candidates = cands.len();
@@ -565,12 +617,12 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.wall = query_start.elapsed();
-        stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
+        stats.pages = self.pager.stats().physical_reads + objs.rtree().accesses();
         if let Some(err) = ctx.faults.error() {
             return Err(err);
         }
         let trace = if traced {
-            self.emit_io(rec, qid, &stats);
+            self.emit_io(rec, qid, &stats, objs.rtree().accesses());
             rec.span(
                 "query",
                 qid,
@@ -711,26 +763,25 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             self.clear_cut_caches();
         }
         self.pager.reset_stats();
-        self.scene.dxy().reset_accesses();
+        let objs = self.objects.snapshot();
+        objs.rtree().reset_accesses();
         let timer = CpuTimer::start();
         let rec = self.recorder();
         let query_start = Instant::now();
 
         let terrain = self.mesh.extent();
-        let seeds = self.scene.dxy().within_distance(q.pos.xy(), radius);
+        let seeds = objs.rtree().within_distance(q.pos.xy(), radius);
         stats.candidates = seeds.len();
-        let mut cands: Vec<Candidate> = seeds
-            .iter()
-            .map(|&(_, id)| Candidate::new(&q, id, self.scene.object(id).point, &terrain))
-            .collect();
+        let mut cands: Vec<Candidate> =
+            seeds.iter().map(|&(_, id)| Candidate::new(&q, id, objs.point(id), &terrain)).collect();
         let ctx = self.ctx_for(qid);
         let (inside, undecided) = ctx.resolve_within(&q, &mut cands, radius, &mut stats);
 
         timer.stop_into(&mut stats.cpu);
         stats.wall = query_start.elapsed();
-        stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
+        stats.pages = self.pager.stats().physical_reads + objs.rtree().accesses();
         let trace = if rec.enabled() {
-            self.emit_io(rec, qid, &stats);
+            self.emit_io(rec, qid, &stats, objs.rtree().accesses());
             rec.span(
                 "range_query",
                 qid,

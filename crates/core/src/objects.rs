@@ -1,0 +1,744 @@
+//! Dynamic object store: the write path of the engine.
+//!
+//! The paper evaluates a *static* object set; this module adds the moving
+//! objects its motivating scenarios describe (soldiers, animals) without
+//! giving up the reproducibility of the static design. Objects live in
+//! three places that must agree:
+//!
+//! * a **heap file** of logical operation records — the durable object
+//!   log, paged through the simulated disk ([`sknn_store::HeapFile`]);
+//! * a **redo WAL** ([`sknn_store::Wal`]) making each mutation atomic and
+//!   durable (fsync-on-commit, no-steal page writeback);
+//! * an in-memory **snapshot** — the id → [`SurfacePoint`] table plus the
+//!   `Dxy` R-tree — published copy-on-write so readers never block and
+//!   never observe a half-applied mutation.
+//!
+//! Concurrency model: readers clone an `Arc` to the current
+//! [`ObjectSnapshot`] and use it for the whole query; writers serialise on
+//! a single write half (heap + WAL + transaction counter) and swap in a
+//! new snapshot only after the commit record is fsynced. A failed fsync
+//! aborts: the WAL's pending records are withdrawn and the heap's volatile
+//! pages rolled back byte-for-byte, so the aborted operation leaves no
+//! trace anywhere.
+//!
+//! Recovery ([`ObjectStore::recover`]) rebuilds everything from a
+//! [`CrashImage`] (durable pages + durable WAL prefix): redo committed
+//! page writes after the last checkpoint, reopen the heap, replay the
+//! logical op log, and cross-check the replayed tail against the WAL's
+//! own `Op` records. Committed mutations survive every kill point;
+//! uncommitted ones vanish atomically.
+
+use crate::workload::{SceneObject, SurfacePoint};
+use sknn_geom::{Point3, Rect2};
+use sknn_spatial::RTree;
+use sknn_store::{
+    CrashImage, FaultInjector, HeapFile, PageId, Pager, StoreResult, StructureTag, Wal, WalRecord,
+    WalStats,
+};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// A mutex poisoned by a panicking holder still guards valid data for our
+/// use (all writes go through commit/rollback pairs); recover the guard.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Logical operations
+// ---------------------------------------------------------------------------
+
+/// One logical mutation of the object set. `Genesis` marks the initial
+/// bulk placement: recovery bulk-loads the leading run of genesis records
+/// (bit-identical to [`SceneBuilder`](crate::workload::SceneBuilder)'s
+/// R-tree) and replays everything after it incrementally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjOp {
+    /// Initial placement of object `id` (bulk-loaded on recovery).
+    Genesis {
+        /// Object id (dense, assigned in order).
+        id: u32,
+        /// Placement.
+        point: SurfacePoint,
+    },
+    /// A new object appears.
+    Insert {
+        /// Object id (dense, assigned in order).
+        id: u32,
+        /// Placement.
+        point: SurfacePoint,
+    },
+    /// Object `id` disappears.
+    Delete {
+        /// Object id.
+        id: u32,
+    },
+    /// Object `id` moves to a new surface position.
+    Move {
+        /// Object id.
+        id: u32,
+        /// New placement.
+        point: SurfacePoint,
+    },
+}
+
+/// Bytes of a delete record: kind + id.
+const OP_DELETE_LEN: usize = 1 + 4;
+/// Bytes of an insert/move record: kind + id + tri + (x, y, z).
+const OP_POINT_LEN: usize = 1 + 4 + 4 + 24;
+
+impl ObjOp {
+    /// Encode as a heap/WAL record. The same bytes serve as the heap
+    /// record *and* the WAL `Op` payload — the recovery cross-check
+    /// compares them verbatim.
+    pub fn encode(&self) -> Vec<u8> {
+        let put_point = |out: &mut Vec<u8>, p: &SurfacePoint| {
+            out.extend_from_slice(&p.tri.to_le_bytes());
+            out.extend_from_slice(&p.pos.x.to_le_bytes());
+            out.extend_from_slice(&p.pos.y.to_le_bytes());
+            out.extend_from_slice(&p.pos.z.to_le_bytes());
+        };
+        match self {
+            ObjOp::Genesis { id, point } | ObjOp::Insert { id, point } => {
+                let mut out = Vec::with_capacity(OP_POINT_LEN);
+                out.push(if matches!(self, ObjOp::Genesis { .. }) { 0 } else { 1 });
+                out.extend_from_slice(&id.to_le_bytes());
+                put_point(&mut out, point);
+                out
+            }
+            ObjOp::Delete { id } => {
+                let mut out = Vec::with_capacity(OP_DELETE_LEN);
+                out.push(2);
+                out.extend_from_slice(&id.to_le_bytes());
+                out
+            }
+            ObjOp::Move { id, point } => {
+                let mut out = Vec::with_capacity(OP_POINT_LEN);
+                out.push(3);
+                out.extend_from_slice(&id.to_le_bytes());
+                put_point(&mut out, point);
+                out
+            }
+        }
+    }
+
+    /// Decode a record written by [`encode`](Self::encode).
+    pub fn decode(bytes: &[u8]) -> Option<ObjOp> {
+        let u32_at = |off: usize| -> Option<u32> {
+            bytes.get(off..off + 4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        };
+        let f64_at = |off: usize| -> Option<f64> {
+            bytes.get(off..off + 8).map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let kind = *bytes.first()?;
+        let id = u32_at(1)?;
+        if kind == 2 {
+            return (bytes.len() == OP_DELETE_LEN).then_some(ObjOp::Delete { id });
+        }
+        if bytes.len() != OP_POINT_LEN {
+            return None;
+        }
+        let point = SurfacePoint {
+            tri: u32_at(5)?,
+            pos: Point3::new(f64_at(9)?, f64_at(17)?, f64_at(25)?),
+        };
+        match kind {
+            0 => Some(ObjOp::Genesis { id, point }),
+            1 => Some(ObjOp::Insert { id, point }),
+            3 => Some(ObjOp::Move { id, point }),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// An immutable view of the object set: the id table, the live count, and
+/// the `Dxy` R-tree over planar projections. Queries hold one snapshot
+/// for their whole run; mutations publish a fresh one.
+#[derive(Clone)]
+pub struct ObjectSnapshot {
+    /// `table[id]` is the object's position, `None` once deleted. Ids are
+    /// dense and never reused.
+    table: Vec<Option<SurfacePoint>>,
+    live: usize,
+    rtree: RTree<u32>,
+}
+
+impl ObjectSnapshot {
+    /// Position of a live object. Panics for deleted/unknown ids — the
+    /// query path only sees ids it got from this snapshot's own R-tree.
+    pub fn point(&self, id: u32) -> SurfacePoint {
+        self.table[id as usize].expect("id must be live in this snapshot")
+    }
+
+    /// Position of `id`, or `None` if deleted or never assigned.
+    pub fn get(&self, id: u32) -> Option<SurfacePoint> {
+        self.table.get(id as usize).copied().flatten()
+    }
+
+    /// Number of live objects.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Ids ever assigned (dense upper bound; some may be deleted).
+    pub fn id_bound(&self) -> u32 {
+        self.table.len() as u32
+    }
+
+    /// Ids of all live objects, ascending.
+    pub fn live_ids(&self) -> Vec<u32> {
+        (0..self.table.len() as u32).filter(|&i| self.table[i as usize].is_some()).collect()
+    }
+
+    /// The `Dxy` R-tree over live objects' planar projections.
+    pub fn rtree(&self) -> &RTree<u32> {
+        &self.rtree
+    }
+
+    /// Check the snapshot's invariants: R-tree structure, tree/table
+    /// agreement on membership and position.
+    pub fn validate(&self) -> Result<(), String> {
+        self.rtree.validate()?;
+        if self.rtree.len() != self.live {
+            return Err(format!(
+                "rtree has {} entries, table {} live",
+                self.rtree.len(),
+                self.live
+            ));
+        }
+        let mut seen = vec![false; self.table.len()];
+        for (rect, id) in self.rtree.iter_all() {
+            let p =
+                self.get(id).ok_or_else(|| format!("rtree entry {id} is not live in the table"))?;
+            if rect != Rect2::from_point(p.pos.xy()) {
+                return Err(format!("rtree rect for {id} disagrees with the table position"));
+            }
+            if std::mem::replace(&mut seen[id as usize], true) {
+                return Err(format!("rtree holds {id} twice"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one non-genesis op. Panics on log corruption (replaying a
+    /// committed log can only fail if the durability layer is broken).
+    fn apply(&mut self, op: &ObjOp) {
+        match *op {
+            ObjOp::Genesis { .. } => panic!("genesis records precede the incremental log"),
+            ObjOp::Insert { id, point } => {
+                assert_eq!(id as usize, self.table.len(), "insert ids are dense");
+                self.table.push(Some(point));
+                self.rtree.insert(Rect2::from_point(point.pos.xy()), id);
+                self.live += 1;
+            }
+            ObjOp::Delete { id } => {
+                let old = self.table[id as usize].take().expect("delete of a live object");
+                assert!(
+                    self.rtree.delete(&Rect2::from_point(old.pos.xy()), &id),
+                    "rtree and table disagree on object {id}"
+                );
+                self.live -= 1;
+            }
+            ObjOp::Move { id, point } => {
+                let old = self.table[id as usize].replace(point).expect("move of a live object");
+                assert!(
+                    self.rtree.delete(&Rect2::from_point(old.pos.xy()), &id),
+                    "rtree and table disagree on object {id}"
+                );
+                self.rtree.insert(Rect2::from_point(point.pos.xy()), id);
+            }
+        }
+    }
+
+    fn from_genesis(objects: &[(u32, SurfacePoint)]) -> Self {
+        for (i, &(id, _)) in objects.iter().enumerate() {
+            assert_eq!(id as usize, i, "genesis ids are dense and ordered");
+        }
+        let rtree = RTree::bulk_load(
+            objects.iter().map(|&(id, p)| (Rect2::from_point(p.pos.xy()), id)).collect(),
+        );
+        Self { table: objects.iter().map(|&(_, p)| Some(p)).collect(), live: objects.len(), rtree }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Everything a writer needs, behind one mutex: mutations are serialised,
+/// so the WAL sees ops in a total order and LSN order equals heap order.
+struct WriteHalf {
+    heap: HeapFile,
+    wal: Wal,
+    next_txn: u64,
+}
+
+/// Write-path counters, exported as the `sknn_wal_*` metric families.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteStats {
+    /// WAL counters (appends, fsyncs, failed fsyncs, truncations).
+    pub wal: WalStats,
+    /// Dirty pages written back to the durable image.
+    pub flushed_pages: u64,
+    /// Mutations aborted by a failed commit fsync.
+    pub aborted_ops: u64,
+    /// Times this store was rebuilt from a crash image (0 or 1).
+    pub recoveries: u64,
+    /// WAL records redone/replayed by the last recovery.
+    pub replay_records: u64,
+    /// Live objects in the current snapshot.
+    pub live_objects: usize,
+    /// Pages currently dirty (awaiting writeback).
+    pub dirty_pages: usize,
+}
+
+/// What [`ObjectStore::recover`] did, for assertions and telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Committed WAL records redone after the last checkpoint.
+    pub replay_records: u64,
+    /// Logical ops replayed on top of the genesis bulk load.
+    pub replayed_ops: u64,
+    /// Transactions with a durable commit in the log.
+    pub committed_txns: usize,
+    /// Bytes discarded as a torn/corrupt WAL tail.
+    pub torn_tail_bytes: usize,
+}
+
+/// The durable, concurrently readable object set. See the module docs.
+pub struct ObjectStore {
+    pager: Arc<Pager>,
+    fault: Option<Arc<FaultInjector>>,
+    snap: RwLock<Arc<ObjectSnapshot>>,
+    write: Mutex<WriteHalf>,
+    aborted: AtomicU64,
+    recoveries: u64,
+    replay_records: u64,
+}
+
+impl ObjectStore {
+    /// Create a store from the initial object set ("genesis"): every
+    /// object is written to the heap as a genesis record under one
+    /// committed transaction, a checkpoint is logged, and the page image
+    /// is sealed as the recovery baseline. Genesis is never
+    /// fault-injected — it models the pre-built database the paper
+    /// starts from.
+    pub fn genesis(
+        objects: &[SceneObject],
+        pool_pages: usize,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> Self {
+        let pager = Arc::new(Pager::new(pool_pages));
+        let mut heap = HeapFile::new();
+        let mut wal = Wal::new();
+        {
+            let _scope = pager.tag_scope(StructureTag::Objects);
+            for o in objects {
+                let rec = ObjOp::Genesis { id: o.id, point: o.point }.encode();
+                heap.append_logged(&pager, &mut wal, 1, &rec);
+            }
+        }
+        wal.append(1, &WalRecord::Commit);
+        wal.sync(None).expect("genesis fsync is not fault-injected");
+        wal.append(0, &WalRecord::Checkpoint);
+        wal.sync(None).expect("genesis fsync is not fault-injected");
+        pager.observe_wal_lsn(wal.durable_commit_lsn());
+        pager.seal_base_image();
+        let snap = ObjectSnapshot::from_genesis(
+            &objects.iter().map(|o| (o.id, o.point)).collect::<Vec<_>>(),
+        );
+        Self {
+            pager,
+            fault,
+            snap: RwLock::new(Arc::new(snap)),
+            write: Mutex::new(WriteHalf { heap, wal, next_txn: 2 }),
+            aborted: AtomicU64::new(0),
+            recoveries: 0,
+            replay_records: 0,
+        }
+    }
+
+    /// The current snapshot. Clone-cheap (`Arc`); hold it for the whole
+    /// query so concurrent mutations cannot shift the ground mid-ranking.
+    pub fn snapshot(&self) -> Arc<ObjectSnapshot> {
+        match self.snap.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(p) => Arc::clone(&p.into_inner()),
+        }
+    }
+
+    /// Insert a new object; returns its id. Durable once this returns.
+    pub fn insert(&self, point: SurfacePoint) -> StoreResult<u32> {
+        let mut w = lock_recover(&self.write);
+        let id = self.snapshot().id_bound();
+        self.commit_op(&mut w, ObjOp::Insert { id, point })?;
+        Ok(id)
+    }
+
+    /// Delete an object. `Ok(false)` if the id is not live (no-op, not
+    /// logged).
+    pub fn delete(&self, id: u32) -> StoreResult<bool> {
+        let mut w = lock_recover(&self.write);
+        if self.snapshot().get(id).is_none() {
+            return Ok(false);
+        }
+        self.commit_op(&mut w, ObjOp::Delete { id })?;
+        Ok(true)
+    }
+
+    /// Move an object to a new surface position. `Ok(false)` if the id is
+    /// not live.
+    pub fn move_object(&self, id: u32, point: SurfacePoint) -> StoreResult<bool> {
+        let mut w = lock_recover(&self.write);
+        if self.snapshot().get(id).is_none() {
+            return Ok(false);
+        }
+        self.commit_op(&mut w, ObjOp::Move { id, point })?;
+        Ok(true)
+    }
+
+    /// The commit protocol. Under the write lock: log the op (logical
+    /// record, then the heap's alloc/page-write records), log `Commit`,
+    /// fsync. Success publishes a new snapshot and opportunistically
+    /// writes back eligible dirty pages; failure rolls the heap and WAL
+    /// back to the pre-op mark, leaving no trace.
+    fn commit_op(&self, w: &mut WriteHalf, op: ObjOp) -> StoreResult<()> {
+        let fault = self.fault.as_deref();
+        let txn = w.next_txn;
+        let wal_mark = w.wal.mark();
+        let heap_mark = w.heap.state_mark(&self.pager);
+        let rec = op.encode();
+        w.wal.append(txn, &WalRecord::Op { payload: rec.clone() });
+        {
+            let _scope = self.pager.tag_scope(StructureTag::Objects);
+            w.heap.append_logged(&self.pager, &mut w.wal, txn, &rec);
+        }
+        w.wal.append(txn, &WalRecord::Commit);
+        match w.wal.sync(fault) {
+            Ok(commit_lsn) => {
+                w.next_txn += 1;
+                self.pager.observe_wal_lsn(commit_lsn);
+                let mut next = ObjectSnapshot::clone(&self.snapshot());
+                next.apply(&op);
+                match self.snap.write() {
+                    Ok(mut g) => *g = Arc::new(next),
+                    Err(p) => *p.into_inner() = Arc::new(next),
+                }
+                // Writeback failures are not commit failures: the op is
+                // durable in the WAL, the page just stays dirty for the
+                // next flush or checkpoint.
+                let _ = self.pager.flush_dirty(fault);
+                Ok(())
+            }
+            Err(e) => {
+                w.heap.rollback_to(&self.pager, heap_mark);
+                w.wal.truncate_pending(wal_mark);
+                self.aborted.fetch_add(1, Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Write back every eligible dirty page and log a checkpoint, letting
+    /// recovery skip everything before it. Returns pages flushed. Fails
+    /// (without logging the checkpoint) if any flush fails or a crash
+    /// was requested mid-flush — a checkpoint must never claim more than
+    /// the durable image holds.
+    pub fn checkpoint(&self) -> StoreResult<u64> {
+        let mut w = lock_recover(&self.write);
+        let fault = self.fault.as_deref();
+        let flushed = self.pager.flush_dirty(fault)?;
+        if fault.is_some_and(|f| f.kill_requested()) {
+            return Err(sknn_store::StoreError::WriteFault { page: u64::MAX });
+        }
+        w.wal.append(0, &WalRecord::Checkpoint);
+        w.wal.sync(fault)?;
+        Ok(flushed)
+    }
+
+    /// What a crash preserves: the durable WAL prefix and the durable
+    /// page image. Everything volatile — buffer-pool contents, dirty
+    /// pages, pending WAL bytes, the in-memory snapshot — is gone.
+    pub fn crash_image(&self) -> CrashImage {
+        let w = lock_recover(&self.write);
+        CrashImage { wal: w.wal.durable_bytes().to_vec(), pages: self.pager.durable_image() }
+    }
+
+    /// ARIES-lite redo recovery. Restores the durable pages, redoes
+    /// committed page writes after the last checkpoint (skipping the torn
+    /// tail), reopens the heap, replays the logical op log into a fresh
+    /// snapshot, and cross-checks the replayed tail against the WAL's own
+    /// `Op` records. Panics if the cross-check fails — that is a
+    /// durability bug, not an environmental condition.
+    pub fn recover(
+        image: &CrashImage,
+        pool_pages: usize,
+        fault: Option<Arc<FaultInjector>>,
+    ) -> StoreResult<(Self, RecoveryReport)> {
+        let pager = Arc::new(Pager::new(pool_pages));
+        for p in &image.pages {
+            pager.restore_page(p);
+        }
+        let plan = Wal::redo_plan(&image.wal);
+        let mut heap_pages: Vec<u64> =
+            image.pages.iter().filter(|p| p.tag == StructureTag::Objects).map(|p| p.id).collect();
+        let mut wal_ops: Vec<Vec<u8>> = Vec::new();
+        let mut replay_records = 0u64;
+        for e in &plan.entries[plan.start..] {
+            if !plan.committed.contains(&e.txn) {
+                continue;
+            }
+            match &e.record {
+                WalRecord::Alloc { page, tag } => {
+                    let t = StructureTag::from_idx(*tag);
+                    pager.ensure_allocated(*page, t);
+                    if t == StructureTag::Objects {
+                        heap_pages.push(*page);
+                    }
+                    replay_records += 1;
+                }
+                WalRecord::PageWrite { page, offset, bytes } => {
+                    pager.ensure_allocated(*page, StructureTag::Objects);
+                    pager.write_logged(PageId(*page), *offset as usize, bytes, e.lsn);
+                    replay_records += 1;
+                }
+                WalRecord::Op { payload } => {
+                    wal_ops.push(payload.clone());
+                    replay_records += 1;
+                }
+                WalRecord::Commit | WalRecord::Checkpoint => {}
+            }
+        }
+        let wal = Wal::from_durable(&image.wal);
+        pager.observe_wal_lsn(wal.durable_commit_lsn());
+        // Re-persist what redo rebuilt so the durable image is whole again
+        // (and torn pages are repaired on disk, not just in memory).
+        pager.flush_dirty(None)?;
+
+        heap_pages.sort_unstable();
+        heap_pages.dedup();
+        let heap = HeapFile::reopen(&pager, heap_pages.into_iter().map(PageId).collect())?;
+        let mut raw: Vec<Vec<u8>> = Vec::with_capacity(heap.len());
+        heap.scan(&pager, |_, rec| raw.push(rec.to_vec()))?;
+        assert!(
+            raw.len() >= wal_ops.len() && raw[raw.len() - wal_ops.len()..] == wal_ops[..],
+            "recovery cross-check failed: heap tail and WAL op log disagree"
+        );
+        let ops: Vec<ObjOp> = raw
+            .iter()
+            .map(|r| ObjOp::decode(r).expect("undecodable committed op record"))
+            .collect();
+        let split = ops.iter().take_while(|o| matches!(o, ObjOp::Genesis { .. })).count();
+        let genesis: Vec<(u32, SurfacePoint)> = ops[..split]
+            .iter()
+            .map(|o| match *o {
+                ObjOp::Genesis { id, point } => (id, point),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut snap = ObjectSnapshot::from_genesis(&genesis);
+        for op in &ops[split..] {
+            snap.apply(op);
+        }
+        let next_txn = plan.committed.iter().max().copied().unwrap_or(1) + 1;
+        let report = RecoveryReport {
+            replay_records,
+            replayed_ops: (ops.len() - split) as u64,
+            committed_txns: plan.committed.len(),
+            torn_tail_bytes: image.wal.len() - plan.valid_len,
+        };
+        let store = Self {
+            pager,
+            fault,
+            snap: RwLock::new(Arc::new(snap)),
+            write: Mutex::new(WriteHalf { heap, wal, next_txn }),
+            aborted: AtomicU64::new(0),
+            recoveries: 1,
+            replay_records,
+        };
+        Ok((store, report))
+    }
+
+    /// True once the fault injector has requested a crash (a torn write
+    /// landed or a `kill_at_lsn` target was reached). The workload
+    /// harness polls this and stops issuing operations.
+    pub fn kill_requested(&self) -> bool {
+        self.fault.as_deref().is_some_and(|f| f.kill_requested())
+    }
+
+    /// The store's pager (page accounting for the object structures).
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Write-path counters for the `sknn_wal_*` metric families.
+    pub fn write_stats(&self) -> WriteStats {
+        let w = lock_recover(&self.write);
+        WriteStats {
+            wal: w.wal.stats(),
+            flushed_pages: self.pager.flushed_pages(),
+            aborted_ops: self.aborted.load(Relaxed),
+            recoveries: self.recoveries,
+            replay_records: self.replay_records,
+            live_objects: self.snapshot().live(),
+            dirty_pages: self.pager.dirty_pages().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::SceneBuilder;
+    use sknn_terrain::dem::TerrainConfig;
+
+    fn scene_store(n: usize, seed: u64) -> (Vec<SceneObject>, ObjectStore) {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(seed);
+        let scene = SceneBuilder::new(&mesh).object_count(n).seed(seed).build();
+        let objects = scene.objects().to_vec();
+        let store = ObjectStore::genesis(&objects, 32, None);
+        (objects, store)
+    }
+
+    fn shifted(p: SurfacePoint, dx: f64) -> SurfacePoint {
+        SurfacePoint { tri: p.tri, pos: Point3::new(p.pos.x + dx, p.pos.y, p.pos.z) }
+    }
+
+    #[test]
+    fn op_encoding_roundtrip() {
+        let p = SurfacePoint { tri: 7, pos: Point3::new(1.5, -2.25, 3.125) };
+        for op in [
+            ObjOp::Genesis { id: 0, point: p },
+            ObjOp::Insert { id: 41, point: p },
+            ObjOp::Delete { id: 9 },
+            ObjOp::Move { id: 3, point: p },
+        ] {
+            assert_eq!(ObjOp::decode(&op.encode()), Some(op));
+        }
+        assert_eq!(ObjOp::decode(&[]), None);
+        assert_eq!(ObjOp::decode(&[9, 0, 0, 0, 0]), None);
+        let mut short = ObjOp::Insert { id: 1, point: p }.encode();
+        short.pop();
+        assert_eq!(ObjOp::decode(&short), None);
+    }
+
+    #[test]
+    fn genesis_matches_scene_and_validates() {
+        let (objects, store) = scene_store(25, 3);
+        let snap = store.snapshot();
+        assert_eq!(snap.live(), objects.len());
+        snap.validate().unwrap();
+        for o in &objects {
+            assert_eq!(snap.get(o.id), Some(o.point));
+        }
+    }
+
+    #[test]
+    fn mutations_publish_new_snapshots_and_leave_old_ones_alone() {
+        let (objects, store) = scene_store(10, 5);
+        let before = store.snapshot();
+        let id = store.insert(shifted(objects[0].point, 0.5)).unwrap();
+        assert_eq!(id, 10);
+        assert!(store.delete(3).unwrap());
+        assert!(!store.delete(3).unwrap(), "double delete is a no-op");
+        assert!(store.move_object(4, shifted(objects[4].point, 0.25)).unwrap());
+        assert!(!store.move_object(3, objects[3].point).unwrap(), "moving a deleted id fails");
+        // The pre-mutation snapshot is untouched.
+        assert_eq!(before.live(), 10);
+        assert_eq!(before.get(3), Some(objects[3].point));
+        let after = store.snapshot();
+        assert_eq!(after.live(), 10); // +1 insert, -1 delete
+        assert_eq!(after.get(3), None);
+        assert_eq!(after.get(4).unwrap().pos.x, objects[4].point.pos.x + 0.25);
+        after.validate().unwrap();
+    }
+
+    #[test]
+    fn clean_crash_recovery_is_bit_identical() {
+        let (objects, store) = scene_store(20, 7);
+        let ins = store.insert(shifted(objects[1].point, 0.75)).unwrap();
+        store.delete(5).unwrap();
+        store.move_object(2, shifted(objects[2].point, -0.5)).unwrap();
+        store.checkpoint().unwrap();
+        store.insert(shifted(objects[6].point, 1.25)).unwrap();
+        store.delete(ins).unwrap();
+
+        let image = store.crash_image();
+        let (rec, report) = ObjectStore::recover(&image, 32, None).unwrap();
+        assert!(report.replayed_ops >= 2, "post-checkpoint ops replayed");
+        assert_eq!(report.torn_tail_bytes, 0);
+        let a = store.snapshot();
+        let b = rec.snapshot();
+        b.validate().unwrap();
+        assert_eq!(a.live(), b.live());
+        assert_eq!(a.id_bound(), b.id_bound());
+        for id in 0..a.id_bound() {
+            assert_eq!(a.get(id), b.get(id), "object {id}");
+        }
+        // The planar index answers identically (structure and all).
+        let q = objects[0].point.pos.xy();
+        let ka: Vec<_> = a.rtree().knn(q, 8).iter().map(|&(d, _, id)| (d, id)).collect();
+        let kb: Vec<_> = b.rtree().knn(q, 8).iter().map(|&(d, _, id)| (d, id)).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_invisible_after_crash() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(11);
+        let scene = SceneBuilder::new(&mesh).object_count(12).seed(11).build();
+        // Every post-commit writeback fails, so the heap page with the
+        // insert never reaches the durable image — which lets us model a
+        // crash *during* the commit fsync by tearing the WAL tail.
+        let fault = Arc::new((1..100).fold(FaultInjector::script(), |f, n| {
+            f.fail_nth_write(n, sknn_store::FaultKind::WriteFault)
+        }));
+        let store = ObjectStore::genesis(scene.objects(), 32, Some(fault));
+        store.insert(shifted(scene.objects()[0].point, 0.5)).unwrap();
+        let mut image = store.crash_image();
+        // Tear the tail mid-commit-frame: keep the op and page-write
+        // records plus 3 bytes of the commit record.
+        let (entries, _) = Wal::scan(&image.wal);
+        let last = entries.last().unwrap();
+        assert!(matches!(last.record, WalRecord::Commit));
+        let before_commit = entries[entries.len() - 2].end;
+        image.wal.truncate(before_commit + 3);
+        let (rec, report) = ObjectStore::recover(&image, 32, None).unwrap();
+        assert_eq!(report.torn_tail_bytes, 3);
+        // The torn-off commit means the insert never happened.
+        let snap = rec.snapshot();
+        snap.validate().unwrap();
+        assert_eq!(snap.live(), 12);
+        assert_eq!(snap.get(12), None);
+        assert_eq!(snap.id_bound(), 12);
+    }
+
+    #[test]
+    fn failed_fsync_aborts_without_a_trace() {
+        let mesh = TerrainConfig::bh().with_grid(17).build_mesh(13);
+        let scene = SceneBuilder::new(&mesh).object_count(8).seed(13).build();
+        let fault = Arc::new(FaultInjector::script().fail_nth_fsync(1));
+        let store = ObjectStore::genesis(scene.objects(), 32, Some(fault));
+        let before = store.snapshot();
+        let err = store.insert(scene.objects()[0].point).unwrap_err();
+        assert!(matches!(err, sknn_store::StoreError::FsyncFailed { .. }));
+        // Nothing moved: snapshot, WAL, heap, dirty set all unchanged.
+        let after = store.snapshot();
+        assert_eq!(after.live(), before.live());
+        let stats = store.write_stats();
+        assert_eq!(stats.aborted_ops, 1);
+        assert!(stats.wal.truncated > 0);
+        // The next (un-faulted) insert succeeds and recovery agrees.
+        let id = store.insert(scene.objects()[1].point).unwrap();
+        assert_eq!(id, 8);
+        let (rec, _) = ObjectStore::recover(&store.crash_image(), 32, None).unwrap();
+        assert_eq!(rec.snapshot().live(), 9);
+        rec.snapshot().validate().unwrap();
+    }
+}

@@ -299,6 +299,56 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
             "Lifetime hits / (hits + misses) of the cut cache",
             move || cut().hit_rate(),
         );
+        // Write path: WAL, writeback and recovery counters.
+        let wal = move || engine.write_stats();
+        registry.counter_fn(
+            "sknn_wal_appends_total",
+            "WAL records appended (pending or durable)",
+            move || wal().wal.appends,
+        );
+        registry.counter_fn(
+            "sknn_wal_fsyncs_total",
+            "Successful WAL fsyncs (one per committed mutation)",
+            move || wal().wal.fsyncs,
+        );
+        registry.counter_fn(
+            "sknn_wal_failed_fsyncs_total",
+            "WAL fsyncs failed by the fault injector (aborted commits)",
+            move || wal().wal.failed_fsyncs,
+        );
+        registry.counter_fn(
+            "sknn_wal_truncated_records_total",
+            "Pending WAL records withdrawn by aborted mutations",
+            move || wal().wal.truncated,
+        );
+        registry.counter_fn(
+            "sknn_wal_flushed_pages_total",
+            "Dirty pages written back to the durable image",
+            move || wal().flushed_pages,
+        );
+        registry.counter_fn(
+            "sknn_wal_aborted_ops_total",
+            "Mutations aborted by a failed commit fsync",
+            move || wal().aborted_ops,
+        );
+        registry.counter_fn(
+            "sknn_wal_recoveries_total",
+            "Times the object store was rebuilt from a crash image",
+            move || wal().recoveries,
+        );
+        registry.counter_fn(
+            "sknn_wal_replay_records_total",
+            "Committed WAL records redone by the last recovery",
+            move || wal().replay_records,
+        );
+        registry.gauge_fn(
+            "sknn_wal_dirty_pages",
+            "Pages currently dirty (awaiting writeback)",
+            move || wal().dirty_pages as f64,
+        );
+        registry.gauge_fn("sknn_objects_live", "Live objects in the current snapshot", move || {
+            wal().live_objects as f64
+        });
         registry
     }
 

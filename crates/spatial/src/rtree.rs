@@ -52,6 +52,10 @@ pub struct RTree<T> {
     root: usize,
     len: usize,
     height: usize,
+    /// Node slots vacated by deletes, reused by the next split — without
+    /// this, a clone-per-mutation snapshot regime would grow the node
+    /// arena (and every snapshot clone) unboundedly under churn.
+    free: Vec<usize>,
     accesses: AtomicU64,
 }
 
@@ -62,6 +66,7 @@ impl<T: Clone> Clone for RTree<T> {
             root: self.root,
             len: self.len,
             height: self.height,
+            free: self.free.clone(),
             accesses: AtomicU64::new(self.accesses.load(AtomicOrdering::Relaxed)),
         }
     }
@@ -81,6 +86,7 @@ impl<T: Clone> RTree<T> {
             root: 0,
             len: 0,
             height: 1,
+            free: Vec::new(),
             accesses: AtomicU64::new(0),
         }
     }
@@ -134,7 +140,7 @@ impl<T: Clone> RTree<T> {
             height += 1;
         }
         let root = level[0].1;
-        Self { nodes, root, len, height, accesses: AtomicU64::new(0) }
+        Self { nodes, root, len, height, free: Vec::new(), accesses: AtomicU64::new(0) }
     }
 
     /// Number of contained items.
@@ -170,15 +176,36 @@ impl<T: Clone> RTree<T> {
 
     /// Insert one item (Guttman: least-enlargement descent, quadratic split).
     pub fn insert(&mut self, rect: Rect2, item: T) {
+        self.insert_no_count(rect, item);
+        self.len += 1;
+    }
+
+    /// Insert without advancing `len` — used by [`insert`](Self::insert)
+    /// and by delete's reinsertion of condensed orphans (already counted).
+    fn insert_no_count(&mut self, rect: Rect2, item: T) {
         let split = self.insert_at(self.root, rect, item);
         if let Some((left_mbr, right_mbr, right_id)) = split {
             // Grow the tree: new root over old root and the split sibling.
             let old_root = self.root;
-            self.nodes.push(Node::inner(vec![(left_mbr, old_root), (right_mbr, right_id)]));
-            self.root = self.nodes.len() - 1;
+            let new_root =
+                self.alloc_node(Node::inner(vec![(left_mbr, old_root), (right_mbr, right_id)]));
+            self.root = new_root;
             self.height += 1;
         }
-        self.len += 1;
+    }
+
+    /// Place a node in a free slot if one exists, else grow the arena.
+    fn alloc_node(&mut self, node: Node<T>) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = node;
+                slot
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
     }
 
     /// Recursive insert; returns Some((this_mbr, sibling_mbr, sibling_id))
@@ -243,8 +270,8 @@ impl<T: Clone> RTree<T> {
         let a_mbr = mbr_of(&a, |e| e.0);
         let b_mbr = mbr_of(&b, |e| e.0);
         self.nodes[node] = Node::leaf(a);
-        self.nodes.push(Node::leaf(b));
-        (a_mbr, b_mbr, self.nodes.len() - 1)
+        let sibling = self.alloc_node(Node::leaf(b));
+        (a_mbr, b_mbr, sibling)
     }
 
     fn split_inner(&mut self, node: usize) -> (Rect2, Rect2, usize) {
@@ -259,8 +286,231 @@ impl<T: Clone> RTree<T> {
         let a_mbr = mbr_of(&a, |e| e.0);
         let b_mbr = mbr_of(&b, |e| e.0);
         self.nodes[node] = Node::inner(a);
-        self.nodes.push(Node::inner(b));
-        (a_mbr, b_mbr, self.nodes.len() - 1)
+        let sibling = self.alloc_node(Node::inner(b));
+        (a_mbr, b_mbr, sibling)
+    }
+
+    // ----- deletion -------------------------------------------------------
+
+    /// Delete the entry with exactly this rectangle and payload (Guttman
+    /// delete with condensation). Returns whether an entry was removed.
+    ///
+    /// Underfull non-root nodes along the deletion path are dissolved:
+    /// their surviving entries are collected and reinserted, their slots
+    /// pushed onto the free list for the next split to reuse. The root
+    /// shrinks while it has a single child, so repeated deletes walk the
+    /// tree back down exactly as inserts grew it.
+    pub fn delete(&mut self, rect: &Rect2, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let mut path = Vec::with_capacity(self.height);
+        if !self.find_leaf(self.root, rect, item, &mut path) {
+            return false;
+        }
+        let leaf = *path.last().unwrap();
+        if let Node::Leaf { rects, items } = &mut self.nodes[leaf] {
+            let i = rects
+                .iter()
+                .zip(items.iter())
+                .position(|(r, it)| r == rect && it == item)
+                .expect("find_leaf certified the entry");
+            rects.remove(i);
+            items.remove(i);
+        }
+        self.len -= 1;
+
+        // Condense bottom-up: dissolve underfull non-root nodes, refresh
+        // the MBRs of survivors. Parents are visited after their child, so
+        // each check sees the removals below it.
+        let mut orphans: Vec<(Rect2, T)> = Vec::new();
+        for depth in (1..path.len()).rev() {
+            let node = path[depth];
+            let parent = path[depth - 1];
+            if self.entry_count(node) < MIN_FANOUT {
+                if let Node::Inner { rects, children } = &mut self.nodes[parent] {
+                    let ci = children.iter().position(|&c| c == node).expect("path parent");
+                    rects.remove(ci);
+                    children.remove(ci);
+                }
+                self.drain_subtree(node, &mut orphans);
+            } else {
+                let mbr = self.node_mbr(node);
+                if let Node::Inner { rects, children } = &mut self.nodes[parent] {
+                    let ci = children.iter().position(|&c| c == node).expect("path parent");
+                    rects[ci] = mbr;
+                }
+            }
+        }
+
+        // Shrink the root while it has one child; an emptied inner root
+        // (every child dissolved) collapses back to an empty leaf.
+        loop {
+            match &self.nodes[self.root] {
+                Node::Inner { children, .. } if children.len() == 1 => {
+                    let child = children[0];
+                    let old = self.root;
+                    self.nodes[old] = Node::Leaf { rects: Vec::new(), items: Vec::new() };
+                    self.free.push(old);
+                    self.root = child;
+                    self.height -= 1;
+                }
+                Node::Inner { children, .. } if children.is_empty() => {
+                    self.nodes[self.root] = Node::Leaf { rects: Vec::new(), items: Vec::new() };
+                    self.height = 1;
+                    break;
+                }
+                _ => break,
+            }
+        }
+
+        // Reinsert the condensed orphans (already counted in `len`).
+        for (r, it) in orphans {
+            self.insert_no_count(r, it);
+        }
+        true
+    }
+
+    /// DFS for the leaf holding the exact `(rect, item)` entry; fills
+    /// `path` with the node chain root → leaf when found.
+    fn find_leaf(&self, node: usize, rect: &Rect2, item: &T, path: &mut Vec<usize>) -> bool
+    where
+        T: PartialEq,
+    {
+        path.push(node);
+        match &self.nodes[node] {
+            Node::Leaf { rects, items } => {
+                if rects.iter().zip(items.iter()).any(|(r, it)| r == rect && it == item) {
+                    return true;
+                }
+            }
+            Node::Inner { rects, children } => {
+                for (r, &c) in rects.iter().zip(children.iter()) {
+                    if r.contains_rect(rect) && self.find_leaf(c, rect, item, path) {
+                        return true;
+                    }
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+
+    fn entry_count(&self, node: usize) -> usize {
+        match &self.nodes[node] {
+            Node::Leaf { rects, .. } | Node::Inner { rects, .. } => rects.len(),
+        }
+    }
+
+    fn node_mbr(&self, node: usize) -> Rect2 {
+        match &self.nodes[node] {
+            Node::Leaf { rects, .. } | Node::Inner { rects, .. } => {
+                rects.iter().fold(Rect2::EMPTY, |m, r| m.union(r))
+            }
+        }
+    }
+
+    /// Move every leaf entry of `node`'s subtree into `out` and free all
+    /// its node slots.
+    fn drain_subtree(&mut self, node: usize, out: &mut Vec<(Rect2, T)>) {
+        let taken = std::mem::replace(
+            &mut self.nodes[node],
+            Node::Leaf { rects: Vec::new(), items: Vec::new() },
+        );
+        match taken {
+            Node::Leaf { rects, items } => out.extend(rects.into_iter().zip(items)),
+            Node::Inner { children, .. } => {
+                for c in children {
+                    self.drain_subtree(c, out);
+                }
+            }
+        }
+        self.free.push(node);
+    }
+
+    // ----- invariants -----------------------------------------------------
+
+    /// Check every structural invariant the dynamic test suite pins:
+    /// uniform leaf depth, SoA array parallelism, fanout bounds, each
+    /// inner entry's rectangle *exactly* equal to its child subtree's MBR
+    /// (exact because MBRs are min/max folds of the same inputs — no
+    /// rounding slack needed), and `len` equal to the leaf-entry total.
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut total = 0usize;
+        self.validate_rec(self.root, 1, true, &mut total)?;
+        if total != self.len {
+            return Err(format!("len {} but leaves hold {total} entries", self.len));
+        }
+        Ok(())
+    }
+
+    fn validate_rec(
+        &self,
+        node: usize,
+        depth: usize,
+        is_root: bool,
+        total: &mut usize,
+    ) -> Result<Rect2, String> {
+        match &self.nodes[node] {
+            Node::Leaf { rects, items } => {
+                if rects.len() != items.len() {
+                    return Err(format!(
+                        "leaf {node}: SoA arrays diverge ({} rects, {} items)",
+                        rects.len(),
+                        items.len()
+                    ));
+                }
+                if depth != self.height {
+                    return Err(format!("leaf {node} at depth {depth}, height is {}", self.height));
+                }
+                if rects.len() > MAX_FANOUT {
+                    return Err(format!("leaf {node} overfull: {}", rects.len()));
+                }
+                if !is_root && rects.is_empty() {
+                    return Err(format!("non-root leaf {node} is empty"));
+                }
+                *total += rects.len();
+                Ok(rects.iter().fold(Rect2::EMPTY, |m, r| m.union(r)))
+            }
+            Node::Inner { rects, children } => {
+                if rects.len() != children.len() {
+                    return Err(format!(
+                        "inner {node}: SoA arrays diverge ({} rects, {} children)",
+                        rects.len(),
+                        children.len()
+                    ));
+                }
+                if rects.len() > MAX_FANOUT {
+                    return Err(format!("inner {node} overfull: {}", rects.len()));
+                }
+                let floor = if is_root { 2 } else { 1 };
+                if rects.len() < floor {
+                    return Err(format!("inner {node} underfull: {} < {floor}", rects.len()));
+                }
+                let mut mbr = Rect2::EMPTY;
+                for (r, &c) in rects.iter().zip(children.iter()) {
+                    let child_mbr = self.validate_rec(c, depth + 1, false, total)?;
+                    if *r != child_mbr {
+                        return Err(format!(
+                            "inner {node}: entry rect {r:?} is not child {c}'s MBR {child_mbr:?}"
+                        ));
+                    }
+                    mbr = mbr.union(r);
+                }
+                Ok(mbr)
+            }
+        }
+    }
+
+    /// Node slots currently on the free list (tests pin arena reuse).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total node slots in the arena, free or live.
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
     }
 
     // ----- queries --------------------------------------------------------
@@ -606,6 +856,110 @@ mod tests {
         assert!(t.accesses() > a);
         t.reset_accesses();
         assert_eq!(t.accesses(), 0);
+    }
+
+    #[test]
+    fn delete_roundtrip_down_to_empty() {
+        let mut t = RTree::new();
+        let items = grid_points(12); // 144 entries, several levels
+        for &(r, v) in &items {
+            t.insert(r, v);
+        }
+        t.validate().expect("valid after inserts");
+        // Delete in an order unrelated to insertion order.
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.reverse();
+        order.rotate_left(37);
+        for (step, &i) in order.iter().enumerate() {
+            let (r, v) = items[i];
+            assert!(t.delete(&r, &v), "entry {v} should be present");
+            assert!(!t.delete(&r, &v), "double delete must fail");
+            if let Err(e) = t.validate() {
+                panic!("invariants broken after delete #{step}: {e}");
+            }
+            assert_eq!(t.len(), items.len() - step - 1);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert!(t.knn(Point2::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn delete_missing_entry_is_a_clean_no_op() {
+        let mut t = RTree::bulk_load(grid_points(8));
+        let before = t.len();
+        assert!(!t.delete(&pt(99.0, 99.0), &12345));
+        // Same rect as an existing entry, different payload.
+        assert!(!t.delete(&pt(1.0, 1.0), &usize::MAX));
+        assert_eq!(t.len(), before);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn queries_stay_correct_under_mixed_churn() {
+        let mut t = RTree::new();
+        let mut live: Vec<(Rect2, usize)> = Vec::new();
+        // Deterministic mixed workload: 3 inserts, 1 delete, repeat.
+        for (next, round) in (0..400).enumerate() {
+            let x = (round * 7 % 83) as f64;
+            let y = (round * 13 % 97) as f64;
+            let e = (pt(x, y + 0.25 * (next % 4) as f64), next);
+            t.insert(e.0, e.1);
+            live.push(e);
+            if round % 4 == 3 {
+                let victim = live.remove((round * 31) % live.len());
+                assert!(t.delete(&victim.0, &victim.1));
+            }
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), live.len());
+        // knn against a scan of the live set.
+        let q = Point2::new(41.5, 33.3);
+        let got = t.knn(q, 12);
+        let mut want: Vec<f64> = live.iter().map(|(r, _)| r.min_dist_point(q)).collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, (d, _, _)) in got.iter().enumerate() {
+            assert!((d - want[i]).abs() < 1e-12, "k={i}: {d} vs {}", want[i]);
+        }
+    }
+
+    #[test]
+    fn free_list_bounds_arena_growth_under_churn() {
+        let mut t = RTree::new();
+        for (r, v) in grid_points(10) {
+            t.insert(r, v);
+        }
+        let arena_high = t.arena_size();
+        // Sustained delete/insert churn at constant population must not
+        // grow the arena without bound: freed slots are recycled.
+        let items = grid_points(10);
+        for round in 0..20 {
+            for (r, v) in &items {
+                assert!(t.delete(r, v), "round {round}");
+            }
+            for &(r, v) in &items {
+                t.insert(r, v);
+            }
+            t.validate().unwrap();
+        }
+        assert!(
+            t.arena_size() <= arena_high * 2,
+            "arena grew {} → {} despite the free list",
+            arena_high,
+            t.arena_size()
+        );
+    }
+
+    #[test]
+    fn validate_catches_a_stale_parent_mbr() {
+        let mut t = RTree::bulk_load(grid_points(12));
+        t.validate().unwrap();
+        // Corrupt one inner entry's rectangle.
+        let root = t.root;
+        if let Node::Inner { rects, .. } = &mut t.nodes[root] {
+            rects[0] = rects[0].union(&pt(1e6, 1e6));
+        }
+        assert!(t.validate().is_err(), "inflated parent MBR must be flagged");
     }
 
     #[test]

@@ -41,15 +41,30 @@ pub enum StoreError {
         /// Page whose read failed.
         page: u64,
     },
+    /// A durable page write (dirty-page flush) failed: nothing reached the
+    /// disk and the page stays dirty.
+    WriteFault {
+        /// Page whose flush failed.
+        page: u64,
+    },
+    /// A WAL fsync failed: no pending log byte became durable, so the
+    /// committing operation must abort and withdraw its records.
+    FsyncFailed {
+        /// LSN of the commit record whose fsync failed.
+        lsn: u64,
+    },
 }
 
 impl StoreError {
-    /// Page the failure is attributed to.
+    /// Page the failure is attributed to. [`StoreError::FsyncFailed`] is
+    /// not page-scoped and reports `u64::MAX`.
     pub fn page(&self) -> u64 {
         match *self {
             StoreError::Checksum { page, .. }
             | StoreError::TransientRead { page, .. }
-            | StoreError::PermanentRead { page } => page,
+            | StoreError::PermanentRead { page }
+            | StoreError::WriteFault { page } => page,
+            StoreError::FsyncFailed { .. } => u64::MAX,
         }
     }
 
@@ -72,6 +87,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::PermanentRead { page } => {
                 write!(f, "permanent read failure on page {page}")
+            }
+            StoreError::WriteFault { page } => {
+                write!(f, "durable write of page {page} failed; page stays dirty")
+            }
+            StoreError::FsyncFailed { lsn } => {
+                write!(f, "WAL fsync for commit lsn {lsn} failed; operation aborted")
             }
         }
     }

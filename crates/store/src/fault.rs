@@ -1,29 +1,33 @@
-//! Deterministic fault injection for the physical read path.
+//! Deterministic fault injection for the physical read *and* write paths.
 //!
 //! A [`FaultInjector`] is installed on a [`Pager`](crate::Pager) and
-//! consulted once per physical read *attempt* (initial read or retry).
-//! Every decision is a pure function of the injector's seed, the page id,
-//! and the page's cumulative attempt number — never of wall-clock time or
-//! thread scheduling — so a failing run is reproducible from its
-//! `seed:rate:kind` profile alone, at any thread count.
+//! consulted once per physical read *attempt* (initial read or retry),
+//! once per durable page write (a dirty-page flush), and once per WAL
+//! fsync. Every decision is a pure function of the injector's seed, the
+//! page id, and the operation's cumulative attempt number — never of
+//! wall-clock time or thread scheduling — so a failing run is reproducible
+//! from its `seed:rate:kind` profile alone, at any thread count.
 //!
 //! Two ways to drive it:
 //!
 //! * **Profiles** ([`FaultProfile`], parsed from `seed:rate:kind`): every
-//!   read attempt faults with probability `rate`, decided by a seeded
-//!   hash. Rate-driven *transient* and *bit-flip* faults are guaranteed to
+//!   attempt faults with probability `rate`, decided by a seeded hash.
+//!   Rate-driven *transient* and *bit-flip* read faults are guaranteed to
 //!   clear by a page's next attempt-multiple-of-three, so any read
 //!   sequence succeeds within three attempts — a fault that never clears
-//!   is not transient. Use `permanent` to model faults that stick.
+//!   is not transient. Use `permanent` to model faults that stick. Write
+//!   kinds (`write`, `fsync`, `torn`) fire on the write side only.
 //! * **Scripts** ([`FaultInjector::script`] plus `fail_nth_read` /
-//!   `fail_page` rules): exact schedules for deterministic tests —
-//!   *these* can exhaust the retry budget.
+//!   `fail_page` / `fail_nth_write` / `fail_nth_fsync` / `kill_at_lsn`
+//!   rules): exact schedules for deterministic tests — *these* can exhaust
+//!   the retry budget or schedule a crash at an exact WAL position.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-/// What an injected fault does to the read attempt it fires on.
+/// What an injected fault does to the attempt it fires on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// The read fails but a retry may succeed (dropped request, timeout).
@@ -39,6 +43,18 @@ pub enum FaultKind {
     /// The reading thread panics mid-read — exercises the single-flight
     /// lease's panic guard. Only sensible from test scripts.
     Panic,
+    /// A durable page write fails cleanly: nothing reaches the disk, the
+    /// page stays dirty, and the flush surfaces a typed error.
+    WriteFault,
+    /// A WAL fsync fails: no pending log byte becomes durable and the
+    /// committing operation must abort (the commit record is withdrawn).
+    FsyncFault,
+    /// A durable page write tears mid-page: a prefix of the page reaches
+    /// the disk, the rest keeps its pre-write content, and the stored
+    /// checksum no longer matches — the torn state only ever becomes
+    /// visible through a crash, so deciding this kind also raises the
+    /// injector's kill flag (see [`FaultInjector::kill_requested`]).
+    TornWrite,
 }
 
 impl FaultKind {
@@ -50,6 +66,9 @@ impl FaultKind {
             FaultKind::BitFlip => "bitflip",
             FaultKind::Latency => "latency",
             FaultKind::Panic => "panic",
+            FaultKind::WriteFault => "write",
+            FaultKind::FsyncFault => "fsync",
+            FaultKind::TornWrite => "torn",
         }
     }
 
@@ -61,10 +80,20 @@ impl FaultKind {
             "bitflip" => Ok(FaultKind::BitFlip),
             "latency" => Ok(FaultKind::Latency),
             "panic" => Ok(FaultKind::Panic),
+            "write" => Ok(FaultKind::WriteFault),
+            "fsync" => Ok(FaultKind::FsyncFault),
+            "torn" => Ok(FaultKind::TornWrite),
             other => Err(format!(
-                "unknown fault kind {other:?} (expected transient|permanent|bitflip|latency|panic)"
+                "unknown fault kind {other:?} (expected \
+                 transient|permanent|bitflip|latency|panic|write|fsync|torn)"
             )),
         }
+    }
+
+    /// Whether this kind fires on the write side (durable page writes and
+    /// WAL fsyncs) rather than the read side.
+    pub fn is_write_side(self) -> bool {
+        matches!(self, FaultKind::WriteFault | FaultKind::FsyncFault | FaultKind::TornWrite)
     }
 }
 
@@ -140,6 +169,14 @@ enum FaultRule {
     /// Fire on reads of one page: the next `remaining` attempts
     /// (`None` = every attempt, forever).
     Page { page: u64, kind: FaultKind, remaining: Option<u32> },
+    /// Fire on the `n`-th durable page write (dirty-page flush), globally
+    /// (1-based).
+    NthWrite { n: u64, kind: FaultKind },
+    /// Fire on the `n`-th WAL fsync, globally (1-based).
+    NthFsync { n: u64 },
+    /// Raise the kill flag once a WAL record with `lsn` or beyond becomes
+    /// durable — the crash harness's "stop here" marker.
+    KillAtLsn { lsn: u64 },
 }
 
 /// SplitMix64: the attempt-decision hash. Full-period, well mixed, and
@@ -165,6 +202,13 @@ pub struct FaultInjector {
     attempts: Mutex<HashMap<u64, u64>>,
     /// Global attempt counter driving `NthRead` rules.
     reads: Mutex<u64>,
+    /// Global durable-write counter driving `NthWrite` rules.
+    writes: Mutex<u64>,
+    /// Global fsync counter driving `NthFsync` rules.
+    fsyncs: Mutex<u64>,
+    /// Set by `KillAtLsn` rules and `TornWrite` decisions: the harness
+    /// should simulate a crash at its next poll point.
+    kill: AtomicBool,
 }
 
 impl FaultInjector {
@@ -184,6 +228,9 @@ impl FaultInjector {
             rules: Mutex::new(Vec::new()),
             attempts: Mutex::new(HashMap::new()),
             reads: Mutex::new(0),
+            writes: Mutex::new(0),
+            fsyncs: Mutex::new(0),
+            kill: AtomicBool::new(false),
         }
     }
 
@@ -207,6 +254,28 @@ impl FaultInjector {
             kind,
             remaining: times,
         });
+        self
+    }
+
+    /// Add a rule: fault the `n`-th durable page write (1-based, counted
+    /// globally). `kind` must be a write-side kind.
+    pub fn fail_nth_write(self, n: u64, kind: FaultKind) -> Self {
+        assert!(kind.is_write_side(), "fail_nth_write needs a write-side kind, got {kind:?}");
+        self.rules.lock().unwrap_or_else(|e| e.into_inner()).push(FaultRule::NthWrite { n, kind });
+        self
+    }
+
+    /// Add a rule: fail the `n`-th WAL fsync (1-based, counted globally).
+    pub fn fail_nth_fsync(self, n: u64) -> Self {
+        self.rules.lock().unwrap_or_else(|e| e.into_inner()).push(FaultRule::NthFsync { n });
+        self
+    }
+
+    /// Add a rule: raise the kill flag once a WAL record at `lsn` or
+    /// beyond becomes durable (the recovery harness polls
+    /// [`kill_requested`](Self::kill_requested) and simulates a crash).
+    pub fn kill_at_lsn(self, lsn: u64) -> Self {
+        self.rules.lock().unwrap_or_else(|e| e.into_inner()).push(FaultRule::KillAtLsn { lsn });
         self
     }
 
@@ -235,25 +304,32 @@ impl FaultInjector {
             *a += 1;
             *a
         };
-        // Scripted rules fire first and are exact.
+        // Scripted rules fire first and are exact. Write-side kinds never
+        // fire on the read path.
         {
             let mut rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
             for rule in rules.iter_mut() {
                 match rule {
-                    FaultRule::NthRead { n, kind } if *n == read_no => return Some(*kind),
-                    FaultRule::Page { page: p, kind, remaining } if *p == page => match remaining {
-                        None => return Some(*kind),
-                        Some(0) => {}
-                        Some(r) => {
-                            *r -= 1;
-                            return Some(*kind);
+                    FaultRule::NthRead { n, kind } if *n == read_no && !kind.is_write_side() => {
+                        return Some(*kind);
+                    }
+                    FaultRule::Page { page: p, kind, remaining }
+                        if *p == page && !kind.is_write_side() =>
+                    {
+                        match remaining {
+                            None => return Some(*kind),
+                            Some(0) => {}
+                            Some(r) => {
+                                *r -= 1;
+                                return Some(*kind);
+                            }
                         }
-                    },
+                    }
                     _ => {}
                 }
             }
         }
-        if self.rate <= 0.0 {
+        if self.rate <= 0.0 || self.kind.is_write_side() {
             return None;
         }
         // Rate-driven transient faults always clear on a page's
@@ -274,6 +350,109 @@ impl FaultInjector {
     /// Deterministically pick the byte a `BitFlip` fault corrupts.
     pub fn flip_offset(&self, page: u64, modulus: usize) -> usize {
         (splitmix64(self.seed ^ page.wrapping_mul(0xD134_2543_DE82_EF95)) % modulus as u64) as usize
+    }
+
+    /// Decide the fate of one durable page write (a dirty-page flush) of
+    /// `page`. Advances the global write counter; `None` means the write
+    /// lands intact. A `TornWrite` decision also raises the kill flag: a
+    /// torn page is only ever observable through a crash.
+    pub fn decide_write(&self, page: u64) -> Option<FaultKind> {
+        let write_no = {
+            let mut writes = self.writes.lock().unwrap_or_else(|e| e.into_inner());
+            *writes += 1;
+            *writes
+        };
+        let mut decision = None;
+        {
+            let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+            for rule in rules.iter() {
+                if let FaultRule::NthWrite { n, kind } = rule {
+                    if *n == write_no {
+                        decision = Some(*kind);
+                        break;
+                    }
+                }
+            }
+        }
+        if decision.is_none()
+            && self.rate > 0.0
+            && matches!(self.kind, FaultKind::WriteFault | FaultKind::TornWrite)
+        {
+            let h = splitmix64(
+                self.seed
+                    ^ splitmix64(page.wrapping_mul(0xA24B_AED4_963E_E407) ^ write_no ^ 0x77C6_1B1F),
+            );
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.rate {
+                decision = Some(self.kind);
+            }
+        }
+        if decision == Some(FaultKind::TornWrite) {
+            self.kill.store(true, Ordering::SeqCst);
+        }
+        decision
+    }
+
+    /// Deterministically pick how many bytes of a torn write reach the
+    /// durable image: somewhere in `[1, page_len)`, so a torn page is
+    /// always partially but never fully written.
+    pub fn torn_prefix(&self, page: u64, page_len: usize) -> usize {
+        if page_len <= 1 {
+            return page_len;
+        }
+        let h = splitmix64(self.seed ^ page.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        1 + (h % (page_len as u64 - 1)) as usize
+    }
+
+    /// Decide the fate of one WAL fsync. Advances the global fsync
+    /// counter; `true` means the fsync fails (no pending byte became
+    /// durable) and the committing operation must abort.
+    pub fn decide_fsync(&self) -> bool {
+        let fsync_no = {
+            let mut fsyncs = self.fsyncs.lock().unwrap_or_else(|e| e.into_inner());
+            *fsyncs += 1;
+            *fsyncs
+        };
+        {
+            let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+            for rule in rules.iter() {
+                if let FaultRule::NthFsync { n } = rule {
+                    if *n == fsync_no {
+                        return true;
+                    }
+                }
+            }
+        }
+        if self.rate > 0.0 && self.kind == FaultKind::FsyncFault {
+            let h = splitmix64(self.seed ^ splitmix64(fsync_no ^ 0x5851_F42D_4C95_7F2D));
+            let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+            return unit < self.rate;
+        }
+        false
+    }
+
+    /// Observe that the WAL record at `lsn` just became durable; raises
+    /// the kill flag when any `KillAtLsn` rule's target is reached.
+    pub fn observe_lsn(&self, lsn: u64) {
+        let rules = self.rules.lock().unwrap_or_else(|e| e.into_inner());
+        for rule in rules.iter() {
+            if let FaultRule::KillAtLsn { lsn: target } = rule {
+                if lsn >= *target {
+                    self.kill.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Whether a scripted crash point has been reached. The crash harness
+    /// polls this after each mutation and simulates a kill when set.
+    pub fn kill_requested(&self) -> bool {
+        self.kill.load(Ordering::SeqCst)
+    }
+
+    /// Clear the kill flag (a restarted incarnation reuses the injector).
+    pub fn clear_kill(&self) {
+        self.kill.store(false, Ordering::SeqCst);
     }
 }
 
@@ -343,5 +522,77 @@ mod tests {
         assert_eq!(inj.decide(5), Some(FaultKind::Transient)); // page rule 1/2
         assert_eq!(inj.decide(5), Some(FaultKind::Transient)); // page rule 2/2
         assert_eq!(inj.decide(5), None); // exhausted
+    }
+
+    #[test]
+    fn write_side_profile_kinds_parse() {
+        assert_eq!(FaultProfile::parse("3:0.1:write").unwrap().kind, FaultKind::WriteFault);
+        assert_eq!(FaultProfile::parse("3:0.1:fsync").unwrap().kind, FaultKind::FsyncFault);
+        assert_eq!(FaultProfile::parse("3:0.1:torn").unwrap().kind, FaultKind::TornWrite);
+        assert!(FaultKind::WriteFault.is_write_side());
+        assert!(!FaultKind::Transient.is_write_side());
+    }
+
+    #[test]
+    fn write_side_kinds_never_fire_on_reads() {
+        // A write-kind profile at rate 1.0 must leave every read clean.
+        let inj = FaultInjector::seeded(4, 1.0, FaultKind::WriteFault);
+        for page in 0..16u64 {
+            assert_eq!(inj.decide(page), None);
+        }
+        // ...and a scripted write rule never leaks into the read path.
+        let inj = FaultInjector::script().fail_nth_write(1, FaultKind::WriteFault);
+        assert_eq!(inj.decide(0), None);
+        assert_eq!(inj.decide_write(0), Some(FaultKind::WriteFault));
+    }
+
+    #[test]
+    fn scripted_write_and_fsync_rules_fire_exactly() {
+        let inj =
+            FaultInjector::script().fail_nth_write(2, FaultKind::WriteFault).fail_nth_fsync(3);
+        assert_eq!(inj.decide_write(7), None); // write 1
+        assert_eq!(inj.decide_write(7), Some(FaultKind::WriteFault)); // write 2
+        assert_eq!(inj.decide_write(7), None); // write 3
+        assert!(!inj.decide_fsync()); // fsync 1
+        assert!(!inj.decide_fsync()); // fsync 2
+        assert!(inj.decide_fsync()); // fsync 3
+        assert!(!inj.decide_fsync()); // fsync 4
+    }
+
+    #[test]
+    fn torn_write_raises_kill_flag_and_tears_partially() {
+        let inj = FaultInjector::script().fail_nth_write(1, FaultKind::TornWrite);
+        assert!(!inj.kill_requested());
+        assert_eq!(inj.decide_write(9), Some(FaultKind::TornWrite));
+        assert!(inj.kill_requested());
+        inj.clear_kill();
+        assert!(!inj.kill_requested());
+        for page in 0..32u64 {
+            let cut = inj.torn_prefix(page, 8192);
+            assert!((1..8192).contains(&cut), "torn prefix {cut} out of range");
+        }
+    }
+
+    #[test]
+    fn kill_at_lsn_triggers_once_reached() {
+        let inj = FaultInjector::script().kill_at_lsn(5);
+        inj.observe_lsn(3);
+        assert!(!inj.kill_requested());
+        inj.observe_lsn(4);
+        assert!(!inj.kill_requested());
+        inj.observe_lsn(5);
+        assert!(inj.kill_requested());
+    }
+
+    #[test]
+    fn rate_driven_write_faults_are_deterministic() {
+        let roll = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::seeded(seed, 0.5, FaultKind::WriteFault);
+            (0..64).map(|p| inj.decide_write(p % 8).is_some()).collect()
+        };
+        assert_eq!(roll(1), roll(1), "same seed, same schedule");
+        assert_ne!(roll(1), roll(2), "different seeds diverge");
+        assert!(roll(1).iter().any(|&f| f), "rate 0.5 should fire sometimes");
+        assert!(roll(1).iter().any(|&f| !f), "rate 0.5 should miss sometimes");
     }
 }

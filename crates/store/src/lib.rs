@@ -51,6 +51,7 @@ pub mod heapfile;
 pub mod latency;
 pub mod page;
 pub mod pager;
+pub mod wal;
 
 pub use bptree::BPlusTree;
 pub use cache::{CacheGauges, CacheOutcome, CacheStats, SingleFlightCache, CACHE_SHARDS};
@@ -60,5 +61,7 @@ pub use heapfile::{HeapFile, RecordId};
 pub use latency::DiskModel;
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::{
-    page_checksum, ConcurrencyStats, IoStats, Pager, StructureTag, TagScope, POOL_SHARDS,
+    page_checksum, ConcurrencyStats, CrashImage, ImagePage, IoStats, Pager, StructureTag, TagScope,
+    POOL_SHARDS,
 };
+pub use wal::{Lsn, RedoPlan, Wal, WalEntry, WalMark, WalRecord, WalStats};

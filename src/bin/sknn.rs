@@ -37,6 +37,13 @@
 //!          [--slow-ms 100]             slow-query capture threshold
 //!          [--slow-log slow.jsonl]     write the slow-query log at drain
 //!          [--stall-ms MS]             per-miss read stall (I/O regime)
+//! sknn mutate --ops 200                dynamic-object write workload:
+//!          [--checkpoint-every 0]      seeded insert/move/delete mix through
+//!          [--k 5] [--queries 5]       the WAL'd object store, write-
+//!          [--threads 1]               throughput summary, then crash +
+//!          [--fault-profile S:R:K]     recovery with bit-identical k-NN
+//!                                      verification (K may be the write-side
+//!                                      kinds write|fsync|torn)
 //! sknn loadgen --addr HOST:PORT        drive a running server
 //!          [--connections 8]           concurrent connections
 //!          [--requests 50]             requests per connection
@@ -496,6 +503,128 @@ fn main() {
                 println!("wrote serve trace to {trace_out}");
             }
         }
+        "mutate" => {
+            use surface_knn::core::objects::ObjectStore;
+            let ops: usize = args.get("ops", 200);
+            let k: usize = args.get("k", 5);
+            let nq: usize = args.get("queries", 5);
+            let threads: usize = args.get("threads", 1);
+            let checkpoint_every: usize = args.get("checkpoint-every", 0);
+            let fault_spec: String = args.get("fault-profile", String::new());
+
+            let mut engine = build_engine(&cfg);
+            if !fault_spec.is_empty() {
+                let profile = surface_knn::store::FaultProfile::parse(&fault_spec)
+                    .expect("--fault-profile must be seed:rate:kind");
+                let injector =
+                    std::sync::Arc::new(surface_knn::store::FaultInjector::from_profile(&profile));
+                engine = engine.with_object_store(ObjectStore::genesis(
+                    scene.objects(),
+                    cfg.pool_pages,
+                    Some(injector),
+                ));
+                eprintln!("# write-fault injection active: {fault_spec}");
+            }
+            let engine = engine;
+            let store = engine.objects();
+
+            // Seeded mixed workload: 2 inserts, 1 move, 1 delete per 4 ops.
+            // Placements come from the scene's deterministic query
+            // generator, so the run is reproducible for a given seed.
+            let start = std::time::Instant::now();
+            let mut done = 0usize;
+            let mut aborted = 0usize;
+            for i in 0..ops {
+                if store.kill_requested() {
+                    println!("crash requested by the fault injector after {done} ops");
+                    break;
+                }
+                let snap = store.snapshot();
+                let p = scene.random_query(seed ^ (0x5EED_0000 + i as u64));
+                let r = match i % 4 {
+                    0 | 2 => store.insert(p).map(|_| true),
+                    1 => {
+                        let live = snap.live_ids();
+                        store.move_object(live[(i * 31) % live.len()], p)
+                    }
+                    _ if snap.live() > 1 => {
+                        let live = snap.live_ids();
+                        store.delete(live[(i * 17) % live.len()])
+                    }
+                    _ => Ok(false),
+                };
+                match r {
+                    Ok(_) => done += 1,
+                    Err(e) => {
+                        aborted += 1;
+                        eprintln!("# op {i} aborted: {e}");
+                    }
+                }
+                if checkpoint_every > 0 && (i + 1) % checkpoint_every == 0 {
+                    if let Err(e) = store.checkpoint() {
+                        eprintln!("# checkpoint after op {i} failed: {e}");
+                    }
+                }
+            }
+            let elapsed = start.elapsed();
+            let ws = engine.write_stats();
+            println!(
+                "write workload: {done} committed + {aborted} aborted of {ops} ops \
+                 in {:.3} s ({:.0} ops/s)",
+                elapsed.as_secs_f64(),
+                done as f64 / elapsed.as_secs_f64().max(1e-9)
+            );
+            println!(
+                "wal: {} appends, {} fsyncs ({} failed), {} records truncated",
+                ws.wal.appends, ws.wal.fsyncs, ws.wal.failed_fsyncs, ws.wal.truncated
+            );
+            println!(
+                "pages: {} flushed, {} dirty; objects live: {}",
+                ws.flushed_pages, ws.dirty_pages, ws.live_objects
+            );
+
+            // Crash, recover, and verify bit-identical k-NN answers.
+            let image = store.crash_image();
+            let rec_start = std::time::Instant::now();
+            let (recovered, report) =
+                ObjectStore::recover(&image, cfg.pool_pages, None).expect("recovery failed");
+            let rec_elapsed = rec_start.elapsed();
+            println!(
+                "recovery: {} WAL records redone, {} ops replayed, {} txns committed, \
+                 {} torn tail bytes, {:.1} ms",
+                report.replay_records,
+                report.replayed_ops,
+                report.committed_txns,
+                report.torn_tail_bytes,
+                rec_elapsed.as_secs_f64() * 1e3
+            );
+            let rec_engine = build_engine(&cfg).with_object_store(recovered);
+            let qs = scene.random_queries(nq, seed ^ 0xBEEF);
+            let batch: Vec<_> = qs.iter().map(|&q| (q, k)).collect();
+            let a = engine.query_batch(&batch, threads);
+            let b = rec_engine.query_batch(&batch, threads);
+            let mut mismatches = 0usize;
+            for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+                let ka: Vec<_> = ra.neighbors.iter().map(|n| (n.id, n.range)).collect();
+                let kb: Vec<_> = rb.neighbors.iter().map(|n| (n.id, n.range)).collect();
+                if ka != kb {
+                    eprintln!("# ERROR: query {i} differs after recovery");
+                    mismatches += 1;
+                }
+            }
+            println!(
+                "verification: {nq} queries x k={k} on {threads} thread{} — {}",
+                if threads == 1 { "" } else { "s" },
+                if mismatches == 0 {
+                    "bit-identical after recovery".to_string()
+                } else {
+                    format!("{mismatches} MISMATCHES")
+                }
+            );
+            if mismatches > 0 {
+                std::process::exit(1);
+            }
+        }
         "loadgen" => {
             let addr: String = args.get("addr", "127.0.0.1:7070".to_string());
             let qps_list: String = args.get("qps", "0".to_string());
@@ -583,7 +712,7 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|serve|loadgen|top> [flags]"
+                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|mutate|serve|loadgen|top> [flags]"
             );
             println!("see the module docs (src/bin/sknn.rs) for the flag list");
         }

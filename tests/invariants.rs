@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use std::sync::OnceLock;
 use surface_knn::core::config::Mr3Config;
 use surface_knn::core::metrics::QueryStats;
+use surface_knn::core::objects::ObjectStore;
 use surface_knn::core::ranking::RankingContext;
 use surface_knn::core::workload::{SceneBuilder, SurfacePoint};
 use surface_knn::geodesic::ExactGeodesic;
@@ -178,6 +179,43 @@ proptest! {
         let zmin = tri.a.z.min(tri.b.z).min(tri.c.z);
         let zmax = tri.a.z.max(tri.b.z).max(tri.c.z);
         prop_assert!(sp.pos.z >= zmin - 1e-9 && sp.pos.z <= zmax + 1e-9);
+    }
+
+    /// Dynamic objects (DESIGN §18): after every mutation batch the
+    /// published snapshot keeps the structural invariants — parallel SoA
+    /// arrays, exact parent MBRs containing every child, and an R-tree
+    /// entry count that matches the live object table.
+    #[test]
+    fn dynamic_snapshots_keep_structural_invariants(
+        seed in 0u64..300,
+        batches in 1usize..5,
+        per_batch in 1usize..12,
+    ) {
+        let f = fixture();
+        let scene = SceneBuilder::new(&f.mesh).object_count(10).seed(seed).build();
+        let store = ObjectStore::genesis(scene.objects(), 32, None);
+        let mut i = 0u64;
+        for _ in 0..batches {
+            for _ in 0..per_batch {
+                let live = store.snapshot().live_ids();
+                let p = scene.random_query(seed ^ (0xD00D + i));
+                match i % 4 {
+                    1 if live.len() > 1 => {
+                        store.move_object(live[(i as usize * 31) % live.len()], p).unwrap();
+                    }
+                    3 if live.len() > 1 => {
+                        store.delete(live[(i as usize * 17) % live.len()]).unwrap();
+                    }
+                    _ => {
+                        store.insert(p).unwrap();
+                    }
+                }
+                i += 1;
+            }
+            let snap = store.snapshot();
+            prop_assert!(snap.validate().is_ok(), "batch invariants: {:?}", snap.validate());
+            prop_assert_eq!(snap.rtree().len(), snap.live());
+        }
     }
 
     /// Exact geodesic sanity under random pairs: bracketed by Euclidean

@@ -1,0 +1,449 @@
+//! Crash-recovery proof harness for the dynamic object store (DESIGN §18).
+//!
+//! Each test runs a scripted mutation workload against an
+//! [`ObjectStore`], simulates a crash at a chosen point — every WAL
+//! record boundary, a torn WAL tail, a torn page write, a scripted
+//! `kill_at_lsn`, or a failed commit fsync — and then recovers from the
+//! crash image. The recovered store must match an **oracle** built by
+//! replaying exactly the committed operation prefix through the public
+//! API on a fresh store:
+//!
+//! * **durability** — every operation that returned `Ok` (its commit
+//!   record was fsynced) is present after restart;
+//! * **atomicity** — no aborted or un-fsynced operation is visible;
+//! * **bit-identity** — the recovered planar index answers queries with
+//!   the same ids *and the same f64 bit patterns* as the oracle, at any
+//!   thread count, because recovery rebuilds the R-tree through the very
+//!   same genesis-bulk-load + incremental-apply path.
+
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use surface_knn::core::metrics::QueryResult;
+use surface_knn::core::objects::{ObjOp, ObjectSnapshot, ObjectStore};
+use surface_knn::core::workload::Scene;
+use surface_knn::prelude::*;
+use surface_knn::store::{FaultKind, StoreResult, Wal, WalRecord};
+use surface_knn::terrain::mesh::TerrainMesh;
+
+fn mesh() -> &'static TerrainMesh {
+    static M: OnceLock<TerrainMesh> = OnceLock::new();
+    M.get_or_init(|| TerrainConfig::bh().with_grid(17).build_mesh(4242))
+}
+
+fn scene(n: usize, seed: u64) -> Scene<'static> {
+    SceneBuilder::new(mesh()).object_count(n).seed(seed).build()
+}
+
+// ---------------------------------------------------------------------------
+// Scripted workload
+// ---------------------------------------------------------------------------
+
+/// One planned mutation. Recorded when it commits so an oracle can replay
+/// the exact committed prefix later.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Insert(SurfacePoint),
+    Move(u32, SurfacePoint),
+    Delete(u32),
+}
+
+/// Deterministic op mix (2 inserts : 1 move : 1 delete) against whatever
+/// ids are live in the store's current snapshot.
+fn plan(scene: &Scene<'_>, store: &ObjectStore, seed: u64, i: u64) -> Action {
+    let live = store.snapshot().live_ids();
+    let p = scene.random_query(seed ^ (0x5EED_0000 + i));
+    match i % 4 {
+        1 if live.len() > 1 => Action::Move(live[(i as usize * 31) % live.len()], p),
+        3 if live.len() > 1 => Action::Delete(live[(i as usize * 17) % live.len()]),
+        _ => Action::Insert(p),
+    }
+}
+
+fn issue(store: &ObjectStore, a: Action) -> StoreResult<()> {
+    match a {
+        Action::Insert(p) => store.insert(p).map(|_| ()),
+        Action::Move(id, p) => store.move_object(id, p).map(|ok| assert!(ok, "move of a live id")),
+        Action::Delete(id) => store.delete(id).map(|ok| assert!(ok, "delete of a live id")),
+    }
+}
+
+/// Run `n` scripted ops, stopping early if the fault injector requests a
+/// crash. Returns the actions that committed, in order.
+fn run_workload(scene: &Scene<'_>, store: &ObjectStore, seed: u64, n: u64) -> Vec<Action> {
+    let mut committed = Vec::new();
+    for i in 0..n {
+        if store.kill_requested() {
+            break;
+        }
+        let a = plan(scene, store, seed, i);
+        if issue(store, a).is_ok() {
+            committed.push(a);
+        }
+    }
+    committed
+}
+
+/// The oracle: a fresh genesis store with the committed prefix replayed
+/// through the public API. Bit-identical to what recovery must produce.
+fn oracle(scene: &Scene<'_>, committed: &[Action]) -> ObjectStore {
+    let store = ObjectStore::genesis(scene.objects(), 64, None);
+    for &a in committed {
+        issue(&store, a).expect("oracle replay is not fault-injected");
+    }
+    store
+}
+
+/// An oracle derived from a (possibly truncated) durable WAL alone: replay
+/// the `Op` payloads of every transaction with a durable commit record.
+fn oracle_from_wal(scene: &Scene<'_>, wal_bytes: &[u8]) -> ObjectStore {
+    let (entries, _) = Wal::scan(wal_bytes);
+    let committed: std::collections::HashSet<u64> =
+        entries.iter().filter(|e| matches!(e.record, WalRecord::Commit)).map(|e| e.txn).collect();
+    let store = ObjectStore::genesis(scene.objects(), 64, None);
+    for e in &entries {
+        if !committed.contains(&e.txn) {
+            continue;
+        }
+        if let WalRecord::Op { payload } = &e.record {
+            match ObjOp::decode(payload).expect("committed op decodes") {
+                ObjOp::Insert { id, point } => assert_eq!(store.insert(point).unwrap(), id),
+                ObjOp::Delete { id } => assert!(store.delete(id).unwrap()),
+                ObjOp::Move { id, point } => assert!(store.move_object(id, point).unwrap()),
+                ObjOp::Genesis { .. } => unreachable!("genesis records are not WAL `Op`s"),
+            }
+        }
+    }
+    store
+}
+
+/// Full equality: table contents, live count, id bound, snapshot
+/// invariants, and a bit-exact planar k-NN fingerprint.
+fn assert_same_objects(want: &ObjectSnapshot, got: &ObjectSnapshot, ctx: &str) {
+    got.validate().unwrap_or_else(|e| panic!("{ctx}: invalid recovered snapshot: {e}"));
+    assert_eq!(want.id_bound(), got.id_bound(), "{ctx}: id bound");
+    assert_eq!(want.live(), got.live(), "{ctx}: live count");
+    for id in 0..want.id_bound() {
+        assert_eq!(want.get(id), got.get(id), "{ctx}: object {id}");
+    }
+    let e = mesh().extent();
+    for (fx, fy) in [(0.2, 0.3), (0.5, 0.5), (0.85, 0.7)] {
+        let q = Point2::new(e.lo.x + fx * e.width(), e.lo.y + fy * e.height());
+        let fp = |s: &ObjectSnapshot| -> Vec<(u64, u32)> {
+            s.rtree().knn(q, 8).iter().map(|&(d, _, id)| (d.to_bits(), id)).collect()
+        };
+        assert_eq!(fp(want), fp(got), "{ctx}: planar k-NN at ({fx}, {fy})");
+    }
+}
+
+/// An injector whose every durable page write fails. The durable image
+/// then stays frozen at the genesis seal, which makes *any* WAL-boundary
+/// truncation a physically consistent crash (no page can be newer than
+/// the durable log — the no-steal rule taken to its extreme).
+fn writeback_suppressed() -> Arc<surface_knn::store::FaultInjector> {
+    Arc::new(
+        (1..1000).fold(FaultInjector::script(), |f, n| f.fail_nth_write(n, FaultKind::WriteFault)),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Kill-point sweeps
+// ---------------------------------------------------------------------------
+
+/// The headline sweep: crash at **every** WAL record boundary and prove
+/// the recovered store equals the WAL-derived oracle at each one.
+#[test]
+fn every_wal_record_boundary_is_a_safe_kill_point() {
+    let scene = scene(24, 42);
+    let store = ObjectStore::genesis(scene.objects(), 64, Some(writeback_suppressed()));
+    let genesis_len = store.crash_image().wal.len();
+    let committed = run_workload(&scene, &store, 7, 32);
+    assert_eq!(committed.len(), 32, "write faults alone never abort a commit");
+
+    let image = store.crash_image();
+    let (entries, valid) = Wal::scan(&image.wal);
+    assert_eq!(valid, image.wal.len(), "the durable WAL has no torn tail");
+    let mut kill_points = 0;
+    for e in entries.iter().filter(|e| e.end >= genesis_len) {
+        let mut crash = image.clone();
+        crash.wal.truncate(e.end);
+        let (rec, report) =
+            ObjectStore::recover(&crash, 64, None).expect("recovery succeeds at every boundary");
+        assert_eq!(report.torn_tail_bytes, 0);
+        let want = oracle_from_wal(&scene, &crash.wal);
+        let ctx = format!("kill after lsn {} ({})", e.lsn, e.record.kind_name());
+        assert_same_objects(&want.snapshot(), &rec.snapshot(), &ctx);
+        kill_points += 1;
+    }
+    assert!(kill_points > 64, "the sweep exercised many boundaries, got {kill_points}");
+    // The full (untruncated) image recovers to the live store's state.
+    let (rec, _) = ObjectStore::recover(&image, 64, None).unwrap();
+    assert_same_objects(&store.snapshot(), &rec.snapshot(), "full image");
+}
+
+/// Torn WAL tails — a crash mid-record — are discarded: recovery lands on
+/// the last whole record and loses only the unfinished suffix.
+#[test]
+fn torn_wal_tails_are_discarded_cleanly() {
+    let scene = scene(18, 43);
+    let store = ObjectStore::genesis(scene.objects(), 64, Some(writeback_suppressed()));
+    let genesis_len = store.crash_image().wal.len();
+    run_workload(&scene, &store, 11, 16);
+
+    let image = store.crash_image();
+    let (entries, _) = Wal::scan(&image.wal);
+    for e in entries.iter().filter(|e| e.end >= genesis_len && e.end + 3 < image.wal.len()) {
+        let mut crash = image.clone();
+        crash.wal.truncate(e.end + 3);
+        let (rec, report) = ObjectStore::recover(&crash, 64, None).unwrap();
+        assert_eq!(report.torn_tail_bytes, 3, "three stray bytes past lsn {}", e.lsn);
+        let want = oracle_from_wal(&scene, &crash.wal[..e.end]);
+        assert_same_objects(&want.snapshot(), &rec.snapshot(), &format!("torn after {}", e.lsn));
+    }
+}
+
+/// `kill_at_lsn` crashes with **real page writeback** in between: flushed
+/// pages plus WAL redo must reassemble the exact committed state.
+#[test]
+fn kill_at_lsn_crashes_recover_bit_identically() {
+    let scene = scene(20, 44);
+    let probe = ObjectStore::genesis(scene.objects(), 64, None);
+    let genesis_lsn = Wal::scan(&probe.crash_image().wal).0.last().unwrap().lsn;
+
+    for off in [1u64, 3, 7, 12, 21, 34] {
+        let fault = Arc::new(FaultInjector::script().kill_at_lsn(genesis_lsn + off));
+        let store = ObjectStore::genesis(scene.objects(), 64, Some(fault));
+        let committed = run_workload(&scene, &store, 101 + off, 48);
+        assert!(store.kill_requested(), "offset {off} reached its kill point");
+        assert!(store.write_stats().flushed_pages > 0, "writeback really ran");
+
+        let (rec, _) = ObjectStore::recover(&store.crash_image(), 64, None).unwrap();
+        let want = oracle(&scene, &committed);
+        assert_same_objects(&want.snapshot(), &rec.snapshot(), &format!("kill at +{off}"));
+        // The survivor store itself agrees too: fsync-on-commit means
+        // every Ok the workload saw is durable.
+        assert_same_objects(&store.snapshot(), &rec.snapshot(), &format!("live vs rec +{off}"));
+    }
+}
+
+/// A torn **page** write (partial flush, then crash) is repaired by redo,
+/// and the repair itself is durable across a second crash.
+#[test]
+fn torn_page_writes_are_repaired_by_redo() {
+    let scene = scene(16, 45);
+    for nth in [1u64, 2, 4] {
+        let fault = Arc::new(FaultInjector::script().fail_nth_write(nth, FaultKind::TornWrite));
+        let store = ObjectStore::genesis(scene.objects(), 64, Some(fault));
+        let committed = run_workload(&scene, &store, 202 + nth, 40);
+        assert!(store.kill_requested(), "the torn write raised the kill flag");
+        assert!(!committed.is_empty());
+
+        let (rec, _) = ObjectStore::recover(&store.crash_image(), 64, None).unwrap();
+        let want = oracle(&scene, &committed);
+        assert_same_objects(&want.snapshot(), &rec.snapshot(), &format!("torn write #{nth}"));
+        // Recovery re-persisted the repaired pages: crash again
+        // immediately and the state still comes back whole.
+        let (rec2, report2) = ObjectStore::recover(&rec.crash_image(), 64, None).unwrap();
+        assert_eq!(report2.torn_tail_bytes, 0);
+        assert_same_objects(&want.snapshot(), &rec2.snapshot(), &format!("re-crash #{nth}"));
+    }
+}
+
+/// Commit fsync failures abort atomically mid-workload: aborted ops leave
+/// no trace in the live store, on disk, or after recovery.
+#[test]
+fn fsync_faults_abort_atomically_mid_workload() {
+    let scene = scene(20, 46);
+    let fault = Arc::new(FaultInjector::seeded(9, 0.2, FaultKind::FsyncFault));
+    let store = ObjectStore::genesis(scene.objects(), 64, Some(fault));
+    let mut committed = Vec::new();
+    let mut aborted = 0u64;
+    for i in 0..48u64 {
+        let a = plan(&scene, &store, 303, i);
+        match issue(&store, a) {
+            Ok(()) => committed.push(a),
+            Err(_) => aborted += 1,
+        }
+    }
+    assert!(aborted > 0, "the 20 % fsync fault rate fired at least once");
+    assert!(committed.len() > aborted as usize, "most ops still committed");
+    assert_eq!(store.write_stats().aborted_ops, aborted);
+
+    let want = oracle(&scene, &committed);
+    assert_same_objects(&want.snapshot(), &store.snapshot(), "live store after aborts");
+    let (rec, _) = ObjectStore::recover(&store.crash_image(), 64, None).unwrap();
+    assert_same_objects(&want.snapshot(), &rec.snapshot(), "recovered after aborts");
+}
+
+/// Checkpoints bound redo work without changing the recovered state.
+#[test]
+fn checkpoint_bounds_replay_and_preserves_identity() {
+    let scene = scene(22, 47);
+    let store = ObjectStore::genesis(scene.objects(), 64, None);
+    let committed_a = run_workload(&scene, &store, 404, 20);
+    let (rec_before, report_before) = ObjectStore::recover(&store.crash_image(), 64, None).unwrap();
+    assert_same_objects(
+        &oracle(&scene, &committed_a).snapshot(),
+        &rec_before.snapshot(),
+        "pre-checkpoint crash",
+    );
+    store.checkpoint().unwrap();
+    let mut committed = committed_a;
+    committed.extend(run_workload(&scene, &store, 505, 10));
+    assert_eq!(committed.len(), 30);
+
+    let (rec, report) = ObjectStore::recover(&store.crash_image(), 64, None).unwrap();
+    assert!(
+        report.replay_records < report_before.replay_records,
+        "the checkpoint cut redo from {} records to {}",
+        report_before.replay_records,
+        report.replay_records
+    );
+    assert_eq!(report.replayed_ops, 30, "the logical log still replays every op");
+    assert_eq!(report.committed_txns, 31, "genesis plus thirty mutations");
+    let want = oracle(&scene, &committed);
+    assert_same_objects(&want.snapshot(), &rec.snapshot(), "post-checkpoint crash");
+    assert_same_objects(&store.snapshot(), &rec.snapshot(), "live vs recovered");
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level bit-identity and concurrency
+// ---------------------------------------------------------------------------
+
+/// Neighbour ids and the exact bit patterns of both bounds.
+fn fingerprint(results: &[QueryResult]) -> Vec<Vec<(u32, u64, u64)>> {
+    results
+        .iter()
+        .map(|r| {
+            r.neighbors.iter().map(|n| (n.id, n.range.lb.to_bits(), n.range.ub.to_bits())).collect()
+        })
+        .collect()
+}
+
+/// After a crash mid-workload, a restarted engine serves surface k-NN
+/// answers bit-identical to the survivor — at 1, 4, and 8 threads.
+#[test]
+fn recovered_engine_serves_bit_identical_knn_at_any_thread_count() {
+    let scene = scene(30, 48);
+    let cfg = Mr3Config::default();
+    let engine = Mr3Engine::build(mesh(), &scene, &cfg);
+    for i in 0..24u64 {
+        let a = plan(&scene, engine.objects(), 606, i);
+        issue(engine.objects(), a).unwrap();
+    }
+
+    let image = engine.objects().crash_image();
+    let (store, report) = ObjectStore::recover(&image, cfg.pool_pages, None).unwrap();
+    assert!(report.replayed_ops >= 24);
+    let restarted = Mr3Engine::build(mesh(), &scene, &cfg).with_object_store(store);
+    assert_eq!(restarted.write_stats().recoveries, 1);
+
+    let batch: Vec<(SurfacePoint, usize)> =
+        scene.random_queries(6, 99).into_iter().map(|q| (q, 5)).collect();
+    let reference = fingerprint(&engine.query_batch(&batch, 1));
+    for threads in [1usize, 4, 8] {
+        assert_eq!(
+            fingerprint(&engine.query_batch(&batch, threads)),
+            reference,
+            "survivor at {threads} threads"
+        );
+        assert_eq!(
+            fingerprint(&restarted.query_batch(&batch, threads)),
+            reference,
+            "restarted engine at {threads} threads"
+        );
+    }
+}
+
+/// Mutations racing a stream of queries never panic and never surface a
+/// half-applied state; once writers quiesce, the engine answers exactly
+/// like a sequential replay of the committed history.
+#[test]
+fn concurrent_mutations_never_disturb_readers() {
+    let scene = scene(26, 49);
+    let cfg = Mr3Config::default();
+    let engine = Mr3Engine::build(mesh(), &scene, &cfg);
+
+    let committed: Vec<Action> = std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            let mut done = Vec::new();
+            for i in 0..60u64 {
+                let a = plan(&scene, engine.objects(), 707, i);
+                if issue(engine.objects(), a).is_ok() {
+                    done.push(a);
+                }
+                std::thread::yield_now();
+            }
+            done
+        });
+        for t in 0..2u64 {
+            let (scene, engine) = (&scene, &engine);
+            s.spawn(move || {
+                for j in 0..12u64 {
+                    let q = scene.random_query(808 + t * 100 + j);
+                    let res = engine.query(q, 4);
+                    assert_eq!(res.neighbors.len(), 4, "reader {t} query {j}");
+                    for n in &res.neighbors {
+                        assert!(
+                            n.range.lb.is_finite() && n.range.lb <= n.range.ub,
+                            "reader {t} query {j}: torn range [{}, {}]",
+                            n.range.lb,
+                            n.range.ub
+                        );
+                    }
+                }
+            });
+        }
+        writer.join().expect("the writer never panics")
+    });
+
+    let replayed =
+        Mr3Engine::build(mesh(), &scene, &cfg).with_object_store(oracle(&scene, &committed));
+    assert_same_objects(
+        &replayed.objects().snapshot(),
+        &engine.objects().snapshot(),
+        "post-quiesce object set",
+    );
+    let batch: Vec<(SurfacePoint, usize)> =
+        scene.random_queries(5, 909).into_iter().map(|q| (q, 4)).collect();
+    assert_eq!(
+        fingerprint(&engine.query_batch(&batch, 4)),
+        fingerprint(&replayed.query_batch(&batch, 4)),
+        "post-quiesce answers match a sequential replay"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any workload seed, kill point, and buffer-pool capacity:
+    /// recovery reproduces exactly the committed prefix, bit-identically.
+    #[test]
+    fn recovery_is_exact_for_any_seed_kill_point_and_pool(
+        seed in 0u64..400,
+        kill_off in 1u64..90,
+        pool in 4usize..48,
+    ) {
+        let scene = scene(12 + (seed % 9) as usize, 50 + seed);
+        let probe = ObjectStore::genesis(scene.objects(), 64, None);
+        let genesis_lsn = Wal::scan(&probe.crash_image().wal).0.last().unwrap().lsn;
+
+        let fault = Arc::new(FaultInjector::script().kill_at_lsn(genesis_lsn + kill_off));
+        let store = ObjectStore::genesis(scene.objects(), pool, Some(fault));
+        let committed = run_workload(&scene, &store, seed, 50);
+
+        let (rec, report) = ObjectStore::recover(&store.crash_image(), pool, None).unwrap();
+        prop_assert_eq!(report.replayed_ops as usize, committed.len());
+        let want = oracle(&scene, &committed);
+        let (a, b) = (want.snapshot(), rec.snapshot());
+        prop_assert!(b.validate().is_ok());
+        prop_assert_eq!(a.id_bound(), b.id_bound());
+        prop_assert_eq!(a.live(), b.live());
+        for id in 0..a.id_bound() {
+            prop_assert_eq!(a.get(id), b.get(id));
+        }
+    }
+}
