@@ -60,7 +60,7 @@ impl<'s, 'm> ChEngine<'s, 'm> {
             .collect();
         timer.stop_into(&mut stats.cpu);
         stats.candidates = self.scene.num_objects();
-        QueryResult { neighbors, stats, trace: None, degraded: None }
+        QueryResult { neighbors, stats, trace: None, degraded: None, radius: 0.0 }
     }
 }
 

@@ -196,7 +196,7 @@ impl<'s, 'm> ConstrainedEngine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads;
-        QueryResult { neighbors, stats, trace: None, degraded: None }
+        QueryResult { neighbors, stats, trace: None, degraded: None, radius: 0.0 }
     }
 }
 

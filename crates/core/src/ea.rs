@@ -182,7 +182,7 @@ impl<'s, 'm> EaEngine<'s, 'm> {
 
         timer.stop_into(&mut stats.cpu);
         stats.pages = self.pager.stats().physical_reads + self.scene.dxy().accesses();
-        QueryResult { neighbors, stats, trace: None, degraded: None }
+        QueryResult { neighbors, stats, trace: None, degraded: None, radius: 0.0 }
     }
 }
 

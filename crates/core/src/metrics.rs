@@ -174,6 +174,13 @@ pub struct QueryResult {
     /// Set when storage faults were absorbed along the way: the bounds are
     /// still valid, but looser than the schedule would normally deliver.
     pub degraded: Option<crate::resilience::Degraded>,
+    /// The MR3 step-2 search radius the answer was computed under (the
+    /// 2D range that provably contains every possible top-k member) —
+    /// what a sharding router uses to decide whether the query's search
+    /// region stayed inside one tile. `0.0` for `k == 0` and for
+    /// algorithms without a radius stage; may be `+inf` when estimation
+    /// degenerated and the engine ranked every live object.
+    pub radius: f64,
 }
 
 #[cfg(test)]

@@ -516,11 +516,16 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         let terrain = self.mesh.extent();
         let ctx = self.ctx_at(qid, deadline);
         let mut neighbors = Vec::new();
+        let mut search_radius = 0.0f64;
 
         if k > 0 {
-            // Step 1: 2D k-NN on the projections.
+            // Step 1: 2D k-NN on the projections, canonically selected
+            // and ordered (see `canonical_seeds2d`) so the seed list —
+            // and every order-sensitive bound downstream — is a pure
+            // function of the object set, which is what lets a sharding
+            // router reproduce this run from per-shard partial lists.
             let step = Instant::now();
-            let seeds = objs.rtree().knn(q.pos.xy(), k);
+            let seeds = canonical_seeds2d(&objs, q.pos.xy(), k);
             stats.stages.knn2d_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
@@ -538,9 +543,10 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
             let step = Instant::now();
             let mut seed_cands: Vec<Candidate> = seeds
                 .iter()
-                .map(|&(_, _, id)| Candidate::new(&q, id, objs.point(id), &terrain))
+                .map(|&(_, id)| Candidate::new(&q, id, objs.point(id), &terrain))
                 .collect();
             let radius = ctx.estimate_radius(&q, &mut seed_cands, &mut stats);
+            search_radius = radius;
             stats.stages.radius_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
@@ -552,7 +558,7 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
 
             // Step 3: planar range query with the safe radius.
             let step = Instant::now();
-            let in_range: Vec<u32> = if radius.is_finite() {
+            let mut in_range: Vec<u32> = if radius.is_finite() {
                 objs.rtree()
                     .within_distance(q.pos.xy(), radius)
                     .into_iter()
@@ -563,6 +569,11 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
                 // ranking everything.
                 objs.live_ids()
             };
+            // Canonical candidate order: ascending id (the R-tree range
+            // query yields DFS tree order, which depends on insertion
+            // history). Candidate order steers region grouping in step 4,
+            // so it must be reproducible from the object set alone.
+            in_range.sort_unstable();
             stats.stages.range_us = step.elapsed().as_micros() as u64;
             if traced {
                 rec.span(
@@ -636,7 +647,13 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
         } else {
             None
         };
-        Ok(QueryResult { neighbors, stats, trace, degraded: Self::degraded_marker(&ctx) })
+        Ok(QueryResult {
+            neighbors,
+            stats,
+            trace,
+            degraded: Self::degraded_marker(&ctx),
+            radius: search_radius,
+        })
     }
 
     /// Answer a batch of independent k-NN queries on `threads` worker
@@ -697,6 +714,192 @@ impl<'s, 'm> Mr3Engine<'s, 'm> {
     ) -> Vec<Result<QueryResult, QueryError>> {
         sknn_exec::par_map(threads, batch, |_, &(q, k, dl, tid)| {
             self.try_query_traced(q, k, dl, tid)
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Decomposed MR3 steps for sharded serving. A router that partitions
+    // the object set across engines reconstructs a single-engine run by
+    // merging per-shard `seeds2d`/`range2d` lists in canonical order and
+    // handing the merged lists back to one engine via
+    // `estimate_radius_for`/`exec_ranked`. Bounds in the ranking phase
+    // depend on the candidate population *and order*, so the guarantee
+    // is: same lists in, bit-identical bounds out.
+    // -----------------------------------------------------------------
+
+    /// MR3 step 1 in isolation: the `k` nearest live objects to `xy` by
+    /// 2D plan distance, in canonical ascending `(distance, id)` order,
+    /// each with its located surface point (so a peer without this
+    /// shard's object table can rebuild the candidate).
+    pub fn seeds2d(&self, xy: sknn_geom::Point2, k: usize) -> Vec<(f64, u32, SurfacePoint)> {
+        let objs = self.objects.snapshot();
+        let k = k.min(objs.live());
+        canonical_seeds2d(&objs, xy, k).into_iter().map(|(d, id)| (d, id, objs.point(id))).collect()
+    }
+
+    /// MR3 step 3 in isolation: every live object within 2D plan distance
+    /// `radius` of `xy`, ascending by id. A non-finite radius returns
+    /// every live object — the degenerate fallback
+    /// [`try_query`](Self::try_query) takes when radius estimation fails.
+    pub fn range2d(&self, xy: sknn_geom::Point2, radius: f64) -> Vec<(u32, SurfacePoint)> {
+        let objs = self.objects.snapshot();
+        let mut ids: Vec<u32> = if radius.is_finite() {
+            objs.rtree().within_distance(xy, radius).into_iter().map(|(_, id)| id).collect()
+        } else {
+            objs.live_ids()
+        };
+        ids.sort_unstable();
+        ids.into_iter().map(|id| (id, objs.point(id))).collect()
+    }
+
+    /// MR3 step 2 with an explicit seed list: estimates the search radius
+    /// exactly as a full query would if step 1 had produced `seeds` (in
+    /// the given order — pass them in canonical `(distance, id)` order to
+    /// match). Seed points travel with their ids because the seeds may
+    /// live on other shards, absent from this engine's object table.
+    pub fn estimate_radius_for(
+        &self,
+        q: SurfacePoint,
+        seeds: &[(u32, SurfacePoint)],
+        deadline: Option<Instant>,
+        trace_id: u64,
+    ) -> Result<f64, QueryError> {
+        let qid = if trace_id != 0 { trace_id } else { self.next_query_id() };
+        let mut stats = QueryStats::default();
+        if self.cold_cache {
+            self.pager.clear_pool();
+            self.clear_cut_caches();
+        }
+        self.pager.reset_stats();
+        let terrain = self.mesh.extent();
+        let ctx = self.ctx_at(qid, deadline);
+        let mut cands: Vec<Candidate> =
+            seeds.iter().map(|&(id, p)| Candidate::new(&q, id, p, &terrain)).collect();
+        let radius = ctx.estimate_radius(&q, &mut cands, &mut stats);
+        if let Some(err) = ctx.faults.error() {
+            return Err(err);
+        }
+        Ok(radius)
+    }
+
+    /// MR3 steps 2 + 4 with explicit seed and candidate lists: the
+    /// coupled ranking run of a sharded query, executed on the query's
+    /// home shard over the router-merged global lists. `seeds` must be in
+    /// canonical `(distance, id)` order and `cands` ascending by id —
+    /// the orders [`try_query`](Self::try_query) itself produces — and
+    /// `k` must already be clamped to the *union* live-object count (this
+    /// method cannot see other shards' objects, so it does not clamp).
+    ///
+    /// Returns up to `k + 1` neighbors (one past the answer) so the
+    /// caller can re-verify the `ub(p_k) ≤ lb(p_{k+1})` termination
+    /// bound itself before truncating; every returned id, `lb`, `ub`,
+    /// and the radius are bit-identical to a single engine over the
+    /// union object set running the same query.
+    pub fn exec_ranked(
+        &self,
+        q: SurfacePoint,
+        k: usize,
+        seeds: &[(u32, SurfacePoint)],
+        cands: &[(u32, SurfacePoint)],
+        deadline: Option<Instant>,
+        trace_id: u64,
+    ) -> Result<QueryResult, QueryError> {
+        let qid = if trace_id != 0 { trace_id } else { self.next_query_id() };
+        let mut stats = QueryStats::default();
+        if self.cold_cache {
+            self.pager.clear_pool();
+            self.clear_cut_caches();
+        }
+        self.pager.reset_stats();
+        let objs: Arc<ObjectSnapshot> = self.objects.snapshot();
+        objs.rtree().reset_accesses();
+        let timer = CpuTimer::start();
+        let rec = self.recorder();
+        let traced = rec.enabled();
+        let query_start = Instant::now();
+
+        let terrain = self.mesh.extent();
+        let ctx = self.ctx_at(qid, deadline);
+        let mut neighbors = Vec::new();
+        let mut search_radius = 0.0f64;
+
+        if k > 0 {
+            // Step 2 re-runs here (not reused from a prior
+            // `estimate_radius_for` call) because the refined seed bounds
+            // must carry over into step 4's candidates, exactly as in a
+            // single-engine run.
+            let step = Instant::now();
+            let mut seed_cands: Vec<Candidate> =
+                seeds.iter().map(|&(id, p)| Candidate::new(&q, id, p, &terrain)).collect();
+            search_radius = ctx.estimate_radius(&q, &mut seed_cands, &mut stats);
+            stats.stages.radius_us = step.elapsed().as_micros() as u64;
+            if traced {
+                rec.span(
+                    "step2_radius",
+                    qid,
+                    vec![field("dur_us", stats.stages.radius_us), field("radius", search_radius)],
+                );
+            }
+
+            let step = Instant::now();
+            let mut cl: Vec<Candidate> = cands
+                .iter()
+                .map(|&(id, p)| {
+                    seed_cands
+                        .iter()
+                        .find(|c| c.id == id)
+                        .cloned()
+                        .unwrap_or_else(|| Candidate::new(&q, id, p, &terrain))
+                })
+                .collect();
+            stats.candidates = cl.len();
+            let resolved = ctx.rank_top_k(&q, &mut cl, k, &mut stats);
+            stats.stages.rank_us = step.elapsed().as_micros() as u64;
+            if traced {
+                rec.span(
+                    "step4_rank",
+                    qid,
+                    vec![
+                        field("dur_us", stats.stages.rank_us),
+                        field("resolved", resolved),
+                        field("iterations", stats.iterations),
+                    ],
+                );
+            }
+
+            let mut alive: Vec<&Candidate> = cl.iter().filter(|c| !c.out).collect();
+            alive.sort_by(|a, b| {
+                a.range
+                    .ub
+                    .partial_cmp(&b.range.ub)
+                    .unwrap()
+                    .then(a.range.lb.partial_cmp(&b.range.lb).unwrap())
+            });
+            neighbors = alive
+                .into_iter()
+                .take(k + 1)
+                .map(|c| Neighbor { id: c.id, range: c.range })
+                .collect();
+        }
+
+        timer.stop_into(&mut stats.cpu);
+        stats.wall = query_start.elapsed();
+        stats.pages = self.pager.stats().physical_reads + objs.rtree().accesses();
+        if let Some(err) = ctx.faults.error() {
+            return Err(err);
+        }
+        let trace = if traced {
+            self.emit_io(rec, qid, &stats, objs.rtree().accesses());
+            self.drain_trace()
+        } else {
+            None
+        };
+        Ok(QueryResult {
+            neighbors,
+            stats,
+            trace,
+            degraded: Self::degraded_marker(&ctx),
+            radius: search_radius,
         })
     }
 
@@ -859,6 +1062,40 @@ pub struct RangeResult {
     pub degraded: Option<crate::resilience::Degraded>,
 }
 
+/// Canonically *selected and ordered* 2-D seed set: the `k` nearest live
+/// objects by the total order (plan distance, then id), as
+/// `(distance, id)` pairs in that order.
+///
+/// `knn` alone resolves equal-distance ties at the selection boundary in
+/// best-first heap order, which depends on tree shape — so a shard's
+/// local tree and the union tree over the same objects could select
+/// *different* members of a tie group, and every bound downstream of the
+/// seed list would diverge. Over-fetching one extra neighbour detects a
+/// tie spanning the boundary; when one exists, the whole tie group is
+/// re-fetched by a range probe at the k-th distance and the winners
+/// picked by id. The selected set is then a pure function of the object
+/// set, which is what sharded serving's exact-merge guarantee rests on.
+fn canonical_seeds2d(objs: &ObjectSnapshot, xy: sknn_geom::Point2, k: usize) -> Vec<(f64, u32)> {
+    let mut seeds: Vec<(f64, u32)> =
+        objs.rtree().knn(xy, k + 1).into_iter().map(|(d, _, id)| (d, id)).collect();
+    seeds.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    if k > 0 && seeds.len() > k && seeds[k].0 == seeds[k - 1].0 {
+        // The k-th distance is shared across the selection boundary: pull
+        // every object within that distance and re-select by the total
+        // order. Probe distances are recomputed with the same formula the
+        // batched k-NN kernel uses, so they compare bit-identically.
+        let kth = seeds[k - 1].0;
+        for (rect, id) in objs.rtree().within_distance(xy, kth) {
+            if !seeds.iter().any(|&(_, s)| s == id) {
+                seeds.push((rect.min_dist_point(xy), id));
+            }
+        }
+        seeds.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    }
+    seeds.truncate(k);
+    seeds
+}
+
 /// Compile-time seal of the thread-safety contract `query_batch` relies
 /// on: if any engine component regresses to unsynchronised interior
 /// mutability (`Cell`, `RefCell`, raw pointers), this stops compiling.
@@ -923,6 +1160,39 @@ mod tests {
                     "q{qseed}: object {} at {d} vs kth {kth_exact} (slack {slack})",
                     n.id
                 );
+            }
+        }
+    }
+
+    /// The sharded-serving keystone: reconstructing a query from the
+    /// decomposed steps (`seeds2d` → `estimate_radius_for` → `range2d` →
+    /// `exec_ranked`) is bit-identical to the monolithic path — same ids,
+    /// same bound bits, same radius bits.
+    #[test]
+    fn decomposed_steps_match_monolithic_query_bit_exact() {
+        let mesh = mesh();
+        let scene = SceneBuilder::new(&mesh).object_count(30).seed(9).build();
+        let engine = Mr3Engine::build(&mesh, &scene, &Mr3Config::default());
+        for qseed in [1u64, 4, 8] {
+            let q = scene.random_query(qseed);
+            let k = 4;
+            let whole = engine.try_query(q, k).unwrap();
+
+            let seeds: Vec<(u32, SurfacePoint)> =
+                engine.seeds2d(q.pos.xy(), k).into_iter().map(|(_, id, p)| (id, p)).collect();
+            let radius = engine.estimate_radius_for(q, &seeds, None, 0).unwrap();
+            assert_eq!(radius.to_bits(), whole.radius.to_bits(), "q{qseed}: radius differs");
+            let cands = engine.range2d(q.pos.xy(), radius);
+            let split = engine.exec_ranked(q, k, &seeds, &cands, None, 0).unwrap();
+
+            assert_eq!(split.radius.to_bits(), whole.radius.to_bits());
+            // exec_ranked returns up to k + 1 neighbors; the first k must
+            // match the monolithic answer bit for bit.
+            assert!(split.neighbors.len() >= whole.neighbors.len());
+            for (a, b) in whole.neighbors.iter().zip(&split.neighbors) {
+                assert_eq!(a.id, b.id, "q{qseed}: id order differs");
+                assert_eq!(a.range.lb.to_bits(), b.range.lb.to_bits());
+                assert_eq!(a.range.ub.to_bits(), b.range.ub.to_bits());
             }
         }
     }

@@ -54,6 +54,9 @@ struct Entry<'a> {
 /// A set of registered metric sources, rendered on demand.
 pub struct Registry<'a> {
     entries: Mutex<Vec<Entry<'a>>>,
+    /// Label pairs stamped on every registered family (e.g.
+    /// `instance="shard0"`), so one scraper can tell fleet members apart.
+    base_labels: String,
 }
 
 impl Default for Registry<'_> {
@@ -65,7 +68,37 @@ impl Default for Registry<'_> {
 impl<'a> Registry<'a> {
     /// An empty registry.
     pub fn new() -> Self {
-        Self { entries: Mutex::new(Vec::new()) }
+        Self { entries: Mutex::new(Vec::new()), base_labels: String::new() }
+    }
+
+    /// An empty registry whose every family carries `instance="<name>"`.
+    /// A fleet scraper (`sknn top --endpoints`) uses the label to
+    /// attribute samples to their shard or router after aggregation.
+    pub fn with_instance(instance: &str) -> Self {
+        let mut escaped = String::with_capacity(instance.len());
+        for c in instance.chars() {
+            match c {
+                '\\' => escaped.push_str("\\\\"),
+                '"' => escaped.push_str("\\\""),
+                '\n' => escaped.push_str("\\n"),
+                c => escaped.push(c),
+            }
+        }
+        Self { entries: Mutex::new(Vec::new()), base_labels: format!("instance=\"{escaped}\"") }
+    }
+
+    /// The pre-rendered base label pairs (empty without an instance).
+    pub fn base_labels(&self) -> &str {
+        &self.base_labels
+    }
+
+    /// Base labels merged with entry-specific pairs.
+    fn merge_labels(&self, labels: &str) -> String {
+        match (self.base_labels.is_empty(), labels.is_empty()) {
+            (true, _) => labels.to_string(),
+            (false, true) => self.base_labels.clone(),
+            (false, false) => format!("{},{}", self.base_labels, labels),
+        }
     }
 
     /// Register a counter read through `f` at render time.
@@ -88,7 +121,7 @@ impl<'a> Registry<'a> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner()).push(Entry {
             name: name.to_string(),
             help: help.to_string(),
-            labels: String::new(),
+            labels: self.merge_labels(""),
             source: Source::Value(kind, Box::new(f)),
         });
     }
@@ -107,7 +140,7 @@ impl<'a> Registry<'a> {
         self.entries.lock().unwrap_or_else(|e| e.into_inner()).push(Entry {
             name: name.to_string(),
             help: help.to_string(),
-            labels: labels.to_string(),
+            labels: self.merge_labels(labels),
             source: Source::Histogram(Box::new(f)),
         });
     }
@@ -268,6 +301,31 @@ mod tests {
         assert_eq!(text.matches("# TYPE sknn_stage_us histogram").count(), 1);
         assert!(text.contains("stage=\"a\""));
         assert!(text.contains("stage=\"b\""));
+    }
+
+    #[test]
+    fn instance_label_stamps_every_family() {
+        let h = LogHistogram::new();
+        h.record(3);
+        let reg = Registry::with_instance("shard1");
+        reg.counter_fn("sknn_requests_total", "Requests served.", || 7);
+        reg.gauge_fn("sknn_queue_depth", "Requests queued.", || 2.0);
+        reg.histogram_fn("sknn_stage_us", "Stage latency.", "stage=\"rank\"", || h.snapshot());
+        let text = reg.render();
+        assert!(text.contains("sknn_requests_total{instance=\"shard1\"} 7\n"), "{text}");
+        assert!(text.contains("sknn_queue_depth{instance=\"shard1\"} 2\n"), "{text}");
+        assert!(
+            text.contains("sknn_stage_us_bucket{instance=\"shard1\",stage=\"rank\",le=\"3\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("sknn_stage_us_count{instance=\"shard1\",stage=\"rank\"} 1\n"));
+    }
+
+    #[test]
+    fn instance_label_escapes_quotes() {
+        let reg = Registry::with_instance("a\"b\\c");
+        reg.counter_fn("sknn_x", "X.", || 1);
+        assert!(reg.render().contains("sknn_x{instance=\"a\\\"b\\\\c\"} 1\n"));
     }
 
     #[test]

@@ -25,18 +25,21 @@
 //! delivered first. The server shuts down by stopping the producers, and
 //! every admitted request still gets its reply.
 
+use crate::lanes::Lanes;
 use crate::protocol::{
-    write_frame_v, ErrorCode, ErrorFrame, Frame, ResponseFrame, ServerTiming, WireNeighbor,
+    write_frame_v, ErrorCode, ErrorFrame, Frame, RadiusFrame, RangeFrame, ResponseFrame,
+    SeedsFrame, ServerTiming, WireNeighbor, WireObject,
 };
 use crate::slowlog::{SlowEntry, SlowOutcome, SlowQueryLog};
 use crate::stats::ServeStats;
+use sknn_core::metrics::QueryResult;
 use sknn_core::mr3::Mr3Engine;
 use sknn_core::resilience::QueryError;
 use sknn_core::workload::SurfacePoint;
+use sknn_geom::Point2;
 use sknn_obs::{field, Recorder};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -46,7 +49,9 @@ use std::time::{Duration, Instant};
 /// frame is a single `write_all` — frames never interleave.
 #[derive(Debug)]
 pub(crate) struct ConnWriter {
-    stream: Mutex<TcpStream>,
+    /// `None` is the null sink (tests and internal jobs): every send
+    /// succeeds and goes nowhere.
+    stream: Mutex<Option<TcpStream>>,
     /// Latched on the first failed write: the client is gone, so further
     /// replies are skipped instead of erroring one by one.
     dead: AtomicBool,
@@ -54,7 +59,13 @@ pub(crate) struct ConnWriter {
 
 impl ConnWriter {
     pub(crate) fn new(stream: TcpStream) -> Self {
-        Self { stream: Mutex::new(stream), dead: AtomicBool::new(false) }
+        Self { stream: Mutex::new(Some(stream)), dead: AtomicBool::new(false) }
+    }
+
+    /// A writer that discards every frame (unit tests).
+    #[cfg(test)]
+    pub(crate) fn null() -> Self {
+        Self { stream: Mutex::new(None), dead: AtomicBool::new(false) }
     }
 
     /// Writes one frame encoded at `version` (the wire version the
@@ -65,7 +76,8 @@ impl ConnWriter {
             return false;
         }
         let mut stream = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        match write_frame_v(&mut *stream, frame, version) {
+        let Some(stream) = stream.as_mut() else { return true };
+        match write_frame_v(stream, frame, version) {
             Ok(()) => true,
             Err(_) => {
                 self.dead.store(true, Ordering::Relaxed);
@@ -76,23 +88,46 @@ impl ConnWriter {
     }
 }
 
-/// One admitted request, parked in the queue until a batch picks it up.
+/// What an admitted request asks the engine for. `Query` is the whole
+/// MR3 pipeline; the rest are the decomposed shard ops of protocol v3
+/// (a router reconstructing one query across a fleet). All ops flow
+/// through the same lanes and batches, so every op is cancellable while
+/// queued and every reply carries the same timing envelope.
+pub(crate) enum JobOp {
+    /// Full k-NN query (steps 1–4).
+    Query { point: SurfacePoint, k: usize },
+    /// Step 1 only: local 2D seeds.
+    Seeds { xy: Point2, k: usize },
+    /// Step 3 only: local 2D range collection.
+    Range { xy: Point2, radius: f64 },
+    /// Step 2 with explicit merged seeds.
+    Radius { point: SurfacePoint, seeds: Vec<(u32, SurfacePoint)> },
+    /// Steps 2+4 with explicit merged lists (home-shard coupled ranking).
+    Exec {
+        point: SurfacePoint,
+        k: usize,
+        seeds: Vec<(u32, SurfacePoint)>,
+        cands: Vec<(u32, SurfacePoint)>,
+    },
+}
+
+/// One admitted request, parked in the lanes until a batch picks it up.
 pub(crate) struct Job {
     pub req_id: u64,
     /// The request's trace id: client-supplied or minted at admission,
     /// never 0 past that point. Doubles as the engine's query id so every
     /// obs record of this request carries it.
     pub trace_id: u64,
-    pub point: SurfacePoint,
-    pub k: usize,
+    /// What to run.
+    pub op: JobOp,
     /// Absolute deadline (arrival + `deadline_ms`); enforced at dequeue
     /// and passed into the engine for mid-query enforcement.
     pub deadline: Option<Instant>,
     pub enqueued: Instant,
-    /// When the dispatcher pulled this job off the channel. Initialized
+    /// When the dispatcher pulled this job off the lanes. Initialized
     /// to `enqueued` at admission and overwritten at pickup.
     pub recv_at: Instant,
-    /// Protocol version the query frame arrived in; replies use it.
+    /// Protocol version the request frame arrived in; replies use it.
     pub wire_version: u16,
     pub writer: std::sync::Arc<ConnWriter>,
 }
@@ -105,44 +140,61 @@ pub(crate) struct BatchPolicy {
     pub exec_threads: usize,
 }
 
-/// Dispatcher thread body: drain the queue into micro-batches until all
-/// producers have hung up.
+/// Dispatcher thread body: drain the lanes into micro-batches until the
+/// lanes are closed and empty.
 pub(crate) fn dispatch_loop(
     engine: &Mr3Engine<'_, '_>,
-    rx: &Receiver<Job>,
+    lanes: &Lanes,
     policy: BatchPolicy,
     stats: &ServeStats,
     slow: &SlowQueryLog,
     rec: &dyn Recorder,
 ) {
-    while let Ok(mut first) = rx.recv() {
+    while let Some(mut first) = lanes.pop() {
         first.recv_at = Instant::now();
         let mut jobs = vec![first];
         let linger_until = Instant::now() + policy.max_wait;
         while jobs.len() < policy.max_batch {
-            match rx.try_recv() {
-                Ok(mut job) => {
+            match lanes.try_pop() {
+                Some(mut job) => {
                     job.recv_at = Instant::now();
                     jobs.push(job);
                 }
-                Err(TryRecvError::Disconnected) => break,
-                Err(TryRecvError::Empty) => {
-                    let now = Instant::now();
-                    if now >= linger_until {
+                None => {
+                    if Instant::now() >= linger_until {
                         break;
                     }
-                    match rx.recv_timeout(linger_until - now) {
-                        Ok(mut job) => {
+                    match lanes.pop_until(linger_until) {
+                        Some(mut job) => {
                             job.recv_at = Instant::now();
                             jobs.push(job);
                         }
-                        Err(_) => break,
+                        None => break,
                     }
                 }
             }
         }
         run_batch(engine, jobs, policy, stats, slow, rec);
     }
+}
+
+/// Per-op engine output, paired back with its job after the batch runs.
+/// Lives only for the duration of one batch; boxing the ranked result to
+/// even out variant sizes would cost an allocation per query.
+#[allow(clippy::large_enum_variant)]
+enum OpOut {
+    /// `Query` and `Exec`: a full ranked result.
+    Ranked(Result<QueryResult, QueryError>),
+    /// `Seeds`: local `(2D distance, id, point)` seeds, canonical order.
+    Seeds(Vec<(f64, u32, SurfacePoint)>),
+    /// `Range`: local in-range objects, ascending by id.
+    Range(Vec<(u32, SurfacePoint)>),
+    /// `Radius`: the estimated search radius.
+    Radius(Result<f64, QueryError>),
+}
+
+fn wire_object(id: u32, p: &SurfacePoint) -> WireObject {
+    WireObject { id, tri: p.tri, x: p.pos.x, y: p.pos.y, z: p.pos.z }
 }
 
 fn micros_u64(d: Duration) -> u64 {
@@ -202,11 +254,30 @@ fn run_batch(
         return;
     }
 
-    let batch: Vec<(SurfacePoint, usize, Option<Instant>, u64)> =
-        live.iter().map(|j| (j.point, j.k, j.deadline, j.trace_id)).collect();
     let stall_before_ns = engine.pager().stall_ns();
     let exec_start = Instant::now();
-    let results = engine.try_query_batch_traced(&batch, policy.exec_threads);
+    // Per-element dispatch on the op keeps the bit-identity contract of
+    // `try_query_batch_traced`: each element is an independent engine
+    // call, so results do not depend on what rode along in the batch.
+    let results: Vec<OpOut> =
+        sknn_exec::par_map(policy.exec_threads, &live, |_, job| match &job.op {
+            JobOp::Query { point, k } => {
+                OpOut::Ranked(engine.try_query_traced(*point, *k, job.deadline, job.trace_id))
+            }
+            JobOp::Exec { point, k, seeds, cands } => OpOut::Ranked(engine.exec_ranked(
+                *point,
+                *k,
+                seeds,
+                cands,
+                job.deadline,
+                job.trace_id,
+            )),
+            JobOp::Seeds { xy, k } => OpOut::Seeds(engine.seeds2d(*xy, *k)),
+            JobOp::Range { xy, radius } => OpOut::Range(engine.range2d(*xy, *radius)),
+            JobOp::Radius { point, seeds } => {
+                OpOut::Radius(engine.estimate_radius_for(*point, seeds, job.deadline, job.trace_id))
+            }
+        });
     let exec_us = micros_u32(exec_start.elapsed());
     // The pager's stall clock is cumulative; the difference across the
     // engine call is this batch's stall wall time. Stalls of concurrent
@@ -250,7 +321,35 @@ fn run_batch(
             ..Default::default()
         };
         let frame = match result {
-            Ok(mut res) => {
+            OpOut::Seeds(seeds) => {
+                stats.completed.inc();
+                Frame::Seeds(SeedsFrame {
+                    req_id: job.req_id,
+                    trace_id: job.trace_id,
+                    seeds: seeds.iter().map(|(d, id, p)| (*d, wire_object(*id, p))).collect(),
+                })
+            }
+            OpOut::Range(objs) => {
+                stats.completed.inc();
+                Frame::Range(RangeFrame {
+                    req_id: job.req_id,
+                    trace_id: job.trace_id,
+                    objects: objs.iter().map(|(id, p)| wire_object(*id, p)).collect(),
+                })
+            }
+            OpOut::Radius(Ok(radius)) => {
+                stats.completed.inc();
+                Frame::Radius(RadiusFrame { req_id: job.req_id, trace_id: job.trace_id, radius })
+            }
+            OpOut::Radius(Err(e)) => {
+                stats.query_errors.inc();
+                Frame::Error(ErrorFrame {
+                    req_id: job.req_id,
+                    code: ErrorCode::FaultBudgetExceeded,
+                    detail: e.to_string(),
+                })
+            }
+            OpOut::Ranked(Ok(mut res)) => {
                 stats.completed.inc();
                 let stages = res.stats.stages;
                 timing.knn2d_us = stages.knn2d_us.min(u32::MAX as u64) as u32;
@@ -298,9 +397,10 @@ fn run_batch(
                         .iter()
                         .map(|n| WireNeighbor { id: n.id, lb: n.range.lb, ub: n.range.ub })
                         .collect(),
+                    radius: res.radius,
                 })
             }
-            Err(e @ QueryError::FaultBudgetExceeded { .. }) => {
+            OpOut::Ranked(Err(e @ QueryError::FaultBudgetExceeded { .. })) => {
                 stats.query_errors.inc();
                 if slow.wants(latency, SlowOutcome::Error) {
                     stats.slow_captured.inc();

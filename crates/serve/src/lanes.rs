@@ -1,0 +1,265 @@
+//! Deadline-aware admission lanes: the bounded queue between connection
+//! readers and the micro-batch dispatcher, replacing the original FIFO
+//! `sync_channel`.
+//!
+//! Scheduling is earliest-deadline-first with a starvation floor:
+//!
+//! * a job with an absolute deadline is dispatched before every job with
+//!   a later (or no) deadline — the request with the least slack gets
+//!   the engine first, which is what turns per-request deadlines from a
+//!   drop policy into an actual scheduling policy;
+//! * deadline-less jobs keep FIFO order among themselves and yield to
+//!   any deadlined job — *unless* the oldest queued job (deadlined or
+//!   not) has waited longer than the floor, in which case it is taken
+//!   next regardless. The floor bounds how long a stream of urgent
+//!   arrivals can park a patient request, so EDF cannot starve.
+//!
+//! The lanes also support withdrawal: a queued job can be [`cancel`]led
+//! by `(req_id, trace_id)` before the dispatcher picks it up — the hook
+//! the sharding router uses to kill speculative fan-out legs whose
+//! answer the merged bound has already proven irrelevant.
+//!
+//! [`cancel`]: Lanes::cancel
+
+use crate::batch::Job;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused. The job is handed back so the caller can
+/// answer it with the right typed error.
+pub(crate) enum PushError {
+    /// The queue is at capacity; shed the job (`Overloaded`).
+    Full(Job),
+    /// The lanes are closed (server draining); reject (`ShuttingDown`).
+    Closed(Job),
+}
+
+struct Inner {
+    jobs: Vec<Job>,
+    closed: bool,
+}
+
+/// The shared admission queue. Producers (`try_push`, `cancel`) are the
+/// per-connection readers; the single consumer is the dispatcher.
+pub(crate) struct Lanes {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    capacity: usize,
+    floor: Duration,
+}
+
+impl Lanes {
+    /// An empty queue bounded at `capacity` with the given starvation
+    /// floor (a zero floor disables the floor — pure EDF).
+    pub(crate) fn new(capacity: usize, floor: Duration) -> Self {
+        Self {
+            inner: Mutex::new(Inner { jobs: Vec::new(), closed: false }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+            floor,
+        }
+    }
+
+    /// Offers a job; never blocks. On refusal the job comes back in the
+    /// error so the caller can reply to it — the error is as big as the
+    /// job on purpose.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), PushError> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.closed {
+            return Err(PushError::Closed(job));
+        }
+        if g.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        g.jobs.push(job);
+        drop(g);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Withdraws a queued job matching both ids (the pair must match so a
+    /// recycled `req_id` cannot kill a stranger's request). Returns the
+    /// job — with its reply writer — when the cancel lands; `None` is a
+    /// cancel miss (already dispatched, unknown, or already answered).
+    pub(crate) fn cancel(&self, req_id: u64, trace_id: u64) -> Option<Job> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let i = g.jobs.iter().position(|j| j.req_id == req_id && j.trace_id == trace_id)?;
+        Some(g.jobs.remove(i))
+    }
+
+    /// Closes the lanes: future pushes fail with [`PushError::Closed`],
+    /// queued jobs keep draining, and poppers see `None` once empty.
+    pub(crate) fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocking pop: the scheduled-next job, or `None` once the lanes
+    /// are closed and empty (the dispatcher's exit condition).
+    pub(crate) fn pop(&self) -> Option<Job> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(i) = self.pick(&g.jobs) {
+                return Some(g.jobs.remove(i));
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking pop.
+    pub(crate) fn try_pop(&self) -> Option<Job> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        self.pick(&g.jobs).map(|i| g.jobs.remove(i))
+    }
+
+    /// Pop that waits at most until `until` (the dispatcher's linger
+    /// window). `None` on timeout or on closed-and-empty.
+    pub(crate) fn pop_until(&self, until: Instant) -> Option<Job> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(i) = self.pick(&g.jobs) {
+                return Some(g.jobs.remove(i));
+            }
+            if g.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= until {
+                return None;
+            }
+            let (guard, timeout) =
+                self.cond.wait_timeout(g, until - now).unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if timeout.timed_out() && self.pick(&g.jobs).is_none() {
+                return None;
+            }
+        }
+    }
+
+    /// The scheduling rule. Returns the index to dispatch next.
+    fn pick(&self, jobs: &[Job]) -> Option<usize> {
+        if jobs.is_empty() {
+            return None;
+        }
+        // Starvation floor: once the oldest arrival has waited past the
+        // floor, it goes next no matter what deadlines are queued.
+        let (oldest, job) =
+            jobs.iter().enumerate().min_by_key(|(_, j)| j.enqueued).expect("non-empty");
+        if !self.floor.is_zero() && job.enqueued.elapsed() >= self.floor {
+            return Some(oldest);
+        }
+        // EDF: earliest absolute deadline first; deadline-less jobs sort
+        // after every deadlined one and FIFO among themselves. `min_by`
+        // keeps the first of equals, so equal deadlines are FIFO too.
+        jobs.iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| match (a.deadline, b.deadline) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.enqueued.cmp(&b.enqueued),
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{ConnWriter, Job, JobOp};
+    use sknn_core::workload::SurfacePoint;
+    use sknn_geom::Point3;
+    use std::sync::Arc;
+
+    fn job(req_id: u64, deadline: Option<Instant>, enqueued: Instant) -> Job {
+        Job {
+            req_id,
+            trace_id: req_id + 1000,
+            op: JobOp::Query {
+                point: SurfacePoint { tri: 0, pos: Point3::new(0.0, 0.0, 0.0) },
+                k: 1,
+            },
+            deadline,
+            enqueued,
+            recv_at: enqueued,
+            wire_version: 3,
+            writer: Arc::new(ConnWriter::null()),
+        }
+    }
+
+    #[test]
+    fn edf_orders_by_deadline_not_arrival() {
+        let lanes = Lanes::new(8, Duration::from_secs(60));
+        let t0 = Instant::now();
+        let late = t0 + Duration::from_secs(30);
+        let soon = t0 + Duration::from_secs(1);
+        let mid = t0 + Duration::from_secs(10);
+        lanes.try_push(job(1, Some(late), t0)).ok().unwrap();
+        lanes.try_push(job(2, None, t0)).ok().unwrap();
+        lanes.try_push(job(3, Some(soon), t0)).ok().unwrap();
+        lanes.try_push(job(4, Some(mid), t0)).ok().unwrap();
+        let order: Vec<u64> = (0..4).map(|_| lanes.pop().unwrap().req_id).collect();
+        assert_eq!(order, vec![3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn deadline_less_jobs_stay_fifo() {
+        let lanes = Lanes::new(8, Duration::from_secs(60));
+        let t0 = Instant::now();
+        for i in 0..4 {
+            lanes.try_push(job(i, None, t0 + Duration::from_micros(i))).ok().unwrap();
+        }
+        let order: Vec<u64> = (0..4).map(|_| lanes.pop().unwrap().req_id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn starvation_floor_overrides_edf() {
+        let lanes = Lanes::new(8, Duration::from_millis(1));
+        // Enqueued far enough in the past to be past the floor already.
+        let old = Instant::now() - Duration::from_millis(50);
+        lanes.try_push(job(1, None, old)).ok().unwrap();
+        lanes.try_push(job(2, Some(Instant::now()), Instant::now())).ok().unwrap();
+        // EDF alone would pick 2 (only deadlined job); the floor forces
+        // the starved deadline-less 1 first.
+        assert_eq!(lanes.pop().unwrap().req_id, 1);
+        assert_eq!(lanes.pop().unwrap().req_id, 2);
+    }
+
+    #[test]
+    fn full_queue_sheds_and_cancel_withdraws() {
+        let lanes = Lanes::new(2, Duration::ZERO);
+        let t0 = Instant::now();
+        lanes.try_push(job(1, None, t0)).ok().unwrap();
+        lanes.try_push(job(2, None, t0)).ok().unwrap();
+        match lanes.try_push(job(3, None, t0)) {
+            Err(PushError::Full(j)) => assert_eq!(j.req_id, 3),
+            _ => panic!("expected Full"),
+        }
+        // Wrong trace id: miss. Right pair: withdrawn.
+        assert!(lanes.cancel(1, 0).is_none());
+        let withdrawn = lanes.cancel(1, 1001).unwrap();
+        assert_eq!(withdrawn.req_id, 1);
+        assert!(lanes.cancel(1, 1001).is_none(), "second cancel is a miss");
+        assert_eq!(lanes.pop().unwrap().req_id, 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let lanes = Lanes::new(4, Duration::ZERO);
+        let t0 = Instant::now();
+        lanes.try_push(job(1, None, t0)).ok().unwrap();
+        lanes.close();
+        match lanes.try_push(job(2, None, t0)) {
+            Err(PushError::Closed(j)) => assert_eq!(j.req_id, 2),
+            _ => panic!("expected Closed"),
+        }
+        assert_eq!(lanes.pop().unwrap().req_id, 1);
+        assert!(lanes.pop().is_none());
+        assert!(lanes.pop_until(Instant::now() + Duration::from_millis(5)).is_none());
+    }
+}

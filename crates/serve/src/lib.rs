@@ -30,8 +30,9 @@
 //! * [`slowlog`] — an always-on bounded reservoir of slow / degraded /
 //!   failed requests, dumped as JSONL via the `TRACE_DUMP` frame and at
 //!   drain.
-//! * [`metrics_http`] (internal) — a std-only HTTP listener serving
-//!   Prometheus text (`/metrics`) and drain-aware health (`/healthz`).
+//! * [`metrics_http`] — a std-only HTTP listener serving Prometheus
+//!   text (`/metrics`) and drain-aware health (`/healthz`), shared with
+//!   the shard router in `sknn-shard`.
 //! * [`promtext`] — client-side Prometheus text parsing and quantile
 //!   estimation, powering `sknn top` and the CI scrape check.
 //!
@@ -40,6 +41,8 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod metrics_http;
+pub mod pool;
 pub mod promtext;
 pub mod protocol;
 pub mod server;
@@ -47,7 +50,7 @@ pub mod slowlog;
 pub mod stats;
 
 mod batch;
-mod metrics_http;
+mod lanes;
 
 pub use client::Client;
 pub use loadgen::{LoadgenConfig, RunReport};

@@ -86,6 +86,9 @@ pub struct RunReport {
     pub bad_request: u64,
     /// Typed `FaultBudgetExceeded` replies.
     pub fault_errors: u64,
+    /// Typed `Cancelled` replies (v3; zero unless something cancelled
+    /// this client's requests out from under it).
+    pub cancelled: u64,
     /// Requests with no reply at all (should be zero — every admitted or
     /// rejected request gets a frame).
     pub missing: u64,
@@ -155,13 +158,15 @@ impl RunReport {
         ));
         s.push_str(&format!(
             "{indent}  \"degraded\": {}, \"overloaded\": {}, \"expired\": {}, \
-             \"shutdown_rejected\": {}, \"bad_request\": {}, \"fault_errors\": {},\n",
+             \"shutdown_rejected\": {}, \"bad_request\": {}, \"fault_errors\": {}, \
+             \"cancelled\": {},\n",
             self.degraded,
             self.overloaded,
             self.expired,
             self.shutdown_rejected,
             self.bad_request,
-            self.fault_errors
+            self.fault_errors,
+            self.cancelled
         ));
         s.push_str(&format!(
             "{indent}  \"missing\": {}, \"protocol_errors\": {}, \"verified\": {}, \
@@ -216,6 +221,7 @@ struct ConnTally {
     shutdown_rejected: u64,
     bad_request: u64,
     fault_errors: u64,
+    cancelled: u64,
     missing: u64,
     protocol_errors: u64,
     verified: u64,
@@ -330,6 +336,7 @@ pub fn run(
         report.shutdown_rejected += t.shutdown_rejected;
         report.bad_request += t.bad_request;
         report.fault_errors += t.fault_errors;
+        report.cancelled += t.cancelled;
         report.missing += t.missing;
         report.protocol_errors += t.protocol_errors;
         report.verified += t.verified;
@@ -397,6 +404,7 @@ fn classify(tally: &mut ConnTally, frame: &Frame, expect: &[Option<Fingerprint>]
                 ErrorCode::ShuttingDown => tally.shutdown_rejected += 1,
                 ErrorCode::BadRequest => tally.bad_request += 1,
                 ErrorCode::FaultBudgetExceeded => tally.fault_errors += 1,
+                ErrorCode::Cancelled => tally.cancelled += 1,
             }
             Some((e.req_id & 0xFFFF_FFFF) as usize)
         }

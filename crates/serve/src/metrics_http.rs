@@ -25,7 +25,7 @@ use std::time::Duration;
 /// Serves `/metrics` and `/healthz` until `stop` is set. `draining`
 /// flips the health answer; it is independent of `stop` so the endpoint
 /// keeps answering (as draining) for the whole drain window.
-pub(crate) fn metrics_loop(
+pub fn metrics_loop(
     listener: &TcpListener,
     registry: &Registry<'_>,
     draining: &AtomicBool,
@@ -133,7 +133,7 @@ fn write_response(
 
 /// Binds the metrics listener (port 0 for ephemeral) and returns it with
 /// its resolved address.
-pub(crate) fn bind_metrics(addr: &str) -> io::Result<(TcpListener, SocketAddr)> {
+pub fn bind_metrics(addr: &str) -> io::Result<(TcpListener, SocketAddr)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     Ok((listener, local))

@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  b"SKNN"
-//!      4     2  protocol version (little-endian u16, 1 or 2)
+//!      4     2  protocol version (little-endian u16, 1..=3)
 //!      6     1  frame type tag
 //!      7     1  reserved (must be 0 on send, ignored on receive)
 //!      8     4  payload length (little-endian u32, <= MAX_PAYLOAD)
@@ -36,6 +36,22 @@
 //! [`ProtocolError::BadVersion`] rejection it can downgrade on. Decoding
 //! a v1 payload fills the v2-only fields with their zero values.
 //!
+//! Version 3 adds the sharded-serving vocabulary:
+//!
+//! * [`CancelFrame`] — withdraw a queued request (router cancels fan-out
+//!   legs whose answer the merged bound already proves irrelevant); a
+//!   cancelled request is answered with [`ErrorCode::Cancelled`],
+//! * [`ResponseFrame`] carries the step-2 search `radius` (`0.0` from
+//!   older frames), the router's straddle test,
+//! * the shard-op frames ([`SeedsRequestFrame`]/[`SeedsFrame`],
+//!   [`RangeRequestFrame`]/[`RangeFrame`], [`RadiusRequestFrame`]/
+//!   [`RadiusFrame`], [`ExecRequestFrame`]) that decompose MR3 across a
+//!   fleet: per-shard 2D seeding and range collection, then one coupled
+//!   ranking run over the merged candidate list on the home shard.
+//!
+//! None of the v3 tags are valid in a v1/v2 header — a forged one is a
+//! typed [`ProtocolError::UnknownFrameType`].
+//!
 //! Decoding is total: any byte string produces either a frame or a typed
 //! [`ProtocolError`], never a panic. The payload-length cap bounds every
 //! allocation before it happens, including the per-list counts inside
@@ -50,7 +66,7 @@ pub const MAGIC: [u8; 4] = *b"SKNN";
 /// Current (highest supported) protocol version. Frames carrying any
 /// version in [`MIN_VERSION`]`..=VERSION` are accepted; others are
 /// rejected with [`ProtocolError::BadVersion`].
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 
 /// Oldest protocol version still decoded (v1: no trace ids, three-field
 /// timing, no trace-dump frames).
@@ -76,6 +92,14 @@ const TAG_STATS_REQUEST: u8 = 4;
 const TAG_STATS: u8 = 5;
 const TAG_TRACE_DUMP_REQUEST: u8 = 6;
 const TAG_TRACE_DUMP: u8 = 7;
+const TAG_CANCEL: u8 = 8;
+const TAG_SEEDS_REQUEST: u8 = 9;
+const TAG_SEEDS: u8 = 10;
+const TAG_RANGE_REQUEST: u8 = 11;
+const TAG_RANGE: u8 = 12;
+const TAG_RADIUS_REQUEST: u8 = 13;
+const TAG_RADIUS: u8 = 14;
+const TAG_EXEC_REQUEST: u8 = 15;
 
 /// A surface k-NN request.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +186,169 @@ pub struct ResponseFrame {
     pub degraded: Option<String>,
     /// Queue/execution timing and batch size for this request.
     pub timing: ServerTiming,
+    /// The MR3 step-2 search radius this answer was computed under — the
+    /// router's straddle test (a query whose radius-circle stays inside
+    /// one tile is fully answered by that tile's shard). v3 only; `0.0`
+    /// when decoded from an older frame or when the engine reported none.
+    pub radius: f64,
+}
+
+/// One object on the wire: id plus its located surface point, enough for
+/// a peer to rebuild the engine's candidate without a local object table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireObject {
+    /// Object id (global across the fleet — shards keep genesis ids).
+    pub id: u32,
+    /// Containing facet of the object's surface point.
+    pub tri: u32,
+    /// Surface point x (bit-exact f64).
+    pub x: f64,
+    /// Surface point y.
+    pub y: f64,
+    /// Surface point z.
+    pub z: f64,
+}
+
+const WIRE_OBJECT_LEN: usize = 28;
+
+/// Withdraw a queued request (v3 only). The target removes the request
+/// from its admission lanes if still queued and answers it with
+/// [`ErrorCode::Cancelled`]; a request already executing runs to
+/// completion (a cancel miss — counted, not an error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancelFrame {
+    /// Correlation id of the request to withdraw.
+    pub req_id: u64,
+    /// Trace id the request carried — both must match for the cancel to
+    /// land, so a recycled `req_id` cannot kill a stranger's request.
+    pub trace_id: u64,
+}
+
+/// Shard op: return the k nearest *live objects by 2D plan distance* to
+/// `(x, y)` (MR3 step 1 restricted to this shard's tile). v3 only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeedsRequestFrame {
+    /// Correlation id, echoed in the [`SeedsFrame`] reply.
+    pub req_id: u64,
+    /// Trace id stamping the shard's obs records for this leg.
+    pub trace_id: u64,
+    /// Query plan x.
+    pub x: f64,
+    /// Query plan y.
+    pub y: f64,
+    /// Number of seeds requested.
+    pub k: u32,
+    /// Per-request deadline in milliseconds from arrival; `0` means none.
+    pub deadline_ms: u32,
+}
+
+/// Reply to [`SeedsRequestFrame`]: this shard's local 2D k-NN seeds,
+/// ascending by `(dist, id)` — the canonical order the router's merge
+/// preserves. v3 only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedsFrame {
+    /// Echo of the request's correlation id.
+    pub req_id: u64,
+    /// Echo of the request's trace id.
+    pub trace_id: u64,
+    /// `(2D plan distance, object)` pairs, ascending by `(dist, id)`.
+    pub seeds: Vec<(f64, WireObject)>,
+}
+
+/// Shard op: return every live object within 2D plan distance `radius`
+/// of `(x, y)` (MR3 step 3 restricted to this shard's tile). A
+/// non-finite radius means "every live object" — the engine's degenerate
+/// fallback when radius estimation hit its deadline. v3 only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeRequestFrame {
+    /// Correlation id, echoed in the [`RangeFrame`] reply.
+    pub req_id: u64,
+    /// Trace id stamping the shard's obs records for this leg.
+    pub trace_id: u64,
+    /// Query plan x.
+    pub x: f64,
+    /// Query plan y.
+    pub y: f64,
+    /// 2D search radius (bit-exact; may be non-finite).
+    pub radius: f64,
+    /// Per-request deadline in milliseconds from arrival; `0` means none.
+    pub deadline_ms: u32,
+}
+
+/// Reply to [`RangeRequestFrame`]: the in-range objects ascending by id
+/// (canonical order; the router's k-way merge preserves it). v3 only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeFrame {
+    /// Echo of the request's correlation id.
+    pub req_id: u64,
+    /// Echo of the request's trace id.
+    pub trace_id: u64,
+    /// In-range objects, ascending by id.
+    pub objects: Vec<WireObject>,
+}
+
+/// Shard op: run MR3 step 2 (radius estimation) on the home shard with
+/// an explicit, already-merged seed list — the candidate population and
+/// order are the router's, so the estimate is bit-identical to a single
+/// engine seeded the same way. v3 only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RadiusRequestFrame {
+    /// Correlation id, echoed in the [`RadiusFrame`] reply.
+    pub req_id: u64,
+    /// Trace id stamping the shard's obs records.
+    pub trace_id: u64,
+    /// Containing facet of the query point, or [`LOCATE_TRI`].
+    pub tri: u32,
+    /// Query point x.
+    pub x: f64,
+    /// Query point y.
+    pub y: f64,
+    /// Query point z.
+    pub z: f64,
+    /// Per-request deadline in milliseconds from arrival; `0` means none.
+    pub deadline_ms: u32,
+    /// The globally merged seeds, in canonical `(dist, id)` order.
+    pub seeds: Vec<WireObject>,
+}
+
+/// Reply to [`RadiusRequestFrame`]. v3 only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadiusFrame {
+    /// Echo of the request's correlation id.
+    pub req_id: u64,
+    /// Echo of the request's trace id.
+    pub trace_id: u64,
+    /// The estimated search radius (bit-exact; may be non-finite).
+    pub radius: f64,
+}
+
+/// Shard op: run MR3 steps 2+4 (radius + coupled ranking) on the home
+/// shard over explicit, router-merged seed and candidate lists, replying
+/// with a [`ResponseFrame`] whose neighbors carry up to `k + 1` entries
+/// so the router can re-check the `ub(p_k) ≤ lb(p_{k+1})` termination
+/// bound itself. v3 only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecRequestFrame {
+    /// Correlation id, echoed in the reply.
+    pub req_id: u64,
+    /// Trace id stamping the shard's obs records.
+    pub trace_id: u64,
+    /// Containing facet of the query point, or [`LOCATE_TRI`].
+    pub tri: u32,
+    /// Query point x.
+    pub x: f64,
+    /// Query point y.
+    pub y: f64,
+    /// Query point z.
+    pub z: f64,
+    /// Number of neighbors requested.
+    pub k: u32,
+    /// Per-request deadline in milliseconds from arrival; `0` means none.
+    pub deadline_ms: u32,
+    /// The globally merged seeds, in canonical `(dist, id)` order.
+    pub seeds: Vec<WireObject>,
+    /// The globally merged in-range candidates, ascending by id.
+    pub cands: Vec<WireObject>,
 }
 
 /// Why a request was answered with an [`ErrorFrame`] instead of a result.
@@ -182,6 +369,10 @@ pub enum ErrorCode {
     /// range, non-finite coordinates, point outside the terrain, or an
     /// unexpected frame type).
     BadRequest,
+    /// The request was withdrawn by a [`CancelFrame`] while still queued;
+    /// it was never executed (v3 only — a router cancelling a losing
+    /// fan-out leg is the expected producer).
+    Cancelled,
 }
 
 impl ErrorCode {
@@ -192,6 +383,7 @@ impl ErrorCode {
             ErrorCode::FaultBudgetExceeded => 3,
             ErrorCode::ShuttingDown => 4,
             ErrorCode::BadRequest => 5,
+            ErrorCode::Cancelled => 6,
         }
     }
 
@@ -202,6 +394,7 @@ impl ErrorCode {
             3 => ErrorCode::FaultBudgetExceeded,
             4 => ErrorCode::ShuttingDown,
             5 => ErrorCode::BadRequest,
+            6 => ErrorCode::Cancelled,
             _ => return None,
         })
     }
@@ -215,6 +408,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::FaultBudgetExceeded => "FaultBudgetExceeded",
             ErrorCode::ShuttingDown => "ShuttingDown",
             ErrorCode::BadRequest => "BadRequest",
+            ErrorCode::Cancelled => "Cancelled",
         };
         f.write_str(s)
     }
@@ -267,6 +461,23 @@ pub enum Frame {
     TraceDumpRequest,
     /// Server → client: the slow-query JSONL dump (v2 only).
     TraceDump(TraceDumpFrame),
+    /// Client → server: withdraw a queued request (v3 only).
+    Cancel(CancelFrame),
+    /// Router → shard: local 2D k-NN seeds (v3 only).
+    SeedsRequest(SeedsRequestFrame),
+    /// Shard → router: the local seeds (v3 only).
+    Seeds(SeedsFrame),
+    /// Router → shard: local 2D range collection (v3 only).
+    RangeRequest(RangeRequestFrame),
+    /// Shard → router: the in-range objects (v3 only).
+    Range(RangeFrame),
+    /// Router → home shard: radius estimation over merged seeds (v3 only).
+    RadiusRequest(RadiusRequestFrame),
+    /// Home shard → router: the estimated radius (v3 only).
+    Radius(RadiusFrame),
+    /// Router → home shard: coupled ranking over merged candidates; the
+    /// reply is a [`Frame::Response`] (v3 only).
+    ExecRequest(ExecRequestFrame),
 }
 
 /// Why a byte string failed to decode as a frame.
@@ -362,6 +573,26 @@ fn put_str32(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&s.as_bytes()[..end]);
 }
 
+fn put_object(out: &mut Vec<u8>, o: &WireObject) {
+    put_u32(out, o.id);
+    put_u32(out, o.tri);
+    put_f64(out, o.x);
+    put_f64(out, o.y);
+    put_f64(out, o.z);
+}
+
+/// Writes a u32 count followed by the objects. Lists this long only occur
+/// inside frames whose totals stay under [`MAX_PAYLOAD`]; the count is
+/// nevertheless clamped so encoding can never produce an undecodable
+/// frame.
+fn put_objects(out: &mut Vec<u8>, objs: &[WireObject]) {
+    let n = objs.len().min((MAX_PAYLOAD as usize - 4) / WIRE_OBJECT_LEN);
+    put_u32(out, n as u32);
+    for o in &objs[..n] {
+        put_object(out, o);
+    }
+}
+
 impl Frame {
     fn tag(&self) -> u8 {
         match self {
@@ -372,12 +603,28 @@ impl Frame {
             Frame::Stats(_) => TAG_STATS,
             Frame::TraceDumpRequest => TAG_TRACE_DUMP_REQUEST,
             Frame::TraceDump(_) => TAG_TRACE_DUMP,
+            Frame::Cancel(_) => TAG_CANCEL,
+            Frame::SeedsRequest(_) => TAG_SEEDS_REQUEST,
+            Frame::Seeds(_) => TAG_SEEDS,
+            Frame::RangeRequest(_) => TAG_RANGE_REQUEST,
+            Frame::Range(_) => TAG_RANGE,
+            Frame::RadiusRequest(_) => TAG_RADIUS_REQUEST,
+            Frame::Radius(_) => TAG_RADIUS,
+            Frame::ExecRequest(_) => TAG_EXEC_REQUEST,
         }
     }
 
     /// Lowest protocol version whose wire format can carry this frame.
     pub fn min_version(&self) -> u16 {
         match self {
+            Frame::Cancel(_)
+            | Frame::SeedsRequest(_)
+            | Frame::Seeds(_)
+            | Frame::RangeRequest(_)
+            | Frame::Range(_)
+            | Frame::RadiusRequest(_)
+            | Frame::Radius(_)
+            | Frame::ExecRequest(_) => 3,
             Frame::TraceDumpRequest | Frame::TraceDump(_) => 2,
             _ => 1,
         }
@@ -401,6 +648,9 @@ impl Frame {
                 put_u64(out, r.req_id);
                 if version >= 2 {
                     put_u64(out, r.trace_id);
+                }
+                if version >= 3 {
+                    put_f64(out, r.radius);
                 }
                 put_u32(out, r.timing.queue_us);
                 if version >= 2 {
@@ -446,6 +696,68 @@ impl Frame {
             }
             Frame::TraceDumpRequest => {}
             Frame::TraceDump(t) => put_str32(out, &t.jsonl),
+            Frame::Cancel(c) => {
+                put_u64(out, c.req_id);
+                put_u64(out, c.trace_id);
+            }
+            Frame::SeedsRequest(s) => {
+                put_u64(out, s.req_id);
+                put_u64(out, s.trace_id);
+                put_f64(out, s.x);
+                put_f64(out, s.y);
+                put_u32(out, s.k);
+                put_u32(out, s.deadline_ms);
+            }
+            Frame::Seeds(s) => {
+                put_u64(out, s.req_id);
+                put_u64(out, s.trace_id);
+                let n = s.seeds.len().min((MAX_PAYLOAD as usize - 4) / (WIRE_OBJECT_LEN + 8));
+                put_u32(out, n as u32);
+                for (dist, obj) in &s.seeds[..n] {
+                    put_f64(out, *dist);
+                    put_object(out, obj);
+                }
+            }
+            Frame::RangeRequest(r) => {
+                put_u64(out, r.req_id);
+                put_u64(out, r.trace_id);
+                put_f64(out, r.x);
+                put_f64(out, r.y);
+                put_f64(out, r.radius);
+                put_u32(out, r.deadline_ms);
+            }
+            Frame::Range(r) => {
+                put_u64(out, r.req_id);
+                put_u64(out, r.trace_id);
+                put_objects(out, &r.objects);
+            }
+            Frame::RadiusRequest(r) => {
+                put_u64(out, r.req_id);
+                put_u64(out, r.trace_id);
+                put_u32(out, r.tri);
+                put_f64(out, r.x);
+                put_f64(out, r.y);
+                put_f64(out, r.z);
+                put_u32(out, r.deadline_ms);
+                put_objects(out, &r.seeds);
+            }
+            Frame::Radius(r) => {
+                put_u64(out, r.req_id);
+                put_u64(out, r.trace_id);
+                put_f64(out, r.radius);
+            }
+            Frame::ExecRequest(e) => {
+                put_u64(out, e.req_id);
+                put_u64(out, e.trace_id);
+                put_u32(out, e.tri);
+                put_f64(out, e.x);
+                put_f64(out, e.y);
+                put_f64(out, e.z);
+                put_u32(out, e.k);
+                put_u32(out, e.deadline_ms);
+                put_objects(out, &e.seeds);
+                put_objects(out, &e.cands);
+            }
         }
     }
 
@@ -516,7 +828,13 @@ pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u16, u8, u32), Protoco
         return Err(ProtocolError::BadVersion(version));
     }
     let tag = header[6];
-    let max_tag = if version >= 2 { TAG_TRACE_DUMP } else { TAG_STATS };
+    let max_tag = if version >= 3 {
+        TAG_EXEC_REQUEST
+    } else if version == 2 {
+        TAG_TRACE_DUMP
+    } else {
+        TAG_STATS
+    };
     if !(TAG_QUERY..=max_tag).contains(&tag) {
         return Err(ProtocolError::UnknownFrameType(tag));
     }
@@ -583,6 +901,33 @@ impl<'a> Rd<'a> {
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ProtocolError::Malformed("invalid utf-8 in string"))
     }
+
+    fn object(&mut self) -> Result<WireObject, ProtocolError> {
+        Ok(WireObject {
+            id: self.u32()?,
+            tri: self.u32()?,
+            x: self.f64()?,
+            y: self.f64()?,
+            z: self.f64()?,
+        })
+    }
+
+    /// Reads a u32-counted object list, rejecting counts the remaining
+    /// payload cannot hold before reserving anything.
+    fn objects(&mut self) -> Result<Vec<WireObject>, ProtocolError> {
+        let n = self.u32()? as usize;
+        if self.remaining() < n * WIRE_OBJECT_LEN {
+            return Err(ProtocolError::Truncated {
+                needed: n * WIRE_OBJECT_LEN,
+                got: self.remaining(),
+            });
+        }
+        let mut objs = Vec::with_capacity(n);
+        for _ in 0..n {
+            objs.push(self.object()?);
+        }
+        Ok(objs)
+    }
 }
 
 /// Decodes a validated-header payload into a frame. The payload must be
@@ -592,6 +937,7 @@ impl<'a> Rd<'a> {
 /// (trace ids, per-stage timing) with zeros.
 pub fn decode_payload(version: u16, tag: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
     let v2 = version >= 2;
+    let v3 = version >= 3;
     let mut rd = Rd { buf: payload, pos: 0 };
     let frame = match tag {
         TAG_QUERY => Frame::Query(QueryFrame {
@@ -607,6 +953,7 @@ pub fn decode_payload(version: u16, tag: u8, payload: &[u8]) -> Result<Frame, Pr
         TAG_RESPONSE => {
             let req_id = rd.u64()?;
             let trace_id = if v2 { rd.u64()? } else { 0 };
+            let radius = if v3 { rd.f64()? } else { 0.0 };
             let timing = ServerTiming {
                 queue_us: rd.u32()?,
                 linger_us: if v2 { rd.u32()? } else { 0 },
@@ -633,7 +980,7 @@ pub fn decode_payload(version: u16, tag: u8, payload: &[u8]) -> Result<Frame, Pr
             for _ in 0..n {
                 neighbors.push(WireNeighbor { id: rd.u32()?, lb: rd.f64()?, ub: rd.f64()? });
             }
-            Frame::Response(ResponseFrame { req_id, trace_id, neighbors, degraded, timing })
+            Frame::Response(ResponseFrame { req_id, trace_id, neighbors, degraded, timing, radius })
         }
         TAG_ERROR => {
             let req_id = rd.u64()?;
@@ -659,6 +1006,70 @@ pub fn decode_payload(version: u16, tag: u8, payload: &[u8]) -> Result<Frame, Pr
         }
         TAG_TRACE_DUMP_REQUEST if v2 => Frame::TraceDumpRequest,
         TAG_TRACE_DUMP if v2 => Frame::TraceDump(TraceDumpFrame { jsonl: rd.str32()? }),
+        TAG_CANCEL if v3 => Frame::Cancel(CancelFrame { req_id: rd.u64()?, trace_id: rd.u64()? }),
+        TAG_SEEDS_REQUEST if v3 => Frame::SeedsRequest(SeedsRequestFrame {
+            req_id: rd.u64()?,
+            trace_id: rd.u64()?,
+            x: rd.f64()?,
+            y: rd.f64()?,
+            k: rd.u32()?,
+            deadline_ms: rd.u32()?,
+        }),
+        TAG_SEEDS if v3 => {
+            let req_id = rd.u64()?;
+            let trace_id = rd.u64()?;
+            let n = rd.u32()? as usize;
+            if rd.remaining() < n * (WIRE_OBJECT_LEN + 8) {
+                return Err(ProtocolError::Truncated {
+                    needed: n * (WIRE_OBJECT_LEN + 8),
+                    got: rd.remaining(),
+                });
+            }
+            let mut seeds = Vec::with_capacity(n);
+            for _ in 0..n {
+                let dist = rd.f64()?;
+                seeds.push((dist, rd.object()?));
+            }
+            Frame::Seeds(SeedsFrame { req_id, trace_id, seeds })
+        }
+        TAG_RANGE_REQUEST if v3 => Frame::RangeRequest(RangeRequestFrame {
+            req_id: rd.u64()?,
+            trace_id: rd.u64()?,
+            x: rd.f64()?,
+            y: rd.f64()?,
+            radius: rd.f64()?,
+            deadline_ms: rd.u32()?,
+        }),
+        TAG_RANGE if v3 => Frame::Range(RangeFrame {
+            req_id: rd.u64()?,
+            trace_id: rd.u64()?,
+            objects: rd.objects()?,
+        }),
+        TAG_RADIUS_REQUEST if v3 => Frame::RadiusRequest(RadiusRequestFrame {
+            req_id: rd.u64()?,
+            trace_id: rd.u64()?,
+            tri: rd.u32()?,
+            x: rd.f64()?,
+            y: rd.f64()?,
+            z: rd.f64()?,
+            deadline_ms: rd.u32()?,
+            seeds: rd.objects()?,
+        }),
+        TAG_RADIUS if v3 => {
+            Frame::Radius(RadiusFrame { req_id: rd.u64()?, trace_id: rd.u64()?, radius: rd.f64()? })
+        }
+        TAG_EXEC_REQUEST if v3 => Frame::ExecRequest(ExecRequestFrame {
+            req_id: rd.u64()?,
+            trace_id: rd.u64()?,
+            tri: rd.u32()?,
+            x: rd.f64()?,
+            y: rd.f64()?,
+            z: rd.f64()?,
+            k: rd.u32()?,
+            deadline_ms: rd.u32()?,
+            seeds: rd.objects()?,
+            cands: rd.objects()?,
+        }),
         other => return Err(ProtocolError::UnknownFrameType(other)),
     };
     if rd.pos != payload.len() {
@@ -829,6 +1240,7 @@ mod tests {
                 stall_us: 5,
                 batch: 6,
             },
+            radius: 0.0,
         });
         let (v1, _) = Frame::decode(&f.encode_v(1)).unwrap();
         match &v1 {
@@ -860,6 +1272,119 @@ mod tests {
             Frame::decode(&forged),
             Err(ProtocolError::UnknownFrameType(TAG_TRACE_DUMP_REQUEST))
         );
+    }
+
+    #[test]
+    fn response_radius_is_v3_only() {
+        let f = Frame::Response(ResponseFrame {
+            req_id: 1,
+            trace_id: 2,
+            neighbors: vec![],
+            degraded: None,
+            timing: ServerTiming::default(),
+            radius: 42.5,
+        });
+        let (v3, version, _) = Frame::decode_versioned(&f.encode_v(3)).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(v3, f);
+        let (v2, _) = Frame::decode(&f.encode_v(2)).unwrap();
+        match v2 {
+            Frame::Response(r) => assert_eq!(r.radius, 0.0, "v2 wire cannot carry a radius"),
+            other => panic!("expected response, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_round_trips_and_is_v3_only() {
+        let f = Frame::Cancel(CancelFrame { req_id: 5, trace_id: 0xABCD });
+        // Asking for v2 is raised to the frame's minimum version.
+        let bytes = f.encode_v(2);
+        let (back, version, _) = Frame::decode_versioned(&bytes).unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(back, f);
+        // A v2 header with a cancel tag is an unknown frame type.
+        let mut forged = f.encode();
+        forged[4..6].copy_from_slice(&2u16.to_le_bytes());
+        assert_eq!(Frame::decode(&forged), Err(ProtocolError::UnknownFrameType(TAG_CANCEL)));
+    }
+
+    #[test]
+    fn shard_op_frames_round_trip_bit_exact() {
+        let obj = |id: u32| WireObject {
+            id,
+            tri: id * 3,
+            x: id as f64 + 0.25,
+            y: -(id as f64),
+            z: id as f64 * 0.5,
+        };
+        let frames = vec![
+            Frame::SeedsRequest(SeedsRequestFrame {
+                req_id: 1,
+                trace_id: 2,
+                x: 3.5,
+                y: -4.5,
+                k: 8,
+                deadline_ms: 100,
+            }),
+            Frame::Seeds(SeedsFrame {
+                req_id: 1,
+                trace_id: 2,
+                seeds: vec![(0.5, obj(7)), (f64::INFINITY, obj(9))],
+            }),
+            Frame::RangeRequest(RangeRequestFrame {
+                req_id: 3,
+                trace_id: 4,
+                x: 1.0,
+                y: 2.0,
+                radius: f64::INFINITY,
+                deadline_ms: 0,
+            }),
+            Frame::Range(RangeFrame { req_id: 3, trace_id: 4, objects: vec![obj(1), obj(2)] }),
+            Frame::RadiusRequest(RadiusRequestFrame {
+                req_id: 5,
+                trace_id: 6,
+                tri: 11,
+                x: 0.0,
+                y: -0.0,
+                z: 9.0,
+                deadline_ms: 50,
+                seeds: vec![obj(4)],
+            }),
+            Frame::Radius(RadiusFrame { req_id: 5, trace_id: 6, radius: 12.25 }),
+            Frame::ExecRequest(ExecRequestFrame {
+                req_id: 7,
+                trace_id: 8,
+                tri: LOCATE_TRI,
+                x: 1.5,
+                y: 2.5,
+                z: 0.0,
+                k: 3,
+                deadline_ms: 250,
+                seeds: vec![obj(1), obj(2)],
+                cands: vec![obj(1), obj(2), obj(3)],
+            }),
+        ];
+        for f in frames {
+            let bytes = f.encode();
+            let (back, version, used) = Frame::decode_versioned(&bytes).unwrap();
+            assert_eq!(version, 3);
+            assert_eq!(used, bytes.len());
+            assert_eq!(back.encode(), bytes, "{f:?}");
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn object_list_count_checked_before_reserve() {
+        let f = Frame::Range(RangeFrame { req_id: 1, trace_id: 2, objects: vec![] });
+        let mut bytes = f.encode();
+        // Overwrite the count (after req_id + trace_id) with a huge value.
+        let count_at = HEADER_LEN + 16;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        match Frame::decode(&bytes) {
+            Err(ProtocolError::Truncated { .. }) => {}
+            other => panic!("expected truncated, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,24 +10,26 @@
 //!  └─ one reader thread per connection
 //! ```
 //!
-//! Admission is a bounded `sync_channel`: a reader `try_send`s each
-//! query, and a full queue means an immediate typed `Overloaded` reply —
-//! load shedding is a fast "no", never a hang or an unbounded buffer.
+//! Admission is the bounded deadline-aware [`crate::lanes`] queue: a
+//! reader `try_push`es each request, and a full queue means an immediate
+//! typed `Overloaded` reply — load shedding is a fast "no", never a hang
+//! or an unbounded buffer. Queued requests can be withdrawn by a `CANCEL`
+//! frame (protocol v3) before dispatch.
 //!
 //! Graceful drain is ordering, not machinery: setting the shutdown flag
 //! stops the accept loop and makes every reader exit at its next frame
 //! boundary (rejecting frames that slip in mid-read with a typed
-//! `ShuttingDown`). Readers drop their queue senders as they exit, and
-//! the dispatcher — which only terminates on sender disconnect — first
-//! receives everything still buffered. Admitted requests are therefore
-//! answered, new ones refused, and `run` returns when the last reply is
-//! written.
+//! `ShuttingDown`). Closing the lanes refuses new pushes while the
+//! dispatcher drains everything still queued. Admitted requests are
+//! therefore answered, new ones refused, and `run` returns when the last
+//! reply is written.
 
-use crate::batch::{dispatch_loop, BatchPolicy, ConnWriter, Job};
+use crate::batch::{dispatch_loop, BatchPolicy, ConnWriter, Job, JobOp};
+use crate::lanes::{Lanes, PushError};
 use crate::metrics_http::{bind_metrics, metrics_loop};
 use crate::protocol::{
-    decode_payload, parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame,
-    TraceDumpFrame, HEADER_LEN, LOCATE_TRI, MIN_VERSION,
+    decode_payload, parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, TraceDumpFrame,
+    WireObject, HEADER_LEN, LOCATE_TRI, MIN_VERSION,
 };
 use crate::slowlog::SlowQueryLog;
 use crate::stats::ServeStats;
@@ -38,7 +40,6 @@ use sknn_obs::{mint_trace_id, QueryTrace, Recorder, Registry, RingRecorder, NOOP
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -71,6 +72,14 @@ pub struct ServeConfig {
     pub slow_threshold: Duration,
     /// Bound on the slow-query reservoir; oldest entries evicted first.
     pub slow_capacity: usize,
+    /// Instance name stamped as an `instance` label on every exported
+    /// metrics family (shard id or `"router"` in a fleet); empty means
+    /// no label (single-process deployments keep their old schema).
+    pub instance: String,
+    /// Starvation floor of the EDF admission lanes: once the oldest
+    /// queued request has waited this long, it is dispatched next
+    /// regardless of deadlines. Zero disables the floor (pure EDF).
+    pub starvation_floor: Duration,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +93,8 @@ impl Default for ServeConfig {
             metrics_addr: None,
             slow_threshold: Duration::from_millis(100),
             slow_capacity: 256,
+            instance: String::new(),
+            starvation_floor: Duration::from_millis(50),
         }
     }
 }
@@ -187,7 +198,11 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
     /// Builds the metrics registry: serving counters and histograms, the
     /// pager's pool/stall counters, and the fault-injection counters.
     fn build_registry(&self) -> Registry<'_> {
-        let registry = Registry::new();
+        let registry = if self.cfg.instance.is_empty() {
+            Registry::new()
+        } else {
+            Registry::with_instance(&self.cfg.instance)
+        };
         self.stats.register_into(&registry);
         let pager = self.engine.pager();
         registry.counter_fn(
@@ -367,10 +382,11 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
         };
         let registry = self.build_registry();
         let metrics_stop = AtomicBool::new(false);
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(self.cfg.queue_depth.max(1));
+        let lanes = Lanes::new(self.cfg.queue_depth.max(1), self.cfg.starvation_floor);
         std::thread::scope(|scope| {
+            let lanes = &lanes;
             let dispatcher = scope.spawn(move || {
-                dispatch_loop(self.engine, &rx, policy, &self.stats, &self.slow, rec)
+                dispatch_loop(self.engine, lanes, policy, &self.stats, &self.slow, rec)
             });
             if let Some(listener) = &self.metrics {
                 let registry = &registry;
@@ -382,8 +398,7 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
                         self.stats.connections.inc();
-                        let tx = tx.clone();
-                        scope.spawn(move || self.serve_conn(stream, tx));
+                        scope.spawn(move || self.serve_conn(stream, lanes));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -392,12 +407,13 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
                     Err(_) => break,
                 }
             }
-            // Dropping the master sender starts the drain clock: the
-            // dispatcher exits once the per-connection clones are gone
-            // too and the queue is empty. The metrics endpoint keeps
-            // answering `/healthz` as "draining" for the whole window
-            // and stops only after the last reply is written.
-            drop(tx);
+            // Closing the lanes starts the drain clock: queued jobs keep
+            // draining, new pushes are refused with a typed
+            // `ShuttingDown`, and the dispatcher exits once the lanes
+            // run dry. The metrics endpoint keeps answering `/healthz`
+            // as "draining" for the whole window and stops only after
+            // the last reply is written.
+            lanes.close();
             let _ = dispatcher.join();
             // Lame-duck grace: even an instant drain keeps `/healthz`
             // answering 503 briefly, so pollers observe the state
@@ -422,7 +438,7 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
     }
 
     /// Reader thread for one connection.
-    fn serve_conn(&self, stream: TcpStream, tx: SyncSender<Job>) {
+    fn serve_conn(&self, stream: TcpStream, lanes: &Lanes) {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(self.cfg.poll_interval));
         let writer = match stream.try_clone() {
@@ -433,10 +449,132 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
         loop {
             match read_frame_interruptible(&mut stream, &self.shutdown) {
                 ReadOutcome::Frame(Frame::Query(q), version) => {
-                    self.admit(q, version, &tx, &writer)
+                    let op = match self.resolve_surface(q.tri, q.x, q.y, q.z) {
+                        Ok(point) => JobOp::Query { point, k: q.k as usize },
+                        Err(why) => {
+                            writer.send(
+                                &self.stats,
+                                &error_frame(q.req_id, ErrorCode::BadRequest, why),
+                                version,
+                            );
+                            continue;
+                        }
+                    };
+                    self.admit(q.req_id, q.trace_id, q.deadline_ms, op, version, lanes, &writer);
+                }
+                ReadOutcome::Frame(Frame::SeedsRequest(s), version) => {
+                    if !(s.x.is_finite() && s.y.is_finite()) {
+                        writer.send(
+                            &self.stats,
+                            &error_frame(s.req_id, ErrorCode::BadRequest, "non-finite coordinates"),
+                            version,
+                        );
+                        continue;
+                    }
+                    let op = JobOp::Seeds { xy: Point2::new(s.x, s.y), k: s.k as usize };
+                    self.admit(s.req_id, s.trace_id, s.deadline_ms, op, version, lanes, &writer);
+                }
+                ReadOutcome::Frame(Frame::RangeRequest(r), version) => {
+                    if !(r.x.is_finite() && r.y.is_finite()) || r.radius.is_nan() || r.radius < 0.0
+                    {
+                        writer.send(
+                            &self.stats,
+                            &error_frame(r.req_id, ErrorCode::BadRequest, "bad range parameters"),
+                            version,
+                        );
+                        continue;
+                    }
+                    let op = JobOp::Range { xy: Point2::new(r.x, r.y), radius: r.radius };
+                    self.admit(r.req_id, r.trace_id, r.deadline_ms, op, version, lanes, &writer);
+                }
+                ReadOutcome::Frame(Frame::RadiusRequest(r), version) => {
+                    let op = self.resolve_surface(r.tri, r.x, r.y, r.z).and_then(|point| {
+                        Ok(JobOp::Radius { point, seeds: self.resolve_objs(&r.seeds)? })
+                    });
+                    match op {
+                        Ok(op) => self.admit(
+                            r.req_id,
+                            r.trace_id,
+                            r.deadline_ms,
+                            op,
+                            version,
+                            lanes,
+                            &writer,
+                        ),
+                        Err(why) => {
+                            writer.send(
+                                &self.stats,
+                                &error_frame(r.req_id, ErrorCode::BadRequest, why),
+                                version,
+                            );
+                        }
+                    }
+                }
+                ReadOutcome::Frame(Frame::ExecRequest(e), version) => {
+                    let op = self.resolve_surface(e.tri, e.x, e.y, e.z).and_then(|point| {
+                        Ok(JobOp::Exec {
+                            point,
+                            k: e.k as usize,
+                            seeds: self.resolve_objs(&e.seeds)?,
+                            cands: self.resolve_objs(&e.cands)?,
+                        })
+                    });
+                    match op {
+                        Ok(op) => self.admit(
+                            e.req_id,
+                            e.trace_id,
+                            e.deadline_ms,
+                            op,
+                            version,
+                            lanes,
+                            &writer,
+                        ),
+                        Err(why) => {
+                            writer.send(
+                                &self.stats,
+                                &error_frame(e.req_id, ErrorCode::BadRequest, why),
+                                version,
+                            );
+                        }
+                    }
+                }
+                ReadOutcome::Frame(Frame::Cancel(c), _version) => {
+                    // Withdraw the queued job if the cancel wins the race.
+                    // The typed `Cancelled` reply goes to the *cancelled
+                    // request's* connection (its own writer and wire
+                    // version) so every admitted request still gets
+                    // exactly one reply on its own stream. A miss means
+                    // the job is already executing (or finished); its
+                    // real reply is coming, so a cancel is silent here.
+                    match lanes.cancel(c.req_id, c.trace_id) {
+                        Some(job) => {
+                            self.stats.cancelled.inc();
+                            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            job.writer.send(
+                                &self.stats,
+                                &error_frame(
+                                    job.req_id,
+                                    ErrorCode::Cancelled,
+                                    "cancelled while queued",
+                                ),
+                                job.wire_version,
+                            );
+                        }
+                        None => {
+                            self.stats.cancel_misses.inc();
+                        }
+                    }
                 }
                 ReadOutcome::Frame(Frame::StatsRequest, version) => {
-                    writer.send(&self.stats, &Frame::Stats(self.stats.snapshot()), version);
+                    let mut snap = self.stats.snapshot();
+                    // Live object count: the sharding router sums these
+                    // to clamp `k` exactly like a single engine over the
+                    // union terrain would.
+                    snap.entries.push((
+                        "objects".to_string(),
+                        self.engine.write_stats().live_objects as u64,
+                    ));
+                    writer.send(&self.stats, &Frame::Stats(snap), version);
                 }
                 ReadOutcome::Frame(Frame::TraceDumpRequest, version) => {
                     let dump = TraceDumpFrame { jsonl: self.slow.to_jsonl() };
@@ -472,30 +610,30 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
         }
     }
 
-    /// Validates one query frame and offers it to the bounded queue.
-    fn admit(&self, q: QueryFrame, version: u16, tx: &SyncSender<Job>, writer: &Arc<ConnWriter>) {
+    /// Offers a validated operation to the admission lanes, replying with
+    /// the right typed error when it cannot be queued.
+    #[allow(clippy::too_many_arguments)]
+    fn admit(
+        &self,
+        req_id: u64,
+        raw_trace_id: u64,
+        deadline_ms: u32,
+        op: JobOp,
+        version: u16,
+        lanes: &Lanes,
+        writer: &Arc<ConnWriter>,
+    ) {
         if self.shutdown.load(Ordering::Relaxed) {
             self.stats.rejected_shutdown.inc();
             writer.send(
                 &self.stats,
-                &error_frame(q.req_id, ErrorCode::ShuttingDown, "server is draining"),
+                &error_frame(req_id, ErrorCode::ShuttingDown, "server is draining"),
                 version,
             );
             return;
         }
-        let point = match self.resolve_point(&q) {
-            Ok(p) => p,
-            Err(why) => {
-                writer.send(
-                    &self.stats,
-                    &error_frame(q.req_id, ErrorCode::BadRequest, why),
-                    version,
-                );
-                return;
-            }
-        };
         let enqueued = Instant::now();
-        let deadline = match q.deadline_ms {
+        let deadline = match deadline_ms {
             0 => None,
             ms => Some(enqueued + Duration::from_millis(ms as u64)),
         };
@@ -503,59 +641,85 @@ impl<'e, 's, 'm> Server<'e, 's, 'm> {
         // the client's, or one minted now. It becomes the engine's query
         // id, so each obs record this request produces carries it even
         // when the request rides a batch with strangers.
-        let trace_id = if q.trace_id != 0 { q.trace_id } else { mint_trace_id() };
+        let trace_id = if raw_trace_id != 0 { raw_trace_id } else { mint_trace_id() };
         let job = Job {
-            req_id: q.req_id,
+            req_id,
             trace_id,
-            point,
-            k: q.k as usize,
+            op,
             deadline,
             enqueued,
             recv_at: enqueued,
             wire_version: version,
             writer: Arc::clone(writer),
         };
-        match tx.try_send(job) {
+        match lanes.try_push(job) {
             Ok(()) => {
                 self.stats.accepted.inc();
                 self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
             }
-            Err(TrySendError::Full(_)) => {
+            Err(PushError::Full(job)) => {
                 self.stats.shed.inc();
-                writer.send(
+                job.writer.send(
                     &self.stats,
-                    &error_frame(q.req_id, ErrorCode::Overloaded, "admission queue full"),
-                    version,
+                    &error_frame(job.req_id, ErrorCode::Overloaded, "admission queue full"),
+                    job.wire_version,
                 );
             }
-            Err(TrySendError::Disconnected(_)) => {
+            Err(PushError::Closed(job)) => {
                 self.stats.rejected_shutdown.inc();
-                writer.send(
+                job.writer.send(
                     &self.stats,
-                    &error_frame(q.req_id, ErrorCode::ShuttingDown, "server is draining"),
-                    version,
+                    &error_frame(job.req_id, ErrorCode::ShuttingDown, "server is draining"),
+                    job.wire_version,
                 );
             }
         }
     }
 
-    /// Lifts the wire coordinates onto the surface: either trust the
-    /// client's facet id (validated against the mesh) or locate the facet
-    /// from the plan position.
-    fn resolve_point(&self, q: &QueryFrame) -> Result<SurfacePoint, &'static str> {
-        if !(q.x.is_finite() && q.y.is_finite() && q.z.is_finite()) {
+    /// Lifts wire coordinates onto the surface: either trust the client's
+    /// facet id (validated against the mesh) or locate the facet from the
+    /// plan position.
+    fn resolve_surface(
+        &self,
+        tri: u32,
+        x: f64,
+        y: f64,
+        z: f64,
+    ) -> Result<SurfacePoint, &'static str> {
+        if !(x.is_finite() && y.is_finite() && z.is_finite()) {
             return Err("non-finite query coordinates");
         }
         let scene = self.engine.scene();
-        if q.tri == LOCATE_TRI {
-            scene
-                .surface_point(Point2::new(q.x, q.y))
-                .ok_or("query point outside the terrain extent")
-        } else if (q.tri as usize) < scene.mesh().num_triangles() {
-            Ok(SurfacePoint { tri: q.tri, pos: sknn_geom::Point3::new(q.x, q.y, q.z) })
+        if tri == LOCATE_TRI {
+            scene.surface_point(Point2::new(x, y)).ok_or("query point outside the terrain extent")
+        } else if (tri as usize) < scene.mesh().num_triangles() {
+            Ok(SurfacePoint { tri, pos: sknn_geom::Point3::new(x, y, z) })
         } else {
             Err("facet id out of range")
         }
+    }
+
+    /// Validates a shipped object list (shard-op frames) and lifts it to
+    /// surface points. Objects may be owned by *other* shards, so only
+    /// mesh-level validity is checked — the ids are taken on faith, which
+    /// is sound because every shard ranks with the coordinates provided
+    /// on the wire, not a local lookup.
+    fn resolve_objs(&self, objs: &[WireObject]) -> Result<Vec<(u32, SurfacePoint)>, &'static str> {
+        let num_tris = self.engine.scene().mesh().num_triangles();
+        let mut out = Vec::with_capacity(objs.len());
+        for o in objs {
+            if !(o.x.is_finite() && o.y.is_finite() && o.z.is_finite()) {
+                return Err("non-finite object coordinates");
+            }
+            if o.tri as usize >= num_tris {
+                return Err("object facet id out of range");
+            }
+            out.push((
+                o.id,
+                SurfacePoint { tri: o.tri, pos: sknn_geom::Point3::new(o.x, o.y, o.z) },
+            ));
+        }
+        Ok(out)
     }
 }
 

@@ -34,6 +34,11 @@ pub struct ServeStats {
     pub protocol_errors: Counter,
     /// Queries that ran but returned a typed engine error.
     pub query_errors: Counter,
+    /// Requests withdrawn from the queue by a `CANCEL` frame (v3).
+    pub cancelled: Counter,
+    /// `CANCEL` frames that missed (request already executing, unknown,
+    /// or already answered).
+    pub cancel_misses: Counter,
     /// Successful responses that carried a degradation marker.
     pub degraded: Counter,
     /// Requests captured by the slow-query log.
@@ -111,6 +116,8 @@ impl ServeStats {
             ("rejected_shutdown".to_string(), self.rejected_shutdown.get()),
             ("protocol_errors".to_string(), self.protocol_errors.get()),
             ("query_errors".to_string(), self.query_errors.get()),
+            ("cancelled".to_string(), self.cancelled.get()),
+            ("cancel_misses".to_string(), self.cancel_misses.get()),
             ("degraded".to_string(), self.degraded.get()),
             ("slow_captured".to_string(), self.slow_captured.get()),
             ("batches".to_string(), self.batches.get()),
@@ -157,6 +164,8 @@ impl ServeStats {
             rejected_shutdown => "Requests rejected while draining",
             protocol_errors => "Malformed or unexpected frames received",
             query_errors => "Queries returning a typed engine error",
+            cancelled => "Requests withdrawn from the queue by CANCEL",
+            cancel_misses => "CANCEL frames that missed a queued request",
             degraded => "Successful responses carrying a degradation marker",
             slow_captured => "Requests captured by the slow-query log",
             batches => "Micro-batches dispatched to the engine",

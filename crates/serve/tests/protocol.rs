@@ -12,9 +12,10 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 use sknn_serve::protocol::{
-    parse_header, ErrorCode, ErrorFrame, Frame, ProtocolError, QueryFrame, ResponseFrame,
-    ServerTiming, StatsFrame, TraceDumpFrame, WireNeighbor, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION,
-    VERSION,
+    parse_header, CancelFrame, ErrorCode, ErrorFrame, ExecRequestFrame, Frame, ProtocolError,
+    QueryFrame, RadiusFrame, RadiusRequestFrame, RangeFrame, RangeRequestFrame, ResponseFrame,
+    SeedsFrame, SeedsRequestFrame, ServerTiming, StatsFrame, TraceDumpFrame, WireNeighbor,
+    WireObject, HEADER_LEN, MAX_PAYLOAD, MIN_VERSION, VERSION,
 };
 
 fn short_string() -> impl Strategy<Value = String> {
@@ -28,13 +29,14 @@ fn wire_f64() -> impl Strategy<Value = f64> {
 }
 
 fn error_code() -> impl Strategy<Value = ErrorCode> {
-    (0u8..5).prop_map(|i| {
+    (0u8..6).prop_map(|i| {
         [
             ErrorCode::Overloaded,
             ErrorCode::DeadlineExpired,
             ErrorCode::FaultBudgetExceeded,
             ErrorCode::ShuttingDown,
             ErrorCode::BadRequest,
+            ErrorCode::Cancelled,
         ][i as usize]
     })
 }
@@ -97,16 +99,25 @@ fn response_frame() -> impl Strategy<Value = ResponseFrame> {
         any::<bool>(),
         short_string(),
         server_timing(),
+        wire_f64(),
     )
-        .prop_map(|(req_id, trace_id, neighbors, degraded_some, degraded_text, timing)| {
-            ResponseFrame {
-                req_id,
-                trace_id,
-                neighbors,
-                degraded: degraded_some.then_some(degraded_text),
-                timing,
-            }
-        })
+        .prop_map(
+            |(req_id, trace_id, neighbors, degraded_some, degraded_text, timing, radius)| {
+                ResponseFrame {
+                    req_id,
+                    trace_id,
+                    neighbors,
+                    degraded: degraded_some.then_some(degraded_text),
+                    timing,
+                    radius,
+                }
+            },
+        )
+}
+
+fn wire_object() -> impl Strategy<Value = WireObject> {
+    (any::<u32>(), any::<u32>(), wire_f64(), wire_f64(), wire_f64())
+        .prop_map(|(id, tri, x, y, z)| WireObject { id, tri, x, y, z })
 }
 
 /// Encode → decode → re-encode must reproduce the bytes exactly, and the
@@ -284,6 +295,101 @@ proptest! {
         let _ = Frame::decode(&bytes);
     }
 
+    /// v3 cancel frames round-trip byte-identically, are raised from a
+    /// requested v2 encoding to v3 (their minimum version), and a forged
+    /// v2 header around the cancel tag is a typed rejection — an old
+    /// peer can never misparse a cancel as something else.
+    #[test]
+    fn cancel_frames_round_trip_and_are_invalid_at_v2(
+        req_id in any::<u64>(),
+        trace_id in any::<u64>(),
+    ) {
+        let frame = Frame::Cancel(CancelFrame { req_id, trace_id });
+        assert_round_trip(&frame)?;
+        let bytes = frame.encode_v(2);
+        let (decoded, version, _) =
+            Frame::decode_versioned(&bytes).expect("raised frame decodes");
+        prop_assert_eq!(version, 3);
+        prop_assert_eq!(decoded.encode_v(3), bytes);
+        let mut forged = bytes.clone();
+        forged[4..6].copy_from_slice(&2u16.to_le_bytes());
+        match Frame::decode(&forged) {
+            Err(ProtocolError::UnknownFrameType(_)) => {}
+            other => prop_assert!(false, "forged v2 cancel gave {:?}", other),
+        }
+    }
+
+    /// Every shard-operation frame (seeds / range / radius / exec, both
+    /// directions) round-trips byte-identically at v3 and is rejected
+    /// with a typed unknown-frame error under a forged v2 header.
+    #[test]
+    fn shard_op_frames_round_trip_and_are_invalid_at_v2(
+        req_id in any::<u64>(),
+        trace_id in any::<u64>(),
+        xy in (wire_f64(), wire_f64()),
+        k in any::<u32>(),
+        radius in wire_f64(),
+        objects in vec(wire_object(), 0..8),
+        dists in vec(wire_f64(), 0..8),
+    ) {
+        let (x, y) = xy;
+        let seeds: Vec<(f64, WireObject)> =
+            dists.iter().copied().zip(objects.iter().cloned()).collect();
+        let frames = [
+            Frame::SeedsRequest(SeedsRequestFrame { req_id, trace_id, x, y, k, deadline_ms: k }),
+            Frame::Seeds(SeedsFrame { req_id, trace_id, seeds: seeds.clone() }),
+            Frame::RangeRequest(RangeRequestFrame { req_id, trace_id, x, y, radius, deadline_ms: k }),
+            Frame::Range(RangeFrame { req_id, trace_id, objects: objects.clone() }),
+            Frame::RadiusRequest(RadiusRequestFrame {
+                req_id, trace_id, tri: k, x, y, z: radius, deadline_ms: k,
+                seeds: objects.clone(),
+            }),
+            Frame::Radius(RadiusFrame { req_id, trace_id, radius }),
+            Frame::ExecRequest(ExecRequestFrame {
+                req_id, trace_id, tri: k, x, y, z: radius, k, deadline_ms: k,
+                seeds: objects.clone(), cands: objects.clone(),
+            }),
+        ];
+        for frame in &frames {
+            assert_round_trip(frame)?;
+            let bytes = frame.encode();
+            let mut forged = bytes.clone();
+            forged[4..6].copy_from_slice(&2u16.to_le_bytes());
+            match Frame::decode(&forged) {
+                Err(ProtocolError::UnknownFrameType(_)) => {}
+                other => prop_assert!(false, "forged v2 shard op gave {:?}", other),
+            }
+        }
+    }
+
+    /// A v3 response downgraded to v2 keeps every v2 field byte-exact
+    /// and drops only the radius (read back as 0.0) — v2 routers and v3
+    /// shards stay mutually intelligible.
+    #[test]
+    fn v3_response_downgraded_to_v2_drops_only_radius(r in response_frame()) {
+        let bytes = Frame::Response(r.clone()).encode_v(2);
+        let (decoded, version, used) =
+            Frame::decode_versioned(&bytes).expect("v2 response must decode");
+        prop_assert_eq!(version, 2);
+        prop_assert_eq!(used, bytes.len());
+        match decoded {
+            Frame::Response(d) => {
+                prop_assert_eq!(d.req_id, r.req_id);
+                prop_assert_eq!(d.trace_id, r.trace_id);
+                prop_assert_eq!(d.timing, r.timing);
+                prop_assert_eq!(&d.degraded, &r.degraded);
+                prop_assert_eq!(d.neighbors.len(), r.neighbors.len());
+                for (a, b) in d.neighbors.iter().zip(r.neighbors.iter()) {
+                    prop_assert_eq!(a.id, b.id);
+                    prop_assert_eq!(a.lb.to_bits(), b.lb.to_bits());
+                    prop_assert_eq!(a.ub.to_bits(), b.ub.to_bits());
+                }
+                prop_assert_eq!(d.radius.to_bits(), 0.0f64.to_bits());
+            }
+            other => prop_assert!(false, "decoded to {:?}", other),
+        }
+    }
+
     /// Corrupting one header byte of a valid frame yields a typed error
     /// (or, for the payload-length bytes, possibly a shorter valid frame
     /// — but never a panic or a bogus success of the full length).
@@ -347,7 +453,7 @@ fn trace_dump_tags_are_invalid_at_v1() {
     // encode_v(1) is raised to the frame's minimum version (2).
     let bytes = dump.encode_v(MIN_VERSION);
     let (_, version, _) = Frame::decode_versioned(&bytes).expect("raised frame decodes");
-    assert_eq!(version, VERSION);
+    assert_eq!(version, 2);
     // Forge a v1 header around the same tag: typed rejection.
     let mut forged = bytes.clone();
     forged[4..6].copy_from_slice(&MIN_VERSION.to_le_bytes());

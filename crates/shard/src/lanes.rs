@@ -1,0 +1,167 @@
+//! Deadline-aware admission lanes for the router, mirroring the shard
+//! engines' own EDF-with-starvation-floor queue (`sknn-serve`): the
+//! request with the least slack is dispatched to a worker first,
+//! deadline-less requests stay FIFO among themselves and cannot be
+//! starved past the floor, and queued requests can be withdrawn by
+//! `(req_id, trace_id)` — the client-facing half of the cancellation
+//! story whose shard-facing half is the speculative-leg CANCEL.
+//!
+//! Duplicated rather than shared with `sknn-serve` because the two
+//! queues carry different job types (the shard's job is an engine op
+//! bound to a micro-batcher; the router's is a raw query frame bound to
+//! an orchestration worker) and the scheduling rule is ~40 lines.
+
+use crate::router::RouterJob;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused. The job is handed back so the caller can
+/// answer it with the right typed error.
+pub(crate) enum PushError {
+    /// The queue is at capacity; shed the job (`Overloaded`).
+    Full(RouterJob),
+    /// The lanes are closed (router draining); reject (`ShuttingDown`).
+    Closed(RouterJob),
+}
+
+struct Inner {
+    jobs: Vec<RouterJob>,
+    closed: bool,
+}
+
+/// The shared admission queue. Producers are the per-connection
+/// readers; consumers are the orchestration workers.
+pub(crate) struct RouterLanes {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    capacity: usize,
+    floor: Duration,
+}
+
+impl RouterLanes {
+    /// An empty queue bounded at `capacity` with the given starvation
+    /// floor (a zero floor disables the floor — pure EDF).
+    pub(crate) fn new(capacity: usize, floor: Duration) -> Self {
+        Self {
+            inner: Mutex::new(Inner { jobs: Vec::new(), closed: false }),
+            cond: Condvar::new(),
+            capacity: capacity.max(1),
+            floor,
+        }
+    }
+
+    /// Offers a job; never blocks. On refusal the job comes back in the
+    /// error so the caller can reply to it.
+    pub(crate) fn try_push(&self, job: RouterJob) -> Result<(), PushError> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if g.closed {
+            return Err(PushError::Closed(job));
+        }
+        if g.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        g.jobs.push(job);
+        drop(g);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Withdraws a queued job matching both ids. Returns the job — with
+    /// its reply writer — when the cancel lands; `None` is a miss.
+    pub(crate) fn cancel(&self, req_id: u64, trace_id: u64) -> Option<RouterJob> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let i = g.jobs.iter().position(|j| j.req_id == req_id && j.trace_id == trace_id)?;
+        Some(g.jobs.remove(i))
+    }
+
+    /// Closes the lanes: future pushes fail with [`PushError::Closed`],
+    /// queued jobs keep draining, and poppers see `None` once empty.
+    pub(crate) fn close(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Blocking pop: the scheduled-next job, or `None` once the lanes
+    /// are closed and empty (a worker's exit condition).
+    pub(crate) fn pop(&self) -> Option<RouterJob> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(i) = self.pick(&g.jobs) {
+                return Some(g.jobs.remove(i));
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The scheduling rule: starvation floor first, then EDF, then FIFO
+    /// among the deadline-less.
+    fn pick(&self, jobs: &[RouterJob]) -> Option<usize> {
+        if jobs.is_empty() {
+            return None;
+        }
+        let (oldest, job) =
+            jobs.iter().enumerate().min_by_key(|(_, j)| j.enqueued).expect("non-empty");
+        if !self.floor.is_zero() && job.enqueued.elapsed() >= self.floor {
+            return Some(oldest);
+        }
+        jobs.iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| match (a.deadline, b.deadline) {
+                (Some(x), Some(y)) => x.cmp(&y),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => a.enqueued.cmp(&b.enqueued),
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{ReplyWriter, RouterJob};
+    use sknn_serve::protocol::QueryFrame;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn job(req_id: u64, deadline: Option<Instant>, enqueued: Instant) -> RouterJob {
+        RouterJob {
+            req_id,
+            trace_id: req_id + 1000,
+            query: QueryFrame {
+                req_id,
+                tri: 0,
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                k: 1,
+                deadline_ms: 0,
+                trace_id: 0,
+            },
+            deadline,
+            enqueued,
+            wire_version: 3,
+            writer: Arc::new(ReplyWriter::null()),
+        }
+    }
+
+    #[test]
+    fn edf_with_floor_and_cancel() {
+        let lanes = RouterLanes::new(8, Duration::from_secs(60));
+        let t0 = Instant::now();
+        lanes.try_push(job(1, Some(t0 + Duration::from_secs(30)), t0)).ok().unwrap();
+        lanes.try_push(job(2, None, t0)).ok().unwrap();
+        lanes.try_push(job(3, Some(t0 + Duration::from_secs(1)), t0)).ok().unwrap();
+        assert!(lanes.cancel(2, 0).is_none(), "trace id must match");
+        let withdrawn = lanes.cancel(2, 1002).unwrap();
+        assert_eq!(withdrawn.req_id, 2);
+        let order: Vec<u64> = (0..2).map(|_| lanes.pop().unwrap().req_id).collect();
+        assert_eq!(order, vec![3, 1]);
+        lanes.close();
+        assert!(lanes.pop().is_none());
+        assert!(matches!(lanes.try_push(job(4, None, t0)), Err(PushError::Closed(_))));
+    }
+}

@@ -1,0 +1,907 @@
+//! The shard router: a process that fronts N engine shards and answers
+//! the ordinary query protocol with results bit-identical to a single
+//! engine over the union terrain.
+//!
+//! # Orchestration
+//!
+//! Every query is sent to its **home shard** (the tile owning the query
+//! point) as a plain `QUERY`, and — speculatively, in parallel — a
+//! `SEEDS` request fans out to every shard. When the home answer's
+//! step-2 radius circle lies strictly inside the home tile
+//! ([`ShardMap::interior`]), no other shard can own a candidate, the
+//! home answer *is* the union answer, and the speculative legs are
+//! withdrawn with `CANCEL` — one round trip for interior queries, which
+//! dominate when tiles are large relative to query radii.
+//!
+//! A query that straddles a boundary switches to the decomposed plan:
+//!
+//! 1. merge the per-shard seed lists by `(distance, id)` — the same
+//!    total order the engines' canonical seed selection uses, so the
+//!    merged top-k is exactly the union engine's seed list;
+//! 2. `RADIUS` on the home shard over the merged seeds → the union
+//!    step-2 radius, bit-exact (the estimate is a deterministic function
+//!    of the seed list);
+//! 3. `RANGE` fan-out to every shard whose tile could hold an in-range
+//!    object ([`ShardMap::overlapping`]); concatenate ascending by id —
+//!    ownership is a partition, so this is exactly the union engine's
+//!    step-3 candidate list;
+//! 4. `EXEC` on the home shard over the merged lists → up to `k + 1`
+//!    ranked neighbors; the router re-checks the `ub(p_k) ≤ lb(p_{k+1})`
+//!    termination bound and truncates to `k`.
+//!
+//! Every downstream call is population- and order-explicit, so the final
+//! ids, `lb`/`ub` intervals, and radius are bit-identical to a single
+//! engine — the property `tests/shard_e2e.rs` and `loadgen
+//! --verify-data` enforce.
+//!
+//! # Admission
+//!
+//! The router runs the same EDF-with-starvation-floor admission lanes as
+//! the shards, a bounded queue, typed `Overloaded`/`ShuttingDown`/
+//! `DeadlineExpired` errors, client-facing `CANCEL`, and graceful drain.
+//! Shard connections are persistent multiplexed [`PoolClient`]s.
+
+use crate::lanes::{PushError, RouterLanes};
+use crate::map::ShardMap;
+use crate::stats::RouterStats;
+use sknn_geom::Point2;
+use sknn_obs::{field, mint_trace_id, QueryTrace, Recorder, Registry, RingRecorder, NOOP};
+use sknn_serve::metrics_http::{bind_metrics, metrics_loop};
+use sknn_serve::pool::{InFlight, PoolClient, PoolError};
+use sknn_serve::protocol::{
+    decode_payload, parse_header, write_frame_v, ErrorCode, ErrorFrame, ExecRequestFrame, Frame,
+    ProtocolError, QueryFrame, RadiusRequestFrame, RangeRequestFrame, ResponseFrame,
+    SeedsRequestFrame, TraceDumpFrame, WireObject, HEADER_LEN, MIN_VERSION,
+};
+use sknn_serve::Client;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the metrics endpoint keeps answering `/healthz` as draining
+/// after the drain completes (mirrors the shard server's lame duck).
+const METRICS_DRAIN_GRACE: Duration = Duration::from_millis(250);
+
+/// Router knobs. Defaults suit a local fleet; tests override freely.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Admission queue bound; arrivals beyond it are shed.
+    pub queue_depth: usize,
+    /// Orchestration workers — each drives one query's legs end to end,
+    /// so this bounds the router's in-flight fan-outs.
+    pub workers: usize,
+    /// Starvation floor of the EDF admission lanes (zero = pure EDF).
+    pub starvation_floor: Duration,
+    /// Socket read timeout — the granularity at which blocked readers
+    /// notice the shutdown flag.
+    pub poll_interval: Duration,
+    /// Where to serve `/metrics` and `/healthz`; `None` disables.
+    pub metrics_addr: Option<String>,
+    /// Per-leg wait budget for queries that carry no deadline (a leg
+    /// for a deadlined query waits at most its remaining slack).
+    pub leg_timeout: Duration,
+    /// Instance name stamped as an `instance` label on every exported
+    /// metrics family; empty means no label.
+    pub instance: String,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 256,
+            workers: 8,
+            starvation_floor: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(20),
+            metrics_addr: None,
+            leg_timeout: Duration::from_secs(30),
+            instance: "router".to_string(),
+        }
+    }
+}
+
+/// Remote handle on a running router: its address and a shutdown
+/// switch. Clonable across threads; `shutdown` is idempotent.
+#[derive(Debug, Clone)]
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl RouterHandle {
+    /// The router's bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful drain: stop accepting, answer what was admitted,
+    /// then return from [`Router::run`].
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Reply half of a client connection, shared between the reader (typed
+/// admission errors) and the worker that answers the query.
+pub(crate) struct ReplyWriter {
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl ReplyWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self { stream: Mutex::new(Some(stream)) }
+    }
+
+    /// A writer with no socket — every send fails. Test scaffolding.
+    #[cfg(test)]
+    pub(crate) fn null() -> Self {
+        Self { stream: Mutex::new(None) }
+    }
+
+    /// Writes one frame at `version`; a failed write poisons the writer
+    /// (the client is gone — later replies would interleave garbage).
+    pub(crate) fn send(&self, stats: &RouterStats, frame: &Frame, version: u16) -> bool {
+        let mut g = self.stream.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(stream) = g.as_mut() else { return false };
+        match write_frame_v(stream, frame, version) {
+            Ok(()) => true,
+            Err(_) => {
+                stats.write_errors.inc();
+                *g = None;
+                false
+            }
+        }
+    }
+}
+
+/// One admitted query waiting for (or being driven by) a worker.
+pub(crate) struct RouterJob {
+    pub(crate) req_id: u64,
+    pub(crate) trace_id: u64,
+    pub(crate) query: QueryFrame,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) enqueued: Instant,
+    pub(crate) wire_version: u16,
+    pub(crate) writer: Arc<ReplyWriter>,
+}
+
+/// Why a shard leg ended without a usable partial result.
+enum LegFail {
+    /// The shard answered with a typed error — relay it (code intact,
+    /// detail prefixed with the leg name) so the client sees the real
+    /// cause.
+    Relay(ErrorFrame),
+    /// The leg failed at the transport (pool) layer.
+    Transport(&'static str, PoolError),
+    /// The shard replied with a frame type the leg cannot use.
+    Unexpected(&'static str),
+}
+
+/// A bound (but not yet running) shard router.
+pub struct Router {
+    map: ShardMap,
+    listener: TcpListener,
+    cfg: RouterConfig,
+    pools: Vec<PoolClient>,
+    total_objects: u64,
+    stats: Arc<RouterStats>,
+    shutdown: Arc<AtomicBool>,
+    ring: Option<RingRecorder>,
+    metrics: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
+}
+
+impl Router {
+    /// Binds the router (and metrics) listener and fetches each shard's
+    /// live-object count over a STATS round trip — the fleet-wide total
+    /// is what clamps `k` exactly like a single engine over the union
+    /// would. Fails if any shard is unreachable: a router that cannot
+    /// see its fleet cannot promise union semantics.
+    pub fn bind<A: ToSocketAddrs>(map: ShardMap, addr: A, cfg: RouterConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let (metrics, metrics_addr) = match &cfg.metrics_addr {
+            Some(addr) => {
+                let (l, a) = bind_metrics(addr)?;
+                (Some(l), Some(a))
+            }
+            None => (None, None),
+        };
+        let pools: Vec<PoolClient> =
+            map.shards().iter().map(|s| PoolClient::new(s.addr.clone())).collect();
+        let mut total_objects = 0u64;
+        for s in map.shards() {
+            let mut client = Client::connect_with_timeout(&s.addr[..], Duration::from_secs(10))
+                .map_err(|e| other(format!("shard {}: {e}", s.addr)))?;
+            let entries =
+                client.fetch_stats().map_err(|e| other(format!("shard {} stats: {e}", s.addr)))?;
+            let objects = entries
+                .iter()
+                .find(|(n, _)| n == "objects")
+                .map(|&(_, v)| v)
+                .ok_or_else(|| other(format!("shard {} reports no object count", s.addr)))?;
+            total_objects += objects;
+        }
+        let stats = Arc::new(RouterStats::new());
+        stats.shard_map_size.store(map.len() as u64, Ordering::Relaxed);
+        stats.objects.store(total_objects, Ordering::Relaxed);
+        Ok(Self {
+            map,
+            listener,
+            cfg,
+            pools,
+            total_objects,
+            stats,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            ring: None,
+            metrics,
+            metrics_addr,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// The metrics endpoint's bound address, when one is configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Handle for shutting the router down from another thread.
+    pub fn handle(&self) -> RouterHandle {
+        RouterHandle { addr: self.local_addr(), shutdown: Arc::clone(&self.shutdown) }
+    }
+
+    /// The live counters (shared; updated while the router runs).
+    pub fn stats(&self) -> Arc<RouterStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The shard map the router routes with.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Record per-query route/fanout/merge spans into a bounded ring,
+    /// drained into the trace that [`run`](Self::run) returns.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.ring = Some(RingRecorder::new(capacity));
+    }
+
+    fn build_registry(&self) -> Registry<'_> {
+        let registry = if self.cfg.instance.is_empty() {
+            Registry::new()
+        } else {
+            Registry::with_instance(&self.cfg.instance)
+        };
+        self.stats.register_into(&registry);
+        registry
+    }
+
+    /// Serves until [`RouterHandle::shutdown`] is called, then drains
+    /// (queued queries are answered, their shard legs run to completion)
+    /// and returns the trace when tracing is enabled.
+    pub fn run(&self) -> Option<QueryTrace> {
+        self.listener.set_nonblocking(true).expect("listener nonblocking");
+        let rec: &dyn Recorder = match &self.ring {
+            Some(ring) => ring,
+            None => &NOOP,
+        };
+        let registry = self.build_registry();
+        let metrics_stop = AtomicBool::new(false);
+        let lanes = RouterLanes::new(self.cfg.queue_depth.max(1), self.cfg.starvation_floor);
+        std::thread::scope(|scope| {
+            let lanes = &lanes;
+            let workers: Vec<_> = (0..self.cfg.workers.max(1))
+                .map(|_| scope.spawn(move || self.worker_loop(lanes, rec)))
+                .collect();
+            if let Some(listener) = &self.metrics {
+                let registry = &registry;
+                let draining = &*self.shutdown;
+                let stop = &metrics_stop;
+                scope.spawn(move || metrics_loop(listener, registry, draining, stop));
+            }
+            while !self.shutdown.load(Ordering::Relaxed) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.stats.connections.inc();
+                        scope.spawn(move || self.serve_conn(stream, lanes));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+            lanes.close();
+            for w in workers {
+                let _ = w.join();
+            }
+            if self.metrics.is_some() {
+                std::thread::sleep(METRICS_DRAIN_GRACE);
+            }
+            metrics_stop.store(true, Ordering::Relaxed);
+        });
+        self.ring.as_ref().map(|r| r.drain())
+    }
+
+    /// Reader thread for one client connection.
+    fn serve_conn(&self, stream: TcpStream, lanes: &RouterLanes) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(self.cfg.poll_interval));
+        let writer = match stream.try_clone() {
+            Ok(w) => Arc::new(ReplyWriter::new(w)),
+            Err(_) => return,
+        };
+        let mut stream = stream;
+        loop {
+            match read_frame_interruptible(&mut stream, &self.shutdown) {
+                ReadOutcome::Frame(Frame::Query(q), version) => {
+                    if !(q.x.is_finite() && q.y.is_finite() && q.z.is_finite()) {
+                        writer.send(
+                            &self.stats,
+                            &error_frame(q.req_id, ErrorCode::BadRequest, "non-finite coordinates"),
+                            version,
+                        );
+                        continue;
+                    }
+                    self.admit(q, version, lanes, &writer);
+                }
+                ReadOutcome::Frame(Frame::Cancel(c), _version) => {
+                    // Same one-reply-per-request rule as the shards: a
+                    // landed cancel answers the *cancelled* query on its
+                    // own connection at its own wire version.
+                    match lanes.cancel(c.req_id, c.trace_id) {
+                        Some(job) => {
+                            self.stats.cancelled.inc();
+                            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                            job.writer.send(
+                                &self.stats,
+                                &error_frame(
+                                    job.req_id,
+                                    ErrorCode::Cancelled,
+                                    "cancelled while queued",
+                                ),
+                                job.wire_version,
+                            );
+                        }
+                        None => {
+                            self.stats.cancel_misses.inc();
+                        }
+                    }
+                }
+                ReadOutcome::Frame(Frame::StatsRequest, version) => {
+                    writer.send(&self.stats, &Frame::Stats(self.stats.snapshot()), version);
+                }
+                ReadOutcome::Frame(Frame::TraceDumpRequest, version) => {
+                    // The router keeps no slow-query reservoir (that is
+                    // engine-side state owned by the shards); an empty
+                    // dump keeps fleet tooling uniform.
+                    writer.send(
+                        &self.stats,
+                        &Frame::TraceDump(TraceDumpFrame { jsonl: String::new() }),
+                        version,
+                    );
+                }
+                ReadOutcome::Frame(_, version) => {
+                    self.stats.protocol_errors.inc();
+                    writer.send(
+                        &self.stats,
+                        &error_frame(
+                            0,
+                            ErrorCode::BadRequest,
+                            "router accepts QUERY, CANCEL, STATS, TRACE_DUMP",
+                        ),
+                        version,
+                    );
+                }
+                ReadOutcome::Protocol(e) => {
+                    self.stats.protocol_errors.inc();
+                    writer.send(
+                        &self.stats,
+                        &error_frame(0, ErrorCode::BadRequest, &e.to_string()),
+                        MIN_VERSION,
+                    );
+                    return;
+                }
+                ReadOutcome::Closed | ReadOutcome::Io | ReadOutcome::Shutdown => return,
+            }
+        }
+    }
+
+    /// Offers a query to the admission lanes, replying with the right
+    /// typed error when it cannot be queued.
+    fn admit(&self, q: QueryFrame, version: u16, lanes: &RouterLanes, writer: &Arc<ReplyWriter>) {
+        if self.shutdown.load(Ordering::Relaxed) {
+            self.stats.rejected_shutdown.inc();
+            writer.send(
+                &self.stats,
+                &error_frame(q.req_id, ErrorCode::ShuttingDown, "router is draining"),
+                version,
+            );
+            return;
+        }
+        let enqueued = Instant::now();
+        let deadline = match q.deadline_ms {
+            0 => None,
+            ms => Some(enqueued + Duration::from_millis(ms as u64)),
+        };
+        // Nonzero from here on: the same trace id stamps every shard leg
+        // of this query, which is what lets `sknn_shard_*` metrics and
+        // per-shard slow logs be joined on one id.
+        let trace_id = if q.trace_id != 0 { q.trace_id } else { mint_trace_id() };
+        let job = RouterJob {
+            req_id: q.req_id,
+            trace_id,
+            query: q,
+            deadline,
+            enqueued,
+            wire_version: version,
+            writer: Arc::clone(writer),
+        };
+        match lanes.try_push(job) {
+            Ok(()) => {
+                self.stats.queue_depth.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(PushError::Full(job)) => {
+                self.stats.shed.inc();
+                job.writer.send(
+                    &self.stats,
+                    &error_frame(job.req_id, ErrorCode::Overloaded, "router queue full"),
+                    job.wire_version,
+                );
+            }
+            Err(PushError::Closed(job)) => {
+                self.stats.rejected_shutdown.inc();
+                job.writer.send(
+                    &self.stats,
+                    &error_frame(job.req_id, ErrorCode::ShuttingDown, "router is draining"),
+                    job.wire_version,
+                );
+            }
+        }
+    }
+
+    /// One orchestration worker: pops scheduled queries and drives their
+    /// shard legs end to end.
+    fn worker_loop(&self, lanes: &RouterLanes, rec: &dyn Recorder) {
+        while let Some(job) = lanes.pop() {
+            self.stats.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.stats.queue_us.record(job.enqueued.elapsed().as_micros() as u64);
+            if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.stats.expired.inc();
+                job.writer.send(
+                    &self.stats,
+                    &error_frame(
+                        job.req_id,
+                        ErrorCode::DeadlineExpired,
+                        "deadline expired in router queue",
+                    ),
+                    job.wire_version,
+                );
+                continue;
+            }
+            self.handle_query(job, rec);
+        }
+    }
+
+    /// A leg's wait budget: the query's remaining slack, capped at the
+    /// configured per-leg timeout.
+    fn remaining(&self, job: &RouterJob) -> Duration {
+        match job.deadline {
+            Some(d) => d.saturating_duration_since(Instant::now()).min(self.cfg.leg_timeout),
+            None => self.cfg.leg_timeout,
+        }
+    }
+
+    /// Routes one query: home QUERY plus speculative SEEDS fan-out, then
+    /// either the interior fast path (cancel the speculation) or the
+    /// full straddle merge.
+    fn handle_query(&self, job: RouterJob, rec: &dyn Recorder) {
+        let t_route = Instant::now();
+        let q = job.query.clone();
+        let xy = Point2::new(q.x, q.y);
+        let Some(home) = self.map.home(xy) else {
+            job.writer.send(
+                &self.stats,
+                &error_frame(
+                    job.req_id,
+                    ErrorCode::BadRequest,
+                    "query point outside the shard map",
+                ),
+                job.wire_version,
+            );
+            return;
+        };
+        self.stats.routed.inc();
+        // Single-shard fleets, k = 0, and an empty fleet all reduce to
+        // "the home answer is the union answer" with nothing to merge.
+        let trivial = self.map.len() == 1 || q.k == 0 || self.total_objects == 0;
+        let pool = &self.pools[home];
+        let hq = pool.next_req_id();
+        let home_frame = Frame::Query(QueryFrame {
+            req_id: hq,
+            tri: q.tri,
+            x: q.x,
+            y: q.y,
+            z: q.z,
+            k: q.k,
+            deadline_ms: q.deadline_ms,
+            trace_id: job.trace_id,
+        });
+        let home_leg = match pool.begin(hq, &home_frame) {
+            Ok(leg) => leg,
+            Err(e) => return self.leg_failed(&job, "home query", &e),
+        };
+        // Speculative SEEDS to every shard, home included: QUERY does
+        // not return seeds, and a straddle merge needs home's list too.
+        let mut spec: Vec<(usize, u64, InFlight)> = Vec::new();
+        if !trivial {
+            for (i, p) in self.pools.iter().enumerate() {
+                let rid = p.next_req_id();
+                let f = Frame::SeedsRequest(SeedsRequestFrame {
+                    req_id: rid,
+                    trace_id: job.trace_id,
+                    x: q.x,
+                    y: q.y,
+                    k: q.k,
+                    deadline_ms: q.deadline_ms,
+                });
+                match p.begin(rid, &f) {
+                    Ok(leg) => spec.push((i, rid, leg)),
+                    Err(e) => {
+                        self.cancel_legs(job.trace_id, spec);
+                        return self.leg_failed(&job, "speculative seeds", &e);
+                    }
+                }
+            }
+        }
+        self.stats.route_us.record(t_route.elapsed().as_micros() as u64);
+        if rec.enabled() {
+            rec.span(
+                "router_route",
+                job.trace_id,
+                vec![
+                    field("dur_us", t_route.elapsed().as_micros() as u64),
+                    field("home", home as u64),
+                    field("spec_legs", spec.len() as u64),
+                ],
+            );
+        }
+        match home_leg.wait(self.remaining(&job)) {
+            Ok(Frame::Response(mut r)) => {
+                // Interior fast path. The full-k condition guards the
+                // k > home-population case: a short home answer means the
+                // union holds objects this shard cannot see.
+                if trivial
+                    || (r.neighbors.len() == q.k as usize && self.map.interior(home, xy, r.radius))
+                {
+                    self.cancel_legs(job.trace_id, spec);
+                    self.stats.interior.inc();
+                    r.req_id = job.req_id;
+                    self.finish(&job, Frame::Response(r));
+                } else {
+                    match self.straddle(&job, home, &q, spec, rec) {
+                        Ok(resp) => self.finish(&job, Frame::Response(resp)),
+                        Err(fail) => self.fail(&job, fail),
+                    }
+                }
+            }
+            Ok(Frame::Error(e)) => {
+                self.cancel_legs(job.trace_id, spec);
+                self.fail(&job, LegFail::Relay(prefixed("home query", e)));
+            }
+            Ok(_) => {
+                self.cancel_legs(job.trace_id, spec);
+                self.fail(&job, LegFail::Unexpected("home query"));
+            }
+            Err(e) => {
+                self.cancel_legs(job.trace_id, spec);
+                self.fail(&job, LegFail::Transport("home query", e));
+            }
+        }
+    }
+
+    /// The decomposed plan for a boundary-straddling query. Consumes the
+    /// speculative seed legs (their answers are exactly step 1).
+    fn straddle(
+        &self,
+        job: &RouterJob,
+        home: usize,
+        q: &QueryFrame,
+        spec: Vec<(usize, u64, InFlight)>,
+        rec: &dyn Recorder,
+    ) -> Result<ResponseFrame, LegFail> {
+        self.stats.fanned_out.inc();
+        let t_fan = Instant::now();
+        let xy = Point2::new(q.x, q.y);
+        // Clamp k to the union population — exactly the clamp a single
+        // engine applies against its own live count.
+        let kc = (q.k as u64).min(self.total_objects) as usize;
+        // Step 1: merge the per-shard canonical seed lists by (dist, id).
+        // Each shard's list is its local top-k under that total order, so
+        // the union's top-k is a subset of the concatenation and the sort
+        // recovers it exactly.
+        let mut seeds: Vec<(f64, WireObject)> = Vec::new();
+        for (_, _, leg) in spec {
+            match leg.wait(self.remaining(job)) {
+                Ok(Frame::Seeds(s)) => seeds.extend(s.seeds),
+                Ok(Frame::Error(e)) => return Err(LegFail::Relay(prefixed("seeds leg", e))),
+                Ok(_) => return Err(LegFail::Unexpected("seeds leg")),
+                Err(e) => return Err(LegFail::Transport("seeds leg", e)),
+            }
+        }
+        seeds.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.id.cmp(&b.1.id)));
+        seeds.truncate(kc);
+        let seed_objs: Vec<WireObject> = seeds.iter().map(|&(_, o)| o).collect();
+        // Step 2 on the home shard over the merged seeds.
+        let pool = &self.pools[home];
+        let rid = pool.next_req_id();
+        let rf = Frame::RadiusRequest(RadiusRequestFrame {
+            req_id: rid,
+            trace_id: job.trace_id,
+            tri: q.tri,
+            x: q.x,
+            y: q.y,
+            z: q.z,
+            deadline_ms: q.deadline_ms,
+            seeds: seed_objs.clone(),
+        });
+        let radius = match pool.call(rid, &rf, self.remaining(job)) {
+            Ok(Frame::Radius(r)) => r.radius,
+            Ok(Frame::Error(e)) => return Err(LegFail::Relay(prefixed("radius leg", e))),
+            Ok(_) => return Err(LegFail::Unexpected("radius leg")),
+            Err(e) => return Err(LegFail::Transport("radius leg", e)),
+        };
+        // Step 3 fan-out. NaN sanitizes to ∞ — both mean "range
+        // everything" to the engine, and RANGE rejects NaN on the wire.
+        let fan_radius = if radius.is_nan() { f64::INFINITY } else { radius };
+        let mut range_legs = Vec::new();
+        for i in self.map.overlapping(xy, fan_radius) {
+            let p = &self.pools[i];
+            let rid = p.next_req_id();
+            let f = Frame::RangeRequest(RangeRequestFrame {
+                req_id: rid,
+                trace_id: job.trace_id,
+                x: q.x,
+                y: q.y,
+                radius: fan_radius,
+                deadline_ms: q.deadline_ms,
+            });
+            match p.begin(rid, &f) {
+                Ok(leg) => range_legs.push(leg),
+                Err(e) => return Err(LegFail::Transport("range leg", e)),
+            }
+        }
+        let mut cands: Vec<WireObject> = Vec::new();
+        for leg in range_legs {
+            match leg.wait(self.remaining(job)) {
+                Ok(Frame::Range(r)) => cands.extend(r.objects),
+                Ok(Frame::Error(e)) => return Err(LegFail::Relay(prefixed("range leg", e))),
+                Ok(_) => return Err(LegFail::Unexpected("range leg")),
+                Err(e) => return Err(LegFail::Transport("range leg", e)),
+            }
+        }
+        // Ownership is a partition, so per-shard lists are disjoint and
+        // their id-sorted concatenation is the union engine's candidate
+        // list element for element.
+        cands.sort_unstable_by_key(|o| o.id);
+        self.stats.fanout_us.record(t_fan.elapsed().as_micros() as u64);
+        if rec.enabled() {
+            rec.span(
+                "router_fanout",
+                job.trace_id,
+                vec![
+                    field("dur_us", t_fan.elapsed().as_micros() as u64),
+                    field("seeds", seed_objs.len() as u64),
+                    field("cands", cands.len() as u64),
+                ],
+            );
+        }
+        // Steps 2+4, coupled, on the home shard over the merged lists.
+        let t_merge = Instant::now();
+        let eid = pool.next_req_id();
+        let ef = Frame::ExecRequest(ExecRequestFrame {
+            req_id: eid,
+            trace_id: job.trace_id,
+            tri: q.tri,
+            x: q.x,
+            y: q.y,
+            z: q.z,
+            k: kc as u32,
+            deadline_ms: q.deadline_ms,
+            seeds: seed_objs,
+            cands,
+        });
+        let mut resp = match pool.call(eid, &ef, self.remaining(job)) {
+            Ok(Frame::Response(r)) => r,
+            Ok(Frame::Error(e)) => return Err(LegFail::Relay(prefixed("exec leg", e))),
+            Ok(_) => return Err(LegFail::Unexpected("exec leg")),
+            Err(e) => return Err(LegFail::Transport("exec leg", e)),
+        };
+        // Termination re-check over the k+1 ranked intervals, with the
+        // same 1e-9 margin as the engine's own VA-file test
+        // (`is_resolved`). Failing it is NOT a merge error — the union
+        // engine reaches the identical terminal state when the schedule
+        // ends before the runner-up separates — so the counter reads as
+        // "merged answers whose top-k is not provably separated", a
+        // resolution-quality signal. A router-*induced* violation cannot
+        // occur while the merged lists are exact, which is what the e2e
+        // bit-identity suite proves.
+        if kc > 0
+            && resp.neighbors.len() > kc
+            && resp.neighbors[kc - 1].ub > resp.neighbors[kc].lb + 1e-9
+        {
+            self.stats.bound_violations.inc();
+        }
+        resp.neighbors.truncate(kc);
+        resp.req_id = job.req_id;
+        self.stats.merged.inc();
+        self.stats.merge_us.record(t_merge.elapsed().as_micros() as u64);
+        if rec.enabled() {
+            rec.span(
+                "router_merge",
+                job.trace_id,
+                vec![field("dur_us", t_merge.elapsed().as_micros() as u64), field("k", kc as u64)],
+            );
+        }
+        Ok(resp)
+    }
+
+    /// Withdraws speculative legs whose answers the interior test (or an
+    /// earlier failure) has made irrelevant. Dropping the `InFlight`
+    /// releases the demux slot, so a reply racing the cancel is dropped
+    /// silently; a landed cancel shows up in the shard's `cancelled`
+    /// counter.
+    fn cancel_legs(&self, trace_id: u64, legs: Vec<(usize, u64, InFlight)>) {
+        for (shard, rid, leg) in legs {
+            self.pools[shard].cancel(rid, trace_id);
+            self.stats.cancelled_legs.inc();
+            drop(leg);
+        }
+    }
+
+    /// Sends the final reply and records end-to-end latency.
+    fn finish(&self, job: &RouterJob, frame: Frame) {
+        self.stats.latency_us.record(job.enqueued.elapsed().as_micros() as u64);
+        if job.writer.send(&self.stats, &frame, job.wire_version) {
+            self.stats.completed.inc();
+        }
+    }
+
+    /// Answers a query whose legs could not produce a result.
+    fn fail(&self, job: &RouterJob, fail: LegFail) {
+        self.stats.leg_failures.inc();
+        let frame = match fail {
+            LegFail::Relay(mut e) => {
+                e.req_id = job.req_id;
+                Frame::Error(e)
+            }
+            LegFail::Transport(what, e) => {
+                let code = match e {
+                    PoolError::Timeout if job.deadline.is_some() => ErrorCode::DeadlineExpired,
+                    _ => ErrorCode::Overloaded,
+                };
+                error_frame(job.req_id, code, &format!("{what} failed: {e}"))
+            }
+            LegFail::Unexpected(what) => error_frame(
+                job.req_id,
+                ErrorCode::Overloaded,
+                &format!("{what}: unexpected shard reply"),
+            ),
+        };
+        job.writer.send(&self.stats, &frame, job.wire_version);
+    }
+
+    /// [`fail`](Self::fail) for the transport case, saving a construction
+    /// at call sites that have not built a `LegFail` yet.
+    fn leg_failed(&self, job: &RouterJob, what: &'static str, e: &PoolError) {
+        self.stats.leg_failures.inc();
+        let code = match e {
+            PoolError::Timeout if job.deadline.is_some() => ErrorCode::DeadlineExpired,
+            _ => ErrorCode::Overloaded,
+        };
+        job.writer.send(
+            &self.stats,
+            &error_frame(job.req_id, code, &format!("{what} failed: {e}")),
+            job.wire_version,
+        );
+    }
+}
+
+/// Prefixes a relayed shard error's detail with the leg that produced
+/// it, keeping the code (and thus client retry semantics) intact.
+fn prefixed(what: &str, mut e: ErrorFrame) -> ErrorFrame {
+    e.detail = format!("{what}: {}", e.detail);
+    e
+}
+
+fn error_frame(req_id: u64, code: ErrorCode, detail: &str) -> Frame {
+    Frame::Error(ErrorFrame { req_id, code, detail: detail.to_string() })
+}
+
+enum ReadOutcome {
+    /// A decoded frame plus the wire version it arrived in (replies echo
+    /// that version so old clients never see new layouts).
+    Frame(Frame, u16),
+    /// Clean close at a frame boundary.
+    Closed,
+    /// Shutdown observed at a frame boundary.
+    Shutdown,
+    Protocol(ProtocolError),
+    Io,
+}
+
+/// Reads one frame off a socket with a read timeout, re-arming on
+/// timeouts so the reader can poll the shutdown flag between frames.
+/// (A sibling of the shard server's private reader; duplicated because
+/// it is small and the two servers' poll semantics evolve separately.)
+fn read_frame_interruptible(stream: &mut TcpStream, shutdown: &AtomicBool) -> ReadOutcome {
+    let mut header = [0u8; HEADER_LEN];
+    match fill(stream, &mut header, Some(shutdown)) {
+        Fill::Done => {}
+        Fill::Eof(0) => return ReadOutcome::Closed,
+        Fill::Eof(got) => {
+            return ReadOutcome::Protocol(ProtocolError::Truncated { needed: HEADER_LEN, got })
+        }
+        Fill::Shutdown => return ReadOutcome::Shutdown,
+        Fill::Io => return ReadOutcome::Io,
+    }
+    let (version, tag, len) = match parse_header(&header) {
+        Ok(v) => v,
+        Err(e) => return ReadOutcome::Protocol(e),
+    };
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, None) {
+        Fill::Done => {}
+        Fill::Eof(got) => {
+            return ReadOutcome::Protocol(ProtocolError::Truncated { needed: len as usize, got })
+        }
+        Fill::Shutdown => unreachable!("shutdown not polled mid-frame"),
+        Fill::Io => return ReadOutcome::Io,
+    }
+    match decode_payload(version, tag, &payload) {
+        Ok(frame) => ReadOutcome::Frame(frame, version),
+        Err(e) => ReadOutcome::Protocol(e),
+    }
+}
+
+enum Fill {
+    Done,
+    /// EOF after this many bytes.
+    Eof(usize),
+    Shutdown,
+    Io,
+}
+
+/// Fills `buf` from the socket, treating timeouts as poll ticks. When
+/// `shutdown` is provided it is checked before the first byte — i.e. at
+/// a frame boundary only.
+fn fill(stream: &mut TcpStream, buf: &mut [u8], shutdown: Option<&AtomicBool>) -> Fill {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if filled == 0 && shutdown.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+            return Fill::Shutdown;
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Fill::Eof(filled),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return Fill::Io,
+        }
+    }
+    Fill::Done
+}
+
+fn other(msg: String) -> io::Error {
+    io::Error::other(msg)
+}

@@ -44,6 +44,20 @@
 //!          [--fault-profile S:R:K]     recovery with bit-identical k-NN
 //!                                      verification (K may be the write-side
 //!                                      kinds write|fsync|torn)
+//! sknn shard --shards 2 --port 7070    sharded deployment in one process:
+//!          [--max-seconds S]           N engine shards on ephemeral ports
+//!          [--metrics-port P]          (vertical terrain slabs, disjoint
+//!          [--router-workers 8]        object ownership) fronted by a
+//!          [--queue-depth 256]         router whose answers are bit-
+//!          [--trace-out r.jsonl]       identical to one engine over the
+//!                                      union terrain. --metrics-port
+//!                                      serves the router's families;
+//!                                      each shard gets an ephemeral
+//!                                      metrics port (all printed, every
+//!                                      family instance-labelled).
+//!                                      SKNN_FAULT_PROFILE / --fault-
+//!                                      profile injects storage faults
+//!                                      into every shard engine.
 //! sknn loadgen --addr HOST:PORT        drive a running server
 //!          [--connections 8]           concurrent connections
 //!          [--requests 50]             requests per connection
@@ -53,6 +67,12 @@
 //!          [--verify true]             check responses bit-for-bit
 //!                                      against a local engine (terrain
 //!                                      flags must match the server's)
+//!          [--verify-data P:G:S:O]     build the verification oracle
+//!                                      from an explicit dataset spec
+//!                                      (preset:grid:seed:objects) — for
+//!                                      verifying a sharded deployment
+//!                                      against the single merged-terrain
+//!                                      engine regardless of local flags
 //!          [--expect-coalescing true]  fail unless mean batch size > 1
 //!          [--out BENCH_serve.json]    write the JSON report
 //! sknn top --metrics HOST:PORT         live server telemetry: polls the
@@ -62,6 +82,12 @@
 //!                                      degraded rates
 //!                                      (--check: scrape once, validate,
 //!                                      exit nonzero on parse failure)
+//!          [--endpoints a,b,c]         fleet mode: poll several metrics
+//!                                      endpoints, render one row per
+//!                                      instance plus a fleet-total line;
+//!                                      --check additionally requires the
+//!                                      sknn_shard_* families on the
+//!                                      router endpoint
 //!
 //! common flags (accepted as `--name value` or `--name=value`):
 //!   --preset bh|ep     terrain preset (default bh)
@@ -78,6 +104,7 @@ use surface_knn::core::config::StepSchedule;
 use surface_knn::core::constrained::{ConstrainedEngine, ObstacleMask};
 use surface_knn::prelude::*;
 use surface_knn::serve::{LoadgenConfig, ServeConfig, Server, ServerHandle};
+use surface_knn::shard::{Router, RouterConfig, ShardMap, ShardSpec};
 use surface_knn::terrain::stats::MeshStats;
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -503,6 +530,130 @@ fn main() {
                 println!("wrote serve trace to {trace_out}");
             }
         }
+        "shard" => {
+            let host: String = args.get("host", "127.0.0.1".to_string());
+            let port: u16 = args.get("port", 7070);
+            let n: usize = args.get("shards", 2);
+            let max_seconds: f64 = args.get("max-seconds", 0.0);
+            let metrics_port: Option<u16> = args.get_opt("metrics-port");
+            let trace_out: String = args.get("trace-out", String::new());
+            let fault_spec: String =
+                args.get("fault-profile", std::env::var("SKNN_FAULT_PROFILE").unwrap_or_default());
+
+            // Partition via the same tiles (and the same `home` rule) the
+            // router will route with, so ownership agrees bit-for-bit.
+            let tiles = ShardMap::vertical_slabs(mesh.extent(), n);
+            let probe = ShardMap::new(
+                tiles.iter().map(|&tile| ShardSpec { tile, addr: String::new() }).collect(),
+            );
+            let mut engines = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut engine = build_engine(&cfg);
+                engine.cold_cache = false;
+                if !fault_spec.is_empty() {
+                    let profile = surface_knn::store::FaultProfile::parse(&fault_spec)
+                        .expect("fault profile must be seed:rate:kind");
+                    engine.pager().set_fault_injector(Some(
+                        surface_knn::store::FaultInjector::from_profile(&profile),
+                    ));
+                }
+                // Restrict the object store to the tile; ids stay global,
+                // so the union of the shards is exactly the full scene.
+                let store = engine.objects();
+                for o in scene.objects() {
+                    let xy = Point2::new(o.point.pos.x, o.point.pos.y);
+                    if probe.home(xy) != Some(i) {
+                        store.delete(o.id).expect("shard partition delete failed");
+                    }
+                }
+                engines.push(engine);
+            }
+            if !fault_spec.is_empty() {
+                eprintln!("# fault injection active on every shard: {fault_spec}");
+            }
+
+            let servers: Vec<Server<'_, '_, '_>> = engines
+                .iter()
+                .enumerate()
+                .map(|(i, engine)| {
+                    let scfg = ServeConfig {
+                        instance: format!("shard{i}"),
+                        metrics_addr: metrics_port.map(|_| format!("{host}:0")),
+                        ..ServeConfig::default()
+                    };
+                    Server::bind(engine, (host.as_str(), 0u16), scfg)
+                        .expect("cannot bind shard address")
+                })
+                .collect();
+            let map = ShardMap::new(
+                tiles
+                    .iter()
+                    .zip(&servers)
+                    .map(|(&tile, s)| ShardSpec { tile, addr: s.local_addr().to_string() })
+                    .collect(),
+            );
+            for (i, (spec, engine)) in map.shards().iter().zip(&engines).enumerate() {
+                println!(
+                    "shard {i}: {} objects, tile x [{:.0}, {:.0}) on {}",
+                    engine.write_stats().live_objects,
+                    spec.tile.lo.x,
+                    spec.tile.hi.x,
+                    spec.addr
+                );
+            }
+
+            std::thread::scope(|scope| {
+                let shard_handles: Vec<ServerHandle> = servers.iter().map(|s| s.handle()).collect();
+                for server in &servers {
+                    scope.spawn(move || {
+                        server.run();
+                    });
+                }
+                let router_cfg = RouterConfig {
+                    workers: args.get("router-workers", 8),
+                    queue_depth: args.get("queue-depth", 256),
+                    metrics_addr: metrics_port.map(|p| format!("{host}:{p}")),
+                    ..RouterConfig::default()
+                };
+                let mut router = Router::bind(map.clone(), (host.as_str(), port), router_cfg)
+                    .expect("cannot bind router address");
+                if !trace_out.is_empty() {
+                    router.enable_tracing(4096);
+                }
+                let stats = router.stats();
+                println!(
+                    "router: fronting {n} shards, {} objects (grid {grid}, preset {preset}) on {}",
+                    scene.num_objects(),
+                    router.local_addr()
+                );
+                if let Some(addr) = router.metrics_addr() {
+                    println!("router metrics on http://{addr}/metrics (health: /healthz)");
+                }
+                for (i, server) in servers.iter().enumerate() {
+                    if let Some(addr) = server.metrics_addr() {
+                        println!("shard {i} metrics on http://{addr}/metrics");
+                    }
+                }
+                install_shutdown_watcher_with(
+                    {
+                        let handle = router.handle();
+                        move || handle.shutdown()
+                    },
+                    max_seconds,
+                );
+                let trace = router.run();
+                println!("router drained: {}", stats.summary());
+                // The router is fully drained: no query still holds shard
+                // legs, so the shards can drain in any order.
+                for handle in shard_handles {
+                    handle.shutdown();
+                }
+                if let Some(trace) = trace {
+                    std::fs::write(&trace_out, trace.to_jsonl()).expect("cannot write --trace-out");
+                    println!("wrote router trace to {trace_out}");
+                }
+            });
+        }
         "mutate" => {
             use surface_knn::core::objects::ObjectStore;
             let ops: usize = args.get("ops", 200);
@@ -640,9 +791,32 @@ fn main() {
                 deadline_ms: args.get("deadline-ms", 0),
                 seed: seed ^ 0xC0FFEE,
             };
-            // The verification engine rebuilds the same scene the server
-            // was started with, so the terrain flags must match.
-            let verify_engine = verify.then(|| build_engine(&cfg));
+            // The verification oracle: `--verify-data preset:grid:seed:objects`
+            // names the dataset explicitly (the way to verify a sharded
+            // deployment against the single merged-terrain engine without
+            // depending on this invocation's terrain flags); plain
+            // `--verify` rebuilds from the local flags, which must then
+            // match the server's. Queries are drawn from the oracle's
+            // scene either way, so request generation and verification
+            // agree on the terrain.
+            let verify_data: String = args.get("verify-data", String::new());
+            let (vmesh, vscene);
+            let (gen_scene, verify_engine) = if verify_data.is_empty() {
+                (&scene, verify.then(|| build_engine(&cfg)))
+            } else {
+                let mut parts = verify_data.split(':');
+                let vpreset = parts.next().unwrap_or("bh").to_string();
+                let vgrid: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(grid);
+                let vseed: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(seed);
+                let vobjects: usize = parts.next().and_then(|s| s.parse().ok()).unwrap_or(objects);
+                let tc = match vpreset.as_str() {
+                    "ep" => TerrainConfig::ep(),
+                    _ => TerrainConfig::bh(),
+                };
+                vmesh = tc.with_grid(vgrid).build_mesh(vseed);
+                vscene = SceneBuilder::new(&vmesh).object_count(vobjects).seed(vseed ^ 1).build();
+                (&vscene, Some(Mr3Engine::build(&vmesh, &vscene, &cfg)))
+            };
 
             let mut reports = Vec::new();
             let mut failed = false;
@@ -650,7 +824,7 @@ fn main() {
                 let qps: f64 = qps_raw.parse().expect("--qps must be a comma list of numbers");
                 let pass = LoadgenConfig { qps, ..base.clone() };
                 let report =
-                    surface_knn::serve::loadgen::run(&scene, &pass, verify_engine.as_ref())
+                    surface_knn::serve::loadgen::run(gen_scene, &pass, verify_engine.as_ref())
                         .expect("loadgen pass failed");
                 println!(
                     "{}{}: {} sent, {} ok ({} degraded), {} overloaded, {} expired, \
@@ -668,7 +842,7 @@ fn main() {
                     report.latency.p95,
                     report.latency.p99,
                     report.server_mean_batch(),
-                    if verify {
+                    if verify_engine.is_some() {
                         format!(", {} verified / {} mismatches", report.verified, report.mismatches)
                     } else {
                         String::new()
@@ -712,7 +886,7 @@ fn main() {
         }
         _ => {
             println!(
-                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|mutate|serve|loadgen|top> [flags]"
+                "usage: sknn <info|knn|trace|range|pair|constrained|export|prepare|mutate|serve|shard|loadgen|top> [flags]"
             );
             println!("see the module docs (src/bin/sknn.rs) for the flag list");
         }
@@ -728,6 +902,12 @@ fn main() {
 /// smoke test runs exactly that.
 fn run_top(args: &Args) {
     use surface_knn::serve::promtext::{self, Sample};
+
+    let endpoints: String = args.get("endpoints", String::new());
+    if !endpoints.is_empty() {
+        run_top_fleet(args, &endpoints);
+        return;
+    }
 
     let metrics: String = args.get("metrics", "127.0.0.1:7071".to_string());
     let query_addr: String = args.get("addr", String::new());
@@ -930,6 +1110,203 @@ fn run_top(args: &Args) {
     }
 }
 
+/// `sknn top --endpoints a,b,c`: fleet mode. Scrapes every endpoint each
+/// tick, classifies each as a router (exposes `sknn_shard_*`) or a shard
+/// (exposes `sknn_serve_*`), and renders one row per instance plus a
+/// fleet-total line; a router endpoint also gets a fan-out summary line.
+/// With `--check true` it scrapes once and exits nonzero unless every
+/// endpoint parses and at least one router exposes the full
+/// `sknn_shard_*` family set.
+fn run_top_fleet(args: &Args, endpoints: &str) {
+    use surface_knn::serve::promtext::{self, Sample};
+
+    let eps: Vec<String> =
+        endpoints.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+    if eps.is_empty() {
+        eprintln!("# ERROR: --endpoints needs at least one HOST:PORT");
+        std::process::exit(1);
+    }
+    let interval = Duration::from_millis(args.get("interval-ms", 1000));
+    let iterations: usize = args.get("iterations", 0);
+    let check: bool = args.get("check", false);
+    let timeout = Duration::from_secs(2);
+
+    let scrape = |ep: &str| -> Result<Vec<Sample>, String> {
+        let body = promtext::http_get(ep, "/metrics", timeout)
+            .map_err(|e| format!("scrape of {ep} failed: {e}"))?;
+        promtext::parse(&body).map_err(|line| format!("{ep}: metrics line {line} does not parse"))
+    };
+    let value = |samples: &[Sample], name: &str| -> f64 {
+        samples.iter().find(|s| s.name == name).map(|s| s.value).unwrap_or(0.0)
+    };
+    let is_router = |samples: &[Sample]| -> bool {
+        samples.iter().any(|s| s.name == "sknn_shard_routed_total")
+    };
+    let instance_of = |samples: &[Sample]| -> String {
+        samples
+            .iter()
+            .find_map(|s| s.labels.get("instance").cloned())
+            .unwrap_or_else(|| "-".to_string())
+    };
+
+    if check {
+        let shard_required = [
+            "sknn_shard_routed_total",
+            "sknn_shard_interior_total",
+            "sknn_shard_fanned_out_total",
+            "sknn_shard_merged_total",
+            "sknn_shard_cancelled_legs_total",
+            "sknn_shard_leg_failures_total",
+            "sknn_shard_bound_violations_total",
+            "sknn_shard_map_size",
+        ];
+        let mut routers = 0usize;
+        for ep in &eps {
+            let samples = match scrape(ep) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("# ERROR: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if is_router(&samples) {
+                routers += 1;
+                let missing: Vec<&str> = shard_required
+                    .iter()
+                    .filter(|name| !samples.iter().any(|s| s.name == **name))
+                    .copied()
+                    .collect();
+                if !missing.is_empty() {
+                    eprintln!("# ERROR: router {ep} is missing families: {missing:?}");
+                    std::process::exit(1);
+                }
+            } else if !samples.iter().any(|s| s.name == "sknn_serve_completed_total") {
+                eprintln!("# ERROR: {ep} exposes neither sknn_shard_* nor sknn_serve_* families");
+                std::process::exit(1);
+            }
+            if instance_of(&samples) == "-" {
+                eprintln!("# ERROR: {ep} exports no instance label");
+                std::process::exit(1);
+            }
+            println!(
+                "{} OK: {} ({} samples, instance {})",
+                ep,
+                if is_router(&samples) { "router" } else { "shard" },
+                samples.len(),
+                instance_of(&samples),
+            );
+        }
+        if routers == 0 {
+            eprintln!("# ERROR: no endpoint exposes the sknn_shard_* router families");
+            std::process::exit(1);
+        }
+        println!("fleet OK: {} endpoints, {} router(s)", eps.len(), routers);
+        return;
+    }
+
+    let mut prev: Vec<Option<(Vec<Sample>, std::time::Instant)>> = vec![None; eps.len()];
+    let mut tick = 0usize;
+    loop {
+        let mut out = String::new();
+        out.push_str("\x1b[2J\x1b[H");
+        out.push_str(&format!("sknn top — fleet of {} — scrape #{tick}\n\n", eps.len()));
+        out.push_str(&format!(
+            "{:<22} {:<9} {:<7} {:>8} {:>6} {:>10} {:>6} {:>8}\n",
+            "endpoint", "instance", "role", "qps", "queue", "completed", "shed", "expired"
+        ));
+        let mut fleet_qps = 0.0;
+        let mut fleet_queue = 0.0;
+        let mut fleet_completed = 0.0;
+        let mut fleet_shed = 0.0;
+        let mut fleet_expired = 0.0;
+        let mut router_line = String::new();
+        for (i, ep) in eps.iter().enumerate() {
+            let samples = match scrape(ep) {
+                Ok(s) => s,
+                Err(_) => {
+                    out.push_str(&format!("{ep:<22} {:<9} unreachable\n", "-"));
+                    prev[i] = None;
+                    continue;
+                }
+            };
+            let now = std::time::Instant::now();
+            let prefix = if is_router(&samples) { "sknn_shard" } else { "sknn_serve" };
+            let completed_name = format!("{prefix}_completed_total");
+            let qps = match &prev[i] {
+                Some((old, at)) => {
+                    let dt = now.duration_since(*at).as_secs_f64().max(1e-9);
+                    (value(&samples, &completed_name) - value(old, &completed_name)).max(0.0) / dt
+                }
+                None => 0.0,
+            };
+            let queue = value(&samples, &format!("{prefix}_queue_depth"));
+            let completed = value(&samples, &completed_name);
+            let shed = value(&samples, &format!("{prefix}_shed_total"));
+            let expired = value(&samples, &format!("{prefix}_expired_total"));
+            out.push_str(&format!(
+                "{:<22} {:<9} {:<7} {:>8.1} {:>6.0} {:>10.0} {:>6.0} {:>8.0}\n",
+                ep,
+                instance_of(&samples),
+                if prefix == "sknn_shard" { "router" } else { "shard" },
+                qps,
+                queue,
+                completed,
+                shed,
+                expired,
+            ));
+            // The router's completions are the client-visible ones; its
+            // row still participates in the totals because shards also
+            // serve direct (non-routed) clients in mixed deployments.
+            fleet_qps += qps;
+            fleet_queue += queue;
+            fleet_completed += completed;
+            fleet_shed += shed;
+            fleet_expired += expired;
+            if prefix == "sknn_shard" {
+                router_line = format!(
+                    "router: {:.0} routed ({:.0} interior, {:.0} fanned out, {:.0} merged), \
+                     {:.0} legs cancelled, {:.0} leg failures, {:.0} bound violations, \
+                     map size {:.0}, {:.0} fleet objects\n",
+                    value(&samples, "sknn_shard_routed_total"),
+                    value(&samples, "sknn_shard_interior_total"),
+                    value(&samples, "sknn_shard_fanned_out_total"),
+                    value(&samples, "sknn_shard_merged_total"),
+                    value(&samples, "sknn_shard_cancelled_legs_total"),
+                    value(&samples, "sknn_shard_leg_failures_total"),
+                    value(&samples, "sknn_shard_bound_violations_total"),
+                    value(&samples, "sknn_shard_map_size"),
+                    value(&samples, "sknn_shard_objects"),
+                );
+            }
+            prev[i] = Some((samples, now));
+        }
+        out.push_str(&format!(
+            "{:<22} {:<9} {:<7} {:>8.1} {:>6.0} {:>10.0} {:>6.0} {:>8.0}\n",
+            "fleet total",
+            "",
+            "",
+            fleet_qps,
+            fleet_queue,
+            fleet_completed,
+            fleet_shed,
+            fleet_expired,
+        ));
+        if !router_line.is_empty() {
+            out.push('\n');
+            out.push_str(&router_line);
+        }
+        print!("{out}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+
+        tick += 1;
+        if iterations > 0 && tick >= iterations {
+            return;
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 /// Fetches the slow-query JSONL dump over the query port and returns up
 /// to `limit` entry lines (the `{"evicted":N}` header is skipped).
 fn fetch_slow_lines(addr: &str, limit: usize) -> Result<Vec<String>, String> {
@@ -1002,6 +1379,12 @@ fn install_signal_flag() {}
 /// Triggers graceful drain on SIGINT/SIGTERM, or after `max_seconds`
 /// when positive (0 = run until signalled).
 fn install_shutdown_watcher(handle: ServerHandle, max_seconds: f64) {
+    install_shutdown_watcher_with(move || handle.shutdown(), max_seconds);
+}
+
+/// [`install_shutdown_watcher`] generalized over what "shut down" means —
+/// the shard deployment drains its router (and through it, the fleet).
+fn install_shutdown_watcher_with(shutdown: impl FnOnce() + Send + 'static, max_seconds: f64) {
     install_signal_flag();
     let deadline = (max_seconds > 0.0)
         .then(|| std::time::Instant::now() + Duration::from_secs_f64(max_seconds));
@@ -1009,7 +1392,7 @@ fn install_shutdown_watcher(handle: ServerHandle, max_seconds: f64) {
         if SIGNALLED.load(Ordering::Relaxed)
             || deadline.is_some_and(|d| std::time::Instant::now() >= d)
         {
-            handle.shutdown();
+            shutdown();
             return;
         }
         std::thread::sleep(Duration::from_millis(50));

@@ -21,6 +21,8 @@
 //! * [`exec`] — the scoped thread pool behind batch queries
 //! * [`serve`] — the networked query service: wire protocol, micro-batching
 //!   server, client, and load generator
+//! * [`shard`] — spatially sharded serving: the shard map, the router
+//!   process, and the boundary fan-out / exact ranked merge
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use sknn_multires as multires;
 pub use sknn_obs as obs;
 pub use sknn_sdn as sdn;
 pub use sknn_serve as serve;
+pub use sknn_shard as shard;
 pub use sknn_spatial as spatial;
 pub use sknn_store as store;
 pub use sknn_terrain as terrain;
